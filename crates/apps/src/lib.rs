@@ -1,0 +1,14 @@
+//! # partir-apps — the paper's five benchmark applications
+//!
+//! Each application module provides: a deterministic workload generator, the
+//! sequential loop IR that the auto-parallelizer consumes, the app's hint
+//! sets (Section 6's Auto+Hint configurations), a hand-optimized simulation
+//! strategy mirroring the published manual implementations, and the weak-
+//! scaling series of its Figure 14 subplot.
+
+pub mod circuit;
+pub mod miniaero;
+pub mod pennant;
+pub mod spmv;
+pub mod stencil;
+pub mod support;

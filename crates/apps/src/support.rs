@@ -1,0 +1,184 @@
+//! Shared plumbing for the benchmark applications: turning an
+//! auto-parallelization plan plus evaluated partitions into a simulator
+//! spec, and small helpers for weak-scaling studies.
+
+use partir_core::pipeline::{ParallelPlan, PlannedReduce};
+use partir_dpl::partition::Partition;
+use partir_dpl::region::{RegionId, Store};
+use partir_ir::analysis::AccessKind;
+use partir_ir::ast::Loop;
+use partir_runtime::sim::{SimAccess, SimKind, SimLoop, SimSpec};
+use std::collections::HashMap;
+
+/// Per-loop simulation weights (work units per iteration element).
+#[derive(Clone, Debug)]
+pub struct LoopWeights(pub Vec<f64>);
+
+impl LoopWeights {
+    pub fn uniform(n: usize, w: f64) -> Self {
+        LoopWeights(vec![w; n])
+    }
+}
+
+/// Builds a simulator spec from an auto-parallelization plan: the spec's
+/// partitions are exactly the solver's partitions, so the simulated
+/// communication reflects what the synthesized DPL program would move.
+pub fn sim_spec_from_plan(
+    program: &[Loop],
+    plan: &ParallelPlan,
+    parts: &[Partition],
+    store: &Store,
+    weights: &LoopWeights,
+) -> SimSpec {
+    let schema = store.schema();
+    let mut region_sizes: HashMap<RegionId, u64> = HashMap::new();
+    for (rid, decl) in schema.regions() {
+        region_sizes.insert(rid, decl.size);
+    }
+
+    let mut loops = Vec::with_capacity(program.len());
+    for (li, lp) in program.iter().enumerate() {
+        let loop_plan = &plan.loops[li];
+        let iter = parts[loop_plan.iter.0 as usize].clone();
+        let mut accesses = Vec::new();
+        // Accesses sharing one partition share one physical instance (and
+        // thus one data movement): deduplicate by (partition, access
+        // class), like the runtime would.
+        let mut seen: Vec<(u32, u8, Option<u32>)> = Vec::new();
+        for ap in &loop_plan.accesses {
+            let class: u8 = match (&ap.kind, &ap.reduce) {
+                (AccessKind::Read, _) => 0,
+                (AccessKind::Write, _) => 1,
+                _ => 2,
+            };
+            let private = match &ap.reduce {
+                Some(PlannedReduce::BufferedPrivate { private }) => Some(private.0),
+                _ => None,
+            };
+            let key = (ap.part.0, class, private);
+            if seen.contains(&key) {
+                continue;
+            }
+            seen.push(key);
+            let part = parts[ap.part.0 as usize].clone();
+            let region = part.region;
+            let kind = match (&ap.kind, &ap.reduce) {
+                (AccessKind::Read, _) => SimKind::Read,
+                (AccessKind::Write, _) => SimKind::Write,
+                (AccessKind::Reduce(_), None) => SimKind::ReduceDirect, // centered
+                (AccessKind::Reduce(_), Some(PlannedReduce::Direct))
+                | (AccessKind::Reduce(_), Some(PlannedReduce::Guarded)) => SimKind::ReduceDirect,
+                (AccessKind::Reduce(_), Some(PlannedReduce::Buffered)) => {
+                    SimKind::ReduceBuffered { buffer_sets: part.subregions().to_vec() }
+                }
+                (AccessKind::Reduce(_), Some(PlannedReduce::BufferedPrivate { private })) => {
+                    let ppart = &parts[private.0 as usize];
+                    let sets = part
+                        .subregions()
+                        .iter()
+                        .zip(ppart.subregions())
+                        .map(|(a, p)| a.difference(p))
+                        .collect();
+                    SimKind::ReduceBuffered { buffer_sets: sets }
+                }
+            };
+            let expr_weight = pexpr_weight(&plan.partition_exprs[ap.part.0 as usize]);
+            accesses.push(SimAccess {
+                region,
+                part,
+                kind,
+                bytes_per_elem: 8.0,
+                group: None,
+                expr_weight,
+            });
+        }
+        loops.push(SimLoop {
+            name: lp.name.clone(),
+            iter,
+            work_per_iter: weights.0[li],
+            accesses,
+        });
+    }
+
+    SimSpec { loops, region_sizes, initial_home: HashMap::new() }
+}
+
+/// Operator-node count of a partition expression — the complexity weight
+/// the simulator charges for runtime metadata. Externally provided
+/// partitions weigh 1.
+pub fn pexpr_weight(e: &partir_core::lang::PExpr) -> f64 {
+    use partir_core::lang::PExpr;
+    match e {
+        PExpr::Sym(_) | PExpr::Ext(_) | PExpr::Equal(_) => 1.0,
+        PExpr::Image { src, .. } | PExpr::Preimage { src, .. } => 1.0 + pexpr_weight(src),
+        PExpr::Union(a, b) | PExpr::Intersect(a, b) | PExpr::Difference(a, b) => {
+            1.0 + pexpr_weight(a) + pexpr_weight(b)
+        }
+    }
+}
+
+/// The node counts of the Figure 14 x-axes.
+pub const FIG14_NODES: [usize; 9] = [1, 2, 4, 8, 16, 32, 64, 128, 256];
+
+/// One point of a weak-scaling series.
+#[derive(Clone, Copy, Debug)]
+pub struct ScalePoint {
+    pub nodes: usize,
+    /// App items (non-zeros, points, cells, wires, zones) per second per
+    /// node.
+    pub throughput_per_node: f64,
+}
+
+/// A named weak-scaling series (one line of a Figure 14 plot).
+#[derive(Clone, Debug)]
+pub struct ScaleSeries {
+    pub label: String,
+    pub points: Vec<ScalePoint>,
+}
+
+impl ScaleSeries {
+    /// Parallel efficiency at the largest node count relative to 1 node.
+    pub fn efficiency(&self) -> f64 {
+        let first = self.points.first().expect("non-empty series");
+        let last = self.points.last().expect("non-empty series");
+        last.throughput_per_node / first.throughput_per_node
+    }
+
+    pub fn at(&self, nodes: usize) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|p| p.nodes == nodes)
+            .map(|p| p.throughput_per_node)
+    }
+}
+
+/// Renders series as the rows a Figure 14 subplot plots.
+pub fn render_series(title: &str, series: &[ScaleSeries]) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = writeln!(out, "# {title}");
+    let _ = write!(out, "{:>8}", "nodes");
+    for s in series {
+        let _ = write!(out, "{:>16}", s.label);
+    }
+    let _ = writeln!(out);
+    let all_nodes: Vec<usize> = series
+        .first()
+        .map(|s| s.points.iter().map(|p| p.nodes).collect())
+        .unwrap_or_default();
+    for n in all_nodes {
+        let _ = write!(out, "{n:>8}");
+        for s in series {
+            match s.at(n) {
+                Some(v) => {
+                    let _ = write!(out, "{v:>16.3e}");
+                }
+                None => {
+                    let _ = write!(out, "{:>16}", "-");
+                }
+            }
+        }
+        let _ = writeln!(out);
+    }
+    out
+}

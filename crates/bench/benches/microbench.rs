@@ -1,0 +1,220 @@
+//! Criterion microbenchmarks for the partitioning pipeline:
+//!
+//! * index-set algebra (the substrate all operators reduce to);
+//! * DPL operators (`equal`, `image`, `preimage` on pointer fields);
+//! * constraint inference (Algorithm 1);
+//! * the constraint solver (Algorithm 2), with and without unification
+//!   (Algorithm 3) — the unification ablation DESIGN.md calls out;
+//! * the end-to-end auto-parallelization pass per benchmark app (the
+//!   quantities Table 1 reports);
+//! * threaded parallel execution vs the sequential interpreter.
+//!
+//! Run: `cargo bench -p partir-bench`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use partir_apps::{circuit, miniaero, pennant, spmv, stencil};
+use partir_core::eval::ExtBindings;
+use partir_core::infer::infer;
+use partir_core::pipeline::{auto_parallelize, Hints, Options};
+use partir_core::solve::solve;
+use partir_core::unify::unify;
+use partir_dpl::index_set::IndexSet;
+use partir_dpl::ops;
+use partir_dpl::region::{FieldKind, Schema, Store};
+use partir_runtime::exec::{execute_program, ExecOptions};
+use rand::{Rng, SeedableRng};
+
+fn bench_index_set(c: &mut Criterion) {
+    let mut g = c.benchmark_group("index_set");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    for &n in &[1_000u64, 100_000] {
+        let a = IndexSet::from_indices((0..n).filter(|_| rng.gen_bool(0.5)));
+        let b = IndexSet::from_indices((0..n).filter(|_| rng.gen_bool(0.5)));
+        g.bench_with_input(BenchmarkId::new("union", n), &n, |bench, _| {
+            bench.iter(|| a.union(&b))
+        });
+        g.bench_with_input(BenchmarkId::new("intersect", n), &n, |bench, _| {
+            bench.iter(|| a.intersect(&b))
+        });
+        g.bench_with_input(BenchmarkId::new("difference", n), &n, |bench, _| {
+            bench.iter(|| a.difference(&b))
+        });
+        g.bench_with_input(BenchmarkId::new("from_indices", n), &n, |bench, _| {
+            let v: Vec<u64> = (0..n).map(|_| rng.gen_range(0..n)).collect();
+            bench.iter(|| IndexSet::from_indices(v.iter().copied()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_dpl_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dpl_ops");
+    for &n in &[10_000u64, 200_000] {
+        let mut schema = Schema::new();
+        let dst = schema.add_region("Dst", n / 10);
+        let src = schema.add_region("Src", n);
+        let pf = schema.add_field(src, "ptr", FieldKind::Ptr(dst));
+        let mut store = Store::new(schema);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        for v in store.ptrs_mut(pf).iter_mut() {
+            *v = rng.gen_range(0..n / 10);
+        }
+        let mut fns = partir_dpl::func::FnTable::new();
+        let f = fns.add_ptr_field("ptr", src, dst, pf);
+        let p_src = ops::equal(src, n, 16);
+        let p_dst = ops::equal(dst, n / 10, 16);
+        g.bench_with_input(BenchmarkId::new("equal", n), &n, |bench, _| {
+            bench.iter(|| ops::equal(src, n, 16))
+        });
+        g.bench_with_input(BenchmarkId::new("image_ptr", n), &n, |bench, _| {
+            bench.iter(|| ops::image(&store, &fns, &p_src, f, dst))
+        });
+        g.bench_with_input(BenchmarkId::new("preimage_ptr", n), &n, |bench, _| {
+            bench.iter(|| ops::preimage(&store, &fns, src, f, &p_dst))
+        });
+    }
+    g.finish();
+}
+
+fn pennant_loops() -> (Vec<partir_ir::ast::Loop>, partir_dpl::func::FnTable, Schema) {
+    let app = pennant::Pennant::generate(&pennant::PennantParams::default());
+    (app.program.clone(), app.fns.clone(), app.store.schema().clone())
+}
+
+fn bench_inference_and_solver(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pipeline_phases");
+    let (loops, fns, schema) = pennant_loops();
+    g.bench_function("infer/pennant", |b| {
+        b.iter(|| infer(&loops, &fns, &schema).unwrap())
+    });
+    let inference = infer(&loops, &fns, &schema).unwrap();
+    g.bench_function("unify/pennant", |b| b.iter(|| unify(&inference, &fns)));
+    let unified = unify(&inference, &fns);
+    g.bench_function("solve/pennant-unified", |b| {
+        b.iter(|| solve(&unified.system, &fns).unwrap())
+    });
+    // Ablation: solving the raw (un-unified) system.
+    g.bench_function("solve/pennant-raw", |b| {
+        b.iter(|| solve(&inference.system, &fns).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_auto_parallelize(c: &mut Criterion) {
+    let mut g = c.benchmark_group("auto_parallelize");
+    g.sample_size(20);
+
+    let app = spmv::Spmv::generate(&spmv::SpmvParams { rows: 10_000, halo: 2 });
+    g.bench_function("spmv", |b| {
+        b.iter(|| {
+            auto_parallelize(
+                &app.program,
+                &app.fns,
+                app.store.schema(),
+                &Hints::new(),
+                Options::default(),
+            )
+            .unwrap()
+        })
+    });
+    let app = stencil::Stencil::generate(&stencil::StencilParams { nx: 64, ny: 64 });
+    g.bench_function("stencil", |b| {
+        b.iter(|| {
+            auto_parallelize(
+                &app.program,
+                &app.fns,
+                app.store.schema(),
+                &Hints::new(),
+                Options::default(),
+            )
+            .unwrap()
+        })
+    });
+    let app = circuit::Circuit::generate(&circuit::CircuitParams::default());
+    g.bench_function("circuit", |b| {
+        b.iter(|| {
+            auto_parallelize(
+                &app.program,
+                &app.fns,
+                app.store.schema(),
+                &Hints::new(),
+                Options::default(),
+            )
+            .unwrap()
+        })
+    });
+    let app = miniaero::MiniAero::generate(&miniaero::MiniAeroParams::default());
+    g.bench_function("miniaero", |b| {
+        b.iter(|| {
+            auto_parallelize(
+                &app.program,
+                &app.fns,
+                app.store.schema(),
+                &Hints::new(),
+                Options::default(),
+            )
+            .unwrap()
+        })
+    });
+    let app = pennant::Pennant::generate(&pennant::PennantParams::default());
+    g.bench_function("pennant", |b| {
+        b.iter(|| {
+            auto_parallelize(
+                &app.program,
+                &app.fns,
+                app.store.schema(),
+                &Hints::new(),
+                Options::default(),
+            )
+            .unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn bench_execution(c: &mut Criterion) {
+    let mut g = c.benchmark_group("execution");
+    g.sample_size(20);
+    let app = spmv::Spmv::generate(&spmv::SpmvParams { rows: 200_000, halo: 2 });
+    let plan = app.auto_plan();
+    let parts = plan.evaluate(&app.store, &app.fns, 8, &ExtBindings::new());
+    g.bench_function("spmv_seq", |b| {
+        b.iter(|| {
+            let mut store = app.store.clone();
+            partir_ir::interp::run_program_seq(&app.program, &mut store, &app.fns);
+            store
+        })
+    });
+    for threads in [2usize, 4, 8] {
+        g.bench_with_input(
+            BenchmarkId::new("spmv_parallel", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let mut store = app.store.clone();
+                    execute_program(
+                        &app.program,
+                        &plan,
+                        &parts,
+                        &mut store,
+                        &app.fns,
+                        &ExecOptions { n_threads: threads, check_legality: false },
+                    )
+                    .unwrap();
+                    store
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_index_set,
+    bench_dpl_ops,
+    bench_inference_and_solver,
+    bench_auto_parallelize,
+    bench_execution
+);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Figure 14a reproduction: SpMV weak scaling (Auto).
+//!
+//! The paper runs 0.4e9 non-zeros per node on 1–256 Piz Daint nodes and
+//! reports 99% parallel efficiency at 256 nodes. The simulator reproduces
+//! the curve shape at a scaled-down per-node size (set `SPMV_ROWS_PER_NODE`
+//! to override).
+//!
+//! Run: `cargo run --release -p partir-bench --bin fig14a`
+
+use partir_apps::spmv::fig14a_series;
+use partir_apps::support::{render_series, FIG14_NODES};
+
+fn main() {
+    let rows_per_node: u64 = std::env::var("SPMV_ROWS_PER_NODE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20_000);
+    let series = fig14a_series(rows_per_node, &FIG14_NODES);
+    println!(
+        "{}",
+        render_series(
+            &format!(
+                "Figure 14a: SpMV weak scaling (throughput/node, non-zeros/s; {} rows/node)",
+                rows_per_node
+            ),
+            &[series.clone()]
+        )
+    );
+    println!(
+        "parallel efficiency at {} nodes: {:.1}% (paper: 99%)",
+        series.points.last().unwrap().nodes,
+        series.efficiency() * 100.0
+    );
+}

@@ -1,0 +1,42 @@
+//! Figure 14e reproduction: PENNANT weak scaling, Manual vs Auto+Hint2 vs
+//! Auto+Hint1 vs Auto.
+//!
+//! Paper: ~1.8e6 zones/node. Auto keeps up only to 4 nodes (shared points
+//! live in the initial entries of the point region, so `equal` partitions
+//! bottleneck). Hint1 (the point partitioning as an external constraint)
+//! matches Manual within 6% up to 32 nodes, then struggles — the
+//! solver-derived partitions carry runtime-metadata cost the hand-optimized
+//! partitions don't. Hint2 (reusing the side/zone partitions, the recursive
+//! side-neighbor invariants, and the private-point sub-partition) shows no
+//! noticeable difference from Manual.
+//!
+//! Run: `cargo run --release -p partir-bench --bin fig14e`
+
+use partir_apps::pennant::fig14e_series;
+use partir_apps::support::{render_series, FIG14_NODES};
+
+fn main() {
+    let zw: u64 = std::env::var("PENNANT_ZW").ok().and_then(|v| v.parse().ok()).unwrap_or(24);
+    let zy: u64 = std::env::var("PENNANT_ZY").ok().and_then(|v| v.parse().ok()).unwrap_or(96);
+    let series = fig14e_series(zw, zy, &FIG14_NODES);
+    println!(
+        "{}",
+        render_series(
+            &format!(
+                "Figure 14e: PENNANT weak scaling (zones/s per node; {}x{} zones/node)",
+                zw, zy
+            ),
+            &series
+        )
+    );
+    for s in &series {
+        println!(
+            "{:<12} efficiency at {} nodes: {:.1}%",
+            s.label,
+            s.points.last().unwrap().nodes,
+            s.efficiency() * 100.0
+        );
+    }
+    println!("(paper: Auto drops after 4 nodes; Hint1 within 6% to 32 then degrades;");
+    println!(" Hint2 indistinguishable from Manual)");
+}

@@ -1,0 +1,88 @@
+//! Table 1 reproduction: compilation-time breakdown of the
+//! auto-parallelization pass for every benchmark program.
+//!
+//! The paper reports constraint inference, constraint solver, code rewrite,
+//! and binary generation times. Binary generation is rustc's job here (not
+//! part of the contribution), so this harness reports the three phases the
+//! paper's pass owns plus the number of auto-parallelized loops — the rows
+//! that measure the contribution's cost.
+//!
+//! Run: `cargo run --release -p partir-bench --bin table1`
+
+use partir_apps::{circuit, miniaero, pennant, spmv, stencil};
+use partir_core::pipeline::{auto_parallelize, Hints, Options, ParallelPlan, Timings};
+use std::time::Duration;
+
+struct Row {
+    name: &'static str,
+    timings: Timings,
+    loops: usize,
+    partitions: usize,
+}
+
+fn ms(d: Duration) -> String {
+    format!("{:.2}ms", d.as_secs_f64() * 1e3)
+}
+
+fn plan_of(name: &'static str, plan: ParallelPlan, loops: usize) -> Row {
+    Row { name, timings: plan.timings, loops, partitions: plan.num_partitions() }
+}
+
+fn main() {
+    let mut rows = Vec::new();
+
+    let app = spmv::Spmv::generate(&spmv::SpmvParams { rows: 100_000, halo: 2 });
+    rows.push(plan_of("SpMV", app.auto_plan(), app.program.len()));
+
+    let app = stencil::Stencil::generate(&stencil::StencilParams { nx: 256, ny: 256 });
+    rows.push(plan_of("Stencil", app.auto_plan(), app.program.len()));
+
+    let app = circuit::Circuit::generate(&circuit::CircuitParams::default());
+    rows.push(plan_of("Circuit", app.auto_plan(), app.program.len()));
+
+    let app = miniaero::MiniAero::generate(&miniaero::MiniAeroParams::default());
+    rows.push(plan_of("MiniAero", app.auto_plan(), app.program.len()));
+
+    let app = pennant::Pennant::generate(&pennant::PennantParams::default());
+    let plan = auto_parallelize(
+        &app.program,
+        &app.fns,
+        app.store.schema(),
+        &Hints::new(),
+        Options::default(),
+    )
+    .expect("pennant");
+    rows.push(Row {
+        name: "PENNANT",
+        timings: plan.timings,
+        loops: app.program.len(),
+        partitions: plan.num_partitions(),
+    });
+
+    println!("# Table 1: compilation time breakdown (auto-parallelization pass)");
+    println!(
+        "{:<22}{:>12}{:>12}{:>12}{:>12}{:>12}{:>14}",
+        "", "SpMV", "Stencil", "Circuit", "MiniAero", "PENNANT", ""
+    );
+    let col = |f: &dyn Fn(&Row) -> String| -> Vec<String> { rows.iter().map(f).collect() };
+    let print_row = |label: &str, vals: Vec<String>| {
+        print!("{label:<22}");
+        for v in vals {
+            print!("{v:>12}");
+        }
+        println!();
+    };
+    print_row("Constraint inference", col(&|r| ms(r.timings.inference)));
+    print_row("Constraint solver", col(&|r| ms(r.timings.solver)));
+    print_row("Code rewrite", col(&|r| ms(r.timings.rewrite)));
+    print_row(
+        "Total",
+        col(&|r| ms(r.timings.inference + r.timings.solver + r.timings.rewrite)),
+    );
+    print_row("Num. parallel loops", col(&|r| r.loops.to_string()));
+    print_row("Num. partitions", col(&|r| r.partitions.to_string()));
+    println!();
+    println!("(Binary generation is rustc's cost, not part of the pass; the paper's");
+    println!(" corresponding rows measured the Regent compiler back-end.)");
+    let _ = rows;
+}

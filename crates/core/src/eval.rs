@@ -1,0 +1,211 @@
+//! Evaluation of closed partition expressions to concrete [`Partition`]s.
+//!
+//! The solver's output (and the extra expressions synthesized by the
+//! Section 5 optimizations) are closed `PExpr`s over `equal`, `image`,
+//! `preimage`, `∪`, `∩`, `−`, and external partitions. This module turns
+//! them into real partitions against a store, memoizing structurally equal
+//! subexpressions so the common-subexpression sharing in solutions
+//! ("P3 = P1") costs nothing at runtime.
+
+use crate::lang::{ExtId, FnRef, PExpr};
+use partir_dpl::index_set::IndexSet;
+use partir_dpl::ops;
+use partir_dpl::partition::Partition;
+use partir_dpl::func::FnTable;
+use partir_dpl::region::{RegionId, Store};
+use std::collections::HashMap;
+
+/// Concrete partitions for the external symbols of a system (indexed by
+/// [`ExtId`]).
+#[derive(Clone, Debug, Default)]
+pub struct ExtBindings {
+    parts: Vec<Partition>,
+}
+
+impl ExtBindings {
+    pub fn new() -> Self {
+        ExtBindings::default()
+    }
+
+    /// Binds the next external id (ids are allocated in declaration order).
+    pub fn push(&mut self, p: Partition) -> ExtId {
+        self.parts.push(p);
+        ExtId(self.parts.len() as u32 - 1)
+    }
+
+    pub fn get(&self, e: ExtId) -> &Partition {
+        &self.parts[e.0 as usize]
+    }
+
+    pub fn len(&self) -> usize {
+        self.parts.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.parts.is_empty()
+    }
+}
+
+/// Evaluator with structural memoization.
+pub struct Evaluator<'a> {
+    pub store: &'a Store,
+    pub fns: &'a FnTable,
+    /// Number of subregions for `equal` partitions (the paper elides this
+    /// from constraints; it is the launch-space size at runtime).
+    pub n_colors: usize,
+    pub exts: &'a ExtBindings,
+    memo: HashMap<PExpr, Partition>,
+}
+
+impl<'a> Evaluator<'a> {
+    pub fn new(store: &'a Store, fns: &'a FnTable, n_colors: usize, exts: &'a ExtBindings) -> Self {
+        Evaluator { store, fns, n_colors, exts, memo: HashMap::new() }
+    }
+
+    /// Number of distinct partitions materialized so far.
+    pub fn partitions_built(&self) -> usize {
+        self.memo.len()
+    }
+
+    /// Evaluates a closed expression; panics on unresolved symbols.
+    pub fn eval(&mut self, e: &PExpr) -> Partition {
+        if let Some(p) = self.memo.get(e) {
+            return p.clone();
+        }
+        let result = match e {
+            PExpr::Sym(s) => panic!("cannot evaluate unresolved symbol {s:?}"),
+            PExpr::Ext(x) => self.exts.get(*x).clone(),
+            PExpr::Equal(r) => {
+                let size = self.store.schema().region_size(*r);
+                ops::equal(*r, size, self.n_colors)
+            }
+            PExpr::Image { src, f, target } => {
+                let sp = self.eval(src);
+                match f {
+                    FnRef::Identity => reinterpret(&sp, *target, self.store),
+                    FnRef::Fn(id) => ops::image(self.store, self.fns, &sp, *id, *target),
+                }
+            }
+            PExpr::Preimage { domain, f, src } => {
+                let sp = self.eval(src);
+                match f {
+                    FnRef::Identity => reinterpret(&sp, *domain, self.store),
+                    FnRef::Fn(id) => ops::preimage(self.store, self.fns, *domain, *id, &sp),
+                }
+            }
+            PExpr::Union(a, b) => {
+                let (pa, pb) = (self.eval(a), self.eval(b));
+                ops::union_pointwise(&pa, &pb)
+            }
+            PExpr::Intersect(a, b) => {
+                let (pa, pb) = (self.eval(a), self.eval(b));
+                ops::intersect_pointwise(&pa, &pb)
+            }
+            PExpr::Difference(a, b) => {
+                let (pa, pb) = (self.eval(a), self.eval(b));
+                ops::difference_pointwise(&pa, &pb)
+            }
+        };
+        self.memo.insert(e.clone(), result.clone());
+        result
+    }
+}
+
+/// `image`/`preimage` under the identity function: the same index sets
+/// reinterpreted as subregions of another region (clipped to its bounds).
+fn reinterpret(p: &Partition, target: RegionId, store: &Store) -> Partition {
+    let size = store.schema().region_size(target);
+    let bounds = IndexSet::from_range(0, size);
+    Partition::new(
+        target,
+        p.iter().map(|s| s.intersect(&bounds)).collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use partir_dpl::region::{FieldKind, Schema};
+
+    fn setup() -> (Store, FnTable, RegionId, RegionId, FnRef) {
+        let mut schema = Schema::new();
+        let r = schema.add_region("R", 12);
+        let s = schema.add_region("S", 6);
+        let pf = schema.add_field(r, "ptr", FieldKind::Ptr(s));
+        let mut store = Store::new(schema);
+        for (i, p) in store.ptrs_mut(pf).iter_mut().enumerate() {
+            *p = (i as u64) % 6;
+        }
+        let mut fns = FnTable::new();
+        let f = fns.add_ptr_field("ptr", r, s, pf);
+        (store, fns, r, s, FnRef::Fn(f))
+    }
+
+    #[test]
+    fn eval_equal_image_preimage() {
+        let (store, fns, r, s, f) = setup();
+        let exts = ExtBindings::new();
+        let mut ev = Evaluator::new(&store, &fns, 3, &exts);
+        let eq = ev.eval(&PExpr::Equal(s));
+        assert_eq!(eq.num_subregions(), 3);
+        assert!(eq.is_disjoint() && eq.is_complete(6));
+        let pre = ev.eval(&PExpr::preimage(r, f, PExpr::Equal(s)));
+        assert!(pre.is_disjoint() && pre.is_complete(12));
+        let img = ev.eval(&PExpr::image(
+            PExpr::preimage(r, f, PExpr::Equal(s)),
+            f,
+            s,
+        ));
+        assert!(img.subset_of(&eq));
+    }
+
+    #[test]
+    fn memoization_shares_subexpressions() {
+        let (store, fns, r, s, f) = setup();
+        let exts = ExtBindings::new();
+        let mut ev = Evaluator::new(&store, &fns, 2, &exts);
+        let pre = PExpr::preimage(r, f, PExpr::Equal(s));
+        let u = PExpr::union(pre.clone(), pre.clone());
+        let got = ev.eval(&u);
+        let single = ev.eval(&pre);
+        assert_eq!(got, single.clone().into_owned_union(&single));
+        // equal(S), preimage, union: 3 distinct expressions.
+        assert_eq!(ev.partitions_built(), 3);
+    }
+
+    #[test]
+    fn external_bindings() {
+        let (store, fns, _r, s, _) = setup();
+        let mut exts = ExtBindings::new();
+        let manual = Partition::new(
+            s,
+            vec![IndexSet::from_range(0, 1), IndexSet::from_range(1, 6)],
+        );
+        let x = exts.push(manual.clone());
+        let mut ev = Evaluator::new(&store, &fns, 2, &exts);
+        assert_eq!(ev.eval(&PExpr::ext(x)), manual);
+    }
+
+    #[test]
+    fn identity_reinterprets_and_clips() {
+        let (store, fns, r, s, _) = setup();
+        let exts = ExtBindings::new();
+        let mut ev = Evaluator::new(&store, &fns, 2, &exts);
+        // equal(R) has subregions {0..6} and {6..12}; reinterpreted in S
+        // (size 6) they clip to {0..6} and {}.
+        let e = PExpr::image(PExpr::Equal(r), FnRef::Identity, s);
+        let p = ev.eval(&e);
+        assert_eq!(p.subregion(0), &IndexSet::from_range(0, 6));
+        assert!(p.subregion(1).is_empty());
+    }
+
+    // Small helper used by the memoization test.
+    trait UnionSelf {
+        fn into_owned_union(self, other: &Partition) -> Partition;
+    }
+    impl UnionSelf for Partition {
+        fn into_owned_union(self, other: &Partition) -> Partition {
+            partir_dpl::ops::union_pointwise(&self, other)
+        }
+    }
+}

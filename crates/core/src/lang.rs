@@ -1,0 +1,423 @@
+//! The partitioning-constraint language (Figure 5).
+//!
+//! Ground terms are regions and partitions. A partitioning constraint is a
+//! conjunction of *predicates* — `PART(E, R)`, `DISJ(E)`, `COMP(E, R)` — and
+//! *subset constraints* `E1 ⊆ E2`, where expressions `E` are built from
+//! partition symbols, externally-provided partitions, and the DPL operators
+//! `equal`, `image`, `preimage`, `∪`, `∩`, `−`.
+//!
+//! Two kinds of conjuncts live in a [`System`]:
+//! * **obligations** — constraints inferred from the program that the
+//!   solver must discharge by synthesizing partitioning code;
+//! * **facts** — user-provided invariants on external partitions
+//!   (Section 3.3); the solver may *use* them but never has to prove them
+//!   (they are checked dynamically at runtime instead).
+
+use partir_dpl::func::{FnId, FnTable};
+use partir_dpl::region::RegionId;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A partition symbol: a placeholder the solver must bind to an expression.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PSym(pub u32);
+
+/// An externally-provided partition (fixed: the solver never binds it).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ExtId(pub u32);
+
+impl fmt::Debug for PSym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+impl fmt::Debug for ExtId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ext{}", self.0)
+    }
+}
+
+/// A function position in an `image`/`preimage` expression: either a
+/// declared function or the identity (`f_ID` in Algorithm 1, used for
+/// centered accesses to regions other than the iteration space).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub enum FnRef {
+    Identity,
+    Fn(FnId),
+}
+
+impl FnRef {
+    pub fn display<'a>(&self, fns: &'a FnTable) -> &'a str {
+        match self {
+            FnRef::Identity => "id",
+            FnRef::Fn(f) => fns.name(*f),
+        }
+    }
+}
+
+/// Partition expressions (Figure 5's `E`).
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub enum PExpr {
+    Sym(PSym),
+    Ext(ExtId),
+    /// `equal(R)` — subregion count is elided, as in the paper ("integer
+    /// arguments ... do not affect constraint solving").
+    Equal(RegionId),
+    /// `image(src, f, target)`; also covers the generalized `IMAGE` when
+    /// `f` names a set-valued function.
+    Image { src: Box<PExpr>, f: FnRef, target: RegionId },
+    /// `preimage(domain, f, src)`; also the generalized `PREIMAGE`.
+    Preimage { domain: RegionId, f: FnRef, src: Box<PExpr> },
+    Union(Box<PExpr>, Box<PExpr>),
+    Intersect(Box<PExpr>, Box<PExpr>),
+    Difference(Box<PExpr>, Box<PExpr>),
+}
+
+impl PExpr {
+    pub fn sym(s: PSym) -> PExpr {
+        PExpr::Sym(s)
+    }
+    pub fn ext(e: ExtId) -> PExpr {
+        PExpr::Ext(e)
+    }
+    pub fn image(src: PExpr, f: FnRef, target: RegionId) -> PExpr {
+        PExpr::Image { src: Box::new(src), f, target }
+    }
+    pub fn preimage(domain: RegionId, f: FnRef, src: PExpr) -> PExpr {
+        PExpr::Preimage { domain, f, src: Box::new(src) }
+    }
+    pub fn union(a: PExpr, b: PExpr) -> PExpr {
+        PExpr::Union(Box::new(a), Box::new(b))
+    }
+    pub fn intersect(a: PExpr, b: PExpr) -> PExpr {
+        PExpr::Intersect(Box::new(a), Box::new(b))
+    }
+    pub fn difference(a: PExpr, b: PExpr) -> PExpr {
+        PExpr::Difference(Box::new(a), Box::new(b))
+    }
+
+    /// True when the expression contains no partition symbol (externals are
+    /// fixed, so they count as closed — Algorithm 2's notion).
+    pub fn is_closed(&self) -> bool {
+        match self {
+            PExpr::Sym(_) => false,
+            PExpr::Ext(_) | PExpr::Equal(_) => true,
+            PExpr::Image { src, .. } => src.is_closed(),
+            PExpr::Preimage { src, .. } => src.is_closed(),
+            PExpr::Union(a, b) | PExpr::Intersect(a, b) | PExpr::Difference(a, b) => {
+                a.is_closed() && b.is_closed()
+            }
+        }
+    }
+
+    /// Collects all partition symbols.
+    pub fn syms(&self, out: &mut BTreeSet<PSym>) {
+        match self {
+            PExpr::Sym(s) => {
+                out.insert(*s);
+            }
+            PExpr::Ext(_) | PExpr::Equal(_) => {}
+            PExpr::Image { src, .. } | PExpr::Preimage { src, .. } => src.syms(out),
+            PExpr::Union(a, b) | PExpr::Intersect(a, b) | PExpr::Difference(a, b) => {
+                a.syms(out);
+                b.syms(out);
+            }
+        }
+    }
+
+    /// Substitutes `sym ↦ repl` everywhere.
+    pub fn subst(&self, sym: PSym, repl: &PExpr) -> PExpr {
+        match self {
+            PExpr::Sym(s) if *s == sym => repl.clone(),
+            PExpr::Sym(_) | PExpr::Ext(_) | PExpr::Equal(_) => self.clone(),
+            PExpr::Image { src, f, target } => {
+                PExpr::Image { src: Box::new(src.subst(sym, repl)), f: *f, target: *target }
+            }
+            PExpr::Preimage { domain, f, src } => {
+                PExpr::Preimage { domain: *domain, f: *f, src: Box::new(src.subst(sym, repl)) }
+            }
+            PExpr::Union(a, b) => {
+                PExpr::Union(Box::new(a.subst(sym, repl)), Box::new(b.subst(sym, repl)))
+            }
+            PExpr::Intersect(a, b) => {
+                PExpr::Intersect(Box::new(a.subst(sym, repl)), Box::new(b.subst(sym, repl)))
+            }
+            PExpr::Difference(a, b) => {
+                PExpr::Difference(Box::new(a.subst(sym, repl)), Box::new(b.subst(sym, repl)))
+            }
+        }
+    }
+
+    /// Pretty-prints with function names resolved through `fns` and
+    /// external names through `exts`.
+    pub fn display(&self, fns: &FnTable, exts: &[ExternalDecl]) -> String {
+        match self {
+            PExpr::Sym(s) => format!("{s:?}"),
+            PExpr::Ext(e) => exts
+                .get(e.0 as usize)
+                .map(|d| d.name.clone())
+                .unwrap_or_else(|| format!("{e:?}")),
+            PExpr::Equal(r) => format!("equal(r{})", r.0),
+            PExpr::Image { src, f, target } => {
+                format!("image({}, {}, r{})", src.display(fns, exts), f.display(fns), target.0)
+            }
+            PExpr::Preimage { domain, f, src } => {
+                format!("preimage(r{}, {}, {})", domain.0, f.display(fns), src.display(fns, exts))
+            }
+            PExpr::Union(a, b) => {
+                format!("({} ∪ {})", a.display(fns, exts), b.display(fns, exts))
+            }
+            PExpr::Intersect(a, b) => {
+                format!("({} ∩ {})", a.display(fns, exts), b.display(fns, exts))
+            }
+            PExpr::Difference(a, b) => {
+                format!("({} − {})", a.display(fns, exts), b.display(fns, exts))
+            }
+        }
+    }
+}
+
+impl fmt::Debug for PExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PExpr::Sym(s) => write!(f, "{s:?}"),
+            PExpr::Ext(e) => write!(f, "{e:?}"),
+            PExpr::Equal(r) => write!(f, "equal({r:?})"),
+            PExpr::Image { src, f: func, target } => {
+                write!(f, "image({src:?}, {func:?}, {target:?})")
+            }
+            PExpr::Preimage { domain, f: func, src } => {
+                write!(f, "preimage({domain:?}, {func:?}, {src:?})")
+            }
+            PExpr::Union(a, b) => write!(f, "({a:?} ∪ {b:?})"),
+            PExpr::Intersect(a, b) => write!(f, "({a:?} ∩ {b:?})"),
+            PExpr::Difference(a, b) => write!(f, "({a:?} − {b:?})"),
+        }
+    }
+}
+
+/// The predicates `ϕ` of Figure 5.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Pred {
+    Part(PExpr, RegionId),
+    Disj(PExpr),
+    Comp(PExpr, RegionId),
+}
+
+/// A subset constraint `lhs ⊆ rhs`.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Subset {
+    pub lhs: PExpr,
+    pub rhs: PExpr,
+}
+
+/// Declaration of an externally-provided partition.
+#[derive(Clone, Debug)]
+pub struct ExternalDecl {
+    pub name: String,
+    pub region: RegionId,
+}
+
+/// A system of partitioning constraints.
+#[derive(Clone, Debug, Default)]
+pub struct System {
+    /// Region of each partition symbol (`PART(P, R)` is implicit for every
+    /// symbol; compound-expression `PART` predicates go in `obligations`).
+    pub sym_regions: Vec<RegionId>,
+    /// Names for symbols (diagnostics: which access created them).
+    pub sym_names: Vec<String>,
+    pub externals: Vec<ExternalDecl>,
+    /// Predicates the solver must make true.
+    pub pred_obligations: Vec<Pred>,
+    /// Subset constraints the solver must make true.
+    pub subset_obligations: Vec<Subset>,
+    /// User-provided invariants (assumed true; checkable at runtime).
+    pub pred_facts: Vec<Pred>,
+    pub subset_facts: Vec<Subset>,
+}
+
+impl System {
+    pub fn new() -> Self {
+        System::default()
+    }
+
+    pub fn fresh_sym(&mut self, region: RegionId, name: impl Into<String>) -> PSym {
+        let s = PSym(self.sym_regions.len() as u32);
+        self.sym_regions.push(region);
+        self.sym_names.push(name.into());
+        s
+    }
+
+    pub fn add_external(&mut self, name: impl Into<String>, region: RegionId) -> ExtId {
+        let e = ExtId(self.externals.len() as u32);
+        self.externals.push(ExternalDecl { name: name.into(), region });
+        e
+    }
+
+    pub fn sym_region(&self, s: PSym) -> RegionId {
+        self.sym_regions[s.0 as usize]
+    }
+
+    pub fn ext_region(&self, e: ExtId) -> RegionId {
+        self.externals[e.0 as usize].region
+    }
+
+    pub fn num_syms(&self) -> usize {
+        self.sym_regions.len()
+    }
+
+    /// Region an expression partitions, when derivable syntactically.
+    pub fn expr_region(&self, e: &PExpr) -> Option<RegionId> {
+        match e {
+            PExpr::Sym(s) => Some(self.sym_region(*s)),
+            PExpr::Ext(x) => Some(self.ext_region(*x)),
+            PExpr::Equal(r) => Some(*r),
+            PExpr::Image { target, .. } => Some(*target),
+            PExpr::Preimage { domain, .. } => Some(*domain),
+            PExpr::Union(a, b) | PExpr::Intersect(a, b) | PExpr::Difference(a, b) => {
+                let ra = self.expr_region(a)?;
+                let rb = self.expr_region(b)?;
+                (ra == rb).then_some(ra)
+            }
+        }
+    }
+
+    pub fn require_disj(&mut self, e: PExpr) {
+        self.pred_obligations.push(Pred::Disj(e));
+    }
+
+    pub fn require_comp(&mut self, e: PExpr, r: RegionId) {
+        self.pred_obligations.push(Pred::Comp(e, r));
+    }
+
+    pub fn require_subset(&mut self, lhs: PExpr, rhs: PExpr) {
+        self.subset_obligations.push(Subset { lhs, rhs });
+    }
+
+    pub fn assume_fact_subset(&mut self, lhs: PExpr, rhs: PExpr) {
+        self.subset_facts.push(Subset { lhs, rhs });
+    }
+
+    pub fn assume_fact_pred(&mut self, p: Pred) {
+        self.pred_facts.push(p);
+    }
+
+    /// Human-readable rendering of the whole system.
+    pub fn display(&self, fns: &FnTable) -> String {
+        let mut out = String::new();
+        use std::fmt::Write;
+        for (i, r) in self.sym_regions.iter().enumerate() {
+            let _ = writeln!(out, "PART(P{i}, r{})   // {}", r.0, self.sym_names[i]);
+        }
+        for p in &self.pred_obligations {
+            let _ = writeln!(out, "{}", self.display_pred(p, fns));
+        }
+        for s in &self.subset_obligations {
+            let _ = writeln!(
+                out,
+                "{} ⊆ {}",
+                s.lhs.display(fns, &self.externals),
+                s.rhs.display(fns, &self.externals)
+            );
+        }
+        for p in &self.pred_facts {
+            let _ = writeln!(out, "[fact] {}", self.display_pred(p, fns));
+        }
+        for s in &self.subset_facts {
+            let _ = writeln!(
+                out,
+                "[fact] {} ⊆ {}",
+                s.lhs.display(fns, &self.externals),
+                s.rhs.display(fns, &self.externals)
+            );
+        }
+        out
+    }
+
+    fn display_pred(&self, p: &Pred, fns: &FnTable) -> String {
+        match p {
+            Pred::Part(e, r) => format!("PART({}, r{})", e.display(fns, &self.externals), r.0),
+            Pred::Disj(e) => format!("DISJ({})", e.display(fns, &self.externals)),
+            Pred::Comp(e, r) => format!("COMP({}, r{})", e.display(fns, &self.externals), r.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(i: u32) -> RegionId {
+        RegionId(i)
+    }
+
+    #[test]
+    fn closedness() {
+        let mut sys = System::new();
+        let p = sys.fresh_sym(r(0), "p");
+        let e = sys.add_external("pn", r(0));
+        assert!(!PExpr::sym(p).is_closed());
+        assert!(PExpr::ext(e).is_closed());
+        assert!(PExpr::Equal(r(0)).is_closed());
+        let img = PExpr::image(PExpr::sym(p), FnRef::Identity, r(1));
+        assert!(!img.is_closed());
+        let img2 = PExpr::image(PExpr::ext(e), FnRef::Identity, r(1));
+        assert!(img2.is_closed());
+        let u = PExpr::union(img2.clone(), PExpr::Equal(r(1)));
+        assert!(u.is_closed());
+        assert!(!PExpr::union(img, PExpr::Equal(r(1))).is_closed());
+    }
+
+    #[test]
+    fn subst_replaces_all_occurrences() {
+        let p0 = PSym(0);
+        let p1 = PSym(1);
+        let e = PExpr::union(
+            PExpr::image(PExpr::sym(p0), FnRef::Identity, r(1)),
+            PExpr::intersect(PExpr::sym(p0), PExpr::sym(p1)),
+        );
+        let replaced = e.subst(p0, &PExpr::Equal(r(0)));
+        assert!(replaced.is_closed() == false); // p1 still free
+        let mut syms = BTreeSet::new();
+        replaced.syms(&mut syms);
+        assert_eq!(syms.into_iter().collect::<Vec<_>>(), vec![p1]);
+        let closed = replaced.subst(p1, &PExpr::Equal(r(0)));
+        assert!(closed.is_closed());
+    }
+
+    #[test]
+    fn expr_region_derivation() {
+        let mut sys = System::new();
+        let p = sys.fresh_sym(r(0), "p");
+        assert_eq!(sys.expr_region(&PExpr::sym(p)), Some(r(0)));
+        assert_eq!(
+            sys.expr_region(&PExpr::image(PExpr::sym(p), FnRef::Identity, r(5))),
+            Some(r(5))
+        );
+        assert_eq!(
+            sys.expr_region(&PExpr::preimage(r(3), FnRef::Identity, PExpr::sym(p))),
+            Some(r(3))
+        );
+        // Mixed-region union has no region.
+        let bad = PExpr::union(
+            PExpr::Equal(r(0)),
+            PExpr::Equal(r(1)),
+        );
+        assert_eq!(sys.expr_region(&bad), None);
+        let ok = PExpr::union(PExpr::Equal(r(1)), PExpr::Equal(r(1)));
+        assert_eq!(sys.expr_region(&ok), Some(r(1)));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let mut sys = System::new();
+        let p = sys.fresh_sym(r(0), "iter");
+        let fns = FnTable::new();
+        sys.require_subset(PExpr::Equal(r(0)), PExpr::sym(p));
+        sys.require_comp(PExpr::sym(p), r(0));
+        let s = sys.display(&fns);
+        assert!(s.contains("PART(P0, r0)"));
+        assert!(s.contains("equal(r0) ⊆ P0"));
+        assert!(s.contains("COMP(P0, r0)"));
+    }
+}

@@ -1,0 +1,402 @@
+//! The DPL lemma engine (Figure 8).
+//!
+//! Algorithm 2's consistency check "verifies that each predicate in the
+//! constraint is entailed by other predicates or known lemmas of DPL
+//! operators". This module implements that entailment as a syntactic,
+//! depth-bounded prover over *closed* expressions (no unresolved partition
+//! symbols; externally-provided partitions are fine because their declared
+//! facts are axioms).
+//!
+//! Lemma coverage:
+//! * L1 — `equal` is a disjoint, complete partition;
+//! * L2/L3/L4 — `PART` structure rules;
+//! * L5/L6/L7 — `COMP` propagation (subset + union + preimage);
+//! * L8–L12 — `DISJ` propagation (subset, ∩, −, ∪ decomposition, preimage);
+//! * L13 — `∪` on the left of `⊆`;
+//! * L14 — the image/preimage adjunction (single-valued functions only, as
+//!   Section 4 notes it fails for the generalized `IMAGE`/`PREIMAGE`).
+//!
+//! User-provided facts (Section 3.3) participate as axioms: a `DISJ(E)` fact
+//! makes every `E' ⊆ E` disjoint via L8, subset facts provide transitivity
+//! links, and so on.
+
+use crate::lang::{FnRef, PExpr, Pred, Subset, System};
+use partir_dpl::func::FnTable;
+use partir_dpl::region::RegionId;
+
+/// Maximum proof depth; constraint systems are small (tens of conjuncts), so
+/// a modest bound terminates every search without losing real proofs.
+const MAX_DEPTH: u32 = 8;
+
+/// Everything the prover may assume.
+pub struct FactCtx<'a> {
+    pub system: &'a System,
+    pub fns: &'a FnTable,
+}
+
+impl<'a> FactCtx<'a> {
+    pub fn new(system: &'a System, fns: &'a FnTable) -> Self {
+        FactCtx { system, fns }
+    }
+
+    fn subset_facts(&self) -> &[Subset] {
+        &self.system.subset_facts
+    }
+
+    fn pred_facts(&self) -> &[Pred] {
+        &self.system.pred_facts
+    }
+
+    fn is_single_valued(&self, f: FnRef) -> bool {
+        match f {
+            FnRef::Identity => true,
+            FnRef::Fn(id) => self.fns.is_single_valued(id),
+        }
+    }
+}
+
+/// Proves `PART(e, r)` (lemmas L1–L4 + declared regions).
+pub fn prove_part(e: &PExpr, r: RegionId, ctx: &FactCtx) -> bool {
+    match e {
+        PExpr::Sym(s) => ctx.system.sym_region(*s) == r,
+        PExpr::Ext(x) => ctx.system.ext_region(*x) == r,
+        PExpr::Equal(r2) => *r2 == r, // L1
+        PExpr::Image { target, .. } => *target == r, // L2
+        PExpr::Preimage { domain, .. } => *domain == r, // L3
+        // L4 for ∪; for ∩/− containment in the left operand suffices.
+        PExpr::Union(a, b) => prove_part(a, r, ctx) && prove_part(b, r, ctx),
+        PExpr::Intersect(a, b) => prove_part(a, r, ctx) || prove_part(b, r, ctx),
+        PExpr::Difference(a, _) => prove_part(a, r, ctx),
+    }
+}
+
+/// Proves `DISJ(e)` (L1, L8–L12 + declared facts).
+pub fn prove_disj(e: &PExpr, ctx: &FactCtx) -> bool {
+    prove_disj_at(e, ctx, MAX_DEPTH)
+}
+
+fn prove_disj_at(e: &PExpr, ctx: &FactCtx, depth: u32) -> bool {
+    if depth == 0 {
+        return false;
+    }
+    match e {
+        PExpr::Equal(_) => return true, // L1
+        PExpr::Intersect(a, b)
+            // L9
+            if (prove_disj_at(a, ctx, depth - 1) || prove_disj_at(b, ctx, depth - 1)) => {
+                return true;
+            }
+        PExpr::Difference(a, _)
+            // L10
+            if prove_disj_at(a, ctx, depth - 1) => {
+                return true;
+            }
+        PExpr::Preimage { f, src, .. }
+            // L12 (single-valued only; fails for PREIMAGE).
+            if ctx.is_single_valued(*f) && prove_disj_at(src, ctx, depth - 1) => {
+                return true;
+            }
+        _ => {}
+    }
+    // L8 (+ L11 when the fact covers a union): e ⊆ d ∧ DISJ(d) ⇒ DISJ(e).
+    for fact in ctx.pred_facts() {
+        if let Pred::Disj(d) = fact {
+            if entails_subset_at(e, d, ctx, depth - 1) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Proves `COMP(e, r)` (L1, L5–L7 + declared facts).
+pub fn prove_comp(e: &PExpr, r: RegionId, ctx: &FactCtx) -> bool {
+    prove_comp_at(e, r, ctx, MAX_DEPTH)
+}
+
+fn prove_comp_at(e: &PExpr, r: RegionId, ctx: &FactCtx, depth: u32) -> bool {
+    if depth == 0 {
+        return false;
+    }
+    match e {
+        PExpr::Equal(r2) if *r2 == r => return true, // L1
+        PExpr::Union(a, b)
+            // L6 (either operand complete suffices).
+            if (prove_comp_at(a, r, ctx, depth - 1) || prove_comp_at(b, r, ctx, depth - 1)) => {
+                return true;
+            }
+        PExpr::Preimage { domain, f, src }
+            // L7: completeness flows through preimage (single-valued total
+            // functions; our declared index functions are total on their
+            // domain).
+            if *domain == r && ctx.is_single_valued(*f) => {
+                if let Some(src_region) = ctx.system.expr_region(src) {
+                    if prove_comp_at(src, src_region, ctx, depth - 1) {
+                        return true;
+                    }
+                }
+            }
+        _ => {}
+    }
+    // L5: c ⊆ e ∧ COMP(c, r) ∧ PART(e, r) ⇒ COMP(e, r), with c from facts
+    // or from the equal() construction.
+    if prove_part(e, r, ctx) {
+        for fact in ctx.pred_facts() {
+            if let Pred::Comp(c, r2) = fact {
+                if *r2 == r && entails_subset_at(c, e, ctx, depth - 1) {
+                    return true;
+                }
+            }
+        }
+        // equal(r) ⊆ e ⇒ COMP(e, r) — useful after strengthening.
+        if entails_subset_at(&PExpr::Equal(r), e, ctx, depth - 1) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Decides the subset entailment `lhs ⊆ rhs` syntactically.
+pub fn entails_subset(lhs: &PExpr, rhs: &PExpr, ctx: &FactCtx) -> bool {
+    entails_subset_at(lhs, rhs, ctx, MAX_DEPTH)
+}
+
+fn entails_subset_at(lhs: &PExpr, rhs: &PExpr, ctx: &FactCtx, depth: u32) -> bool {
+    if lhs == rhs {
+        return true;
+    }
+    if depth == 0 {
+        return false;
+    }
+    let d = depth - 1;
+
+    // Structural right-hand rules.
+    match rhs {
+        PExpr::Union(a, b)
+            if (entails_subset_at(lhs, a, ctx, d) || entails_subset_at(lhs, b, ctx, d)) => {
+                return true;
+            }
+        PExpr::Intersect(a, b)
+            if entails_subset_at(lhs, a, ctx, d) && entails_subset_at(lhs, b, ctx, d) => {
+                return true;
+            }
+        _ => {}
+    }
+
+    // Structural left-hand rules.
+    match lhs {
+        PExpr::Union(a, b)
+            // L13.
+            if entails_subset_at(a, rhs, ctx, d) && entails_subset_at(b, rhs, ctx, d) => {
+                return true;
+            }
+        PExpr::Intersect(a, b)
+            if (entails_subset_at(a, rhs, ctx, d) || entails_subset_at(b, rhs, ctx, d)) => {
+                return true;
+            }
+        PExpr::Difference(a, _)
+            if entails_subset_at(a, rhs, ctx, d) => {
+                return true;
+            }
+        PExpr::Image { src, f, target } => {
+            // Monotonicity: image(s1, f, R) ⊆ image(s2, f, R) when s1 ⊆ s2.
+            if let PExpr::Image { src: src2, f: f2, target: t2 } = rhs {
+                if f == f2 && target == t2 && entails_subset_at(src, src2, ctx, d) {
+                    return true;
+                }
+            }
+            // L14 adjunction: src ⊆ preimage(R', f, rhs) ⇒ image(src, f, R) ⊆ rhs
+            // (single-valued functions only).
+            if ctx.is_single_valued(*f) {
+                if let Some(src_region) = ctx.system.expr_region(src) {
+                    let pre = PExpr::preimage(src_region, *f, rhs.clone());
+                    if entails_subset_at(src, &pre, ctx, d) {
+                        return true;
+                    }
+                }
+            }
+        }
+        PExpr::Preimage { domain, f, src } => {
+            // Monotonicity for preimage.
+            if let PExpr::Preimage { domain: d2, f: f2, src: src2 } = rhs {
+                if f == f2 && domain == d2 && entails_subset_at(src, src2, ctx, d) {
+                    return true;
+                }
+            }
+        }
+        _ => {}
+    }
+
+    // Transitivity through declared subset facts:
+    // lhs ⊆ fact.lhs ∧ fact.lhs ⊆ fact.rhs ∧ fact.rhs ⊆ rhs.
+    for fact in ctx.subset_facts() {
+        if entails_subset_at(lhs, &fact.lhs, ctx, d) && entails_subset_at(&fact.rhs, rhs, ctx, d)
+        {
+            return true;
+        }
+    }
+    false
+}
+
+/// Proves a predicate obligation.
+pub fn prove_pred(p: &Pred, ctx: &FactCtx) -> bool {
+    match p {
+        Pred::Part(e, r) => prove_part(e, *r, ctx),
+        Pred::Disj(e) => prove_disj(e, ctx),
+        Pred::Comp(e, r) => prove_comp(e, *r, ctx),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use partir_dpl::region::Schema;
+
+    fn setup() -> (System, FnTable, RegionId, RegionId) {
+        let mut schema = Schema::new();
+        let r = schema.add_region("R", 10);
+        let s = schema.add_region("S", 10);
+        let mut fns = FnTable::new();
+        let _g = fns.add_affine("g", r, s, 1, 0);
+        (System::new(), fns, r, s)
+    }
+
+    fn g() -> FnRef {
+        FnRef::Fn(partir_dpl::func::FnId(0))
+    }
+
+    #[test]
+    fn l1_equal_is_disjoint_complete_partition() {
+        let (sys, fns, r, _) = setup();
+        let ctx = FactCtx::new(&sys, &fns);
+        let e = PExpr::Equal(r);
+        assert!(prove_part(&e, r, &ctx));
+        assert!(prove_disj(&e, &ctx));
+        assert!(prove_comp(&e, r, &ctx));
+        assert!(!prove_comp(&e, RegionId(1), &ctx));
+    }
+
+    #[test]
+    fn l12_preimage_preserves_disjointness() {
+        let (sys, fns, r, s) = setup();
+        let ctx = FactCtx::new(&sys, &fns);
+        let e = PExpr::preimage(r, g(), PExpr::Equal(s));
+        assert!(prove_disj(&e, &ctx));
+        assert!(prove_part(&e, r, &ctx));
+    }
+
+    #[test]
+    fn l7_preimage_preserves_completeness() {
+        let (sys, fns, r, s) = setup();
+        let ctx = FactCtx::new(&sys, &fns);
+        let e = PExpr::preimage(r, g(), PExpr::Equal(s));
+        assert!(prove_comp(&e, r, &ctx));
+        assert!(!prove_comp(&e, s, &ctx));
+    }
+
+    #[test]
+    fn l9_l10_intersection_difference_disjointness() {
+        let (sys, fns, r, _) = setup();
+        let ctx = FactCtx::new(&sys, &fns);
+        let img = PExpr::image(PExpr::Equal(r), g(), RegionId(1));
+        let inter = PExpr::intersect(img.clone(), PExpr::Equal(RegionId(1)));
+        assert!(prove_disj(&inter, &ctx));
+        let diff = PExpr::difference(PExpr::Equal(RegionId(1)), img.clone());
+        assert!(prove_disj(&diff, &ctx));
+        // An image alone is not provably disjoint.
+        assert!(!prove_disj(&img, &ctx));
+    }
+
+    #[test]
+    fn l6_union_with_complete_operand() {
+        let (sys, fns, r, s) = setup();
+        let ctx = FactCtx::new(&sys, &fns);
+        let img = PExpr::image(PExpr::Equal(s), g(), r);
+        let u = PExpr::union(PExpr::Equal(r), img);
+        assert!(prove_comp(&u, r, &ctx));
+    }
+
+    #[test]
+    fn l13_union_on_left_of_subset() {
+        let (sys, fns, r, _) = setup();
+        let ctx = FactCtx::new(&sys, &fns);
+        let big = PExpr::Equal(r);
+        let u = PExpr::union(PExpr::Equal(r), PExpr::Equal(r));
+        assert!(entails_subset(&u, &big, &ctx));
+    }
+
+    #[test]
+    fn l14_adjunction() {
+        let (sys, fns, r, s) = setup();
+        let ctx = FactCtx::new(&sys, &fns);
+        // P1 = preimage(R, g, equal(S)): image(P1, g, S) ⊆ equal(S).
+        let p1 = PExpr::preimage(r, g(), PExpr::Equal(s));
+        let img = PExpr::image(p1, g(), s);
+        assert!(entails_subset(&img, &PExpr::Equal(s), &ctx));
+        // But not into an unrelated expression.
+        let other = PExpr::image(PExpr::Equal(r), g(), s);
+        assert!(!entails_subset(&img, &other, &ctx));
+    }
+
+    #[test]
+    fn l8_disjointness_from_fact_union() {
+        // Circuit hint: DISJ(pn_private ∪ pn_shared) makes each operand
+        // disjoint (L11 by way of L8).
+        let (mut sys, fns, r, _) = setup();
+        let private = sys.add_external("pn_private", r);
+        let shared = sys.add_external("pn_shared", r);
+        let u = PExpr::union(PExpr::ext(private), PExpr::ext(shared));
+        sys.assume_fact_pred(Pred::Disj(u.clone()));
+        let ctx = FactCtx::new(&sys, &fns);
+        assert!(prove_disj(&PExpr::ext(private), &ctx));
+        assert!(prove_disj(&PExpr::ext(shared), &ctx));
+        assert!(prove_disj(&u, &ctx));
+        // An unrelated external is not disjoint.
+        let mut sys2 = sys.clone();
+        let other = sys2.add_external("other", r);
+        let ctx2 = FactCtx::new(&sys2, &fns);
+        assert!(!prove_disj(&PExpr::ext(other), &ctx2));
+    }
+
+    #[test]
+    fn l5_completeness_from_fact() {
+        let (mut sys, fns, r, _) = setup();
+        let pn = sys.add_external("pn", r);
+        sys.assume_fact_pred(Pred::Comp(PExpr::ext(pn), r));
+        let ctx = FactCtx::new(&sys, &fns);
+        // pn ⊆ pn ∪ X and pn complete ⇒ union complete (L5/L6).
+        let u = PExpr::union(PExpr::ext(pn), PExpr::image(PExpr::ext(pn), g(), r));
+        assert!(prove_comp(&u, r, &ctx));
+        assert!(prove_comp(&PExpr::ext(pn), r, &ctx));
+    }
+
+    #[test]
+    fn subset_fact_transitivity() {
+        let (mut sys, fns, r, s) = setup();
+        let pa = sys.add_external("pa", r);
+        let pb = sys.add_external("pb", s);
+        // Fact: image(pa, g, S) ⊆ pb.
+        let img = PExpr::image(PExpr::ext(pa), g(), s);
+        sys.assume_fact_subset(img.clone(), PExpr::ext(pb));
+        let ctx = FactCtx::new(&sys, &fns);
+        assert!(entails_subset(&img, &PExpr::ext(pb), &ctx));
+        // Monotone chaining: image of a subset of pa also lands in pb.
+        let sub = PExpr::intersect(PExpr::ext(pa), PExpr::Equal(r));
+        let img_sub = PExpr::image(sub, g(), s);
+        assert!(entails_subset(&img_sub, &PExpr::ext(pb), &ctx));
+    }
+
+    #[test]
+    fn recursive_fact_terminates() {
+        // PENNANT Hint2-style recursive fact: image(rs_p, f, R) ⊆ rs_p.
+        let (mut sys, fns, r, _) = setup();
+        let rs_p = sys.add_external("rs_p", r);
+        let img = PExpr::image(PExpr::ext(rs_p), FnRef::Identity, r);
+        sys.assume_fact_subset(img.clone(), PExpr::ext(rs_p));
+        let ctx = FactCtx::new(&sys, &fns);
+        // The fact itself is entailed; an unrelated subset query terminates
+        // (returns false) despite the cycle.
+        assert!(entails_subset(&img, &PExpr::ext(rs_p), &ctx));
+        assert!(!entails_subset(&PExpr::Equal(r), &PExpr::ext(rs_p), &ctx));
+    }
+}

@@ -1,0 +1,34 @@
+//! # partir-core — constraint-based automatic data partitioning
+//!
+//! The paper's primary contribution: partitioning-constraint inference
+//! (Algorithm 1), the constraint solver (Algorithm 2) with the DPL lemma
+//! engine (Figure 8), unification (Algorithm 3), external constraints
+//! (Section 3.3), and the reduction optimizations of Section 5.
+
+pub mod eval;
+pub mod infer;
+pub mod lang;
+pub mod lemmas;
+pub mod optimize;
+pub mod pipeline;
+pub mod solve;
+pub mod unify;
+
+pub mod prelude {
+    pub use crate::infer::{infer, Inference, InferredLoop};
+    pub use crate::lang::{ExtId, ExternalDecl, FnRef, PExpr, PSym, Pred, Subset, System};
+    pub use crate::lemmas::{entails_subset, prove_comp, prove_disj, prove_part, FactCtx};
+    pub use crate::eval::{Evaluator, ExtBindings};
+    pub use crate::optimize::{
+        apply_relaxation, choose_reduce_mode, disj_preferences, private_subpartition, ReduceMode,
+        RelaxInfo, RelaxPolicy,
+    };
+    pub use crate::pipeline::{
+        auto_parallelize, AccessPlan, AutoError, Hints, LoopPlan, Options, ParallelPlan, PartId,
+        PlannedReduce, Timings,
+    };
+    pub use crate::solve::{solve, solve_with, Solution, SolveError, SolveStats};
+    pub use crate::unify::{unify, Rep, Unified};
+}
+
+pub use prelude::*;

@@ -1,0 +1,498 @@
+//! Reduction optimizations (Section 5).
+//!
+//! Distributed runtimes implement uncentered reductions with temporary
+//! buffers merged after the parallel phase; buffers are wasted when the
+//! reduction partition is (or mostly is) disjoint. Two optimizations avoid
+//! them:
+//!
+//! * **Relaxing disjointness of the iteration space** (Section 5.1): when a
+//!   loop has several uncentered reductions through different functions, the
+//!   loop is rewritten into a *guarded* form — each reduction applies only
+//!   when its target falls in the task's subregion of the reduction
+//!   partition. The iteration-space `DISJ` requirement disappears, the
+//!   reduction targets become `DISJ ∧ COMP` (so `equal` partitions), and the
+//!   iteration partition becomes a union of preimages. Each contribution is
+//!   applied exactly once because the target partition is disjoint.
+//! * **Private sub-partitions** (Section 5.2, Theorem 5.1): when a reduction
+//!   partition `fS(P)` is an image of a disjoint partition `P`, the
+//!   expression `fS(P) − fS(fR⁻¹(fS(P)) − P)` is a disjoint sub-partition
+//!   containing the elements touched by only one task; buffers are needed
+//!   only for the (typically small) shared remainder.
+
+use crate::infer::Inference;
+use crate::lang::{FnRef, PExpr, Pred, Subset};
+use crate::lemmas::{prove_disj, FactCtx};
+use partir_ir::ast::AccessId;
+
+/// Relaxation policy.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RelaxPolicy {
+    /// Never relax (ablation baseline).
+    Off,
+    /// The paper's heuristic: relax a loop when it has uncentered
+    /// reductions through at least two distinct functions, it has no
+    /// centered reductions, and every loop sharing its iteration region can
+    /// also be relaxed.
+    Auto,
+}
+
+/// Per-loop relaxation outcome.
+#[derive(Clone, Debug, Default)]
+pub struct RelaxInfo {
+    pub relaxed: bool,
+    /// Accesses that must be guarded at runtime (`if target ∈ P[task]`).
+    pub guarded: Vec<AccessId>,
+}
+
+/// Applies the Section 5.1 relaxation directly to the inferred constraint
+/// system (before unification). Returns per-loop info for plan building.
+///
+/// The transform, per relaxed uncentered reduction with obligation
+/// `image(P_iter, f, S) ⊆ P_a`:
+/// * the obligation becomes `preimage(R, f, P_a) ⊆ P_iter`;
+/// * `DISJ(P_a) ∧ COMP(P_a, S)` are added;
+/// * `DISJ(P_iter)` is dropped (replaced by a trivially-true placeholder to
+///   keep obligation indices stable).
+///
+/// `hinted_regions` are regions covered by user-provided external
+/// partitions: relaxation would force `equal` partitions on reduction
+/// targets in those regions, overriding the user's layout, so such loops
+/// keep the buffered strategy (and get private sub-partitions instead) —
+/// this is why the paper's Circuit and PENNANT hint configurations retain
+/// reduction buffers while MiniAero relaxes.
+pub fn apply_relaxation(
+    inference: &mut Inference,
+    policy: RelaxPolicy,
+    hinted_regions: &std::collections::BTreeSet<partir_dpl::region::RegionId>,
+) -> Vec<RelaxInfo> {
+    let n_loops = inference.loops.len();
+    let mut out = vec![RelaxInfo::default(); n_loops];
+    if policy == RelaxPolicy::Off {
+        return out;
+    }
+
+    // A loop is relax-capable if it has no centered reductions, no field
+    // both written and read (tasks re-execute iterations under an aliased
+    // iteration partition, so a cross-task write-then-read would race), and
+    // all its uncentered-reduction obligations are single image steps from
+    // the iteration symbol (or chain aliases of such an access).
+    let capable: Vec<bool> = inference
+        .loops
+        .iter()
+        .map(|l| {
+            let no_centered_reduce = !l
+                .summary
+                .accesses
+                .iter()
+                .any(|a| a.kind.is_reduce() && a.is_centered());
+            let no_write_read_overlap = {
+                let written: Vec<_> = l
+                    .summary
+                    .accesses
+                    .iter()
+                    .filter(|a| a.kind.is_write())
+                    .map(|a| (a.region, a.field))
+                    .collect();
+                !l.summary
+                    .accesses
+                    .iter()
+                    .any(|a| a.kind.is_read() && written.contains(&(a.region, a.field)))
+            };
+            let simple_chains = l.summary.accesses.iter().all(|a| {
+                if !(a.kind.is_reduce() && !a.is_centered()) {
+                    return true;
+                }
+                let sub = &inference.system.subset_obligations
+                    [l.span.subsets[a.id.0 as usize]];
+                // Inference gives every reduction its own un-memoized image
+                // constraint, so the lhs is always a single image step;
+                // anything else is not relax-capable.
+                match &sub.lhs {
+                    PExpr::Image { src, .. } => matches!(**src, PExpr::Sym(s) if s == l.iter_sym),
+                    _ => false,
+                }
+            });
+            let no_hinted_target = !l
+                .summary
+                .accesses
+                .iter()
+                .any(|a| a.kind.is_reduce() && !a.is_centered() && hinted_regions.contains(&a.region));
+            no_centered_reduce && no_write_read_overlap && simple_chains && no_hinted_target
+        })
+        .collect();
+
+    // Count distinct uncentered-reduction functions per loop.
+    let wants_relax: Vec<bool> = inference
+        .loops
+        .iter()
+        .map(|l| {
+            let mut fns_seen: Vec<&[partir_dpl::func::FnId]> = Vec::new();
+            for a in l.summary.accesses.iter().filter(|a| a.kind.is_reduce() && !a.is_centered())
+            {
+                if !fns_seen.contains(&a.path.as_slice()) {
+                    fns_seen.push(&a.path);
+                }
+            }
+            fns_seen.len() >= 2
+        })
+        .collect();
+
+    // Group by iteration region: relax a group only when all member loops
+    // are capable and at least one wants relaxation.
+    for li in 0..n_loops {
+        if !wants_relax[li] || !capable[li] {
+            continue;
+        }
+        let region = inference.loops[li].summary.iter_region;
+        let group: Vec<usize> = (0..n_loops)
+            .filter(|&j| inference.loops[j].summary.iter_region == region)
+            .collect();
+        if !group.iter().all(|&j| capable[j]) {
+            continue;
+        }
+        // Relax every uncentered-reduce loop in the group.
+        for &j in &group {
+            if !inference.loops[j].summary.has_uncentered_reduce || out[j].relaxed {
+                continue;
+            }
+            relax_loop(inference, j, &mut out[j]);
+        }
+    }
+    out
+}
+
+fn relax_loop(inference: &mut Inference, li: usize, info: &mut RelaxInfo) {
+    info.relaxed = true;
+    let iter_sym = inference.loops[li].iter_sym;
+    let iter_region = inference.loops[li].summary.iter_region;
+
+    // Collect the uncentered reduce accesses.
+    let reduce_ids: Vec<AccessId> = inference.loops[li]
+        .summary
+        .accesses
+        .iter()
+        .filter(|a| a.kind.is_reduce() && !a.is_centered())
+        .map(|a| a.id)
+        .collect();
+
+    for id in reduce_ids {
+        info.guarded.push(id);
+        let sub_idx = inference.loops[li].span.subsets[id.0 as usize];
+        let p_a = inference.loops[li].access_syms[id.0 as usize];
+        let target_region = inference.system.sym_region(p_a);
+        let lhs = inference.system.subset_obligations[sub_idx].lhs.clone();
+        match lhs {
+            PExpr::Image { src, f, .. } if matches!(*src, PExpr::Sym(s) if s == iter_sym) => {
+                // image(P_iter, f, S) ⊆ P_a  ⟶  preimage(R, f, P_a) ⊆ P_iter.
+                inference.system.subset_obligations[sub_idx] = Subset {
+                    lhs: PExpr::preimage(iter_region, f, PExpr::sym(p_a)),
+                    rhs: PExpr::sym(iter_sym),
+                };
+                let pi = inference.system.pred_obligations.len();
+                inference.system.require_disj(PExpr::sym(p_a));
+                inference.system.require_comp(PExpr::sym(p_a), target_region);
+                inference.loops[li].span.preds.push(pi);
+                inference.loops[li].span.preds.push(pi + 1);
+            }
+            other => unreachable!("relax-capable loop with odd lhs {other:?}"),
+        }
+    }
+
+    // Drop DISJ(P_iter): replace by a trivially-true PART placeholder so
+    // obligation indices recorded in spans stay valid.
+    for p in inference.system.pred_obligations.iter_mut() {
+        if matches!(p, Pred::Disj(PExpr::Sym(s)) if *s == iter_sym) {
+            *p = Pred::Part(PExpr::sym(iter_sym), iter_region);
+        }
+    }
+}
+
+/// Disjointness preferences (the Example 3 strategy): for un-relaxed loops
+/// with uncentered reductions, ask the solver to make the reduction-target
+/// partitions disjoint so no buffer is needed. Returns candidate predicates
+/// to be tried (and individually dropped when unsatisfiable).
+pub fn disj_preferences(inference: &Inference, relax: &[RelaxInfo]) -> Vec<Pred> {
+    let mut prefs = Vec::new();
+    for (li, l) in inference.loops.iter().enumerate() {
+        if relax[li].relaxed {
+            continue;
+        }
+        for a in &l.summary.accesses {
+            if a.kind.is_reduce() && !a.is_centered() {
+                let sub = &inference.system.subset_obligations[l.span.subsets[a.id.0 as usize]];
+                if matches!(&sub.lhs, PExpr::Image { src, .. } if matches!(**src, PExpr::Sym(s) if s == l.iter_sym))
+                {
+                    prefs.push(Pred::Disj(PExpr::sym(l.access_syms[a.id.0 as usize])));
+                }
+            }
+        }
+    }
+    prefs
+}
+
+/// Synthesizes a private sub-partition expression for a reduction partition
+/// bound to `expr`, per Theorem 5.1 (and its intersection generalization
+/// for unions of images). Returns `None` when no construction applies.
+pub fn private_subpartition(expr: &PExpr, ctx: &FactCtx) -> Option<PExpr> {
+    match expr {
+        PExpr::Image { src, f, target } => {
+            let single = match f {
+                FnRef::Identity => true,
+                FnRef::Fn(id) => ctx.fns.is_single_valued(*id),
+            };
+            if !single || !src.is_closed() || !prove_disj(src, ctx) {
+                return None;
+            }
+            let src_region = ctx.system.expr_region(src)?;
+            let img = expr.clone();
+            // fS(P) − fS( fR⁻¹(fS(P)) − P )
+            let expanded = PExpr::preimage(src_region, *f, img.clone());
+            let shared_src = PExpr::difference(expanded, (**src).clone());
+            let shared = PExpr::image(shared_src, *f, *target);
+            Some(PExpr::difference(img, shared))
+        }
+        PExpr::Union(a, b) => {
+            // Generalization: intersection of the operands' private parts.
+            let pa = private_subpartition(a, ctx)?;
+            let pb = private_subpartition(b, ctx)?;
+            Some(PExpr::intersect(pa, pb))
+        }
+        _ => None,
+    }
+}
+
+/// How a reduction access is executed (decided post-solve).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ReduceMode {
+    /// The reduction partition is provably disjoint: apply in place.
+    Direct,
+    /// Relaxed loop: apply iff the target is in the task's subregion of the
+    /// access partition; no buffer.
+    Guarded,
+    /// Buffer the whole subregion, merge after the parallel phase.
+    Buffered,
+    /// Direct within the private sub-partition; buffer only the shared rest.
+    BufferedPrivate { private: PExpr },
+}
+
+/// Chooses the reduction mode for an uncentered reduction whose partition
+/// resolved to `expr`.
+pub fn choose_reduce_mode(
+    expr: &PExpr,
+    guarded: bool,
+    ctx: &FactCtx,
+    user_private: Option<&PExpr>,
+    enable_private: bool,
+) -> ReduceMode {
+    if guarded {
+        return ReduceMode::Guarded;
+    }
+    if prove_disj(expr, ctx) {
+        return ReduceMode::Direct;
+    }
+    if enable_private {
+        if let Some(p) = user_private {
+            if prove_disj(p, ctx) {
+                return ReduceMode::BufferedPrivate { private: p.clone() };
+            }
+        }
+        if let Some(p) = private_subpartition(expr, ctx) {
+            return ReduceMode::BufferedPrivate { private: p };
+        }
+    }
+    ReduceMode::Buffered
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::infer::infer;
+    use partir_dpl::func::FnTable;
+    use crate::lang::System;
+    use partir_dpl::region::{FieldKind, RegionId, Schema};
+    use partir_ir::ast::{LoopBuilder, ReduceOp, VExpr};
+
+    /// Figure 11a: two uncentered reductions through f and g.
+    fn figure11() -> (Vec<partir_ir::ast::Loop>, FnTable, Schema) {
+        let mut schema = Schema::new();
+        let r = schema.add_region("R", 10);
+        let s_ = schema.add_region("S", 10);
+        let rx = schema.add_field(r, "x", FieldKind::F64);
+        let sx = schema.add_field(s_, "x", FieldKind::F64);
+        let mut fns = FnTable::new();
+        let f = fns.add(
+            "f",
+            r,
+            s_,
+            partir_dpl::func::FnDef::Index(partir_dpl::func::IndexFn::AffineMod {
+                mul: 1,
+                add: 0,
+                modulus: 10,
+            }),
+        );
+        let g = fns.add(
+            "g",
+            r,
+            s_,
+            partir_dpl::func::FnDef::Index(partir_dpl::func::IndexFn::AffineMod {
+                mul: 1,
+                add: 1,
+                modulus: 10,
+            }),
+        );
+        let mut b = LoopBuilder::new("fig11", r);
+        let i = b.loop_var();
+        let v = b.val_read(r, rx, i);
+        let fi = b.idx_apply(f, i);
+        b.val_reduce(s_, sx, fi, ReduceOp::Add, VExpr::var(v));
+        let gi = b.idx_apply(g, i);
+        b.val_reduce(s_, sx, gi, ReduceOp::Add, VExpr::var(v));
+        (vec![b.finish()], fns, schema)
+    }
+
+    #[test]
+    fn figure11_relaxation_applies_and_solves() {
+        let (loops, fns, schema) = figure11();
+        let mut inf = infer(&loops, &fns, &schema).unwrap();
+        let relax = apply_relaxation(&mut inf, RelaxPolicy::Auto, &Default::default());
+        assert!(relax[0].relaxed);
+        assert_eq!(relax[0].guarded.len(), 2);
+        // DISJ on the iteration space is gone.
+        let iter = inf.loops[0].iter_sym;
+        assert!(!inf
+            .system
+            .pred_obligations
+            .iter()
+            .any(|p| matches!(p, Pred::Disj(PExpr::Sym(s)) if *s == iter)));
+        // The system solves with equal targets and a union-of-preimages
+        // iteration partition.
+        let sol = crate::solve::solve(&inf.system, &fns).expect("solvable");
+        let p_f = inf.loops[0].access_syms[1];
+        let s_region = inf.system.sym_region(p_f);
+        assert_eq!(sol.expr_for(p_f), &PExpr::Equal(s_region));
+        assert!(matches!(sol.expr_for(iter), PExpr::Union(_, _)));
+    }
+
+    #[test]
+    fn single_reduce_not_relaxed_but_prefers_disj() {
+        // Figure 7: one uncentered reduction — use the Example 3 strategy.
+        let mut schema = Schema::new();
+        let r = schema.add_region("R", 10);
+        let s_ = schema.add_region("S", 10);
+        let rx = schema.add_field(r, "x", FieldKind::F64);
+        let sx = schema.add_field(s_, "x", FieldKind::F64);
+        let mut fns = FnTable::new();
+        let g = fns.add_affine("g", r, s_, 1, 0);
+        let mut b = LoopBuilder::new("fig7", r);
+        let i = b.loop_var();
+        let v = b.val_read(r, rx, i);
+        let gi = b.idx_apply(g, i);
+        b.val_reduce(s_, sx, gi, ReduceOp::Add, VExpr::var(v));
+        let mut inf = infer(&[b.finish()], &fns, &schema).unwrap();
+        let relax = apply_relaxation(&mut inf, RelaxPolicy::Auto, &Default::default());
+        assert!(!relax[0].relaxed);
+        let prefs = disj_preferences(&inf, &relax);
+        assert_eq!(prefs.len(), 1);
+        // With the preference, the solution is buffer-free (Example 3).
+        let mut sys = inf.system.clone();
+        sys.pred_obligations.extend(prefs);
+        let sol = crate::solve::solve(&sys, &fns).expect("solvable with preference");
+        let p2 = inf.loops[0].access_syms[1];
+        assert_eq!(sol.expr_for(p2), &PExpr::Equal(s_));
+        let iter = inf.loops[0].iter_sym;
+        assert!(matches!(sol.expr_for(iter), PExpr::Preimage { .. }));
+    }
+
+    #[test]
+    fn relaxation_off_policy_is_inert() {
+        let (loops, fns, schema) = figure11();
+        let mut inf = infer(&loops, &fns, &schema).unwrap();
+        let before = inf.system.clone();
+        let relax = apply_relaxation(&mut inf, RelaxPolicy::Off, &Default::default());
+        assert!(!relax[0].relaxed);
+        assert_eq!(inf.system.subset_obligations, before.subset_obligations);
+    }
+
+    #[test]
+    fn centered_reduce_blocks_group_relaxation() {
+        // Same iteration region, second loop has a centered reduction.
+        let (mut loops, fns, mut schema) = figure11();
+        let r = RegionId(0);
+        let rx = partir_dpl::region::FieldId(0);
+        let _ = &mut schema;
+        let mut b = LoopBuilder::new("centered", r);
+        let i = b.loop_var();
+        let v = b.val_read(r, rx, i);
+        b.val_reduce(r, rx, i, ReduceOp::Add, VExpr::var(v));
+        // A centered reduce on the read field is rejected by analysis
+        // (read+reduce on same field); use a different field.
+        let lp = {
+            let mut schema2 = Schema::new();
+            let r2 = schema2.add_region("R", 10);
+            let _rx2 = schema2.add_field(r2, "x", FieldKind::F64);
+            let ry2 = schema2.add_field(r2, "y", FieldKind::F64);
+            let mut b2 = LoopBuilder::new("centered", r2);
+            let i2 = b2.loop_var();
+            b2.val_reduce(r2, ry2, i2, ReduceOp::Add, VExpr::Const(1.0));
+            let _ = (b, i, v);
+            b2.finish()
+        };
+        loops.push(lp);
+        let mut inf = infer(&loops, &fns, &schema).unwrap();
+        let relax = apply_relaxation(&mut inf, RelaxPolicy::Auto, &Default::default());
+        assert!(!relax[0].relaxed, "centered reduce in group blocks relaxation");
+        assert!(!relax[1].relaxed);
+    }
+
+    #[test]
+    fn theorem_5_1_expression_shape() {
+        let mut schema = Schema::new();
+        let r = schema.add_region("R", 10);
+        let s_ = schema.add_region("S", 10);
+        let mut fns = FnTable::new();
+        let f = FnRef::Fn(fns.add_affine("f", r, s_, 1, 0));
+        let sys = System::new();
+        let ctx = FactCtx::new(&sys, &fns);
+        let img = PExpr::image(PExpr::Equal(r), f, s_);
+        let pp = private_subpartition(&img, &ctx).expect("constructible");
+        // Shape: img − image(preimage(R, f, img) − equal(R), f, S).
+        match &pp {
+            PExpr::Difference(lhs, rhs) => {
+                assert_eq!(**lhs, img);
+                assert!(matches!(**rhs, PExpr::Image { .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Not constructible from a non-disjoint source.
+        let img2 = PExpr::image(PExpr::image(PExpr::Equal(r), f, s_), f, s_);
+        assert!(private_subpartition(&img2, &ctx).is_none());
+    }
+
+    #[test]
+    fn choose_reduce_mode_priorities() {
+        let mut schema = Schema::new();
+        let r = schema.add_region("R", 10);
+        let s_ = schema.add_region("S", 10);
+        let mut fns = FnTable::new();
+        let f = FnRef::Fn(fns.add_affine("f", r, s_, 1, 0));
+        let sys = System::new();
+        let ctx = FactCtx::new(&sys, &fns);
+        assert_eq!(
+            choose_reduce_mode(&PExpr::Equal(s_), false, &ctx, None, true),
+            ReduceMode::Direct
+        );
+        assert_eq!(
+            choose_reduce_mode(&PExpr::Equal(s_), true, &ctx, None, true),
+            ReduceMode::Guarded
+        );
+        let img = PExpr::image(PExpr::Equal(r), f, s_);
+        assert!(matches!(
+            choose_reduce_mode(&img, false, &ctx, None, true),
+            ReduceMode::BufferedPrivate { .. }
+        ));
+        assert_eq!(
+            choose_reduce_mode(&img, false, &ctx, None, false),
+            ReduceMode::Buffered
+        );
+    }
+}

@@ -1,0 +1,535 @@
+//! The constraint solver (Algorithm 2).
+//!
+//! The solver transforms a partitioning constraint into *resolved form*: the
+//! constraint conjoined with exactly one equality `P = E` per partition
+//! symbol. The added equalities are the synthesized DPL program.
+//!
+//! Candidate selection follows the paper's four insights:
+//!
+//! 1. `image(P, f, R) ⊆ E` with closed `E` → try `P = preimage(R', f, E)`
+//!    (lemma L14) — this is what reuses partitions instead of multiplying
+//!    them;
+//! 2. a symbol whose subset lower bounds are all closed → the union of
+//!    those bounds (L13);
+//! 3. a symbol carrying `DISJ` must be built from `equal` (L1) via the
+//!    disjointness-preserving operators (L9, L10, L12) → try `equal(R)`,
+//!    deepest symbols first;
+//! 4. likewise `COMP` symbols → `equal(R)`, deepest first (completeness
+//!    propagates through `equal`, `∪`, `preimage`: L1, L6, L7).
+//!
+//! A depth-first search with backtracking tries these candidates in order;
+//! the base case checks that every remaining conjunct is entailed by the
+//! lemma engine. Constraints produced by Algorithm 1 are acyclic, so the
+//! trivial solution (equal partitions for iteration spaces, strengthened
+//! subset constraints elsewhere) always exists; unification can introduce
+//! recursive constraints, in which case the solver correctly reports
+//! unsatisfiability and the unification attempt is rolled back.
+
+use crate::lang::{PExpr, PSym, Pred, Subset, System};
+use crate::lemmas::{entails_subset, prove_pred, FactCtx};
+use partir_dpl::func::FnTable;
+use std::collections::{BTreeSet, HashMap};
+
+/// A complete assignment of closed expressions to partition symbols.
+#[derive(Clone, Debug)]
+pub struct Solution {
+    /// Fully-inlined closed expression per symbol.
+    pub bindings: Vec<PExpr>,
+    /// Search statistics.
+    pub stats: SolveStats,
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SolveStats {
+    pub nodes_explored: u64,
+    pub backtracks: u64,
+}
+
+impl Solution {
+    pub fn expr_for(&self, s: PSym) -> &PExpr {
+        &self.bindings[s.0 as usize]
+    }
+
+    /// Number of *distinct* partitions the solution constructs (after
+    /// common-subexpression elimination, structurally identical bindings
+    /// evaluate to the same partition).
+    pub fn num_distinct_partitions(&self) -> usize {
+        let mut seen: BTreeSet<String> = BTreeSet::new();
+        for e in &self.bindings {
+            seen.insert(format!("{e:?}"));
+        }
+        seen.len()
+    }
+
+    /// Renders the solution as a DPL program, one statement per distinct
+    /// expression (`P3 = P1` style aliases for duplicates).
+    pub fn render(&self, system: &System, fns: &FnTable) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let mut first_with: HashMap<String, PSym> = HashMap::new();
+        for (i, e) in self.bindings.iter().enumerate() {
+            let sym = PSym(i as u32);
+            let key = format!("{e:?}");
+            match first_with.get(&key) {
+                Some(prev) => {
+                    let _ = writeln!(out, "{sym:?} = {prev:?}");
+                }
+                None => {
+                    let _ = writeln!(out, "{sym:?} = {}", e.display(fns, &system.externals));
+                    first_with.insert(key, sym);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Why solving failed.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SolveError {
+    /// Exhausted all candidates without finding a consistent strengthening.
+    Unsatisfiable,
+}
+
+/// Solves a system; `forced` contains pre-made bindings (from unification:
+/// merged symbols bound to their representative, hints bound to externals).
+pub fn solve(system: &System, fns: &FnTable) -> Result<Solution, SolveError> {
+    solve_with(system, fns, &HashMap::new())
+}
+
+/// Like [`solve`] but with some symbols pre-bound (values must be closed).
+pub fn solve_with(
+    system: &System,
+    fns: &FnTable,
+    forced: &HashMap<PSym, PExpr>,
+) -> Result<Solution, SolveError> {
+    let n = system.num_syms();
+    let mut bindings: Vec<Option<PExpr>> = vec![None; n];
+    for (s, e) in forced {
+        debug_assert!(e.is_closed(), "forced binding for {s:?} must be closed");
+        bindings[s.0 as usize] = Some(e.clone());
+    }
+    let mut stats = SolveStats::default();
+    if solve_rec(system, fns, &mut bindings, &mut stats) {
+        let bindings = bindings.into_iter().map(Option::unwrap).collect();
+        Ok(Solution { bindings, stats })
+    } else {
+        Err(SolveError::Unsatisfiable)
+    }
+}
+
+/// Applies current bindings to an expression (full inlining).
+fn apply(e: &PExpr, bindings: &[Option<PExpr>]) -> PExpr {
+    match e {
+        PExpr::Sym(s) => match &bindings[s.0 as usize] {
+            Some(b) => b.clone(),
+            None => e.clone(),
+        },
+        PExpr::Ext(_) | PExpr::Equal(_) => e.clone(),
+        PExpr::Image { src, f, target } => {
+            PExpr::Image { src: Box::new(apply(src, bindings)), f: *f, target: *target }
+        }
+        PExpr::Preimage { domain, f, src } => {
+            PExpr::Preimage { domain: *domain, f: *f, src: Box::new(apply(src, bindings)) }
+        }
+        PExpr::Union(a, b) => {
+            PExpr::Union(Box::new(apply(a, bindings)), Box::new(apply(b, bindings)))
+        }
+        PExpr::Intersect(a, b) => {
+            PExpr::Intersect(Box::new(apply(a, bindings)), Box::new(apply(b, bindings)))
+        }
+        PExpr::Difference(a, b) => {
+            PExpr::Difference(Box::new(apply(a, bindings)), Box::new(apply(b, bindings)))
+        }
+    }
+}
+
+/// Substituted view of the obligations under the current partial bindings,
+/// with tautologies removed.
+fn pending_subsets(system: &System, bindings: &[Option<PExpr>]) -> Vec<Subset> {
+    system
+        .subset_obligations
+        .iter()
+        .map(|s| Subset { lhs: apply(&s.lhs, bindings), rhs: apply(&s.rhs, bindings) })
+        .filter(|s| s.lhs != s.rhs)
+        .collect()
+}
+
+/// Depth of each symbol: `depth(P) = k` for the longest chain
+/// `E1 ⊆ … ⊆ Ek ⊆ P` (cycles are cut; every symbol on a cycle gets the
+/// depth reached when first revisited).
+fn depths(system: &System) -> Vec<u32> {
+    // Build edges sym -> sym from subset obligations.
+    let n = system.num_syms();
+    let mut preds_of: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for s in &system.subset_obligations {
+        if let PExpr::Sym(dst) = s.rhs {
+            let mut srcs = BTreeSet::new();
+            s.lhs.syms(&mut srcs);
+            for src in srcs {
+                if src != dst {
+                    preds_of[dst.0 as usize].push(src.0);
+                }
+            }
+        }
+    }
+    let mut depth = vec![0u32; n];
+    let mut state = vec![0u8; n]; // 0 unvisited, 1 in-progress, 2 done
+    fn visit(i: usize, preds_of: &[Vec<u32>], depth: &mut [u32], state: &mut [u8]) -> u32 {
+        match state[i] {
+            2 => return depth[i],
+            1 => return depth[i].max(1), // cycle: cut here
+            _ => {}
+        }
+        state[i] = 1;
+        let mut d = 1;
+        for &p in &preds_of[i] {
+            d = d.max(1 + visit(p as usize, preds_of, depth, state));
+        }
+        depth[i] = d;
+        state[i] = 2;
+        d
+    }
+    for i in 0..n {
+        visit(i, &preds_of, &mut depth, &mut state);
+    }
+    depth
+}
+
+fn solve_rec(
+    system: &System,
+    fns: &FnTable,
+    bindings: &mut Vec<Option<PExpr>>,
+    stats: &mut SolveStats,
+) -> bool {
+    stats.nodes_explored += 1;
+    let subs = pending_subsets(system, bindings);
+
+    let is_single = |f: crate::lang::FnRef| match f {
+        crate::lang::FnRef::Identity => true,
+        crate::lang::FnRef::Fn(id) => fns.is_single_valued(id),
+    };
+
+    // Rule 1: image(P, f, R) ⊆ E with closed E → P = preimage(R', f, E).
+    let mut tried_any = false;
+    for sub in &subs {
+        if !sub.rhs.is_closed() {
+            continue;
+        }
+        if let PExpr::Image { src, f, .. } = &sub.lhs {
+            if let PExpr::Sym(p) = **src {
+                if bindings[p.0 as usize].is_none() && is_single(*f) {
+                    tried_any = true;
+                    let domain = system.sym_region(p);
+                    let cand = PExpr::preimage(domain, *f, sub.rhs.clone());
+                    bindings[p.0 as usize] = Some(cand);
+                    if solve_rec(system, fns, bindings, stats) {
+                        return true;
+                    }
+                    stats.backtracks += 1;
+                    bindings[p.0 as usize] = None;
+                }
+            }
+        }
+    }
+
+    // Rule 2: P whose lower bounds are all closed → union of the bounds.
+    let mut lower: HashMap<PSym, (Vec<PExpr>, bool)> = HashMap::new();
+    for sub in &subs {
+        if let PExpr::Sym(p) = sub.rhs {
+            if bindings[p.0 as usize].is_none() {
+                let entry = lower.entry(p).or_insert_with(|| (Vec::new(), true));
+                entry.1 &= sub.lhs.is_closed();
+                entry.0.push(sub.lhs.clone());
+            }
+        }
+    }
+    let mut ready: Vec<(PSym, Vec<PExpr>)> = lower
+        .into_iter()
+        .filter(|(_, (_, all_closed))| *all_closed)
+        .map(|(p, (bounds, _))| (p, bounds))
+        .collect();
+    ready.sort_by_key(|(p, _)| *p);
+    for (p, mut bounds) in ready {
+        tried_any = true;
+        bounds.sort_by_key(|e| format!("{e:?}"));
+        bounds.dedup();
+        let cand = bounds
+            .into_iter()
+            .reduce(PExpr::union)
+            .expect("at least one bound");
+        bindings[p.0 as usize] = Some(cand);
+        if solve_rec(system, fns, bindings, stats) {
+            return true;
+        }
+        stats.backtracks += 1;
+        bindings[p.0 as usize] = None;
+    }
+
+    // Rules 3 & 4: equal(R) for DISJ syms, then COMP syms, deepest first.
+    let depth = depths(system);
+    let mut disj_syms: Vec<PSym> = Vec::new();
+    let mut comp_syms: Vec<PSym> = Vec::new();
+    for pred in &system.pred_obligations {
+        match pred {
+            Pred::Disj(PExpr::Sym(p)) if bindings[p.0 as usize].is_none() => disj_syms.push(*p),
+            Pred::Comp(PExpr::Sym(p), _) if bindings[p.0 as usize].is_none() => {
+                comp_syms.push(*p)
+            }
+            _ => {}
+        }
+    }
+    disj_syms.sort_by_key(|p| std::cmp::Reverse(depth[p.0 as usize]));
+    disj_syms.dedup();
+    comp_syms.sort_by_key(|p| std::cmp::Reverse(depth[p.0 as usize]));
+    comp_syms.dedup();
+    for p in disj_syms.into_iter().chain(comp_syms) {
+        if bindings[p.0 as usize].is_some() {
+            continue;
+        }
+        tried_any = true;
+        bindings[p.0 as usize] = Some(PExpr::Equal(system.sym_region(p)));
+        if solve_rec(system, fns, bindings, stats) {
+            return true;
+        }
+        stats.backtracks += 1;
+        bindings[p.0 as usize] = None;
+    }
+
+    // Base case: nothing to strengthen — verify entailment of the whole
+    // system. Any unbound symbol left means some constraint is unsupported.
+    if tried_any {
+        return false;
+    }
+    if bindings.iter().any(Option::is_none) {
+        // Unconstrained symbols (no bounds, no predicates) — complete them
+        // with the trivial equal partition of their region and re-check.
+        let mut progressed = false;
+        for i in 0..bindings.len() {
+            if bindings[i].is_none() {
+                bindings[i] = Some(PExpr::Equal(system.sym_regions[i]));
+                progressed = true;
+            }
+        }
+        if progressed {
+            if solve_rec(system, fns, bindings, stats) {
+                return true;
+            }
+            // Roll back (only the ones we set — all previously-None).
+            stats.backtracks += 1;
+            return false;
+        }
+    }
+    let ctx = FactCtx::new(system, fns);
+    for sub in &subs {
+        if !entails_subset(&sub.lhs, &sub.rhs, &ctx) {
+            return false;
+        }
+    }
+    for pred in &system.pred_obligations {
+        let applied = match pred {
+            Pred::Part(e, r) => Pred::Part(apply(e, bindings), *r),
+            Pred::Disj(e) => Pred::Disj(apply(e, bindings)),
+            Pred::Comp(e, r) => Pred::Comp(apply(e, bindings), *r),
+        };
+        if !prove_pred(&applied, &ctx) {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lang::FnRef;
+    use partir_dpl::func::FnId;
+    use partir_dpl::region::{RegionId, Schema};
+
+    fn setup() -> (System, FnTable, RegionId, RegionId) {
+        let mut schema = Schema::new();
+        let r = schema.add_region("R", 10);
+        let s = schema.add_region("S", 10);
+        let mut fns = FnTable::new();
+        fns.add_affine("g", r, s, 1, 0);
+        (System::new(), fns, r, s)
+    }
+
+    fn g() -> FnRef {
+        FnRef::Fn(FnId(0))
+    }
+
+    /// Example 2: PART(P1,R) ∧ COMP(P1,R) ∧ DISJ(P1) ∧ PART(P2,S)
+    /// ∧ image(P1,g,S) ⊆ P2 ∧ PART(P3,R) ∧ P1 ⊆ P3.
+    #[test]
+    fn example_2() {
+        let (mut sys, fns, r, s) = setup();
+        let p1 = sys.fresh_sym(r, "p1");
+        let p2 = sys.fresh_sym(s, "p2");
+        let p3 = sys.fresh_sym(r, "p3");
+        sys.require_comp(PExpr::sym(p1), r);
+        sys.require_disj(PExpr::sym(p1));
+        sys.require_subset(PExpr::image(PExpr::sym(p1), g(), s), PExpr::sym(p2));
+        sys.require_subset(PExpr::sym(p1), PExpr::sym(p3));
+        let sol = solve(&sys, &fns).expect("solvable");
+        assert_eq!(sol.expr_for(p1), &PExpr::Equal(r));
+        assert_eq!(sol.expr_for(p2), &PExpr::image(PExpr::Equal(r), g(), s));
+        assert_eq!(sol.expr_for(p3), &PExpr::Equal(r));
+        // After CSE, P3 = P1: 2 distinct partitions.
+        assert_eq!(sol.num_distinct_partitions(), 2);
+    }
+
+    /// Example 3: adding DISJ(P2) flips the solution to
+    /// P2 = equal(S), P1 = preimage(R, g, P2).
+    #[test]
+    fn example_3() {
+        let (mut sys, fns, r, s) = setup();
+        let p1 = sys.fresh_sym(r, "p1");
+        let p2 = sys.fresh_sym(s, "p2");
+        let p3 = sys.fresh_sym(r, "p3");
+        sys.require_comp(PExpr::sym(p1), r);
+        sys.require_disj(PExpr::sym(p1));
+        sys.require_subset(PExpr::image(PExpr::sym(p1), g(), s), PExpr::sym(p2));
+        sys.require_disj(PExpr::sym(p2));
+        sys.require_subset(PExpr::sym(p1), PExpr::sym(p3));
+        let sol = solve(&sys, &fns).expect("solvable");
+        assert_eq!(sol.expr_for(p2), &PExpr::Equal(s));
+        assert_eq!(
+            sol.expr_for(p1),
+            &PExpr::preimage(r, g(), PExpr::Equal(s))
+        );
+        assert_eq!(sol.expr_for(p3), sol.expr_for(p1));
+    }
+
+    /// Program-B preference: with COMP on the deeper Cells symbol the solver
+    /// derives the iteration partition by preimage (Figure 2b) rather than
+    /// materializing an extra pair of partitions (Figure 2a).
+    #[test]
+    fn figure2_program_b_fewest_partitions() {
+        // P1: Particles iter (COMP); P2: Cells access; P3: Cells (h) access;
+        // P4: Cells iter (COMP) unified into P2 (simulated by putting COMP
+        // on P2 directly); P5 unified into P3.
+        let mut schema = Schema::new();
+        let particles = schema.add_region("Particles", 10);
+        let cells = schema.add_region("Cells", 10);
+        let mut fns = FnTable::new();
+        let f1 = FnRef::Fn(fns.add_ptr_field(
+            "cell",
+            particles,
+            cells,
+            partir_dpl::region::FieldId(0),
+        ));
+        let h = FnRef::Fn(fns.add_affine("h", cells, cells, 1, 1));
+        let mut sys = System::new();
+        let p1 = sys.fresh_sym(particles, "p1");
+        let p2 = sys.fresh_sym(cells, "p2");
+        let p3 = sys.fresh_sym(cells, "p3");
+        sys.require_comp(PExpr::sym(p1), particles);
+        sys.require_comp(PExpr::sym(p2), cells);
+        sys.require_subset(PExpr::image(PExpr::sym(p1), f1, cells), PExpr::sym(p2));
+        sys.require_subset(PExpr::image(PExpr::sym(p2), h, cells), PExpr::sym(p3));
+        let sol = solve(&sys, &fns).expect("solvable");
+        assert_eq!(sol.expr_for(p2), &PExpr::Equal(cells));
+        assert_eq!(sol.expr_for(p1), &PExpr::preimage(particles, f1, PExpr::Equal(cells)));
+        assert_eq!(sol.expr_for(p3), &PExpr::image(PExpr::Equal(cells), h, cells));
+        assert_eq!(sol.num_distinct_partitions(), 3);
+    }
+
+    /// Figure 11 after relaxation: iteration partition is the union of
+    /// preimages; DISJ dropped from the iteration space, added to targets.
+    #[test]
+    fn relaxed_multi_reduce_union_of_preimages() {
+        let mut schema = Schema::new();
+        let r = schema.add_region("R", 10);
+        let s = schema.add_region("S", 10);
+        let mut fns = FnTable::new();
+        let f = FnRef::Fn(fns.add_affine("f", r, s, 1, 0));
+        let gq = FnRef::Fn(fns.add_affine("g", r, s, 1, 1));
+        let mut sys = System::new();
+        let p1 = sys.fresh_sym(r, "iter");
+        let p2 = sys.fresh_sym(s, "f-target");
+        let p3 = sys.fresh_sym(s, "g-target");
+        sys.require_comp(PExpr::sym(p1), r);
+        // Relaxed obligations (Section 5.1).
+        sys.require_disj(PExpr::sym(p2));
+        sys.require_comp(PExpr::sym(p2), s);
+        sys.require_subset(PExpr::preimage(r, f, PExpr::sym(p2)), PExpr::sym(p1));
+        sys.require_disj(PExpr::sym(p3));
+        sys.require_comp(PExpr::sym(p3), s);
+        sys.require_subset(PExpr::preimage(r, gq, PExpr::sym(p3)), PExpr::sym(p1));
+        let sol = solve(&sys, &fns).expect("solvable");
+        assert_eq!(sol.expr_for(p2), &PExpr::Equal(s));
+        assert_eq!(sol.expr_for(p3), &PExpr::Equal(s));
+        match sol.expr_for(p1) {
+            PExpr::Union(a, b) => {
+                let both = [format!("{a:?}"), format!("{b:?}")];
+                assert!(both.iter().any(|x| x.contains("fn0")));
+                assert!(both.iter().any(|x| x.contains("fn1")));
+            }
+            other => panic!("expected union of preimages, got {other:?}"),
+        }
+    }
+
+    /// Unification-induced recursion without a fixed external partition is
+    /// unsatisfiable (the paper's fixpoint example).
+    #[test]
+    fn recursive_constraint_unsatisfiable() {
+        let (mut sys, fns, r, _) = setup();
+        let p1 = sys.fresh_sym(r, "p1");
+        // image(P1, g', R) ⊆ P1 with g': R -> R.
+        let mut fns2 = fns.clone();
+        let g2 = FnRef::Fn(fns2.add_affine("g2", r, r, 1, 1));
+        sys.require_comp(PExpr::sym(p1), r);
+        sys.require_subset(PExpr::image(PExpr::sym(p1), g2, r), PExpr::sym(p1));
+        assert!(matches!(solve(&sys, &fns2), Err(SolveError::Unsatisfiable)));
+    }
+
+    /// Recursive constraints *are* consistent when the symbol is held fixed
+    /// at an external partition whose facts satisfy them (PENNANT Hint 2).
+    #[test]
+    fn recursive_constraint_with_external_fact() {
+        let (mut sys, fns, r, _) = setup();
+        let mut fns2 = fns.clone();
+        let g2 = FnRef::Fn(fns2.add_affine("g2", r, r, 1, 1));
+        let rs_p = sys.add_external("rs_p", r);
+        let p1 = sys.fresh_sym(r, "p1");
+        sys.assume_fact_subset(
+            PExpr::image(PExpr::ext(rs_p), g2, r),
+            PExpr::ext(rs_p),
+        );
+        sys.assume_fact_pred(Pred::Comp(PExpr::ext(rs_p), r));
+        sys.require_comp(PExpr::sym(p1), r);
+        sys.require_subset(PExpr::image(PExpr::sym(p1), g2, r), PExpr::sym(p1));
+        let mut forced = HashMap::new();
+        forced.insert(p1, PExpr::ext(rs_p));
+        let sol = solve_with(&sys, &fns2, &forced).expect("consistent with external");
+        assert_eq!(sol.expr_for(p1), &PExpr::ext(rs_p));
+    }
+
+    /// A symbol with no constraints at all gets the trivial equal partition.
+    #[test]
+    fn unconstrained_symbol_falls_back_to_equal() {
+        let (mut sys, fns, r, _) = setup();
+        let p = sys.fresh_sym(r, "lonely");
+        let sol = solve(&sys, &fns).expect("solvable");
+        assert_eq!(sol.expr_for(p), &PExpr::Equal(r));
+    }
+
+    /// Render produces readable DPL with aliases for duplicates.
+    #[test]
+    fn render_dpl_program() {
+        let (mut sys, fns, r, s) = setup();
+        let p1 = sys.fresh_sym(r, "p1");
+        let p2 = sys.fresh_sym(s, "p2");
+        let p3 = sys.fresh_sym(r, "p3");
+        sys.require_comp(PExpr::sym(p1), r);
+        sys.require_disj(PExpr::sym(p1));
+        sys.require_subset(PExpr::image(PExpr::sym(p1), g(), s), PExpr::sym(p2));
+        sys.require_subset(PExpr::sym(p1), PExpr::sym(p3));
+        let sol = solve(&sys, &fns).unwrap();
+        let text = sol.render(&sys, &fns);
+        assert!(text.contains("P0 = equal(r0)"), "{text}");
+        assert!(text.contains("P1 = image(equal(r0), g, r1)"), "{text}");
+        assert!(text.contains("P2 = P0"), "{text}");
+    }
+}

@@ -1,0 +1,755 @@
+//! Unification of partition symbols (Section 3.2, Algorithm 3).
+//!
+//! Inference assigns a separate symbol to every region access, which admits
+//! the widest range of strategies but produces solutions with many
+//! equivalent partitions. Unification merges symbols whose constraints are
+//! isomorphic, in two stages:
+//!
+//! 1. **Chain collapse** (the paper's Example 4): an access symbol whose
+//!    only lower bound is another symbol of the same region (`P ⊆ P'`)
+//!    merges into it. This is what turns Figure 6's `P1 ⊆ P2 ∧ P1 ⊆ P4`
+//!    into a single Particles partition, and deduplicates repeated accesses
+//!    along the same pointer chain.
+//! 2. **Common-subgraph unification** (Algorithm 3): per-loop constraint
+//!    graphs — nodes are symbols/externals, an edge `u →f v` encodes
+//!    `image(u, f, R) ⊆ v`, an unlabeled edge `u → v` encodes `u ⊆ v` — are
+//!    merged greedily, largest common subgraph first, with each candidate
+//!    checked for solvability (Algorithm 2) before committing. External
+//!    constraints (Section 3.3) participate as a constraint graph whose
+//!    nodes are fixed: unifying a symbol with an external discharges the
+//!    matched obligations against the user's invariant.
+
+use crate::infer::Inference;
+use crate::lang::{ExtId, FnRef, PExpr, PSym, Pred, Subset, System};
+use crate::solve::{solve_with, SolveStats};
+use partir_dpl::func::FnTable;
+use partir_dpl::region::RegionId;
+use std::collections::{BTreeMap, HashMap};
+
+/// What a symbol resolved to after unification.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Rep {
+    /// The symbol is its own representative.
+    SelfSym,
+    /// Merged into another symbol.
+    Sym(PSym),
+    /// Bound to an external partition.
+    Ext(ExtId),
+}
+
+/// The result of unification: a rewritten system plus the symbol mapping.
+#[derive(Clone, Debug)]
+pub struct Unified {
+    pub system: System,
+    pub rep: Vec<Rep>,
+    /// Number of symbols eliminated.
+    pub merged: usize,
+    /// Solver work spent on consistency checks.
+    pub check_stats: SolveStats,
+}
+
+impl Unified {
+    /// Resolves a symbol to its final representative expression.
+    pub fn resolve(&self, s: PSym) -> PExpr {
+        match self.rep[s.0 as usize] {
+            Rep::SelfSym => PExpr::sym(s),
+            Rep::Sym(t) => self.resolve(t),
+            Rep::Ext(x) => PExpr::ext(x),
+        }
+    }
+}
+
+/// Union-find over symbols with optional external roots.
+struct Uf {
+    parent: Vec<Rep>,
+}
+
+impl Uf {
+    fn new(n: usize) -> Self {
+        Uf { parent: vec![Rep::SelfSym; n] }
+    }
+
+    fn find(&self, s: PSym) -> Rep {
+        match self.parent[s.0 as usize] {
+            Rep::SelfSym => Rep::Sym(s),
+            Rep::Sym(t) => self.find(t),
+            Rep::Ext(x) => Rep::Ext(x),
+        }
+    }
+
+    /// Resolves an expression's symbol leaves to representatives.
+    fn rewrite(&self, e: &PExpr) -> PExpr {
+        match e {
+            PExpr::Sym(s) => match self.find(*s) {
+                Rep::Sym(t) => PExpr::sym(t),
+                Rep::Ext(x) => PExpr::ext(x),
+                Rep::SelfSym => unreachable!(),
+            },
+            PExpr::Ext(_) | PExpr::Equal(_) => e.clone(),
+            PExpr::Image { src, f, target } => {
+                PExpr::Image { src: Box::new(self.rewrite(src)), f: *f, target: *target }
+            }
+            PExpr::Preimage { domain, f, src } => {
+                PExpr::Preimage { domain: *domain, f: *f, src: Box::new(self.rewrite(src)) }
+            }
+            PExpr::Union(a, b) => {
+                PExpr::Union(Box::new(self.rewrite(a)), Box::new(self.rewrite(b)))
+            }
+            PExpr::Intersect(a, b) => {
+                PExpr::Intersect(Box::new(self.rewrite(a)), Box::new(self.rewrite(b)))
+            }
+            PExpr::Difference(a, b) => {
+                PExpr::Difference(Box::new(self.rewrite(a)), Box::new(self.rewrite(b)))
+            }
+        }
+    }
+
+    /// Merges `b` into `a` (a stays representative). `a` may be an external.
+    fn union(&mut self, a: Rep, b: PSym) {
+        let rb = self.find(b);
+        match (a, rb) {
+            (x, Rep::Sym(sb)) if x != Rep::Sym(sb) => self.parent[sb.0 as usize] = x,
+            _ => {}
+        }
+    }
+}
+
+/// A node in a constraint graph.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum GNode {
+    Sym(PSym),
+    Ext(ExtId),
+}
+
+/// A constraint graph: edges labeled with the image function (`None` for a
+/// plain subset edge).
+#[derive(Clone, Debug, Default)]
+struct CGraph {
+    nodes: Vec<(GNode, RegionId)>,
+    edges: Vec<(usize, usize, Option<FnRef>)>,
+}
+
+impl CGraph {
+    fn node_index(&mut self, n: GNode, region: RegionId) -> usize {
+        if let Some(i) = self.nodes.iter().position(|&(m, _)| m == n) {
+            return i;
+        }
+        self.nodes.push((n, region));
+        self.nodes.len() - 1
+    }
+}
+
+/// Builds the constraint graph of a set of subset constraints, rewritten
+/// through the union-find.
+fn build_graph(subsets: &[&Subset], system: &System, uf: &Uf) -> CGraph {
+    let mut g = CGraph::default();
+    for s in subsets {
+        let lhs = uf.rewrite(&s.lhs);
+        let rhs = uf.rewrite(&s.rhs);
+        let dst = match &rhs {
+            PExpr::Sym(p) => GNode::Sym(*p),
+            PExpr::Ext(x) => GNode::Ext(*x),
+            _ => continue,
+        };
+        let dst_region = match system.expr_region(&rhs) {
+            Some(r) => r,
+            None => continue,
+        };
+        match &lhs {
+            PExpr::Sym(p) => {
+                let r = system.sym_region(*p);
+                let si = g.node_index(GNode::Sym(*p), r);
+                let di = g.node_index(dst, dst_region);
+                g.edges.push((si, di, None));
+            }
+            PExpr::Ext(x) => {
+                let r = system.ext_region(*x);
+                let si = g.node_index(GNode::Ext(*x), r);
+                let di = g.node_index(dst, dst_region);
+                g.edges.push((si, di, None));
+            }
+            PExpr::Image { src, f, .. } => {
+                let (src_node, src_region) = match &**src {
+                    PExpr::Sym(p) => (GNode::Sym(*p), system.sym_region(*p)),
+                    PExpr::Ext(x) => (GNode::Ext(*x), system.ext_region(*x)),
+                    _ => continue,
+                };
+                let si = g.node_index(src_node, src_region);
+                let di = g.node_index(dst, dst_region);
+                g.edges.push((si, di, Some(*f)));
+            }
+            _ => continue,
+        }
+    }
+    g
+}
+
+/// A candidate unification: pairs of (accumulated-graph node, new-graph
+/// node) with the number of matched edges.
+#[derive(Clone, Debug)]
+struct Match {
+    pairs: Vec<(GNode, GNode)>,
+    edge_count: usize,
+}
+
+/// Enumerates candidate common subgraphs between `a` and `b`, greedily
+/// grown from each compatible edge pair, sorted by matched-edge count
+/// (descending).
+fn candidate_matches(a: &CGraph, b: &CGraph) -> Vec<Match> {
+    let compatible = |(na, ra): (GNode, RegionId), (nb, rb): (GNode, RegionId)| -> bool {
+        if ra != rb {
+            return false;
+        }
+        match (na, nb) {
+            (GNode::Ext(x), GNode::Ext(y)) => x == y,
+            _ => true,
+        }
+    };
+    let mut out: Vec<Match> = Vec::new();
+    for (i, &(sa, da, la)) in a.edges.iter().enumerate() {
+        for &(sb, db, lb) in &b.edges {
+            if la != lb {
+                continue;
+            }
+            if !compatible(a.nodes[sa], b.nodes[sb]) || !compatible(a.nodes[da], b.nodes[db]) {
+                continue;
+            }
+            // Grow a mapping from this seed.
+            let mut map: BTreeMap<usize, usize> = BTreeMap::new();
+            let mut rmap: BTreeMap<usize, usize> = BTreeMap::new();
+            map.insert(sa, sb);
+            rmap.insert(sb, sa);
+            if sa != da {
+                map.insert(da, db);
+                rmap.insert(db, da);
+            } else if db != sb {
+                continue; // self-loop mismatch
+            }
+            let mut matched = vec![(i, true)];
+            let mut changed = true;
+            while changed {
+                changed = false;
+                for (j, &(xa, ya, l1)) in a.edges.iter().enumerate() {
+                    if matched.iter().any(|&(k, _)| k == j) {
+                        continue;
+                    }
+                    for &(xb, yb, l2) in &b.edges {
+                        if l1 != l2 {
+                            continue;
+                        }
+                        // Extend only if consistent with the mapping and at
+                        // least one endpoint already mapped.
+                        let x_ok = match map.get(&xa) {
+                            Some(&m) => m == xb,
+                            None => !rmap.contains_key(&xb) && compatible(a.nodes[xa], b.nodes[xb]),
+                        };
+                        let y_ok = match map.get(&ya) {
+                            Some(&m) => m == yb,
+                            None => !rmap.contains_key(&yb) && compatible(a.nodes[ya], b.nodes[yb]),
+                        };
+                        let anchored = map.contains_key(&xa) || map.contains_key(&ya);
+                        if x_ok && y_ok && anchored {
+                            map.insert(xa, xb);
+                            rmap.insert(xb, xa);
+                            map.insert(ya, yb);
+                            rmap.insert(yb, ya);
+                            matched.push((j, true));
+                            changed = true;
+                            break;
+                        }
+                    }
+                }
+            }
+            let pairs: Vec<(GNode, GNode)> =
+                map.iter().map(|(&ia, &ib)| (a.nodes[ia].0, b.nodes[ib].0)).collect();
+            out.push(Match { pairs, edge_count: matched.len() });
+        }
+    }
+    out.sort_by_key(|m| std::cmp::Reverse(m.edge_count));
+    // Deduplicate identical pair sets.
+    out.dedup_by(|x, y| x.pairs == y.pairs);
+    out
+}
+
+/// Produces the rewritten system under a union-find, deduplicating
+/// obligations and dropping tautologies.
+fn rewrite_system(system: &System, uf: &Uf) -> System {
+    let mut out = system.clone();
+    out.pred_obligations.clear();
+    out.subset_obligations.clear();
+    let mut seen_preds: Vec<Pred> = Vec::new();
+    for p in &system.pred_obligations {
+        let q = match p {
+            Pred::Part(e, r) => Pred::Part(uf.rewrite(e), *r),
+            Pred::Disj(e) => Pred::Disj(uf.rewrite(e)),
+            Pred::Comp(e, r) => Pred::Comp(uf.rewrite(e), *r),
+        };
+        if !seen_preds.contains(&q) {
+            seen_preds.push(q.clone());
+            out.pred_obligations.push(q);
+        }
+    }
+    let mut seen_subs: Vec<Subset> = Vec::new();
+    for s in &system.subset_obligations {
+        let q = Subset { lhs: uf.rewrite(&s.lhs), rhs: uf.rewrite(&s.rhs) };
+        if q.lhs == q.rhs {
+            continue;
+        }
+        // Obligations that became identical to declared facts are
+        // discharged by the user invariant.
+        if system.subset_facts.iter().any(|f| f.lhs == q.lhs && f.rhs == q.rhs) {
+            continue;
+        }
+        if !seen_subs.contains(&q) {
+            seen_subs.push(q.clone());
+            out.subset_obligations.push(q);
+        }
+    }
+    out
+}
+
+/// Forced bindings for solver consistency checks: symbols bound to external
+/// partitions stay fixed.
+fn forced_bindings(system: &System, uf: &Uf) -> HashMap<PSym, PExpr> {
+    let mut forced = HashMap::new();
+    for i in 0..system.num_syms() {
+        let s = PSym(i as u32);
+        if let Rep::Ext(x) = uf.find(s) {
+            forced.insert(s, PExpr::ext(x));
+        }
+    }
+    forced
+}
+
+/// Runs both unification stages over an inference result.
+pub fn unify(inference: &Inference, fns: &FnTable) -> Unified {
+    let system = &inference.system;
+    let n = system.num_syms();
+    let mut uf = Uf::new(n);
+    let mut check_stats = SolveStats::default();
+
+    // ---- Stage 1: chain collapse (Example 4). ----
+    // Count lower bounds per symbol.
+    let mut bounds: HashMap<PSym, Vec<&PExpr>> = HashMap::new();
+    for s in &system.subset_obligations {
+        if let PExpr::Sym(p) = s.rhs {
+            bounds.entry(p).or_default().push(&s.lhs);
+        }
+    }
+    // Merge symbols whose single lower bound is a plain symbol of the same
+    // region. Iterate to fixpoint (chains collapse transitively via find()).
+    for (p, bs) in &bounds {
+        if bs.len() == 1 {
+            if let PExpr::Sym(base) = bs[0] {
+                if system.sym_region(*base) == system.sym_region(*p) {
+                    let rep = uf.find(*base);
+                    // Avoid self-merge cycles.
+                    if rep != Rep::Sym(*p) {
+                        uf.union(rep, *p);
+                    }
+                }
+            }
+        }
+    }
+
+    // ---- Stage 2: Algorithm 3 (inter-loop + external unification). ----
+    // Per-loop constraint sets, sorted by size descending.
+    let mut groups: Vec<Vec<&Subset>> = inference
+        .loops
+        .iter()
+        .map(|l| l.span.subsets.iter().map(|&i| &system.subset_obligations[i]).collect())
+        .collect();
+    groups.sort_by_key(|g: &Vec<&Subset>| std::cmp::Reverse(g.len()));
+
+    // Accumulated constraint set starts with the external facts.
+    let fact_refs: Vec<&Subset> = system.subset_facts.iter().collect();
+    let mut acc: Vec<&Subset> = fact_refs;
+    if let Some(first) = groups.first() {
+        acc.extend(first.iter().copied());
+    }
+
+    const MAX_TRIES: usize = 8;
+    for gi in 1..groups.len().max(1) {
+        if gi >= groups.len() {
+            break;
+        }
+        loop {
+            let ga = build_graph(&acc, system, &uf);
+            let gb = build_graph(&groups[gi], system, &uf);
+            let candidates = candidate_matches(&ga, &gb);
+            let mut committed = false;
+            for m in candidates.into_iter().take(MAX_TRIES) {
+                // Build the tentative union.
+                let mut trial = Uf { parent: uf.parent.clone() };
+                let mut any = false;
+                let mut ok = true;
+                for (na, nb) in &m.pairs {
+                    match (na, nb) {
+                        (GNode::Sym(a), GNode::Sym(b)) if a != b => {
+                            let ra = trial.find(*a);
+                            if ra == Rep::Sym(*b) {
+                                ok = false;
+                                break;
+                            }
+                            trial.union(ra, *b);
+                            any = true;
+                        }
+                        (GNode::Ext(x), GNode::Sym(b)) | (GNode::Sym(b), GNode::Ext(x)) => {
+                            trial.union(Rep::Ext(*x), *b);
+                            any = true;
+                        }
+                        _ => {}
+                    }
+                }
+                if !ok || !any {
+                    continue;
+                }
+                // Consistency: the rewritten system must still be solvable.
+                let trial_system = rewrite_system(system, &trial);
+                let forced = forced_bindings(system, &trial);
+                match solve_with(&trial_system, fns, &forced) {
+                    Ok(sol) => {
+                        check_stats.nodes_explored += sol.stats.nodes_explored;
+                        check_stats.backtracks += sol.stats.backtracks;
+                        uf = trial;
+                        committed = true;
+                        break;
+                    }
+                    Err(_) => continue,
+                }
+            }
+            if !committed {
+                break;
+            }
+        }
+        acc.extend(groups[gi].iter().copied());
+    }
+
+    // Also attempt unification of the *first* group (and collapsed chains)
+    // against the external facts, which the loop above skips when there is
+    // only one group.
+    if groups.len() == 1 && !system.subset_facts.is_empty() {
+        loop {
+            let facts: Vec<&Subset> = system.subset_facts.iter().collect();
+            let ga = build_graph(&facts, system, &uf);
+            let gb = build_graph(&groups[0], system, &uf);
+            let candidates = candidate_matches(&ga, &gb);
+            let mut committed = false;
+            for m in candidates.into_iter().take(MAX_TRIES) {
+                let mut trial = Uf { parent: uf.parent.clone() };
+                let mut any = false;
+                for (na, nb) in &m.pairs {
+                    match (na, nb) {
+                        (GNode::Ext(x), GNode::Sym(b)) | (GNode::Sym(b), GNode::Ext(x)) => {
+                            trial.union(Rep::Ext(*x), *b);
+                            any = true;
+                        }
+                        (GNode::Sym(a), GNode::Sym(b)) if a != b => {
+                            let ra = trial.find(*a);
+                            if ra != Rep::Sym(*b) {
+                                trial.union(ra, *b);
+                                any = true;
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                if !any {
+                    continue;
+                }
+                let trial_system = rewrite_system(system, &trial);
+                let forced = forced_bindings(system, &trial);
+                if let Ok(sol) = solve_with(&trial_system, fns, &forced) {
+                    check_stats.nodes_explored += sol.stats.nodes_explored;
+                    check_stats.backtracks += sol.stats.backtracks;
+                    uf = trial;
+                    committed = true;
+                    break;
+                }
+            }
+            if !committed {
+                break;
+            }
+        }
+    }
+
+    // ---- Stage 3: direct fact matching. ----
+    // Graph matching cannot express unifications where a fact's edge is a
+    // self-loop on an external (PENNANT's recursive side-neighbor
+    // invariants `image(rs_p, mapss3, rs) ⊆ rs_p`): the product mapping
+    // would need one node on two targets. Handle those directly: an
+    // obligation `E ⊆ P` whose rewritten lhs `E` is closed and structurally
+    // equal to a fact's lhs, with the fact's rhs an external, unifies
+    // `P := that external` (checked for solvability like any unification).
+    loop {
+        let mut changed = false;
+        let obligations: Vec<Subset> = system
+            .subset_obligations
+            .iter()
+            .map(|s| Subset { lhs: uf.rewrite(&s.lhs), rhs: uf.rewrite(&s.rhs) })
+            .collect();
+        for o in &obligations {
+            let PExpr::Sym(p) = o.rhs else { continue };
+            if !o.lhs.is_closed() {
+                continue;
+            }
+            for fact in &system.subset_facts {
+                let fact_lhs = uf.rewrite(&fact.lhs);
+                if fact_lhs != o.lhs {
+                    continue;
+                }
+                let PExpr::Ext(y) = uf.rewrite(&fact.rhs) else { continue };
+                if system.ext_region(y) != system.sym_region(p) {
+                    continue;
+                }
+                let mut trial = Uf { parent: uf.parent.clone() };
+                trial.union(Rep::Ext(y), p);
+                let trial_system = rewrite_system(system, &trial);
+                let forced = forced_bindings(system, &trial);
+                if let Ok(sol) = solve_with(&trial_system, fns, &forced) {
+                    check_stats.nodes_explored += sol.stats.nodes_explored;
+                    check_stats.backtracks += sol.stats.backtracks;
+                    uf = trial;
+                    changed = true;
+                    break;
+                }
+            }
+            if changed {
+                break;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // ---- Stage 4: edge-less iteration symbols. ----
+    // A loop whose accesses are all centered (e.g. PENNANT's point/zone
+    // update loops) contributes no subset edges, so graph matching never
+    // connects its iteration symbol to the user's partitions. Maximal
+    // unification still wants them merged: try each declared external of
+    // the same region, in declaration order, keeping the first that leaves
+    // the system solvable (the consistency check proves the external
+    // satisfies COMP — and DISJ where required — from the declared facts).
+    for il in &inference.loops {
+        let s = il.iter_sym;
+        if uf.find(s) != Rep::Sym(s) {
+            continue; // already unified
+        }
+        let region = system.sym_region(s);
+        // Loops with centered reductions need a disjoint iteration
+        // partition at runtime, so only provably-disjoint externals
+        // qualify for them.
+        let needs_disjoint = il
+            .summary
+            .accesses
+            .iter()
+            .any(|a| a.kind.is_reduce() && a.is_centered());
+        for (xi, ext) in system.externals.iter().enumerate() {
+            if ext.region != region {
+                continue;
+            }
+            let x = crate::lang::ExtId(xi as u32);
+            if needs_disjoint {
+                let ctx = crate::lemmas::FactCtx::new(system, fns);
+                if !crate::lemmas::prove_disj(&PExpr::ext(x), &ctx) {
+                    continue;
+                }
+            }
+            let mut trial = Uf { parent: uf.parent.clone() };
+            trial.union(Rep::Ext(x), s);
+            let trial_system = rewrite_system(system, &trial);
+            let forced = forced_bindings(system, &trial);
+            if let Ok(sol) = solve_with(&trial_system, fns, &forced) {
+                check_stats.nodes_explored += sol.stats.nodes_explored;
+                check_stats.backtracks += sol.stats.backtracks;
+                uf = trial;
+                break;
+            }
+        }
+    }
+
+    let rewritten = rewrite_system(system, &uf);
+    let rep: Vec<Rep> = (0..n)
+        .map(|i| {
+            let s = PSym(i as u32);
+            match uf.find(s) {
+                Rep::Sym(t) if t == s => Rep::SelfSym,
+                other => match other {
+                    Rep::Sym(t) => Rep::Sym(t),
+                    Rep::Ext(x) => Rep::Ext(x),
+                    Rep::SelfSym => Rep::SelfSym,
+                },
+            }
+        })
+        .collect();
+    let merged = rep.iter().filter(|r| !matches!(r, Rep::SelfSym)).count();
+    Unified { system: rewritten, rep, merged, check_stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::infer::infer;
+    use partir_dpl::region::{FieldKind, Schema};
+    use partir_ir::ast::{LoopBuilder, ReduceOp, VExpr};
+
+    /// Figure 1a both loops; checks the Figure 9 unification.
+    #[test]
+    fn figure9_unifies_cells_partitions_across_loops() {
+        let mut schema = Schema::new();
+        let cells = schema.add_region("Cells", 100);
+        let particles = schema.add_region("Particles", 1000);
+        let cell_f = schema.add_field(particles, "cell", FieldKind::Ptr(cells));
+        let pos = schema.add_field(particles, "pos", FieldKind::F64);
+        let vel = schema.add_field(cells, "vel", FieldKind::F64);
+        let acc = schema.add_field(cells, "acc", FieldKind::F64);
+        let mut fns = FnTable::new();
+        let fcell = fns.add_ptr_field("cell", particles, cells, cell_f);
+        let h = fns.add(
+            "h",
+            cells,
+            cells,
+            partir_dpl::func::FnDef::Index(partir_dpl::func::IndexFn::AffineMod {
+                mul: 1,
+                add: 1,
+                modulus: 100,
+            }),
+        );
+
+        let mut b = LoopBuilder::new("particles", particles);
+        let p = b.loop_var();
+        let c = b.idx_read(particles, cell_f, p, fcell);
+        let v1 = b.val_read(cells, vel, c);
+        let hc = b.idx_apply(h, c);
+        let v2 = b.val_read(cells, vel, hc);
+        b.val_reduce(particles, pos, p, ReduceOp::Add, VExpr::add(VExpr::var(v1), VExpr::var(v2)));
+        let l1 = b.finish();
+
+        let mut b = LoopBuilder::new("cells", cells);
+        let cv = b.loop_var();
+        let a1 = b.val_read(cells, acc, cv);
+        let hc = b.idx_apply(h, cv);
+        let a2 = b.val_read(cells, acc, hc);
+        b.val_reduce(cells, vel, cv, ReduceOp::Add, VExpr::add(VExpr::var(a1), VExpr::var(a2)));
+        let l2 = b.finish();
+
+        let inf = infer(&[l1, l2], &fns, &schema).unwrap();
+        let uni = unify(&inf, &fns);
+
+        // Loop 1's Cells[c] access unifies with loop 2's iteration symbol
+        // (both are partitions of Cells constrained by the same h-edge), and
+        // the two h-image accesses unify.
+        let p2 = inf.loops[0].access_syms[1]; // Cells[c].vel
+        let p3 = inf.loops[0].access_syms[2]; // Cells[h(c)].vel
+        let l2_iter = inf.loops[1].iter_sym;
+        let l2_h = inf.loops[1].access_syms[1]; // Cells[h(c)].acc
+        let r_p2 = uni.resolve(p2);
+        let r_iter2 = uni.resolve(l2_iter);
+        assert_eq!(r_p2, r_iter2, "P2 and P4 unified (Figure 9b)");
+        assert_eq!(uni.resolve(p3), uni.resolve(l2_h), "P3 and P5 unified");
+
+        // The rewritten system is solvable and produces Program B shapes.
+        let sol = crate::solve::solve(&uni.system, &fns).expect("solvable after unification");
+        // All centered Particles accesses share the iteration partition.
+        let iter1 = inf.loops[0].iter_sym;
+        let cell_read = inf.loops[0].access_syms[0];
+        assert_eq!(uni.resolve(cell_read), uni.resolve(iter1));
+        // Fewest partitions: Particles preimage + Cells equal + Cells image.
+        let resolved_syms: std::collections::BTreeSet<String> = (0..inf.system.num_syms())
+            .map(|i| {
+                let e = uni.resolve(PSym(i as u32));
+                match e {
+                    PExpr::Sym(s) => format!("{:?}", sol.expr_for(s)),
+                    other => format!("{other:?}"),
+                }
+            })
+            .collect();
+        assert_eq!(resolved_syms.len(), 3, "{resolved_syms:?}");
+    }
+
+    /// Example 6: unification against external facts discharges constraints.
+    #[test]
+    fn example6_external_unification() {
+        let mut schema = Schema::new();
+        let cells = schema.add_region("Cells", 100);
+        let particles = schema.add_region("Particles", 1000);
+        let cell_f = schema.add_field(particles, "cell", FieldKind::Ptr(cells));
+        let pos = schema.add_field(particles, "pos", FieldKind::F64);
+        let vel = schema.add_field(cells, "vel", FieldKind::F64);
+        let mut fns = FnTable::new();
+        let fcell = fns.add_ptr_field("cell", particles, cells, cell_f);
+        let h = fns.add(
+            "h",
+            cells,
+            cells,
+            partir_dpl::func::FnDef::Index(partir_dpl::func::IndexFn::AffineMod {
+                mul: 1,
+                add: 1,
+                modulus: 100,
+            }),
+        );
+
+        let mut b = LoopBuilder::new("particles", particles);
+        let p = b.loop_var();
+        let c = b.idx_read(particles, cell_f, p, fcell);
+        let v1 = b.val_read(cells, vel, c);
+        let hc = b.idx_apply(h, c);
+        let v2 = b.val_read(cells, vel, hc);
+        b.val_reduce(particles, pos, p, ReduceOp::Add, VExpr::add(VExpr::var(v1), VExpr::var(v2)));
+        let l1 = b.finish();
+
+        let mut inf = infer(&[l1], &fns, &schema).unwrap();
+        // User invariant: image(pParticles, cell, Cells) ⊆ pCells, with
+        // pParticles disjoint+complete.
+        let p_particles = inf.system.add_external("pParticles", particles);
+        let p_cells = inf.system.add_external("pCells", cells);
+        inf.system.assume_fact_subset(
+            PExpr::image(PExpr::ext(p_particles), FnRef::Fn(fcell), cells),
+            PExpr::ext(p_cells),
+        );
+        inf.system.assume_fact_pred(Pred::Disj(PExpr::ext(p_particles)));
+        inf.system.assume_fact_pred(Pred::Comp(PExpr::ext(p_particles), particles));
+
+        let uni = unify(&inf, &fns);
+        let iter = inf.loops[0].iter_sym;
+        let cells_acc = inf.loops[0].access_syms[1];
+        assert_eq!(uni.resolve(iter), PExpr::ext(p_particles), "P1 = pParticles");
+        assert_eq!(uni.resolve(cells_acc), PExpr::ext(p_cells), "P2 = pCells");
+        // The h access remains a symbol solved as image(pCells, h, Cells).
+        let sol = crate::solve::solve(&uni.system, &fns).expect("solvable");
+        let h_acc = inf.loops[0].access_syms[2];
+        match uni.resolve(h_acc) {
+            PExpr::Sym(s) => {
+                assert_eq!(
+                    sol.expr_for(s),
+                    &PExpr::image(PExpr::ext(p_cells), FnRef::Fn(h), cells)
+                );
+            }
+            other => panic!("unexpected resolution {other:?}"),
+        }
+    }
+
+    /// Chain collapse merges centered access symbols into the iteration
+    /// symbol (Example 4).
+    #[test]
+    fn chain_collapse_centered_accesses() {
+        let mut schema = Schema::new();
+        let r = schema.add_region("R", 10);
+        let fx = schema.add_field(r, "x", FieldKind::F64);
+        let fy = schema.add_field(r, "y", FieldKind::F64);
+        let fns = FnTable::new();
+        let mut b = LoopBuilder::new("l", r);
+        let i = b.loop_var();
+        let x = b.val_read(r, fx, i);
+        b.val_write(r, fy, i, VExpr::var(x));
+        let lp = b.finish();
+        let inf = infer(&[lp], &fns, &schema).unwrap();
+        let uni = unify(&inf, &fns);
+        let iter = inf.loops[0].iter_sym;
+        for &a in &inf.loops[0].access_syms {
+            assert_eq!(uni.resolve(a), uni.resolve(iter));
+        }
+        assert_eq!(uni.merged, 2);
+    }
+}

@@ -1,0 +1,440 @@
+//! Sorted-interval index sets.
+//!
+//! Every subregion of a region is a set of element indices. Partitioning
+//! workloads produce sets that are mostly made of long contiguous runs
+//! (block partitions, CSR row ranges, halo bands), so we store a set as a
+//! sorted vector of disjoint half-open intervals `[start, end)`. This keeps
+//! `equal`-style partitions O(1) in space and makes union / intersection /
+//! difference linear in the number of runs rather than the number of
+//! elements.
+
+use std::fmt;
+
+/// Element index within a region's index space.
+pub type Idx = u64;
+
+/// A set of indices stored as sorted, disjoint, non-adjacent half-open runs.
+///
+/// Invariants (checked by [`IndexSet::check_invariants`], enforced by every
+/// constructor):
+/// * runs are sorted by start,
+/// * `start < end` for every run,
+/// * consecutive runs are separated by a gap (`prev.end < next.start`), so
+///   the representation of a set is unique.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct IndexSet {
+    runs: Vec<(Idx, Idx)>,
+}
+
+impl IndexSet {
+    /// The empty set.
+    pub fn new() -> Self {
+        IndexSet { runs: Vec::new() }
+    }
+
+    /// The contiguous range `[start, end)`. An empty range yields the empty set.
+    pub fn from_range(start: Idx, end: Idx) -> Self {
+        if start >= end {
+            IndexSet::new()
+        } else {
+            IndexSet { runs: vec![(start, end)] }
+        }
+    }
+
+    /// Builds a set from an arbitrary (unsorted, possibly duplicated)
+    /// sequence of indices.
+    pub fn from_indices<I: IntoIterator<Item = Idx>>(iter: I) -> Self {
+        let mut v: Vec<Idx> = iter.into_iter().collect();
+        v.sort_unstable();
+        v.dedup();
+        Self::from_sorted_dedup(&v)
+    }
+
+    /// Builds a set from a sorted, deduplicated slice of indices.
+    pub fn from_sorted_dedup(v: &[Idx]) -> Self {
+        let mut runs: Vec<(Idx, Idx)> = Vec::new();
+        for &i in v {
+            match runs.last_mut() {
+                Some((_, end)) if *end == i => *end = i + 1,
+                _ => runs.push((i, i + 1)),
+            }
+        }
+        IndexSet { runs }
+    }
+
+    /// Builds directly from runs that are already sorted and disjoint;
+    /// merges adjacent runs to restore canonical form.
+    pub fn from_sorted_runs(runs: Vec<(Idx, Idx)>) -> Self {
+        let mut out: Vec<(Idx, Idx)> = Vec::with_capacity(runs.len());
+        for (s, e) in runs {
+            if s >= e {
+                continue;
+            }
+            match out.last_mut() {
+                Some((_, pe)) if *pe >= s => {
+                    debug_assert!(*pe <= e || *pe >= e, "overlap allowed, merged");
+                    if e > *pe {
+                        *pe = e;
+                    }
+                }
+                _ => out.push((s, e)),
+            }
+        }
+        IndexSet { runs: out }
+    }
+
+    /// Number of elements in the set.
+    pub fn len(&self) -> u64 {
+        self.runs.iter().map(|&(s, e)| e - s).sum()
+    }
+
+    /// True when the set has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+
+    /// Number of stored runs (representation size).
+    pub fn run_count(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// The underlying runs, sorted and disjoint.
+    pub fn runs(&self) -> &[(Idx, Idx)] {
+        &self.runs
+    }
+
+    /// Smallest element, if any.
+    pub fn min(&self) -> Option<Idx> {
+        self.runs.first().map(|&(s, _)| s)
+    }
+
+    /// Largest element, if any.
+    pub fn max(&self) -> Option<Idx> {
+        self.runs.last().map(|&(_, e)| e - 1)
+    }
+
+    /// Membership test, O(log runs).
+    pub fn contains(&self, i: Idx) -> bool {
+        match self.runs.binary_search_by(|&(s, _)| s.cmp(&i)) {
+            Ok(_) => true,
+            Err(pos) => pos > 0 && i < self.runs[pos - 1].1,
+        }
+    }
+
+    /// Iterates over all member indices in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = Idx> + '_ {
+        self.runs.iter().flat_map(|&(s, e)| s..e)
+    }
+
+    /// Rank of `i` within the set (its position in ascending iteration
+    /// order), or `None` when `i` is not a member. O(log runs); used to
+    /// index dense per-subregion reduction buffers.
+    pub fn rank(&self, i: Idx) -> Option<u64> {
+        let pos = self.runs.partition_point(|&(s, _)| s <= i);
+        if pos == 0 {
+            return None;
+        }
+        let (s, e) = self.runs[pos - 1];
+        if i >= e {
+            return None;
+        }
+        let before: u64 = self.runs[..pos - 1].iter().map(|&(rs, re)| re - rs).sum();
+        Some(before + (i - s))
+    }
+
+    /// Set union.
+    pub fn union(&self, other: &IndexSet) -> IndexSet {
+        let mut out: Vec<(Idx, Idx)> = Vec::with_capacity(self.runs.len() + other.runs.len());
+        let (mut a, mut b) = (self.runs.iter().peekable(), other.runs.iter().peekable());
+        let push = |out: &mut Vec<(Idx, Idx)>, (s, e): (Idx, Idx)| match out.last_mut() {
+            Some((_, pe)) if *pe >= s => {
+                if e > *pe {
+                    *pe = e;
+                }
+            }
+            _ => out.push((s, e)),
+        };
+        loop {
+            let next = match (a.peek(), b.peek()) {
+                (Some(&&ra), Some(&&rb)) => {
+                    if ra.0 <= rb.0 {
+                        a.next();
+                        ra
+                    } else {
+                        b.next();
+                        rb
+                    }
+                }
+                (Some(&&ra), None) => {
+                    a.next();
+                    ra
+                }
+                (None, Some(&&rb)) => {
+                    b.next();
+                    rb
+                }
+                (None, None) => break,
+            };
+            push(&mut out, next);
+        }
+        IndexSet { runs: out }
+    }
+
+    /// Set intersection.
+    pub fn intersect(&self, other: &IndexSet) -> IndexSet {
+        let mut out: Vec<(Idx, Idx)> = Vec::new();
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < self.runs.len() && j < other.runs.len() {
+            let (s1, e1) = self.runs[i];
+            let (s2, e2) = other.runs[j];
+            let s = s1.max(s2);
+            let e = e1.min(e2);
+            if s < e {
+                out.push((s, e));
+            }
+            if e1 <= e2 {
+                i += 1;
+            } else {
+                j += 1;
+            }
+        }
+        IndexSet { runs: out }
+    }
+
+    /// Set difference `self − other`.
+    pub fn difference(&self, other: &IndexSet) -> IndexSet {
+        let mut out: Vec<(Idx, Idx)> = Vec::new();
+        let mut j = 0usize;
+        for &(s, e) in &self.runs {
+            let mut cur = s;
+            while j < other.runs.len() && other.runs[j].1 <= cur {
+                j += 1;
+            }
+            let mut k = j;
+            while cur < e {
+                if k >= other.runs.len() || other.runs[k].0 >= e {
+                    out.push((cur, e));
+                    break;
+                }
+                let (os, oe) = other.runs[k];
+                if os > cur {
+                    out.push((cur, os.min(e)));
+                }
+                if oe >= e {
+                    break;
+                }
+                cur = cur.max(oe);
+                k += 1;
+            }
+        }
+        IndexSet { runs: out }
+    }
+
+    /// Complement within the universe `[0, size)`.
+    pub fn complement_within(&self, size: Idx) -> IndexSet {
+        IndexSet::from_range(0, size).difference(self)
+    }
+
+    /// True when `self ⊆ other`.
+    pub fn is_subset(&self, other: &IndexSet) -> bool {
+        let mut j = 0usize;
+        for &(s, e) in &self.runs {
+            while j < other.runs.len() && other.runs[j].1 <= s {
+                j += 1;
+            }
+            match other.runs.get(j) {
+                Some(&(os, oe)) if os <= s && e <= oe => {}
+                _ => return false,
+            }
+        }
+        true
+    }
+
+    /// True when the two sets share no element.
+    pub fn is_disjoint(&self, other: &IndexSet) -> bool {
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < self.runs.len() && j < other.runs.len() {
+            let (s1, e1) = self.runs[i];
+            let (s2, e2) = other.runs[j];
+            if s1.max(s2) < e1.min(e2) {
+                return false;
+            }
+            if e1 <= e2 {
+                i += 1;
+            } else {
+                j += 1;
+            }
+        }
+        true
+    }
+
+    /// Validates the canonical-representation invariants (debug aid).
+    pub fn check_invariants(&self) -> bool {
+        self.runs.iter().all(|&(s, e)| s < e)
+            && self.runs.windows(2).all(|w| w[0].1 < w[1].0)
+    }
+}
+
+impl fmt::Debug for IndexSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (k, &(s, e)) in self.runs.iter().enumerate() {
+            if k > 0 {
+                write!(f, ", ")?;
+            }
+            if e == s + 1 {
+                write!(f, "{s}")?;
+            } else {
+                write!(f, "{s}..{e}")?;
+            }
+        }
+        write!(f, "}}")
+    }
+}
+
+impl FromIterator<Idx> for IndexSet {
+    fn from_iter<I: IntoIterator<Item = Idx>>(iter: I) -> Self {
+        IndexSet::from_indices(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(v: &[Idx]) -> IndexSet {
+        IndexSet::from_indices(v.iter().copied())
+    }
+
+    #[test]
+    fn empty_set_basics() {
+        let s = IndexSet::new();
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+        assert!(!s.contains(0));
+        assert!(s.check_invariants());
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+    }
+
+    #[test]
+    fn range_constructor() {
+        let s = IndexSet::from_range(3, 7);
+        assert_eq!(s.len(), 4);
+        assert!(s.contains(3) && s.contains(6));
+        assert!(!s.contains(2) && !s.contains(7));
+        assert!(IndexSet::from_range(5, 5).is_empty());
+        assert!(IndexSet::from_range(7, 3).is_empty());
+    }
+
+    #[test]
+    fn from_indices_coalesces_runs() {
+        let s = set(&[1, 2, 3, 7, 8, 10, 2, 3]);
+        assert_eq!(s.run_count(), 3);
+        assert_eq!(s.len(), 6);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![1, 2, 3, 7, 8, 10]);
+    }
+
+    #[test]
+    fn from_sorted_runs_merges_adjacent_and_overlapping() {
+        let s = IndexSet::from_sorted_runs(vec![(0, 3), (3, 5), (7, 9), (8, 12), (15, 15)]);
+        assert_eq!(s.runs(), &[(0, 5), (7, 12)]);
+        assert!(s.check_invariants());
+    }
+
+    #[test]
+    fn union_basic() {
+        let a = set(&[1, 2, 3, 10]);
+        let b = set(&[3, 4, 5, 11]);
+        let u = a.union(&b);
+        assert_eq!(u.iter().collect::<Vec<_>>(), vec![1, 2, 3, 4, 5, 10, 11]);
+        assert!(u.check_invariants());
+    }
+
+    #[test]
+    fn union_with_empty_is_identity() {
+        let a = set(&[4, 9, 100]);
+        assert_eq!(a.union(&IndexSet::new()), a);
+        assert_eq!(IndexSet::new().union(&a), a);
+    }
+
+    #[test]
+    fn intersect_basic() {
+        let a = IndexSet::from_range(0, 10);
+        let b = set(&[5, 6, 12]);
+        assert_eq!(a.intersect(&b).iter().collect::<Vec<_>>(), vec![5, 6]);
+    }
+
+    #[test]
+    fn difference_splits_runs() {
+        let a = IndexSet::from_range(0, 10);
+        let b = set(&[3, 4, 7]);
+        let d = a.difference(&b);
+        assert_eq!(d.iter().collect::<Vec<_>>(), vec![0, 1, 2, 5, 6, 8, 9]);
+        assert!(d.check_invariants());
+    }
+
+    #[test]
+    fn difference_from_empty() {
+        let a = IndexSet::new();
+        let b = set(&[1, 2]);
+        assert!(a.difference(&b).is_empty());
+        assert_eq!(b.difference(&a), b);
+    }
+
+    #[test]
+    fn complement_within_universe() {
+        let a = set(&[0, 1, 5]);
+        let c = a.complement_within(7);
+        assert_eq!(c.iter().collect::<Vec<_>>(), vec![2, 3, 4, 6]);
+    }
+
+    #[test]
+    fn subset_and_disjoint() {
+        let a = set(&[1, 2, 8]);
+        let b = IndexSet::from_range(0, 10);
+        assert!(a.is_subset(&b));
+        assert!(!b.is_subset(&a));
+        assert!(a.is_subset(&a));
+        let c = set(&[3, 4]);
+        assert!(a.is_disjoint(&c));
+        assert!(!a.is_disjoint(&b));
+        assert!(IndexSet::new().is_disjoint(&a));
+        assert!(IndexSet::new().is_subset(&a));
+    }
+
+    #[test]
+    fn contains_uses_binary_search_boundaries() {
+        let s = IndexSet::from_sorted_runs(vec![(10, 20), (30, 40)]);
+        assert!(s.contains(10));
+        assert!(s.contains(19));
+        assert!(!s.contains(20));
+        assert!(!s.contains(29));
+        assert!(s.contains(30));
+        assert!(!s.contains(40));
+        assert!(!s.contains(9));
+    }
+
+    #[test]
+    fn rank_positions() {
+        let s = IndexSet::from_sorted_runs(vec![(10, 13), (20, 22)]);
+        assert_eq!(s.rank(10), Some(0));
+        assert_eq!(s.rank(12), Some(2));
+        assert_eq!(s.rank(13), None);
+        assert_eq!(s.rank(20), Some(3));
+        assert_eq!(s.rank(21), Some(4));
+        assert_eq!(s.rank(22), None);
+        assert_eq!(s.rank(0), None);
+        assert_eq!(IndexSet::new().rank(5), None);
+        // rank agrees with iteration order.
+        for (k, i) in s.iter().enumerate() {
+            assert_eq!(s.rank(i), Some(k as u64));
+        }
+    }
+
+    #[test]
+    fn debug_format_is_compact() {
+        let s = set(&[1, 5, 6, 7]);
+        assert_eq!(format!("{s:?}"), "{1, 5..8}");
+    }
+}

@@ -1,0 +1,51 @@
+//! # partir-dpl — first-class regions, partitions, and DPL operators
+//!
+//! This crate is the data-partitioning substrate of the `partir` workspace:
+//! a from-scratch implementation of the region/partition model that the
+//! SC'19 paper *"A Constraint-Based Approach to Automatic Data Partitioning
+//! for Distributed Memory Execution"* builds on (Regent's first-class
+//! partitions and the Dependent Partitioning Language of Treichler et al.).
+//!
+//! Contents:
+//! * [`index_set`] — canonical sorted-interval index sets;
+//! * [`region`] — region schemas and runtime field stores;
+//! * [`partition`] — first-class partitions with checkable `DISJ`/`COMP`;
+//! * [`func`] — partitioning functions (affine, pointer-field, set-valued);
+//! * [`ops`] — the DPL operators `equal`, `image`, `preimage`,
+//!   `IMAGE`/`PREIMAGE`, and pointwise `∪ ∩ −`.
+//!
+//! ```
+//! use partir_dpl::prelude::*;
+//!
+//! // Partition a 100-element region into 4 equal blocks and derive the
+//! // image partition under i ↦ i+1 (a halo-style neighbor map).
+//! let mut schema = Schema::new();
+//! let r = schema.add_region("R", 100);
+//! let store = Store::new(schema);
+//! let mut fns = FnTable::new();
+//! let next = fns.add_affine("next", r, r, 1, 1);
+//!
+//! let p = equal(r, 100, 4);
+//! let img = image(&store, &fns, &p, next, r);
+//! assert!(p.is_disjoint() && p.is_complete(100));
+//! assert_eq!(img.subregion(0).max(), Some(25));
+//! ```
+
+pub mod func;
+pub mod index_set;
+pub mod ops;
+pub mod partition;
+pub mod region;
+
+/// Convenient re-exports of the whole substrate API.
+pub mod prelude {
+    pub use crate::func::{FnDef, FnId, FnTable, IndexFn, MultiFn, NamedFn};
+    pub use crate::index_set::{Idx, IndexSet};
+    pub use crate::ops::{
+        difference_pointwise, equal, image, intersect_pointwise, preimage, union_pointwise,
+    };
+    pub use crate::partition::Partition;
+    pub use crate::region::{FieldData, FieldId, FieldKind, RegionId, Schema, Store};
+}
+
+pub use prelude::*;

@@ -1,0 +1,309 @@
+//! The Dependent Partitioning Language operators.
+//!
+//! These functions implement the operator semantics of Figure 5 / Section 2
+//! verbatim:
+//!
+//! * [`equal`]`(R, N)` — a complete, disjoint partition of `R` into `N`
+//!   (approximately) equal-size blocks;
+//! * [`image`]`(E, f, R)[i] = { f(k) ∈ R | k ∈ E[i] }`;
+//! * [`preimage`]`(R, f, E)[i] = { k ∈ R | f(k) ∈ E[i] }`;
+//! * the generalized `IMAGE`/`PREIMAGE` of Section 4 for set-valued
+//!   functions (both entry points below dispatch on the function kind, since
+//!   `image(E, f, R) = IMAGE(E, f↑, R)`);
+//! * [`union_pointwise`], [`intersect_pointwise`], [`difference_pointwise`] —
+//!   subregion-wise set algebra `(E1 ⋄ E2)[i] = E1[i] ⋄ E2[i]`.
+
+use crate::func::{FnDef, FnId, FnTable};
+use crate::index_set::{Idx, IndexSet};
+use crate::partition::Partition;
+use crate::region::{RegionId, Store};
+
+/// `equal(R, n)`: splits `[0, size)` into `n` contiguous blocks whose sizes
+/// differ by at most one. The result is disjoint and complete (lemma L1).
+pub fn equal(region: RegionId, size: u64, n: usize) -> Partition {
+    assert!(n > 0, "equal() needs at least one subregion");
+    let n64 = n as u64;
+    let subregions = (0..n64)
+        .map(|i| {
+            let start = size * i / n64;
+            let end = size * (i + 1) / n64;
+            IndexSet::from_range(start, end)
+        })
+        .collect();
+    Partition::new(region, subregions)
+}
+
+/// `image(E, f, R)` / `IMAGE(E, F, R)`: derives a partition of the target
+/// region from an existing partition of the function's domain.
+pub fn image(
+    store: &Store,
+    table: &FnTable,
+    src: &Partition,
+    f: FnId,
+    target: RegionId,
+) -> Partition {
+    let target_size = store.schema().region_size(target);
+    let def = &table.get(f).def;
+    let mut scratch: Vec<Idx> = Vec::new();
+    let subregions = src
+        .iter()
+        .map(|sub| {
+            scratch.clear();
+            match def {
+                FnDef::Index(func) => {
+                    for k in sub.iter() {
+                        if let Some(v) = func.eval(store, k, target_size) {
+                            scratch.push(v);
+                        }
+                    }
+                }
+                FnDef::Multi(func) => {
+                    for k in sub.iter() {
+                        func.eval_into(store, k, target_size, &mut scratch);
+                    }
+                }
+            }
+            IndexSet::from_indices(scratch.iter().copied())
+        })
+        .collect();
+    Partition::new(target, subregions)
+}
+
+/// `preimage(R, f, E)` / `PREIMAGE(R, F, E)`: derives a partition of the
+/// function's domain from an existing partition of its range.
+///
+/// Implemented by materializing all `(f(k), k)` pairs sorted by image value,
+/// then gathering, for each subregion run `[s, e)` of `E[i]`, every domain
+/// element whose image lands in the run — `O(|R| log |R| + Σ runs·log)`
+/// instead of the naive `O(|R| · #subregions)`.
+pub fn preimage(
+    store: &Store,
+    table: &FnTable,
+    domain: RegionId,
+    f: FnId,
+    src: &Partition,
+) -> Partition {
+    let domain_size = store.schema().region_size(domain);
+    let range_size = store.schema().region_size(src.region);
+    let def = &table.get(f).def;
+
+    // (image value, domain element), sorted by image value.
+    let mut pairs: Vec<(Idx, Idx)> = Vec::with_capacity(domain_size as usize);
+    match def {
+        FnDef::Index(func) => {
+            for k in 0..domain_size {
+                if let Some(v) = func.eval(store, k, range_size) {
+                    pairs.push((v, k));
+                }
+            }
+        }
+        FnDef::Multi(func) => {
+            let mut tmp = Vec::new();
+            for k in 0..domain_size {
+                tmp.clear();
+                func.eval_into(store, k, range_size, &mut tmp);
+                pairs.extend(tmp.iter().map(|&v| (v, k)));
+            }
+        }
+    }
+    pairs.sort_unstable();
+
+    let subregions = src
+        .iter()
+        .map(|sub| {
+            let mut members: Vec<Idx> = Vec::new();
+            for &(s, e) in sub.runs() {
+                let lo = pairs.partition_point(|&(v, _)| v < s);
+                let hi = pairs.partition_point(|&(v, _)| v < e);
+                members.extend(pairs[lo..hi].iter().map(|&(_, k)| k));
+            }
+            IndexSet::from_indices(members)
+        })
+        .collect();
+    Partition::new(domain, subregions)
+}
+
+/// Pads two partitions to the same number of subregions (missing subregions
+/// are empty, matching the index-set-subsumption reading of Section 2).
+fn zip_pointwise(
+    a: &Partition,
+    b: &Partition,
+    f: impl Fn(&IndexSet, &IndexSet) -> IndexSet,
+) -> Partition {
+    assert_eq!(a.region, b.region, "pointwise ops require the same region");
+    let n = a.num_subregions().max(b.num_subregions());
+    let empty = IndexSet::new();
+    let subregions = (0..n)
+        .map(|i| {
+            let x = if i < a.num_subregions() { a.subregion(i) } else { &empty };
+            let y = if i < b.num_subregions() { b.subregion(i) } else { &empty };
+            f(x, y)
+        })
+        .collect();
+    Partition::new(a.region, subregions)
+}
+
+/// `(E1 ∪ E2)[i] = E1[i] ∪ E2[i]`.
+pub fn union_pointwise(a: &Partition, b: &Partition) -> Partition {
+    zip_pointwise(a, b, IndexSet::union)
+}
+
+/// `(E1 ∩ E2)[i] = E1[i] ∩ E2[i]`.
+pub fn intersect_pointwise(a: &Partition, b: &Partition) -> Partition {
+    zip_pointwise(a, b, IndexSet::intersect)
+}
+
+/// `(E1 − E2)[i] = E1[i] − E2[i]`.
+pub fn difference_pointwise(a: &Partition, b: &Partition) -> Partition {
+    zip_pointwise(a, b, IndexSet::difference)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::func::{FnDef, IndexFn, MultiFn};
+    use crate::region::{FieldKind, Schema};
+
+    fn grid_store(n: u64) -> (Store, FnTable, RegionId) {
+        let mut s = Schema::new();
+        let r = s.add_region("R", n);
+        let store = Store::new(s);
+        (store, FnTable::new(), r)
+    }
+
+    #[test]
+    fn equal_partition_shape() {
+        let p = equal(RegionId(0), 10, 3);
+        assert_eq!(p.num_subregions(), 3);
+        assert!(p.is_disjoint());
+        assert!(p.is_complete(10));
+        // Sizes differ by at most one.
+        let sizes: Vec<u64> = p.iter().map(IndexSet::len).collect();
+        assert_eq!(sizes.iter().sum::<u64>(), 10);
+        assert!(sizes.iter().all(|&s| s == 3 || s == 4));
+    }
+
+    #[test]
+    fn equal_with_more_parts_than_elements() {
+        let p = equal(RegionId(0), 2, 4);
+        assert!(p.is_disjoint());
+        assert!(p.is_complete(2));
+        assert_eq!(p.iter().filter(|s| s.is_empty()).count(), 2);
+    }
+
+    #[test]
+    fn image_of_figure_3() {
+        // Figure 3a: R = 0..5, f(i) = (i+1)%5, P = <{0,1,2},{3,4}>.
+        let (store, mut t, r) = grid_store(5);
+        let f = t.add("f", r, r, FnDef::Index(IndexFn::AffineMod { mul: 1, add: 1, modulus: 5 }));
+        let p = Partition::new(r, vec![IndexSet::from_range(0, 3), IndexSet::from_range(3, 5)]);
+        let img = image(&store, &t, &p, f, r);
+        assert_eq!(img.subregion(0), &IndexSet::from_indices([1, 2, 3]));
+        assert_eq!(img.subregion(1), &IndexSet::from_indices([4, 0]));
+    }
+
+    #[test]
+    fn preimage_of_figure_3() {
+        // Figure 3b: P' = preimage(-, f, P) with the same f and P.
+        let (store, mut t, r) = grid_store(5);
+        let f = t.add("f", r, r, FnDef::Index(IndexFn::AffineMod { mul: 1, add: 1, modulus: 5 }));
+        let p = Partition::new(r, vec![IndexSet::from_range(0, 3), IndexSet::from_range(3, 5)]);
+        let pre = preimage(&store, &t, r, f, &p);
+        // f(k) in {0,1,2} <=> k in {4,0,1}; f(k) in {3,4} <=> k in {2,3}.
+        assert_eq!(pre.subregion(0), &IndexSet::from_indices([4, 0, 1]));
+        assert_eq!(pre.subregion(1), &IndexSet::from_indices([2, 3]));
+    }
+
+    #[test]
+    fn image_preimage_adjunction_for_ptr_field() {
+        // image(P, f, R) ⊆ E iff P ⊆ preimage(R, f, E) for total single-valued f.
+        let mut s = Schema::new();
+        let cells = s.add_region("Cells", 8);
+        let particles = s.add_region("Particles", 12);
+        let cf = s.add_field(particles, "cell", FieldKind::Ptr(cells));
+        let mut store = Store::new(s);
+        for (i, p) in store.ptrs_mut(cf).iter_mut().enumerate() {
+            *p = (i as u64 * 3) % 8;
+        }
+        let mut t = FnTable::new();
+        let f = t.add_ptr_field("cell", particles, cells, cf);
+        let pc = equal(cells, 8, 4);
+        let pp = preimage(&store, &t, particles, f, &pc);
+        let img = image(&store, &t, &pp, f, cells);
+        assert!(img.subset_of(&pc));
+        // Preimage of a complete partition is complete (lemma L7) for total f.
+        assert!(pp.is_complete(12));
+        // Preimage of a disjoint partition is disjoint (lemma L12).
+        assert!(pp.is_disjoint());
+    }
+
+    #[test]
+    fn image_drops_out_of_range_targets() {
+        let (store, mut t, r) = grid_store(6);
+        let f = t.add("shift", r, r, FnDef::Index(IndexFn::Affine { mul: 1, add: 3 }));
+        let p = Partition::new(r, vec![IndexSet::from_range(0, 6)]);
+        let img = image(&store, &t, &p, f, r);
+        assert_eq!(img.subregion(0), &IndexSet::from_range(3, 6));
+    }
+
+    #[test]
+    fn multi_image_collects_ranges() {
+        // SpMV-style: Y (3 rows) has ranges into Mat (10 entries).
+        let mut s = Schema::new();
+        let mat = s.add_region("Mat", 10);
+        let y = s.add_region("Y", 3);
+        let rf = s.add_field(y, "range", FieldKind::Range(mat));
+        let mut store = Store::new(s);
+        store.ranges_mut(rf).copy_from_slice(&[(0, 4), (4, 7), (7, 10)]);
+        let mut t = FnTable::new();
+        let fr = t.add_range_field("Ranges", y, mat, rf);
+        let py = equal(y, 3, 2); // <{0},{1,2}>
+        let pm = image(&store, &t, &py, fr, mat);
+        assert_eq!(pm.subregion(0), &IndexSet::from_range(0, 4));
+        assert_eq!(pm.subregion(1), &IndexSet::from_range(4, 10));
+        assert!(pm.is_disjoint() && pm.is_complete(10));
+    }
+
+    #[test]
+    fn multi_preimage_membership() {
+        // PREIMAGE: l lands in subregion i iff F(l) meets E[i].
+        let mut s = Schema::new();
+        let mat = s.add_region("Mat", 10);
+        let y = s.add_region("Y", 3);
+        let rf = s.add_field(y, "range", FieldKind::Range(mat));
+        let mut store = Store::new(s);
+        store.ranges_mut(rf).copy_from_slice(&[(0, 4), (3, 7), (7, 10)]);
+        let mut t = FnTable::new();
+        let fr = t.add_range_field("Ranges", y, mat, rf);
+        let pm = Partition::new(mat, vec![IndexSet::from_range(0, 5), IndexSet::from_range(5, 10)]);
+        let py = preimage(&store, &t, y, fr, &pm);
+        // Row 0 covers 0..4 -> meets [0,5). Row 1 covers 3..7 -> meets both.
+        assert_eq!(py.subregion(0), &IndexSet::from_indices([0, 1]));
+        assert_eq!(py.subregion(1), &IndexSet::from_indices([1, 2]));
+        assert!(!py.is_disjoint()); // overlap is expected here
+    }
+
+    #[test]
+    fn pointwise_ops() {
+        let r = RegionId(0);
+        let a = Partition::new(r, vec![IndexSet::from_range(0, 5), IndexSet::from_range(5, 8)]);
+        let b = Partition::new(r, vec![IndexSet::from_range(3, 6)]);
+        let u = union_pointwise(&a, &b);
+        assert_eq!(u.subregion(0), &IndexSet::from_range(0, 6));
+        assert_eq!(u.subregion(1), &IndexSet::from_range(5, 8));
+        let i = intersect_pointwise(&a, &b);
+        assert_eq!(i.subregion(0), &IndexSet::from_range(3, 5));
+        assert!(i.subregion(1).is_empty());
+        let d = difference_pointwise(&a, &b);
+        assert_eq!(d.subregion(0), &IndexSet::from_range(0, 3));
+        assert_eq!(d.subregion(1), &IndexSet::from_range(5, 8));
+    }
+
+    #[test]
+    #[should_panic(expected = "same region")]
+    fn pointwise_ops_require_same_region() {
+        let a = Partition::new(RegionId(0), vec![]);
+        let b = Partition::new(RegionId(1), vec![]);
+        let _ = union_pointwise(&a, &b);
+    }
+}

@@ -1,0 +1,316 @@
+//! Regions, fields, and runtime field storage.
+//!
+//! A *region* is an indexed collection of values; every element has a unique
+//! index in `0..size` and the same set of typed fields (Section 1.1 of the
+//! paper). The static shape (sizes, field names and kinds) lives in a
+//! [`Schema`]; the runtime values live in a [`Store`].
+
+use crate::index_set::Idx;
+use std::fmt;
+
+/// Identifies a region within a [`Schema`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RegionId(pub u32);
+
+/// Identifies a field within a [`Schema`] (fields are numbered globally; each
+/// field belongs to exactly one region).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FieldId(pub u32);
+
+impl fmt::Debug for RegionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl fmt::Debug for FieldId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+/// The runtime type of a field.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FieldKind {
+    /// Double-precision values (positions, velocities, matrix entries, ...).
+    F64,
+    /// Pointer fields: each element stores the index of an element of
+    /// another region (e.g. `Particles[p].cell`). The target region is
+    /// recorded so partitioning functions know their range.
+    Ptr(RegionId),
+    /// Range fields: each element stores a half-open index range into
+    /// another region (CSR row bounds, Figure 10's `Ranges`).
+    Range(RegionId),
+}
+
+/// Static description of one region.
+#[derive(Clone, Debug)]
+pub struct RegionDecl {
+    pub name: String,
+    pub size: u64,
+    /// Fields owned by this region, in declaration order.
+    pub fields: Vec<FieldId>,
+}
+
+/// Static description of one field.
+#[derive(Clone, Debug)]
+pub struct FieldDecl {
+    pub name: String,
+    pub region: RegionId,
+    pub kind: FieldKind,
+}
+
+/// The static shape of a program's data: regions and their fields.
+#[derive(Clone, Debug, Default)]
+pub struct Schema {
+    regions: Vec<RegionDecl>,
+    fields: Vec<FieldDecl>,
+}
+
+impl Schema {
+    pub fn new() -> Self {
+        Schema::default()
+    }
+
+    /// Declares a region with `size` elements; returns its id.
+    pub fn add_region(&mut self, name: impl Into<String>, size: u64) -> RegionId {
+        let id = RegionId(self.regions.len() as u32);
+        self.regions.push(RegionDecl { name: name.into(), size, fields: Vec::new() });
+        id
+    }
+
+    /// Declares a field on `region`; returns its id.
+    pub fn add_field(
+        &mut self,
+        region: RegionId,
+        name: impl Into<String>,
+        kind: FieldKind,
+    ) -> FieldId {
+        let id = FieldId(self.fields.len() as u32);
+        self.fields.push(FieldDecl { name: name.into(), region, kind });
+        self.regions[region.0 as usize].fields.push(id);
+        id
+    }
+
+    pub fn region(&self, id: RegionId) -> &RegionDecl {
+        &self.regions[id.0 as usize]
+    }
+
+    pub fn field(&self, id: FieldId) -> &FieldDecl {
+        &self.fields[id.0 as usize]
+    }
+
+    pub fn region_size(&self, id: RegionId) -> u64 {
+        self.region(id).size
+    }
+
+    pub fn num_regions(&self) -> usize {
+        self.regions.len()
+    }
+
+    pub fn num_fields(&self) -> usize {
+        self.fields.len()
+    }
+
+    pub fn regions(&self) -> impl Iterator<Item = (RegionId, &RegionDecl)> {
+        self.regions.iter().enumerate().map(|(i, r)| (RegionId(i as u32), r))
+    }
+
+    /// Looks a region up by name (test/diagnostic convenience).
+    pub fn region_by_name(&self, name: &str) -> Option<RegionId> {
+        self.regions.iter().position(|r| r.name == name).map(|i| RegionId(i as u32))
+    }
+
+    /// Looks a field up by `region.field` name (test/diagnostic convenience).
+    pub fn field_by_name(&self, region: RegionId, name: &str) -> Option<FieldId> {
+        self.region(region)
+            .fields
+            .iter()
+            .copied()
+            .find(|&f| self.field(f).name == name)
+    }
+}
+
+/// Runtime data for one field.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FieldData {
+    F64(Vec<f64>),
+    Ptr(Vec<Idx>),
+    Range(Vec<(Idx, Idx)>),
+}
+
+impl FieldData {
+    pub fn len(&self) -> usize {
+        match self {
+            FieldData::F64(v) => v.len(),
+            FieldData::Ptr(v) => v.len(),
+            FieldData::Range(v) => v.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Runtime field values for every region in a [`Schema`].
+///
+/// The store owns its schema; all partitioning operators and interpreters
+/// take `&Store`.
+#[derive(Clone, Debug)]
+pub struct Store {
+    schema: Schema,
+    data: Vec<FieldData>,
+}
+
+impl Store {
+    /// Creates a store with zero/default-initialized fields.
+    pub fn new(schema: Schema) -> Self {
+        let data = schema
+            .fields
+            .iter()
+            .map(|f| {
+                let n = schema.region(f.region).size as usize;
+                match f.kind {
+                    FieldKind::F64 => FieldData::F64(vec![0.0; n]),
+                    FieldKind::Ptr(_) => FieldData::Ptr(vec![0; n]),
+                    FieldKind::Range(_) => FieldData::Range(vec![(0, 0); n]),
+                }
+            })
+            .collect();
+        Store { schema, data }
+    }
+
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    pub fn field_data(&self, f: FieldId) -> &FieldData {
+        &self.data[f.0 as usize]
+    }
+
+    pub fn field_data_mut(&mut self, f: FieldId) -> &mut FieldData {
+        &mut self.data[f.0 as usize]
+    }
+
+    /// f64 slice of a field; panics if the field kind differs.
+    pub fn f64s(&self, f: FieldId) -> &[f64] {
+        match &self.data[f.0 as usize] {
+            FieldData::F64(v) => v,
+            other => panic!("field {f:?} is not F64 (got {other:?})"),
+        }
+    }
+
+    pub fn f64s_mut(&mut self, f: FieldId) -> &mut [f64] {
+        match &mut self.data[f.0 as usize] {
+            FieldData::F64(v) => v,
+            _ => panic!("field {f:?} is not F64"),
+        }
+    }
+
+    /// Pointer slice of a field; panics if the field kind differs.
+    pub fn ptrs(&self, f: FieldId) -> &[Idx] {
+        match &self.data[f.0 as usize] {
+            FieldData::Ptr(v) => v,
+            other => panic!("field {f:?} is not Ptr (got {other:?})"),
+        }
+    }
+
+    pub fn ptrs_mut(&mut self, f: FieldId) -> &mut [Idx] {
+        match &mut self.data[f.0 as usize] {
+            FieldData::Ptr(v) => v,
+            _ => panic!("field {f:?} is not Ptr"),
+        }
+    }
+
+    /// Range slice of a field; panics if the field kind differs.
+    pub fn ranges(&self, f: FieldId) -> &[(Idx, Idx)] {
+        match &self.data[f.0 as usize] {
+            FieldData::Range(v) => v,
+            other => panic!("field {f:?} is not Range (got {other:?})"),
+        }
+    }
+
+    pub fn ranges_mut(&mut self, f: FieldId) -> &mut [(Idx, Idx)] {
+        match &mut self.data[f.0 as usize] {
+            FieldData::Range(v) => v,
+            _ => panic!("field {f:?} is not Range"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn particles_cells() -> (Schema, RegionId, RegionId, FieldId, FieldId) {
+        let mut s = Schema::new();
+        let cells = s.add_region("Cells", 10);
+        let particles = s.add_region("Particles", 25);
+        let cell = s.add_field(particles, "cell", FieldKind::Ptr(cells));
+        let vel = s.add_field(cells, "vel", FieldKind::F64);
+        (s, particles, cells, cell, vel)
+    }
+
+    #[test]
+    fn schema_declares_regions_and_fields() {
+        let (s, particles, cells, cell, vel) = particles_cells();
+        assert_eq!(s.region(particles).name, "Particles");
+        assert_eq!(s.region_size(cells), 10);
+        assert_eq!(s.field(cell).kind, FieldKind::Ptr(cells));
+        assert_eq!(s.field(vel).region, cells);
+        assert_eq!(s.region(particles).fields, vec![cell]);
+        assert_eq!(s.num_regions(), 2);
+        assert_eq!(s.num_fields(), 2);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let (s, particles, cells, cell, vel) = particles_cells();
+        assert_eq!(s.region_by_name("Particles"), Some(particles));
+        assert_eq!(s.region_by_name("Nope"), None);
+        assert_eq!(s.field_by_name(particles, "cell"), Some(cell));
+        assert_eq!(s.field_by_name(cells, "vel"), Some(vel));
+        assert_eq!(s.field_by_name(cells, "cell"), None);
+    }
+
+    #[test]
+    fn store_zero_initializes_by_kind() {
+        let (s, _, _, cell, vel) = particles_cells();
+        let store = Store::new(s);
+        assert_eq!(store.ptrs(cell).len(), 25);
+        assert!(store.ptrs(cell).iter().all(|&p| p == 0));
+        assert_eq!(store.f64s(vel).len(), 10);
+        assert!(store.f64s(vel).iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn store_mutation_roundtrip() {
+        let (s, _, _, cell, vel) = particles_cells();
+        let mut store = Store::new(s);
+        store.ptrs_mut(cell)[3] = 7;
+        store.f64s_mut(vel)[7] = 2.5;
+        assert_eq!(store.ptrs(cell)[3], 7);
+        assert_eq!(store.f64s(vel)[7], 2.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "is not F64")]
+    fn kind_mismatch_panics() {
+        let (s, _, _, cell, _) = particles_cells();
+        let store = Store::new(s);
+        let _ = store.f64s(cell);
+    }
+
+    #[test]
+    fn range_fields() {
+        let mut s = Schema::new();
+        let mat = s.add_region("Mat", 100);
+        let y = s.add_region("Y", 10);
+        let ranges = s.add_field(y, "range", FieldKind::Range(mat));
+        let mut store = Store::new(s);
+        store.ranges_mut(ranges)[2] = (20, 30);
+        assert_eq!(store.ranges(ranges)[2], (20, 30));
+        assert_eq!(store.ranges(ranges)[0], (0, 0));
+    }
+}

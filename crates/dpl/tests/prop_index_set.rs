@@ -1,0 +1,115 @@
+//! Property tests: the interval-run `IndexSet` must agree with a naive
+//! `BTreeSet` model on every operation.
+
+use partir_dpl::index_set::{Idx, IndexSet};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+const UNIVERSE: u64 = 200;
+
+fn arb_indices() -> impl Strategy<Value = Vec<Idx>> {
+    proptest::collection::vec(0..UNIVERSE, 0..80)
+}
+
+fn model(v: &[Idx]) -> BTreeSet<Idx> {
+    v.iter().copied().collect()
+}
+
+fn to_vec(s: &IndexSet) -> Vec<Idx> {
+    s.iter().collect()
+}
+
+proptest! {
+    #[test]
+    fn construction_matches_model(v in arb_indices()) {
+        let s = IndexSet::from_indices(v.iter().copied());
+        let m = model(&v);
+        prop_assert!(s.check_invariants());
+        prop_assert_eq!(to_vec(&s), m.iter().copied().collect::<Vec<_>>());
+        prop_assert_eq!(s.len(), m.len() as u64);
+        prop_assert_eq!(s.min(), m.first().copied());
+        prop_assert_eq!(s.max(), m.last().copied());
+    }
+
+    #[test]
+    fn contains_matches_model(v in arb_indices(), probe in 0..UNIVERSE + 10) {
+        let s = IndexSet::from_indices(v.iter().copied());
+        prop_assert_eq!(s.contains(probe), model(&v).contains(&probe));
+    }
+
+    #[test]
+    fn union_matches_model(a in arb_indices(), b in arb_indices()) {
+        let (sa, sb) = (IndexSet::from_indices(a.iter().copied()), IndexSet::from_indices(b.iter().copied()));
+        let u = sa.union(&sb);
+        prop_assert!(u.check_invariants());
+        let mu: Vec<Idx> = model(&a).union(&model(&b)).copied().collect();
+        prop_assert_eq!(to_vec(&u), mu);
+    }
+
+    #[test]
+    fn intersect_matches_model(a in arb_indices(), b in arb_indices()) {
+        let (sa, sb) = (IndexSet::from_indices(a.iter().copied()), IndexSet::from_indices(b.iter().copied()));
+        let i = sa.intersect(&sb);
+        prop_assert!(i.check_invariants());
+        let mi: Vec<Idx> = model(&a).intersection(&model(&b)).copied().collect();
+        prop_assert_eq!(to_vec(&i), mi);
+    }
+
+    #[test]
+    fn difference_matches_model(a in arb_indices(), b in arb_indices()) {
+        let (sa, sb) = (IndexSet::from_indices(a.iter().copied()), IndexSet::from_indices(b.iter().copied()));
+        let d = sa.difference(&sb);
+        prop_assert!(d.check_invariants());
+        let md: Vec<Idx> = model(&a).difference(&model(&b)).copied().collect();
+        prop_assert_eq!(to_vec(&d), md);
+    }
+
+    #[test]
+    fn subset_and_disjoint_match_model(a in arb_indices(), b in arb_indices()) {
+        let (sa, sb) = (IndexSet::from_indices(a.iter().copied()), IndexSet::from_indices(b.iter().copied()));
+        let (ma, mb) = (model(&a), model(&b));
+        prop_assert_eq!(sa.is_subset(&sb), ma.is_subset(&mb));
+        prop_assert_eq!(sa.is_disjoint(&sb), ma.is_disjoint(&mb));
+    }
+
+    #[test]
+    fn set_algebra_laws(a in arb_indices(), b in arb_indices(), c in arb_indices()) {
+        let sa = IndexSet::from_indices(a.iter().copied());
+        let sb = IndexSet::from_indices(b.iter().copied());
+        let sc = IndexSet::from_indices(c.iter().copied());
+        // Commutativity / associativity / distributivity / De Morgan-ish laws.
+        prop_assert_eq!(sa.union(&sb), sb.union(&sa));
+        prop_assert_eq!(sa.intersect(&sb), sb.intersect(&sa));
+        prop_assert_eq!(sa.union(&sb).union(&sc), sa.union(&sb.union(&sc)));
+        prop_assert_eq!(
+            sa.intersect(&sb.union(&sc)),
+            sa.intersect(&sb).union(&sa.intersect(&sc))
+        );
+        prop_assert_eq!(
+            sa.difference(&sb.union(&sc)),
+            sa.difference(&sb).difference(&sc)
+        );
+        // a = (a − b) ∪ (a ∩ b)
+        prop_assert_eq!(sa.difference(&sb).union(&sa.intersect(&sb)), sa.clone());
+        // a − b disjoint from b
+        prop_assert!(sa.difference(&sb).is_disjoint(&sb));
+    }
+
+    #[test]
+    fn complement_involution(a in arb_indices()) {
+        let sa = IndexSet::from_indices(a.iter().copied());
+        let cc = sa.complement_within(UNIVERSE).complement_within(UNIVERSE);
+        prop_assert_eq!(cc, sa);
+    }
+
+    #[test]
+    fn from_sorted_runs_canonicalizes(runs in proptest::collection::vec((0..UNIVERSE, 0..UNIVERSE), 0..20)) {
+        // Sort + clip runs so they are a valid "sorted possibly-adjacent" input.
+        let mut rs: Vec<(u64, u64)> = runs.into_iter().map(|(a, b)| (a.min(b), a.max(b))).collect();
+        rs.sort_unstable();
+        // Make them non-overlapping by construction from their member set.
+        let members: Vec<Idx> = rs.iter().flat_map(|&(s, e)| s..e).collect();
+        let via_indices = IndexSet::from_indices(members.iter().copied());
+        prop_assert!(via_indices.check_invariants());
+    }
+}

@@ -1,0 +1,184 @@
+//! Property tests for the DPL operators: the operator definitions of
+//! Section 2 / Section 4 and the lemmas of Figure 8 that are pure statements
+//! about the operators (L1–L3, L7, L12, L14 adjunction) must hold on random
+//! stores, functions, and partitions.
+
+use partir_dpl::prelude::*;
+use proptest::prelude::*;
+
+const DOM: u64 = 60;
+const RNG: u64 = 40;
+
+/// A random store with a pointer field Dom -> Rng and a function table
+/// exposing it plus a couple of affine maps.
+fn setup(ptrs: &[Idx]) -> (Store, FnTable, RegionId, RegionId, FnId, FnId, FnId) {
+    let mut schema = Schema::new();
+    let rng = schema.add_region("Rng", RNG);
+    let dom = schema.add_region("Dom", DOM);
+    let pf = schema.add_field(dom, "ptr", FieldKind::Ptr(rng));
+    let mut store = Store::new(schema);
+    store.ptrs_mut(pf).copy_from_slice(ptrs);
+    let mut t = FnTable::new();
+    let fptr = t.add_ptr_field("ptr", dom, rng, pf);
+    let faff = t.add_affine("aff", rng, rng, 1, 3);
+    let fmod = t.add(
+        "wrap",
+        rng,
+        rng,
+        FnDef::Index(IndexFn::AffineMod { mul: 1, add: 7, modulus: RNG }),
+    );
+    (store, t, dom, rng, fptr, faff, fmod)
+}
+
+fn arb_ptrs() -> impl Strategy<Value = Vec<Idx>> {
+    proptest::collection::vec(0..RNG, DOM as usize)
+}
+
+fn arb_partition(region_size: u64, max_parts: usize) -> impl Strategy<Value = Vec<Vec<Idx>>> {
+    proptest::collection::vec(
+        proptest::collection::vec(0..region_size, 0..region_size as usize),
+        1..=max_parts,
+    )
+}
+
+fn mk_partition(region: RegionId, raw: &[Vec<Idx>]) -> Partition {
+    Partition::new(
+        region,
+        raw.iter()
+            .map(|v| IndexSet::from_indices(v.iter().copied()))
+            .collect(),
+    )
+}
+
+proptest! {
+    /// L1: equal(R) is a partition of R, disjoint and complete.
+    #[test]
+    fn lemma_l1_equal(size in 1u64..500, n in 1usize..40) {
+        let p = equal(RegionId(0), size, n);
+        prop_assert!(p.is_partition_of(size));
+        prop_assert!(p.is_disjoint());
+        prop_assert!(p.is_complete(size));
+        // Balance: sizes differ by at most 1.
+        let max = p.iter().map(IndexSet::len).max().unwrap();
+        let min = p.iter().map(IndexSet::len).min().unwrap();
+        prop_assert!(max - min <= 1);
+    }
+
+    /// L2/L3: image and preimage always produce partitions of their target.
+    #[test]
+    fn lemmas_l2_l3_bounds(ptrs in arb_ptrs(), raw in arb_partition(RNG, 5)) {
+        let (store, t, dom, rng, fptr, faff, _) = setup(&ptrs);
+        let pr = mk_partition(rng, &raw);
+        let pre = preimage(&store, &t, dom, fptr, &pr);
+        prop_assert!(pre.is_partition_of(DOM));
+        let img = image(&store, &t, &pre, fptr, rng);
+        prop_assert!(img.is_partition_of(RNG));
+        let img2 = image(&store, &t, &pr, faff, rng);
+        prop_assert!(img2.is_partition_of(RNG));
+    }
+
+    /// Definition check: image(E,f,R)[i] = { f(k) | k ∈ E[i] } ∩ R.
+    #[test]
+    fn image_definition(ptrs in arb_ptrs(), raw in arb_partition(DOM, 4)) {
+        let (store, t, dom, rng, fptr, _, _) = setup(&ptrs);
+        let pd = mk_partition(dom, &raw);
+        let img = image(&store, &t, &pd, fptr, rng);
+        for (i, sub) in pd.iter().enumerate() {
+            let expect = IndexSet::from_indices(sub.iter().map(|k| ptrs[k as usize]));
+            prop_assert_eq!(img.subregion(i), &expect);
+        }
+    }
+
+    /// Definition check: preimage(R,f,E)[i] = { k ∈ R | f(k) ∈ E[i] }.
+    #[test]
+    fn preimage_definition(ptrs in arb_ptrs(), raw in arb_partition(RNG, 4)) {
+        let (store, t, dom, rng, fptr, _, _) = setup(&ptrs);
+        let pr = mk_partition(rng, &raw);
+        let pre = preimage(&store, &t, dom, fptr, &pr);
+        for (i, sub) in pr.iter().enumerate() {
+            let expect = IndexSet::from_indices(
+                (0..DOM).filter(|&k| sub.contains(ptrs[k as usize])),
+            );
+            prop_assert_eq!(pre.subregion(i), &expect);
+        }
+    }
+
+    /// L7: preimage of a complete partition is complete (f total on Dom).
+    /// L12: preimage of a disjoint partition is disjoint.
+    #[test]
+    fn lemmas_l7_l12_preimage(ptrs in arb_ptrs(), n in 1usize..8) {
+        let (store, t, dom, rng, fptr, _, _) = setup(&ptrs);
+        let pr = equal(rng, RNG, n);
+        let pre = preimage(&store, &t, dom, fptr, &pr);
+        prop_assert!(pre.is_complete(DOM));
+        prop_assert!(pre.is_disjoint());
+    }
+
+    /// L14 adjunction: E1 ⊆ preimage(R1,f,E2) implies image(E1,f,R2) ⊆ E2,
+    /// and (for single-valued total f) the converse.
+    #[test]
+    fn lemma_l14_adjunction(ptrs in arb_ptrs(), raw in arb_partition(RNG, 4)) {
+        let (store, t, dom, rng, fptr, _, _) = setup(&ptrs);
+        let pr = mk_partition(rng, &raw);
+        let pre = preimage(&store, &t, dom, fptr, &pr);
+        // E1 := pre (so E1 ⊆ preimage trivially); check image(E1) ⊆ E2.
+        let img = image(&store, &t, &pre, fptr, rng);
+        prop_assert!(img.subset_of(&pr));
+        // Converse direction on a sub-partition of pre.
+        let halved = Partition::new(
+            dom,
+            pre.iter()
+                .map(|s| {
+                    let keep: Vec<Idx> = s.iter().filter(|k| k % 2 == 0).collect();
+                    IndexSet::from_indices(keep)
+                })
+                .collect(),
+        );
+        let img2 = image(&store, &t, &halved, fptr, rng);
+        prop_assert!(img2.subset_of(&pr));
+        prop_assert!(halved.subset_of(&pre));
+    }
+
+    /// Pointwise-operator disjointness lemmas: L9 (∩ preserves disjointness
+    /// of either operand), L10 (− preserves the left operand's), L11
+    /// (disjoint union has disjoint operands — checked contrapositively).
+    #[test]
+    fn lemmas_l9_l10(raw_a in arb_partition(RNG, 4), n in 1usize..6) {
+        let rng = RegionId(0);
+        let pa = mk_partition(rng, &raw_a);
+        let pd = equal(rng, RNG, n.max(raw_a.len()));
+        let inter = intersect_pointwise(&pd, &pa);
+        prop_assert!(inter.is_disjoint(), "L9: disjoint ∩ anything is disjoint");
+        let diff = difference_pointwise(&pd, &pa);
+        prop_assert!(diff.is_disjoint(), "L10: disjoint − anything is disjoint");
+    }
+
+    /// L6: union with a complete operand is complete.
+    #[test]
+    fn lemma_l6(raw in arb_partition(RNG, 4), n in 1usize..6) {
+        let rng = RegionId(0);
+        let pa = mk_partition(rng, &raw);
+        let pc = equal(rng, RNG, n.max(raw.len()));
+        let u = union_pointwise(&pc, &pa);
+        prop_assert!(u.is_complete(RNG));
+    }
+
+    /// IMAGE on the lifted function agrees with image (Section 4).
+    #[test]
+    fn lifted_image_agrees(ptrs in arb_ptrs(), raw in arb_partition(DOM, 3)) {
+        let (mut store, mut t, dom, rng, fptr, _, _) = setup(&ptrs);
+        let _ = &mut store;
+        let lifted = t.add(
+            "ptr-lifted",
+            dom,
+            rng,
+            FnDef::Multi(MultiFn::Lift(IndexFn::Ptr {
+                field: store.schema().field_by_name(dom, "ptr").unwrap(),
+            })),
+        );
+        let pd = mk_partition(dom, &raw);
+        let a = image(&store, &t, &pd, fptr, rng);
+        let b = image(&store, &t, &pd, lifted, rng);
+        prop_assert_eq!(a, b);
+    }
+}

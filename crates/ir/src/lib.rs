@@ -1,0 +1,28 @@
+//! # partir-ir — the loop IR the auto-parallelizer consumes
+//!
+//! The paper's constraint inference (Algorithm 1) is defined on a normalized
+//! statement language for parallelizable loops. This crate provides:
+//!
+//! * [`ast`] — that statement language plus a builder;
+//! * [`analysis`] — the syntactic parallelizability check of Section 2 and
+//!   the per-access-site summaries (derivation paths from the loop variable)
+//!   that constraint inference consumes;
+//! * [`interp`] — a reference interpreter parameterized by a [`interp::DataCtx`],
+//!   shared between sequential ground-truth execution and the parallel
+//!   executor in `partir-runtime`.
+
+pub mod analysis;
+pub mod ast;
+pub mod interp;
+
+pub mod prelude {
+    pub use crate::analysis::{
+        analyze, analyze_with_table, AccessInfo, AccessKind, LoopSummary, NotParallelizable,
+    };
+    pub use crate::ast::{
+        AccessId, BinOp, IVar, Loop, LoopBuilder, Program, ReduceOp, Stmt, UnOp, VExpr, VVar,
+    };
+    pub use crate::interp::{run_loop_over, run_loop_seq, run_program_seq, DataCtx, SeqCtx};
+}
+
+pub use prelude::*;

@@ -1,0 +1,538 @@
+//! Parallel execution of auto-parallelized loops on host threads.
+//!
+//! One task per subregion ("color") of the iteration partition, scheduled
+//! over a fixed worker pool. The executor implements the paper's runtime
+//! mechanisms faithfully:
+//!
+//! * **legality checking** — with [`ExecOptions::check_legality`] every
+//!   region access is validated against the task's subregion of the
+//!   corresponding access partition; a violation means the synthesized
+//!   partitioning was wrong, so tests run with this on;
+//! * **two-step uncentered reductions** (Section 2) — `Buffered` reductions
+//!   accumulate into task-local buffers merged deterministically (in color
+//!   order) after the parallel phase;
+//! * **guards** (Section 5.1) — in relaxed loops a reduction applies only
+//!   when its target lies in the task's subregion of the (disjoint)
+//!   reduction partition, and centered writes apply only for the task that
+//!   first owns the iteration, so aliased iteration partitions preserve
+//!   sequential semantics;
+//! * **private sub-partitions** (Section 5.2) — `BufferedPrivate`
+//!   reductions write directly inside the private sub-partition and buffer
+//!   only the shared remainder, shrinking buffer bytes (reported in
+//!   [`ExecReport`]).
+
+use crate::shared::SharedStore;
+use partir_core::pipeline::{ParallelPlan, PlannedReduce};
+use partir_dpl::func::{FnDef, FnId, FnTable, IndexFn, MultiFn};
+use partir_dpl::index_set::{Idx, IndexSet};
+use partir_dpl::partition::Partition;
+use partir_dpl::region::{FieldId, Schema, Store};
+use partir_ir::ast::{AccessId, Loop, ReduceOp};
+use partir_ir::interp::{run_loop_over, DataCtx};
+use parking_lot::Mutex;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Executor configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ExecOptions {
+    pub n_threads: usize,
+    /// Validate every access against its partition subregion (dynamic proof
+    /// that the solver's output is legal). On for tests, off for benches.
+    pub check_legality: bool,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions { n_threads: 4, check_legality: true }
+    }
+}
+
+/// Execution statistics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ExecReport {
+    pub tasks_run: u64,
+    /// Total bytes of reduction buffers allocated across tasks and loops.
+    pub buffer_bytes: u64,
+    /// Guarded-reduction applications / skips (relaxed loops).
+    pub guard_hits: u64,
+    pub guard_skips: u64,
+    /// Centered writes skipped because another task owns the iteration.
+    pub write_skips: u64,
+}
+
+/// Execution failure.
+#[derive(Debug)]
+pub enum ExecError {
+    /// The iteration partition misses elements of the iteration space.
+    IncompleteIteration { loop_index: usize },
+    /// A loop with centered reductions got an aliased iteration partition.
+    IterationNotDisjoint { loop_index: usize },
+    /// A direct/guarded reduction partition is not disjoint.
+    ReductionNotDisjoint { loop_index: usize, access: AccessId },
+    /// A task accessed an element outside its subregion (legality check).
+    Legality(String),
+    /// A worker panicked.
+    TaskPanic(String),
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::IncompleteIteration { loop_index } => {
+                write!(f, "loop {loop_index}: iteration partition incomplete")
+            }
+            ExecError::IterationNotDisjoint { loop_index } => {
+                write!(f, "loop {loop_index}: centered reductions need a disjoint iteration partition")
+            }
+            ExecError::ReductionNotDisjoint { loop_index, access } => {
+                write!(f, "loop {loop_index}: reduction partition for {access:?} not disjoint")
+            }
+            ExecError::Legality(m) => write!(f, "legality violation: {m}"),
+            ExecError::TaskPanic(m) => write!(f, "task panicked: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Per-access execution mode with partition data resolved.
+enum Mode<'a> {
+    /// Plain read/write/centered-reduce/direct-reduce: access checked
+    /// against the subregion, effect applied in place.
+    Plain,
+    /// Relaxed guarded reduction: apply iff target in the subregion.
+    Guarded,
+    /// Buffered reduction over the per-color buffer set.
+    Buffered { buf_sets: &'a [IndexSet] },
+    /// Direct within `private`, buffered over `buf_sets` otherwise.
+    BufferedPrivate { private: &'a Partition, buf_sets: &'a [IndexSet] },
+}
+
+/// Executes every loop of `program` in order under `plan`.
+///
+/// `parts` must be `plan.evaluate(...)` output (indexed by `PartId`); every
+/// partition must have the same number of subregions (the launch width).
+pub fn execute_program(
+    program: &[Loop],
+    plan: &ParallelPlan,
+    parts: &[Partition],
+    store: &mut Store,
+    fns: &FnTable,
+    opts: &ExecOptions,
+) -> Result<ExecReport, ExecError> {
+    let mut report = ExecReport::default();
+    for (li, lp) in program.iter().enumerate() {
+        execute_loop(li, lp, plan, parts, store, fns, opts, &mut report)?;
+    }
+    Ok(report)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn execute_loop(
+    li: usize,
+    lp: &Loop,
+    plan: &ParallelPlan,
+    parts: &[Partition],
+    store: &mut Store,
+    fns: &FnTable,
+    opts: &ExecOptions,
+    report: &mut ExecReport,
+) -> Result<(), ExecError> {
+    let loop_plan = &plan.loops[li];
+    let iter = &parts[loop_plan.iter.0 as usize];
+    let n_colors = iter.num_subregions();
+    let region_size = store.schema().region_size(lp.region);
+
+    // Dynamic validation of the partitioning invariants the plan relies on.
+    if !iter.is_complete(region_size) {
+        return Err(ExecError::IncompleteIteration { loop_index: li });
+    }
+    let iter_disjoint = iter.is_disjoint();
+    if loop_plan.iter_must_be_disjoint && !iter_disjoint {
+        return Err(ExecError::IterationNotDisjoint { loop_index: li });
+    }
+
+    // Write-ownership sets: with an aliased iteration partition, a centered
+    // write applies only in the first task owning the iteration.
+    let write_own: Option<Vec<IndexSet>> = if iter_disjoint {
+        None
+    } else {
+        let mut seen = IndexSet::new();
+        let own = iter
+            .iter()
+            .map(|s| {
+                let mine = s.difference(&seen);
+                seen = seen.union(s);
+                mine
+            })
+            .collect();
+        Some(own)
+    };
+
+    // Resolve per-access modes and allocate buffer sets.
+    let mut modes: Vec<Mode> = Vec::with_capacity(loop_plan.accesses.len());
+    // Buffer sets, owned out-of-line so `Mode` can borrow them.
+    let mut all_buf_sets: Vec<Vec<IndexSet>> = Vec::new();
+    let mut buf_set_of_access: Vec<Option<usize>> = vec![None; loop_plan.accesses.len()];
+    for (ai, ap) in loop_plan.accesses.iter().enumerate() {
+        let part = &parts[ap.part.0 as usize];
+        match &ap.reduce {
+            None | Some(PlannedReduce::Direct) => {
+                if matches!(ap.reduce, Some(PlannedReduce::Direct)) && !part.is_disjoint() {
+                    return Err(ExecError::ReductionNotDisjoint {
+                        loop_index: li,
+                        access: AccessId(ai as u32),
+                    });
+                }
+            }
+            Some(PlannedReduce::Guarded) => {
+                if !part.is_disjoint() {
+                    return Err(ExecError::ReductionNotDisjoint {
+                        loop_index: li,
+                        access: AccessId(ai as u32),
+                    });
+                }
+            }
+            Some(PlannedReduce::Buffered) => {
+                let sets: Vec<IndexSet> = part.subregions().to_vec();
+                report.buffer_bytes += sets.iter().map(|s| s.len() * 8).sum::<u64>();
+                buf_set_of_access[ai] = Some(all_buf_sets.len());
+                all_buf_sets.push(sets);
+            }
+            Some(PlannedReduce::BufferedPrivate { private }) => {
+                let ppart = &parts[private.0 as usize];
+                if !ppart.is_disjoint() {
+                    return Err(ExecError::ReductionNotDisjoint {
+                        loop_index: li,
+                        access: AccessId(ai as u32),
+                    });
+                }
+                let sets: Vec<IndexSet> = part
+                    .subregions()
+                    .iter()
+                    .zip(ppart.subregions())
+                    .map(|(a, p)| a.difference(p))
+                    .collect();
+                report.buffer_bytes += sets.iter().map(|s| s.len() * 8).sum::<u64>();
+                buf_set_of_access[ai] = Some(all_buf_sets.len());
+                all_buf_sets.push(sets);
+            }
+        }
+    }
+    for (ai, ap) in loop_plan.accesses.iter().enumerate() {
+        let mode = match &ap.reduce {
+            None | Some(PlannedReduce::Direct) => Mode::Plain,
+            Some(PlannedReduce::Guarded) => Mode::Guarded,
+            Some(PlannedReduce::Buffered) => {
+                Mode::Buffered { buf_sets: &all_buf_sets[buf_set_of_access[ai].unwrap()] }
+            }
+            Some(PlannedReduce::BufferedPrivate { private }) => Mode::BufferedPrivate {
+                private: &parts[private.0 as usize],
+                buf_sets: &all_buf_sets[buf_set_of_access[ai].unwrap()],
+            },
+        };
+        modes.push(mode);
+    }
+
+    // Buffers returned by tasks: buffers[buf_idx][color].
+    let buffers: Vec<Vec<Mutex<Option<Vec<f64>>>>> = all_buf_sets
+        .iter()
+        .map(|sets| sets.iter().map(|_| Mutex::new(None)).collect())
+        .collect();
+    // Reduce ops discovered during execution (per buffered access index).
+    let buf_ops: Vec<Mutex<Option<ReduceOp>>> =
+        all_buf_sets.iter().map(|_| Mutex::new(None)).collect();
+    // The field each buffered access targets.
+    let buf_fields: Vec<Mutex<Option<FieldId>>> =
+        all_buf_sets.iter().map(|_| Mutex::new(None)).collect();
+
+    let violation: Mutex<Option<String>> = Mutex::new(None);
+    let guard_hits = AtomicU64::new(0);
+    let guard_skips = AtomicU64::new(0);
+    let write_skips = AtomicU64::new(0);
+    let next_color = AtomicUsize::new(0);
+    let schema = store.schema().clone();
+    let shared = SharedStore::new(store);
+
+    let scope_result = crossbeam::scope(|s| {
+        for _ in 0..opts.n_threads.max(1) {
+            s.spawn(|_| {
+                loop {
+                    let color = next_color.fetch_add(1, Ordering::Relaxed);
+                    if color >= n_colors {
+                        break;
+                    }
+                    let mut ctx = TaskCtx {
+                        shared: &shared,
+                        fns,
+                        schema: &schema,
+                        plan: loop_plan,
+                        parts,
+                        modes: &modes,
+                        color,
+                        write_own: write_own.as_ref().map(|o| &o[color]),
+                        check: opts.check_legality,
+                        local_bufs: all_buf_sets.iter().map(|_| Vec::new()).collect(),
+                        buf_set_of_access: &buf_set_of_access,
+                        buf_ops: &buf_ops,
+                        buf_fields: &buf_fields,
+                        guard_hits: &guard_hits,
+                        guard_skips: &guard_skips,
+                        write_skips: &write_skips,
+                        violation: &violation,
+                    };
+                    // Initialize local buffers with identities lazily (on
+                    // first reduce we know the op); start as empty and fill
+                    // on demand.
+                    run_loop_over(lp, &mut ctx, iter.subregion(color).iter());
+                    // Hand buffers back.
+                    for (bi, buf) in ctx.local_bufs.into_iter().enumerate() {
+                        if !buf.is_empty() {
+                            *buffers[bi][color].lock() = Some(buf);
+                        }
+                    }
+                }
+            });
+        }
+    });
+    drop(shared);
+    if let Some(msg) = violation.lock().take() {
+        return Err(ExecError::Legality(msg));
+    }
+    if let Err(p) = scope_result {
+        let msg = panic_message(p);
+        return Err(if msg.contains("legality") {
+            ExecError::Legality(msg)
+        } else {
+            ExecError::TaskPanic(msg)
+        });
+    }
+
+    // Deterministic merge: color order, ascending element order.
+    for (bi, sets) in all_buf_sets.iter().enumerate() {
+        let op = match *buf_ops[bi].lock() {
+            Some(op) => op,
+            None => continue, // no contributions at all
+        };
+        let field = buf_fields[bi].lock().expect("field recorded with op");
+        let fs = store.f64s_mut(field);
+        for (color, set) in sets.iter().enumerate() {
+            if let Some(buf) = buffers[bi][color].lock().take() {
+                for (rank, t) in set.iter().enumerate() {
+                    let v = buf[rank];
+                    let slot = &mut fs[t as usize];
+                    *slot = op.apply(*slot, v);
+                }
+            }
+        }
+    }
+
+    report.tasks_run += n_colors as u64;
+    report.guard_hits += guard_hits.load(Ordering::Relaxed);
+    report.guard_skips += guard_skips.load(Ordering::Relaxed);
+    report.write_skips += write_skips.load(Ordering::Relaxed);
+    Ok(())
+}
+
+fn panic_message(p: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else {
+        "unknown panic".to_string()
+    }
+}
+
+/// Task-local data context: all region traffic from one task.
+struct TaskCtx<'a> {
+    shared: &'a SharedStore,
+    fns: &'a FnTable,
+    schema: &'a Schema,
+    plan: &'a partir_core::pipeline::LoopPlan,
+    parts: &'a [Partition],
+    modes: &'a [Mode<'a>],
+    color: usize,
+    write_own: Option<&'a IndexSet>,
+    check: bool,
+    /// Task-local reduction buffers, one per buffered access (lazily
+    /// identity-filled on first use).
+    local_bufs: Vec<Vec<f64>>,
+    buf_set_of_access: &'a [Option<usize>],
+    buf_ops: &'a [Mutex<Option<ReduceOp>>],
+    buf_fields: &'a [Mutex<Option<FieldId>>],
+    guard_hits: &'a AtomicU64,
+    guard_skips: &'a AtomicU64,
+    write_skips: &'a AtomicU64,
+    /// First legality violation observed (recorded before the panic that
+    /// aborts the task, so the executor can report a structured error).
+    violation: &'a Mutex<Option<String>>,
+}
+
+impl TaskCtx<'_> {
+    #[inline]
+    fn subregion(&self, a: AccessId) -> &IndexSet {
+        let part = self.plan.accesses[a.0 as usize].part;
+        self.parts[part.0 as usize].subregion(self.color)
+    }
+
+    #[cold]
+    fn legality_violation(&self, a: AccessId, i: Idx) -> ! {
+        let msg = format!(
+            "access {a:?} touched element {i} outside its subregion (color {})",
+            self.color
+        );
+        let mut slot = self.violation.lock();
+        if slot.is_none() {
+            *slot = Some(msg.clone());
+        }
+        drop(slot);
+        panic!("legality violation: {msg}");
+    }
+
+    #[inline]
+    fn check_access(&self, a: AccessId, i: Idx) {
+        if self.check && !self.subregion(a).contains(i) {
+            self.legality_violation(a, i);
+        }
+    }
+
+    fn eval_index_fn(&self, f: &IndexFn, i: Idx, target_size: u64) -> Idx {
+        match f {
+            IndexFn::Identity => i,
+            IndexFn::Affine { mul, add } => {
+                let v = (i as i64) * mul + add;
+                assert!(v >= 0 && (v as u64) < target_size, "affine out of range");
+                v as Idx
+            }
+            IndexFn::AffineMod { mul, add, modulus } => {
+                ((i as i64) * mul + add).rem_euclid(*modulus as i64) as Idx
+            }
+            IndexFn::Ptr { field } => self.shared.read_ptr(*field, i),
+            IndexFn::Compose(a, b) => {
+                let mid = self.eval_index_fn(a, i, u64::MAX);
+                self.eval_index_fn(b, mid, target_size)
+            }
+        }
+    }
+}
+
+impl DataCtx for TaskCtx<'_> {
+    fn read_f64(&mut self, a: AccessId, field: FieldId, i: Idx) -> f64 {
+        self.check_access(a, i);
+        // SAFETY: reads only race with writes to *other* elements (see
+        // shared.rs module docs).
+        unsafe { self.shared.read_f64(field, i) }
+    }
+
+    fn write_f64(&mut self, a: AccessId, field: FieldId, i: Idx, v: f64) {
+        self.check_access(a, i);
+        if let Some(own) = self.write_own {
+            if !own.contains(i) {
+                self.write_skips.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        }
+        // SAFETY: centered write; element owned by exactly one task.
+        unsafe { self.shared.write_f64(field, i, v) };
+    }
+
+    fn reduce_f64(&mut self, a: AccessId, field: FieldId, i: Idx, op: ReduceOp, v: f64) {
+        match &self.modes[a.0 as usize] {
+            Mode::Plain => {
+                self.check_access(a, i);
+                // Centered or provably-disjoint reduction: in-place.
+                // SAFETY: element owned by exactly one task.
+                unsafe {
+                    let cur = self.shared.read_f64(field, i);
+                    self.shared.write_f64(field, i, op.apply(cur, v));
+                }
+            }
+            Mode::Guarded => {
+                if self.subregion(a).contains(i) {
+                    self.guard_hits.fetch_add(1, Ordering::Relaxed);
+                    // SAFETY: the guard partition is disjoint.
+                    unsafe {
+                        let cur = self.shared.read_f64(field, i);
+                        self.shared.write_f64(field, i, op.apply(cur, v));
+                    }
+                } else {
+                    self.guard_skips.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            Mode::Buffered { buf_sets } => {
+                self.check_access(a, i);
+                self.buffer_reduce(a, field, i, op, v, &buf_sets[self.color]);
+            }
+            Mode::BufferedPrivate { private, buf_sets } => {
+                self.check_access(a, i);
+                if private.subregion(self.color).contains(i) {
+                    // SAFETY: private sub-partition is disjoint.
+                    unsafe {
+                        let cur = self.shared.read_f64(field, i);
+                        self.shared.write_f64(field, i, op.apply(cur, v));
+                    }
+                } else {
+                    self.buffer_reduce(a, field, i, op, v, &buf_sets[self.color]);
+                }
+            }
+        }
+    }
+
+    fn read_ptr(&mut self, a: AccessId, field: FieldId, i: Idx) -> Idx {
+        self.check_access(a, i);
+        self.shared.read_ptr(field, i)
+    }
+
+    fn eval_fn(&mut self, f: FnId, i: Idx) -> Idx {
+        let nf = self.fns.get(f);
+        let size = self.schema.region_size(nf.range);
+        match &nf.def {
+            FnDef::Index(func) => self.eval_index_fn(func, i, size),
+            FnDef::Multi(_) => panic!("eval_fn on multi-valued function"),
+        }
+    }
+
+    fn eval_multi(&mut self, a: AccessId, f: FnId, i: Idx, out: &mut Vec<Idx>) {
+        self.check_access(a, i);
+        let nf = self.fns.get(f);
+        let size = self.schema.region_size(nf.range);
+        match &nf.def {
+            FnDef::Multi(MultiFn::RangeField { field }) => {
+                let (s, e) = self.shared.read_range(*field, i);
+                out.extend(s..e.min(size));
+            }
+            FnDef::Multi(MultiFn::Lift(func)) => out.push(self.eval_index_fn(func, i, size)),
+            FnDef::Index(func) => out.push(self.eval_index_fn(func, i, size)),
+        }
+    }
+}
+
+impl TaskCtx<'_> {
+    fn buffer_reduce(
+        &mut self,
+        a: AccessId,
+        field: FieldId,
+        i: Idx,
+        op: ReduceOp,
+        v: f64,
+        set: &IndexSet,
+    ) {
+        let bi = self.buf_set_of_access[a.0 as usize].expect("buffered access");
+        let buf = &mut self.local_bufs[bi];
+        if buf.is_empty() {
+            buf.resize(set.len() as usize, op.identity());
+            let mut slot = self.buf_ops[bi].lock();
+            if slot.is_none() {
+                *slot = Some(op);
+                *self.buf_fields[bi].lock() = Some(field);
+            }
+        }
+        let rank = match set.rank(i) {
+            Some(r) => r as usize,
+            None => self.legality_violation(a, i),
+        };
+        buf[rank] = op.apply(buf[rank], v);
+    }
+}

@@ -1,0 +1,25 @@
+//! # partir-runtime — executing auto-parallelized programs
+//!
+//! Two execution back-ends over the plans produced by `partir-core`:
+//!
+//! * [`exec`] — a real threaded executor (one task per subregion on a
+//!   worker pool) implementing the paper's runtime mechanisms: legality
+//!   checking, two-step buffered reductions, relaxation guards, and private
+//!   sub-partitions;
+//! * [`sim`] — a distributed-memory simulator with an explicit machine
+//!   model (nodes, bandwidth, latency, per-node ingress/egress) used to
+//!   reproduce the weak-scaling experiments of Figure 14.
+
+pub mod exec;
+pub mod shared;
+pub mod sim;
+
+pub mod prelude {
+    pub use crate::exec::{execute_program, ExecError, ExecOptions, ExecReport};
+    pub use crate::shared::SharedStore;
+    pub use crate::sim::{
+        simulate, MachineModel, NodeBreakdown, SimAccess, SimLoop, SimResult, SimSpec,
+    };
+}
+
+pub use prelude::*;

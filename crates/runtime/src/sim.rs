@@ -1,0 +1,599 @@
+//! Distributed-memory execution simulator.
+//!
+//! The paper's evaluation (Figure 14) measures weak scaling on up to 256
+//! GPU nodes of Piz Daint. We reproduce the *shape* of those curves with an
+//! explicit machine model driven by the actual partitions the solver (or a
+//! manual strategy) produces:
+//!
+//! * one task per node (`color == node`, as in the paper's one-rank-per-GPU
+//!   configuration);
+//! * per-node compute time proportional to the task's iteration-subregion
+//!   size;
+//! * a *home* (owner) distribution per region, updated to the writing
+//!   partition after each loop — reads of elements outside the home
+//!   subregion cost ingress on the reader and egress on the owner;
+//! * reduction-buffer merges ship the buffered extent back to the owners;
+//! * per-message latency (with optional consolidation groups, modeling the
+//!   hand-optimized halo exchange of Section 6.2) and a per-run overhead
+//!   modeling the runtime's handling of fragmented index sets (the
+//!   sparsity-pattern issue of Section 6.5).
+//!
+//! Node time = compute + (ingress+egress)/bandwidth + messages×latency +
+//! runs×run_overhead; the iteration time is the maximum over nodes, which
+//! is what makes a single hot owner (Circuit's shared nodes on node 0) a
+//! scaling bottleneck exactly as in Figure 14d.
+
+use partir_dpl::index_set::IndexSet;
+use partir_dpl::ops;
+use partir_dpl::partition::Partition;
+use partir_dpl::region::RegionId;
+use std::collections::HashMap;
+
+/// The machine model.
+#[derive(Clone, Copy, Debug)]
+pub struct MachineModel {
+    pub nodes: usize,
+    /// Seconds per unit of loop work (one iteration × the loop's
+    /// `work_per_iter` weight).
+    pub compute_per_unit: f64,
+    /// NIC bandwidth per node, bytes/second.
+    pub bandwidth: f64,
+    /// Seconds per point-to-point message.
+    pub latency: f64,
+    /// Seconds per transferred index-set run (fragmentation overhead).
+    pub run_overhead: f64,
+    /// Seconds of per-node, per-launch runtime-metadata work per unit of
+    /// partition complexity (expression weight × total run count across all
+    /// subregions). This models the dependence-analysis cost of fragmented,
+    /// deeply-derived partitions in the underlying runtime — the effect that
+    /// makes the paper's PENNANT Auto+Hint1 stop scaling beyond 64 nodes
+    /// (Section 6.5) even though its communication volume matches the
+    /// hand-optimized version.
+    pub meta_overhead: f64,
+}
+
+impl MachineModel {
+    /// A GPU-cluster-flavored default (loosely shaped on one P100 +
+    /// Aries-class NIC per node; absolute values are not calibrated — only
+    /// curve shapes matter).
+    pub fn gpu_cluster(nodes: usize) -> Self {
+        MachineModel {
+            nodes,
+            compute_per_unit: 2.0e-9,
+            bandwidth: 10.0e9,
+            latency: 2.0e-6,
+            run_overhead: 0.1e-6,
+            meta_overhead: 10.0e-9,
+        }
+    }
+}
+
+/// How an access participates in communication.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SimKind {
+    Read,
+    /// Centered write: updates the region's home to the access partition.
+    Write,
+    /// Reduction applied in place (disjoint / guarded): write-back traffic
+    /// for remote elements, then home update.
+    ReduceDirect,
+    /// Buffered reduction: each task ships its buffered extent to owners.
+    ReduceBuffered { buffer_sets: Vec<IndexSet> },
+}
+
+/// One region access of a simulated loop.
+#[derive(Clone, Debug)]
+pub struct SimAccess {
+    pub region: RegionId,
+    pub part: Partition,
+    pub kind: SimKind,
+    pub bytes_per_elem: f64,
+    /// Accesses sharing a consolidation group pay at most one message per
+    /// peer per loop (the hand-optimized halo exchange).
+    pub group: Option<u32>,
+    /// Complexity of the DPL expression that constructed this partition
+    /// (operator-node count; 1.0 for externally provided partitions).
+    pub expr_weight: f64,
+}
+
+/// One parallel loop.
+#[derive(Clone, Debug)]
+pub struct SimLoop {
+    pub name: String,
+    pub iter: Partition,
+    /// Work units per iteration element.
+    pub work_per_iter: f64,
+    pub accesses: Vec<SimAccess>,
+}
+
+/// A whole main-loop iteration.
+#[derive(Clone, Debug, Default)]
+pub struct SimSpec {
+    pub loops: Vec<SimLoop>,
+    /// Region sizes (for default block homes).
+    pub region_sizes: HashMap<RegionId, u64>,
+    /// Optional initial home distribution per region (default: equal
+    /// blocks).
+    pub initial_home: HashMap<RegionId, Partition>,
+}
+
+/// Per-node cost breakdown (seconds).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NodeBreakdown {
+    pub compute: f64,
+    pub comm_bytes: f64,
+    pub messages: u64,
+    pub runs: u64,
+    /// Partition-complexity units charged for runtime metadata.
+    pub meta_units: f64,
+}
+
+impl NodeBreakdown {
+    pub fn time(&self, m: &MachineModel) -> f64 {
+        self.compute
+            + self.comm_bytes / m.bandwidth
+            + self.messages as f64 * m.latency
+            + self.runs as f64 * m.run_overhead
+            + self.meta_units * m.meta_overhead
+    }
+}
+
+/// Simulation output.
+#[derive(Clone, Debug)]
+pub struct SimResult {
+    /// Steady-state time of one main-loop iteration (max over nodes).
+    pub iteration_time: f64,
+    pub per_node: Vec<NodeBreakdown>,
+    /// Total bytes moved per iteration.
+    pub total_bytes: f64,
+    /// Total work units per iteration.
+    pub total_work: f64,
+}
+
+impl SimResult {
+    /// Throughput per node in work units per second (the Figure 14 y-axes
+    /// are all "items per second per node" for app-specific items).
+    pub fn throughput_per_node(&self, items: f64, nodes: usize) -> f64 {
+        items / (self.iteration_time * nodes as f64)
+    }
+}
+
+/// Runs the simulation to steady state (two iterations: the first settles
+/// region homes, the second is measured — matching the paper's
+/// "measured once programs reached a steady state").
+pub fn simulate(spec: &SimSpec, machine: &MachineModel) -> SimResult {
+    let n = machine.nodes;
+    // Initial homes.
+    let mut home: HashMap<RegionId, Vec<IndexSet>> = HashMap::new();
+    for (&r, &size) in &spec.region_sizes {
+        let h = spec
+            .initial_home
+            .get(&r)
+            .cloned()
+            .unwrap_or_else(|| ops::equal(r, size, n));
+        assert_eq!(h.num_subregions(), n, "home partition width must equal node count");
+        home.insert(r, h.subregions().to_vec());
+    }
+
+    let mut result = None;
+    for _round in 0..2 {
+        let mut per_node = vec![NodeBreakdown::default(); n];
+        let mut total_bytes = 0.0;
+        let mut total_work = 0.0;
+        // Message dedup per (loop, group, src, dst).
+        for lp in &spec.loops {
+            assert_eq!(lp.iter.num_subregions(), n, "iteration width must equal node count");
+            let mut peer_msgs: HashMap<(u32, usize, usize), ()> = HashMap::new();
+            let mut next_group = 1_000_000u32;
+            for p in 0..n {
+                let w = lp.iter.subregion(p).len() as f64 * lp.work_per_iter;
+                per_node[p].compute += w * machine.compute_per_unit;
+                total_work += w;
+            }
+            // Runtime metadata: every node's dependence analysis walks the
+            // full partition metadata of each launch, so fragmented or
+            // deeply-derived partitions cost all nodes, linearly in total
+            // run count.
+            let meta: f64 = lp
+                .accesses
+                .iter()
+                .map(|a| {
+                    a.expr_weight
+                        * a.part.iter().map(|s| s.run_count() as f64).sum::<f64>()
+                })
+                .sum();
+            for b in per_node.iter_mut() {
+                b.meta_units += meta;
+            }
+            for acc in &lp.accesses {
+                let h = home.get(&acc.region).unwrap_or_else(|| {
+                    panic!("region {:?} missing from region_sizes", acc.region)
+                });
+                let group = acc.group.unwrap_or_else(|| {
+                    next_group += 1;
+                    next_group
+                });
+                match &acc.kind {
+                    SimKind::Read => {
+                        gather(
+                            &acc.part,
+                            h,
+                            acc.bytes_per_elem,
+                            group,
+                            &mut per_node,
+                            &mut peer_msgs,
+                            &mut total_bytes,
+                        );
+                    }
+                    SimKind::Write | SimKind::ReduceDirect => {
+                        // Write-back of remote elements to their owners.
+                        scatter(
+                            acc.part.subregions(),
+                            h,
+                            acc.bytes_per_elem,
+                            group,
+                            &mut per_node,
+                            &mut peer_msgs,
+                            &mut total_bytes,
+                        );
+                    }
+                    SimKind::ReduceBuffered { buffer_sets } => {
+                        scatter(
+                            buffer_sets,
+                            h,
+                            acc.bytes_per_elem,
+                            group,
+                            &mut per_node,
+                            &mut peer_msgs,
+                            &mut total_bytes,
+                        );
+                    }
+                }
+            }
+            // Home updates: *writes* move ownership to the accessing
+            // partition (the "most recent writer" rule). Reductions merge
+            // into the owners' existing instances, so they do not move
+            // ownership.
+            for acc in &lp.accesses {
+                if matches!(acc.kind, SimKind::Write) {
+                    home.insert(acc.region, disjointify(&acc.part));
+                }
+            }
+        }
+        result = Some(SimResult {
+            iteration_time: per_node
+                .iter()
+                .map(|b| b.time(machine))
+                .fold(0.0f64, f64::max),
+            per_node,
+            total_bytes,
+            total_work,
+        });
+    }
+    result.expect("two rounds ran")
+}
+
+/// Read traffic: node `p` pulls `part[p] − home[p]` from the owners.
+fn gather(
+    part: &Partition,
+    home: &[IndexSet],
+    bytes: f64,
+    group: u32,
+    per_node: &mut [NodeBreakdown],
+    peer_msgs: &mut HashMap<(u32, usize, usize), ()>,
+    total_bytes: &mut f64,
+) {
+    let n = per_node.len();
+    for p in 0..n {
+        let needed = part.subregion(p).difference(&home[p]);
+        if needed.is_empty() {
+            continue;
+        }
+        for (q, hq) in home.iter().enumerate() {
+            if q == p {
+                continue;
+            }
+            let from_q = needed.intersect(hq);
+            if from_q.is_empty() {
+                continue;
+            }
+            let b = from_q.len() as f64 * bytes;
+            per_node[p].comm_bytes += b;
+            per_node[q].comm_bytes += b;
+            *total_bytes += b;
+            per_node[p].runs += from_q.run_count() as u64;
+            per_node[q].runs += from_q.run_count() as u64;
+            if peer_msgs.insert((group, q, p), ()).is_none() {
+                per_node[p].messages += 1;
+                per_node[q].messages += 1;
+            }
+        }
+    }
+}
+
+/// Write-back / merge traffic: node `p` ships `sets[p] − home[p]` to the
+/// owners.
+fn scatter(
+    sets: &[IndexSet],
+    home: &[IndexSet],
+    bytes: f64,
+    group: u32,
+    per_node: &mut [NodeBreakdown],
+    peer_msgs: &mut HashMap<(u32, usize, usize), ()>,
+    total_bytes: &mut f64,
+) {
+    let _n = per_node.len();
+    for (p, set) in sets.iter().enumerate() {
+        let remote = set.difference(&home[p]);
+        if remote.is_empty() {
+            continue;
+        }
+        for (q, hq) in home.iter().enumerate() {
+            if q == p {
+                continue;
+            }
+            let to_q = remote.intersect(hq);
+            if to_q.is_empty() {
+                continue;
+            }
+            let b = to_q.len() as f64 * bytes;
+            per_node[p].comm_bytes += b;
+            per_node[q].comm_bytes += b;
+            *total_bytes += b;
+            per_node[p].runs += to_q.run_count() as u64;
+            per_node[q].runs += to_q.run_count() as u64;
+            if peer_msgs.insert((group, p, q), ()).is_none() {
+                per_node[p].messages += 1;
+                per_node[q].messages += 1;
+            }
+        }
+    }
+}
+
+/// Makes a (possibly aliased) partition disjoint by first-owner claim, so
+/// it can serve as a home distribution.
+fn disjointify(p: &Partition) -> Vec<IndexSet> {
+    let mut seen = IndexSet::new();
+    p.iter()
+        .map(|s| {
+            let mine = s.difference(&seen);
+            seen = seen.union(s);
+            mine
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use partir_dpl::ops::equal;
+
+    fn r0() -> RegionId {
+        RegionId(0)
+    }
+
+    /// A perfectly local loop scales flat: doubling nodes with workload
+    /// keeps per-node time constant.
+    #[test]
+    fn embarrassingly_parallel_weak_scales_flat() {
+        let times: Vec<f64> = [1usize, 4, 16]
+            .iter()
+            .map(|&n| {
+                let size = 20_000 * n as u64;
+                let iter = equal(r0(), size, n);
+                let spec = SimSpec {
+                    loops: vec![SimLoop {
+                        name: "local".into(),
+                        iter: iter.clone(),
+                        work_per_iter: 1.0,
+                        accesses: vec![SimAccess {
+                            region: r0(),
+                            part: iter.clone(),
+                            kind: SimKind::Write,
+                            bytes_per_elem: 8.0,
+                            group: None,
+                            expr_weight: 1.0,
+                        }],
+                    }],
+                    region_sizes: [(r0(), size)].into_iter().collect(),
+                    initial_home: Default::default(),
+                };
+                simulate(&spec, &MachineModel::gpu_cluster(n)).iteration_time
+            })
+            .collect();
+        let ratio = times[2] / times[0];
+        assert!((0.99..1.01).contains(&ratio), "flat scaling, got {times:?}");
+    }
+
+    /// A loop whose every task reads a block owned by node 0 bottlenecks on
+    /// node 0's egress, and per-node throughput decays with node count.
+    #[test]
+    fn hot_owner_becomes_bottleneck() {
+        let eff_at = |n: usize| -> f64 {
+            let per_node = 10_000u64;
+            let size = per_node * n as u64;
+            let iter = equal(r0(), size, n);
+            // Every task also reads the first 1000 elements (owned by node
+            // 0 for n > 1).
+            let shared = IndexSet::from_range(0, 1000);
+            let read = Partition::new(
+                r0(),
+                iter.subregions().iter().map(|s| s.union(&shared)).collect(),
+            );
+            let spec = SimSpec {
+                loops: vec![SimLoop {
+                    name: "hot".into(),
+                    iter: iter.clone(),
+                    work_per_iter: 1.0,
+                    accesses: vec![SimAccess {
+                        region: r0(),
+                        part: read,
+                        kind: SimKind::Read,
+                        bytes_per_elem: 8.0,
+                        group: None,
+                        expr_weight: 1.0,
+                    }],
+                }],
+                region_sizes: [(r0(), size)].into_iter().collect(),
+                initial_home: Default::default(),
+            };
+            let res = simulate(&spec, &MachineModel::gpu_cluster(n));
+            // Weak-scaling efficiency vs the 1-node case is proportional to
+            // 1/iteration_time here (constant per-node work).
+            1.0 / res.iteration_time
+        };
+        let e1 = eff_at(1);
+        let e16 = eff_at(16);
+        let e64 = eff_at(64);
+        assert!(e16 < e1 * 0.95, "16-node efficiency should drop: {e16} vs {e1}");
+        assert!(e64 < e16, "decay continues with node count");
+    }
+
+    /// Consolidation groups reduce message counts (the Stencil manual
+    /// optimization): same bytes, fewer messages, lower time.
+    #[test]
+    fn consolidated_messages_cost_less() {
+        let n = 16usize;
+        let size = 1000 * n as u64;
+        let iter = equal(r0(), size, n);
+        // Two halo accesses reading one element from each neighbor.
+        let halo = |off: i64| -> Partition {
+            Partition::new(
+                r0(),
+                iter.subregions()
+                    .iter()
+                    .map(|s| {
+                        let lo = s.min().unwrap() as i64;
+                        let hi = s.max().unwrap() as i64;
+                        let probe = if off < 0 { lo + off } else { hi + off };
+                        if probe >= 0 && (probe as u64) < size {
+                            s.union(&IndexSet::from_range(probe as u64, probe as u64 + 1))
+                        } else {
+                            s.clone()
+                        }
+                    })
+                    .collect(),
+            )
+        };
+        let mk_spec = |group: [Option<u32>; 2]| SimSpec {
+            loops: vec![SimLoop {
+                name: "halo".into(),
+                iter: iter.clone(),
+                work_per_iter: 1.0,
+                accesses: vec![
+                    SimAccess {
+                        region: r0(),
+                        part: halo(-1),
+                        kind: SimKind::Read,
+                        bytes_per_elem: 8.0,
+                        group: group[0],
+                        expr_weight: 1.0,
+                    },
+                    SimAccess {
+                        region: r0(),
+                        part: halo(-2),
+                        kind: SimKind::Read,
+                        bytes_per_elem: 8.0,
+                        group: group[1],
+                        expr_weight: 1.0,
+                    },
+                ],
+            }],
+            region_sizes: [(r0(), size)].into_iter().collect(),
+            initial_home: Default::default(),
+        };
+        let m = MachineModel::gpu_cluster(n);
+        let separate = simulate(&mk_spec([None, None]), &m);
+        let consolidated = simulate(&mk_spec([Some(1), Some(1)]), &m);
+        assert!(consolidated.iteration_time < separate.iteration_time);
+        assert_eq!(consolidated.total_bytes, separate.total_bytes);
+    }
+
+    /// Buffered reductions ship buffer extents; a disjoint (direct)
+    /// reduction aligned with the home ships nothing.
+    #[test]
+    fn buffered_reduction_traffic() {
+        let n = 8usize;
+        let size = 800u64;
+        let iter = equal(r0(), size, n);
+        // Buffered: every task's buffer covers its block plus 10 remote
+        // elements.
+        let foreign = IndexSet::from_range(0, 10);
+        let bufs: Vec<IndexSet> =
+            iter.subregions().iter().map(|s| s.union(&foreign)).collect();
+        let spec = SimSpec {
+            loops: vec![SimLoop {
+                name: "reduce".into(),
+                iter: iter.clone(),
+                work_per_iter: 1.0,
+                accesses: vec![SimAccess {
+                    region: r0(),
+                    part: Partition::new(r0(), bufs.clone()),
+                    kind: SimKind::ReduceBuffered { buffer_sets: bufs },
+                    bytes_per_elem: 8.0,
+                    group: None,
+                    expr_weight: 1.0,
+                }],
+            }],
+            region_sizes: [(r0(), size)].into_iter().collect(),
+            initial_home: Default::default(),
+        };
+        let res = simulate(&spec, &MachineModel::gpu_cluster(n));
+        assert!(res.total_bytes > 0.0);
+        // Direct aligned reduction: no traffic.
+        let spec2 = SimSpec {
+            loops: vec![SimLoop {
+                name: "reduce".into(),
+                iter: iter.clone(),
+                work_per_iter: 1.0,
+                accesses: vec![SimAccess {
+                    region: r0(),
+                    part: iter.clone(),
+                    kind: SimKind::ReduceDirect,
+                    bytes_per_elem: 8.0,
+                    group: None,
+                    expr_weight: 1.0,
+                }],
+            }],
+            region_sizes: [(r0(), size)].into_iter().collect(),
+            initial_home: Default::default(),
+        };
+        let res2 = simulate(&spec2, &MachineModel::gpu_cluster(n));
+        assert_eq!(res2.total_bytes, 0.0);
+    }
+
+    /// Fragmented remote sets cost more than contiguous ones of equal size.
+    #[test]
+    fn run_fragmentation_overhead() {
+        let n = 4usize;
+        let size = 4000u64;
+        let iter = equal(r0(), size, n);
+        let contiguous: IndexSet = IndexSet::from_range(0, 100);
+        let fragmented: IndexSet = IndexSet::from_indices((0..200).step_by(2));
+        assert_eq!(contiguous.len(), fragmented.len());
+        let mk = |extra: &IndexSet| SimSpec {
+            loops: vec![SimLoop {
+                name: "frag".into(),
+                iter: iter.clone(),
+                work_per_iter: 1.0,
+                accesses: vec![SimAccess {
+                    region: r0(),
+                    part: Partition::new(
+                        r0(),
+                        iter.subregions().iter().map(|s| s.union(extra)).collect(),
+                    ),
+                    kind: SimKind::Read,
+                    bytes_per_elem: 8.0,
+                    group: None,
+                    expr_weight: 1.0,
+                }],
+            }],
+            region_sizes: [(r0(), size)].into_iter().collect(),
+            initial_home: Default::default(),
+        };
+        let m = MachineModel::gpu_cluster(n);
+        let t_cont = simulate(&mk(&contiguous), &m).iteration_time;
+        let t_frag = simulate(&mk(&fragmented), &m).iteration_time;
+        assert!(t_frag > t_cont, "{t_frag} vs {t_cont}");
+    }
+}

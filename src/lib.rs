@@ -1,0 +1,62 @@
+//! # partir — constraint-based automatic data partitioning
+//!
+//! A from-scratch Rust reproduction of *"A Constraint-Based Approach to
+//! Automatic Data Partitioning for Distributed Memory Execution"*
+//! (Lee, Papadakis, Slaughter, Aiken — SC '19).
+//!
+//! This facade re-exports the workspace crates:
+//!
+//! * [`dpl`] — regions, first-class partitions, and the Dependent
+//!   Partitioning Language operators (`equal`, `image`, `preimage`,
+//!   `IMAGE`/`PREIMAGE`, pointwise set algebra);
+//! * [`ir`] — the loop IR for parallelizable loops, the syntactic
+//!   parallelizability analysis, and the reference interpreter;
+//! * [`core`] — the paper's contribution: constraint inference
+//!   (Algorithm 1), the lemma engine (Figure 8), the constraint solver
+//!   (Algorithm 2), unification (Algorithm 3), external constraints, the
+//!   Section 5 reduction optimizations, and the end-to-end
+//!   [`core::pipeline::auto_parallelize`] pass;
+//! * [`runtime`] — a threaded executor (legality checking, reduction
+//!   buffers, relaxation guards, private sub-partitions) and a
+//!   distributed-memory simulator for the weak-scaling experiments;
+//! * [`apps`] — the five benchmark applications of the paper's evaluation.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use partir::prelude::*;
+//!
+//! // for i in R: S[g(i)] += R[i]   (Figure 7)
+//! let mut schema = Schema::new();
+//! let r = schema.add_region("R", 100);
+//! let s = schema.add_region("S", 100);
+//! let rx = schema.add_field(r, "x", FieldKind::F64);
+//! let sx = schema.add_field(s, "x", FieldKind::F64);
+//! let mut fns = FnTable::new();
+//! let g = fns.add("g", r, s, FnDef::Index(IndexFn::AffineMod { mul: 1, add: 3, modulus: 100 }));
+//!
+//! let mut b = LoopBuilder::new("scatter", r);
+//! let i = b.loop_var();
+//! let v = b.val_read(r, rx, i);
+//! let gi = b.idx_apply(g, i);
+//! b.val_reduce(s, sx, gi, ReduceOp::Add, VExpr::var(v));
+//! let program = vec![b.finish()];
+//!
+//! let plan = auto_parallelize(&program, &fns, &schema, &Hints::new(), Options::default())
+//!     .expect("parallelizable");
+//! println!("{}", plan.render_dpl(&fns)); // the synthesized DPL program
+//! ```
+
+pub use partir_apps as apps;
+pub use partir_core as core;
+pub use partir_dpl as dpl;
+pub use partir_ir as ir;
+pub use partir_runtime as runtime;
+
+/// One-stop imports for examples and downstream users.
+pub mod prelude {
+    pub use partir_core::prelude::*;
+    pub use partir_dpl::prelude::*;
+    pub use partir_ir::prelude::*;
+    pub use partir_runtime::prelude::*;
+}

@@ -1,0 +1,240 @@
+//! Solver soundness, empirically: for randomly generated parallelizable
+//! loops over randomly populated stores,
+//!
+//! 1. every constraint of the (post-unification) system — substituted with
+//!    the solver's bindings and evaluated to concrete partitions — holds:
+//!    subsets are subregion-wise subsets, `DISJ`/`COMP` predicates are true
+//!    of the evaluated partitions;
+//! 2. the auto-parallelized threaded execution equals the sequential
+//!    interpreter bit-for-bit (integer-valued data), with dynamic legality
+//!    checking on.
+
+use partir::prelude::*;
+use proptest::prelude::*;
+
+/// Configuration of a random two-region program.
+#[derive(Debug, Clone)]
+struct Cfg {
+    n_a: u64,
+    n_b: u64,
+    colors: usize,
+    read_ptr_chain: bool,
+    read_affine: bool,
+    reduce_via_ptr: bool,
+    reduce_via_affine: bool,
+    second_loop: bool,
+    ptr_seed: u64,
+}
+
+fn arb_cfg() -> impl Strategy<Value = Cfg> {
+    (
+        20u64..120,
+        10u64..60,
+        1usize..7,
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+        any::<u64>(),
+    )
+        .prop_map(
+            |(n_a, n_b, colors, read_ptr_chain, read_affine, reduce_via_ptr, reduce_via_affine, second_loop, ptr_seed)| Cfg {
+                n_a,
+                n_b,
+                colors,
+                read_ptr_chain,
+                read_affine,
+                reduce_via_ptr,
+                reduce_via_affine,
+                second_loop,
+                ptr_seed,
+            },
+        )
+}
+
+struct Built {
+    store: Store,
+    fns: FnTable,
+    program: Vec<Loop>,
+}
+
+fn build(cfg: &Cfg) -> Built {
+    use rand::{Rng, SeedableRng};
+    let mut schema = Schema::new();
+    let b_r = schema.add_region("B", cfg.n_b);
+    let a_r = schema.add_region("A", cfg.n_a);
+    let ptr = schema.add_field(a_r, "ptr", FieldKind::Ptr(b_r));
+    let aval = schema.add_field(a_r, "val", FieldKind::F64);
+    let aout = schema.add_field(a_r, "out", FieldKind::F64);
+    let bval = schema.add_field(b_r, "val", FieldKind::F64);
+    let bacc = schema.add_field(b_r, "acc", FieldKind::F64);
+
+    let mut fns = FnTable::new();
+    let fptr = fns.add_ptr_field("A[.].ptr", a_r, b_r, ptr);
+    let faff = fns.add(
+        "wrapB",
+        b_r,
+        b_r,
+        FnDef::Index(IndexFn::AffineMod { mul: 1, add: 3, modulus: cfg.n_b }),
+    );
+    let faff_ab = fns.add(
+        "wrapAB",
+        a_r,
+        b_r,
+        FnDef::Index(IndexFn::AffineMod { mul: 1, add: 1, modulus: cfg.n_b }),
+    );
+
+    let mut store = Store::new(schema);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(cfg.ptr_seed);
+    for v in store.ptrs_mut(ptr).iter_mut() {
+        *v = rng.gen_range(0..cfg.n_b);
+    }
+    for v in store.f64s_mut(aval).iter_mut() {
+        *v = rng.gen_range(0..32) as f64;
+    }
+    for v in store.f64s_mut(bval).iter_mut() {
+        *v = rng.gen_range(0..32) as f64;
+    }
+
+    // Loop 1 over A: centered read, optional uncentered reads of B, a
+    // centered write, and optional uncentered reductions into B.acc.
+    let mut bld = LoopBuilder::new("loop_a", a_r);
+    let i = bld.loop_var();
+    let v0 = bld.val_read(a_r, aval, i);
+    let mut expr = VExpr::var(v0);
+    if cfg.read_ptr_chain {
+        let bi = bld.idx_read(a_r, ptr, i, fptr);
+        let bv = bld.val_read(b_r, bval, bi);
+        // Chain one more hop through the affine neighbor.
+        let bj = bld.idx_apply(faff, bi);
+        let bv2 = bld.val_read(b_r, bval, bj);
+        expr = VExpr::add(expr, VExpr::add(VExpr::var(bv), VExpr::var(bv2)));
+    }
+    if cfg.read_affine {
+        let bj = bld.idx_apply(faff_ab, i);
+        let bv = bld.val_read(b_r, bval, bj);
+        expr = VExpr::add(expr, VExpr::var(bv));
+    }
+    bld.val_write(a_r, aout, i, expr.clone());
+    if cfg.reduce_via_ptr {
+        let bi = bld.idx_read(a_r, ptr, i, fptr);
+        bld.val_reduce(b_r, bacc, bi, ReduceOp::Add, VExpr::var(v0));
+    }
+    if cfg.reduce_via_affine {
+        let bj = bld.idx_apply(faff_ab, i);
+        bld.val_reduce(b_r, bacc, bj, ReduceOp::Add, VExpr::var(v0));
+    }
+    let l1 = bld.finish();
+
+    let mut program = vec![l1];
+    if cfg.second_loop {
+        // Loop 2 over B: centered update reading an affine neighbor.
+        let mut bld = LoopBuilder::new("loop_b", b_r);
+        let j = bld.loop_var();
+        let nv = bld.idx_apply(faff, j);
+        let x = bld.val_read(b_r, bval, nv);
+        bld.val_reduce(b_r, bacc, j, ReduceOp::Add, VExpr::var(x));
+        program.push(bld.finish());
+    }
+    Built { store, fns, program }
+}
+
+/// Evaluates a closed expression through the plan's evaluator.
+fn eval_closed(
+    e: &partir::core::lang::PExpr,
+    store: &Store,
+    fns: &FnTable,
+    colors: usize,
+) -> partir::dpl::partition::Partition {
+    let exts = ExtBindings::new();
+    let mut ev = Evaluator::new(store, fns, colors, &exts);
+    ev.eval(e)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn constraints_hold_and_execution_matches(cfg in arb_cfg()) {
+        // reduce_via_affine alone with reduce_via_ptr exercises relaxation;
+        // both false exercises pure reads.
+        let built = build(&cfg);
+        let schema = built.store.schema().clone();
+        let plan = auto_parallelize(
+            &built.program,
+            &built.fns,
+            &schema,
+            &Hints::new(),
+            Options::default(),
+        )
+        .expect("generated programs are parallelizable");
+
+        // ---- 1. Every constraint holds on the evaluated partitions. ----
+        let subst = |e: &partir::core::lang::PExpr| -> partir::core::lang::PExpr {
+            let mut out = e.clone();
+            let mut syms = std::collections::BTreeSet::new();
+            out.syms(&mut syms);
+            for s in syms {
+                out = out.subst(s, plan.solution.expr_for(s));
+            }
+            out
+        };
+        for sub in &plan.system.subset_obligations {
+            let lhs = eval_closed(&subst(&sub.lhs), &built.store, &built.fns, cfg.colors);
+            let rhs = eval_closed(&subst(&sub.rhs), &built.store, &built.fns, cfg.colors);
+            prop_assert!(
+                lhs.subset_of(&rhs),
+                "subset violated: {:?} ⊆ {:?}",
+                sub.lhs,
+                sub.rhs
+            );
+        }
+        for pred in &plan.system.pred_obligations {
+            match pred {
+                partir::core::lang::Pred::Disj(e) => {
+                    let p = eval_closed(&subst(e), &built.store, &built.fns, cfg.colors);
+                    prop_assert!(p.is_disjoint(), "DISJ violated: {e:?}");
+                }
+                partir::core::lang::Pred::Comp(e, r) => {
+                    let p = eval_closed(&subst(e), &built.store, &built.fns, cfg.colors);
+                    let size = schema.region_size(*r);
+                    prop_assert!(p.is_complete(size), "COMP violated: {e:?}");
+                }
+                partir::core::lang::Pred::Part(e, r) => {
+                    let p = eval_closed(&subst(e), &built.store, &built.fns, cfg.colors);
+                    let size = schema.region_size(*r);
+                    prop_assert!(p.is_partition_of(size), "PART violated: {e:?}");
+                }
+            }
+        }
+
+        // ---- 2. Parallel execution ≡ sequential, legality checks on. ----
+        let parts = plan.evaluate(&built.store, &built.fns, cfg.colors, &ExtBindings::new());
+        let mut seq = built.store.clone();
+        run_program_seq(&built.program, &mut seq, &built.fns);
+        let mut par = built.store.clone();
+        let report = execute_program(
+            &built.program,
+            &plan,
+            &parts,
+            &mut par,
+            &built.fns,
+            &ExecOptions { n_threads: 3, check_legality: true },
+        );
+        let report = match report {
+            Ok(r) => r,
+            Err(e) => return Err(TestCaseError::fail(format!("exec failed: {e}"))),
+        };
+        for f in 0..schema.num_fields() {
+            let fid = partir::dpl::region::FieldId(f as u32);
+            if let partir::dpl::region::FieldData::F64(sv) = seq.field_data(fid) {
+                let partir::dpl::region::FieldData::F64(pv) = par.field_data(fid) else {
+                    unreachable!()
+                };
+                prop_assert_eq!(sv, pv, "field {:?} diverged (cfg {:?})", fid, cfg);
+            }
+        }
+        let _ = report;
+    }
+}
