@@ -19,7 +19,7 @@
 //! sub-partitions, beating the manual version up to 64 nodes because the
 //! manual code always buffers the whole shared-node block.
 
-use crate::support::{sim_spec_from_plan, LoopWeights, ScalePoint, ScaleSeries};
+use crate::support::{sim_spec_from_plan, LoopWeights, ScalePoint, ScaleSeries, SimSummary};
 use partir_core::eval::ExtBindings;
 use partir_core::lang::{FnRef, PExpr};
 use partir_core::pipeline::{auto_parallelize, Hints, Options, ParallelPlan};
@@ -433,22 +433,31 @@ pub fn fig14d_series(
         let weights = LoopWeights(vec![6.0, 4.0, 4.0]);
 
         let res = simulate(&app.manual_sim_spec(n), &machine);
-        manual
-            .push(ScalePoint { nodes: n, throughput_per_node: res.throughput_per_node(items, n) });
+        manual.push(ScalePoint {
+            nodes: n,
+            throughput_per_node: res.throughput_per_node(items, n),
+            sim: SimSummary::from_result(&res, &machine),
+        });
 
         let (plan, _, exts) = app.hinted_plan(n);
         let parts = plan.evaluate(&app.store, &app.fns, n, &exts);
         let spec = sim_spec_from_plan(&app.program, &plan, &parts, &app.store, &weights);
         let res = simulate(&spec, &machine);
-        hinted
-            .push(ScalePoint { nodes: n, throughput_per_node: res.throughput_per_node(items, n) });
+        hinted.push(ScalePoint {
+            nodes: n,
+            throughput_per_node: res.throughput_per_node(items, n),
+            sim: SimSummary::from_result(&res, &machine),
+        });
 
         let plan = app.auto_plan();
         let parts = plan.evaluate(&app.store, &app.fns, n, &ExtBindings::new());
         let spec = sim_spec_from_plan(&app.program, &plan, &parts, &app.store, &weights);
         let res = simulate(&spec, &machine);
-        auto_
-            .push(ScalePoint { nodes: n, throughput_per_node: res.throughput_per_node(items, n) });
+        auto_.push(ScalePoint {
+            nodes: n,
+            throughput_per_node: res.throughput_per_node(items, n),
+            sim: SimSummary::from_result(&res, &machine),
+        });
     }
     vec![
         ScaleSeries { label: "Manual".into(), points: manual },

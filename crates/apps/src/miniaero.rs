@@ -13,7 +13,7 @@
 //! whose face subregions are fragmented at block boundaries — the source of
 //! the paper's ~2% average gap.
 
-use crate::support::{sim_spec_from_plan, LoopWeights, ScalePoint, ScaleSeries};
+use crate::support::{sim_spec_from_plan, LoopWeights, ScalePoint, ScaleSeries, SimSummary};
 use partir_core::eval::ExtBindings;
 use partir_core::pipeline::{auto_parallelize, Hints, Options, ParallelPlan};
 use partir_dpl::func::{FnId, FnTable};
@@ -331,16 +331,22 @@ pub fn fig14c_series(
         let machine = MachineModel::gpu_cluster(n);
 
         let res = simulate(&app.manual_sim_spec(n), &machine);
-        manual
-            .push(ScalePoint { nodes: n, throughput_per_node: res.throughput_per_node(items, n) });
+        manual.push(ScalePoint {
+            nodes: n,
+            throughput_per_node: res.throughput_per_node(items, n),
+            sim: SimSummary::from_result(&res, &machine),
+        });
 
         let plan = app.auto_plan();
         let parts = plan.evaluate(&app.store, &app.fns, n, &ExtBindings::new());
         let weights = LoopWeights(vec![12.0, 4.0, 4.0]);
         let spec = sim_spec_from_plan(&app.program, &plan, &parts, &app.store, &weights);
         let res = simulate(&spec, &machine);
-        auto_
-            .push(ScalePoint { nodes: n, throughput_per_node: res.throughput_per_node(items, n) });
+        auto_.push(ScalePoint {
+            nodes: n,
+            throughput_per_node: res.throughput_per_node(items, n),
+            sim: SimSummary::from_result(&res, &machine),
+        });
     }
     vec![
         ScaleSeries { label: "Manual".into(), points: manual },

@@ -23,7 +23,7 @@
 //!   noticeable difference from Manual;
 //! * **Manual** — the hand-optimized strategy.
 
-use crate::support::{sim_spec_from_plan, LoopWeights, ScalePoint, ScaleSeries};
+use crate::support::{sim_spec_from_plan, LoopWeights, ScalePoint, ScaleSeries, SimSummary};
 use partir_core::eval::ExtBindings;
 use partir_core::lang::{FnRef, PExpr};
 use partir_core::pipeline::{auto_parallelize, Hints, Options, ParallelPlan};
@@ -163,12 +163,12 @@ impl Pennant {
         let mut piece_zones = vec![Vec::new(); p.pieces];
         let mut zone_of = HashMap::new();
         let mut z_next = 0u64;
-        for k in 0..p.pieces {
+        for (k, zones) in piece_zones.iter_mut().enumerate() {
             for lc in 0..p.zw {
                 let c = k as u64 * p.zw + lc;
                 for r in 0..p.zy {
                     zone_of.insert((c, r), z_next);
-                    piece_zones[k].push(z_next);
+                    zones.push(z_next);
                     z_next += 1;
                 }
             }
@@ -603,9 +603,11 @@ pub fn fig14e_series(zw: u64, zy: u64, nodes_list: &[usize]) -> Vec<ScaleSeries>
         let machine = MachineModel::gpu_cluster(n);
 
         let res = simulate(&app.manual_sim_spec(n), &machine);
-        series[0]
-            .points
-            .push(ScalePoint { nodes: n, throughput_per_node: res.throughput_per_node(items, n) });
+        series[0].points.push(ScalePoint {
+            nodes: n,
+            throughput_per_node: res.throughput_per_node(items, n),
+            sim: SimSummary::from_result(&res, &machine),
+        });
 
         for (si, config) in
             [(1, PennantConfig::Hint2), (2, PennantConfig::Hint1), (3, PennantConfig::Auto)]
@@ -617,6 +619,7 @@ pub fn fig14e_series(zw: u64, zy: u64, nodes_list: &[usize]) -> Vec<ScaleSeries>
             series[si].points.push(ScalePoint {
                 nodes: n,
                 throughput_per_node: res.throughput_per_node(items, n),
+                sim: SimSummary::from_result(&res, &machine),
             });
         }
     }

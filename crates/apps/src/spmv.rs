@@ -10,7 +10,7 @@
 //! inner loop's iteration space is the CSR row range, a set-valued function
 //! of the outer index.
 
-use crate::support::{sim_spec_from_plan, LoopWeights, ScalePoint, ScaleSeries};
+use crate::support::{sim_spec_from_plan, LoopWeights, ScalePoint, ScaleSeries, SimSummary};
 use partir_core::eval::ExtBindings;
 use partir_core::pipeline::{auto_parallelize, Hints, Options, ParallelPlan};
 use partir_dpl::func::{FnId, FnTable};
@@ -150,10 +150,12 @@ pub fn fig14a_series(rows_per_node: u64, nodes_list: &[usize]) -> ScaleSeries {
         let flops_per_row = 2.0 * (app.nnz as f64) / (app.rows as f64);
         let weights = LoopWeights::uniform(app.program.len(), flops_per_row);
         let spec = sim_spec_from_plan(&app.program, &plan, &parts, &app.store, &weights);
-        let res = simulate(&spec, &MachineModel::gpu_cluster(n));
+        let m = MachineModel::gpu_cluster(n);
+        let res = simulate(&spec, &m);
         points.push(ScalePoint {
             nodes: n,
             throughput_per_node: res.throughput_per_node(app.nnz as f64, n),
+            sim: SimSummary::from_result(&res, &m),
         });
     }
     ScaleSeries { label: "Auto".into(), points }

@@ -14,7 +14,7 @@
 //! need two transfers per direction. We model that with the simulator's
 //! message-consolidation groups; both versions move the same bytes.
 
-use crate::support::{sim_spec_from_plan, LoopWeights, ScalePoint, ScaleSeries};
+use crate::support::{sim_spec_from_plan, LoopWeights, ScalePoint, ScaleSeries, SimSummary};
 use partir_core::eval::ExtBindings;
 use partir_core::pipeline::{auto_parallelize, Hints, Options, ParallelPlan};
 use partir_dpl::func::{FnDef, FnTable, IndexFn};
@@ -233,14 +233,22 @@ pub fn fig14b_series(nx: u64, rows_per_node: u64, nodes_list: &[usize]) -> Vec<S
 
         let spec = app.manual_sim_spec(n);
         let res = simulate(&spec, &machine);
-        manual.push(ScalePoint { nodes: n, throughput_per_node: res.throughput_per_node(points, n) });
+        manual.push(ScalePoint {
+            nodes: n,
+            throughput_per_node: res.throughput_per_node(points, n),
+            sim: SimSummary::from_result(&res, &machine),
+        });
 
         let plan = app.auto_plan();
         let parts = plan.evaluate(&app.store, &app.fns, n, &ExtBindings::new());
         let weights = LoopWeights(vec![9.0, 1.0]);
         let spec = sim_spec_from_plan(&app.program, &plan, &parts, &app.store, &weights);
         let res = simulate(&spec, &machine);
-        auto_.push(ScalePoint { nodes: n, throughput_per_node: res.throughput_per_node(points, n) });
+        auto_.push(ScalePoint {
+            nodes: n,
+            throughput_per_node: res.throughput_per_node(points, n),
+            sim: SimSummary::from_result(&res, &machine),
+        });
     }
     vec![
         ScaleSeries { label: "Manual".into(), points: manual },

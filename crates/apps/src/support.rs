@@ -7,7 +7,9 @@ use partir_dpl::partition::Partition;
 use partir_dpl::region::{RegionId, Store};
 use partir_ir::analysis::AccessKind;
 use partir_ir::ast::Loop;
-use partir_runtime::sim::{SimAccess, SimKind, SimLoop, SimSpec};
+use partir_runtime::sim::{
+    MachineModel, NodeBreakdown, SimAccess, SimKind, SimLoop, SimResult, SimSpec,
+};
 use std::collections::HashMap;
 
 /// Per-loop simulation weights (work units per iteration element).
@@ -120,6 +122,60 @@ pub fn pexpr_weight(e: &partir_core::lang::PExpr) -> f64 {
 /// The node counts of the Figure 14 x-axes.
 pub const FIG14_NODES: [usize; 9] = [1, 2, 4, 8, 16, 32, 64, 128, 256];
 
+/// Compact simulator summary carried with each scale point into JSON
+/// reports: scalar totals plus the bottleneck node's cost split, so a
+/// report reader can tell *why* a curve bends (compute vs bytes vs
+/// latency vs fragmentation vs runtime metadata) without rerunning.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct SimSummary {
+    pub iteration_time_s: f64,
+    pub total_bytes: f64,
+    pub total_work: f64,
+    /// Node whose time equals the iteration time.
+    pub bottleneck_node: usize,
+    pub bottleneck_compute_s: f64,
+    pub bottleneck_comm_s: f64,
+    pub bottleneck_latency_s: f64,
+    pub bottleneck_run_overhead_s: f64,
+    pub bottleneck_meta_s: f64,
+}
+
+impl SimSummary {
+    pub fn from_result(res: &SimResult, m: &MachineModel) -> Self {
+        let (node, b) = res
+            .per_node
+            .iter()
+            .enumerate()
+            .max_by(|(_, a), (_, b)| a.time(m).total_cmp(&b.time(m)))
+            .map(|(i, b)| (i, *b))
+            .unwrap_or((0, NodeBreakdown::default()));
+        SimSummary {
+            iteration_time_s: res.iteration_time,
+            total_bytes: res.total_bytes,
+            total_work: res.total_work,
+            bottleneck_node: node,
+            bottleneck_compute_s: b.compute,
+            bottleneck_comm_s: b.comm_bytes / m.bandwidth,
+            bottleneck_latency_s: b.messages as f64 * m.latency,
+            bottleneck_run_overhead_s: b.runs as f64 * m.run_overhead,
+            bottleneck_meta_s: b.meta_units * m.meta_overhead,
+        }
+    }
+
+    pub fn to_json(&self) -> partir_obs::json::Json {
+        partir_obs::json::Json::object()
+            .with("iteration_time_s", self.iteration_time_s)
+            .with("total_bytes", self.total_bytes)
+            .with("total_work", self.total_work)
+            .with("bottleneck_node", self.bottleneck_node)
+            .with("bottleneck_compute_s", self.bottleneck_compute_s)
+            .with("bottleneck_comm_s", self.bottleneck_comm_s)
+            .with("bottleneck_latency_s", self.bottleneck_latency_s)
+            .with("bottleneck_run_overhead_s", self.bottleneck_run_overhead_s)
+            .with("bottleneck_meta_s", self.bottleneck_meta_s)
+    }
+}
+
 /// One point of a weak-scaling series.
 #[derive(Clone, Copy, Debug)]
 pub struct ScalePoint {
@@ -127,6 +183,8 @@ pub struct ScalePoint {
     /// App items (non-zeros, points, cells, wires, zones) per second per
     /// node.
     pub throughput_per_node: f64,
+    /// Simulator cost breakdown behind this point.
+    pub sim: SimSummary,
 }
 
 /// A named weak-scaling series (one line of a Figure 14 plot).
@@ -149,6 +207,24 @@ impl ScaleSeries {
             .iter()
             .find(|p| p.nodes == nodes)
             .map(|p| p.throughput_per_node)
+    }
+
+    /// JSON form for machine-readable reports (one Figure-14 line).
+    pub fn to_json(&self) -> partir_obs::json::Json {
+        use partir_obs::json::Json;
+        let mut points = Json::array();
+        for p in &self.points {
+            points = points.push(
+                Json::object()
+                    .with("nodes", p.nodes)
+                    .with("throughput_per_node", p.throughput_per_node)
+                    .with("sim", p.sim.to_json()),
+            );
+        }
+        Json::object()
+            .with("label", self.label.as_str())
+            .with("efficiency", self.efficiency())
+            .with("points", points)
     }
 }
 

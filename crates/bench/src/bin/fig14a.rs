@@ -6,29 +6,38 @@
 //! to override).
 //!
 //! Run: `cargo run --release -p partir-bench --bin fig14a`
+//! JSON report: `... --bin fig14a -- --json [--out PATH]`
 
 use partir_apps::spmv::fig14a_series;
 use partir_apps::support::{render_series, FIG14_NODES};
+use partir_bench::{series_json, BenchArgs};
+use partir_obs::json::Json;
 
 fn main() {
+    let args = BenchArgs::parse();
     let rows_per_node: u64 = std::env::var("SPMV_ROWS_PER_NODE")
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(20_000);
     let series = fig14a_series(rows_per_node, &FIG14_NODES);
-    println!(
-        "{}",
-        render_series(
-            &format!(
-                "Figure 14a: SpMV weak scaling (throughput/node, non-zeros/s; {} rows/node)",
-                rows_per_node
-            ),
-            &[series.clone()]
-        )
-    );
-    println!(
-        "parallel efficiency at {} nodes: {:.1}% (paper: 99%)",
-        series.points.last().unwrap().nodes,
-        series.efficiency() * 100.0
-    );
+    let payload = Json::object()
+        .with("rows_per_node", rows_per_node)
+        .with("series", series_json(std::slice::from_ref(&series)));
+    args.emit("fig14a", payload, || {
+        println!(
+            "{}",
+            render_series(
+                &format!(
+                    "Figure 14a: SpMV weak scaling (throughput/node, non-zeros/s; {} rows/node)",
+                    rows_per_node
+                ),
+                std::slice::from_ref(&series)
+            )
+        );
+        println!(
+            "parallel efficiency at {} nodes: {:.1}% (paper: 99%)",
+            series.points.last().unwrap().nodes,
+            series.efficiency() * 100.0
+        );
+    });
 }

@@ -5,34 +5,44 @@
 //! version consolidates halo exchanges into one transfer per direction.
 //!
 //! Run: `cargo run --release -p partir-bench --bin fig14b`
+//! JSON report: `... --bin fig14b -- --json [--out PATH]`
 
 use partir_apps::stencil::fig14b_series;
 use partir_apps::support::{render_series, FIG14_NODES};
+use partir_bench::{series_json, BenchArgs};
+use partir_obs::json::Json;
 
 fn main() {
+    let args = BenchArgs::parse();
     let nx: u64 = std::env::var("STENCIL_NX").ok().and_then(|v| v.parse().ok()).unwrap_or(256);
     let rows_per_node: u64 = std::env::var("STENCIL_ROWS_PER_NODE")
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(256);
     let series = fig14b_series(nx, rows_per_node, &FIG14_NODES);
-    println!(
-        "{}",
-        render_series(
-            &format!(
-                "Figure 14b: Stencil weak scaling (points/s per node; {}x{} points/node)",
-                nx, rows_per_node
-            ),
-            &series
-        )
-    );
-    for s in &series {
+    let payload = Json::object()
+        .with("nx", nx)
+        .with("rows_per_node", rows_per_node)
+        .with("series", series_json(&series));
+    args.emit("fig14b", payload, || {
         println!(
-            "{:<10} efficiency at {} nodes: {:.1}%",
-            s.label,
-            s.points.last().unwrap().nodes,
-            s.efficiency() * 100.0
+            "{}",
+            render_series(
+                &format!(
+                    "Figure 14b: Stencil weak scaling (points/s per node; {}x{} points/node)",
+                    nx, rows_per_node
+                ),
+                &series
+            )
         );
-    }
-    println!("(paper: Manual 98%, Auto 93%, Auto ~3% slower on average)");
+        for s in &series {
+            println!(
+                "{:<10} efficiency at {} nodes: {:.1}%",
+                s.label,
+                s.points.last().unwrap().nodes,
+                s.efficiency() * 100.0
+            );
+        }
+        println!("(paper: Manual 98%, Auto 93%, Auto ~3% slower on average)");
+    });
 }

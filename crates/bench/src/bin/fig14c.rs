@@ -6,19 +6,24 @@
 //! reductions are relaxed (Section 5.1) — no reduction buffers at all.
 //!
 //! Run: `cargo run --release -p partir-bench --bin fig14c`
+//! JSON report: `... --bin fig14c -- --json [--out PATH]`
 //! Ablation: `MINIAERO_NO_RELAX=1 cargo run ... --bin fig14c` disables the
 //! relaxation to show the buffered fallback.
 
 use partir_apps::miniaero::{fig14c_series, MiniAero, MiniAeroParams};
 use partir_apps::support::{
     render_series, sim_spec_from_plan, FIG14_NODES, LoopWeights, ScalePoint, ScaleSeries,
+    SimSummary,
 };
+use partir_bench::{series_json, BenchArgs};
 use partir_core::eval::ExtBindings;
 use partir_core::optimize::RelaxPolicy;
 use partir_core::pipeline::{auto_parallelize, Hints, Options};
+use partir_obs::json::Json;
 use partir_runtime::sim::{simulate, MachineModel};
 
 fn main() {
+    let args = BenchArgs::parse();
     let nx: u64 = std::env::var("MINIAERO_NX").ok().and_then(|v| v.parse().ok()).unwrap_or(32);
     let ny: u64 = std::env::var("MINIAERO_NY").ok().and_then(|v| v.parse().ok()).unwrap_or(32);
     let nz_per_node: u64 =
@@ -43,32 +48,41 @@ fn main() {
             let parts = plan.evaluate(&app.store, &app.fns, n, &ExtBindings::new());
             let weights = LoopWeights(vec![12.0, 4.0, 4.0]);
             let spec = sim_spec_from_plan(&app.program, &plan, &parts, &app.store, &weights);
-            let res = simulate(&spec, &MachineModel::gpu_cluster(n));
+            let machine = MachineModel::gpu_cluster(n);
+            let res = simulate(&spec, &machine);
             points.push(ScalePoint {
                 nodes: n,
                 throughput_per_node: res.throughput_per_node(app.n_cells as f64, n),
+                sim: SimSummary::from_result(&res, &machine),
             });
         }
         series.push(ScaleSeries { label: "Auto(no-relax)".into(), points });
     }
 
-    println!(
-        "{}",
-        render_series(
-            &format!(
-                "Figure 14c: MiniAero weak scaling (cells/s per node; {}x{}x{} cells/node)",
-                nx, ny, nz_per_node
-            ),
-            &series
-        )
-    );
-    for s in &series {
+    let payload = Json::object()
+        .with("nx", nx)
+        .with("ny", ny)
+        .with("nz_per_node", nz_per_node)
+        .with("series", series_json(&series));
+    args.emit("fig14c", payload, || {
         println!(
-            "{:<16} efficiency at {} nodes: {:.1}%",
-            s.label,
-            s.points.last().unwrap().nodes,
-            s.efficiency() * 100.0
+            "{}",
+            render_series(
+                &format!(
+                    "Figure 14c: MiniAero weak scaling (cells/s per node; {}x{}x{} cells/node)",
+                    nx, ny, nz_per_node
+                ),
+                &series
+            )
         );
-    }
-    println!("(paper: both 98%, Auto ~2% slower on average; relaxation eliminates buffers)");
+        for s in &series {
+            println!(
+                "{:<16} efficiency at {} nodes: {:.1}%",
+                s.label,
+                s.points.last().unwrap().nodes,
+                s.efficiency() * 100.0
+            );
+        }
+        println!("(paper: both 98%, Auto ~2% slower on average; relaxation eliminates buffers)");
+    });
 }

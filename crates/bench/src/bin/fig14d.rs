@@ -10,11 +10,15 @@
 //! private sub-partitions (the manual code buffers the whole shared block).
 //!
 //! Run: `cargo run --release -p partir-bench --bin fig14d`
+//! JSON report: `... --bin fig14d -- --json [--out PATH]`
 
 use partir_apps::circuit::fig14d_series;
 use partir_apps::support::{render_series, FIG14_NODES};
+use partir_bench::{series_json, BenchArgs};
+use partir_obs::json::Json;
 
 fn main() {
+    let args = BenchArgs::parse();
     let nodes_per_cluster: u64 =
         std::env::var("CIRCUIT_NODES_PER_CLUSTER").ok().and_then(|v| v.parse().ok()).unwrap_or(4000);
     let wires_per_cluster: u64 = std::env::var("CIRCUIT_WIRES_PER_CLUSTER")
@@ -22,24 +26,30 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(16000);
     let series = fig14d_series(nodes_per_cluster, wires_per_cluster, &FIG14_NODES);
-    println!(
-        "{}",
-        render_series(
-            &format!(
-                "Figure 14d: Circuit weak scaling (wires/s per node; {} wires/node)",
-                wires_per_cluster
-            ),
-            &series
-        )
-    );
-    for s in &series {
+    let payload = Json::object()
+        .with("nodes_per_cluster", nodes_per_cluster)
+        .with("wires_per_cluster", wires_per_cluster)
+        .with("series", series_json(&series));
+    args.emit("fig14d", payload, || {
         println!(
-            "{:<12} efficiency at {} nodes: {:.1}%",
-            s.label,
-            s.points.last().unwrap().nodes,
-            s.efficiency() * 100.0
+            "{}",
+            render_series(
+                &format!(
+                    "Figure 14d: Circuit weak scaling (wires/s per node; {} wires/node)",
+                    wires_per_cluster
+                ),
+                &series
+            )
         );
-    }
-    println!("(paper: Auto matches ≤8 nodes then bottlenecks on the shared-node subregion;");
-    println!(" Auto+Hint within 5% of Manual at 256, ahead of Manual ≤64 nodes)");
+        for s in &series {
+            println!(
+                "{:<12} efficiency at {} nodes: {:.1}%",
+                s.label,
+                s.points.last().unwrap().nodes,
+                s.efficiency() * 100.0
+            );
+        }
+        println!("(paper: Auto matches ≤8 nodes then bottlenecks on the shared-node subregion;");
+        println!(" Auto+Hint within 5% of Manual at 256, ahead of Manual ≤64 nodes)");
+    });
 }

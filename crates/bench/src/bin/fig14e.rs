@@ -11,32 +11,42 @@
 //! noticeable difference from Manual.
 //!
 //! Run: `cargo run --release -p partir-bench --bin fig14e`
+//! JSON report: `... --bin fig14e -- --json [--out PATH]`
 
 use partir_apps::pennant::fig14e_series;
 use partir_apps::support::{render_series, FIG14_NODES};
+use partir_bench::{series_json, BenchArgs};
+use partir_obs::json::Json;
 
 fn main() {
+    let args = BenchArgs::parse();
     let zw: u64 = std::env::var("PENNANT_ZW").ok().and_then(|v| v.parse().ok()).unwrap_or(24);
     let zy: u64 = std::env::var("PENNANT_ZY").ok().and_then(|v| v.parse().ok()).unwrap_or(96);
     let series = fig14e_series(zw, zy, &FIG14_NODES);
-    println!(
-        "{}",
-        render_series(
-            &format!(
-                "Figure 14e: PENNANT weak scaling (zones/s per node; {}x{} zones/node)",
-                zw, zy
-            ),
-            &series
-        )
-    );
-    for s in &series {
+    let payload = Json::object()
+        .with("zw", zw)
+        .with("zy", zy)
+        .with("series", series_json(&series));
+    args.emit("fig14e", payload, || {
         println!(
-            "{:<12} efficiency at {} nodes: {:.1}%",
-            s.label,
-            s.points.last().unwrap().nodes,
-            s.efficiency() * 100.0
+            "{}",
+            render_series(
+                &format!(
+                    "Figure 14e: PENNANT weak scaling (zones/s per node; {}x{} zones/node)",
+                    zw, zy
+                ),
+                &series
+            )
         );
-    }
-    println!("(paper: Auto drops after 4 nodes; Hint1 within 6% to 32 then degrades;");
-    println!(" Hint2 indistinguishable from Manual)");
+        for s in &series {
+            println!(
+                "{:<12} efficiency at {} nodes: {:.1}%",
+                s.label,
+                s.points.last().unwrap().nodes,
+                s.efficiency() * 100.0
+            );
+        }
+        println!("(paper: Auto drops after 4 nodes; Hint1 within 6% to 32 then degrades;");
+        println!(" Hint2 indistinguishable from Manual)");
+    });
 }

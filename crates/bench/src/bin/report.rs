@@ -1,0 +1,93 @@
+//! Experiment-report aggregator.
+//!
+//! Reads any number of `partir-report-v1` envelopes (files produced by the
+//! other bins' `--json --out` mode), validates each, and merges them into
+//! one `BENCH_partir.json` keyed by experiment name, so a whole evaluation
+//! run ships as a single machine-readable artifact and perf trajectories
+//! diff across PRs.
+//!
+//! Usage:
+//!   cargo run -p partir-bench --bin report -- [--out BENCH_partir.json] FILE...
+//!
+//! With no FILE arguments it reads one path per line from stdin (paths
+//! are expected, not raw JSON). Duplicate experiments: the last file wins
+//! (a rerun replaces the earlier result).
+
+use partir_obs::json::Json;
+use partir_obs::report;
+use std::path::PathBuf;
+
+fn main() {
+    let mut out = PathBuf::from("BENCH_partir.json");
+    let mut files: Vec<PathBuf> = Vec::new();
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => {
+                out = PathBuf::from(it.next().unwrap_or_else(|| {
+                    eprintln!("--out requires a path argument");
+                    std::process::exit(2);
+                }));
+            }
+            _ => files.push(PathBuf::from(a)),
+        }
+    }
+    if files.is_empty() {
+        let mut buf = String::new();
+        use std::io::Read;
+        if std::io::stdin().read_to_string(&mut buf).is_ok() {
+            files.extend(buf.lines().filter(|l| !l.trim().is_empty()).map(PathBuf::from));
+        }
+    }
+    if files.is_empty() {
+        eprintln!("no report files given (pass paths as arguments or on stdin)");
+        std::process::exit(2);
+    }
+
+    // (experiment, envelope), last-wins per experiment.
+    let mut merged: Vec<(String, Json)> = Vec::new();
+    for path in &files {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot read {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        };
+        let parsed = match Json::parse(&text) {
+            Ok(j) => j,
+            Err(e) => {
+                eprintln!("{}: {e}", path.display());
+                std::process::exit(1);
+            }
+        };
+        let experiment = match report::validate_envelope(&parsed) {
+            Ok(name) => name.to_string(),
+            Err(e) => {
+                eprintln!("{}: not a valid report: {e}", path.display());
+                std::process::exit(1);
+            }
+        };
+        merged.retain(|(name, _)| *name != experiment);
+        merged.push((experiment, parsed));
+    }
+
+    let mut experiments = Json::object();
+    for (name, env) in &merged {
+        experiments = experiments.with(name.clone(), env.clone());
+    }
+    let doc = report::envelope("aggregate")
+        .with("inputs", files.len())
+        .with("experiments", experiments);
+    let text = format!("{doc}\n");
+    if let Err(e) = std::fs::write(&out, &text) {
+        eprintln!("failed to write {}: {e}", out.display());
+        std::process::exit(1);
+    }
+    println!(
+        "wrote {} ({} experiments: {})",
+        out.display(),
+        merged.len(),
+        merged.iter().map(|(n, _)| n.as_str()).collect::<Vec<_>>().join(", ")
+    );
+}

@@ -5,12 +5,19 @@
 //! and binary generation times. Binary generation is rustc's job here (not
 //! part of the contribution), so this harness reports the three phases the
 //! paper's pass owns plus the number of auto-parallelized loops — the rows
-//! that measure the contribution's cost.
+//! that measure the contribution's cost. On top of the paper's rows we
+//! print the solver internals (backtracks, lemma applications, unification
+//! merges) that the explanation traces record.
 //!
 //! Run: `cargo run --release -p partir-bench --bin table1`
+//! JSON report: `... --bin table1 -- --json [--out PATH]`
 
 use partir_apps::{circuit, miniaero, pennant, spmv, stencil};
+use partir_bench::{plan_json, BenchArgs};
 use partir_core::pipeline::{auto_parallelize, Hints, Options, ParallelPlan, Timings};
+use partir_core::solve::SolveStats;
+use partir_dpl::func::FnTable;
+use partir_obs::json::Json;
 use std::time::Duration;
 
 struct Row {
@@ -18,30 +25,44 @@ struct Row {
     timings: Timings,
     loops: usize,
     partitions: usize,
+    solve: SolveStats,
+    unify_merged: usize,
+    unify_accepted: u64,
+    json: Json,
 }
 
 fn ms(d: Duration) -> String {
     format!("{:.2}ms", d.as_secs_f64() * 1e3)
 }
 
-fn plan_of(name: &'static str, plan: ParallelPlan, loops: usize) -> Row {
-    Row { name, timings: plan.timings, loops, partitions: plan.num_partitions() }
+fn row_of(name: &'static str, plan: ParallelPlan, loops: usize, fns: &FnTable) -> Row {
+    Row {
+        name,
+        timings: plan.timings,
+        loops,
+        partitions: plan.num_partitions(),
+        solve: plan.solution.stats,
+        unify_merged: plan.unified.merged,
+        unify_accepted: plan.unified.stats.merges_accepted,
+        json: plan_json(name, &plan, loops, fns),
+    }
 }
 
 fn main() {
+    let args = BenchArgs::parse();
     let mut rows = Vec::new();
 
     let app = spmv::Spmv::generate(&spmv::SpmvParams { rows: 100_000, halo: 2 });
-    rows.push(plan_of("SpMV", app.auto_plan(), app.program.len()));
+    rows.push(row_of("SpMV", app.auto_plan(), app.program.len(), &app.fns));
 
     let app = stencil::Stencil::generate(&stencil::StencilParams { nx: 256, ny: 256 });
-    rows.push(plan_of("Stencil", app.auto_plan(), app.program.len()));
+    rows.push(row_of("Stencil", app.auto_plan(), app.program.len(), &app.fns));
 
     let app = circuit::Circuit::generate(&circuit::CircuitParams::default());
-    rows.push(plan_of("Circuit", app.auto_plan(), app.program.len()));
+    rows.push(row_of("Circuit", app.auto_plan(), app.program.len(), &app.fns));
 
     let app = miniaero::MiniAero::generate(&miniaero::MiniAeroParams::default());
-    rows.push(plan_of("MiniAero", app.auto_plan(), app.program.len()));
+    rows.push(row_of("MiniAero", app.auto_plan(), app.program.len(), &app.fns));
 
     let app = pennant::Pennant::generate(&pennant::PennantParams::default());
     let plan = auto_parallelize(
@@ -52,18 +73,24 @@ fn main() {
         Options::default(),
     )
     .expect("pennant");
-    rows.push(Row {
-        name: "PENNANT",
-        timings: plan.timings,
-        loops: app.program.len(),
-        partitions: plan.num_partitions(),
-    });
+    rows.push(row_of("PENNANT", plan, app.program.len(), &app.fns));
 
+    let mut apps = Json::array();
+    for r in &rows {
+        apps = apps.push(r.json.clone());
+    }
+    let payload = Json::object().with("apps", apps);
+
+    args.emit("table1", payload, || print_human(&rows));
+}
+
+fn print_human(rows: &[Row]) {
     println!("# Table 1: compilation time breakdown (auto-parallelization pass)");
-    println!(
-        "{:<22}{:>12}{:>12}{:>12}{:>12}{:>12}{:>14}",
-        "", "SpMV", "Stencil", "Circuit", "MiniAero", "PENNANT", ""
-    );
+    print!("{:<22}", "");
+    for r in rows {
+        print!("{:>12}", r.name);
+    }
+    println!();
     let col = |f: &dyn Fn(&Row) -> String| -> Vec<String> { rows.iter().map(f).collect() };
     let print_row = |label: &str, vals: Vec<String>| {
         print!("{label:<22}");
@@ -81,8 +108,14 @@ fn main() {
     );
     print_row("Num. parallel loops", col(&|r| r.loops.to_string()));
     print_row("Num. partitions", col(&|r| r.partitions.to_string()));
+    print_row("Solver backtracks", col(&|r| r.solve.backtracks.to_string()));
+    print_row("Lemma applications", col(&|r| r.solve.lemma_applications.to_string()));
+    print_row(
+        "Unify merges",
+        col(&|r| format!("{}/{}", r.unify_accepted, r.unify_merged)),
+    );
     println!();
     println!("(Binary generation is rustc's cost, not part of the pass; the paper's");
-    println!(" corresponding rows measured the Regent compiler back-end.)");
-    let _ = rows;
+    println!(" corresponding rows measured the Regent compiler back-end.");
+    println!(" Unify merges: accepted merge steps / symbols eliminated.)");
 }

@@ -1,1 +1,160 @@
 //! Benchmark harness crate; see the bin targets and benches.
+//!
+//! The bin targets share this module's report plumbing: every harness
+//! accepts `--json [--out PATH]` and emits a `partir-report-v1` envelope
+//! (see `partir_obs::report`) instead of the human tables, so experiment
+//! results are machine-readable and diffable across PRs.
+
+use partir_apps::support::ScaleSeries;
+use partir_core::pipeline::ParallelPlan;
+use partir_core::solve::BindRule;
+use partir_dpl::func::FnTable;
+use partir_obs::json::Json;
+use partir_obs::report;
+use std::path::PathBuf;
+
+/// Common harness arguments, parsed from `std::env::args`.
+///
+/// * `--json` — emit the machine-readable report on stdout;
+/// * `--out PATH` — write the report to `PATH` instead of stdout
+///   (implies `--json`).
+#[derive(Clone, Debug, Default)]
+pub struct BenchArgs {
+    pub json: bool,
+    pub out: Option<PathBuf>,
+}
+
+impl BenchArgs {
+    pub fn parse() -> BenchArgs {
+        let mut args = BenchArgs::default();
+        let mut it = std::env::args().skip(1);
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--json" => args.json = true,
+                "--out" => {
+                    let path = it.next().unwrap_or_else(|| {
+                        eprintln!("--out requires a path argument");
+                        std::process::exit(2);
+                    });
+                    args.out = Some(PathBuf::from(path));
+                    args.json = true;
+                }
+                other => {
+                    eprintln!("unknown argument '{other}' (expected --json [--out PATH])");
+                    std::process::exit(2);
+                }
+            }
+        }
+        args
+    }
+
+    /// Emits a finished report: writes `--out` / prints the JSON when
+    /// requested, otherwise runs the human-readable printer.
+    pub fn emit(&self, experiment: &str, payload: Json, human: impl FnOnce()) {
+        if !self.json {
+            human();
+            return;
+        }
+        let mut doc = report::envelope(experiment);
+        if let Json::Obj(fields) = &payload {
+            for (k, v) in fields {
+                doc = doc.with(k.clone(), v.clone());
+            }
+        } else {
+            doc = doc.with("payload", payload);
+        }
+        let text = format!("{doc}\n");
+        match &self.out {
+            None => print!("{text}"),
+            Some(path) => {
+                if let Err(e) = std::fs::write(path, &text) {
+                    eprintln!("failed to write {}: {e}", path.display());
+                    std::process::exit(1);
+                }
+                eprintln!("wrote {}", path.display());
+            }
+        }
+    }
+}
+
+/// JSON form of one auto-parallelization run: the Table 1 timing rows plus
+/// the solver/unification internals the paper's table doesn't show but the
+/// explanation traces record, and the per-symbol equality provenance.
+pub fn plan_json(name: &str, plan: &ParallelPlan, loops: usize, fns: &FnTable) -> Json {
+    let t = &plan.timings;
+    let s = &plan.solution.stats;
+    let u = &plan.unified;
+    let mut provenance = Json::array();
+    for (i, e) in plan.solution.bindings.iter().enumerate() {
+        let rule = plan
+            .solution
+            .provenance
+            .get(i)
+            .copied()
+            .unwrap_or(BindRule::EqualTrivial);
+        provenance = provenance.push(
+            Json::object()
+                .with("symbol", format!("P{i}"))
+                .with(
+                    "name",
+                    plan.system.sym_names.get(i).map(String::as_str).unwrap_or(""),
+                )
+                .with("binding", e.display(fns, &plan.system.externals))
+                .with("rule", rule.as_str()),
+        );
+    }
+    let mut merges = Json::array();
+    for m in &plan.unified.merge_log {
+        merges = merges
+            .push(Json::object().with("stage", m.stage).with("detail", m.detail.as_str()));
+    }
+    Json::object()
+        .with("name", name)
+        .with("loops", loops)
+        .with("partitions", plan.num_partitions())
+        .with("relaxed_loops", plan.loops.iter().filter(|l| l.relaxed).count())
+        .with(
+            "timings_ms",
+            Json::object()
+                .with("inference", report::ns_to_ms(t.inference.as_nanos()))
+                .with("solver", report::ns_to_ms(t.solver.as_nanos()))
+                .with("rewrite", report::ns_to_ms(t.rewrite.as_nanos()))
+                .with(
+                    "total",
+                    report::ns_to_ms((t.inference + t.solver + t.rewrite).as_nanos()),
+                ),
+        )
+        .with(
+            "solver",
+            Json::object()
+                .with("nodes_explored", s.nodes_explored)
+                .with("candidates_tried", s.candidates_tried)
+                .with("backtracks", s.backtracks)
+                .with("lemma_applications", s.lemma_applications),
+        )
+        .with(
+            "unification",
+            Json::object()
+                .with("merged_symbols", u.merged)
+                .with("chain_collapses", u.stats.chain_collapses)
+                .with("candidates_considered", u.stats.candidates_considered)
+                .with("merges_accepted", u.stats.merges_accepted)
+                .with("rejected_structural", u.stats.rejected_structural)
+                .with("rejected_unsolvable", u.stats.rejected_unsolvable)
+                .with("max_graph_nodes", u.stats.max_graph_nodes)
+                .with("max_graph_edges", u.stats.max_graph_edges)
+                .with("check_lemma_applications", u.check_stats.lemma_applications),
+        )
+        .with("unify_merges", merges)
+        .with("provenance", provenance)
+}
+
+/// JSON form of a Figure 14 experiment: one entry per plotted line, each
+/// with per-point throughput and simulator cost breakdowns.
+pub fn series_json(series: &[ScaleSeries]) -> Json {
+    let mut arr = Json::array();
+    for s in series {
+        arr = arr.push(s.to_json());
+    }
+    arr
+}

@@ -1,0 +1,101 @@
+//! Round-trip test for the `--json` report path: the table1 payload for
+//! all five applications survives render → parse with every Table-1 row
+//! (and the solver-internals rows) intact.
+
+use partir_apps::{circuit, miniaero, pennant, spmv, stencil};
+use partir_bench::plan_json;
+use partir_core::pipeline::{auto_parallelize, Hints, Options};
+use partir_obs::json::Json;
+use partir_obs::report;
+
+#[test]
+fn table1_json_round_trips_every_row() {
+    let mut apps = Json::array();
+
+    let app = spmv::Spmv::generate(&spmv::SpmvParams { rows: 500, halo: 2 });
+    apps = apps.push(plan_json("SpMV", &app.auto_plan(), app.program.len(), &app.fns));
+
+    let app = stencil::Stencil::generate(&stencil::StencilParams { nx: 16, ny: 16 });
+    apps = apps.push(plan_json("Stencil", &app.auto_plan(), app.program.len(), &app.fns));
+
+    let app = circuit::Circuit::generate(&circuit::CircuitParams {
+        clusters: 2,
+        nodes_per_cluster: 100,
+        wires_per_cluster: 200,
+        cross_fraction: 0.2,
+        seed: 7,
+    });
+    apps = apps.push(plan_json("Circuit", &app.auto_plan(), app.program.len(), &app.fns));
+
+    let app = miniaero::MiniAero::generate(&miniaero::MiniAeroParams { nx: 4, ny: 4, nz: 4 });
+    apps = apps.push(plan_json("MiniAero", &app.auto_plan(), app.program.len(), &app.fns));
+
+    let app = pennant::Pennant::generate(&pennant::PennantParams { pieces: 2, zw: 4, zy: 4 });
+    let plan = auto_parallelize(
+        &app.program,
+        &app.fns,
+        app.store.schema(),
+        &Hints::new(),
+        Options::default(),
+    )
+    .expect("pennant");
+    apps = apps.push(plan_json("PENNANT", &plan, app.program.len(), &app.fns));
+
+    let doc = report::envelope("table1").with("apps", apps);
+    let text = doc.to_string();
+    let parsed = Json::parse(&text).expect("report parses back");
+    assert_eq!(report::validate_envelope(&parsed).unwrap(), "table1");
+    assert_eq!(parsed, doc, "render → parse must be lossless");
+
+    let rows = parsed.get("apps").and_then(Json::as_array).expect("apps array");
+    let names: Vec<&str> =
+        rows.iter().map(|r| r.get("name").and_then(Json::as_str).unwrap()).collect();
+    assert_eq!(names, ["SpMV", "Stencil", "Circuit", "MiniAero", "PENNANT"]);
+
+    for row in rows {
+        let name = row.get("name").and_then(Json::as_str).unwrap();
+        // Table 1's timing rows.
+        let t = row.get("timings_ms").expect("timings_ms");
+        let mut total = 0.0;
+        for phase in ["inference", "solver", "rewrite"] {
+            let v = t
+                .get(phase)
+                .and_then(Json::as_f64)
+                .unwrap_or_else(|| panic!("{name}: missing timing '{phase}'"));
+            assert!(v >= 0.0);
+            total += v;
+        }
+        let reported = t.get("total").and_then(Json::as_f64).unwrap();
+        assert!(
+            (reported - total).abs() < 1e-6,
+            "{name}: total {reported} != sum of phases {total}"
+        );
+        // Table 1's count rows.
+        assert!(row.get("loops").and_then(Json::as_u64).unwrap() >= 1, "{name}");
+        assert!(row.get("partitions").and_then(Json::as_u64).unwrap() >= 1, "{name}");
+        // The solver-internals rows this reproduction adds.
+        let s = row.get("solver").expect("solver block");
+        for key in ["nodes_explored", "candidates_tried", "backtracks", "lemma_applications"] {
+            assert!(s.get(key).and_then(Json::as_u64).is_some(), "{name}: solver.{key}");
+        }
+        let u = row.get("unification").expect("unification block");
+        for key in ["merged_symbols", "candidates_considered", "merges_accepted"] {
+            assert!(u.get(key).and_then(Json::as_u64).is_some(), "{name}: unification.{key}");
+        }
+        // Per-symbol equality provenance: one entry per symbol, each citing
+        // a candidate rule.
+        let prov = row.get("provenance").and_then(Json::as_array).expect("provenance");
+        assert!(!prov.is_empty(), "{name}: empty provenance");
+        for p in prov {
+            assert!(p.get("symbol").and_then(Json::as_str).is_some());
+            assert!(p.get("binding").and_then(Json::as_str).is_some());
+            let rule = p.get("rule").and_then(Json::as_str).unwrap();
+            assert!(
+                rule.contains("forced")
+                    || rule.contains('L')
+                    || rule.contains("unconstrained"),
+                "{name}: unrecognized rule '{rule}'"
+            );
+        }
+    }
+}

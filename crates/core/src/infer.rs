@@ -63,7 +63,20 @@ pub fn infer(
     let mut out = Vec::with_capacity(loops.len());
     for (li, lp) in loops.iter().enumerate() {
         let summary = analyze_with_table(lp, fns)?;
-        out.push(infer_loop(li, lp, summary, fns, &mut system));
+        let il = infer_loop(li, lp, summary, fns, &mut system);
+        if partir_obs::trace_enabled() {
+            partir_obs::instant(
+                "infer.loop",
+                vec![
+                    ("index", li.into()),
+                    ("loop", lp.name.as_str().into()),
+                    ("symbols", (il.access_syms.len() + 1).into()),
+                    ("subset_constraints", il.span.subsets.len().into()),
+                    ("pred_constraints", il.span.preds.len().into()),
+                ],
+            );
+        }
+        out.push(il);
     }
     Ok(Inference { system, loops: out })
 }

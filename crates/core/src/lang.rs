@@ -377,7 +377,7 @@ mod tests {
             PExpr::intersect(PExpr::sym(p0), PExpr::sym(p1)),
         );
         let replaced = e.subst(p0, &PExpr::Equal(r(0)));
-        assert!(replaced.is_closed() == false); // p1 still free
+        assert!(!replaced.is_closed()); // p1 still free
         let mut syms = BTreeSet::new();
         replaced.syms(&mut syms);
         assert_eq!(syms.into_iter().collect::<Vec<_>>(), vec![p1]);

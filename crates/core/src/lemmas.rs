@@ -23,6 +23,7 @@
 use crate::lang::{FnRef, PExpr, Pred, Subset, System};
 use partir_dpl::func::FnTable;
 use partir_dpl::region::RegionId;
+use std::cell::Cell;
 
 /// Maximum proof depth; constraint systems are small (tens of conjuncts), so
 /// a modest bound terminates every search without losing real proofs.
@@ -32,11 +33,26 @@ const MAX_DEPTH: u32 = 8;
 pub struct FactCtx<'a> {
     pub system: &'a System,
     pub fns: &'a FnTable,
+    /// Number of lemma-rule applications (prover calls) made through this
+    /// context. Plain counter — read it via [`FactCtx::lemma_applications`]
+    /// and surface it at phase boundaries; the prover itself never branches
+    /// on observability state.
+    applications: Cell<u64>,
 }
 
 impl<'a> FactCtx<'a> {
     pub fn new(system: &'a System, fns: &'a FnTable) -> Self {
-        FactCtx { system, fns }
+        FactCtx { system, fns, applications: Cell::new(0) }
+    }
+
+    /// Total lemma-rule applications recorded so far.
+    pub fn lemma_applications(&self) -> u64 {
+        self.applications.get()
+    }
+
+    #[inline]
+    fn tick(&self) {
+        self.applications.set(self.applications.get() + 1);
     }
 
     fn subset_facts(&self) -> &[Subset] {
@@ -57,6 +73,7 @@ impl<'a> FactCtx<'a> {
 
 /// Proves `PART(e, r)` (lemmas L1–L4 + declared regions).
 pub fn prove_part(e: &PExpr, r: RegionId, ctx: &FactCtx) -> bool {
+    ctx.tick();
     match e {
         PExpr::Sym(s) => ctx.system.sym_region(*s) == r,
         PExpr::Ext(x) => ctx.system.ext_region(*x) == r,
@@ -79,6 +96,7 @@ fn prove_disj_at(e: &PExpr, ctx: &FactCtx, depth: u32) -> bool {
     if depth == 0 {
         return false;
     }
+    ctx.tick();
     match e {
         PExpr::Equal(_) => return true, // L1
         PExpr::Intersect(a, b)
@@ -118,6 +136,7 @@ fn prove_comp_at(e: &PExpr, r: RegionId, ctx: &FactCtx, depth: u32) -> bool {
     if depth == 0 {
         return false;
     }
+    ctx.tick();
     match e {
         PExpr::Equal(r2) if *r2 == r => return true, // L1
         PExpr::Union(a, b)
@@ -168,6 +187,7 @@ fn entails_subset_at(lhs: &PExpr, rhs: &PExpr, ctx: &FactCtx, depth: u32) -> boo
     if depth == 0 {
         return false;
     }
+    ctx.tick();
     let d = depth - 1;
 
     // Structural right-hand rules.

@@ -42,6 +42,9 @@ pub struct RelaxInfo {
     pub relaxed: bool,
     /// Accesses that must be guarded at runtime (`if target ∈ P[task]`).
     pub guarded: Vec<AccessId>,
+    /// Why relaxation fired (`"relaxed"`) or the first legality condition
+    /// that blocked it. Stable tags for traces and JSON reports.
+    pub reason: &'static str,
 }
 
 /// Applies the Section 5.1 relaxation directly to the inferred constraint
@@ -68,6 +71,9 @@ pub fn apply_relaxation(
     let n_loops = inference.loops.len();
     let mut out = vec![RelaxInfo::default(); n_loops];
     if policy == RelaxPolicy::Off {
+        for info in &mut out {
+            info.reason = "policy-off";
+        }
         return out;
     }
 
@@ -76,16 +82,20 @@ pub fn apply_relaxation(
     // iteration partition, so a cross-task write-then-read would race), and
     // all its uncentered-reduction obligations are single image steps from
     // the iteration symbol (or chain aliases of such an access).
-    let capable: Vec<bool> = inference
+    // `None` means capable; `Some` names the first blocking condition.
+    let incapable_because: Vec<Option<&'static str>> = inference
         .loops
         .iter()
         .map(|l| {
-            let no_centered_reduce = !l
+            let has_centered_reduce = l
                 .summary
                 .accesses
                 .iter()
                 .any(|a| a.kind.is_reduce() && a.is_centered());
-            let no_write_read_overlap = {
+            if has_centered_reduce {
+                return Some("centered-reduce");
+            }
+            let write_read_overlap = {
                 let written: Vec<_> = l
                     .summary
                     .accesses
@@ -93,13 +103,16 @@ pub fn apply_relaxation(
                     .filter(|a| a.kind.is_write())
                     .map(|a| (a.region, a.field))
                     .collect();
-                !l.summary
+                l.summary
                     .accesses
                     .iter()
                     .any(|a| a.kind.is_read() && written.contains(&(a.region, a.field)))
             };
+            if write_read_overlap {
+                return Some("write-read-overlap");
+            }
             let simple_chains = l.summary.accesses.iter().all(|a| {
-                if !(a.kind.is_reduce() && !a.is_centered()) {
+                if !a.kind.is_reduce() || a.is_centered() {
                     return true;
                 }
                 let sub = &inference.system.subset_obligations
@@ -112,14 +125,21 @@ pub fn apply_relaxation(
                     _ => false,
                 }
             });
-            let no_hinted_target = !l
+            if !simple_chains {
+                return Some("non-simple-reduction-chain");
+            }
+            let hinted_target = l
                 .summary
                 .accesses
                 .iter()
                 .any(|a| a.kind.is_reduce() && !a.is_centered() && hinted_regions.contains(&a.region));
-            no_centered_reduce && no_write_read_overlap && simple_chains && no_hinted_target
+            if hinted_target {
+                return Some("reduction-target-hinted");
+            }
+            None
         })
         .collect();
+    let capable: Vec<bool> = incapable_because.iter().map(Option::is_none).collect();
 
     // Count distinct uncentered-reduction functions per loop.
     let wants_relax: Vec<bool> = inference
@@ -136,6 +156,16 @@ pub fn apply_relaxation(
             fns_seen.len() >= 2
         })
         .collect();
+
+    // Seed each loop's reason with why it would not instigate relaxation;
+    // loops that do get relaxed below overwrite it with "relaxed".
+    for li in 0..n_loops {
+        out[li].reason = match incapable_because[li] {
+            Some(r) => r,
+            None if !wants_relax[li] => "fewer-than-2-distinct-reduction-fns",
+            None => "group-member-not-capable",
+        };
+    }
 
     // Group by iteration region: relax a group only when all member loops
     // are capable and at least one wants relaxation.
@@ -158,11 +188,25 @@ pub fn apply_relaxation(
             relax_loop(inference, j, &mut out[j]);
         }
     }
+    if partir_obs::trace_enabled() {
+        for (li, info) in out.iter().enumerate() {
+            partir_obs::instant(
+                "relax.decision",
+                vec![
+                    ("loop", li.into()),
+                    ("fired", info.relaxed.into()),
+                    ("reason", info.reason.into()),
+                    ("guarded_accesses", info.guarded.len().into()),
+                ],
+            );
+        }
+    }
     out
 }
 
 fn relax_loop(inference: &mut Inference, li: usize, info: &mut RelaxInfo) {
     info.relaxed = true;
+    info.reason = "relaxed";
     let iter_sym = inference.loops[li].iter_sym;
     let iter_region = inference.loops[li].summary.iter_region;
 

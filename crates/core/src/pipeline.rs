@@ -107,6 +107,8 @@ pub struct PartId(pub u32);
 pub struct AccessPlan {
     pub part: PartId,
     pub kind: AccessKind,
+    /// Region the access targets (for diagnostics).
+    pub region: RegionId,
     /// Reduction strategy; `None` for reads/writes and centered reductions.
     pub reduce: Option<PlannedReduce>,
 }
@@ -170,6 +172,20 @@ impl ParallelPlan {
         }
         out
     }
+
+    /// Renders the explanation trace that pairs with [`render_dpl`]: the
+    /// unification merges that rewrote the system, then the solver's
+    /// per-symbol provenance (which candidate rule, resting on which
+    /// lemmas, produced each equality).
+    pub fn render_explanation(&self, fns: &FnTable) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for m in &self.unified.merge_log {
+            let _ = writeln!(out, "unify[{}]: {}", m.stage, m.detail);
+        }
+        out.push_str(&self.solution.render_explanation(&self.system, fns));
+        out
+    }
 }
 
 /// Pipeline errors.
@@ -204,21 +220,35 @@ pub fn auto_parallelize(
     hints: &Hints,
     opts: Options,
 ) -> Result<ParallelPlan, AutoError> {
+    partir_obs::init_from_env();
+
     // ---- Phase 1: inference (Algorithm 1). ----
     let t0 = Instant::now();
+    let sp = partir_obs::span("pipeline.infer");
     let mut inference: Inference = infer(loops, fns, schema)?;
     install_hints(&mut inference.system, hints);
     let hinted_regions: std::collections::BTreeSet<_> =
         hints.externals.iter().map(|(_, r)| *r).collect();
+    sp.close_with(vec![
+        ("loops", loops.len().into()),
+        ("symbols", inference.system.num_syms().into()),
+        ("subset_constraints", inference.system.subset_obligations.len().into()),
+        ("pred_constraints", inference.system.pred_obligations.len().into()),
+    ]);
+    let sp = partir_obs::span("pipeline.relax");
     let relax = apply_relaxation(
         &mut inference,
         if matches!(opts.relax, RelaxPolicy::Off) { RelaxPolicy::Off } else { RelaxPolicy::Auto },
         &hinted_regions,
     );
+    sp.close_with(vec![
+        ("relaxed_loops", relax.iter().filter(|r| r.relaxed).count().into()),
+    ]);
     let inference_time = t0.elapsed();
 
     // ---- Phase 2: unification + solving (Algorithms 2 & 3). ----
     let t1 = Instant::now();
+    let sp = partir_obs::span("pipeline.unify");
     let unified = if opts.unify {
         unify(&inference, fns)
     } else {
@@ -228,11 +258,19 @@ pub fn auto_parallelize(
             rep: vec![Rep::SelfSym; inference.system.num_syms()],
             merged: 0,
             check_stats: Default::default(),
+            stats: Default::default(),
+            merge_log: Vec::new(),
         }
     };
+    sp.close_with(vec![
+        ("merged", unified.merged.into()),
+        ("candidates", unified.stats.candidates_considered.into()),
+        ("accepted", unified.stats.merges_accepted.into()),
+    ]);
 
     // Disjointness preferences, mapped through unification and tried
     // greedily (each kept only while the system stays solvable).
+    let sp = partir_obs::span("pipeline.solve");
     let mut system = unified.system.clone();
     let forced = forced_ext_bindings(&unified);
     let base_solution = match solve_with(&system, fns, &forced) {
@@ -260,10 +298,17 @@ pub fn auto_parallelize(
             }
         }
     }
+    sp.close_with(vec![
+        ("nodes", solution.stats.nodes_explored.into()),
+        ("candidates", solution.stats.candidates_tried.into()),
+        ("backtracks", solution.stats.backtracks.into()),
+        ("lemma_applications", solution.stats.lemma_applications.into()),
+    ]);
     let solver_time = t1.elapsed();
 
     // ---- Phase 3: plan construction (the rewrite). ----
     let t2 = Instant::now();
+    let sp = partir_obs::span("pipeline.plan");
     let mut exprs: Vec<PExpr> = Vec::new();
     let mut expr_ids: HashMap<PExpr, PartId> = HashMap::new();
     let mut intern = |e: PExpr| -> PartId {
@@ -317,7 +362,7 @@ pub fn auto_parallelize(
             } else {
                 None
             };
-            accesses.push(AccessPlan { part, kind: a.kind, reduce });
+            accesses.push(AccessPlan { part, kind: a.kind, region: a.region, reduce });
         }
         plan_loops.push(LoopPlan {
             loop_index: li,
@@ -327,6 +372,10 @@ pub fn auto_parallelize(
             accesses,
         });
     }
+    sp.close_with(vec![
+        ("partitions", exprs.len().into()),
+        ("loops", plan_loops.len().into()),
+    ]);
     let rewrite_time = t2.elapsed();
 
     Ok(ParallelPlan {

@@ -35,6 +35,9 @@ use std::collections::{BTreeSet, HashMap};
 pub struct Solution {
     /// Fully-inlined closed expression per symbol.
     pub bindings: Vec<PExpr>,
+    /// Which candidate rule produced each binding (indexed like `bindings`);
+    /// the solver's explanation trace.
+    pub provenance: Vec<BindRule>,
     /// Search statistics.
     pub stats: SolveStats,
 }
@@ -42,7 +45,56 @@ pub struct Solution {
 #[derive(Clone, Copy, Debug, Default)]
 pub struct SolveStats {
     pub nodes_explored: u64,
+    /// Candidate equalities proposed (bind attempts, successful or not).
+    pub candidates_tried: u64,
     pub backtracks: u64,
+    /// Lemma-engine rule firings (L1–L14 prover steps) across all base-case
+    /// entailment checks.
+    pub lemma_applications: u64,
+}
+
+impl SolveStats {
+    /// Adds another run's counters into this one (used by unification to
+    /// accumulate the work its consistency checks spend).
+    pub fn absorb(&mut self, other: &SolveStats) {
+        self.nodes_explored += other.nodes_explored;
+        self.candidates_tried += other.candidates_tried;
+        self.backtracks += other.backtracks;
+        self.lemma_applications += other.lemma_applications;
+    }
+}
+
+/// The insight that justified binding a symbol — each variant cites the
+/// lemmas it rests on, so the trace doubles as a proof sketch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BindRule {
+    /// Pre-bound by the caller (external hint or unification representative).
+    Forced,
+    /// Rule 1: `image(P, f, R) ⊆ E` with closed `E` → `P = preimage(R', f, E)`.
+    Preimage,
+    /// Rule 2: all lower bounds closed → union of the bounds.
+    UnionOfBounds,
+    /// Rule 3: symbol carries `DISJ` → `equal(R)`.
+    EqualDisj,
+    /// Rule 4: symbol carries `COMP` → `equal(R)`.
+    EqualComp,
+    /// Fallback: unconstrained symbol completed with `equal(R)`.
+    EqualTrivial,
+}
+
+impl BindRule {
+    /// Stable human/machine-readable tag (used in explanation traces and
+    /// JSON reports).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            BindRule::Forced => "forced(external/unification)",
+            BindRule::Preimage => "preimage(L14)",
+            BindRule::UnionOfBounds => "union-of-lower-bounds(L13)",
+            BindRule::EqualDisj => "equal-for-DISJ(L1,L9,L10,L12)",
+            BindRule::EqualComp => "equal-for-COMP(L1,L6,L7)",
+            BindRule::EqualTrivial => "equal-trivial(unconstrained)",
+        }
+    }
 }
 
 impl Solution {
@@ -82,6 +134,36 @@ impl Solution {
         }
         out
     }
+
+    /// Renders the explanation trace: one line per symbol stating the
+    /// binding, the candidate rule that produced it (with the lemmas it
+    /// rests on), and the symbol's diagnostic name. Pairs with [`render`]
+    /// the way a proof sketch pairs with a program listing.
+    pub fn render_explanation(&self, system: &System, fns: &FnTable) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for (i, e) in self.bindings.iter().enumerate() {
+            let sym = PSym(i as u32);
+            let rule = self.provenance.get(i).copied().unwrap_or(BindRule::EqualTrivial);
+            let name = system.sym_names.get(i).map(String::as_str).unwrap_or("");
+            let _ = writeln!(
+                out,
+                "{sym:?} = {}  via {}  // {}",
+                e.display(fns, &system.externals),
+                rule.as_str(),
+                name
+            );
+        }
+        let _ = writeln!(
+            out,
+            "-- search: {} nodes, {} candidates, {} backtracks, {} lemma applications",
+            self.stats.nodes_explored,
+            self.stats.candidates_tried,
+            self.stats.backtracks,
+            self.stats.lemma_applications
+        );
+        out
+    }
 }
 
 /// Why solving failed.
@@ -105,14 +187,36 @@ pub fn solve_with(
 ) -> Result<Solution, SolveError> {
     let n = system.num_syms();
     let mut bindings: Vec<Option<PExpr>> = vec![None; n];
+    let mut prov: Vec<Option<BindRule>> = vec![None; n];
     for (s, e) in forced {
         debug_assert!(e.is_closed(), "forced binding for {s:?} must be closed");
         bindings[s.0 as usize] = Some(e.clone());
+        prov[s.0 as usize] = Some(BindRule::Forced);
     }
     let mut stats = SolveStats::default();
-    if solve_rec(system, fns, &mut bindings, &mut stats) {
-        let bindings = bindings.into_iter().map(Option::unwrap).collect();
-        Ok(Solution { bindings, stats })
+    if solve_rec(system, fns, &mut bindings, &mut prov, &mut stats) {
+        let bindings: Vec<PExpr> = bindings.into_iter().map(Option::unwrap).collect();
+        let provenance = prov
+            .into_iter()
+            .map(|r| r.unwrap_or(BindRule::EqualTrivial))
+            .collect();
+        if partir_obs::trace_enabled() {
+            partir_obs::instant(
+                "solve.done",
+                vec![
+                    ("nodes", stats.nodes_explored.into()),
+                    ("candidates", stats.candidates_tried.into()),
+                    ("backtracks", stats.backtracks.into()),
+                    ("lemma_applications", stats.lemma_applications.into()),
+                ],
+            );
+        }
+        if partir_obs::metrics_enabled() {
+            partir_obs::counter("solve.nodes_explored", stats.nodes_explored);
+            partir_obs::counter("solve.backtracks", stats.backtracks);
+            partir_obs::counter("solve.lemma_applications", stats.lemma_applications);
+        }
+        Ok(Solution { bindings, provenance, stats })
     } else {
         Err(SolveError::Unsatisfiable)
     }
@@ -200,6 +304,7 @@ fn solve_rec(
     system: &System,
     fns: &FnTable,
     bindings: &mut Vec<Option<PExpr>>,
+    prov: &mut Vec<Option<BindRule>>,
     stats: &mut SolveStats,
 ) -> bool {
     stats.nodes_explored += 1;
@@ -220,10 +325,12 @@ fn solve_rec(
             if let PExpr::Sym(p) = **src {
                 if bindings[p.0 as usize].is_none() && is_single(*f) {
                     tried_any = true;
+                    stats.candidates_tried += 1;
                     let domain = system.sym_region(p);
                     let cand = PExpr::preimage(domain, *f, sub.rhs.clone());
                     bindings[p.0 as usize] = Some(cand);
-                    if solve_rec(system, fns, bindings, stats) {
+                    prov[p.0 as usize] = Some(BindRule::Preimage);
+                    if solve_rec(system, fns, bindings, prov, stats) {
                         return true;
                     }
                     stats.backtracks += 1;
@@ -252,6 +359,7 @@ fn solve_rec(
     ready.sort_by_key(|(p, _)| *p);
     for (p, mut bounds) in ready {
         tried_any = true;
+        stats.candidates_tried += 1;
         bounds.sort_by_key(|e| format!("{e:?}"));
         bounds.dedup();
         let cand = bounds
@@ -259,7 +367,8 @@ fn solve_rec(
             .reduce(PExpr::union)
             .expect("at least one bound");
         bindings[p.0 as usize] = Some(cand);
-        if solve_rec(system, fns, bindings, stats) {
+        prov[p.0 as usize] = Some(BindRule::UnionOfBounds);
+        if solve_rec(system, fns, bindings, prov, stats) {
             return true;
         }
         stats.backtracks += 1;
@@ -283,13 +392,19 @@ fn solve_rec(
     disj_syms.dedup();
     comp_syms.sort_by_key(|p| std::cmp::Reverse(depth[p.0 as usize]));
     comp_syms.dedup();
-    for p in disj_syms.into_iter().chain(comp_syms) {
+    let tagged = disj_syms
+        .into_iter()
+        .map(|p| (p, BindRule::EqualDisj))
+        .chain(comp_syms.into_iter().map(|p| (p, BindRule::EqualComp)));
+    for (p, rule) in tagged {
         if bindings[p.0 as usize].is_some() {
             continue;
         }
         tried_any = true;
+        stats.candidates_tried += 1;
         bindings[p.0 as usize] = Some(PExpr::Equal(system.sym_region(p)));
-        if solve_rec(system, fns, bindings, stats) {
+        prov[p.0 as usize] = Some(rule);
+        if solve_rec(system, fns, bindings, prov, stats) {
             return true;
         }
         stats.backtracks += 1;
@@ -308,11 +423,13 @@ fn solve_rec(
         for i in 0..bindings.len() {
             if bindings[i].is_none() {
                 bindings[i] = Some(PExpr::Equal(system.sym_regions[i]));
+                prov[i] = Some(BindRule::EqualTrivial);
                 progressed = true;
             }
         }
         if progressed {
-            if solve_rec(system, fns, bindings, stats) {
+            stats.candidates_tried += 1;
+            if solve_rec(system, fns, bindings, prov, stats) {
                 return true;
             }
             // Roll back (only the ones we set — all previously-None).
@@ -321,22 +438,26 @@ fn solve_rec(
         }
     }
     let ctx = FactCtx::new(system, fns);
-    for sub in &subs {
-        if !entails_subset(&sub.lhs, &sub.rhs, &ctx) {
-            return false;
+    let verified = 'check: {
+        for sub in &subs {
+            if !entails_subset(&sub.lhs, &sub.rhs, &ctx) {
+                break 'check false;
+            }
         }
-    }
-    for pred in &system.pred_obligations {
-        let applied = match pred {
-            Pred::Part(e, r) => Pred::Part(apply(e, bindings), *r),
-            Pred::Disj(e) => Pred::Disj(apply(e, bindings)),
-            Pred::Comp(e, r) => Pred::Comp(apply(e, bindings), *r),
-        };
-        if !prove_pred(&applied, &ctx) {
-            return false;
+        for pred in &system.pred_obligations {
+            let applied = match pred {
+                Pred::Part(e, r) => Pred::Part(apply(e, bindings), *r),
+                Pred::Disj(e) => Pred::Disj(apply(e, bindings)),
+                Pred::Comp(e, r) => Pred::Comp(apply(e, bindings), *r),
+            };
+            if !prove_pred(&applied, &ctx) {
+                break 'check false;
+            }
         }
-    }
-    true
+        true
+    };
+    stats.lemma_applications += ctx.lemma_applications();
+    verified
 }
 
 #[cfg(test)]

@@ -37,6 +37,54 @@ pub enum Rep {
     Ext(ExtId),
 }
 
+/// Why a candidate merge was not committed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The mapping was degenerate: no new symbol pair, or committing it
+    /// would have made a symbol its own ancestor.
+    Structural,
+    /// The rewritten system failed the Algorithm-2 consistency check.
+    Unsolvable,
+}
+
+impl RejectReason {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RejectReason::Structural => "structural",
+            RejectReason::Unsolvable => "unsolvable",
+        }
+    }
+}
+
+/// Counters describing the unification search (product-graph sizes and the
+/// fate of every candidate merge). Accumulated unconditionally — plain
+/// integer adds, no observability branching.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct UnifyStats {
+    /// Stage-1 merges (single-lower-bound chains collapsed).
+    pub chain_collapses: u64,
+    /// Candidate common subgraphs examined across all stages.
+    pub candidates_considered: u64,
+    /// Candidate merges committed.
+    pub merges_accepted: u64,
+    /// Candidates dropped before the solver ran (degenerate mapping).
+    pub rejected_structural: u64,
+    /// Candidates whose rewritten system the solver refuted.
+    pub rejected_unsolvable: u64,
+    /// Largest accumulated constraint graph seen (nodes / edges).
+    pub max_graph_nodes: u64,
+    pub max_graph_edges: u64,
+}
+
+/// One committed merge, for the explanation trace.
+#[derive(Clone, Debug)]
+pub struct MergeEntry {
+    /// Which stage committed it: `chain`, `graph`, `fact`, or `iter-ext`.
+    pub stage: &'static str,
+    /// Human-readable description, e.g. `P3 -> P1` or `P5 -> ext(pCells)`.
+    pub detail: String,
+}
+
 /// The result of unification: a rewritten system plus the symbol mapping.
 #[derive(Clone, Debug)]
 pub struct Unified {
@@ -46,6 +94,10 @@ pub struct Unified {
     pub merged: usize,
     /// Solver work spent on consistency checks.
     pub check_stats: SolveStats,
+    /// Unification search counters.
+    pub stats: UnifyStats,
+    /// Every committed merge, in commit order.
+    pub merge_log: Vec<MergeEntry>,
 }
 
 impl Unified {
@@ -321,12 +373,32 @@ fn forced_bindings(system: &System, uf: &Uf) -> HashMap<PSym, PExpr> {
     forced
 }
 
+/// Renders a matched pair set for merge-log entries.
+fn describe_pairs(pairs: &[(GNode, GNode)], system: &System) -> String {
+    pairs
+        .iter()
+        .filter(|(a, b)| a != b)
+        .map(|(a, b)| format!("{}~{}", node_desc(*a, system), node_desc(*b, system)))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+/// Renders a graph node for merge-log entries.
+fn node_desc(n: GNode, system: &System) -> String {
+    match n {
+        GNode::Sym(p) => format!("{p:?}"),
+        GNode::Ext(x) => format!("ext({})", system.externals[x.0 as usize].name),
+    }
+}
+
 /// Runs both unification stages over an inference result.
 pub fn unify(inference: &Inference, fns: &FnTable) -> Unified {
     let system = &inference.system;
     let n = system.num_syms();
     let mut uf = Uf::new(n);
     let mut check_stats = SolveStats::default();
+    let mut ustats = UnifyStats::default();
+    let mut merge_log: Vec<MergeEntry> = Vec::new();
 
     // ---- Stage 1: chain collapse (Example 4). ----
     // Count lower bounds per symbol.
@@ -346,6 +418,16 @@ pub fn unify(inference: &Inference, fns: &FnTable) -> Unified {
                     // Avoid self-merge cycles.
                     if rep != Rep::Sym(*p) {
                         uf.union(rep, *p);
+                        ustats.chain_collapses += 1;
+                        let dst = match rep {
+                            Rep::Sym(t) => node_desc(GNode::Sym(t), system),
+                            Rep::Ext(x) => node_desc(GNode::Ext(x), system),
+                            Rep::SelfSym => unreachable!(),
+                        };
+                        merge_log.push(MergeEntry {
+                            stage: "chain",
+                            detail: format!("{p:?} -> {dst}"),
+                        });
                     }
                 }
             }
@@ -376,9 +458,12 @@ pub fn unify(inference: &Inference, fns: &FnTable) -> Unified {
         loop {
             let ga = build_graph(&acc, system, &uf);
             let gb = build_graph(&groups[gi], system, &uf);
+            ustats.max_graph_nodes = ustats.max_graph_nodes.max(ga.nodes.len() as u64);
+            ustats.max_graph_edges = ustats.max_graph_edges.max(ga.edges.len() as u64);
             let candidates = candidate_matches(&ga, &gb);
             let mut committed = false;
             for m in candidates.into_iter().take(MAX_TRIES) {
+                ustats.candidates_considered += 1;
                 // Build the tentative union.
                 let mut trial = Uf { parent: uf.parent.clone() };
                 let mut any = false;
@@ -402,6 +487,7 @@ pub fn unify(inference: &Inference, fns: &FnTable) -> Unified {
                     }
                 }
                 if !ok || !any {
+                    ustats.rejected_structural += 1;
                     continue;
                 }
                 // Consistency: the rewritten system must still be solvable.
@@ -409,13 +495,20 @@ pub fn unify(inference: &Inference, fns: &FnTable) -> Unified {
                 let forced = forced_bindings(system, &trial);
                 match solve_with(&trial_system, fns, &forced) {
                     Ok(sol) => {
-                        check_stats.nodes_explored += sol.stats.nodes_explored;
-                        check_stats.backtracks += sol.stats.backtracks;
+                        check_stats.absorb(&sol.stats);
+                        ustats.merges_accepted += 1;
+                        merge_log.push(MergeEntry {
+                            stage: "graph",
+                            detail: describe_pairs(&m.pairs, system),
+                        });
                         uf = trial;
                         committed = true;
                         break;
                     }
-                    Err(_) => continue,
+                    Err(_) => {
+                        ustats.rejected_unsolvable += 1;
+                        continue;
+                    }
                 }
             }
             if !committed {
@@ -433,9 +526,12 @@ pub fn unify(inference: &Inference, fns: &FnTable) -> Unified {
             let facts: Vec<&Subset> = system.subset_facts.iter().collect();
             let ga = build_graph(&facts, system, &uf);
             let gb = build_graph(&groups[0], system, &uf);
+            ustats.max_graph_nodes = ustats.max_graph_nodes.max(ga.nodes.len() as u64);
+            ustats.max_graph_edges = ustats.max_graph_edges.max(ga.edges.len() as u64);
             let candidates = candidate_matches(&ga, &gb);
             let mut committed = false;
             for m in candidates.into_iter().take(MAX_TRIES) {
+                ustats.candidates_considered += 1;
                 let mut trial = Uf { parent: uf.parent.clone() };
                 let mut any = false;
                 for (na, nb) in &m.pairs {
@@ -455,16 +551,23 @@ pub fn unify(inference: &Inference, fns: &FnTable) -> Unified {
                     }
                 }
                 if !any {
+                    ustats.rejected_structural += 1;
                     continue;
                 }
                 let trial_system = rewrite_system(system, &trial);
                 let forced = forced_bindings(system, &trial);
                 if let Ok(sol) = solve_with(&trial_system, fns, &forced) {
-                    check_stats.nodes_explored += sol.stats.nodes_explored;
-                    check_stats.backtracks += sol.stats.backtracks;
+                    check_stats.absorb(&sol.stats);
+                    ustats.merges_accepted += 1;
+                    merge_log.push(MergeEntry {
+                        stage: "graph",
+                        detail: describe_pairs(&m.pairs, system),
+                    });
                     uf = trial;
                     committed = true;
                     break;
+                } else {
+                    ustats.rejected_unsolvable += 1;
                 }
             }
             if !committed {
@@ -504,14 +607,21 @@ pub fn unify(inference: &Inference, fns: &FnTable) -> Unified {
                 }
                 let mut trial = Uf { parent: uf.parent.clone() };
                 trial.union(Rep::Ext(y), p);
+                ustats.candidates_considered += 1;
                 let trial_system = rewrite_system(system, &trial);
                 let forced = forced_bindings(system, &trial);
                 if let Ok(sol) = solve_with(&trial_system, fns, &forced) {
-                    check_stats.nodes_explored += sol.stats.nodes_explored;
-                    check_stats.backtracks += sol.stats.backtracks;
+                    check_stats.absorb(&sol.stats);
+                    ustats.merges_accepted += 1;
+                    merge_log.push(MergeEntry {
+                        stage: "fact",
+                        detail: format!("{p:?} -> {}", node_desc(GNode::Ext(y), system)),
+                    });
                     uf = trial;
                     changed = true;
                     break;
+                } else {
+                    ustats.rejected_unsolvable += 1;
                 }
             }
             if changed {
@@ -558,13 +668,20 @@ pub fn unify(inference: &Inference, fns: &FnTable) -> Unified {
             }
             let mut trial = Uf { parent: uf.parent.clone() };
             trial.union(Rep::Ext(x), s);
+            ustats.candidates_considered += 1;
             let trial_system = rewrite_system(system, &trial);
             let forced = forced_bindings(system, &trial);
             if let Ok(sol) = solve_with(&trial_system, fns, &forced) {
-                check_stats.nodes_explored += sol.stats.nodes_explored;
-                check_stats.backtracks += sol.stats.backtracks;
+                check_stats.absorb(&sol.stats);
+                ustats.merges_accepted += 1;
+                merge_log.push(MergeEntry {
+                    stage: "iter-ext",
+                    detail: format!("{s:?} -> {}", node_desc(GNode::Ext(x), system)),
+                });
                 uf = trial;
                 break;
+            } else {
+                ustats.rejected_unsolvable += 1;
             }
         }
     }
@@ -584,7 +701,28 @@ pub fn unify(inference: &Inference, fns: &FnTable) -> Unified {
         })
         .collect();
     let merged = rep.iter().filter(|r| !matches!(r, Rep::SelfSym)).count();
-    Unified { system: rewritten, rep, merged, check_stats }
+    if partir_obs::trace_enabled() {
+        for m in &merge_log {
+            partir_obs::instant(
+                "unify.merge",
+                vec![("stage", m.stage.into()), ("pairs", m.detail.clone().into())],
+            );
+        }
+        partir_obs::instant(
+            "unify.done",
+            vec![
+                ("merged", (merged as u64).into()),
+                ("chain_collapses", ustats.chain_collapses.into()),
+                ("candidates", ustats.candidates_considered.into()),
+                ("accepted", ustats.merges_accepted.into()),
+                ("rejected_structural", ustats.rejected_structural.into()),
+                ("rejected_unsolvable", ustats.rejected_unsolvable.into()),
+                ("max_graph_nodes", ustats.max_graph_nodes.into()),
+                ("max_graph_edges", ustats.max_graph_edges.into()),
+            ],
+        );
+    }
+    Unified { system: rewritten, rep, merged, check_stats, stats: ustats, merge_log }
 }
 
 #[cfg(test)]

@@ -161,7 +161,7 @@ pub fn difference_pointwise(a: &Partition, b: &Partition) -> Partition {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::func::{FnDef, IndexFn, MultiFn};
+    use crate::func::{FnDef, IndexFn};
     use crate::region::{FieldKind, Schema};
 
     fn grid_store(n: u64) -> (Store, FnTable, RegionId) {

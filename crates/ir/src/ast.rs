@@ -110,6 +110,10 @@ pub enum VExpr {
     Bin(BinOp, Box<VExpr>, Box<VExpr>),
 }
 
+// The arithmetic names are DSL constructors taking two operands by value,
+// not the binary-operator traits (which would force references or clones
+// at every use site in loop builders).
+#[allow(clippy::should_implement_trait)]
 impl VExpr {
     pub fn add(a: VExpr, b: VExpr) -> VExpr {
         VExpr::Bin(BinOp::Add, Box::new(a), Box::new(b))

@@ -344,8 +344,8 @@ mod tests {
         let mut ctx = SeqCtx::new(&mut store, &fns);
         run_loop_over(&lp, &mut ctx, [2u64, 5, 7].into_iter());
         let got = store.f64s(fx);
-        for i in 0..10 {
-            assert_eq!(got[i], if [2, 5, 7].contains(&i) { 1.0 } else { 0.0 });
+        for (i, &v) in got.iter().enumerate().take(10) {
+            assert_eq!(v, if [2, 5, 7].contains(&i) { 1.0 } else { 0.0 });
         }
     }
 }

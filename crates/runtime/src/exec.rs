@@ -26,7 +26,7 @@ use partir_core::pipeline::{ParallelPlan, PlannedReduce};
 use partir_dpl::func::{FnDef, FnId, FnTable, IndexFn, MultiFn};
 use partir_dpl::index_set::{Idx, IndexSet};
 use partir_dpl::partition::Partition;
-use partir_dpl::region::{FieldId, Schema, Store};
+use partir_dpl::region::{FieldId, RegionId, Schema, Store};
 use partir_ir::ast::{AccessId, Loop, ReduceOp};
 use partir_ir::interp::{run_loop_over, DataCtx};
 use parking_lot::Mutex;
@@ -54,11 +54,44 @@ pub struct ExecReport {
     pub tasks_run: u64,
     /// Total bytes of reduction buffers allocated across tasks and loops.
     pub buffer_bytes: u64,
+    /// Buffer bytes avoided by private sub-partitions (Section 5.2): the
+    /// difference between full-subregion buffers and the shared remainder
+    /// actually allocated.
+    pub private_buffer_bytes_saved: u64,
+    /// Per-access legality checks performed (0 when checking is off).
+    pub legality_checks: u64,
     /// Guarded-reduction applications / skips (relaxed loops).
     pub guard_hits: u64,
     pub guard_skips: u64,
     /// Centered writes skipped because another task owns the iteration.
     pub write_skips: u64,
+}
+
+/// Structured description of a legality-check failure: which access of
+/// which loop, run by which task, touched which element outside its
+/// subregion.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LegalityViolation {
+    /// Loop index in execution order.
+    pub loop_id: usize,
+    /// The task (color) whose access escaped its subregion.
+    pub task: usize,
+    /// Region the violating access targets.
+    pub region: RegionId,
+    /// The element touched outside the subregion.
+    pub index: Idx,
+    /// The access site within the loop.
+    pub access: AccessId,
+}
+
+impl fmt::Display for LegalityViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "loop {} task {}: access {:?} touched element {} of region r{} outside its subregion",
+            self.loop_id, self.task, self.access, self.index, self.region.0
+        )
+    }
 }
 
 /// Execution failure.
@@ -71,7 +104,7 @@ pub enum ExecError {
     /// A direct/guarded reduction partition is not disjoint.
     ReductionNotDisjoint { loop_index: usize, access: AccessId },
     /// A task accessed an element outside its subregion (legality check).
-    Legality(String),
+    Legality(LegalityViolation),
     /// A worker panicked.
     TaskPanic(String),
 }
@@ -88,7 +121,7 @@ impl fmt::Display for ExecError {
             ExecError::ReductionNotDisjoint { loop_index, access } => {
                 write!(f, "loop {loop_index}: reduction partition for {access:?} not disjoint")
             }
-            ExecError::Legality(m) => write!(f, "legality violation: {m}"),
+            ExecError::Legality(v) => write!(f, "legality violation: {v}"),
             ExecError::TaskPanic(m) => write!(f, "task panicked: {m}"),
         }
     }
@@ -125,6 +158,15 @@ pub fn execute_program(
     for (li, lp) in program.iter().enumerate() {
         execute_loop(li, lp, plan, parts, store, fns, opts, &mut report)?;
     }
+    if partir_obs::metrics_enabled() {
+        partir_obs::counter("exec.tasks_run", report.tasks_run);
+        partir_obs::counter("exec.legality_checks", report.legality_checks);
+        partir_obs::counter("exec.buffer_bytes", report.buffer_bytes);
+        partir_obs::counter(
+            "exec.private_buffer_bytes_saved",
+            report.private_buffer_bytes_saved,
+        );
+    }
     Ok(report)
 }
 
@@ -143,6 +185,12 @@ fn execute_loop(
     let iter = &parts[loop_plan.iter.0 as usize];
     let n_colors = iter.num_subregions();
     let region_size = store.schema().region_size(lp.region);
+    let tracing = partir_obs::trace_enabled();
+    let loop_span = partir_obs::span_with("exec.loop", vec![
+        ("loop", li.into()),
+        ("loop_name", lp.name.as_str().into()),
+        ("colors", n_colors.into()),
+    ]);
 
     // Dynamic validation of the partitioning invariants the plan relies on.
     if !iter.is_complete(region_size) {
@@ -214,7 +262,10 @@ fn execute_loop(
                     .zip(ppart.subregions())
                     .map(|(a, p)| a.difference(p))
                     .collect();
-                report.buffer_bytes += sets.iter().map(|s| s.len() * 8).sum::<u64>();
+                let full_bytes = part.subregions().iter().map(|s| s.len() * 8).sum::<u64>();
+                let shared_bytes = sets.iter().map(|s| s.len() * 8).sum::<u64>();
+                report.buffer_bytes += shared_bytes;
+                report.private_buffer_bytes_saved += full_bytes - shared_bytes;
                 buf_set_of_access[ai] = Some(all_buf_sets.len());
                 all_buf_sets.push(sets);
             }
@@ -247,10 +298,11 @@ fn execute_loop(
     let buf_fields: Vec<Mutex<Option<FieldId>>> =
         all_buf_sets.iter().map(|_| Mutex::new(None)).collect();
 
-    let violation: Mutex<Option<String>> = Mutex::new(None);
+    let violation: Mutex<Option<LegalityViolation>> = Mutex::new(None);
     let guard_hits = AtomicU64::new(0);
     let guard_skips = AtomicU64::new(0);
     let write_skips = AtomicU64::new(0);
+    let legality_checks = AtomicU64::new(0);
     let next_color = AtomicUsize::new(0);
     let schema = store.schema().clone();
     let shared = SharedStore::new(store);
@@ -277,6 +329,7 @@ fn execute_loop(
                         buf_set_of_access: &buf_set_of_access,
                         buf_ops: &buf_ops,
                         buf_fields: &buf_fields,
+                        checks_done: 0,
                         guard_hits: &guard_hits,
                         guard_skips: &guard_skips,
                         write_skips: &write_skips,
@@ -285,7 +338,16 @@ fn execute_loop(
                     // Initialize local buffers with identities lazily (on
                     // first reduce we know the op); start as empty and fill
                     // on demand.
+                    let t_task = if tracing { Some(std::time::Instant::now()) } else { None };
                     run_loop_over(lp, &mut ctx, iter.subregion(color).iter());
+                    if let Some(t) = t_task {
+                        partir_obs::instant("exec.task", vec![
+                            ("loop", li.into()),
+                            ("color", color.into()),
+                            ("elapsed_ns", (t.elapsed().as_nanos() as u64).into()),
+                        ]);
+                    }
+                    legality_checks.fetch_add(ctx.checks_done, Ordering::Relaxed);
                     // Hand buffers back.
                     for (bi, buf) in ctx.local_bufs.into_iter().enumerate() {
                         if !buf.is_empty() {
@@ -297,16 +359,11 @@ fn execute_loop(
         }
     });
     drop(shared);
-    if let Some(msg) = violation.lock().take() {
-        return Err(ExecError::Legality(msg));
+    if let Some(v) = violation.lock().take() {
+        return Err(ExecError::Legality(v));
     }
     if let Err(p) = scope_result {
-        let msg = panic_message(p);
-        return Err(if msg.contains("legality") {
-            ExecError::Legality(msg)
-        } else {
-            ExecError::TaskPanic(msg)
-        });
+        return Err(ExecError::TaskPanic(panic_message(p)));
     }
 
     // Deterministic merge: color order, ascending element order.
@@ -329,9 +386,17 @@ fn execute_loop(
     }
 
     report.tasks_run += n_colors as u64;
+    report.legality_checks += legality_checks.load(Ordering::Relaxed);
     report.guard_hits += guard_hits.load(Ordering::Relaxed);
     report.guard_skips += guard_skips.load(Ordering::Relaxed);
     report.write_skips += write_skips.load(Ordering::Relaxed);
+    loop_span.close_with(vec![
+        ("tasks", n_colors.into()),
+        ("legality_checks", legality_checks.load(Ordering::Relaxed).into()),
+        ("guard_hits", guard_hits.load(Ordering::Relaxed).into()),
+        ("guard_skips", guard_skips.load(Ordering::Relaxed).into()),
+        ("write_skips", write_skips.load(Ordering::Relaxed).into()),
+    ]);
     Ok(())
 }
 
@@ -362,12 +427,15 @@ struct TaskCtx<'a> {
     buf_set_of_access: &'a [Option<usize>],
     buf_ops: &'a [Mutex<Option<ReduceOp>>],
     buf_fields: &'a [Mutex<Option<FieldId>>],
+    /// Legality checks this task performed (plain counter, merged into the
+    /// shared total once at task end).
+    checks_done: u64,
     guard_hits: &'a AtomicU64,
     guard_skips: &'a AtomicU64,
     write_skips: &'a AtomicU64,
     /// First legality violation observed (recorded before the panic that
     /// aborts the task, so the executor can report a structured error).
-    violation: &'a Mutex<Option<String>>,
+    violation: &'a Mutex<Option<LegalityViolation>>,
 }
 
 impl TaskCtx<'_> {
@@ -379,22 +447,28 @@ impl TaskCtx<'_> {
 
     #[cold]
     fn legality_violation(&self, a: AccessId, i: Idx) -> ! {
-        let msg = format!(
-            "access {a:?} touched element {i} outside its subregion (color {})",
-            self.color
-        );
+        let v = LegalityViolation {
+            loop_id: self.plan.loop_index,
+            task: self.color,
+            region: self.plan.accesses[a.0 as usize].region,
+            index: i,
+            access: a,
+        };
         let mut slot = self.violation.lock();
         if slot.is_none() {
-            *slot = Some(msg.clone());
+            *slot = Some(v);
         }
         drop(slot);
-        panic!("legality violation: {msg}");
+        panic!("legality violation: {v}");
     }
 
     #[inline]
-    fn check_access(&self, a: AccessId, i: Idx) {
-        if self.check && !self.subregion(a).contains(i) {
-            self.legality_violation(a, i);
+    fn check_access(&mut self, a: AccessId, i: Idx) {
+        if self.check {
+            self.checks_done += 1;
+            if !self.subregion(a).contains(i) {
+                self.legality_violation(a, i);
+            }
         }
     }
 
@@ -439,7 +513,8 @@ impl DataCtx for TaskCtx<'_> {
     }
 
     fn reduce_f64(&mut self, a: AccessId, field: FieldId, i: Idx, op: ReduceOp, v: f64) {
-        match &self.modes[a.0 as usize] {
+        let modes = self.modes;
+        match &modes[a.0 as usize] {
             Mode::Plain => {
                 self.check_access(a, i);
                 // Centered or provably-disjoint reduction: in-place.

@@ -15,7 +15,9 @@ pub mod shared;
 pub mod sim;
 
 pub mod prelude {
-    pub use crate::exec::{execute_program, ExecError, ExecOptions, ExecReport};
+    pub use crate::exec::{
+        execute_program, ExecError, ExecOptions, ExecReport, LegalityViolation,
+    };
     pub use crate::shared::SharedStore;
     pub use crate::sim::{
         simulate, MachineModel, NodeBreakdown, SimAccess, SimLoop, SimResult, SimSpec,

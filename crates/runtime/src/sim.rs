@@ -136,6 +136,22 @@ impl NodeBreakdown {
             + self.runs as f64 * m.run_overhead
             + self.meta_units * m.meta_overhead
     }
+
+    /// JSON form for machine-readable reports: raw cost inputs plus the
+    /// derived per-component seconds under the given machine model.
+    pub fn to_json(&self, m: &MachineModel) -> partir_obs::json::Json {
+        partir_obs::json::Json::object()
+            .with("compute_s", self.compute)
+            .with("comm_bytes", self.comm_bytes)
+            .with("messages", self.messages)
+            .with("runs", self.runs)
+            .with("meta_units", self.meta_units)
+            .with("comm_s", self.comm_bytes / m.bandwidth)
+            .with("latency_s", self.messages as f64 * m.latency)
+            .with("run_overhead_s", self.runs as f64 * m.run_overhead)
+            .with("meta_s", self.meta_units * m.meta_overhead)
+            .with("total_s", self.time(m))
+    }
 }
 
 /// Simulation output.
@@ -155,6 +171,31 @@ impl SimResult {
     /// are all "items per second per node" for app-specific items).
     pub fn throughput_per_node(&self, items: f64, nodes: usize) -> f64 {
         items / (self.iteration_time * nodes as f64)
+    }
+
+    /// JSON form for machine-readable reports: scalar totals plus the
+    /// bottleneck node's breakdown (the node whose time *is* the iteration
+    /// time) and the full per-node array.
+    pub fn to_json(&self, m: &MachineModel) -> partir_obs::json::Json {
+        use partir_obs::json::Json;
+        let bottleneck = self
+            .per_node
+            .iter()
+            .enumerate()
+            .max_by(|(_, a), (_, b)| a.time(m).total_cmp(&b.time(m)))
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        let mut nodes = Json::array();
+        for b in &self.per_node {
+            nodes = nodes.push(b.to_json(m));
+        }
+        Json::object()
+            .with("iteration_time_s", self.iteration_time)
+            .with("total_bytes", self.total_bytes)
+            .with("total_work", self.total_work)
+            .with("bottleneck_node", bottleneck)
+            .with("bottleneck", self.per_node.get(bottleneck).map(|b| b.to_json(m)).unwrap_or(Json::Null))
+            .with("per_node", nodes)
     }
 }
 
@@ -185,9 +226,9 @@ pub fn simulate(spec: &SimSpec, machine: &MachineModel) -> SimResult {
             assert_eq!(lp.iter.num_subregions(), n, "iteration width must equal node count");
             let mut peer_msgs: HashMap<(u32, usize, usize), ()> = HashMap::new();
             let mut next_group = 1_000_000u32;
-            for p in 0..n {
+            for (p, b) in per_node.iter_mut().enumerate() {
                 let w = lp.iter.subregion(p).len() as f64 * lp.work_per_iter;
-                per_node[p].compute += w * machine.compute_per_unit;
+                b.compute += w * machine.compute_per_unit;
                 total_work += w;
             }
             // Runtime metadata: every node's dependence analysis walks the
@@ -270,7 +311,19 @@ pub fn simulate(spec: &SimSpec, machine: &MachineModel) -> SimResult {
             total_work,
         });
     }
-    result.expect("two rounds ran")
+    let result = result.expect("two rounds ran");
+    if partir_obs::trace_enabled() {
+        partir_obs::instant(
+            "sim.done",
+            vec![
+                ("nodes", n.into()),
+                ("iteration_time_s", result.iteration_time.into()),
+                ("total_bytes", result.total_bytes.into()),
+                ("total_work", result.total_work.into()),
+            ],
+        );
+    }
+    result
 }
 
 /// Read traffic: node `p` pulls `part[p] − home[p]` from the owners.

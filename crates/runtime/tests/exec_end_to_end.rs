@@ -374,4 +374,15 @@ fn legality_violation_detected() {
         msg.contains("legality") || msg.contains("not disjoint") || msg.contains("rank"),
         "unexpected error: {msg}"
     );
+    // The violation is structured, not just a message: it names the loop,
+    // the task, and the region whose subregion was escaped.
+    match err {
+        partir_runtime::exec::ExecError::Legality(v) => {
+            assert_eq!(v.loop_id, 0);
+            assert!(v.task < 2, "task {} out of range", v.task);
+            assert_eq!(v.region, RegionId(1), "violation targets the S region");
+            assert!(v.index < 10, "violating element within region bounds");
+        }
+        other => panic!("expected a structured legality violation, got {other}"),
+    }
 }

@@ -1,0 +1,270 @@
+//! Offline stand-in for `criterion` (see `vendor/` and DESIGN.md §6).
+//!
+//! A minimal wall-clock benchmark harness with criterion's API shape:
+//! groups, `bench_function` / `bench_with_input`, `BenchmarkId`, `iter`,
+//! and the `criterion_group!` / `criterion_main!` macros. Each benchmark is
+//! warmed up once, then timed in doubling batches until the measurement
+//! budget is spent; the mean ns/iter is printed.
+//!
+//! Modes:
+//! * normal / `cargo bench` (`--bench` flag): full measurement;
+//! * `cargo test` (`--test` flag): each routine runs once, as real
+//!   criterion does, so bench targets stay cheap under the test suite;
+//! * `CRITERION_BUDGET_MS`: per-benchmark measurement budget (default 60).
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque black box preventing the optimizer from deleting a value.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Mode {
+    Measure,
+    TestOnce,
+}
+
+/// Top-level harness state.
+pub struct Criterion {
+    mode: Mode,
+    budget: Duration,
+    #[allow(dead_code)] // kept for API parity with upstream criterion
+    default_sample_size: usize,
+    ran: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let budget_ms = std::env::var("CRITERION_BUDGET_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(60u64);
+        Criterion {
+            mode: Mode::Measure,
+            budget: Duration::from_millis(budget_ms),
+            default_sample_size: 100,
+            ran: 0,
+        }
+    }
+}
+
+impl Criterion {
+    /// Builds a harness from the process arguments (`cargo bench`/`cargo
+    /// test` pass harness flags; everything unknown is ignored).
+    pub fn from_args() -> Self {
+        let mut c = Criterion::default();
+        for arg in std::env::args().skip(1) {
+            if arg == "--test" {
+                c.mode = Mode::TestOnce;
+            }
+        }
+        c
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), _sample_size: 0 }
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run_one(name, f);
+        self
+    }
+
+    fn run_one<F>(&mut self, name: &str, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.ran += 1;
+        let mut b = Bencher {
+            mode: self.mode,
+            budget: self.budget,
+            iters: 0,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        match self.mode {
+            Mode::TestOnce => println!("{name}: ok (test mode, 1 iteration)"),
+            Mode::Measure => {
+                let per_iter = if b.iters > 0 {
+                    b.elapsed.as_nanos() as f64 / b.iters as f64
+                } else {
+                    f64::NAN
+                };
+                println!("{name:<48} time: {}", format_ns(per_iter));
+            }
+        }
+    }
+
+    pub fn final_summary(&self) {
+        println!("{} benchmarks run", self.ran);
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns.is_nan() {
+        "n/a (no iterations)".to_string()
+    } else if ns < 1_000.0 {
+        format!("{ns:.1} ns/iter")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs/iter", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms/iter", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s/iter", ns / 1_000_000_000.0)
+    }
+}
+
+/// Benchmark identifier: `function_name/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    _sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; this harness sizes measurement by
+    /// wall-clock budget, not sample count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self._sample_size = n;
+        self
+    }
+
+    pub fn bench_function<I, F>(&mut self, id: I, f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into().id);
+        self.criterion.run_one(&full, f);
+        self
+    }
+
+    pub fn bench_with_input<I, P, F>(&mut self, id: I, input: &P, mut f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher, &P),
+    {
+        let full = format!("{}/{}", self.name, id.into().id);
+        self.criterion.run_one(&full, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; `iter` does the timing.
+pub struct Bencher {
+    mode: Mode,
+    budget: Duration,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        if self.mode == Mode::TestOnce {
+            black_box(routine());
+            self.iters = 1;
+            self.elapsed = Duration::from_nanos(1);
+            return;
+        }
+        // Warmup.
+        black_box(routine());
+        // Doubling batches until the budget is spent; keep the totals of
+        // the timed batches for the mean.
+        let mut batch = 1u64;
+        let mut total_iters = 0u64;
+        let mut total_time = Duration::ZERO;
+        while total_time < self.budget {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            total_time += start.elapsed();
+            total_iters += batch;
+            if batch < 1 << 20 {
+                batch *= 2;
+            }
+        }
+        self.iters = total_iters;
+        self.elapsed = total_time;
+    }
+}
+
+/// Declares a function running a list of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Declares `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::from_args();
+            $( $group(&mut c); )+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(c: &mut Criterion) {
+        let mut g = c.benchmark_group("tiny");
+        g.sample_size(10);
+        g.bench_function("add", |b| b.iter(|| black_box(1u64) + black_box(2u64)));
+        g.bench_with_input(BenchmarkId::new("mul", 3), &3u64, |b, &x| {
+            b.iter(|| black_box(x) * 2)
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn harness_runs() {
+        let mut c = Criterion { budget: Duration::from_millis(2), ..Criterion::default() };
+        tiny(&mut c);
+        c.bench_function("top-level", |b| b.iter(|| black_box(5u32).pow(2)));
+        assert_eq!(c.ran, 3);
+    }
+}

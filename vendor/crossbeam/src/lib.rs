@@ -1,0 +1,120 @@
+//! Offline stand-in for `crossbeam` (see `vendor/` and DESIGN.md §6).
+//!
+//! Provides `crossbeam::scope` with crossbeam's panic semantics — child
+//! panics are caught and surfaced as `Err(payload)` from `scope` instead of
+//! unwinding — implemented on top of `std::thread::scope`.
+
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex};
+
+type PanicPayload = Box<dyn Any + Send + 'static>;
+type PanicSlot = Arc<Mutex<Option<PanicPayload>>>;
+
+/// Scope handle passed to [`scope`]'s closure and to each spawned thread.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+    panicked: PanicSlot,
+}
+
+/// Handle for a spawned scoped thread. Joining is implicit at scope exit;
+/// crossbeam's explicit `join` is not needed by this workspace.
+pub struct ScopedJoinHandle<'scope> {
+    _inner: std::thread::ScopedJoinHandle<'scope, ()>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread. The closure receives the scope again so it
+    /// can spawn further threads (crossbeam's signature).
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        let panicked = Arc::clone(&self.panicked);
+        let handle = inner.spawn(move || {
+            let scope = Scope { inner, panicked: Arc::clone(&panicked) };
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(|| {
+                f(&scope);
+            })) {
+                let mut slot = panicked.lock().unwrap_or_else(|e| e.into_inner());
+                if slot.is_none() {
+                    *slot = Some(payload);
+                }
+            }
+        });
+        ScopedJoinHandle { _inner: handle }
+    }
+}
+
+/// Creates a scope for spawning threads that may borrow from the caller.
+///
+/// All spawned threads are joined before `scope` returns. If any spawned
+/// thread panicked, the first panic payload is returned as `Err` (the
+/// crossbeam contract); the calling thread does not unwind.
+pub fn scope<'env, F, R>(f: F) -> Result<R, PanicPayload>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    let panicked: PanicSlot = Arc::new(Mutex::new(None));
+    let slot = Arc::clone(&panicked);
+    let result = std::thread::scope(move |s| {
+        let wrapper = Scope { inner: s, panicked: slot };
+        f(&wrapper)
+    });
+    let payload = panicked.lock().unwrap_or_else(|e| e.into_inner()).take();
+    match payload {
+        Some(payload) => Err(payload),
+        None => Ok(result),
+    }
+}
+
+/// crossbeam exposes scoped threads under `crossbeam::thread` as well.
+pub mod thread {
+    pub use super::{scope, Scope, ScopedJoinHandle};
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn joins_all_threads() {
+        let sum = AtomicU64::new(0);
+        super::scope(|s| {
+            for t in 0..8u64 {
+                let sum = &sum;
+                s.spawn(move |_| {
+                    sum.fetch_add(t, Ordering::Relaxed);
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(sum.load(Ordering::Relaxed), 28);
+    }
+
+    #[test]
+    fn child_panic_becomes_err() {
+        let r = super::scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        let payload = r.expect_err("child panic must surface as Err");
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or("");
+        assert_eq!(msg, "boom");
+    }
+
+    #[test]
+    fn nested_spawn_from_child() {
+        let hits = AtomicU64::new(0);
+        super::scope(|s| {
+            s.spawn(|s2| {
+                s2.spawn(|_| {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                });
+            });
+        })
+        .unwrap();
+        assert_eq!(hits.load(Ordering::Relaxed), 1);
+    }
+}

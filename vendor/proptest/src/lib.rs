@@ -1,0 +1,362 @@
+//! Offline stand-in for `proptest` (see `vendor/` and DESIGN.md §6).
+//!
+//! Implements the subset of proptest this workspace's property tests use:
+//! integer-range and tuple strategies, `prop_map`, `any::<bool|integer>()`,
+//! `proptest::collection::vec`, the `proptest!` / `prop_assert!` /
+//! `prop_assert_eq!` macros, `ProptestConfig::with_cases`, and
+//! `TestCaseError`. Cases are generated from a deterministic RNG; failing
+//! inputs are reported by case number and message. There is **no shrinking**
+//! and `.proptest-regressions` files are not consulted.
+
+pub mod collection;
+pub mod test_runner;
+
+pub mod strategy {
+    pub use crate::{Map, Strategy};
+}
+
+use test_runner::TestRng;
+
+/// A generator of values of type `Value`.
+///
+/// Unlike real proptest there is no value tree / shrinking: a strategy is
+/// just a deterministic function of the test RNG.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { source: self, map: f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Result of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    source: S,
+    map: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.map)(self.source.generate(rng))
+    }
+}
+
+/// Strategy producing a constant.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! unsigned_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end - self.start) as u64;
+                self.start + (rng.next_u64() % span) as $t
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range strategy");
+                let span = (end - start) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                start + (rng.next_u64() % (span + 1)) as $t
+            }
+        }
+    )*};
+}
+
+macro_rules! signed_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = (rng.next_u64() as u128) % span;
+                (self.start as i128 + off as i128) as $t
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range strategy");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                let off = (rng.next_u64() as u128) % span;
+                (start as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+
+unsigned_range_strategy!(u8, u16, u32, u64, usize);
+signed_range_strategy!(i8, i16, i32, i64, isize);
+
+macro_rules! tuple_strategy {
+    ($($S:ident $v:ident),+) => {
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($v,)+) = self;
+                ($($v.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(S0 s0);
+tuple_strategy!(S0 s0, S1 s1);
+tuple_strategy!(S0 s0, S1 s1, S2 s2);
+tuple_strategy!(S0 s0, S1 s1, S2 s2, S3 s3);
+tuple_strategy!(S0 s0, S1 s1, S2 s2, S3 s3, S4 s4);
+tuple_strategy!(S0 s0, S1 s1, S2 s2, S3 s3, S4 s4, S5 s5);
+tuple_strategy!(S0 s0, S1 s1, S2 s2, S3 s3, S4 s4, S5 s5, S6 s6);
+tuple_strategy!(S0 s0, S1 s1, S2 s2, S3 s3, S4 s4, S5 s5, S6 s6, S7 s7);
+tuple_strategy!(S0 s0, S1 s1, S2 s2, S3 s3, S4 s4, S5 s5, S6 s6, S7 s7, S8 s8);
+tuple_strategy!(S0 s0, S1 s1, S2 s2, S3 s3, S4 s4, S5 s5, S6 s6, S7 s7, S8 s8, S9 s9);
+tuple_strategy!(S0 s0, S1 s1, S2 s2, S3 s3, S4 s4, S5 s5, S6 s6, S7 s7, S8 s8, S9 s9, S10 s10);
+tuple_strategy!(S0 s0, S1 s1, S2 s2, S3 s3, S4 s4, S5 s5, S6 s6, S7 s7, S8 s8, S9 s9, S10 s10, S11 s11);
+
+/// Types with a canonical whole-domain strategy ([`any`]).
+pub trait Arbitrary: Sized {
+    type Strategy: Strategy<Value = Self>;
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// Whole-domain strategy for `A` (e.g. `any::<bool>()`).
+pub fn any<A: Arbitrary>() -> A::Strategy {
+    A::arbitrary()
+}
+
+/// Strategy behind [`any`] for primitive types.
+pub struct AnyPrim<T>(core::marker::PhantomData<T>);
+
+macro_rules! any_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for AnyPrim<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+        impl Arbitrary for $t {
+            type Strategy = AnyPrim<$t>;
+            fn arbitrary() -> Self::Strategy {
+                AnyPrim(core::marker::PhantomData)
+            }
+        }
+    )*};
+}
+
+any_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for AnyPrim<bool> {
+    type Value = bool;
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = AnyPrim<bool>;
+    fn arbitrary() -> Self::Strategy {
+        AnyPrim(core::marker::PhantomData)
+    }
+}
+
+impl Strategy for AnyPrim<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        // Uniform in [0, 1): full-domain floats are rarely what a
+        // partitioning test wants, and this keeps arithmetic finite.
+        ((rng.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Arbitrary for f64 {
+    type Strategy = AnyPrim<f64>;
+    fn arbitrary() -> Self::Strategy {
+        AnyPrim(core::marker::PhantomData)
+    }
+}
+
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{Arbitrary, Just, Strategy};
+}
+
+/// Defines property tests. Each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running `config.cases` deterministic cases; the body
+/// may `return Err(TestCaseError::...)` or use `prop_assert!`-family macros.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $crate::test_runner::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $cfg:expr; $($(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config = $cfg;
+                let mut rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+                for case in 0..config.cases {
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)+
+                    let outcome = (|| -> ::core::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $body
+                        #[allow(unreachable_code)]
+                        Ok(())
+                    })();
+                    if let ::core::result::Result::Err(e) = outcome {
+                        panic!(
+                            "proptest case {}/{} of `{}` failed: {}",
+                            case + 1,
+                            config.cases,
+                            stringify!($name),
+                            e
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Fails the enclosing proptest case if the condition is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Fails the enclosing proptest case if the two values are not equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr) => {{
+        let lhs = $lhs;
+        let rhs = $rhs;
+        if !(lhs == rhs) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($lhs),
+                stringify!($rhs),
+                lhs,
+                rhs
+            )));
+        }
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)*) => {{
+        let lhs = $lhs;
+        let rhs = $rhs;
+        if !(lhs == rhs) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "{}\n  left: {:?}\n right: {:?}",
+                format!($($fmt)*),
+                lhs,
+                rhs
+            )));
+        }
+    }};
+}
+
+/// Fails the enclosing proptest case if the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr) => {{
+        let lhs = $lhs;
+        let rhs = $rhs;
+        if lhs == rhs {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                stringify!($lhs),
+                stringify!($rhs),
+                lhs
+            )));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_in_bounds(x in 3u64..17, y in -4i32..4) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-4..4).contains(&y));
+        }
+
+        #[test]
+        fn tuples_and_maps(v in collection::vec((0u64..10).prop_map(|x| x * 2), 1..5usize), b in any::<bool>()) {
+            prop_assert!(!v.is_empty() && v.len() < 5);
+            prop_assert!(v.iter().all(|x| x % 2 == 0));
+            prop_assert_eq!(b || !b, true);
+        }
+    }
+
+    #[test]
+    fn failing_case_panics_with_message() {
+        let result = std::panic::catch_unwind(|| {
+            crate::proptest! {
+                #![proptest_config(ProptestConfig::with_cases(2))]
+                fn always_fails(_x in 0u64..5) {
+                    prop_assert!(false, "expected failure");
+                }
+            }
+            always_fails();
+        });
+        let payload = result.expect_err("must panic");
+        let msg = payload.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("expected failure"), "got: {msg}");
+    }
+}
