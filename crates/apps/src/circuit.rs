@@ -432,7 +432,7 @@ pub fn fig14d_series(
         let machine = MachineModel::gpu_cluster(n);
         let weights = LoopWeights(vec![6.0, 4.0, 4.0]);
 
-        let res = simulate(&app.manual_sim_spec(n), &machine);
+        let res = simulate(&app.manual_sim_spec(n), &machine).expect("manual sim spec is well-formed");
         manual.push(ScalePoint {
             nodes: n,
             throughput_per_node: res.throughput_per_node(items, n),
@@ -442,7 +442,7 @@ pub fn fig14d_series(
         let (plan, _, exts) = app.hinted_plan(n);
         let parts = plan.evaluate(&app.store, &app.fns, n, &exts);
         let spec = sim_spec_from_plan(&app.program, &plan, &parts, &app.store, &weights);
-        let res = simulate(&spec, &machine);
+        let res = simulate(&spec, &machine).expect("sim spec is well-formed");
         hinted.push(ScalePoint {
             nodes: n,
             throughput_per_node: res.throughput_per_node(items, n),
@@ -452,7 +452,7 @@ pub fn fig14d_series(
         let plan = app.auto_plan();
         let parts = plan.evaluate(&app.store, &app.fns, n, &ExtBindings::new());
         let spec = sim_spec_from_plan(&app.program, &plan, &parts, &app.store, &weights);
-        let res = simulate(&spec, &machine);
+        let res = simulate(&spec, &machine).expect("sim spec is well-formed");
         auto_.push(ScalePoint {
             nodes: n,
             throughput_per_node: res.throughput_per_node(items, n),
@@ -520,7 +520,7 @@ mod tests {
                 &parts,
                 &mut par,
                 &app.fns,
-                &ExecOptions { n_threads: 4, check_legality: true },
+                &ExecOptions { n_threads: 4, check_legality: true, ..ExecOptions::default() },
             )
             .expect("parallel circuit");
         }
@@ -556,7 +556,7 @@ mod tests {
             &parts,
             &mut par,
             &app.fns,
-            &ExecOptions { n_threads: 4, check_legality: true },
+            &ExecOptions { n_threads: 4, check_legality: true, ..ExecOptions::default() },
         )
         .expect("parallel hinted circuit");
         assert_eq!(seq.f64s(app.voltage), par.f64s(app.voltage));

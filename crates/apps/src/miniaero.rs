@@ -330,7 +330,7 @@ pub fn fig14c_series(
         let items = app.n_cells as f64;
         let machine = MachineModel::gpu_cluster(n);
 
-        let res = simulate(&app.manual_sim_spec(n), &machine);
+        let res = simulate(&app.manual_sim_spec(n), &machine).expect("manual sim spec is well-formed");
         manual.push(ScalePoint {
             nodes: n,
             throughput_per_node: res.throughput_per_node(items, n),
@@ -341,7 +341,7 @@ pub fn fig14c_series(
         let parts = plan.evaluate(&app.store, &app.fns, n, &ExtBindings::new());
         let weights = LoopWeights(vec![12.0, 4.0, 4.0]);
         let spec = sim_spec_from_plan(&app.program, &plan, &parts, &app.store, &weights);
-        let res = simulate(&spec, &machine);
+        let res = simulate(&spec, &machine).expect("sim spec is well-formed");
         auto_.push(ScalePoint {
             nodes: n,
             throughput_per_node: res.throughput_per_node(items, n),
@@ -401,7 +401,7 @@ mod tests {
                 &parts,
                 &mut par,
                 &app.fns,
-                &ExecOptions { n_threads: 4, check_legality: true },
+                &ExecOptions { n_threads: 4, check_legality: true, ..ExecOptions::default() },
             )
             .expect("parallel miniaero");
             buffer_bytes += r.buffer_bytes;

@@ -602,7 +602,7 @@ pub fn fig14e_series(zw: u64, zy: u64, nodes_list: &[usize]) -> Vec<ScaleSeries>
         let items = app.items();
         let machine = MachineModel::gpu_cluster(n);
 
-        let res = simulate(&app.manual_sim_spec(n), &machine);
+        let res = simulate(&app.manual_sim_spec(n), &machine).expect("manual sim spec is well-formed");
         series[0].points.push(ScalePoint {
             nodes: n,
             throughput_per_node: res.throughput_per_node(items, n),
@@ -615,7 +615,7 @@ pub fn fig14e_series(zw: u64, zy: u64, nodes_list: &[usize]) -> Vec<ScaleSeries>
             let (plan, exts) = app.plan(config);
             let parts = plan.evaluate(&app.store, &app.fns, n, &exts);
             let spec = sim_spec_from_plan(&app.program, &plan, &parts, &app.store, &weights);
-            let res = simulate(&spec, &machine);
+            let res = simulate(&spec, &machine).expect("sim spec is well-formed");
             series[si].points.push(ScalePoint {
                 nodes: n,
                 throughput_per_node: res.throughput_per_node(items, n),
@@ -675,7 +675,7 @@ mod tests {
                 &parts,
                 &mut par,
                 &app.fns,
-                &ExecOptions { n_threads: 4, check_legality: true },
+                &ExecOptions { n_threads: 4, check_legality: true, ..ExecOptions::default() },
             )
             .expect("parallel pennant");
             report.buffer_bytes += r.buffer_bytes;

@@ -142,6 +142,27 @@ impl Spmv {
 /// real hardware; the simulator default is scaled down — shapes, not
 /// magnitudes, are the target).
 pub fn fig14a_series(rows_per_node: u64, nodes_list: &[usize]) -> ScaleSeries {
+    fig14a_series_with(rows_per_node, nodes_list, "Auto", None)
+}
+
+/// Figure 14a overlay: the same Auto configuration priced under a
+/// node-failure model (checkpoint overhead + expected recompute of lost
+/// subregions), showing how much of the weak-scaling headroom failures
+/// consume at large node counts.
+pub fn fig14a_faults_series(
+    rows_per_node: u64,
+    nodes_list: &[usize],
+    fm: partir_runtime::sim::FailureModel,
+) -> ScaleSeries {
+    fig14a_series_with(rows_per_node, nodes_list, "Auto+faults", Some(fm))
+}
+
+fn fig14a_series_with(
+    rows_per_node: u64,
+    nodes_list: &[usize],
+    label: &str,
+    fm: Option<partir_runtime::sim::FailureModel>,
+) -> ScaleSeries {
     let mut points = Vec::new();
     for &n in nodes_list {
         let app = Spmv::generate(&SpmvParams { rows: rows_per_node * n as u64, halo: 2 });
@@ -150,15 +171,16 @@ pub fn fig14a_series(rows_per_node: u64, nodes_list: &[usize]) -> ScaleSeries {
         let flops_per_row = 2.0 * (app.nnz as f64) / (app.rows as f64);
         let weights = LoopWeights::uniform(app.program.len(), flops_per_row);
         let spec = sim_spec_from_plan(&app.program, &plan, &parts, &app.store, &weights);
-        let m = MachineModel::gpu_cluster(n);
-        let res = simulate(&spec, &m);
+        let mut m = MachineModel::gpu_cluster(n);
+        m.failure = fm;
+        let res = simulate(&spec, &m).expect("SpMV sim spec is well-formed");
         points.push(ScalePoint {
             nodes: n,
             throughput_per_node: res.throughput_per_node(app.nnz as f64, n),
             sim: SimSummary::from_result(&res, &m),
         });
     }
-    ScaleSeries { label: "Auto".into(), points }
+    ScaleSeries { label: label.into(), points }
 }
 
 #[cfg(test)]
@@ -179,7 +201,7 @@ mod tests {
             &parts,
             &mut store,
             &app.fns,
-            &ExecOptions { n_threads: 4, check_legality: true },
+            &ExecOptions { n_threads: 4, check_legality: true, ..ExecOptions::default() },
         )
         .expect("parallel execution");
         assert_eq!(store.f64s(app.yv), &expected[..]);
@@ -193,6 +215,23 @@ mod tests {
         let dpl = plan.render_dpl(&app.fns);
         assert!(dpl.contains("equal"), "{dpl}");
         assert!(dpl.contains("image"), "{dpl}");
+    }
+
+    #[test]
+    fn fig14a_faults_overlay_costs_throughput() {
+        let fm = partir_runtime::sim::FailureModel::commodity();
+        let plain = fig14a_series(20_000, &[1, 16]);
+        let faulty = fig14a_faults_series(20_000, &[1, 16], fm);
+        assert_eq!(faulty.label, "Auto+faults");
+        for (p, f) in plain.points.iter().zip(&faulty.points) {
+            assert!(
+                f.throughput_per_node < p.throughput_per_node,
+                "failure model must cost throughput at {} nodes",
+                p.nodes
+            );
+            assert!(f.sim.expected_iteration_time_s > f.sim.iteration_time_s);
+            assert_eq!(f.sim.iteration_time_s, p.sim.iteration_time_s);
+        }
     }
 
     #[test]

@@ -232,7 +232,7 @@ pub fn fig14b_series(nx: u64, rows_per_node: u64, nodes_list: &[usize]) -> Vec<S
         let machine = MachineModel::gpu_cluster(n);
 
         let spec = app.manual_sim_spec(n);
-        let res = simulate(&spec, &machine);
+        let res = simulate(&spec, &machine).expect("sim spec is well-formed");
         manual.push(ScalePoint {
             nodes: n,
             throughput_per_node: res.throughput_per_node(points, n),
@@ -243,7 +243,7 @@ pub fn fig14b_series(nx: u64, rows_per_node: u64, nodes_list: &[usize]) -> Vec<S
         let parts = plan.evaluate(&app.store, &app.fns, n, &ExtBindings::new());
         let weights = LoopWeights(vec![9.0, 1.0]);
         let spec = sim_spec_from_plan(&app.program, &plan, &parts, &app.store, &weights);
-        let res = simulate(&spec, &machine);
+        let res = simulate(&spec, &machine).expect("sim spec is well-formed");
         auto_.push(ScalePoint {
             nodes: n,
             throughput_per_node: res.throughput_per_node(points, n),
@@ -279,7 +279,7 @@ mod tests {
                 &parts,
                 &mut par,
                 &app.fns,
-                &ExecOptions { n_threads: 4, check_legality: true },
+                &ExecOptions { n_threads: 4, check_legality: true, ..ExecOptions::default() },
             )
             .expect("parallel stencil");
         }

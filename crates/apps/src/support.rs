@@ -129,6 +129,9 @@ pub const FIG14_NODES: [usize; 9] = [1, 2, 4, 8, 16, 32, 64, 128, 256];
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct SimSummary {
     pub iteration_time_s: f64,
+    /// Failure-aware expected iteration time (equals `iteration_time_s`
+    /// when the machine model has no failure model).
+    pub expected_iteration_time_s: f64,
     pub total_bytes: f64,
     pub total_work: f64,
     /// Node whose time equals the iteration time.
@@ -151,6 +154,7 @@ impl SimSummary {
             .unwrap_or((0, NodeBreakdown::default()));
         SimSummary {
             iteration_time_s: res.iteration_time,
+            expected_iteration_time_s: res.effective_time(),
             total_bytes: res.total_bytes,
             total_work: res.total_work,
             bottleneck_node: node,
@@ -165,6 +169,7 @@ impl SimSummary {
     pub fn to_json(&self) -> partir_obs::json::Json {
         partir_obs::json::Json::object()
             .with("iteration_time_s", self.iteration_time_s)
+            .with("expected_iteration_time_s", self.expected_iteration_time_s)
             .with("total_bytes", self.total_bytes)
             .with("total_work", self.total_work)
             .with("bottleneck_node", self.bottleneck_node)

@@ -198,7 +198,7 @@ fn bench_execution(c: &mut Criterion) {
                         &parts,
                         &mut store,
                         &app.fns,
-                        &ExecOptions { n_threads: threads, check_legality: false },
+                        &ExecOptions { n_threads: threads, check_legality: false, ..ExecOptions::default() },
                     )
                     .unwrap();
                     store

@@ -8,10 +8,11 @@
 //! Run: `cargo run --release -p partir-bench --bin fig14a`
 //! JSON report: `... --bin fig14a -- --json [--out PATH]`
 
-use partir_apps::spmv::fig14a_series;
+use partir_apps::spmv::{fig14a_faults_series, fig14a_series};
 use partir_apps::support::{render_series, FIG14_NODES};
 use partir_bench::{series_json, BenchArgs};
 use partir_obs::json::Json;
+use partir_runtime::sim::FailureModel;
 
 fn main() {
     let args = BenchArgs::parse();
@@ -19,10 +20,13 @@ fn main() {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(20_000);
-    let series = fig14a_series(rows_per_node, &FIG14_NODES);
+    let series = vec![
+        fig14a_series(rows_per_node, &FIG14_NODES),
+        fig14a_faults_series(rows_per_node, &FIG14_NODES, FailureModel::commodity()),
+    ];
     let payload = Json::object()
         .with("rows_per_node", rows_per_node)
-        .with("series", series_json(std::slice::from_ref(&series)));
+        .with("series", series_json(&series));
     args.emit("fig14a", payload, || {
         println!(
             "{}",
@@ -31,13 +35,14 @@ fn main() {
                     "Figure 14a: SpMV weak scaling (throughput/node, non-zeros/s; {} rows/node)",
                     rows_per_node
                 ),
-                std::slice::from_ref(&series)
+                &series
             )
         );
         println!(
-            "parallel efficiency at {} nodes: {:.1}% (paper: 99%)",
-            series.points.last().unwrap().nodes,
-            series.efficiency() * 100.0
+            "parallel efficiency at {} nodes: {:.1}% (paper: 99%); with node failures: {:.1}%",
+            series[0].points.last().unwrap().nodes,
+            series[0].efficiency() * 100.0,
+            series[1].efficiency() * 100.0
         );
     });
 }

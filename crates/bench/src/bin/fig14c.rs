@@ -49,7 +49,7 @@ fn main() {
             let weights = LoopWeights(vec![12.0, 4.0, 4.0]);
             let spec = sim_spec_from_plan(&app.program, &plan, &parts, &app.store, &weights);
             let machine = MachineModel::gpu_cluster(n);
-            let res = simulate(&spec, &machine);
+            let res = simulate(&spec, &machine).expect("sim spec is well-formed");
             points.push(ScalePoint {
                 nodes: n,
                 throughput_per_node: res.throughput_per_node(app.n_cells as f64, n),

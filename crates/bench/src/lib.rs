@@ -26,34 +26,60 @@ pub struct BenchArgs {
 
 impl BenchArgs {
     pub fn parse() -> BenchArgs {
+        match Self::parse_from(std::env::args().skip(1)) {
+            Ok(args) => args,
+            Err(msg) => {
+                eprintln!("{msg}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Argument parsing proper, separated from the process-exit policy so
+    /// rejection paths are unit-testable.
+    pub fn parse_from(it: impl IntoIterator<Item = String>) -> Result<BenchArgs, String> {
         let mut args = BenchArgs::default();
-        let mut it = std::env::args().skip(1);
+        let mut it = it.into_iter();
         while let Some(a) = it.next() {
             match a.as_str() {
                 "--json" => args.json = true,
                 "--out" => {
-                    let path = it.next().unwrap_or_else(|| {
-                        eprintln!("--out requires a path argument");
-                        std::process::exit(2);
-                    });
+                    let path = it
+                        .next()
+                        .ok_or_else(|| "--out requires a path argument".to_string())?;
                     args.out = Some(PathBuf::from(path));
                     args.json = true;
                 }
                 other => {
-                    eprintln!("unknown argument '{other}' (expected --json [--out PATH])");
-                    std::process::exit(2);
+                    return Err(format!(
+                        "unknown argument '{other}' (expected --json [--out PATH])"
+                    ));
                 }
             }
         }
-        args
+        Ok(args)
     }
 
     /// Emits a finished report: writes `--out` / prints the JSON when
-    /// requested, otherwise runs the human-readable printer.
+    /// requested, otherwise runs the human-readable printer. Exits 1 with
+    /// a message on write failure (unwritable path, missing directory).
     pub fn emit(&self, experiment: &str, payload: Json, human: impl FnOnce()) {
+        if let Err(msg) = self.try_emit(experiment, payload, human) {
+            eprintln!("{msg}");
+            std::process::exit(1);
+        }
+    }
+
+    /// [`emit`](Self::emit) without the process-exit policy.
+    pub fn try_emit(
+        &self,
+        experiment: &str,
+        payload: Json,
+        human: impl FnOnce(),
+    ) -> Result<(), String> {
         if !self.json {
             human();
-            return;
+            return Ok(());
         }
         let mut doc = report::envelope(experiment);
         if let Json::Obj(fields) = &payload {
@@ -65,14 +91,17 @@ impl BenchArgs {
         }
         let text = format!("{doc}\n");
         match &self.out {
-            None => print!("{text}"),
-            Some(path) => {
-                if let Err(e) = std::fs::write(path, &text) {
-                    eprintln!("failed to write {}: {e}", path.display());
-                    std::process::exit(1);
-                }
-                eprintln!("wrote {}", path.display());
+            None => {
+                print!("{text}");
+                Ok(())
             }
+            Some(path) => match std::fs::write(path, &text) {
+                Ok(()) => {
+                    eprintln!("wrote {}", path.display());
+                    Ok(())
+                }
+                Err(e) => Err(format!("failed to write {}: {e}", path.display())),
+            },
         }
     }
 }
@@ -130,7 +159,12 @@ pub fn plan_json(name: &str, plan: &ParallelPlan, loops: usize, fns: &FnTable) -
                 .with("nodes_explored", s.nodes_explored)
                 .with("candidates_tried", s.candidates_tried)
                 .with("backtracks", s.backtracks)
-                .with("lemma_applications", s.lemma_applications),
+                .with("lemma_applications", s.lemma_applications)
+                .with("degraded", plan.solution.degraded)
+                .with(
+                    "budget_exhausted",
+                    s.exhausted.map(|r| Json::from(r.as_str())).unwrap_or(Json::Null),
+                ),
         )
         .with(
             "unification",
@@ -157,4 +191,51 @@ pub fn series_json(series: &[ScaleSeries]) -> Json {
         arr = arr.push(s.to_json());
     }
     arr
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|a| a.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_from_accepts_json_and_out() {
+        let a = BenchArgs::parse_from(argv(&["--json"])).unwrap();
+        assert!(a.json && a.out.is_none());
+        let a = BenchArgs::parse_from(argv(&["--out", "/tmp/x.json"])).unwrap();
+        assert!(a.json);
+        assert_eq!(a.out.as_deref(), Some(std::path::Path::new("/tmp/x.json")));
+    }
+
+    #[test]
+    fn parse_from_rejects_bad_args_with_message() {
+        let err = BenchArgs::parse_from(argv(&["--bogus"])).unwrap_err();
+        assert!(err.contains("--bogus"), "{err}");
+        let err = BenchArgs::parse_from(argv(&["--out"])).unwrap_err();
+        assert!(err.contains("requires a path"), "{err}");
+    }
+
+    #[test]
+    fn try_emit_reports_unwritable_path() {
+        let args = BenchArgs {
+            json: true,
+            out: Some(PathBuf::from("/nonexistent-dir-partir/report.json")),
+        };
+        let err = args
+            .try_emit("t", Json::object().with("k", 1u64), || {})
+            .unwrap_err();
+        assert!(err.contains("failed to write"), "{err}");
+        assert!(err.contains("/nonexistent-dir-partir/report.json"), "{err}");
+    }
+
+    #[test]
+    fn try_emit_without_json_runs_human_printer() {
+        let mut ran = false;
+        let args = BenchArgs::default();
+        args.try_emit("t", Json::object(), || ran = true).unwrap();
+        assert!(ran);
+    }
 }

@@ -1,0 +1,92 @@
+//! The report aggregator must fail loudly — nonzero exit plus a message
+//! naming the offending file — on unreadable paths, malformed JSON, and
+//! invalid envelopes, and must not silently drop a failed `--out` write.
+
+use std::path::PathBuf;
+use std::process::{Command, Stdio};
+
+fn report_bin() -> Command {
+    let mut c = Command::new(env!("CARGO_BIN_EXE_report"));
+    c.stdin(Stdio::null());
+    c
+}
+
+fn tmp_file(name: &str, contents: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!("partir-cli-{}-{name}", std::process::id()));
+    std::fs::write(&path, contents).unwrap();
+    path
+}
+
+fn valid_envelope() -> String {
+    "{\"schema\": \"partir-report-v1\", \"experiment\": \"t\", \"created_unix_ms\": 0}\n"
+        .to_string()
+}
+
+#[test]
+fn missing_input_file_exits_nonzero_with_path() {
+    let out = report_bin()
+        .arg("/nonexistent-dir-partir/missing.json")
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("cannot read"), "{stderr}");
+    assert!(stderr.contains("missing.json"), "{stderr}");
+}
+
+#[test]
+fn malformed_json_exits_nonzero_with_path() {
+    let bad = tmp_file("malformed.json", "{not json");
+    let out = report_bin().arg(&bad).output().unwrap();
+    std::fs::remove_file(&bad).ok();
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("malformed.json"), "{stderr}");
+}
+
+#[test]
+fn wrong_schema_exits_nonzero() {
+    let bad = tmp_file("schema.json", "{\"schema\": \"partir-report-v0\"}");
+    let out = report_bin().arg(&bad).output().unwrap();
+    std::fs::remove_file(&bad).ok();
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("not a valid report"), "{stderr}");
+}
+
+#[test]
+fn unwritable_out_path_exits_nonzero() {
+    let good = tmp_file("good.json", &valid_envelope());
+    let out = report_bin()
+        .arg("--out")
+        .arg("/nonexistent-dir-partir/agg.json")
+        .arg(&good)
+        .output()
+        .unwrap();
+    std::fs::remove_file(&good).ok();
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("failed to write"), "{stderr}");
+}
+
+#[test]
+fn no_inputs_exits_with_usage_error() {
+    let out = report_bin().output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("no report files"), "{stderr}");
+}
+
+#[test]
+fn valid_inputs_aggregate_successfully() {
+    let good = tmp_file("ok.json", &valid_envelope());
+    let agg = std::env::temp_dir()
+        .join(format!("partir-cli-{}-agg.json", std::process::id()));
+    let out = report_bin().arg("--out").arg(&agg).arg(&good).output().unwrap();
+    std::fs::remove_file(&good).ok();
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = std::fs::read_to_string(&agg).unwrap();
+    std::fs::remove_file(&agg).ok();
+    assert!(text.contains("\"experiment\":\"aggregate\""), "{text}");
+    assert!(text.contains("\"t\""), "{text}");
+}

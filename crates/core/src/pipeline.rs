@@ -15,7 +15,7 @@ use crate::lemmas::FactCtx;
 use crate::optimize::{
     apply_relaxation, choose_reduce_mode, disj_preferences, ReduceMode, RelaxPolicy,
 };
-use crate::solve::{solve_with, Solution, SolveError};
+use crate::solve::{solve_with, Solution, SolveBudget, SolveError};
 use crate::unify::{unify, Rep, Unified};
 use partir_dpl::func::FnTable;
 use partir_dpl::partition::Partition;
@@ -77,6 +77,10 @@ pub struct Options {
     pub disj_preference: bool,
     /// Synthesize private sub-partitions (Theorem 5.1).
     pub private_subs: bool,
+    /// Resource budget for the constraint solver. On exhaustion the
+    /// pipeline degrades to the trivial solution instead of erroring, so
+    /// `auto_parallelize` stays total under any budget.
+    pub solve_budget: SolveBudget,
 }
 
 impl Default for Options {
@@ -86,6 +90,7 @@ impl Default for Options {
             relax: RelaxPolicy::Auto,
             disj_preference: true,
             private_subs: true,
+            solve_budget: SolveBudget::unlimited(),
         }
     }
 }
@@ -273,12 +278,12 @@ pub fn auto_parallelize(
     let sp = partir_obs::span("pipeline.solve");
     let mut system = unified.system.clone();
     let forced = forced_ext_bindings(&unified);
-    let base_solution = match solve_with(&system, fns, &forced) {
+    let base_solution = match solve_with(&system, fns, &forced, &opts.solve_budget) {
         Ok(s) => s,
         Err(SolveError::Unsatisfiable) => return Err(AutoError::Unsatisfiable),
     };
     let mut solution = base_solution;
-    if opts.disj_preference {
+    if opts.disj_preference && !solution.degraded {
         for pref in disj_preferences(&inference, &relax) {
             let mapped = match &pref {
                 Pred::Disj(PExpr::Sym(s)) => match resolve_rep(&unified, *s) {
@@ -292,9 +297,14 @@ pub fn auto_parallelize(
             }
             let mut trial = system.clone();
             trial.pred_obligations.push(mapped);
-            if let Ok(sol) = solve_with(&trial, fns, &forced) {
-                system = trial;
-                solution = sol;
+            // A degraded trial solution would accept the stronger system
+            // without the solver having actually satisfied it — only take
+            // the preference when the search completed within budget.
+            if let Ok(sol) = solve_with(&trial, fns, &forced, &opts.solve_budget) {
+                if !sol.degraded {
+                    system = trial;
+                    solution = sol;
+                }
             }
         }
     }
@@ -303,6 +313,7 @@ pub fn auto_parallelize(
         ("candidates", solution.stats.candidates_tried.into()),
         ("backtracks", solution.stats.backtracks.into()),
         ("lemma_applications", solution.stats.lemma_applications.into()),
+        ("degraded", solution.degraded.into()),
     ]);
     let solver_time = t1.elapsed();
 

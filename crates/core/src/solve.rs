@@ -29,6 +29,7 @@ use crate::lang::{PExpr, PSym, Pred, Subset, System};
 use crate::lemmas::{entails_subset, prove_pred, FactCtx};
 use partir_dpl::func::FnTable;
 use std::collections::{BTreeSet, HashMap};
+use std::time::{Duration, Instant};
 
 /// A complete assignment of closed expressions to partition symbols.
 #[derive(Clone, Debug)]
@@ -40,6 +41,72 @@ pub struct Solution {
     pub provenance: Vec<BindRule>,
     /// Search statistics.
     pub stats: SolveStats,
+    /// True when the search budget ran out and the bindings are the
+    /// guaranteed trivial solution rather than a searched one. The solution
+    /// is still executable (iteration spaces get equal partitions, access
+    /// symbols the union of their substituted lower bounds), but it ignores
+    /// preferences the search would have optimized.
+    pub degraded: bool,
+}
+
+/// Resource limits on the backtracking search (Algorithm 2). The paper
+/// guarantees a trivial solution always exists for Algorithm-1 constraints,
+/// so exhausting a budget degrades to that solution instead of erroring:
+/// under any budget — including zero — `solve_with` terminates with a
+/// usable [`Solution`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SolveBudget {
+    /// Maximum search nodes to explore (`Some(0)` forbids searching at all).
+    pub max_nodes: Option<u64>,
+    /// Maximum backtracks before giving up (`Some(0)` means the first
+    /// failed candidate ends the search).
+    pub max_backtracks: Option<u64>,
+    /// Wall-clock limit on the whole solve.
+    pub deadline: Option<Duration>,
+}
+
+impl SolveBudget {
+    /// No limits (the default).
+    pub fn unlimited() -> Self {
+        SolveBudget::default()
+    }
+
+    fn exceeded(&self, stats: &SolveStats, start: Instant) -> Option<BudgetExhausted> {
+        if let Some(max) = self.max_nodes {
+            if stats.nodes_explored >= max {
+                return Some(BudgetExhausted::Nodes);
+            }
+        }
+        if let Some(max) = self.max_backtracks {
+            if stats.backtracks > max {
+                return Some(BudgetExhausted::Backtracks);
+            }
+        }
+        if let Some(limit) = self.deadline {
+            if start.elapsed() >= limit {
+                return Some(BudgetExhausted::Deadline);
+            }
+        }
+        None
+    }
+}
+
+/// Which budget dimension ran out.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BudgetExhausted {
+    Nodes,
+    Backtracks,
+    Deadline,
+}
+
+impl BudgetExhausted {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            BudgetExhausted::Nodes => "nodes",
+            BudgetExhausted::Backtracks => "backtracks",
+            BudgetExhausted::Deadline => "deadline",
+        }
+    }
 }
 
 #[derive(Clone, Copy, Debug, Default)]
@@ -51,6 +118,9 @@ pub struct SolveStats {
     /// Lemma-engine rule firings (L1–L14 prover steps) across all base-case
     /// entailment checks.
     pub lemma_applications: u64,
+    /// Set when a [`SolveBudget`] dimension ran out and the search was
+    /// abandoned for the trivial solution.
+    pub exhausted: Option<BudgetExhausted>,
 }
 
 impl SolveStats {
@@ -61,6 +131,7 @@ impl SolveStats {
         self.candidates_tried += other.candidates_tried;
         self.backtracks += other.backtracks;
         self.lemma_applications += other.lemma_applications;
+        self.exhausted = self.exhausted.or(other.exhausted);
     }
 }
 
@@ -80,6 +151,9 @@ pub enum BindRule {
     EqualComp,
     /// Fallback: unconstrained symbol completed with `equal(R)`.
     EqualTrivial,
+    /// Budget exhausted: symbol assigned by the degraded trivial fallback
+    /// (union of closed lower bounds where available, else `equal(R)`).
+    DegradedTrivial,
 }
 
 impl BindRule {
@@ -93,6 +167,7 @@ impl BindRule {
             BindRule::EqualDisj => "equal-for-DISJ(L1,L9,L10,L12)",
             BindRule::EqualComp => "equal-for-COMP(L1,L6,L7)",
             BindRule::EqualTrivial => "equal-trivial(unconstrained)",
+            BindRule::DegradedTrivial => "degraded-trivial(budget-exhausted)",
         }
     }
 }
@@ -162,6 +237,13 @@ impl Solution {
             self.stats.backtracks,
             self.stats.lemma_applications
         );
+        if let Some(reason) = self.stats.exhausted {
+            let _ = writeln!(
+                out,
+                "-- degraded: {} budget exhausted, trivial fallback solution",
+                reason.as_str()
+            );
+        }
         out
     }
 }
@@ -173,18 +255,25 @@ pub enum SolveError {
     Unsatisfiable,
 }
 
-/// Solves a system; `forced` contains pre-made bindings (from unification:
-/// merged symbols bound to their representative, hints bound to externals).
+/// Solves a system with no pre-made bindings and no budget.
 pub fn solve(system: &System, fns: &FnTable) -> Result<Solution, SolveError> {
-    solve_with(system, fns, &HashMap::new())
+    solve_with(system, fns, &HashMap::new(), &SolveBudget::unlimited())
 }
 
-/// Like [`solve`] but with some symbols pre-bound (values must be closed).
+/// Like [`solve`] but with some symbols pre-bound (`forced`, values must be
+/// closed — from unification: merged symbols bound to their representative,
+/// hints bound to externals) and a search budget.
+///
+/// Under any budget — including zero — this terminates. Exhausting the
+/// budget falls back to the trivial solution (degraded, never an error);
+/// a genuine `Unsatisfiable` found *within* budget is still an error.
 pub fn solve_with(
     system: &System,
     fns: &FnTable,
     forced: &HashMap<PSym, PExpr>,
+    budget: &SolveBudget,
 ) -> Result<Solution, SolveError> {
+    let start = Instant::now();
     let n = system.num_syms();
     let mut bindings: Vec<Option<PExpr>> = vec![None; n];
     let mut prov: Vec<Option<BindRule>> = vec![None; n];
@@ -194,7 +283,7 @@ pub fn solve_with(
         prov[s.0 as usize] = Some(BindRule::Forced);
     }
     let mut stats = SolveStats::default();
-    if solve_rec(system, fns, &mut bindings, &mut prov, &mut stats) {
+    if solve_rec(system, fns, &mut bindings, &mut prov, &mut stats, budget, start) {
         let bindings: Vec<PExpr> = bindings.into_iter().map(Option::unwrap).collect();
         let provenance = prov
             .into_iter()
@@ -216,9 +305,74 @@ pub fn solve_with(
             partir_obs::counter("solve.backtracks", stats.backtracks);
             partir_obs::counter("solve.lemma_applications", stats.lemma_applications);
         }
-        Ok(Solution { bindings, provenance, stats })
+        Ok(Solution { bindings, provenance, stats, degraded: false })
+    } else if let Some(reason) = stats.exhausted {
+        if partir_obs::trace_enabled() {
+            partir_obs::instant(
+                "solve.budget_exhausted",
+                vec![
+                    ("reason", reason.as_str().into()),
+                    ("nodes", stats.nodes_explored.into()),
+                    ("backtracks", stats.backtracks.into()),
+                ],
+            );
+        }
+        if partir_obs::metrics_enabled() {
+            partir_obs::counter("solve.budget_exhausted", 1);
+        }
+        Ok(trivial_solution(system, forced, stats))
     } else {
         Err(SolveError::Unsatisfiable)
+    }
+}
+
+/// The guaranteed fallback when the budget runs out: assign every symbol in
+/// topological order (shallowest dependency depth first). A symbol whose
+/// lower bounds all become closed after substitution gets their union —
+/// this preserves execution legality, since access-symbol bounds include
+/// the images of the iteration partition — otherwise `equal(R)` of its
+/// region, the paper's trivial solution. Forced bindings are preserved.
+fn trivial_solution(
+    system: &System,
+    forced: &HashMap<PSym, PExpr>,
+    stats: SolveStats,
+) -> Solution {
+    let n = system.num_syms();
+    let mut bindings: Vec<Option<PExpr>> = vec![None; n];
+    let mut prov: Vec<BindRule> = vec![BindRule::DegradedTrivial; n];
+    for (s, e) in forced {
+        bindings[s.0 as usize] = Some(e.clone());
+        prov[s.0 as usize] = BindRule::Forced;
+    }
+    let mut lower: Vec<Vec<&PExpr>> = vec![Vec::new(); n];
+    for sub in &system.subset_obligations {
+        if let PExpr::Sym(p) = sub.rhs {
+            lower[p.0 as usize].push(&sub.lhs);
+        }
+    }
+    let depth = depths(system);
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&i| (depth[i], i));
+    for i in order {
+        if bindings[i].is_some() {
+            continue;
+        }
+        let mut bounds: Vec<PExpr> =
+            lower[i].iter().map(|e| apply(e, &bindings)).collect();
+        let cand = if !bounds.is_empty() && bounds.iter().all(PExpr::is_closed) {
+            bounds.sort_by_key(|e| format!("{e:?}"));
+            bounds.dedup();
+            bounds.into_iter().reduce(PExpr::union)
+        } else {
+            None
+        };
+        bindings[i] = Some(cand.unwrap_or(PExpr::Equal(system.sym_regions[i])));
+    }
+    Solution {
+        bindings: bindings.into_iter().map(Option::unwrap).collect(),
+        provenance: prov,
+        stats,
+        degraded: true,
     }
 }
 
@@ -306,7 +460,16 @@ fn solve_rec(
     bindings: &mut Vec<Option<PExpr>>,
     prov: &mut Vec<Option<BindRule>>,
     stats: &mut SolveStats,
+    budget: &SolveBudget,
+    start: Instant,
 ) -> bool {
+    if stats.exhausted.is_some() {
+        return false;
+    }
+    if let Some(reason) = budget.exceeded(stats, start) {
+        stats.exhausted = Some(reason);
+        return false;
+    }
     stats.nodes_explored += 1;
     let subs = pending_subsets(system, bindings);
 
@@ -330,11 +493,14 @@ fn solve_rec(
                     let cand = PExpr::preimage(domain, *f, sub.rhs.clone());
                     bindings[p.0 as usize] = Some(cand);
                     prov[p.0 as usize] = Some(BindRule::Preimage);
-                    if solve_rec(system, fns, bindings, prov, stats) {
+                    if solve_rec(system, fns, bindings, prov, stats, budget, start) {
                         return true;
                     }
-                    stats.backtracks += 1;
                     bindings[p.0 as usize] = None;
+                    if stats.exhausted.is_some() {
+                        return false;
+                    }
+                    stats.backtracks += 1;
                 }
             }
         }
@@ -368,11 +534,14 @@ fn solve_rec(
             .expect("at least one bound");
         bindings[p.0 as usize] = Some(cand);
         prov[p.0 as usize] = Some(BindRule::UnionOfBounds);
-        if solve_rec(system, fns, bindings, prov, stats) {
+        if solve_rec(system, fns, bindings, prov, stats, budget, start) {
             return true;
         }
-        stats.backtracks += 1;
         bindings[p.0 as usize] = None;
+        if stats.exhausted.is_some() {
+            return false;
+        }
+        stats.backtracks += 1;
     }
 
     // Rules 3 & 4: equal(R) for DISJ syms, then COMP syms, deepest first.
@@ -404,11 +573,14 @@ fn solve_rec(
         stats.candidates_tried += 1;
         bindings[p.0 as usize] = Some(PExpr::Equal(system.sym_region(p)));
         prov[p.0 as usize] = Some(rule);
-        if solve_rec(system, fns, bindings, prov, stats) {
+        if solve_rec(system, fns, bindings, prov, stats, budget, start) {
             return true;
         }
-        stats.backtracks += 1;
         bindings[p.0 as usize] = None;
+        if stats.exhausted.is_some() {
+            return false;
+        }
+        stats.backtracks += 1;
     }
 
     // Base case: nothing to strengthen — verify entailment of the whole
@@ -429,11 +601,13 @@ fn solve_rec(
         }
         if progressed {
             stats.candidates_tried += 1;
-            if solve_rec(system, fns, bindings, prov, stats) {
+            if solve_rec(system, fns, bindings, prov, stats, budget, start) {
                 return true;
             }
             // Roll back (only the ones we set — all previously-None).
-            stats.backtracks += 1;
+            if stats.exhausted.is_none() {
+                stats.backtracks += 1;
+            }
             return false;
         }
     }
@@ -623,8 +797,117 @@ mod tests {
         sys.require_subset(PExpr::image(PExpr::sym(p1), g2, r), PExpr::sym(p1));
         let mut forced = HashMap::new();
         forced.insert(p1, PExpr::ext(rs_p));
-        let sol = solve_with(&sys, &fns2, &forced).expect("consistent with external");
+        let sol = solve_with(&sys, &fns2, &forced, &SolveBudget::unlimited())
+            .expect("consistent with external");
         assert_eq!(sol.expr_for(p1), &PExpr::ext(rs_p));
+    }
+
+    /// A system whose first candidate (Preimage) fails verification and
+    /// must backtrack to `equal(R)`: with `max_backtracks = 0` the solve
+    /// still terminates, returning the degraded trivial solution instead
+    /// of erroring or hanging; with room to backtrack it solves normally.
+    #[test]
+    fn zero_backtrack_budget_degrades_to_trivial() {
+        let (mut sys, fns, r, s) = setup();
+        let e = sys.add_external("e", s);
+        let p1 = sys.fresh_sym(r, "p1");
+        // Rule 1 proposes P1 = preimage(R, g, e), which fails COMP(P1, R)
+        // (nothing is known about e's coverage); the fact below then lets
+        // the backtracked candidate P1 = equal(R) verify.
+        sys.require_comp(PExpr::sym(p1), r);
+        sys.require_subset(PExpr::image(PExpr::sym(p1), g(), s), PExpr::ext(e));
+        sys.assume_fact_subset(PExpr::image(PExpr::Equal(r), g(), s), PExpr::ext(e));
+        let budget = SolveBudget { max_backtracks: Some(0), ..SolveBudget::default() };
+        let sol = solve_with(&sys, &fns, &HashMap::new(), &budget)
+            .expect("budget exhaustion must not error");
+        assert!(sol.degraded);
+        assert_eq!(sol.stats.exhausted, Some(BudgetExhausted::Backtracks));
+        assert_eq!(sol.expr_for(p1), &PExpr::Equal(r));
+        assert!(sol.bindings.iter().all(PExpr::is_closed));
+        assert!(sol
+            .provenance
+            .iter()
+            .all(|b| matches!(b, BindRule::DegradedTrivial)));
+        // The same system under a budget it fits in solves non-degraded.
+        let roomy = SolveBudget { max_backtracks: Some(64), ..SolveBudget::default() };
+        let sol = solve_with(&sys, &fns, &HashMap::new(), &roomy).unwrap();
+        assert!(!sol.degraded);
+        assert_eq!(sol.stats.exhausted, None);
+        assert!(sol.stats.backtracks >= 1, "first candidate must have failed");
+        assert_eq!(sol.expr_for(p1), &PExpr::Equal(r));
+    }
+
+    /// `max_nodes = 0` forbids any search at all: every system yields the
+    /// trivial solution immediately, so `solve_with` is total.
+    #[test]
+    fn zero_node_budget_is_total() {
+        let (mut sys, fns, r, s) = setup();
+        let p1 = sys.fresh_sym(r, "p1");
+        let p2 = sys.fresh_sym(s, "p2");
+        sys.require_comp(PExpr::sym(p1), r);
+        sys.require_disj(PExpr::sym(p1));
+        sys.require_subset(PExpr::image(PExpr::sym(p1), g(), s), PExpr::sym(p2));
+        let budget = SolveBudget { max_nodes: Some(0), ..SolveBudget::default() };
+        let sol = solve_with(&sys, &fns, &HashMap::new(), &budget).expect("total");
+        assert!(sol.degraded);
+        assert_eq!(sol.stats.exhausted, Some(BudgetExhausted::Nodes));
+        assert_eq!(sol.stats.nodes_explored, 0);
+        assert!(sol.bindings.iter().all(PExpr::is_closed));
+    }
+
+    /// A zero wall-clock deadline exhausts immediately but still returns a
+    /// usable solution.
+    #[test]
+    fn zero_deadline_degrades_immediately() {
+        let (mut sys, fns, r, _) = setup();
+        let p = sys.fresh_sym(r, "p");
+        sys.require_comp(PExpr::sym(p), r);
+        let budget =
+            SolveBudget { deadline: Some(Duration::ZERO), ..SolveBudget::default() };
+        let sol = solve_with(&sys, &fns, &HashMap::new(), &budget).expect("total");
+        assert!(sol.degraded);
+        assert_eq!(sol.stats.exhausted, Some(BudgetExhausted::Deadline));
+        assert_eq!(sol.expr_for(p), &PExpr::Equal(r));
+    }
+
+    /// Forced bindings (unification/externals) survive into the degraded
+    /// trivial solution, and its lower-bound unions substitute them.
+    #[test]
+    fn degraded_trivial_preserves_forced_bindings() {
+        let (mut sys, fns, r, s) = setup();
+        let rs_p = sys.add_external("rs_p", r);
+        let p1 = sys.fresh_sym(r, "p1");
+        let p2 = sys.fresh_sym(s, "p2");
+        sys.require_subset(PExpr::image(PExpr::sym(p1), g(), s), PExpr::sym(p2));
+        let mut forced = HashMap::new();
+        forced.insert(p1, PExpr::ext(rs_p));
+        let budget = SolveBudget { max_nodes: Some(0), ..SolveBudget::default() };
+        let sol = solve_with(&sys, &fns, &forced, &budget).expect("total");
+        assert!(sol.degraded);
+        assert_eq!(sol.expr_for(p1), &PExpr::ext(rs_p));
+        assert_eq!(sol.provenance[p1.0 as usize], BindRule::Forced);
+        assert_eq!(sol.expr_for(p2), &PExpr::image(PExpr::ext(rs_p), g(), s));
+    }
+
+    /// A genuinely unsatisfiable system stays an error under an *unlimited*
+    /// budget: degradation is strictly a budget-exhaustion behavior.
+    #[test]
+    fn unsatisfiable_still_errors_under_unlimited_budget() {
+        let (mut sys, fns, r, _) = setup();
+        let p1 = sys.fresh_sym(r, "p1");
+        let mut fns2 = fns.clone();
+        let g2 = FnRef::Fn(fns2.add_affine("g2", r, r, 1, 1));
+        sys.require_comp(PExpr::sym(p1), r);
+        sys.require_subset(PExpr::image(PExpr::sym(p1), g2, r), PExpr::sym(p1));
+        let res = solve_with(&sys, &fns2, &HashMap::new(), &SolveBudget::unlimited());
+        assert!(matches!(res, Err(SolveError::Unsatisfiable)));
+        // Under a zero budget even this system gets a (degraded) solution:
+        // the recursive bound is not closed after substitution, so the
+        // symbol falls back to equal(R).
+        let budget = SolveBudget { max_nodes: Some(0), ..SolveBudget::default() };
+        let sol = solve_with(&sys, &fns2, &HashMap::new(), &budget).expect("total");
+        assert!(sol.degraded);
+        assert_eq!(sol.expr_for(p1), &PExpr::Equal(r));
     }
 
     /// A symbol with no constraints at all gets the trivial equal partition.

@@ -21,7 +21,7 @@
 
 use crate::infer::Inference;
 use crate::lang::{ExtId, FnRef, PExpr, PSym, Pred, Subset, System};
-use crate::solve::{solve_with, SolveStats};
+use crate::solve::{solve_with, SolveBudget, SolveStats};
 use partir_dpl::func::FnTable;
 use partir_dpl::region::RegionId;
 use std::collections::{BTreeMap, HashMap};
@@ -493,7 +493,7 @@ pub fn unify(inference: &Inference, fns: &FnTable) -> Unified {
                 // Consistency: the rewritten system must still be solvable.
                 let trial_system = rewrite_system(system, &trial);
                 let forced = forced_bindings(system, &trial);
-                match solve_with(&trial_system, fns, &forced) {
+                match solve_with(&trial_system, fns, &forced, &SolveBudget::unlimited()) {
                     Ok(sol) => {
                         check_stats.absorb(&sol.stats);
                         ustats.merges_accepted += 1;
@@ -556,7 +556,7 @@ pub fn unify(inference: &Inference, fns: &FnTable) -> Unified {
                 }
                 let trial_system = rewrite_system(system, &trial);
                 let forced = forced_bindings(system, &trial);
-                if let Ok(sol) = solve_with(&trial_system, fns, &forced) {
+                if let Ok(sol) = solve_with(&trial_system, fns, &forced, &SolveBudget::unlimited()) {
                     check_stats.absorb(&sol.stats);
                     ustats.merges_accepted += 1;
                     merge_log.push(MergeEntry {
@@ -610,7 +610,7 @@ pub fn unify(inference: &Inference, fns: &FnTable) -> Unified {
                 ustats.candidates_considered += 1;
                 let trial_system = rewrite_system(system, &trial);
                 let forced = forced_bindings(system, &trial);
-                if let Ok(sol) = solve_with(&trial_system, fns, &forced) {
+                if let Ok(sol) = solve_with(&trial_system, fns, &forced, &SolveBudget::unlimited()) {
                     check_stats.absorb(&sol.stats);
                     ustats.merges_accepted += 1;
                     merge_log.push(MergeEntry {
@@ -671,7 +671,7 @@ pub fn unify(inference: &Inference, fns: &FnTable) -> Unified {
             ustats.candidates_considered += 1;
             let trial_system = rewrite_system(system, &trial);
             let forced = forced_bindings(system, &trial);
-            if let Ok(sol) = solve_with(&trial_system, fns, &forced) {
+            if let Ok(sol) = solve_with(&trial_system, fns, &forced, &SolveBudget::unlimited()) {
                 check_stats.absorb(&sol.stats);
                 ustats.merges_accepted += 1;
                 merge_log.push(MergeEntry {

@@ -19,19 +19,30 @@
 //! * **private sub-partitions** (Section 5.2) — `BufferedPrivate`
 //!   reductions write directly inside the private sub-partition and buffer
 //!   only the shared remainder, shrinking buffer bytes (reported in
-//!   [`ExecReport`]).
+//!   [`ExecReport`]);
+//! * **fault tolerance** (see [`crate::fault`]) — with a [`FaultPlan`]
+//!   installed, task attempts die deterministically mid-loop (cleanly or by
+//!   poisoning the worker with a panic); every attempt runs against a
+//!   pre-attempt snapshot of the task's exclusive effect sets so failed
+//!   attempts roll back, bounded retries with backoff re-run the task, and
+//!   tasks that exhaust their retries are re-executed sequentially on the
+//!   main thread — so results stay bit-identical to the sequential
+//!   interpreter under any fault schedule.
 
+use crate::fault::{FaultPlan, InjectedPanic, RetryPolicy};
 use crate::shared::SharedStore;
-use partir_core::pipeline::{ParallelPlan, PlannedReduce};
+use partir_core::pipeline::{LoopPlan, ParallelPlan, PlannedReduce};
 use partir_dpl::func::{FnDef, FnId, FnTable, IndexFn, MultiFn};
 use partir_dpl::index_set::{Idx, IndexSet};
 use partir_dpl::partition::Partition;
 use partir_dpl::region::{FieldId, RegionId, Schema, Store};
-use partir_ir::ast::{AccessId, Loop, ReduceOp};
+use partir_ir::ast::{AccessId, Loop, ReduceOp, Stmt};
 use partir_ir::interp::{run_loop_over, DataCtx};
 use parking_lot::Mutex;
+use partir_obs::json::Json;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 
 /// Executor configuration.
 #[derive(Clone, Copy, Debug)]
@@ -40,11 +51,21 @@ pub struct ExecOptions {
     /// Validate every access against its partition subregion (dynamic proof
     /// that the solver's output is legal). On for tests, off for benches.
     pub check_legality: bool,
+    /// Deterministic fault injection; `None` runs on a perfect machine.
+    pub fault: Option<FaultPlan>,
+    /// Recovery policy for failed task attempts (only consulted when
+    /// attempts actually fail).
+    pub retry: RetryPolicy,
 }
 
 impl Default for ExecOptions {
     fn default() -> Self {
-        ExecOptions { n_threads: 4, check_legality: true }
+        ExecOptions {
+            n_threads: 4,
+            check_legality: true,
+            fault: None,
+            retry: RetryPolicy::default(),
+        }
     }
 }
 
@@ -65,6 +86,38 @@ pub struct ExecReport {
     pub guard_skips: u64,
     /// Centered writes skipped because another task owns the iteration.
     pub write_skips: u64,
+    /// Task attempts killed by the fault plan (clean kills and poisons).
+    pub faults_injected: u64,
+    /// Re-attempts after a failed attempt (bounded by the retry policy).
+    pub task_retries: u64,
+    /// Tasks that exhausted their retries and were re-executed
+    /// sequentially on the main thread.
+    pub tasks_recovered: u64,
+    /// Worker panics contained by the `catch_unwind` isolation barrier.
+    pub panics_isolated: u64,
+    /// True when the sequential-recovery slow path ran for any task:
+    /// results are still bit-identical to the sequential interpreter, but
+    /// part of the run was not parallel.
+    pub degraded: bool,
+}
+
+impl ExecReport {
+    /// Machine-readable form, for the JSON report envelopes.
+    pub fn to_json(&self) -> Json {
+        Json::object()
+            .with("tasks_run", self.tasks_run)
+            .with("buffer_bytes", self.buffer_bytes)
+            .with("private_buffer_bytes_saved", self.private_buffer_bytes_saved)
+            .with("legality_checks", self.legality_checks)
+            .with("guard_hits", self.guard_hits)
+            .with("guard_skips", self.guard_skips)
+            .with("write_skips", self.write_skips)
+            .with("faults_injected", self.faults_injected)
+            .with("task_retries", self.task_retries)
+            .with("tasks_recovered", self.tasks_recovered)
+            .with("panics_isolated", self.panics_isolated)
+            .with("degraded", self.degraded)
+    }
 }
 
 /// Structured description of a legality-check failure: which access of
@@ -97,6 +150,14 @@ impl fmt::Display for LegalityViolation {
 /// Execution failure.
 #[derive(Debug)]
 pub enum ExecError {
+    /// The plan does not describe this program (loop counts differ).
+    PlanMismatch { plan_loops: usize, program_loops: usize },
+    /// A plan references a partition index outside the evaluated set.
+    PartitionIndexOutOfBounds { loop_index: usize, part: usize, len: usize },
+    /// Partitions disagree on the launch width (subregion counts differ).
+    PartitionWidthMismatch { part: usize, expected: usize, got: usize },
+    /// A partition contains element indices outside its region.
+    PartitionExceedsRegion { loop_index: usize, part: usize, index: Idx, size: u64 },
     /// The iteration partition misses elements of the iteration space.
     IncompleteIteration { loop_index: usize },
     /// A loop with centered reductions got an aliased iteration partition.
@@ -105,13 +166,32 @@ pub enum ExecError {
     ReductionNotDisjoint { loop_index: usize, access: AccessId },
     /// A task accessed an element outside its subregion (legality check).
     Legality(LegalityViolation),
-    /// A worker panicked.
+    /// A worker panicked (a genuine bug, not an injected fault).
     TaskPanic(String),
+    /// A task exhausted its retries and sequential recovery was disabled.
+    TaskFailed { loop_index: usize, color: usize, attempts: u32 },
+    /// Internal buffered-reduction bookkeeping lost its field binding.
+    BufferStateCorrupt { loop_index: usize },
 }
 
 impl fmt::Display for ExecError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            ExecError::PlanMismatch { plan_loops, program_loops } => {
+                write!(f, "plan describes {plan_loops} loops but the program has {program_loops}")
+            }
+            ExecError::PartitionIndexOutOfBounds { loop_index, part, len } => {
+                write!(f, "loop {loop_index}: partition index {part} out of bounds ({len} evaluated)")
+            }
+            ExecError::PartitionWidthMismatch { part, expected, got } => {
+                write!(f, "partition {part} has {got} subregions, launch width is {expected}")
+            }
+            ExecError::PartitionExceedsRegion { loop_index, part, index, size } => {
+                write!(
+                    f,
+                    "loop {loop_index}: partition {part} contains element {index} outside its region (size {size})"
+                )
+            }
             ExecError::IncompleteIteration { loop_index } => {
                 write!(f, "loop {loop_index}: iteration partition incomplete")
             }
@@ -123,6 +203,15 @@ impl fmt::Display for ExecError {
             }
             ExecError::Legality(v) => write!(f, "legality violation: {v}"),
             ExecError::TaskPanic(m) => write!(f, "task panicked: {m}"),
+            ExecError::TaskFailed { loop_index, color, attempts } => {
+                write!(
+                    f,
+                    "loop {loop_index}: task {color} failed all {attempts} attempts and sequential recovery is disabled"
+                )
+            }
+            ExecError::BufferStateCorrupt { loop_index } => {
+                write!(f, "loop {loop_index}: buffered reduction recorded an op without a field")
+            }
         }
     }
 }
@@ -146,6 +235,7 @@ enum Mode<'a> {
 ///
 /// `parts` must be `plan.evaluate(...)` output (indexed by `PartId`); every
 /// partition must have the same number of subregions (the launch width).
+/// Both properties are validated up front and reported as typed errors.
 pub fn execute_program(
     program: &[Loop],
     plan: &ParallelPlan,
@@ -154,9 +244,16 @@ pub fn execute_program(
     fns: &FnTable,
     opts: &ExecOptions,
 ) -> Result<ExecReport, ExecError> {
+    validate_plan(program, plan, parts, store.schema(), opts)?;
     let mut report = ExecReport::default();
+    // Cumulative task ordinal (loop-major, color-minor): the deterministic
+    // coordinate `FaultPlan::poison_after` thresholds on.
+    let mut ordinal_base = 0u64;
     for (li, lp) in program.iter().enumerate() {
-        execute_loop(li, lp, plan, parts, store, fns, opts, &mut report)?;
+        let n_colors =
+            parts[plan.loops[li].iter.0 as usize].num_subregions() as u64;
+        execute_loop(li, lp, plan, parts, store, fns, opts, &mut report, ordinal_base)?;
+        ordinal_base += n_colors;
     }
     if partir_obs::metrics_enabled() {
         partir_obs::counter("exec.tasks_run", report.tasks_run);
@@ -166,8 +263,188 @@ pub fn execute_program(
             "exec.private_buffer_bytes_saved",
             report.private_buffer_bytes_saved,
         );
+        partir_obs::counter("exec.faults_injected", report.faults_injected);
+        partir_obs::counter("exec.task_retries", report.task_retries);
+        partir_obs::counter("exec.tasks_recovered", report.tasks_recovered);
+        partir_obs::counter("exec.panics_isolated", report.panics_isolated);
     }
     Ok(report)
+}
+
+/// Up-front validation of the plan/partition invariants the unsafe shared
+/// store relies on, as typed errors instead of downstream panics or (in
+/// release builds) out-of-bounds raw-pointer arithmetic.
+fn validate_plan(
+    program: &[Loop],
+    plan: &ParallelPlan,
+    parts: &[Partition],
+    schema: &Schema,
+    opts: &ExecOptions,
+) -> Result<(), ExecError> {
+    if plan.loops.len() != program.len() {
+        return Err(ExecError::PlanMismatch {
+            plan_loops: plan.loops.len(),
+            program_loops: program.len(),
+        });
+    }
+    let width = parts.first().map(|p| p.num_subregions()).unwrap_or(0);
+    for (pi, p) in parts.iter().enumerate() {
+        if p.num_subregions() != width {
+            return Err(ExecError::PartitionWidthMismatch {
+                part: pi,
+                expected: width,
+                got: p.num_subregions(),
+            });
+        }
+    }
+    let check_part = |li: usize, part: usize| -> Result<(), ExecError> {
+        if part >= parts.len() {
+            return Err(ExecError::PartitionIndexOutOfBounds { loop_index: li, part, len: parts.len() });
+        }
+        Ok(())
+    };
+    // Element-bounds validation walks every subregion, so it rides on the
+    // legality-checking switch (on for tests, off for benches).
+    let check_bounds = |li: usize, part: usize, region: RegionId| -> Result<(), ExecError> {
+        if !opts.check_legality {
+            return Ok(());
+        }
+        let size = schema.region_size(region);
+        for sub in parts[part].subregions() {
+            if let Some(m) = sub.max() {
+                if m >= size {
+                    return Err(ExecError::PartitionExceedsRegion {
+                        loop_index: li,
+                        part,
+                        index: m,
+                        size,
+                    });
+                }
+            }
+        }
+        Ok(())
+    };
+    for (li, lplan) in plan.loops.iter().enumerate() {
+        check_part(li, lplan.iter.0 as usize)?;
+        check_bounds(li, lplan.iter.0 as usize, program[li].region)?;
+        for ap in &lplan.accesses {
+            check_part(li, ap.part.0 as usize)?;
+            check_bounds(li, ap.part.0 as usize, ap.region)?;
+            if let Some(PlannedReduce::BufferedPrivate { private }) = &ap.reduce {
+                check_part(li, private.0 as usize)?;
+                check_bounds(li, private.0 as usize, ap.region)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Mutating access sites of a loop body: `(access, field, is_write)`.
+/// These determine which store elements a task attempt may have dirtied,
+/// and hence what a pre-attempt snapshot must save.
+fn collect_mut_sites(body: &[Stmt], out: &mut Vec<(AccessId, FieldId, bool)>) {
+    for s in body {
+        match s {
+            Stmt::ValWrite { access, field, .. } => out.push((*access, *field, true)),
+            Stmt::ValReduce { access, field, .. } => out.push((*access, *field, false)),
+            Stmt::ForEach { body, .. } => collect_mut_sites(body, out),
+            _ => {}
+        }
+    }
+}
+
+/// Saved pre-attempt values of one task's exclusive effect sets. Restoring
+/// is race-free: every saved element is owned by exactly this task (the
+/// same ownership argument that makes the direct effects race-free).
+struct TaskSnapshot<'a> {
+    saved: Vec<(FieldId, &'a IndexSet, Vec<f64>)>,
+}
+
+/// Resolves the store elements one mutating site may touch for `color`, or
+/// `None` when the site's effects are task-local (buffered reductions).
+fn effect_set<'a>(
+    site: &(AccessId, FieldId, bool),
+    lplan: &LoopPlan,
+    parts: &'a [Partition],
+    iter: &'a Partition,
+    write_own: Option<&'a Vec<IndexSet>>,
+    color: usize,
+) -> Option<&'a IndexSet> {
+    let (access, _, is_write) = site;
+    let ap = &lplan.accesses[access.0 as usize];
+    if *is_write {
+        // Centered write: the task's iterations, narrowed to first-owner
+        // elements when the iteration partition aliases.
+        return Some(match write_own {
+            Some(own) => &own[color],
+            None => iter.subregion(color),
+        });
+    }
+    match &ap.reduce {
+        // Centered reduction: disjoint iteration partition enforced.
+        None => Some(iter.subregion(color)),
+        // Direct/guarded effects land in the (disjoint) access partition.
+        Some(PlannedReduce::Direct) | Some(PlannedReduce::Guarded) => {
+            Some(parts[ap.part.0 as usize].subregion(color))
+        }
+        // Buffered contributions live in task-local buffers until the
+        // post-scope merge; a failed attempt just drops them.
+        Some(PlannedReduce::Buffered) => None,
+        // Only the private (disjoint) slice is mutated in place.
+        Some(PlannedReduce::BufferedPrivate { private }) => {
+            Some(parts[private.0 as usize].subregion(color))
+        }
+    }
+}
+
+/// Saves the pre-attempt values of every element the task may mutate.
+///
+/// # Safety argument
+/// Reads race with nothing: each saved element is exclusively owned by this
+/// task during the parallel phase (see `effect_set` and shared.rs docs).
+fn take_snapshot<'a>(
+    shared: &SharedStore,
+    sites: &[(AccessId, FieldId, bool)],
+    lplan: &LoopPlan,
+    parts: &'a [Partition],
+    iter: &'a Partition,
+    write_own: Option<&'a Vec<IndexSet>>,
+    color: usize,
+) -> TaskSnapshot<'a> {
+    let mut saved: Vec<(FieldId, &IndexSet, Vec<f64>)> = Vec::new();
+    for site in sites {
+        let Some(set) = effect_set(site, lplan, parts, iter, write_own, color) else {
+            continue;
+        };
+        let field = site.1;
+        if saved.iter().any(|(f, s, _)| *f == field && std::ptr::eq(*s, set)) {
+            continue; // site already covered (same field, same element set)
+        }
+        let vals: Vec<f64> =
+            set.iter().map(|i| unsafe { shared.read_f64(field, i) }).collect();
+        saved.push((field, set, vals));
+    }
+    TaskSnapshot { saved }
+}
+
+/// Rolls a failed attempt back to the snapshot (same exclusivity argument
+/// as `take_snapshot`).
+fn restore_snapshot(shared: &SharedStore, snap: &TaskSnapshot<'_>) {
+    for (field, set, vals) in &snap.saved {
+        for (rank, i) in set.iter().enumerate() {
+            unsafe { shared.write_f64(*field, i, vals[rank]) };
+        }
+    }
+}
+
+/// How one task (color) ended after its attempt loop.
+enum TaskOutcome {
+    /// Completed; carries the task-local reduction buffers to publish.
+    Done(Vec<Vec<f64>>),
+    /// All attempts failed; queued for sequential recovery.
+    Exhausted,
+    /// Fatal condition (legality violation or genuine panic); stop the run.
+    Abort,
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -180,6 +457,7 @@ fn execute_loop(
     fns: &FnTable,
     opts: &ExecOptions,
     report: &mut ExecReport,
+    ordinal_base: u64,
 ) -> Result<(), ExecError> {
     let loop_plan = &plan.loops[li];
     let iter = &parts[loop_plan.iter.0 as usize];
@@ -275,16 +553,27 @@ fn execute_loop(
         let mode = match &ap.reduce {
             None | Some(PlannedReduce::Direct) => Mode::Plain,
             Some(PlannedReduce::Guarded) => Mode::Guarded,
-            Some(PlannedReduce::Buffered) => {
-                Mode::Buffered { buf_sets: &all_buf_sets[buf_set_of_access[ai].unwrap()] }
-            }
+            Some(PlannedReduce::Buffered) => Mode::Buffered {
+                buf_sets: &all_buf_sets
+                    [buf_set_of_access[ai].expect("buffer set allocated in first pass")],
+            },
             Some(PlannedReduce::BufferedPrivate { private }) => Mode::BufferedPrivate {
                 private: &parts[private.0 as usize],
-                buf_sets: &all_buf_sets[buf_set_of_access[ai].unwrap()],
+                buf_sets: &all_buf_sets
+                    [buf_set_of_access[ai].expect("buffer set allocated in first pass")],
             },
         };
         modes.push(mode);
     }
+
+    // Mutating sites (for effect-set snapshots); only needed under faults.
+    let mut_sites: Vec<(AccessId, FieldId, bool)> = if opts.fault.is_some() {
+        let mut sites = Vec::new();
+        collect_mut_sites(&lp.body, &mut sites);
+        sites
+    } else {
+        Vec::new()
+    };
 
     // Buffers returned by tasks: buffers[buf_idx][color].
     let buffers: Vec<Vec<Mutex<Option<Vec<f64>>>>> = all_buf_sets
@@ -299,10 +588,17 @@ fn execute_loop(
         all_buf_sets.iter().map(|_| Mutex::new(None)).collect();
 
     let violation: Mutex<Option<LegalityViolation>> = Mutex::new(None);
+    let genuine_panic: Mutex<Option<String>> = Mutex::new(None);
+    // Colors that exhausted their retries, for sequential recovery.
+    let failed: Mutex<Vec<usize>> = Mutex::new(Vec::new());
+    let abort = AtomicBool::new(false);
     let guard_hits = AtomicU64::new(0);
     let guard_skips = AtomicU64::new(0);
     let write_skips = AtomicU64::new(0);
     let legality_checks = AtomicU64::new(0);
+    let faults_injected = AtomicU64::new(0);
+    let task_retries = AtomicU64::new(0);
+    let panics_isolated = AtomicU64::new(0);
     let next_color = AtomicUsize::new(0);
     let schema = store.schema().clone();
     let shared = SharedStore::new(store);
@@ -311,60 +607,245 @@ fn execute_loop(
         for _ in 0..opts.n_threads.max(1) {
             s.spawn(|_| {
                 loop {
+                    if abort.load(Ordering::Relaxed) {
+                        break;
+                    }
                     let color = next_color.fetch_add(1, Ordering::Relaxed);
                     if color >= n_colors {
                         break;
                     }
-                    let mut ctx = TaskCtx {
-                        shared: &shared,
-                        fns,
-                        schema: &schema,
-                        plan: loop_plan,
-                        parts,
-                        modes: &modes,
-                        color,
-                        write_own: write_own.as_ref().map(|o| &o[color]),
-                        check: opts.check_legality,
-                        local_bufs: all_buf_sets.iter().map(|_| Vec::new()).collect(),
-                        buf_set_of_access: &buf_set_of_access,
-                        buf_ops: &buf_ops,
-                        buf_fields: &buf_fields,
-                        checks_done: 0,
-                        guard_hits: &guard_hits,
-                        guard_skips: &guard_skips,
-                        write_skips: &write_skips,
-                        violation: &violation,
-                    };
-                    // Initialize local buffers with identities lazily (on
-                    // first reduce we know the op); start as empty and fill
-                    // on demand.
-                    let t_task = if tracing { Some(std::time::Instant::now()) } else { None };
-                    run_loop_over(lp, &mut ctx, iter.subregion(color).iter());
-                    if let Some(t) = t_task {
-                        partir_obs::instant("exec.task", vec![
-                            ("loop", li.into()),
-                            ("color", color.into()),
-                            ("elapsed_ns", (t.elapsed().as_nanos() as u64).into()),
-                        ]);
-                    }
-                    legality_checks.fetch_add(ctx.checks_done, Ordering::Relaxed);
-                    // Hand buffers back.
-                    for (bi, buf) in ctx.local_bufs.into_iter().enumerate() {
-                        if !buf.is_empty() {
-                            *buffers[bi][color].lock() = Some(buf);
+                    let sub = iter.subregion(color);
+                    // Pre-attempt snapshot of the task's exclusive effect
+                    // sets, so any failed attempt can roll back.
+                    let snapshot = opts.fault.map(|_| {
+                        take_snapshot(
+                            &shared,
+                            &mut_sites,
+                            loop_plan,
+                            parts,
+                            iter,
+                            write_own.as_ref(),
+                            color,
+                        )
+                    });
+                    let mut attempt: u32 = 0;
+                    let outcome = loop {
+                        let injection = opts.fault.and_then(|fp| {
+                            fp.decide(
+                                li as u64,
+                                color as u64,
+                                attempt,
+                                ordinal_base + color as u64,
+                                sub.len(),
+                            )
+                        });
+                        // AssertUnwindSafe: shared state touched by a dying
+                        // attempt is exactly the snapshot's effect sets
+                        // (rolled back below) and task-local buffers (moved
+                        // out only on success, dropped by the unwind).
+                        let result = catch_unwind(AssertUnwindSafe(|| {
+                            let mut ctx = TaskCtx {
+                                shared: &shared,
+                                fns,
+                                schema: &schema,
+                                plan: loop_plan,
+                                parts,
+                                modes: &modes,
+                                color,
+                                write_own: write_own.as_ref().map(|o| &o[color]),
+                                check: opts.check_legality,
+                                local_bufs: all_buf_sets.iter().map(|_| Vec::new()).collect(),
+                                buf_set_of_access: &buf_set_of_access,
+                                buf_ops: &buf_ops,
+                                buf_fields: &buf_fields,
+                                checks_done: 0,
+                                guard_hits: &guard_hits,
+                                guard_skips: &guard_skips,
+                                write_skips: &write_skips,
+                                violation: &violation,
+                            };
+                            let t_task =
+                                if tracing { Some(std::time::Instant::now()) } else { None };
+                            let killed = match injection {
+                                Some(fault) => {
+                                    run_loop_over(
+                                        lp,
+                                        &mut ctx,
+                                        sub.iter().take(fault.survive_iters as usize),
+                                    );
+                                    if fault.poison {
+                                        std::panic::panic_any(InjectedPanic);
+                                    }
+                                    true
+                                }
+                                None => {
+                                    run_loop_over(lp, &mut ctx, sub.iter());
+                                    false
+                                }
+                            };
+                            if !killed {
+                                if let Some(t) = t_task {
+                                    partir_obs::instant("exec.task", vec![
+                                        ("loop", li.into()),
+                                        ("color", color.into()),
+                                        ("attempt", attempt.into()),
+                                        ("elapsed_ns", (t.elapsed().as_nanos() as u64).into()),
+                                    ]);
+                                }
+                            }
+                            (ctx.checks_done, ctx.local_bufs, killed)
+                        }));
+                        let injected_death = match result {
+                            Ok((checks, bufs, killed)) => {
+                                legality_checks.fetch_add(checks, Ordering::Relaxed);
+                                if !killed {
+                                    break TaskOutcome::Done(bufs);
+                                }
+                                true // clean injected kill
+                            }
+                            Err(payload) => {
+                                // A legality panic means the *plan* is wrong:
+                                // never retried, never recovered — masking it
+                                // would hide the solver bug faults are
+                                // supposed to be orthogonal to.
+                                if violation.lock().is_some() {
+                                    abort.store(true, Ordering::Relaxed);
+                                    break TaskOutcome::Abort;
+                                }
+                                panics_isolated.fetch_add(1, Ordering::Relaxed);
+                                if payload.downcast_ref::<InjectedPanic>().is_some() {
+                                    true // injected poison
+                                } else {
+                                    // Genuine bug: isolate and stop the run.
+                                    let mut slot = genuine_panic.lock();
+                                    if slot.is_none() {
+                                        *slot = Some(panic_message(payload));
+                                    }
+                                    drop(slot);
+                                    abort.store(true, Ordering::Relaxed);
+                                    break TaskOutcome::Abort;
+                                }
+                            }
+                        };
+                        debug_assert!(injected_death);
+                        faults_injected.fetch_add(1, Ordering::Relaxed);
+                        if tracing {
+                            partir_obs::instant("fault.injected", vec![
+                                ("loop", li.into()),
+                                ("color", color.into()),
+                                ("attempt", attempt.into()),
+                            ]);
                         }
+                        if let Some(snap) = &snapshot {
+                            restore_snapshot(&shared, snap);
+                        }
+                        if attempt >= opts.retry.max_retries {
+                            break TaskOutcome::Exhausted;
+                        }
+                        attempt += 1;
+                        task_retries.fetch_add(1, Ordering::Relaxed);
+                        if tracing {
+                            partir_obs::instant("task.retry", vec![
+                                ("loop", li.into()),
+                                ("color", color.into()),
+                                ("attempt", attempt.into()),
+                            ]);
+                        }
+                        if !opts.retry.backoff.is_zero() {
+                            std::thread::sleep(opts.retry.backoff * attempt);
+                        }
+                    };
+                    match outcome {
+                        TaskOutcome::Done(bufs) => {
+                            for (bi, buf) in bufs.into_iter().enumerate() {
+                                if !buf.is_empty() {
+                                    *buffers[bi][color].lock() = Some(buf);
+                                }
+                            }
+                        }
+                        TaskOutcome::Exhausted => failed.lock().push(color),
+                        TaskOutcome::Abort => break,
                     }
                 }
             });
         }
     });
-    drop(shared);
     if let Some(v) = violation.lock().take() {
         return Err(ExecError::Legality(v));
     }
+    if let Some(m) = genuine_panic.lock().take() {
+        return Err(ExecError::TaskPanic(m));
+    }
     if let Err(p) = scope_result {
+        // A panic escaped the per-attempt isolation barrier (bookkeeping
+        // code, not a task body).
         return Err(ExecError::TaskPanic(panic_message(p)));
     }
+
+    // Graceful degradation: re-execute exhausted tasks sequentially on the
+    // main thread through the same task context (guards, ownership sets and
+    // buffers included), which is the reference-interpreter semantics
+    // restricted to the failed subregion — bit-identical, just not parallel.
+    let mut failed_colors = failed.into_inner();
+    failed_colors.sort_unstable();
+    if !failed_colors.is_empty() && !opts.retry.sequential_recovery {
+        return Err(ExecError::TaskFailed {
+            loop_index: li,
+            color: failed_colors[0],
+            attempts: opts.retry.max_retries + 1,
+        });
+    }
+    for color in failed_colors {
+        let recovery = catch_unwind(AssertUnwindSafe(|| {
+            let mut ctx = TaskCtx {
+                shared: &shared,
+                fns,
+                schema: &schema,
+                plan: loop_plan,
+                parts,
+                modes: &modes,
+                color,
+                write_own: write_own.as_ref().map(|o| &o[color]),
+                check: opts.check_legality,
+                local_bufs: all_buf_sets.iter().map(|_| Vec::new()).collect(),
+                buf_set_of_access: &buf_set_of_access,
+                buf_ops: &buf_ops,
+                buf_fields: &buf_fields,
+                checks_done: 0,
+                guard_hits: &guard_hits,
+                guard_skips: &guard_skips,
+                write_skips: &write_skips,
+                violation: &violation,
+            };
+            run_loop_over(lp, &mut ctx, iter.subregion(color).iter());
+            (ctx.checks_done, ctx.local_bufs)
+        }));
+        match recovery {
+            Ok((checks, bufs)) => {
+                legality_checks.fetch_add(checks, Ordering::Relaxed);
+                for (bi, buf) in bufs.into_iter().enumerate() {
+                    if !buf.is_empty() {
+                        *buffers[bi][color].lock() = Some(buf);
+                    }
+                }
+                report.tasks_recovered += 1;
+                report.degraded = true;
+                if tracing {
+                    partir_obs::instant("task.recovered", vec![
+                        ("loop", li.into()),
+                        ("color", color.into()),
+                    ]);
+                }
+            }
+            Err(p) => {
+                if let Some(v) = violation.lock().take() {
+                    return Err(ExecError::Legality(v));
+                }
+                return Err(ExecError::TaskPanic(panic_message(p)));
+            }
+        }
+    }
+    drop(shared);
 
     // Deterministic merge: color order, ascending element order.
     for (bi, sets) in all_buf_sets.iter().enumerate() {
@@ -372,7 +853,10 @@ fn execute_loop(
             Some(op) => op,
             None => continue, // no contributions at all
         };
-        let field = buf_fields[bi].lock().expect("field recorded with op");
+        let field = match *buf_fields[bi].lock() {
+            Some(f) => f,
+            None => return Err(ExecError::BufferStateCorrupt { loop_index: li }),
+        };
         let fs = store.f64s_mut(field);
         for (color, set) in sets.iter().enumerate() {
             if let Some(buf) = buffers[bi][color].lock().take() {
@@ -390,12 +874,17 @@ fn execute_loop(
     report.guard_hits += guard_hits.load(Ordering::Relaxed);
     report.guard_skips += guard_skips.load(Ordering::Relaxed);
     report.write_skips += write_skips.load(Ordering::Relaxed);
+    report.faults_injected += faults_injected.load(Ordering::Relaxed);
+    report.task_retries += task_retries.load(Ordering::Relaxed);
+    report.panics_isolated += panics_isolated.load(Ordering::Relaxed);
     loop_span.close_with(vec![
         ("tasks", n_colors.into()),
         ("legality_checks", legality_checks.load(Ordering::Relaxed).into()),
         ("guard_hits", guard_hits.load(Ordering::Relaxed).into()),
         ("guard_skips", guard_skips.load(Ordering::Relaxed).into()),
         ("write_skips", write_skips.load(Ordering::Relaxed).into()),
+        ("faults_injected", faults_injected.load(Ordering::Relaxed).into()),
+        ("task_retries", task_retries.load(Ordering::Relaxed).into()),
     ]);
     Ok(())
 }
@@ -405,6 +894,8 @@ fn panic_message(p: Box<dyn std::any::Any + Send>) -> String {
         s.clone()
     } else if let Some(s) = p.downcast_ref::<&str>() {
         (*s).to_string()
+    } else if p.downcast_ref::<InjectedPanic>().is_some() {
+        "injected fault".to_string()
     } else {
         "unknown panic".to_string()
     }

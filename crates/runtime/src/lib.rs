@@ -11,6 +11,7 @@
 //!   reproduce the weak-scaling experiments of Figure 14.
 
 pub mod exec;
+pub mod fault;
 pub mod shared;
 pub mod sim;
 
@@ -18,9 +19,11 @@ pub mod prelude {
     pub use crate::exec::{
         execute_program, ExecError, ExecOptions, ExecReport, LegalityViolation,
     };
+    pub use crate::fault::{FaultPlan, RetryPolicy};
     pub use crate::shared::SharedStore;
     pub use crate::sim::{
-        simulate, MachineModel, NodeBreakdown, SimAccess, SimLoop, SimResult, SimSpec,
+        simulate, FailureModel, FailureSummary, MachineModel, NodeBreakdown, SimAccess,
+        SimError, SimLoop, SimResult, SimSpec,
     };
 }
 

@@ -28,6 +28,7 @@ use partir_dpl::ops;
 use partir_dpl::partition::Partition;
 use partir_dpl::region::RegionId;
 use std::collections::HashMap;
+use std::fmt;
 
 /// The machine model.
 #[derive(Clone, Copy, Debug)]
@@ -50,6 +51,8 @@ pub struct MachineModel {
     /// (Section 6.5) even though its communication volume matches the
     /// hand-optimized version.
     pub meta_overhead: f64,
+    /// Node-failure model; `None` simulates a perfect machine.
+    pub failure: Option<FailureModel>,
 }
 
 impl MachineModel {
@@ -64,9 +67,90 @@ impl MachineModel {
             latency: 2.0e-6,
             run_overhead: 0.1e-6,
             meta_overhead: 10.0e-9,
+            failure: None,
+        }
+    }
+
+    /// The same machine with a failure model installed.
+    pub fn with_failure(mut self, failure: FailureModel) -> Self {
+        self.failure = Some(failure);
+        self
+    }
+}
+
+/// Node-failure model: exponential failures per node plus a coordinated
+/// checkpoint/restart protocol, in the style of the classic Young/Daly
+/// analysis. The expected (failure-aware) iteration time is
+///
+/// ```text
+/// E[T] = T·(1 + C/τ) + (n/MTBF)·T·(R + recompute)
+/// ```
+///
+/// where `T` is the failure-free iteration time, `C/τ` the checkpoint
+/// overhead fraction, `n/MTBF` the system failure rate, `R` the restart
+/// cost, and `recompute` the expected cost of re-running the lost node's
+/// work — priced from the solved partitions (see [`FailureSummary`]).
+#[derive(Clone, Copy, Debug)]
+pub struct FailureModel {
+    /// Mean time between failures of one node, seconds.
+    pub node_mtbf_s: f64,
+    /// Interval between coordinated checkpoints, seconds.
+    pub checkpoint_interval_s: f64,
+    /// Cost of taking one checkpoint, seconds.
+    pub checkpoint_cost_s: f64,
+    /// Cost of restarting a failed node (boot + rejoin), seconds.
+    pub restart_cost_s: f64,
+}
+
+impl FailureModel {
+    /// A commodity-cluster default: one node failure per ~30 days, hourly
+    /// checkpoints costing 30 s, two-minute restarts.
+    pub fn commodity() -> Self {
+        FailureModel {
+            node_mtbf_s: 30.0 * 24.0 * 3600.0,
+            checkpoint_interval_s: 3600.0,
+            checkpoint_cost_s: 30.0,
+            restart_cost_s: 120.0,
         }
     }
 }
+
+/// Simulation failure: the spec is inconsistent (these were panics before
+/// the executor/simulator error audit).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// An access targets a region absent from `SimSpec::region_sizes`.
+    MissingRegionSize { region: RegionId },
+    /// A home partition's width differs from the node count.
+    HomeWidthMismatch { region: RegionId, expected: usize, got: usize },
+    /// A loop's iteration partition width differs from the node count.
+    IterWidthMismatch { loop_name: String, expected: usize, got: usize },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::MissingRegionSize { region } => {
+                write!(f, "region r{} missing from region_sizes", region.0)
+            }
+            SimError::HomeWidthMismatch { region, expected, got } => {
+                write!(
+                    f,
+                    "home partition for region r{} has {got} subregions, node count is {expected}",
+                    region.0
+                )
+            }
+            SimError::IterWidthMismatch { loop_name, expected, got } => {
+                write!(
+                    f,
+                    "loop '{loop_name}': iteration width {got} does not match node count {expected}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
 
 /// How an access participates in communication.
 #[derive(Clone, Debug, PartialEq)]
@@ -154,6 +238,54 @@ impl NodeBreakdown {
     }
 }
 
+/// Failure-aware cost summary, derived from the solved partitions'
+/// disjoint/complete verdicts (see [`FailureModel`] for the formula).
+///
+/// Recomputation of a lost node's work is priced per loop: a disjoint,
+/// complete iteration partition means the lost subregion's work is exactly
+/// that node's share; an aliased iteration partition (relaxed loops)
+/// inflates recomputation by the aliasing factor `Σ|subᵢ| / |∪subᵢ|`,
+/// because re-running the lost color repeats work that live nodes also
+/// perform. On top of compute, the lost node's owned data (the steady-state
+/// home distribution) must be re-staged from the last checkpoint over the
+/// network.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FailureSummary {
+    /// Failure-free iteration time (same as `SimResult::iteration_time`).
+    pub failure_free_time_s: f64,
+    /// Expected iteration time including checkpoint overhead and expected
+    /// failure recovery.
+    pub expected_iteration_time_s: f64,
+    /// `checkpoint_cost / checkpoint_interval`.
+    pub checkpoint_overhead_frac: f64,
+    /// `(nodes / node_mtbf) × iteration_time`.
+    pub expected_failures_per_iteration: f64,
+    /// Mean / max over nodes of the cost to recompute one lost node.
+    pub mean_recompute_s: f64,
+    pub max_recompute_s: f64,
+    /// Loops whose iteration partition is aliased (not disjoint) — these
+    /// pay the aliasing factor on recomputation.
+    pub aliased_loops: usize,
+    /// Loops whose iteration partition does not cover its region — lost
+    /// work cannot be reconstructed from the partition alone, so recovery
+    /// falls back to a full checkpoint restore for those loops.
+    pub incomplete_loops: usize,
+}
+
+impl FailureSummary {
+    pub fn to_json(&self) -> partir_obs::json::Json {
+        partir_obs::json::Json::object()
+            .with("failure_free_time_s", self.failure_free_time_s)
+            .with("expected_iteration_time_s", self.expected_iteration_time_s)
+            .with("checkpoint_overhead_frac", self.checkpoint_overhead_frac)
+            .with("expected_failures_per_iteration", self.expected_failures_per_iteration)
+            .with("mean_recompute_s", self.mean_recompute_s)
+            .with("max_recompute_s", self.max_recompute_s)
+            .with("aliased_loops", self.aliased_loops)
+            .with("incomplete_loops", self.incomplete_loops)
+    }
+}
+
 /// Simulation output.
 #[derive(Clone, Debug)]
 pub struct SimResult {
@@ -164,13 +296,22 @@ pub struct SimResult {
     pub total_bytes: f64,
     /// Total work units per iteration.
     pub total_work: f64,
+    /// Failure-aware costs, when the machine has a failure model.
+    pub failure: Option<FailureSummary>,
 }
 
 impl SimResult {
     /// Throughput per node in work units per second (the Figure 14 y-axes
     /// are all "items per second per node" for app-specific items).
     pub fn throughput_per_node(&self, items: f64, nodes: usize) -> f64 {
-        items / (self.iteration_time * nodes as f64)
+        items / (self.effective_time() * nodes as f64)
+    }
+
+    /// The time one iteration effectively takes: the failure-aware expected
+    /// time when a failure model is installed, the plain iteration time
+    /// otherwise.
+    pub fn effective_time(&self) -> f64 {
+        self.failure.map_or(self.iteration_time, |f| f.expected_iteration_time_s)
     }
 
     /// JSON form for machine-readable reports: scalar totals plus the
@@ -191,10 +332,12 @@ impl SimResult {
         }
         Json::object()
             .with("iteration_time_s", self.iteration_time)
+            .with("effective_time_s", self.effective_time())
             .with("total_bytes", self.total_bytes)
             .with("total_work", self.total_work)
             .with("bottleneck_node", bottleneck)
             .with("bottleneck", self.per_node.get(bottleneck).map(|b| b.to_json(m)).unwrap_or(Json::Null))
+            .with("failure", self.failure.map(|f| f.to_json()).unwrap_or(Json::Null))
             .with("per_node", nodes)
     }
 }
@@ -202,7 +345,7 @@ impl SimResult {
 /// Runs the simulation to steady state (two iterations: the first settles
 /// region homes, the second is measured — matching the paper's
 /// "measured once programs reached a steady state").
-pub fn simulate(spec: &SimSpec, machine: &MachineModel) -> SimResult {
+pub fn simulate(spec: &SimSpec, machine: &MachineModel) -> Result<SimResult, SimError> {
     let n = machine.nodes;
     // Initial homes.
     let mut home: HashMap<RegionId, Vec<IndexSet>> = HashMap::new();
@@ -212,7 +355,13 @@ pub fn simulate(spec: &SimSpec, machine: &MachineModel) -> SimResult {
             .get(&r)
             .cloned()
             .unwrap_or_else(|| ops::equal(r, size, n));
-        assert_eq!(h.num_subregions(), n, "home partition width must equal node count");
+        if h.num_subregions() != n {
+            return Err(SimError::HomeWidthMismatch {
+                region: r,
+                expected: n,
+                got: h.num_subregions(),
+            });
+        }
         home.insert(r, h.subregions().to_vec());
     }
 
@@ -223,7 +372,13 @@ pub fn simulate(spec: &SimSpec, machine: &MachineModel) -> SimResult {
         let mut total_work = 0.0;
         // Message dedup per (loop, group, src, dst).
         for lp in &spec.loops {
-            assert_eq!(lp.iter.num_subregions(), n, "iteration width must equal node count");
+            if lp.iter.num_subregions() != n {
+                return Err(SimError::IterWidthMismatch {
+                    loop_name: lp.name.clone(),
+                    expected: n,
+                    got: lp.iter.num_subregions(),
+                });
+            }
             let mut peer_msgs: HashMap<(u32, usize, usize), ()> = HashMap::new();
             let mut next_group = 1_000_000u32;
             for (p, b) in per_node.iter_mut().enumerate() {
@@ -247,9 +402,9 @@ pub fn simulate(spec: &SimSpec, machine: &MachineModel) -> SimResult {
                 b.meta_units += meta;
             }
             for acc in &lp.accesses {
-                let h = home.get(&acc.region).unwrap_or_else(|| {
-                    panic!("region {:?} missing from region_sizes", acc.region)
-                });
+                let h = home
+                    .get(&acc.region)
+                    .ok_or(SimError::MissingRegionSize { region: acc.region })?;
                 let group = acc.group.unwrap_or_else(|| {
                     next_group += 1;
                     next_group
@@ -309,21 +464,99 @@ pub fn simulate(spec: &SimSpec, machine: &MachineModel) -> SimResult {
             per_node,
             total_bytes,
             total_work,
+            failure: None,
         });
     }
-    let result = result.expect("two rounds ran");
+    let mut result = result.expect("two rounds ran");
+    if let Some(fm) = &machine.failure {
+        result.failure = Some(failure_summary(spec, machine, fm, &result, &home));
+    }
     if partir_obs::trace_enabled() {
         partir_obs::instant(
             "sim.done",
             vec![
                 ("nodes", n.into()),
                 ("iteration_time_s", result.iteration_time.into()),
+                ("effective_time_s", result.effective_time().into()),
                 ("total_bytes", result.total_bytes.into()),
                 ("total_work", result.total_work.into()),
             ],
         );
     }
-    result
+    Ok(result)
+}
+
+/// Prices failure recovery from the solved partitions' verdicts and the
+/// steady-state home distribution (see [`FailureSummary`]).
+fn failure_summary(
+    spec: &SimSpec,
+    machine: &MachineModel,
+    fm: &FailureModel,
+    result: &SimResult,
+    home: &HashMap<RegionId, Vec<IndexSet>>,
+) -> FailureSummary {
+    let n = machine.nodes;
+    let mut recompute = vec![0.0f64; n];
+    let mut aliased_loops = 0usize;
+    let mut incomplete_loops = 0usize;
+    for lp in &spec.loops {
+        // The disjoint/complete verdicts of the iteration partition decide
+        // how a lost color's work is priced.
+        let disjoint = lp.iter.is_disjoint();
+        let complete = spec
+            .region_sizes
+            .get(&lp.iter.region)
+            .is_none_or(|&size| lp.iter.is_complete(size));
+        if !disjoint {
+            aliased_loops += 1;
+        }
+        if !complete {
+            incomplete_loops += 1;
+        }
+        // Aliasing factor: re-running an aliased color repeats work that
+        // live nodes also perform (guards re-filter every element).
+        let alias_factor = if disjoint {
+            1.0
+        } else {
+            let total: u64 = lp.iter.total_elements();
+            let support = lp.iter.support().len();
+            if support == 0 { 1.0 } else { total as f64 / support as f64 }
+        };
+        // Incomplete coverage: the partition alone cannot reconstruct the
+        // loop's effects, so recovery replays the whole loop from the
+        // checkpoint rather than one color.
+        for (p, r) in recompute.iter_mut().enumerate() {
+            let elems = if complete {
+                lp.iter.subregion(p).len() as f64
+            } else {
+                lp.iter.total_elements() as f64
+            };
+            *r += elems * lp.work_per_iter * alias_factor * machine.compute_per_unit;
+        }
+    }
+    // Re-staging the lost node's owned data from the checkpoint.
+    for sets in home.values() {
+        for (p, s) in sets.iter().enumerate() {
+            recompute[p] += s.len() as f64 * 8.0 / machine.bandwidth;
+        }
+    }
+    let mean_recompute = recompute.iter().sum::<f64>() / n.max(1) as f64;
+    let max_recompute = recompute.iter().cloned().fold(0.0f64, f64::max);
+    let t = result.iteration_time;
+    let checkpoint_frac = fm.checkpoint_cost_s / fm.checkpoint_interval_s;
+    let failures_per_iter = n as f64 / fm.node_mtbf_s * t;
+    let expected = t * (1.0 + checkpoint_frac)
+        + failures_per_iter * (fm.restart_cost_s + mean_recompute);
+    FailureSummary {
+        failure_free_time_s: t,
+        expected_iteration_time_s: expected,
+        checkpoint_overhead_frac: checkpoint_frac,
+        expected_failures_per_iteration: failures_per_iter,
+        mean_recompute_s: mean_recompute,
+        max_recompute_s: max_recompute,
+        aliased_loops,
+        incomplete_loops,
+    }
 }
 
 /// Read traffic: node `p` pulls `part[p] − home[p]` from the owners.
@@ -451,7 +684,7 @@ mod tests {
                     region_sizes: [(r0(), size)].into_iter().collect(),
                     initial_home: Default::default(),
                 };
-                simulate(&spec, &MachineModel::gpu_cluster(n)).iteration_time
+                simulate(&spec, &MachineModel::gpu_cluster(n)).unwrap().iteration_time
             })
             .collect();
         let ratio = times[2] / times[0];
@@ -490,7 +723,7 @@ mod tests {
                 region_sizes: [(r0(), size)].into_iter().collect(),
                 initial_home: Default::default(),
             };
-            let res = simulate(&spec, &MachineModel::gpu_cluster(n));
+            let res = simulate(&spec, &MachineModel::gpu_cluster(n)).unwrap();
             // Weak-scaling efficiency vs the 1-node case is proportional to
             // 1/iteration_time here (constant per-node work).
             1.0 / res.iteration_time
@@ -556,8 +789,8 @@ mod tests {
             initial_home: Default::default(),
         };
         let m = MachineModel::gpu_cluster(n);
-        let separate = simulate(&mk_spec([None, None]), &m);
-        let consolidated = simulate(&mk_spec([Some(1), Some(1)]), &m);
+        let separate = simulate(&mk_spec([None, None]), &m).unwrap();
+        let consolidated = simulate(&mk_spec([Some(1), Some(1)]), &m).unwrap();
         assert!(consolidated.iteration_time < separate.iteration_time);
         assert_eq!(consolidated.total_bytes, separate.total_bytes);
     }
@@ -591,7 +824,7 @@ mod tests {
             region_sizes: [(r0(), size)].into_iter().collect(),
             initial_home: Default::default(),
         };
-        let res = simulate(&spec, &MachineModel::gpu_cluster(n));
+        let res = simulate(&spec, &MachineModel::gpu_cluster(n)).unwrap();
         assert!(res.total_bytes > 0.0);
         // Direct aligned reduction: no traffic.
         let spec2 = SimSpec {
@@ -611,7 +844,7 @@ mod tests {
             region_sizes: [(r0(), size)].into_iter().collect(),
             initial_home: Default::default(),
         };
-        let res2 = simulate(&spec2, &MachineModel::gpu_cluster(n));
+        let res2 = simulate(&spec2, &MachineModel::gpu_cluster(n)).unwrap();
         assert_eq!(res2.total_bytes, 0.0);
     }
 
@@ -645,8 +878,114 @@ mod tests {
             initial_home: Default::default(),
         };
         let m = MachineModel::gpu_cluster(n);
-        let t_cont = simulate(&mk(&contiguous), &m).iteration_time;
-        let t_frag = simulate(&mk(&fragmented), &m).iteration_time;
+        let t_cont = simulate(&mk(&contiguous), &m).unwrap().iteration_time;
+        let t_frag = simulate(&mk(&fragmented), &m).unwrap().iteration_time;
         assert!(t_frag > t_cont, "{t_frag} vs {t_cont}");
+    }
+
+    fn local_spec(_n: usize, iter: Partition, size: u64) -> SimSpec {
+        SimSpec {
+            loops: vec![SimLoop {
+                name: "local".into(),
+                iter: iter.clone(),
+                work_per_iter: 1.0,
+                accesses: vec![SimAccess {
+                    region: r0(),
+                    part: iter,
+                    kind: SimKind::ReduceDirect,
+                    bytes_per_elem: 8.0,
+                    group: None,
+                    expr_weight: 1.0,
+                }],
+            }],
+            region_sizes: [(r0(), size)].into_iter().collect(),
+            initial_home: Default::default(),
+        }
+    }
+
+    /// The failure model inflates expected time, and more failure-prone
+    /// machines inflate it more.
+    #[test]
+    fn failure_model_prices_recovery() {
+        let n = 16usize;
+        let size = 16_000u64;
+        let spec = local_spec(n, equal(r0(), size, n), size);
+        let perfect = simulate(&spec, &MachineModel::gpu_cluster(n)).unwrap();
+        assert!(perfect.failure.is_none());
+        let m = MachineModel::gpu_cluster(n).with_failure(FailureModel::commodity());
+        let res = simulate(&spec, &m).unwrap();
+        let f = res.failure.expect("failure summary present");
+        assert!(f.expected_iteration_time_s > res.iteration_time);
+        assert_eq!(f.failure_free_time_s, res.iteration_time);
+        assert_eq!(res.effective_time(), f.expected_iteration_time_s);
+        assert_eq!(f.aliased_loops, 0);
+        assert_eq!(f.incomplete_loops, 0);
+        // A 10× less reliable machine pays more.
+        let flaky = FailureModel { node_mtbf_s: FailureModel::commodity().node_mtbf_s / 10.0, ..FailureModel::commodity() };
+        let res2 = simulate(&spec, &MachineModel::gpu_cluster(n).with_failure(flaky)).unwrap();
+        assert!(
+            res2.failure.unwrap().expected_iteration_time_s > f.expected_iteration_time_s
+        );
+    }
+
+    /// Aliased iteration partitions pay the aliasing factor on
+    /// recomputation (the disjointness verdict feeds the failure model).
+    #[test]
+    fn aliased_partitions_cost_more_to_recompute() {
+        let n = 8usize;
+        let size = 8_000u64;
+        let disjoint = equal(r0(), size, n);
+        // Every color additionally repeats the first 1000 elements.
+        let overlap = IndexSet::from_range(0, 1000);
+        let aliased = Partition::new(
+            r0(),
+            disjoint.subregions().iter().map(|s| s.union(&overlap)).collect(),
+        );
+        let m = MachineModel::gpu_cluster(n).with_failure(FailureModel::commodity());
+        let f_dis =
+            simulate(&local_spec(n, disjoint, size), &m).unwrap().failure.unwrap();
+        let f_ali =
+            simulate(&local_spec(n, aliased, size), &m).unwrap().failure.unwrap();
+        assert_eq!(f_dis.aliased_loops, 0);
+        assert_eq!(f_ali.aliased_loops, 1);
+        assert!(f_ali.mean_recompute_s > f_dis.mean_recompute_s);
+    }
+
+    /// Spec inconsistencies surface as typed errors, not panics.
+    #[test]
+    fn typed_errors_for_bad_specs() {
+        let n = 4usize;
+        let size = 400u64;
+        let iter = equal(r0(), size, n);
+        // Access to a region that has no size entry.
+        let spec = SimSpec {
+            loops: vec![SimLoop {
+                name: "bad".into(),
+                iter: iter.clone(),
+                work_per_iter: 1.0,
+                accesses: vec![SimAccess {
+                    region: RegionId(9),
+                    part: iter.clone(),
+                    kind: SimKind::Read,
+                    bytes_per_elem: 8.0,
+                    group: None,
+                    expr_weight: 1.0,
+                }],
+            }],
+            region_sizes: [(r0(), size)].into_iter().collect(),
+            initial_home: Default::default(),
+        };
+        match simulate(&spec, &MachineModel::gpu_cluster(n)) {
+            Err(SimError::MissingRegionSize { region }) => assert_eq!(region, RegionId(9)),
+            other => panic!("expected MissingRegionSize, got {other:?}"),
+        }
+        // Iteration width that disagrees with the node count.
+        let spec2 = local_spec(n, equal(r0(), size, n + 1), size);
+        match simulate(&spec2, &MachineModel::gpu_cluster(n)) {
+            Err(SimError::IterWidthMismatch { expected, got, .. }) => {
+                assert_eq!((expected, got), (n, n + 1));
+            }
+            other => panic!("expected IterWidthMismatch, got {other:?}"),
+        }
     }
 }

@@ -35,7 +35,7 @@ fn check_parallel_matches_seq(
         &parts,
         &mut par_store,
         fns,
-        &ExecOptions { n_threads: 4, check_legality: true },
+        &ExecOptions { n_threads: 4, check_legality: true, ..ExecOptions::default() },
     )
     .expect("parallel execution succeeds");
 
@@ -366,7 +366,7 @@ fn legality_violation_detected() {
         &parts,
         &mut store,
         &fns,
-        &ExecOptions { n_threads: 2, check_legality: true },
+        &ExecOptions { n_threads: 2, check_legality: true, ..ExecOptions::default() },
     )
     .unwrap_err();
     let msg = format!("{err}");

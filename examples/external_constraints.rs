@@ -53,7 +53,7 @@ fn main() {
             &parts,
             &mut par,
             &app.fns,
-            &ExecOptions { n_threads: 8, check_legality: true },
+            &ExecOptions { n_threads: 8, check_legality: true, ..ExecOptions::default() },
         )
         .expect("parallel circuit");
         assert_eq!(seq.f64s(app.voltage), par.f64s(app.voltage), "{label} diverged");

@@ -104,7 +104,7 @@ fn main() {
         &parts,
         &mut par,
         &fns,
-        &ExecOptions { n_threads: 4, check_legality: true },
+        &ExecOptions { n_threads: 4, check_legality: true, ..ExecOptions::default() },
     )
     .expect("parallel execution succeeds");
 

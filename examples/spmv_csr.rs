@@ -38,7 +38,7 @@ fn main() {
         &parts,
         &mut store,
         &app.fns,
-        &ExecOptions { n_threads: 8, check_legality: false },
+        &ExecOptions { n_threads: 8, check_legality: false, ..ExecOptions::default() },
     )
     .expect("parallel SpMV");
     let elapsed = t0.elapsed();

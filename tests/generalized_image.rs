@@ -125,7 +125,7 @@ fn csr_with_overlapping_rows_executes_correctly() {
         &parts,
         &mut par,
         &fns,
-        &ExecOptions { n_threads: 3, check_legality: true },
+        &ExecOptions { n_threads: 3, check_legality: true, ..ExecOptions::default() },
     )
     .expect("parallel CSR with overlapping rows");
     assert_eq!(seq.f64s(yv), par.f64s(yv));

@@ -214,7 +214,7 @@ fn figure4_user_invariant_discharges_constraints() {
         &parts,
         &mut par,
         &fns,
-        &ExecOptions { n_threads: 4, check_legality: true },
+        &ExecOptions { n_threads: 4, check_legality: true, ..ExecOptions::default() },
     )
     .expect("parallel execution with hints");
     assert_eq!(seq.f64s(pos), par.f64s(pos));
@@ -268,7 +268,7 @@ fn figure11_relaxed_execution_matches_figure12_semantics() {
         &parts,
         &mut par,
         &fns,
-        &ExecOptions { n_threads: 4, check_legality: true },
+        &ExecOptions { n_threads: 4, check_legality: true, ..ExecOptions::default() },
     )
     .unwrap();
     assert_eq!(seq.f64s(sx), par.f64s(sx), "each contribution applied exactly once");

@@ -220,7 +220,7 @@ proptest! {
             &parts,
             &mut par,
             &built.fns,
-            &ExecOptions { n_threads: 3, check_legality: true },
+            &ExecOptions { n_threads: 3, check_legality: true, ..ExecOptions::default() },
         );
         let report = match report {
             Ok(r) => r,
@@ -236,5 +236,79 @@ proptest! {
             }
         }
         let _ = report;
+    }
+
+    /// Robustness property: a random fault schedule (clean kills, bounded
+    /// retries, sequential recovery as last resort) never changes results —
+    /// the fault-injected executor's final stores stay bit-identical to the
+    /// sequential interpreter — and replaying the same `FaultPlan` seed
+    /// reproduces the identical `ExecReport`.
+    #[test]
+    fn fault_injected_execution_matches_sequential(
+        cfg in arb_cfg(),
+        fault_seed in any::<u64>(),
+        rate_pct in 0u32..=100,
+    ) {
+        let built = build(&cfg);
+        let schema = built.store.schema().clone();
+        let plan = auto_parallelize(
+            &built.program,
+            &built.fns,
+            &schema,
+            &Hints::new(),
+            Options::default(),
+        )
+        .expect("generated programs are parallelizable");
+        let parts = plan.evaluate(&built.store, &built.fns, cfg.colors, &ExtBindings::new());
+        let mut seq = built.store.clone();
+        run_program_seq(&built.program, &mut seq, &built.fns);
+
+        let opts = ExecOptions {
+            n_threads: 3,
+            check_legality: true,
+            fault: Some(FaultPlan {
+                seed: fault_seed,
+                task_failure_rate: rate_pct as f64 / 100.0,
+                poison_after: None,
+            }),
+            retry: RetryPolicy { max_retries: 1, ..RetryPolicy::default() },
+        };
+        let run = |label: &str| -> Result<(ExecReport, Store), TestCaseError> {
+            let mut par = built.store.clone();
+            let report = execute_program(
+                &built.program,
+                &plan,
+                &parts,
+                &mut par,
+                &built.fns,
+                &opts,
+            )
+            .map_err(|e| TestCaseError::fail(format!("{label} exec failed: {e}")))?;
+            Ok((report, par))
+        };
+        let (r1, s1) = run("first")?;
+        let (r2, s2) = run("replay")?;
+
+        for f in 0..schema.num_fields() {
+            let fid = partir::dpl::region::FieldId(f as u32);
+            if let partir::dpl::region::FieldData::F64(sv) = seq.field_data(fid) {
+                let partir::dpl::region::FieldData::F64(pv) = s1.field_data(fid) else {
+                    unreachable!()
+                };
+                prop_assert_eq!(sv, pv, "field {:?} diverged under faults (cfg {:?})", fid, cfg);
+                let partir::dpl::region::FieldData::F64(rv) = s2.field_data(fid) else {
+                    unreachable!()
+                };
+                prop_assert_eq!(sv, rv, "replay diverged on field {:?}", fid);
+            }
+        }
+        prop_assert_eq!(
+            format!("{}", r1.to_json()),
+            format!("{}", r2.to_json()),
+            "identical seeds must replay identical fault/retry/recovery counts"
+        );
+        if rate_pct == 0 {
+            prop_assert_eq!(r1.faults_injected, 0);
+        }
     }
 }
