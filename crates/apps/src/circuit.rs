@@ -432,7 +432,8 @@ pub fn fig14d_series(
         let machine = MachineModel::gpu_cluster(n);
         let weights = LoopWeights(vec![6.0, 4.0, 4.0]);
 
-        let res = simulate(&app.manual_sim_spec(n), &machine).expect("manual sim spec is well-formed");
+        let res =
+            simulate(&app.manual_sim_spec(n), &machine).expect("manual sim spec is well-formed");
         manual.push(ScalePoint {
             nodes: n,
             throughput_per_node: res.throughput_per_node(items, n),
@@ -497,8 +498,7 @@ mod tests {
         // The hint facts hold on the real data: images of the wire
         // partition land inside the access partition.
         let img_in = partir_dpl::ops::image(&app.store, &app.fns, &parts.wires, app.f_in, app.rn);
-        let img_out =
-            partir_dpl::ops::image(&app.store, &app.fns, &parts.wires, app.f_out, app.rn);
+        let img_out = partir_dpl::ops::image(&app.store, &app.fns, &parts.wires, app.f_out, app.rn);
         assert!(img_in.subset_of(&parts.access));
         assert!(img_out.subset_of(&parts.access));
     }

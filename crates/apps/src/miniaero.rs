@@ -317,12 +317,7 @@ impl MiniAero {
 }
 
 /// Figure 14c: Manual vs Auto weak scaling; the mesh grows in z.
-pub fn fig14c_series(
-    nx: u64,
-    ny: u64,
-    nz_per_node: u64,
-    nodes_list: &[usize],
-) -> Vec<ScaleSeries> {
+pub fn fig14c_series(nx: u64, ny: u64, nz_per_node: u64, nodes_list: &[usize]) -> Vec<ScaleSeries> {
     let mut manual = Vec::new();
     let mut auto_ = Vec::new();
     for &n in nodes_list {
@@ -330,7 +325,8 @@ pub fn fig14c_series(
         let items = app.n_cells as f64;
         let machine = MachineModel::gpu_cluster(n);
 
-        let res = simulate(&app.manual_sim_spec(n), &machine).expect("manual sim spec is well-formed");
+        let res =
+            simulate(&app.manual_sim_spec(n), &machine).expect("manual sim spec is well-formed");
         manual.push(ScalePoint {
             nodes: n,
             throughput_per_node: res.throughput_per_node(items, n),

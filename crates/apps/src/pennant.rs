@@ -96,8 +96,7 @@ impl Pennant {
         // ---- Point numbering: shared (internal piece-boundary) columns
         // first, ordered by column then row; then private points
         // piece-major. ----
-        let is_shared_col =
-            |c: u64| -> bool { c.is_multiple_of(p.zw) && c != 0 && c != zx };
+        let is_shared_col = |c: u64| -> bool { c.is_multiple_of(p.zw) && c != 0 && c != zx };
         let mut point_id = vec![u64::MAX; n_points as usize];
         let flat = |c: u64, r: u64| -> usize { (c * py + r) as usize };
         let mut next = 0u64;
@@ -201,15 +200,11 @@ impl Pennant {
         }
 
         // ---- Per-piece index sets. ----
-        let piece_zone_sets: Vec<IndexSet> = piece_zones
-            .iter()
-            .map(|zs| IndexSet::from_indices(zs.iter().copied()))
-            .collect();
+        let piece_zone_sets: Vec<IndexSet> =
+            piece_zones.iter().map(|zs| IndexSet::from_indices(zs.iter().copied())).collect();
         let piece_side_sets: Vec<IndexSet> = piece_zones
             .iter()
-            .map(|zs| {
-                IndexSet::from_indices(zs.iter().flat_map(|&z| (4 * z)..(4 * z + 4)))
-            })
+            .map(|zs| IndexSet::from_indices(zs.iter().flat_map(|&z| (4 * z)..(4 * z + 4))))
             .collect();
         let mut piece_points_owned = Vec::new();
         let mut piece_points_private = Vec::new();
@@ -602,7 +597,8 @@ pub fn fig14e_series(zw: u64, zy: u64, nodes_list: &[usize]) -> Vec<ScaleSeries>
         let items = app.items();
         let machine = MachineModel::gpu_cluster(n);
 
-        let res = simulate(&app.manual_sim_spec(n), &machine).expect("manual sim spec is well-formed");
+        let res =
+            simulate(&app.manual_sim_spec(n), &machine).expect("manual sim spec is well-formed");
         series[0].points.push(ScalePoint {
             nodes: n,
             throughput_per_node: res.throughput_per_node(items, n),
@@ -649,8 +645,7 @@ mod tests {
         assert!(parts.points_private.is_disjoint());
         assert!(parts.points_private.subset_of(&parts.points_access));
         // The hint facts hold on the real mesh.
-        let img1 =
-            partir_dpl::ops::image(&app.store, &app.fns, &parts.sides, app.f_mapsp1, app.rp);
+        let img1 = partir_dpl::ops::image(&app.store, &app.fns, &parts.sides, app.f_mapsp1, app.rp);
         assert!(img1.subset_of(&parts.points_access));
         let img_ss3 =
             partir_dpl::ops::image(&app.store, &app.fns, &parts.sides, app.f_mapss3, app.rs);
@@ -659,7 +654,11 @@ mod tests {
         assert!(img_z.subset_of(&parts.zones));
     }
 
-    fn run_both(app: &Pennant, config: PennantConfig, colors: usize) -> partir_runtime::exec::ExecReport {
+    fn run_both(
+        app: &Pennant,
+        config: PennantConfig,
+        colors: usize,
+    ) -> partir_runtime::exec::ExecReport {
         let mut seq = app.store.clone();
         for _ in 0..2 {
             partir_ir::interp::run_program_seq(&app.program, &mut seq, &app.fns);
@@ -722,10 +721,7 @@ mod tests {
         let (p1, _) = app.plan(PennantConfig::Hint1);
         let (p2, _) = app.plan(PennantConfig::Hint2);
         let derived_ops = |p: &partir_core::pipeline::ParallelPlan| -> usize {
-            p.partition_exprs
-                .iter()
-                .map(|e| crate::support::pexpr_weight(e) as usize - 1)
-                .sum()
+            p.partition_exprs.iter().map(|e| crate::support::pexpr_weight(e) as usize - 1).sum()
         };
         assert!(derived_ops(&p1) > 0, "{}", p1.render_dpl(&app.fns));
         assert_eq!(
@@ -763,4 +759,3 @@ mod tests {
         assert!(a < 0.7 * m, "Auto collapses: {a} vs {m}");
     }
 }
-

@@ -56,7 +56,12 @@ impl Spmv {
             let hi = (i + p.halo + 1).min(rows);
             (lo, hi)
         };
-        let nnz: u64 = (0..rows).map(|i| { let (l, h) = nnz_of(i); h - l }).sum();
+        let nnz: u64 = (0..rows)
+            .map(|i| {
+                let (l, h) = nnz_of(i);
+                h - l
+            })
+            .sum();
 
         let mut schema = Schema::new();
         let mat = schema.add_region("Mat", nnz);
@@ -240,10 +245,6 @@ mod tests {
         // The banded matrix makes Auto essentially perfectly scalable
         // (99% efficiency in the paper; the simulator should stay >90%
         // even at modest per-node sizes).
-        assert!(
-            series.efficiency() > 0.90,
-            "expected near-flat weak scaling, got {:?}",
-            series
-        );
+        assert!(series.efficiency() > 0.90, "expected near-flat weak scaling, got {:?}", series);
     }
 }

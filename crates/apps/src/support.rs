@@ -11,6 +11,7 @@ use partir_runtime::sim::{
     MachineModel, NodeBreakdown, SimAccess, SimKind, SimLoop, SimResult, SimSpec,
 };
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Per-loop simulation weights (work units per iteration element).
 #[derive(Clone, Debug)]
@@ -28,7 +29,7 @@ impl LoopWeights {
 pub fn sim_spec_from_plan(
     program: &[Loop],
     plan: &ParallelPlan,
-    parts: &[Partition],
+    parts: &[Arc<Partition>],
     store: &Store,
     weights: &LoopWeights,
 ) -> SimSpec {
@@ -41,7 +42,7 @@ pub fn sim_spec_from_plan(
     let mut loops = Vec::with_capacity(program.len());
     for (li, lp) in program.iter().enumerate() {
         let loop_plan = &plan.loops[li];
-        let iter = parts[loop_plan.iter.0 as usize].clone();
+        let iter = Partition::clone(&parts[loop_plan.iter.0 as usize]);
         let mut accesses = Vec::new();
         // Accesses sharing one partition share one physical instance (and
         // thus one data movement): deduplicate by (partition, access
@@ -62,7 +63,7 @@ pub fn sim_spec_from_plan(
                 continue;
             }
             seen.push(key);
-            let part = parts[ap.part.0 as usize].clone();
+            let part = Partition::clone(&parts[ap.part.0 as usize]);
             let region = part.region;
             let kind = match (&ap.kind, &ap.reduce) {
                 (AccessKind::Read, _) => SimKind::Read,
@@ -94,12 +95,7 @@ pub fn sim_spec_from_plan(
                 expr_weight,
             });
         }
-        loops.push(SimLoop {
-            name: lp.name.clone(),
-            iter,
-            work_per_iter: weights.0[li],
-            accesses,
-        });
+        loops.push(SimLoop { name: lp.name.clone(), iter, work_per_iter: weights.0[li], accesses });
     }
 
     SimSpec { loops, region_sizes, initial_home: HashMap::new() }
@@ -208,10 +204,7 @@ impl ScaleSeries {
     }
 
     pub fn at(&self, nodes: usize) -> Option<f64> {
-        self.points
-            .iter()
-            .find(|p| p.nodes == nodes)
-            .map(|p| p.throughput_per_node)
+        self.points.iter().find(|p| p.nodes == nodes).map(|p| p.throughput_per_node)
     }
 
     /// JSON form for machine-readable reports (one Figure-14 line).
@@ -243,10 +236,8 @@ pub fn render_series(title: &str, series: &[ScaleSeries]) -> String {
         let _ = write!(out, "{:>16}", s.label);
     }
     let _ = writeln!(out);
-    let all_nodes: Vec<usize> = series
-        .first()
-        .map(|s| s.points.iter().map(|p| p.nodes).collect())
-        .unwrap_or_default();
+    let all_nodes: Vec<usize> =
+        series.first().map(|s| s.points.iter().map(|p| p.nodes).collect()).unwrap_or_default();
     for n in all_nodes {
         let _ = write!(out, "{n:>8}");
         for s in series {

@@ -137,11 +137,7 @@ fn all_apps_bit_identical_under_faults_with_deterministic_replay() {
     for fx in fixtures() {
         for seed in [1u64, 42] {
             let opts = ExecOptions {
-                fault: Some(FaultPlan {
-                    seed,
-                    task_failure_rate: 0.5,
-                    poison_after: Some(4),
-                }),
+                fault: Some(FaultPlan { seed, task_failure_rate: 0.5, poison_after: Some(4) }),
                 retry: RetryPolicy { max_retries: 1, ..RetryPolicy::default() },
                 ..ExecOptions::default()
             };

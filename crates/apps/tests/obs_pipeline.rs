@@ -63,11 +63,8 @@ fn spmv_pipeline_emits_phase_spans_in_order() {
         events.iter().any(|e| e.name == "infer.loop"),
         "inference should emit one infer.loop per loop"
     );
-    let solve_done = events
-        .iter()
-        .rev()
-        .find(|e| e.name == "solve.done")
-        .expect("solver emits solve.done");
+    let solve_done =
+        events.iter().rev().find(|e| e.name == "solve.done").expect("solver emits solve.done");
     for key in ["nodes", "candidates", "backtracks", "lemma_applications"] {
         assert!(solve_done.field(key).is_some(), "solve.done missing '{key}'");
     }

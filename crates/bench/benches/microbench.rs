@@ -30,9 +30,7 @@ fn bench_index_set(c: &mut Criterion) {
     for &n in &[1_000u64, 100_000] {
         let a = IndexSet::from_indices((0..n).filter(|_| rng.gen_bool(0.5)));
         let b = IndexSet::from_indices((0..n).filter(|_| rng.gen_bool(0.5)));
-        g.bench_with_input(BenchmarkId::new("union", n), &n, |bench, _| {
-            bench.iter(|| a.union(&b))
-        });
+        g.bench_with_input(BenchmarkId::new("union", n), &n, |bench, _| bench.iter(|| a.union(&b)));
         g.bench_with_input(BenchmarkId::new("intersect", n), &n, |bench, _| {
             bench.iter(|| a.intersect(&b))
         });
@@ -84,19 +82,13 @@ fn pennant_loops() -> (Vec<partir_ir::ast::Loop>, partir_dpl::func::FnTable, Sch
 fn bench_inference_and_solver(c: &mut Criterion) {
     let mut g = c.benchmark_group("pipeline_phases");
     let (loops, fns, schema) = pennant_loops();
-    g.bench_function("infer/pennant", |b| {
-        b.iter(|| infer(&loops, &fns, &schema).unwrap())
-    });
+    g.bench_function("infer/pennant", |b| b.iter(|| infer(&loops, &fns, &schema).unwrap()));
     let inference = infer(&loops, &fns, &schema).unwrap();
     g.bench_function("unify/pennant", |b| b.iter(|| unify(&inference, &fns)));
     let unified = unify(&inference, &fns);
-    g.bench_function("solve/pennant-unified", |b| {
-        b.iter(|| solve(&unified.system, &fns).unwrap())
-    });
+    g.bench_function("solve/pennant-unified", |b| b.iter(|| solve(&unified.system, &fns).unwrap()));
     // Ablation: solving the raw (un-unified) system.
-    g.bench_function("solve/pennant-raw", |b| {
-        b.iter(|| solve(&inference.system, &fns).unwrap())
-    });
+    g.bench_function("solve/pennant-raw", |b| b.iter(|| solve(&inference.system, &fns).unwrap()));
     g.finish();
 }
 
@@ -172,6 +164,63 @@ fn bench_auto_parallelize(c: &mut Criterion) {
     g.finish();
 }
 
+/// Interning ablation: partition evaluation through the hash-consed IR
+/// (shared arena + memoized `eval_id`) vs the pre-interning tree semantics
+/// (fresh evaluator per expression, deep-copied results). Solving itself is
+/// covered by `pipeline_phases`/`auto_parallelize` above; its trajectory
+/// across PRs is what `BENCH_partir.json` diffs.
+fn bench_interning(c: &mut Criterion) {
+    use partir_core::eval::Evaluator;
+    use partir_core::pipeline::ParallelPlan;
+    use partir_dpl::partition::Partition;
+
+    fn tree_baseline(
+        plan: &ParallelPlan,
+        store: &Store,
+        fns: &partir_dpl::func::FnTable,
+        exts: &ExtBindings,
+    ) -> Vec<Partition> {
+        plan.partition_exprs
+            .iter()
+            .map(|e| {
+                let mut ev = Evaluator::new(store, fns, 8, exts);
+                Partition::clone(&ev.eval(e))
+            })
+            .collect()
+    }
+
+    let mut g = c.benchmark_group("interning_eval");
+    g.sample_size(20);
+    let exts = ExtBindings::new();
+
+    let mut run = |name: &str,
+                   program: &[partir_ir::ast::Loop],
+                   fns: &partir_dpl::func::FnTable,
+                   store: &Store| {
+        let schema = store.schema().clone();
+        let plan =
+            auto_parallelize(program, fns, &schema, &Hints::new(), Options::default()).unwrap();
+        g.bench_function(BenchmarkId::new("interned", name), |b| {
+            b.iter(|| plan.evaluate(store, fns, 8, &exts))
+        });
+        g.bench_function(BenchmarkId::new("tree", name), |b| {
+            b.iter(|| tree_baseline(&plan, store, fns, &exts))
+        });
+    };
+
+    let app = spmv::Spmv::generate(&spmv::SpmvParams { rows: 10_000, halo: 2 });
+    run("spmv", &app.program, &app.fns, &app.store);
+    let app = stencil::Stencil::generate(&stencil::StencilParams { nx: 64, ny: 64 });
+    run("stencil", &app.program, &app.fns, &app.store);
+    let app = circuit::Circuit::generate(&circuit::CircuitParams::default());
+    run("circuit", &app.program, &app.fns, &app.store);
+    let app = miniaero::MiniAero::generate(&miniaero::MiniAeroParams::default());
+    run("miniaero", &app.program, &app.fns, &app.store);
+    let app = pennant::Pennant::generate(&pennant::PennantParams::default());
+    run("pennant", &app.program, &app.fns, &app.store);
+    g.finish();
+}
+
 fn bench_execution(c: &mut Criterion) {
     let mut g = c.benchmark_group("execution");
     g.sample_size(20);
@@ -186,25 +235,25 @@ fn bench_execution(c: &mut Criterion) {
         })
     });
     for threads in [2usize, 4, 8] {
-        g.bench_with_input(
-            BenchmarkId::new("spmv_parallel", threads),
-            &threads,
-            |b, &threads| {
-                b.iter(|| {
-                    let mut store = app.store.clone();
-                    execute_program(
-                        &app.program,
-                        &plan,
-                        &parts,
-                        &mut store,
-                        &app.fns,
-                        &ExecOptions { n_threads: threads, check_legality: false, ..ExecOptions::default() },
-                    )
-                    .unwrap();
-                    store
-                })
-            },
-        );
+        g.bench_with_input(BenchmarkId::new("spmv_parallel", threads), &threads, |b, &threads| {
+            b.iter(|| {
+                let mut store = app.store.clone();
+                execute_program(
+                    &app.program,
+                    &plan,
+                    &parts,
+                    &mut store,
+                    &app.fns,
+                    &ExecOptions {
+                        n_threads: threads,
+                        check_legality: false,
+                        ..ExecOptions::default()
+                    },
+                )
+                .unwrap();
+                store
+            })
+        });
     }
     g.finish();
 }
@@ -215,6 +264,7 @@ criterion_group!(
     bench_dpl_ops,
     bench_inference_and_solver,
     bench_auto_parallelize,
+    bench_interning,
     bench_execution
 );
 criterion_main!(benches);

@@ -16,17 +16,14 @@ use partir_runtime::sim::FailureModel;
 
 fn main() {
     let args = BenchArgs::parse();
-    let rows_per_node: u64 = std::env::var("SPMV_ROWS_PER_NODE")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(20_000);
+    let rows_per_node: u64 =
+        std::env::var("SPMV_ROWS_PER_NODE").ok().and_then(|v| v.parse().ok()).unwrap_or(20_000);
     let series = vec![
         fig14a_series(rows_per_node, &FIG14_NODES),
         fig14a_faults_series(rows_per_node, &FIG14_NODES, FailureModel::commodity()),
     ];
-    let payload = Json::object()
-        .with("rows_per_node", rows_per_node)
-        .with("series", series_json(&series));
+    let payload =
+        Json::object().with("rows_per_node", rows_per_node).with("series", series_json(&series));
     args.emit("fig14a", payload, || {
         println!(
             "{}",

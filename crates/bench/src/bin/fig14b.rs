@@ -15,10 +15,8 @@ use partir_obs::json::Json;
 fn main() {
     let args = BenchArgs::parse();
     let nx: u64 = std::env::var("STENCIL_NX").ok().and_then(|v| v.parse().ok()).unwrap_or(256);
-    let rows_per_node: u64 = std::env::var("STENCIL_ROWS_PER_NODE")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(256);
+    let rows_per_node: u64 =
+        std::env::var("STENCIL_ROWS_PER_NODE").ok().and_then(|v| v.parse().ok()).unwrap_or(256);
     let series = fig14b_series(nx, rows_per_node, &FIG14_NODES);
     let payload = Json::object()
         .with("nx", nx)

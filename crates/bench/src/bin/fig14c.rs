@@ -12,8 +12,8 @@
 
 use partir_apps::miniaero::{fig14c_series, MiniAero, MiniAeroParams};
 use partir_apps::support::{
-    render_series, sim_spec_from_plan, FIG14_NODES, LoopWeights, ScalePoint, ScaleSeries,
-    SimSummary,
+    render_series, sim_spec_from_plan, LoopWeights, ScalePoint, ScaleSeries, SimSummary,
+    FIG14_NODES,
 };
 use partir_bench::{series_json, BenchArgs};
 use partir_core::eval::ExtBindings;
@@ -35,8 +35,7 @@ fn main() {
     if std::env::var("MINIAERO_NO_RELAX").is_ok() {
         let mut points = Vec::new();
         for &n in FIG14_NODES.iter() {
-            let app =
-                MiniAero::generate(&MiniAeroParams { nx, ny, nz: nz_per_node * n as u64 });
+            let app = MiniAero::generate(&MiniAeroParams { nx, ny, nz: nz_per_node * n as u64 });
             let plan = auto_parallelize(
                 &app.program,
                 &app.fns,

@@ -19,8 +19,10 @@ use partir_obs::json::Json;
 
 fn main() {
     let args = BenchArgs::parse();
-    let nodes_per_cluster: u64 =
-        std::env::var("CIRCUIT_NODES_PER_CLUSTER").ok().and_then(|v| v.parse().ok()).unwrap_or(4000);
+    let nodes_per_cluster: u64 = std::env::var("CIRCUIT_NODES_PER_CLUSTER")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4000);
     let wires_per_cluster: u64 = std::env::var("CIRCUIT_WIRES_PER_CLUSTER")
         .ok()
         .and_then(|v| v.parse().ok())

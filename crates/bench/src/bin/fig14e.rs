@@ -23,10 +23,7 @@ fn main() {
     let zw: u64 = std::env::var("PENNANT_ZW").ok().and_then(|v| v.parse().ok()).unwrap_or(24);
     let zy: u64 = std::env::var("PENNANT_ZY").ok().and_then(|v| v.parse().ok()).unwrap_or(96);
     let series = fig14e_series(zw, zy, &FIG14_NODES);
-    let payload = Json::object()
-        .with("zw", zw)
-        .with("zy", zy)
-        .with("series", series_json(&series));
+    let payload = Json::object().with("zw", zw).with("zy", zy).with("series", series_json(&series));
     args.emit("fig14e", payload, || {
         println!(
             "{}",

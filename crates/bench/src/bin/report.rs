@@ -76,9 +76,8 @@ fn main() {
     for (name, env) in &merged {
         experiments = experiments.with(name.clone(), env.clone());
     }
-    let doc = report::envelope("aggregate")
-        .with("inputs", files.len())
-        .with("experiments", experiments);
+    let doc =
+        report::envelope("aggregate").with("inputs", files.len()).with("experiments", experiments);
     let text = format!("{doc}\n");
     if let Err(e) = std::fs::write(&out, &text) {
         eprintln!("failed to write {}: {e}", out.display());

@@ -44,9 +44,8 @@ impl BenchArgs {
             match a.as_str() {
                 "--json" => args.json = true,
                 "--out" => {
-                    let path = it
-                        .next()
-                        .ok_or_else(|| "--out requires a path argument".to_string())?;
+                    let path =
+                        it.next().ok_or_else(|| "--out requires a path argument".to_string())?;
                     args.out = Some(PathBuf::from(path));
                     args.json = true;
                 }
@@ -113,29 +112,22 @@ pub fn plan_json(name: &str, plan: &ParallelPlan, loops: usize, fns: &FnTable) -
     let t = &plan.timings;
     let s = &plan.solution.stats;
     let u = &plan.unified;
+    let (exprs_interned, dedup_hits) = plan.system.arena.counters();
     let mut provenance = Json::array();
     for (i, e) in plan.solution.bindings.iter().enumerate() {
-        let rule = plan
-            .solution
-            .provenance
-            .get(i)
-            .copied()
-            .unwrap_or(BindRule::EqualTrivial);
+        let rule = plan.solution.provenance.get(i).copied().unwrap_or(BindRule::EqualTrivial);
         provenance = provenance.push(
             Json::object()
                 .with("symbol", format!("P{i}"))
-                .with(
-                    "name",
-                    plan.system.sym_names.get(i).map(String::as_str).unwrap_or(""),
-                )
+                .with("name", plan.system.sym_names.get(i).map(String::as_str).unwrap_or(""))
                 .with("binding", e.display(fns, &plan.system.externals))
                 .with("rule", rule.as_str()),
         );
     }
     let mut merges = Json::array();
     for m in &plan.unified.merge_log {
-        merges = merges
-            .push(Json::object().with("stage", m.stage).with("detail", m.detail.as_str()));
+        merges =
+            merges.push(Json::object().with("stage", m.stage).with("detail", m.detail.as_str()));
     }
     Json::object()
         .with("name", name)
@@ -148,10 +140,7 @@ pub fn plan_json(name: &str, plan: &ParallelPlan, loops: usize, fns: &FnTable) -
                 .with("inference", report::ns_to_ms(t.inference.as_nanos()))
                 .with("solver", report::ns_to_ms(t.solver.as_nanos()))
                 .with("rewrite", report::ns_to_ms(t.rewrite.as_nanos()))
-                .with(
-                    "total",
-                    report::ns_to_ms((t.inference + t.solver + t.rewrite).as_nanos()),
-                ),
+                .with("total", report::ns_to_ms((t.inference + t.solver + t.rewrite).as_nanos())),
         )
         .with(
             "solver",
@@ -165,6 +154,14 @@ pub fn plan_json(name: &str, plan: &ParallelPlan, loops: usize, fns: &FnTable) -
                     "budget_exhausted",
                     s.exhausted.map(|r| Json::from(r.as_str())).unwrap_or(Json::Null),
                 ),
+        )
+        .with(
+            "interning",
+            Json::object()
+                .with("exprs_interned", exprs_interned)
+                .with("dedup_hits", dedup_hits)
+                .with("subst_cache_hits", s.subst_cache_hits)
+                .with("lemma_memo_hits", s.lemma_memo_hits),
         )
         .with(
             "unification",
@@ -224,9 +221,7 @@ mod tests {
             json: true,
             out: Some(PathBuf::from("/nonexistent-dir-partir/report.json")),
         };
-        let err = args
-            .try_emit("t", Json::object().with("k", 1u64), || {})
-            .unwrap_err();
+        let err = args.try_emit("t", Json::object().with("k", 1u64), || {}).unwrap_err();
         assert!(err.contains("failed to write"), "{err}");
         assert!(err.contains("/nonexistent-dir-partir/report.json"), "{err}");
     }

@@ -24,10 +24,7 @@ fn valid_envelope() -> String {
 
 #[test]
 fn missing_input_file_exits_nonzero_with_path() {
-    let out = report_bin()
-        .arg("/nonexistent-dir-partir/missing.json")
-        .output()
-        .unwrap();
+    let out = report_bin().arg("/nonexistent-dir-partir/missing.json").output().unwrap();
     assert_eq!(out.status.code(), Some(1));
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("cannot read"), "{stderr}");
@@ -80,8 +77,7 @@ fn no_inputs_exits_with_usage_error() {
 #[test]
 fn valid_inputs_aggregate_successfully() {
     let good = tmp_file("ok.json", &valid_envelope());
-    let agg = std::env::temp_dir()
-        .join(format!("partir-cli-{}-agg.json", std::process::id()));
+    let agg = std::env::temp_dir().join(format!("partir-cli-{}-agg.json", std::process::id()));
     let out = report_bin().arg("--out").arg(&agg).arg(&good).output().unwrap();
     std::fs::remove_file(&good).ok();
     assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));

@@ -91,9 +91,7 @@ fn table1_json_round_trips_every_row() {
             assert!(p.get("binding").and_then(Json::as_str).is_some());
             let rule = p.get("rule").and_then(Json::as_str).unwrap();
             assert!(
-                rule.contains("forced")
-                    || rule.contains('L')
-                    || rule.contains("unconstrained"),
+                rule.contains("forced") || rule.contains('L') || rule.contains("unconstrained"),
                 "{name}: unrecognized rule '{rule}'"
             );
         }

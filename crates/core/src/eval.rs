@@ -1,19 +1,23 @@
 //! Evaluation of closed partition expressions to concrete [`Partition`]s.
 //!
 //! The solver's output (and the extra expressions synthesized by the
-//! Section 5 optimizations) are closed `PExpr`s over `equal`, `image`,
+//! Section 5 optimizations) are closed expressions over `equal`, `image`,
 //! `preimage`, `∪`, `∩`, `−`, and external partitions. This module turns
-//! them into real partitions against a store, memoizing structurally equal
-//! subexpressions so the common-subexpression sharing in solutions
-//! ("P3 = P1") costs nothing at runtime.
+//! them into real partitions against a store, memoizing on interned
+//! [`ExprId`]s: canonically equal subexpressions (not just structurally
+//! equal trees) share one materialized partition, and memo hits return a
+//! shared `Arc` instead of deep-copying index-set runs, so the
+//! common-subexpression sharing in solutions ("P3 = P1") costs nothing at
+//! runtime.
 
-use crate::lang::{ExtId, FnRef, PExpr};
+use crate::lang::{Expr, ExprArena, ExprId, ExtId, FnRef, PExpr};
+use partir_dpl::func::FnTable;
 use partir_dpl::index_set::IndexSet;
 use partir_dpl::ops;
 use partir_dpl::partition::Partition;
-use partir_dpl::func::FnTable;
 use partir_dpl::region::{RegionId, Store};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Concrete partitions for the external symbols of a system (indexed by
 /// [`ExtId`]).
@@ -46,7 +50,7 @@ impl ExtBindings {
     }
 }
 
-/// Evaluator with structural memoization.
+/// Evaluator with id-keyed memoization over an interning arena.
 pub struct Evaluator<'a> {
     pub store: &'a Store,
     pub fns: &'a FnTable,
@@ -54,12 +58,28 @@ pub struct Evaluator<'a> {
     /// from constraints; it is the launch-space size at runtime).
     pub n_colors: usize,
     pub exts: &'a ExtBindings,
-    memo: HashMap<PExpr, Partition>,
+    arena: ExprArena,
+    memo: HashMap<ExprId, Arc<Partition>>,
+    cache_hits: u64,
 }
 
 impl<'a> Evaluator<'a> {
+    /// Evaluator with a private arena (tree-form [`PExpr`] inputs are
+    /// interned on the way in).
     pub fn new(store: &'a Store, fns: &'a FnTable, n_colors: usize, exts: &'a ExtBindings) -> Self {
-        Evaluator { store, fns, n_colors, exts, memo: HashMap::new() }
+        Self::with_arena(store, fns, n_colors, exts, ExprArena::new())
+    }
+
+    /// Evaluator sharing an existing arena (ids from that arena can be
+    /// evaluated directly).
+    pub fn with_arena(
+        store: &'a Store,
+        fns: &'a FnTable,
+        n_colors: usize,
+        exts: &'a ExtBindings,
+        arena: ExprArena,
+    ) -> Self {
+        Evaluator { store, fns, n_colors, exts, arena, memo: HashMap::new(), cache_hits: 0 }
     }
 
     /// Number of distinct partitions materialized so far.
@@ -67,47 +87,71 @@ impl<'a> Evaluator<'a> {
         self.memo.len()
     }
 
-    /// Evaluates a closed expression; panics on unresolved symbols.
-    pub fn eval(&mut self, e: &PExpr) -> Partition {
-        if let Some(p) = self.memo.get(e) {
+    /// Memo hits answered with a shared partition (`eval.cache_hit`).
+    pub fn cache_hits(&self) -> u64 {
+        self.cache_hits
+    }
+
+    /// Evaluates a tree-form expression (interning it first).
+    pub fn eval(&mut self, e: &PExpr) -> Arc<Partition> {
+        let id = self.arena.intern(e);
+        self.eval_id(id)
+    }
+
+    /// Evaluates an interned closed expression; panics on unresolved
+    /// symbols. Memo hits share the partition (no deep copy).
+    pub fn eval_id(&mut self, id: ExprId) -> Arc<Partition> {
+        if let Some(p) = self.memo.get(&id) {
+            self.cache_hits += 1;
             return p.clone();
         }
-        let result = match e {
-            PExpr::Sym(s) => panic!("cannot evaluate unresolved symbol {s:?}"),
-            PExpr::Ext(x) => self.exts.get(*x).clone(),
-            PExpr::Equal(r) => {
-                let size = self.store.schema().region_size(*r);
-                ops::equal(*r, size, self.n_colors)
+        let result = match self.arena.node(id) {
+            Expr::Sym(s) => panic!("cannot evaluate unresolved symbol {s:?}"),
+            Expr::Ext(x) => self.exts.get(x).clone(),
+            Expr::Equal(r) => {
+                let size = self.store.schema().region_size(r);
+                ops::equal(r, size, self.n_colors)
             }
-            PExpr::Image { src, f, target } => {
-                let sp = self.eval(src);
+            Expr::Empty(r) => Partition::new(r, vec![IndexSet::default(); self.n_colors]),
+            Expr::Image { src, f, target } => {
+                let sp = self.eval_id(src);
                 match f {
-                    FnRef::Identity => reinterpret(&sp, *target, self.store),
-                    FnRef::Fn(id) => ops::image(self.store, self.fns, &sp, *id, *target),
+                    FnRef::Identity => reinterpret(&sp, target, self.store),
+                    FnRef::Fn(fid) => ops::image(self.store, self.fns, &sp, fid, target),
                 }
             }
-            PExpr::Preimage { domain, f, src } => {
-                let sp = self.eval(src);
+            Expr::Preimage { domain, f, src } => {
+                let sp = self.eval_id(src);
                 match f {
-                    FnRef::Identity => reinterpret(&sp, *domain, self.store),
-                    FnRef::Fn(id) => ops::preimage(self.store, self.fns, *domain, *id, &sp),
+                    FnRef::Identity => reinterpret(&sp, domain, self.store),
+                    FnRef::Fn(fid) => ops::preimage(self.store, self.fns, domain, fid, &sp),
                 }
             }
-            PExpr::Union(a, b) => {
-                let (pa, pb) = (self.eval(a), self.eval(b));
-                ops::union_pointwise(&pa, &pb)
-            }
-            PExpr::Intersect(a, b) => {
-                let (pa, pb) = (self.eval(a), self.eval(b));
-                ops::intersect_pointwise(&pa, &pb)
-            }
-            PExpr::Difference(a, b) => {
-                let (pa, pb) = (self.eval(a), self.eval(b));
+            Expr::Union(cs) => self.eval_nary(&cs, ops::union_pointwise),
+            Expr::Intersect(cs) => self.eval_nary(&cs, ops::intersect_pointwise),
+            Expr::Difference(a, b) => {
+                let (pa, pb) = (self.eval_id(a), self.eval_id(b));
                 ops::difference_pointwise(&pa, &pb)
             }
         };
-        self.memo.insert(e.clone(), result.clone());
-        result
+        let shared = Arc::new(result);
+        self.memo.insert(id, shared.clone());
+        shared
+    }
+
+    fn eval_nary(
+        &mut self,
+        cs: &[ExprId],
+        op: fn(&Partition, &Partition) -> Partition,
+    ) -> Partition {
+        let mut it = cs.iter();
+        let first = self.eval_id(*it.next().expect("n-ary node with no children"));
+        let mut acc = (*first).clone();
+        for c in it {
+            let p = self.eval_id(*c);
+            acc = op(&acc, &p);
+        }
+        acc
     }
 }
 
@@ -116,10 +160,7 @@ impl<'a> Evaluator<'a> {
 fn reinterpret(p: &Partition, target: RegionId, store: &Store) -> Partition {
     let size = store.schema().region_size(target);
     let bounds = IndexSet::from_range(0, size);
-    Partition::new(
-        target,
-        p.iter().map(|s| s.intersect(&bounds)).collect(),
-    )
+    Partition::new(target, p.iter().map(|s| s.intersect(&bounds)).collect())
 }
 
 #[cfg(test)]
@@ -151,11 +192,7 @@ mod tests {
         assert!(eq.is_disjoint() && eq.is_complete(6));
         let pre = ev.eval(&PExpr::preimage(r, f, PExpr::Equal(s)));
         assert!(pre.is_disjoint() && pre.is_complete(12));
-        let img = ev.eval(&PExpr::image(
-            PExpr::preimage(r, f, PExpr::Equal(s)),
-            f,
-            s,
-        ));
+        let img = ev.eval(&PExpr::image(PExpr::preimage(r, f, PExpr::Equal(s)), f, s));
         assert!(img.subset_of(&eq));
     }
 
@@ -165,25 +202,28 @@ mod tests {
         let exts = ExtBindings::new();
         let mut ev = Evaluator::new(&store, &fns, 2, &exts);
         let pre = PExpr::preimage(r, f, PExpr::Equal(s));
+        // Canonicalization folds pre ∪ pre to pre itself, so evaluating
+        // the union builds no extra partition and hits the memo.
         let u = PExpr::union(pre.clone(), pre.clone());
         let got = ev.eval(&u);
         let single = ev.eval(&pre);
-        assert_eq!(got, single.clone().into_owned_union(&single));
-        // equal(S), preimage, union: 3 distinct expressions.
-        assert_eq!(ev.partitions_built(), 3);
+        assert_eq!(*got, *single);
+        // equal(S) and preimage: 2 distinct expressions.
+        assert_eq!(ev.partitions_built(), 2);
+        // The second lookup was served from the cache, sharing storage.
+        assert!(ev.cache_hits() >= 1);
+        assert!(Arc::ptr_eq(&got, &single));
     }
 
     #[test]
     fn external_bindings() {
         let (store, fns, _r, s, _) = setup();
         let mut exts = ExtBindings::new();
-        let manual = Partition::new(
-            s,
-            vec![IndexSet::from_range(0, 1), IndexSet::from_range(1, 6)],
-        );
+        let manual =
+            Partition::new(s, vec![IndexSet::from_range(0, 1), IndexSet::from_range(1, 6)]);
         let x = exts.push(manual.clone());
         let mut ev = Evaluator::new(&store, &fns, 2, &exts);
-        assert_eq!(ev.eval(&PExpr::ext(x)), manual);
+        assert_eq!(*ev.eval(&PExpr::ext(x)), manual);
     }
 
     #[test]
@@ -199,13 +239,15 @@ mod tests {
         assert!(p.subregion(1).is_empty());
     }
 
-    // Small helper used by the memoization test.
-    trait UnionSelf {
-        fn into_owned_union(self, other: &Partition) -> Partition;
-    }
-    impl UnionSelf for Partition {
-        fn into_owned_union(self, other: &Partition) -> Partition {
-            partir_dpl::ops::union_pointwise(&self, other)
-        }
+    #[test]
+    fn empty_normal_form_evaluates_to_empty_subregions() {
+        let (store, fns, r, _s, _) = setup();
+        let exts = ExtBindings::new();
+        let mut ev = Evaluator::new(&store, &fns, 3, &exts);
+        // equal(R) − equal(R) canonicalizes to ∅(R): n_colors empty sets.
+        let p = ev.eval(&PExpr::difference(PExpr::Equal(r), PExpr::Equal(r)));
+        assert_eq!(p.num_subregions(), 3);
+        assert!(p.iter().all(|s| s.is_empty()));
+        assert_eq!(p.region, r);
     }
 }

@@ -18,13 +18,17 @@
 //!    soundness is preserved, and it is what makes constraint graphs
 //!    (Section 3.2) a union of single-edge subset constraints.
 //!
+//! Constraints are emitted directly as interned [`ExprId`]s in the system's
+//! arena; the chain memo keys on ids, so structurally equal image chains
+//! hit it for free.
+//!
 //! Inference runs in linear time in the program size, as the paper states.
 
-use crate::lang::{FnRef, PExpr, PSym, System};
-use partir_ir::analysis::{analyze_with_table, AccessKind, LoopSummary, NotParallelizable};
-use partir_ir::ast::Loop;
+use crate::lang::{Expr, ExprId, FnRef, PSym, System};
 use partir_dpl::func::FnTable;
 use partir_dpl::region::Schema;
+use partir_ir::analysis::{analyze_with_table, AccessKind, LoopSummary, NotParallelizable};
+use partir_ir::ast::Loop;
 use std::collections::HashMap;
 
 /// Where each conjunct of a loop's constraints lives inside the global
@@ -93,17 +97,18 @@ pub fn infer_loop(
 
     // Fresh symbol for the iteration space: PART (implicit) + COMP.
     let iter_sym = system.fresh_sym(lp.region, format!("{}::iter", lp.name));
+    let iter_id = system.arena.sym(iter_sym);
     span.preds.push(system.pred_obligations.len());
-    system.require_comp(PExpr::sym(iter_sym), lp.region);
+    system.require_comp(iter_id, lp.region);
 
     // DISJ(P_R) when the loop has an uncentered reduction.
     if summary.has_uncentered_reduce {
         span.preds.push(system.pred_obligations.len());
-        system.require_disj(PExpr::sym(iter_sym));
+        system.require_disj(iter_id);
     }
 
-    // Memo: image expression -> access symbol already bounding it.
-    let mut memo: HashMap<PExpr, PSym> = HashMap::new();
+    // Memo: image-expression id -> access symbol already bounding it.
+    let mut memo: HashMap<ExprId, PSym> = HashMap::new();
     let mut access_syms = Vec::with_capacity(summary.accesses.len());
 
     for acc in &summary.accesses {
@@ -115,7 +120,7 @@ pub fn infer_loop(
         let is_reduce = matches!(acc.kind, AccessKind::Reduce(_));
 
         // Build the environment expression E for this access's index.
-        let mut expr = PExpr::sym(iter_sym);
+        let mut expr = iter_id;
         let mut cur_region = lp.region;
         let last = acc.path.len().saturating_sub(1);
         for (k, &f) in acc.path.iter().enumerate() {
@@ -124,21 +129,21 @@ pub fn infer_loop(
             // Algorithm 1), e.g. iterating Y but indexing the separate
             // Ranges region in Figure 10.
             if nf.domain != cur_region {
-                expr = canonical_image(expr, FnRef::Identity, nf.domain, &memo);
+                expr = canonical_image(system, expr, FnRef::Identity, nf.domain, &memo);
             }
             let final_step = k == last && cur_region == nf.domain && nf.range == acc.region;
             expr = if is_reduce && final_step {
-                PExpr::image(expr, FnRef::Fn(f), nf.range)
+                system.arena.image(expr, FnRef::Fn(f), nf.range)
             } else {
-                canonical_image(expr, FnRef::Fn(f), nf.range, &memo)
+                canonical_image(system, expr, FnRef::Fn(f), nf.range, &memo)
             };
             cur_region = nf.range;
         }
         if cur_region != acc.region {
             expr = if is_reduce {
-                PExpr::image(expr, FnRef::Identity, acc.region)
+                system.arena.image(expr, FnRef::Identity, acc.region)
             } else {
-                canonical_image(expr, FnRef::Identity, acc.region, &memo)
+                canonical_image(system, expr, FnRef::Identity, acc.region, &memo)
             };
         }
 
@@ -149,10 +154,11 @@ pub fn infer_loop(
             AccessKind::Reduce(_) => "reduce",
         };
         let p = system.fresh_sym(acc.region, format!("{}::{kind}@{:?}", lp.name, acc.id));
+        let p_id = system.arena.sym(p);
         span.subsets.push(system.subset_obligations.len());
-        system.require_subset(expr.clone(), PExpr::sym(p));
+        system.require_subset(expr, p_id);
         // Memoize uncentered chains through the new symbol (reads only).
-        if !is_reduce && matches!(expr, PExpr::Image { .. }) {
+        if !is_reduce && matches!(system.arena.node(expr), Expr::Image { .. }) {
             memo.entry(expr).or_insert(p);
         }
         access_syms.push(p);
@@ -163,10 +169,16 @@ pub fn infer_loop(
 
 /// Builds `image(src, f, target)`, replacing it by a memoized access symbol
 /// when one already upper-bounds the same expression.
-fn canonical_image(src: PExpr, f: FnRef, target: partir_dpl::region::RegionId, memo: &HashMap<PExpr, PSym>) -> PExpr {
-    let img = PExpr::image(src, f, target);
+fn canonical_image(
+    system: &System,
+    src: ExprId,
+    f: FnRef,
+    target: partir_dpl::region::RegionId,
+    memo: &HashMap<ExprId, PSym>,
+) -> ExprId {
+    let img = system.arena.image(src, f, target);
     match memo.get(&img) {
-        Some(&p) => PExpr::sym(p),
+        Some(&p) => system.arena.sym(p),
         None => img,
     }
 }
@@ -227,29 +239,27 @@ mod tests {
         let (loops, fns, schema, particles, cells) = figure1();
         let inf = infer(&loops, &fns, &schema).expect("parallelizable");
         let sys = &inf.system;
+        let a = &sys.arena;
         // Loop 1: iter sym + 4 access syms; loop 2: iter sym + 3 access syms.
         assert_eq!(inf.loops[0].access_syms.len(), 4);
         assert_eq!(inf.loops[1].access_syms.len(), 3);
         assert_eq!(sys.num_syms(), 2 + 4 + 3);
         // Iteration symbols are COMP; no DISJ (all reductions centered).
+        let iter_id = a.sym(inf.loops[0].iter_sym);
         assert!(sys
             .pred_obligations
             .iter()
-            .any(|p| matches!(p, Pred::Comp(PExpr::Sym(s), r) if *s == inf.loops[0].iter_sym && *r == particles)));
+            .any(|p| matches!(p, Pred::Comp(e, r) if *e == iter_id && *r == particles)));
         assert!(!sys.pred_obligations.iter().any(|p| matches!(p, Pred::Disj(_))));
 
         // The Cells[c].vel access: image(P_iter, cell, Cells) ⊆ P.
         let cells_acc = inf.loops[0].access_syms[1];
-        let sub = sys
-            .subset_obligations
-            .iter()
-            .find(|s| s.rhs == PExpr::sym(cells_acc))
-            .unwrap();
-        match &sub.lhs {
-            PExpr::Image { src, f, target } => {
-                assert_eq!(**src, PExpr::sym(inf.loops[0].iter_sym));
-                assert_eq!(*f, FnRef::Fn(partir_dpl::func::FnId(0)));
-                assert_eq!(*target, cells);
+        let sub = sys.subset_obligations.iter().find(|s| s.rhs == a.sym(cells_acc)).unwrap();
+        match a.node(sub.lhs) {
+            Expr::Image { src, f, target } => {
+                assert_eq!(src, a.sym(inf.loops[0].iter_sym));
+                assert_eq!(f, FnRef::Fn(partir_dpl::func::FnId(0)));
+                assert_eq!(target, cells);
             }
             other => panic!("unexpected lhs {other:?}"),
         }
@@ -257,15 +267,11 @@ mod tests {
         // Memoization: the Cells[h(c)].vel access chains from the Cells[c]
         // access symbol (Figure 1c's P2 -h-> P3 edge).
         let hc_acc = inf.loops[0].access_syms[2];
-        let sub = sys
-            .subset_obligations
-            .iter()
-            .find(|s| s.rhs == PExpr::sym(hc_acc))
-            .unwrap();
-        match &sub.lhs {
-            PExpr::Image { src, f, .. } => {
-                assert_eq!(**src, PExpr::sym(cells_acc), "chains through P2");
-                assert_eq!(*f, FnRef::Fn(partir_dpl::func::FnId(1)));
+        let sub = sys.subset_obligations.iter().find(|s| s.rhs == a.sym(hc_acc)).unwrap();
+        match a.node(sub.lhs) {
+            Expr::Image { src, f, .. } => {
+                assert_eq!(src, a.sym(cells_acc), "chains through P2");
+                assert_eq!(f, FnRef::Fn(partir_dpl::func::FnId(1)));
             }
             other => panic!("unexpected lhs {other:?}"),
         }
@@ -288,12 +294,12 @@ mod tests {
         b.val_reduce(s_, sx, gi, ReduceOp::Add, VExpr::var(v));
         let lp = b.finish();
         let inf = infer(&[lp], &fns, &schema).unwrap();
-        let iter = inf.loops[0].iter_sym;
+        let iter = inf.system.arena.sym(inf.loops[0].iter_sym);
         assert!(inf
             .system
             .pred_obligations
             .iter()
-            .any(|p| matches!(p, Pred::Disj(PExpr::Sym(s)) if *s == iter)));
+            .any(|p| matches!(p, Pred::Disj(e) if *e == iter)));
         // Figure 7 shape: 3 symbols (iter, reduce target, centered read).
         assert_eq!(inf.system.num_syms(), 3);
     }
@@ -305,16 +311,13 @@ mod tests {
         let (loops, fns, schema, _, _) = figure1();
         let inf = infer(&loops[..1], &fns, &schema).unwrap();
         let sys = &inf.system;
-        let iter = inf.loops[0].iter_sym;
+        let a = &sys.arena;
+        let iter = a.sym(inf.loops[0].iter_sym);
         let cell_read = inf.loops[0].access_syms[0];
         let pos_reduce = inf.loops[0].access_syms[3];
         for acc in [cell_read, pos_reduce] {
-            let sub = sys
-                .subset_obligations
-                .iter()
-                .find(|s| s.rhs == PExpr::sym(acc))
-                .unwrap();
-            assert_eq!(sub.lhs, PExpr::sym(iter));
+            let sub = sys.subset_obligations.iter().find(|s| s.rhs == a.sym(acc)).unwrap();
+            assert_eq!(sub.lhs, iter);
         }
     }
 
@@ -338,35 +341,35 @@ mod tests {
         let mut b = LoopBuilder::new("spmv", y);
         let i = b.loop_var();
         let k = b.begin_for_each(ranges, i);
-        let a = b.val_read(mat, mval, k);
+        let a_ = b.val_read(mat, mval, k);
         let col = b.idx_read(mat, mind, k, ind);
         let xval = b.val_read(x, xv, col);
-        b.val_reduce(y, yv, i, ReduceOp::Add, VExpr::mul(VExpr::var(a), VExpr::var(xval)));
+        b.val_reduce(y, yv, i, ReduceOp::Add, VExpr::mul(VExpr::var(a_), VExpr::var(xval)));
         b.end_for_each();
         let lp = b.finish();
 
         let inf = infer(&[lp], &fns, &schema).unwrap();
         let sys = &inf.system;
-        let iter = inf.loops[0].iter_sym;
+        let a = &sys.arena;
+        let iter = a.sym(inf.loops[0].iter_sym);
         // Header access (Ranges region): image(P_iter, id, Ranges) ⊆ P2.
         let p2 = inf.loops[0].access_syms[0];
-        let sub = sys.subset_obligations.iter().find(|s| s.rhs == PExpr::sym(p2)).unwrap();
-        assert_eq!(sub.lhs, PExpr::image(PExpr::sym(iter), FnRef::Identity, ranges_r));
+        let sub = sys.subset_obligations.iter().find(|s| s.rhs == a.sym(p2)).unwrap();
+        assert_eq!(sub.lhs, a.image(iter, FnRef::Identity, ranges_r));
         // Mat accesses chain from P2 via the multi-function:
         // IMAGE(P2, Ranges[.], Mat) ⊆ P3 — and both Mat accesses share the
-        // memoized chain (the second gets the same lower bound expression
-        // with P3 substituted... it chains from the first's symbol).
+        // memoized chain (the second chains from the first's symbol).
         let p3 = inf.loops[0].access_syms[1];
-        let sub = sys.subset_obligations.iter().find(|s| s.rhs == PExpr::sym(p3)).unwrap();
-        assert_eq!(sub.lhs, PExpr::image(PExpr::sym(p2), FnRef::Fn(ranges), mat));
+        let sub = sys.subset_obligations.iter().find(|s| s.rhs == a.sym(p3)).unwrap();
+        assert_eq!(sub.lhs, a.image(a.sym(p2), FnRef::Fn(ranges), mat));
         // X access: image(P3', ind, X) where P3' is the memoized Mat symbol.
         let p_x = inf.loops[0].access_syms[3];
-        let sub = sys.subset_obligations.iter().find(|s| s.rhs == PExpr::sym(p_x)).unwrap();
-        match &sub.lhs {
-            PExpr::Image { src, f, target } => {
-                assert_eq!(**src, PExpr::sym(p3));
-                assert_eq!(*f, FnRef::Fn(ind));
-                assert_eq!(*target, x);
+        let sub = sys.subset_obligations.iter().find(|s| s.rhs == a.sym(p_x)).unwrap();
+        match a.node(sub.lhs) {
+            Expr::Image { src, f, target } => {
+                assert_eq!(src, a.sym(p3));
+                assert_eq!(f, FnRef::Fn(ind));
+                assert_eq!(target, x);
             }
             other => panic!("unexpected {other:?}"),
         }

@@ -13,6 +13,10 @@
 //!   (Section 3.3); the solver may *use* them but never has to prove them
 //!   (they are checked dynamically at runtime instead).
 
+pub mod arena;
+
+pub use arena::{Expr, ExprArena, ExprId};
+
 use partir_dpl::func::{FnId, FnTable};
 use partir_dpl::region::RegionId;
 use std::collections::BTreeSet;
@@ -65,9 +69,17 @@ pub enum PExpr {
     Equal(RegionId),
     /// `image(src, f, target)`; also covers the generalized `IMAGE` when
     /// `f` names a set-valued function.
-    Image { src: Box<PExpr>, f: FnRef, target: RegionId },
+    Image {
+        src: Box<PExpr>,
+        f: FnRef,
+        target: RegionId,
+    },
     /// `preimage(domain, f, src)`; also the generalized `PREIMAGE`.
-    Preimage { domain: RegionId, f: FnRef, src: Box<PExpr> },
+    Preimage {
+        domain: RegionId,
+        f: FnRef,
+        src: Box<PExpr>,
+    },
     Union(Box<PExpr>, Box<PExpr>),
     Intersect(Box<PExpr>, Box<PExpr>),
     Difference(Box<PExpr>, Box<PExpr>),
@@ -153,10 +165,9 @@ impl PExpr {
     pub fn display(&self, fns: &FnTable, exts: &[ExternalDecl]) -> String {
         match self {
             PExpr::Sym(s) => format!("{s:?}"),
-            PExpr::Ext(e) => exts
-                .get(e.0 as usize)
-                .map(|d| d.name.clone())
-                .unwrap_or_else(|| format!("{e:?}")),
+            PExpr::Ext(e) => {
+                exts.get(e.0 as usize).map(|d| d.name.clone()).unwrap_or_else(|| format!("{e:?}"))
+            }
             PExpr::Equal(r) => format!("equal(r{})", r.0),
             PExpr::Image { src, f, target } => {
                 format!("image({}, {}, r{})", src.display(fns, exts), f.display(fns), target.0)
@@ -196,19 +207,44 @@ impl fmt::Debug for PExpr {
     }
 }
 
-/// The predicates `ϕ` of Figure 5.
-#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+/// The predicates `ϕ` of Figure 5, over interned expression ids.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum Pred {
-    Part(PExpr, RegionId),
-    Disj(PExpr),
-    Comp(PExpr, RegionId),
+    Part(ExprId, RegionId),
+    Disj(ExprId),
+    Comp(ExprId, RegionId),
 }
 
-/// A subset constraint `lhs ⊆ rhs`.
-#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+/// A subset constraint `lhs ⊆ rhs`, over interned expression ids.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct Subset {
-    pub lhs: PExpr,
-    pub rhs: PExpr,
+    pub lhs: ExprId,
+    pub rhs: ExprId,
+}
+
+/// Anything a constraint-building API accepts as an expression: an
+/// already-interned [`ExprId`] or a tree-form [`PExpr`] (interned on the
+/// way in). Keeps `System::require_*` call sites ergonomic in both worlds.
+pub trait IntoExprId {
+    fn into_expr_id(self, arena: &ExprArena) -> ExprId;
+}
+
+impl IntoExprId for ExprId {
+    fn into_expr_id(self, _arena: &ExprArena) -> ExprId {
+        self
+    }
+}
+
+impl IntoExprId for &PExpr {
+    fn into_expr_id(self, arena: &ExprArena) -> ExprId {
+        arena.intern(self)
+    }
+}
+
+impl IntoExprId for PExpr {
+    fn into_expr_id(self, arena: &ExprArena) -> ExprId {
+        arena.intern(&self)
+    }
 }
 
 /// Declaration of an externally-provided partition.
@@ -219,8 +255,14 @@ pub struct ExternalDecl {
 }
 
 /// A system of partitioning constraints.
+///
+/// All expressions are interned in the system's [`ExprArena`]; cloning a
+/// `System` shares the arena, so ids stay comparable across the clones the
+/// pipeline makes for unification rewrites and trial solves.
 #[derive(Clone, Debug, Default)]
 pub struct System {
+    /// Interning arena for every expression this system mentions.
+    pub arena: ExprArena,
     /// Region of each partition symbol (`PART(P, R)` is implicit for every
     /// symbol; compound-expression `PART` predicates go in `obligations`).
     pub sym_regions: Vec<RegionId>,
@@ -245,13 +287,20 @@ impl System {
         let s = PSym(self.sym_regions.len() as u32);
         self.sym_regions.push(region);
         self.sym_names.push(name.into());
+        self.arena.register_sym(region);
         s
     }
 
     pub fn add_external(&mut self, name: impl Into<String>, region: RegionId) -> ExtId {
         let e = ExtId(self.externals.len() as u32);
         self.externals.push(ExternalDecl { name: name.into(), region });
+        self.arena.register_ext(region);
         e
+    }
+
+    /// Interns an expression into this system's arena.
+    pub fn intern(&self, e: impl IntoExprId) -> ExprId {
+        e.into_expr_id(&self.arena)
     }
 
     pub fn sym_region(&self, s: PSym) -> RegionId {
@@ -266,40 +315,39 @@ impl System {
         self.sym_regions.len()
     }
 
-    /// Region an expression partitions, when derivable syntactically.
-    pub fn expr_region(&self, e: &PExpr) -> Option<RegionId> {
-        match e {
-            PExpr::Sym(s) => Some(self.sym_region(*s)),
-            PExpr::Ext(x) => Some(self.ext_region(*x)),
-            PExpr::Equal(r) => Some(*r),
-            PExpr::Image { target, .. } => Some(*target),
-            PExpr::Preimage { domain, .. } => Some(*domain),
-            PExpr::Union(a, b) | PExpr::Intersect(a, b) | PExpr::Difference(a, b) => {
-                let ra = self.expr_region(a)?;
-                let rb = self.expr_region(b)?;
-                (ra == rb).then_some(ra)
-            }
-        }
+    /// Region an expression partitions, when derivable syntactically
+    /// (cached in the arena's side table).
+    pub fn expr_region(&self, e: ExprId) -> Option<RegionId> {
+        self.arena.region(e)
     }
 
-    pub fn require_disj(&mut self, e: PExpr) {
+    pub fn require_disj(&mut self, e: impl IntoExprId) {
+        let e = self.intern(e);
         self.pred_obligations.push(Pred::Disj(e));
     }
 
-    pub fn require_comp(&mut self, e: PExpr, r: RegionId) {
+    pub fn require_comp(&mut self, e: impl IntoExprId, r: RegionId) {
+        let e = self.intern(e);
         self.pred_obligations.push(Pred::Comp(e, r));
     }
 
-    pub fn require_subset(&mut self, lhs: PExpr, rhs: PExpr) {
+    pub fn require_subset(&mut self, lhs: impl IntoExprId, rhs: impl IntoExprId) {
+        let (lhs, rhs) = (self.intern(lhs), self.intern(rhs));
         self.subset_obligations.push(Subset { lhs, rhs });
     }
 
-    pub fn assume_fact_subset(&mut self, lhs: PExpr, rhs: PExpr) {
+    pub fn assume_fact_subset(&mut self, lhs: impl IntoExprId, rhs: impl IntoExprId) {
+        let (lhs, rhs) = (self.intern(lhs), self.intern(rhs));
         self.subset_facts.push(Subset { lhs, rhs });
     }
 
     pub fn assume_fact_pred(&mut self, p: Pred) {
         self.pred_facts.push(p);
+    }
+
+    /// Pretty-prints an interned expression with this system's names.
+    pub fn display_expr(&self, e: ExprId, fns: &FnTable) -> String {
+        self.arena.display(e, fns, &self.externals)
     }
 
     /// Human-readable rendering of the whole system.
@@ -316,8 +364,8 @@ impl System {
             let _ = writeln!(
                 out,
                 "{} ⊆ {}",
-                s.lhs.display(fns, &self.externals),
-                s.rhs.display(fns, &self.externals)
+                self.display_expr(s.lhs, fns),
+                self.display_expr(s.rhs, fns)
             );
         }
         for p in &self.pred_facts {
@@ -327,18 +375,18 @@ impl System {
             let _ = writeln!(
                 out,
                 "[fact] {} ⊆ {}",
-                s.lhs.display(fns, &self.externals),
-                s.rhs.display(fns, &self.externals)
+                self.display_expr(s.lhs, fns),
+                self.display_expr(s.rhs, fns)
             );
         }
         out
     }
 
-    fn display_pred(&self, p: &Pred, fns: &FnTable) -> String {
+    pub fn display_pred(&self, p: &Pred, fns: &FnTable) -> String {
         match p {
-            Pred::Part(e, r) => format!("PART({}, r{})", e.display(fns, &self.externals), r.0),
-            Pred::Disj(e) => format!("DISJ({})", e.display(fns, &self.externals)),
-            Pred::Comp(e, r) => format!("COMP({}, r{})", e.display(fns, &self.externals), r.0),
+            Pred::Part(e, r) => format!("PART({}, r{})", self.display_expr(*e, fns), r.0),
+            Pred::Disj(e) => format!("DISJ({})", self.display_expr(*e, fns)),
+            Pred::Comp(e, r) => format!("COMP({}, r{})", self.display_expr(*e, fns), r.0),
         }
     }
 }
@@ -389,23 +437,17 @@ mod tests {
     fn expr_region_derivation() {
         let mut sys = System::new();
         let p = sys.fresh_sym(r(0), "p");
-        assert_eq!(sys.expr_region(&PExpr::sym(p)), Some(r(0)));
-        assert_eq!(
-            sys.expr_region(&PExpr::image(PExpr::sym(p), FnRef::Identity, r(5))),
-            Some(r(5))
-        );
-        assert_eq!(
-            sys.expr_region(&PExpr::preimage(r(3), FnRef::Identity, PExpr::sym(p))),
-            Some(r(3))
-        );
+        let ps = sys.intern(PExpr::sym(p));
+        assert_eq!(sys.expr_region(ps), Some(r(0)));
+        let img = sys.intern(PExpr::image(PExpr::sym(p), FnRef::Identity, r(5)));
+        assert_eq!(sys.expr_region(img), Some(r(5)));
+        let pre = sys.intern(PExpr::preimage(r(3), FnRef::Identity, PExpr::sym(p)));
+        assert_eq!(sys.expr_region(pre), Some(r(3)));
         // Mixed-region union has no region.
-        let bad = PExpr::union(
-            PExpr::Equal(r(0)),
-            PExpr::Equal(r(1)),
-        );
-        assert_eq!(sys.expr_region(&bad), None);
-        let ok = PExpr::union(PExpr::Equal(r(1)), PExpr::Equal(r(1)));
-        assert_eq!(sys.expr_region(&ok), Some(r(1)));
+        let bad = sys.intern(PExpr::union(PExpr::Equal(r(0)), PExpr::Equal(r(1))));
+        assert_eq!(sys.expr_region(bad), None);
+        let ok = sys.intern(PExpr::union(PExpr::Equal(r(1)), PExpr::Equal(r(1))));
+        assert_eq!(sys.expr_region(ok), Some(r(1)));
     }
 
     #[test]

@@ -15,10 +15,10 @@ pub mod solve;
 pub mod unify;
 
 pub mod prelude {
+    pub use crate::eval::{Evaluator, ExtBindings};
     pub use crate::infer::{infer, Inference, InferredLoop};
     pub use crate::lang::{ExtId, ExternalDecl, FnRef, PExpr, PSym, Pred, Subset, System};
     pub use crate::lemmas::{entails_subset, prove_comp, prove_disj, prove_part, FactCtx};
-    pub use crate::eval::{Evaluator, ExtBindings};
     pub use crate::optimize::{
         apply_relaxation, choose_reduce_mode, disj_preferences, private_subpartition, ReduceMode,
         RelaxInfo, RelaxPolicy,

@@ -18,9 +18,13 @@
 //!   expression `fS(P) − fS(fR⁻¹(fS(P)) − P)` is a disjoint sub-partition
 //!   containing the elements touched by only one task; buffers are needed
 //!   only for the (typically small) shared remainder.
+//!
+//! All rewrites operate on interned [`ExprId`]s; the synthesized Theorem
+//! 5.1 expressions are canonicalized on construction (e.g. a preimage that
+//! collapses back onto the source folds the shared remainder to ∅).
 
 use crate::infer::Inference;
-use crate::lang::{FnRef, PExpr, Pred, Subset};
+use crate::lang::{Expr, ExprId, FnRef, Pred, Subset};
 use crate::lemmas::{prove_disj, FactCtx};
 use partir_ir::ast::AccessId;
 
@@ -68,6 +72,7 @@ pub fn apply_relaxation(
     policy: RelaxPolicy,
     hinted_regions: &std::collections::BTreeSet<partir_dpl::region::RegionId>,
 ) -> Vec<RelaxInfo> {
+    let arena = inference.system.arena.clone();
     let n_loops = inference.loops.len();
     let mut out = vec![RelaxInfo::default(); n_loops];
     if policy == RelaxPolicy::Off {
@@ -87,11 +92,8 @@ pub fn apply_relaxation(
         .loops
         .iter()
         .map(|l| {
-            let has_centered_reduce = l
-                .summary
-                .accesses
-                .iter()
-                .any(|a| a.kind.is_reduce() && a.is_centered());
+            let has_centered_reduce =
+                l.summary.accesses.iter().any(|a| a.kind.is_reduce() && a.is_centered());
             if has_centered_reduce {
                 return Some("centered-reduce");
             }
@@ -115,24 +117,23 @@ pub fn apply_relaxation(
                 if !a.kind.is_reduce() || a.is_centered() {
                     return true;
                 }
-                let sub = &inference.system.subset_obligations
-                    [l.span.subsets[a.id.0 as usize]];
+                let sub = &inference.system.subset_obligations[l.span.subsets[a.id.0 as usize]];
                 // Inference gives every reduction its own un-memoized image
                 // constraint, so the lhs is always a single image step;
                 // anything else is not relax-capable.
-                match &sub.lhs {
-                    PExpr::Image { src, .. } => matches!(**src, PExpr::Sym(s) if s == l.iter_sym),
+                match arena.node(sub.lhs) {
+                    Expr::Image { src, .. } => {
+                        matches!(arena.node(src), Expr::Sym(s) if s == l.iter_sym)
+                    }
                     _ => false,
                 }
             });
             if !simple_chains {
                 return Some("non-simple-reduction-chain");
             }
-            let hinted_target = l
-                .summary
-                .accesses
-                .iter()
-                .any(|a| a.kind.is_reduce() && !a.is_centered() && hinted_regions.contains(&a.region));
+            let hinted_target = l.summary.accesses.iter().any(|a| {
+                a.kind.is_reduce() && !a.is_centered() && hinted_regions.contains(&a.region)
+            });
             if hinted_target {
                 return Some("reduction-target-hinted");
             }
@@ -147,8 +148,7 @@ pub fn apply_relaxation(
         .iter()
         .map(|l| {
             let mut fns_seen: Vec<&[partir_dpl::func::FnId]> = Vec::new();
-            for a in l.summary.accesses.iter().filter(|a| a.kind.is_reduce() && !a.is_centered())
-            {
+            for a in l.summary.accesses.iter().filter(|a| a.kind.is_reduce() && !a.is_centered()) {
                 if !fns_seen.contains(&a.path.as_slice()) {
                     fns_seen.push(&a.path);
                 }
@@ -174,9 +174,8 @@ pub fn apply_relaxation(
             continue;
         }
         let region = inference.loops[li].summary.iter_region;
-        let group: Vec<usize> = (0..n_loops)
-            .filter(|&j| inference.loops[j].summary.iter_region == region)
-            .collect();
+        let group: Vec<usize> =
+            (0..n_loops).filter(|&j| inference.loops[j].summary.iter_region == region).collect();
         if !group.iter().all(|&j| capable[j]) {
             continue;
         }
@@ -207,8 +206,10 @@ pub fn apply_relaxation(
 fn relax_loop(inference: &mut Inference, li: usize, info: &mut RelaxInfo) {
     info.relaxed = true;
     info.reason = "relaxed";
+    let arena = inference.system.arena.clone();
     let iter_sym = inference.loops[li].iter_sym;
     let iter_region = inference.loops[li].summary.iter_region;
+    let iter_id = arena.sym(iter_sym);
 
     // Collect the uncentered reduce accesses.
     let reduce_ids: Vec<AccessId> = inference.loops[li]
@@ -224,17 +225,16 @@ fn relax_loop(inference: &mut Inference, li: usize, info: &mut RelaxInfo) {
         let sub_idx = inference.loops[li].span.subsets[id.0 as usize];
         let p_a = inference.loops[li].access_syms[id.0 as usize];
         let target_region = inference.system.sym_region(p_a);
-        let lhs = inference.system.subset_obligations[sub_idx].lhs.clone();
-        match lhs {
-            PExpr::Image { src, f, .. } if matches!(*src, PExpr::Sym(s) if s == iter_sym) => {
+        let lhs = inference.system.subset_obligations[sub_idx].lhs;
+        match arena.node(lhs) {
+            Expr::Image { src, f, .. } if matches!(arena.node(src), Expr::Sym(s) if s == iter_sym) =>
+            {
                 // image(P_iter, f, S) ⊆ P_a  ⟶  preimage(R, f, P_a) ⊆ P_iter.
-                inference.system.subset_obligations[sub_idx] = Subset {
-                    lhs: PExpr::preimage(iter_region, f, PExpr::sym(p_a)),
-                    rhs: PExpr::sym(iter_sym),
-                };
+                inference.system.subset_obligations[sub_idx] =
+                    Subset { lhs: arena.preimage(iter_region, f, arena.sym(p_a)), rhs: iter_id };
                 let pi = inference.system.pred_obligations.len();
-                inference.system.require_disj(PExpr::sym(p_a));
-                inference.system.require_comp(PExpr::sym(p_a), target_region);
+                inference.system.require_disj(arena.sym(p_a));
+                inference.system.require_comp(arena.sym(p_a), target_region);
                 inference.loops[li].span.preds.push(pi);
                 inference.loops[li].span.preds.push(pi + 1);
             }
@@ -245,8 +245,8 @@ fn relax_loop(inference: &mut Inference, li: usize, info: &mut RelaxInfo) {
     // Drop DISJ(P_iter): replace by a trivially-true PART placeholder so
     // obligation indices recorded in spans stay valid.
     for p in inference.system.pred_obligations.iter_mut() {
-        if matches!(p, Pred::Disj(PExpr::Sym(s)) if *s == iter_sym) {
-            *p = Pred::Part(PExpr::sym(iter_sym), iter_region);
+        if matches!(p, Pred::Disj(e) if *e == iter_id) {
+            *p = Pred::Part(iter_id, iter_region);
         }
     }
 }
@@ -256,6 +256,7 @@ fn relax_loop(inference: &mut Inference, li: usize, info: &mut RelaxInfo) {
 /// partitions disjoint so no buffer is needed. Returns candidate predicates
 /// to be tried (and individually dropped when unsatisfiable).
 pub fn disj_preferences(inference: &Inference, relax: &[RelaxInfo]) -> Vec<Pred> {
+    let arena = &inference.system.arena;
     let mut prefs = Vec::new();
     for (li, l) in inference.loops.iter().enumerate() {
         if relax[li].relaxed {
@@ -264,9 +265,14 @@ pub fn disj_preferences(inference: &Inference, relax: &[RelaxInfo]) -> Vec<Pred>
         for a in &l.summary.accesses {
             if a.kind.is_reduce() && !a.is_centered() {
                 let sub = &inference.system.subset_obligations[l.span.subsets[a.id.0 as usize]];
-                if matches!(&sub.lhs, PExpr::Image { src, .. } if matches!(**src, PExpr::Sym(s) if s == l.iter_sym))
-                {
-                    prefs.push(Pred::Disj(PExpr::sym(l.access_syms[a.id.0 as usize])));
+                let from_iter = match arena.node(sub.lhs) {
+                    Expr::Image { src, .. } => {
+                        matches!(arena.node(src), Expr::Sym(s) if s == l.iter_sym)
+                    }
+                    _ => false,
+                };
+                if from_iter {
+                    prefs.push(Pred::Disj(arena.sym(l.access_syms[a.id.0 as usize])));
                 }
             }
         }
@@ -277,36 +283,36 @@ pub fn disj_preferences(inference: &Inference, relax: &[RelaxInfo]) -> Vec<Pred>
 /// Synthesizes a private sub-partition expression for a reduction partition
 /// bound to `expr`, per Theorem 5.1 (and its intersection generalization
 /// for unions of images). Returns `None` when no construction applies.
-pub fn private_subpartition(expr: &PExpr, ctx: &FactCtx) -> Option<PExpr> {
-    match expr {
-        PExpr::Image { src, f, target } => {
+pub fn private_subpartition(expr: ExprId, ctx: &FactCtx) -> Option<ExprId> {
+    let arena = &ctx.system.arena;
+    match arena.node(expr) {
+        Expr::Image { src, f, target } => {
             let single = match f {
                 FnRef::Identity => true,
-                FnRef::Fn(id) => ctx.fns.is_single_valued(*id),
+                FnRef::Fn(id) => ctx.fns.is_single_valued(id),
             };
-            if !single || !src.is_closed() || !prove_disj(src, ctx) {
+            if !single || !arena.is_closed(src) || !prove_disj(src, ctx) {
                 return None;
             }
             let src_region = ctx.system.expr_region(src)?;
-            let img = expr.clone();
             // fS(P) − fS( fR⁻¹(fS(P)) − P )
-            let expanded = PExpr::preimage(src_region, *f, img.clone());
-            let shared_src = PExpr::difference(expanded, (**src).clone());
-            let shared = PExpr::image(shared_src, *f, *target);
-            Some(PExpr::difference(img, shared))
+            let expanded = arena.preimage(src_region, f, expr);
+            let shared_src = arena.difference(expanded, src);
+            let shared = arena.image(shared_src, f, target);
+            Some(arena.difference(expr, shared))
         }
-        PExpr::Union(a, b) => {
+        Expr::Union(cs) => {
             // Generalization: intersection of the operands' private parts.
-            let pa = private_subpartition(a, ctx)?;
-            let pb = private_subpartition(b, ctx)?;
-            Some(PExpr::intersect(pa, pb))
+            let parts: Option<Vec<ExprId>> =
+                cs.into_iter().map(|c| private_subpartition(c, ctx)).collect();
+            Some(arena.intersect(parts?))
         }
         _ => None,
     }
 }
 
 /// How a reduction access is executed (decided post-solve).
-#[derive(Clone, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum ReduceMode {
     /// The reduction partition is provably disjoint: apply in place.
     Direct,
@@ -316,16 +322,16 @@ pub enum ReduceMode {
     /// Buffer the whole subregion, merge after the parallel phase.
     Buffered,
     /// Direct within the private sub-partition; buffer only the shared rest.
-    BufferedPrivate { private: PExpr },
+    BufferedPrivate { private: ExprId },
 }
 
 /// Chooses the reduction mode for an uncentered reduction whose partition
 /// resolved to `expr`.
 pub fn choose_reduce_mode(
-    expr: &PExpr,
+    expr: ExprId,
     guarded: bool,
     ctx: &FactCtx,
-    user_private: Option<&PExpr>,
+    user_private: Option<ExprId>,
     enable_private: bool,
 ) -> ReduceMode {
     if guarded {
@@ -337,7 +343,7 @@ pub fn choose_reduce_mode(
     if enable_private {
         if let Some(p) = user_private {
             if prove_disj(p, ctx) {
-                return ReduceMode::BufferedPrivate { private: p.clone() };
+                return ReduceMode::BufferedPrivate { private: p };
             }
         }
         if let Some(p) = private_subpartition(expr, ctx) {
@@ -351,8 +357,8 @@ pub fn choose_reduce_mode(
 mod tests {
     use super::*;
     use crate::infer::infer;
+    use crate::lang::{PExpr, System};
     use partir_dpl::func::FnTable;
-    use crate::lang::System;
     use partir_dpl::region::{FieldKind, RegionId, Schema};
     use partir_ir::ast::{LoopBuilder, ReduceOp, VExpr};
 
@@ -403,11 +409,12 @@ mod tests {
         assert_eq!(relax[0].guarded.len(), 2);
         // DISJ on the iteration space is gone.
         let iter = inf.loops[0].iter_sym;
+        let iter_id = inf.system.arena.sym(iter);
         assert!(!inf
             .system
             .pred_obligations
             .iter()
-            .any(|p| matches!(p, Pred::Disj(PExpr::Sym(s)) if *s == iter)));
+            .any(|p| matches!(p, Pred::Disj(e) if *e == iter_id)));
         // The system solves with equal targets and a union-of-preimages
         // iteration partition.
         let sol = crate::solve::solve(&inf.system, &fns).expect("solvable");
@@ -497,19 +504,20 @@ mod tests {
         let f = FnRef::Fn(fns.add_affine("f", r, s_, 1, 0));
         let sys = System::new();
         let ctx = FactCtx::new(&sys, &fns);
-        let img = PExpr::image(PExpr::Equal(r), f, s_);
-        let pp = private_subpartition(&img, &ctx).expect("constructible");
+        let img_tree = PExpr::image(PExpr::Equal(r), f, s_);
+        let img = sys.intern(&img_tree);
+        let pp = private_subpartition(img, &ctx).expect("constructible");
         // Shape: img − image(preimage(R, f, img) − equal(R), f, S).
-        match &pp {
-            PExpr::Difference(lhs, rhs) => {
-                assert_eq!(**lhs, img);
-                assert!(matches!(**rhs, PExpr::Image { .. }));
+        match sys.arena.node(pp) {
+            Expr::Difference(lhs, rhs) => {
+                assert_eq!(lhs, img);
+                assert!(matches!(sys.arena.node(rhs), Expr::Image { .. }));
             }
             other => panic!("unexpected {other:?}"),
         }
         // Not constructible from a non-disjoint source.
-        let img2 = PExpr::image(PExpr::image(PExpr::Equal(r), f, s_), f, s_);
-        assert!(private_subpartition(&img2, &ctx).is_none());
+        let img2 = sys.intern(PExpr::image(PExpr::image(PExpr::Equal(r), f, s_), f, s_));
+        assert!(private_subpartition(img2, &ctx).is_none());
     }
 
     #[test]
@@ -521,22 +529,14 @@ mod tests {
         let f = FnRef::Fn(fns.add_affine("f", r, s_, 1, 0));
         let sys = System::new();
         let ctx = FactCtx::new(&sys, &fns);
-        assert_eq!(
-            choose_reduce_mode(&PExpr::Equal(s_), false, &ctx, None, true),
-            ReduceMode::Direct
-        );
-        assert_eq!(
-            choose_reduce_mode(&PExpr::Equal(s_), true, &ctx, None, true),
-            ReduceMode::Guarded
-        );
-        let img = PExpr::image(PExpr::Equal(r), f, s_);
+        let eq_s = sys.intern(PExpr::Equal(s_));
+        assert_eq!(choose_reduce_mode(eq_s, false, &ctx, None, true), ReduceMode::Direct);
+        assert_eq!(choose_reduce_mode(eq_s, true, &ctx, None, true), ReduceMode::Guarded);
+        let img = sys.intern(PExpr::image(PExpr::Equal(r), f, s_));
         assert!(matches!(
-            choose_reduce_mode(&img, false, &ctx, None, true),
+            choose_reduce_mode(img, false, &ctx, None, true),
             ReduceMode::BufferedPrivate { .. }
         ));
-        assert_eq!(
-            choose_reduce_mode(&img, false, &ctx, None, false),
-            ReduceMode::Buffered
-        );
+        assert_eq!(choose_reduce_mode(img, false, &ctx, None, false), ReduceMode::Buffered);
     }
 }

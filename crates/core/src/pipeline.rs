@@ -10,7 +10,7 @@
 
 use crate::eval::{Evaluator, ExtBindings};
 use crate::infer::{infer, Inference};
-use crate::lang::{ExtId, PExpr, PSym, Pred, System};
+use crate::lang::{Expr, ExprId, ExtId, PExpr, PSym, Pred, System};
 use crate::lemmas::FactCtx;
 use crate::optimize::{
     apply_relaxation, choose_reduce_mode, disj_preferences, ReduceMode, RelaxPolicy,
@@ -23,7 +23,16 @@ use partir_dpl::region::{RegionId, Schema, Store};
 use partir_ir::analysis::{AccessKind, NotParallelizable};
 use partir_ir::ast::Loop;
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// A predicate fact in tree form (hints are built before any `System` — and
+/// its interning arena — exists; they are interned at install time).
+#[derive(Clone, Debug)]
+pub(crate) enum PredFact {
+    Disj(PExpr),
+    Comp(PExpr, RegionId),
+}
 
 /// User-provided hints: external partitions and invariants on them
 /// (Section 3.3), plus candidate private sub-partitions (Section 6.5's
@@ -32,7 +41,7 @@ use std::time::{Duration, Instant};
 pub struct Hints {
     pub(crate) externals: Vec<(String, RegionId)>,
     pub(crate) subset_facts: Vec<(PExpr, PExpr)>,
-    pub(crate) pred_facts: Vec<Pred>,
+    pub(crate) pred_facts: Vec<PredFact>,
     pub(crate) private_subs: Vec<(RegionId, PExpr)>,
 }
 
@@ -54,11 +63,11 @@ impl Hints {
     }
 
     pub fn fact_disj(&mut self, e: PExpr) {
-        self.pred_facts.push(Pred::Disj(e));
+        self.pred_facts.push(PredFact::Disj(e));
     }
 
     pub fn fact_comp(&mut self, e: PExpr, r: RegionId) {
-        self.pred_facts.push(Pred::Comp(e, r));
+        self.pred_facts.push(PredFact::Comp(e, r));
     }
 
     /// Offers `expr` (typically an external) as a private sub-partition for
@@ -141,39 +150,73 @@ pub struct LoopPlan {
 /// The complete auto-parallelization result.
 #[derive(Clone, Debug)]
 pub struct ParallelPlan {
-    /// Distinct closed partition expressions, deduplicated structurally.
+    /// Distinct closed partition expressions, deduplicated canonically
+    /// (interned ids: `a ∪ b` and `b ∪ a` are one plan partition).
+    pub partition_ids: Vec<ExprId>,
+    /// Tree-form view of `partition_ids` (materialized once, for display
+    /// and weight heuristics).
     pub partition_exprs: Vec<PExpr>,
     pub loops: Vec<LoopPlan>,
     /// The post-unification system (facts included, for runtime checks).
+    /// Its arena interns every plan expression; evaluators share it.
     pub system: System,
     pub solution: Solution,
     pub unified: Unified,
     pub timings: Timings,
 }
 
+/// Evaluator memo statistics from one [`ParallelPlan::evaluate_with_stats`]
+/// run: cache hits are partition materializations avoided because a
+/// canonically equal subexpression had already been evaluated.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EvalStats {
+    pub cache_hits: u64,
+    pub partitions_built: usize,
+}
+
 impl ParallelPlan {
     pub fn num_partitions(&self) -> usize {
-        self.partition_exprs.len()
+        self.partition_ids.len()
     }
 
-    /// Evaluates every partition expression against a store.
+    /// Evaluates every partition expression against a store. The returned
+    /// partitions are shared (`Arc`): canonically equal subexpressions are
+    /// materialized once and aliased, not deep-copied.
     pub fn evaluate(
         &self,
         store: &Store,
         fns: &FnTable,
         n_colors: usize,
         exts: &ExtBindings,
-    ) -> Vec<Partition> {
-        let mut ev = Evaluator::new(store, fns, n_colors, exts);
-        self.partition_exprs.iter().map(|e| ev.eval(e)).collect()
+    ) -> Vec<Arc<Partition>> {
+        self.evaluate_with_stats(store, fns, n_colors, exts).0
+    }
+
+    /// [`evaluate`](Self::evaluate) plus the evaluator's memo statistics
+    /// (how many partition materializations the interned IR avoided).
+    pub fn evaluate_with_stats(
+        &self,
+        store: &Store,
+        fns: &FnTable,
+        n_colors: usize,
+        exts: &ExtBindings,
+    ) -> (Vec<Arc<Partition>>, EvalStats) {
+        let mut ev = Evaluator::with_arena(store, fns, n_colors, exts, self.system.arena.clone());
+        let parts = self.partition_ids.iter().map(|&id| ev.eval_id(id)).collect();
+        let stats =
+            EvalStats { cache_hits: ev.cache_hits(), partitions_built: ev.partitions_built() };
+        if partir_obs::metrics_enabled() {
+            partir_obs::counter("eval.cache_hit", stats.cache_hits);
+        }
+        (parts, stats)
     }
 
     /// Renders the synthesized DPL program.
     pub fn render_dpl(&self, fns: &FnTable) -> String {
         use std::fmt::Write;
         let mut out = String::new();
-        for (i, e) in self.partition_exprs.iter().enumerate() {
-            let _ = writeln!(out, "P{i} = {}", e.display(fns, &self.system.externals));
+        for (i, &id) in self.partition_ids.iter().enumerate() {
+            let _ = writeln!(out, "P{i} = {}", self.system.display_expr(id, fns));
         }
         out
     }
@@ -246,9 +289,7 @@ pub fn auto_parallelize(
         if matches!(opts.relax, RelaxPolicy::Off) { RelaxPolicy::Off } else { RelaxPolicy::Auto },
         &hinted_regions,
     );
-    sp.close_with(vec![
-        ("relaxed_loops", relax.iter().filter(|r| r.relaxed).count().into()),
-    ]);
+    sp.close_with(vec![("relaxed_loops", relax.iter().filter(|r| r.relaxed).count().into())]);
     let inference_time = t0.elapsed();
 
     // ---- Phase 2: unification + solving (Algorithms 2 & 3). ----
@@ -285,12 +326,15 @@ pub fn auto_parallelize(
     let mut solution = base_solution;
     if opts.disj_preference && !solution.degraded {
         for pref in disj_preferences(&inference, &relax) {
-            let mapped = match &pref {
-                Pred::Disj(PExpr::Sym(s)) => match resolve_rep(&unified, *s) {
-                    PExpr::Sym(t) => Pred::Disj(PExpr::sym(t)),
-                    _ => continue, // bound to an external: fixed
+            let mapped = match pref {
+                Pred::Disj(e) => match system.arena.node(e) {
+                    Expr::Sym(s) => match resolve_rep(&unified, s) {
+                        PExpr::Sym(t) => Pred::Disj(system.arena.sym(t)),
+                        _ => continue, // bound to an external: fixed
+                    },
+                    _ => pref,
                 },
-                other => other.clone(),
+                other => other,
             };
             if system.pred_obligations.contains(&mapped) {
                 continue;
@@ -320,22 +364,22 @@ pub fn auto_parallelize(
     // ---- Phase 3: plan construction (the rewrite). ----
     let t2 = Instant::now();
     let sp = partir_obs::span("pipeline.plan");
-    let mut exprs: Vec<PExpr> = Vec::new();
-    let mut expr_ids: HashMap<PExpr, PartId> = HashMap::new();
-    let mut intern = |e: PExpr| -> PartId {
-        if let Some(&id) = expr_ids.get(&e) {
+    let mut plan_ids: Vec<ExprId> = Vec::new();
+    let mut part_of: HashMap<ExprId, PartId> = HashMap::new();
+    let mut intern = |e: ExprId| -> PartId {
+        if let Some(&id) = part_of.get(&e) {
             return id;
         }
-        let id = PartId(exprs.len() as u32);
-        exprs.push(e.clone());
-        expr_ids.insert(e, id);
+        let id = PartId(plan_ids.len() as u32);
+        plan_ids.push(e);
+        part_of.insert(e, id);
         id
     };
 
-    let resolve_expr = |s: PSym| -> PExpr {
+    let resolve_id = |s: PSym| -> ExprId {
         match resolve_rep(&unified, s) {
-            PExpr::Sym(t) => solution.expr_for(t).clone(),
-            ext => ext,
+            PExpr::Sym(t) => solution.id_for(t),
+            ext => system.intern(&ext),
         }
     };
 
@@ -343,25 +387,21 @@ pub fn auto_parallelize(
     let ctx = FactCtx::new(&ctx_system, fns);
     let mut plan_loops = Vec::with_capacity(inference.loops.len());
     for (li, il) in inference.loops.iter().enumerate() {
-        let iter_expr = resolve_expr(il.iter_sym);
-        let iter = intern(iter_expr);
-        let iter_must_be_disjoint = il
-            .summary
-            .accesses
-            .iter()
-            .any(|a| a.kind.is_reduce() && a.is_centered());
+        let iter = intern(resolve_id(il.iter_sym));
+        let iter_must_be_disjoint =
+            il.summary.accesses.iter().any(|a| a.kind.is_reduce() && a.is_centered());
         let mut accesses = Vec::with_capacity(il.access_syms.len());
         for a in &il.summary.accesses {
-            let expr = resolve_expr(il.access_syms[a.id.0 as usize]);
-            let part = intern(expr.clone());
+            let expr = resolve_id(il.access_syms[a.id.0 as usize]);
+            let part = intern(expr);
             let reduce = if a.kind.is_reduce() && !a.is_centered() {
                 let guarded = relax[li].guarded.contains(&a.id);
                 let user_private = hints
                     .private_subs
                     .iter()
                     .find(|(r, _)| *r == a.region)
-                    .map(|(_, e)| e);
-                let mode = choose_reduce_mode(&expr, guarded, &ctx, user_private, opts.private_subs);
+                    .map(|(_, e)| system.intern(e));
+                let mode = choose_reduce_mode(expr, guarded, &ctx, user_private, opts.private_subs);
                 Some(match mode {
                     ReduceMode::Direct => PlannedReduce::Direct,
                     ReduceMode::Guarded => PlannedReduce::Guarded,
@@ -383,23 +423,24 @@ pub fn auto_parallelize(
             accesses,
         });
     }
-    sp.close_with(vec![
-        ("partitions", exprs.len().into()),
-        ("loops", plan_loops.len().into()),
-    ]);
+    sp.close_with(vec![("partitions", plan_ids.len().into()), ("loops", plan_loops.len().into())]);
+    let (interned, dedup_hits) = system.arena.counters();
+    if partir_obs::metrics_enabled() {
+        partir_obs::counter("expr.interned", interned);
+        partir_obs::counter("expr.dedup_hit", dedup_hits);
+    }
     let rewrite_time = t2.elapsed();
 
+    let partition_exprs: Vec<PExpr> =
+        plan_ids.iter().map(|&id| system.arena.to_pexpr(id)).collect();
     Ok(ParallelPlan {
-        partition_exprs: exprs,
+        partition_ids: plan_ids,
+        partition_exprs,
         loops: plan_loops,
         system,
         solution,
         unified,
-        timings: Timings {
-            inference: inference_time,
-            solver: solver_time,
-            rewrite: rewrite_time,
-        },
+        timings: Timings { inference: inference_time, solver: solver_time, rewrite: rewrite_time },
     })
 }
 
@@ -409,10 +450,14 @@ fn install_hints(system: &mut System, hints: &Hints) {
         system.add_external(name.clone(), *region);
     }
     for (lhs, rhs) in &hints.subset_facts {
-        system.assume_fact_subset(lhs.clone(), rhs.clone());
+        system.assume_fact_subset(lhs, rhs);
     }
     for p in &hints.pred_facts {
-        system.assume_fact_pred(p.clone());
+        let interned = match p {
+            PredFact::Disj(e) => Pred::Disj(system.intern(e)),
+            PredFact::Comp(e, r) => Pred::Comp(system.intern(e), *r),
+        };
+        system.assume_fact_pred(interned);
     }
 }
 

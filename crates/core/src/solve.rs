@@ -24,18 +24,31 @@
 //! subset constraints elsewhere) always exists; unification can introduce
 //! recursive constraints, in which case the solver correctly reports
 //! unsatisfiability and the unification attempt is rolled back.
+//!
+//! All search state lives on interned [`ExprId`]s: substitution is a
+//! cache-keyed rewrite over ids (backtracking revisits the same
+//! `(expression, binding-signature)` pairs, so prior work is reused
+//! instead of rebuilding trees), tautology pruning is an O(1) id
+//! comparison, and one lemma-memoizing [`FactCtx`] serves every base-case
+//! check of a solve.
 
-use crate::lang::{PExpr, PSym, Pred, Subset, System};
+use crate::lang::{Expr, ExprId, PExpr, PSym, Pred, Subset, System};
 use crate::lemmas::{entails_subset, prove_pred, FactCtx};
 use partir_dpl::func::FnTable;
+use std::collections::hash_map::DefaultHasher;
 use std::collections::{BTreeSet, HashMap};
+use std::hash::{Hash, Hasher};
 use std::time::{Duration, Instant};
 
 /// A complete assignment of closed expressions to partition symbols.
 #[derive(Clone, Debug)]
 pub struct Solution {
-    /// Fully-inlined closed expression per symbol.
+    /// Fully-inlined closed expression per symbol (materialized from
+    /// `binding_ids` for display and API compatibility).
     pub bindings: Vec<PExpr>,
+    /// Interned id per symbol binding; two symbols alias the same
+    /// partition iff their ids are equal (canonical-form CSE).
+    pub binding_ids: Vec<ExprId>,
     /// Which candidate rule produced each binding (indexed like `bindings`);
     /// the solver's explanation trace.
     pub provenance: Vec<BindRule>,
@@ -118,6 +131,10 @@ pub struct SolveStats {
     /// Lemma-engine rule firings (L1–L14 prover steps) across all base-case
     /// entailment checks.
     pub lemma_applications: u64,
+    /// Lemma judgments answered from the per-solve memo table.
+    pub lemma_memo_hits: u64,
+    /// Substitutions answered from the id-keyed cache (`subst.cache_hit`).
+    pub subst_cache_hits: u64,
     /// Set when a [`SolveBudget`] dimension ran out and the search was
     /// abandoned for the trivial solution.
     pub exhausted: Option<BudgetExhausted>,
@@ -131,6 +148,8 @@ impl SolveStats {
         self.candidates_tried += other.candidates_tried;
         self.backtracks += other.backtracks;
         self.lemma_applications += other.lemma_applications;
+        self.lemma_memo_hits += other.lemma_memo_hits;
+        self.subst_cache_hits += other.subst_cache_hits;
         self.exhausted = self.exhausted.or(other.exhausted);
     }
 }
@@ -177,15 +196,16 @@ impl Solution {
         &self.bindings[s.0 as usize]
     }
 
-    /// Number of *distinct* partitions the solution constructs (after
-    /// common-subexpression elimination, structurally identical bindings
-    /// evaluate to the same partition).
+    /// Interned binding id for a symbol.
+    pub fn id_for(&self, s: PSym) -> ExprId {
+        self.binding_ids[s.0 as usize]
+    }
+
+    /// Number of *distinct* partitions the solution constructs: bindings
+    /// with equal ids (canonically equal expressions, not just identical
+    /// trees) evaluate to the same partition.
     pub fn num_distinct_partitions(&self) -> usize {
-        let mut seen: BTreeSet<String> = BTreeSet::new();
-        for e in &self.bindings {
-            seen.insert(format!("{e:?}"));
-        }
-        seen.len()
+        self.binding_ids.iter().collect::<BTreeSet<_>>().len()
     }
 
     /// Renders the solution as a DPL program, one statement per distinct
@@ -193,17 +213,16 @@ impl Solution {
     pub fn render(&self, system: &System, fns: &FnTable) -> String {
         use std::fmt::Write;
         let mut out = String::new();
-        let mut first_with: HashMap<String, PSym> = HashMap::new();
-        for (i, e) in self.bindings.iter().enumerate() {
+        let mut first_with: HashMap<ExprId, PSym> = HashMap::new();
+        for (i, &id) in self.binding_ids.iter().enumerate() {
             let sym = PSym(i as u32);
-            let key = format!("{e:?}");
-            match first_with.get(&key) {
+            match first_with.get(&id) {
                 Some(prev) => {
                     let _ = writeln!(out, "{sym:?} = {prev:?}");
                 }
                 None => {
-                    let _ = writeln!(out, "{sym:?} = {}", e.display(fns, &system.externals));
-                    first_with.insert(key, sym);
+                    let _ = writeln!(out, "{sym:?} = {}", system.display_expr(id, fns));
+                    first_with.insert(id, sym);
                 }
             }
         }
@@ -217,25 +236,27 @@ impl Solution {
     pub fn render_explanation(&self, system: &System, fns: &FnTable) -> String {
         use std::fmt::Write;
         let mut out = String::new();
-        for (i, e) in self.bindings.iter().enumerate() {
+        for (i, &id) in self.binding_ids.iter().enumerate() {
             let sym = PSym(i as u32);
             let rule = self.provenance.get(i).copied().unwrap_or(BindRule::EqualTrivial);
             let name = system.sym_names.get(i).map(String::as_str).unwrap_or("");
             let _ = writeln!(
                 out,
                 "{sym:?} = {}  via {}  // {}",
-                e.display(fns, &system.externals),
+                system.display_expr(id, fns),
                 rule.as_str(),
                 name
             );
         }
         let _ = writeln!(
             out,
-            "-- search: {} nodes, {} candidates, {} backtracks, {} lemma applications",
+            "-- search: {} nodes, {} candidates, {} backtracks, {} lemma applications ({} memoized), {} subst cache hits",
             self.stats.nodes_explored,
             self.stats.candidates_tried,
             self.stats.backtracks,
-            self.stats.lemma_applications
+            self.stats.lemma_applications,
+            self.stats.lemma_memo_hits,
+            self.stats.subst_cache_hits
         );
         if let Some(reason) = self.stats.exhausted {
             let _ = writeln!(
@@ -260,6 +281,77 @@ pub fn solve(system: &System, fns: &FnTable) -> Result<Solution, SolveError> {
     solve_with(system, fns, &HashMap::new(), &SolveBudget::unlimited())
 }
 
+/// Mutable search state threaded through the recursion: the partial
+/// binding per symbol plus the id-keyed substitution cache that survives
+/// backtracking (results are keyed by the binding signature they were
+/// computed under, so stale entries can never be observed).
+struct SearchState {
+    bindings: Vec<Option<ExprId>>,
+    prov: Vec<Option<BindRule>>,
+    subst_cache: HashMap<(ExprId, u64), ExprId>,
+}
+
+impl SearchState {
+    fn new(n: usize) -> Self {
+        SearchState { bindings: vec![None; n], prov: vec![None; n], subst_cache: HashMap::new() }
+    }
+
+    /// Applies current bindings to an expression (full inlining), reusing
+    /// cached rewrites from earlier nodes of the search — including
+    /// siblings explored before a backtrack.
+    fn apply(&mut self, system: &System, e: ExprId, stats: &mut SolveStats) -> ExprId {
+        let arena = &system.arena;
+        // Signature of the bindings visible to this expression: the bound
+        // subset of its free symbols. No bound symbol → identity.
+        let syms = arena.syms(e);
+        let mut hasher = DefaultHasher::new();
+        let mut any_bound = false;
+        for s in syms.iter() {
+            if let Some(b) = self.bindings[s.0 as usize] {
+                any_bound = true;
+                s.0.hash(&mut hasher);
+                b.0.hash(&mut hasher);
+            }
+        }
+        if !any_bound {
+            return e;
+        }
+        let sig = hasher.finish();
+        if let Some(&cached) = self.subst_cache.get(&(e, sig)) {
+            stats.subst_cache_hits += 1;
+            return cached;
+        }
+        let result = match arena.node(e) {
+            Expr::Sym(s) => self.bindings[s.0 as usize].unwrap_or(e),
+            Expr::Ext(_) | Expr::Equal(_) | Expr::Empty(_) => e,
+            Expr::Image { src, f, target } => {
+                let s = self.apply(system, src, stats);
+                arena.image(s, f, target)
+            }
+            Expr::Preimage { domain, f, src } => {
+                let s = self.apply(system, src, stats);
+                arena.preimage(domain, f, s)
+            }
+            Expr::Union(cs) => {
+                let cs: Vec<ExprId> =
+                    cs.into_iter().map(|c| self.apply(system, c, stats)).collect();
+                arena.union(cs)
+            }
+            Expr::Intersect(cs) => {
+                let cs: Vec<ExprId> =
+                    cs.into_iter().map(|c| self.apply(system, c, stats)).collect();
+                arena.intersect(cs)
+            }
+            Expr::Difference(a, b) => {
+                let (a, b) = (self.apply(system, a, stats), self.apply(system, b, stats));
+                arena.difference(a, b)
+            }
+        };
+        self.subst_cache.insert((e, sig), result);
+        result
+    }
+}
+
 /// Like [`solve`] but with some symbols pre-bound (`forced`, values must be
 /// closed — from unification: merged symbols bound to their representative,
 /// hints bound to externals) and a search budget.
@@ -275,20 +367,23 @@ pub fn solve_with(
 ) -> Result<Solution, SolveError> {
     let start = Instant::now();
     let n = system.num_syms();
-    let mut bindings: Vec<Option<PExpr>> = vec![None; n];
-    let mut prov: Vec<Option<BindRule>> = vec![None; n];
+    let mut state = SearchState::new(n);
     for (s, e) in forced {
         debug_assert!(e.is_closed(), "forced binding for {s:?} must be closed");
-        bindings[s.0 as usize] = Some(e.clone());
-        prov[s.0 as usize] = Some(BindRule::Forced);
+        state.bindings[s.0 as usize] = Some(system.arena.intern(e));
+        state.prov[s.0 as usize] = Some(BindRule::Forced);
     }
     let mut stats = SolveStats::default();
-    if solve_rec(system, fns, &mut bindings, &mut prov, &mut stats, budget, start) {
-        let bindings: Vec<PExpr> = bindings.into_iter().map(Option::unwrap).collect();
-        let provenance = prov
-            .into_iter()
-            .map(|r| r.unwrap_or(BindRule::EqualTrivial))
-            .collect();
+    let ctx = FactCtx::new(system, fns);
+    let solved = solve_rec(system, fns, &mut state, &ctx, &mut stats, budget, start);
+    stats.lemma_applications += ctx.lemma_applications();
+    stats.lemma_memo_hits += ctx.memo_hits();
+    if solved {
+        let binding_ids: Vec<ExprId> = state.bindings.into_iter().map(Option::unwrap).collect();
+        let bindings: Vec<PExpr> =
+            binding_ids.iter().map(|&id| system.arena.to_pexpr(id)).collect();
+        let provenance =
+            state.prov.into_iter().map(|r| r.unwrap_or(BindRule::EqualTrivial)).collect();
         if partir_obs::trace_enabled() {
             partir_obs::instant(
                 "solve.done",
@@ -297,6 +392,8 @@ pub fn solve_with(
                     ("candidates", stats.candidates_tried.into()),
                     ("backtracks", stats.backtracks.into()),
                     ("lemma_applications", stats.lemma_applications.into()),
+                    ("lemma_memo_hits", stats.lemma_memo_hits.into()),
+                    ("subst_cache_hits", stats.subst_cache_hits.into()),
                 ],
             );
         }
@@ -304,8 +401,9 @@ pub fn solve_with(
             partir_obs::counter("solve.nodes_explored", stats.nodes_explored);
             partir_obs::counter("solve.backtracks", stats.backtracks);
             partir_obs::counter("solve.lemma_applications", stats.lemma_applications);
+            partir_obs::counter("subst.cache_hit", stats.subst_cache_hits);
         }
-        Ok(Solution { bindings, provenance, stats, degraded: false })
+        Ok(Solution { bindings, binding_ids, provenance, stats, degraded: false })
     } else if let Some(reason) = stats.exhausted {
         if partir_obs::trace_enabled() {
             partir_obs::instant(
@@ -335,80 +433,60 @@ pub fn solve_with(
 fn trivial_solution(
     system: &System,
     forced: &HashMap<PSym, PExpr>,
-    stats: SolveStats,
+    mut stats: SolveStats,
 ) -> Solution {
+    let arena = &system.arena;
     let n = system.num_syms();
-    let mut bindings: Vec<Option<PExpr>> = vec![None; n];
+    let mut state = SearchState::new(n);
     let mut prov: Vec<BindRule> = vec![BindRule::DegradedTrivial; n];
     for (s, e) in forced {
-        bindings[s.0 as usize] = Some(e.clone());
+        state.bindings[s.0 as usize] = Some(arena.intern(e));
         prov[s.0 as usize] = BindRule::Forced;
     }
-    let mut lower: Vec<Vec<&PExpr>> = vec![Vec::new(); n];
+    let mut lower: Vec<Vec<ExprId>> = vec![Vec::new(); n];
     for sub in &system.subset_obligations {
-        if let PExpr::Sym(p) = sub.rhs {
-            lower[p.0 as usize].push(&sub.lhs);
+        if let Expr::Sym(p) = arena.node(sub.rhs) {
+            lower[p.0 as usize].push(sub.lhs);
         }
     }
     let depth = depths(system);
     let mut order: Vec<usize> = (0..n).collect();
     order.sort_by_key(|&i| (depth[i], i));
     for i in order {
-        if bindings[i].is_some() {
+        if state.bindings[i].is_some() {
             continue;
         }
-        let mut bounds: Vec<PExpr> =
-            lower[i].iter().map(|e| apply(e, &bindings)).collect();
-        let cand = if !bounds.is_empty() && bounds.iter().all(PExpr::is_closed) {
-            bounds.sort_by_key(|e| format!("{e:?}"));
-            bounds.dedup();
-            bounds.into_iter().reduce(PExpr::union)
+        let bounds: Vec<ExprId> = {
+            let raw = lower[i].clone();
+            raw.into_iter().map(|e| state.apply(system, e, &mut stats)).collect()
+        };
+        let cand = if !bounds.is_empty() && bounds.iter().all(|&b| arena.is_closed(b)) {
+            // The n-ary union constructor sorts and dedups canonically.
+            Some(arena.union(bounds))
         } else {
             None
         };
-        bindings[i] = Some(cand.unwrap_or(PExpr::Equal(system.sym_regions[i])));
+        state.bindings[i] = Some(cand.unwrap_or_else(|| arena.equal(system.sym_regions[i])));
     }
-    Solution {
-        bindings: bindings.into_iter().map(Option::unwrap).collect(),
-        provenance: prov,
-        stats,
-        degraded: true,
-    }
-}
-
-/// Applies current bindings to an expression (full inlining).
-fn apply(e: &PExpr, bindings: &[Option<PExpr>]) -> PExpr {
-    match e {
-        PExpr::Sym(s) => match &bindings[s.0 as usize] {
-            Some(b) => b.clone(),
-            None => e.clone(),
-        },
-        PExpr::Ext(_) | PExpr::Equal(_) => e.clone(),
-        PExpr::Image { src, f, target } => {
-            PExpr::Image { src: Box::new(apply(src, bindings)), f: *f, target: *target }
-        }
-        PExpr::Preimage { domain, f, src } => {
-            PExpr::Preimage { domain: *domain, f: *f, src: Box::new(apply(src, bindings)) }
-        }
-        PExpr::Union(a, b) => {
-            PExpr::Union(Box::new(apply(a, bindings)), Box::new(apply(b, bindings)))
-        }
-        PExpr::Intersect(a, b) => {
-            PExpr::Intersect(Box::new(apply(a, bindings)), Box::new(apply(b, bindings)))
-        }
-        PExpr::Difference(a, b) => {
-            PExpr::Difference(Box::new(apply(a, bindings)), Box::new(apply(b, bindings)))
-        }
-    }
+    let binding_ids: Vec<ExprId> = state.bindings.into_iter().map(Option::unwrap).collect();
+    let bindings = binding_ids.iter().map(|&id| arena.to_pexpr(id)).collect();
+    Solution { bindings, binding_ids, provenance: prov, stats, degraded: true }
 }
 
 /// Substituted view of the obligations under the current partial bindings,
-/// with tautologies removed.
-fn pending_subsets(system: &System, bindings: &[Option<PExpr>]) -> Vec<Subset> {
+/// with tautologies removed (an O(1) id comparison on canonical forms).
+fn pending_subsets(
+    system: &System,
+    state: &mut SearchState,
+    stats: &mut SolveStats,
+) -> Vec<Subset> {
     system
         .subset_obligations
         .iter()
-        .map(|s| Subset { lhs: apply(&s.lhs, bindings), rhs: apply(&s.rhs, bindings) })
+        .map(|s| Subset {
+            lhs: state.apply(system, s.lhs, stats),
+            rhs: state.apply(system, s.rhs, stats),
+        })
         .filter(|s| s.lhs != s.rhs)
         .collect()
 }
@@ -418,13 +496,12 @@ fn pending_subsets(system: &System, bindings: &[Option<PExpr>]) -> Vec<Subset> {
 /// depth reached when first revisited).
 fn depths(system: &System) -> Vec<u32> {
     // Build edges sym -> sym from subset obligations.
+    let arena = &system.arena;
     let n = system.num_syms();
     let mut preds_of: Vec<Vec<u32>> = vec![Vec::new(); n];
     for s in &system.subset_obligations {
-        if let PExpr::Sym(dst) = s.rhs {
-            let mut srcs = BTreeSet::new();
-            s.lhs.syms(&mut srcs);
-            for src in srcs {
+        if let Expr::Sym(dst) = arena.node(s.rhs) {
+            for &src in arena.syms(s.lhs).iter() {
                 if src != dst {
                     preds_of[dst.0 as usize].push(src.0);
                 }
@@ -457,8 +534,8 @@ fn depths(system: &System) -> Vec<u32> {
 fn solve_rec(
     system: &System,
     fns: &FnTable,
-    bindings: &mut Vec<Option<PExpr>>,
-    prov: &mut Vec<Option<BindRule>>,
+    state: &mut SearchState,
+    ctx: &FactCtx,
     stats: &mut SolveStats,
     budget: &SolveBudget,
     start: Instant,
@@ -471,7 +548,8 @@ fn solve_rec(
         return false;
     }
     stats.nodes_explored += 1;
-    let subs = pending_subsets(system, bindings);
+    let arena = &system.arena;
+    let subs = pending_subsets(system, state, stats);
 
     let is_single = |f: crate::lang::FnRef| match f {
         crate::lang::FnRef::Identity => true,
@@ -481,22 +559,22 @@ fn solve_rec(
     // Rule 1: image(P, f, R) ⊆ E with closed E → P = preimage(R', f, E).
     let mut tried_any = false;
     for sub in &subs {
-        if !sub.rhs.is_closed() {
+        if !arena.is_closed(sub.rhs) {
             continue;
         }
-        if let PExpr::Image { src, f, .. } = &sub.lhs {
-            if let PExpr::Sym(p) = **src {
-                if bindings[p.0 as usize].is_none() && is_single(*f) {
+        if let Expr::Image { src, f, .. } = arena.node(sub.lhs) {
+            if let Expr::Sym(p) = arena.node(src) {
+                if state.bindings[p.0 as usize].is_none() && is_single(f) {
                     tried_any = true;
                     stats.candidates_tried += 1;
                     let domain = system.sym_region(p);
-                    let cand = PExpr::preimage(domain, *f, sub.rhs.clone());
-                    bindings[p.0 as usize] = Some(cand);
-                    prov[p.0 as usize] = Some(BindRule::Preimage);
-                    if solve_rec(system, fns, bindings, prov, stats, budget, start) {
+                    let cand = arena.preimage(domain, f, sub.rhs);
+                    state.bindings[p.0 as usize] = Some(cand);
+                    state.prov[p.0 as usize] = Some(BindRule::Preimage);
+                    if solve_rec(system, fns, state, ctx, stats, budget, start) {
                         return true;
                     }
-                    bindings[p.0 as usize] = None;
+                    state.bindings[p.0 as usize] = None;
                     if stats.exhausted.is_some() {
                         return false;
                     }
@@ -507,37 +585,33 @@ fn solve_rec(
     }
 
     // Rule 2: P whose lower bounds are all closed → union of the bounds.
-    let mut lower: HashMap<PSym, (Vec<PExpr>, bool)> = HashMap::new();
+    let mut lower: HashMap<PSym, (Vec<ExprId>, bool)> = HashMap::new();
     for sub in &subs {
-        if let PExpr::Sym(p) = sub.rhs {
-            if bindings[p.0 as usize].is_none() {
+        if let Expr::Sym(p) = arena.node(sub.rhs) {
+            if state.bindings[p.0 as usize].is_none() {
                 let entry = lower.entry(p).or_insert_with(|| (Vec::new(), true));
-                entry.1 &= sub.lhs.is_closed();
-                entry.0.push(sub.lhs.clone());
+                entry.1 &= arena.is_closed(sub.lhs);
+                entry.0.push(sub.lhs);
             }
         }
     }
-    let mut ready: Vec<(PSym, Vec<PExpr>)> = lower
+    let mut ready: Vec<(PSym, Vec<ExprId>)> = lower
         .into_iter()
         .filter(|(_, (_, all_closed))| *all_closed)
         .map(|(p, (bounds, _))| (p, bounds))
         .collect();
     ready.sort_by_key(|(p, _)| *p);
-    for (p, mut bounds) in ready {
+    for (p, bounds) in ready {
         tried_any = true;
         stats.candidates_tried += 1;
-        bounds.sort_by_key(|e| format!("{e:?}"));
-        bounds.dedup();
-        let cand = bounds
-            .into_iter()
-            .reduce(PExpr::union)
-            .expect("at least one bound");
-        bindings[p.0 as usize] = Some(cand);
-        prov[p.0 as usize] = Some(BindRule::UnionOfBounds);
-        if solve_rec(system, fns, bindings, prov, stats, budget, start) {
+        // n-ary union canonicalizes (sorts, dedups) the bounds.
+        let cand = arena.union(bounds);
+        state.bindings[p.0 as usize] = Some(cand);
+        state.prov[p.0 as usize] = Some(BindRule::UnionOfBounds);
+        if solve_rec(system, fns, state, ctx, stats, budget, start) {
             return true;
         }
-        bindings[p.0 as usize] = None;
+        state.bindings[p.0 as usize] = None;
         if stats.exhausted.is_some() {
             return false;
         }
@@ -550,9 +624,19 @@ fn solve_rec(
     let mut comp_syms: Vec<PSym> = Vec::new();
     for pred in &system.pred_obligations {
         match pred {
-            Pred::Disj(PExpr::Sym(p)) if bindings[p.0 as usize].is_none() => disj_syms.push(*p),
-            Pred::Comp(PExpr::Sym(p), _) if bindings[p.0 as usize].is_none() => {
-                comp_syms.push(*p)
+            Pred::Disj(e) => {
+                if let Expr::Sym(p) = arena.node(*e) {
+                    if state.bindings[p.0 as usize].is_none() {
+                        disj_syms.push(p);
+                    }
+                }
+            }
+            Pred::Comp(e, _) => {
+                if let Expr::Sym(p) = arena.node(*e) {
+                    if state.bindings[p.0 as usize].is_none() {
+                        comp_syms.push(p);
+                    }
+                }
             }
             _ => {}
         }
@@ -566,17 +650,17 @@ fn solve_rec(
         .map(|p| (p, BindRule::EqualDisj))
         .chain(comp_syms.into_iter().map(|p| (p, BindRule::EqualComp)));
     for (p, rule) in tagged {
-        if bindings[p.0 as usize].is_some() {
+        if state.bindings[p.0 as usize].is_some() {
             continue;
         }
         tried_any = true;
         stats.candidates_tried += 1;
-        bindings[p.0 as usize] = Some(PExpr::Equal(system.sym_region(p)));
-        prov[p.0 as usize] = Some(rule);
-        if solve_rec(system, fns, bindings, prov, stats, budget, start) {
+        state.bindings[p.0 as usize] = Some(arena.equal(system.sym_region(p)));
+        state.prov[p.0 as usize] = Some(rule);
+        if solve_rec(system, fns, state, ctx, stats, budget, start) {
             return true;
         }
-        bindings[p.0 as usize] = None;
+        state.bindings[p.0 as usize] = None;
         if stats.exhausted.is_some() {
             return false;
         }
@@ -588,50 +672,57 @@ fn solve_rec(
     if tried_any {
         return false;
     }
-    if bindings.iter().any(Option::is_none) {
+    if state.bindings.iter().any(Option::is_none) {
         // Unconstrained symbols (no bounds, no predicates) — complete them
         // with the trivial equal partition of their region and re-check.
-        let mut progressed = false;
-        for i in 0..bindings.len() {
-            if bindings[i].is_none() {
-                bindings[i] = Some(PExpr::Equal(system.sym_regions[i]));
-                prov[i] = Some(BindRule::EqualTrivial);
-                progressed = true;
+        let mut set_here: Vec<usize> = Vec::new();
+        for i in 0..state.bindings.len() {
+            if state.bindings[i].is_none() {
+                state.bindings[i] = Some(arena.equal(system.sym_regions[i]));
+                state.prov[i] = Some(BindRule::EqualTrivial);
+                set_here.push(i);
             }
         }
-        if progressed {
+        if !set_here.is_empty() {
             stats.candidates_tried += 1;
-            if solve_rec(system, fns, bindings, prov, stats, budget, start) {
+            if solve_rec(system, fns, state, ctx, stats, budget, start) {
                 return true;
             }
             // Roll back (only the ones we set — all previously-None).
+            for i in set_here {
+                state.bindings[i] = None;
+            }
             if stats.exhausted.is_none() {
                 stats.backtracks += 1;
             }
             return false;
         }
     }
-    let ctx = FactCtx::new(system, fns);
-    let verified = 'check: {
-        for sub in &subs {
-            if !entails_subset(&sub.lhs, &sub.rhs, &ctx) {
-                break 'check false;
-            }
+    for sub in &subs {
+        if !entails_subset(sub.lhs, sub.rhs, ctx) {
+            return false;
         }
-        for pred in &system.pred_obligations {
-            let applied = match pred {
-                Pred::Part(e, r) => Pred::Part(apply(e, bindings), *r),
-                Pred::Disj(e) => Pred::Disj(apply(e, bindings)),
-                Pred::Comp(e, r) => Pred::Comp(apply(e, bindings), *r),
-            };
-            if !prove_pred(&applied, &ctx) {
-                break 'check false;
+    }
+    for pred in &system.pred_obligations {
+        let holds = match pred {
+            Pred::Part(e, r) => {
+                let e = state.apply(system, *e, stats);
+                prove_pred(&Pred::Part(e, *r), ctx)
             }
+            Pred::Disj(e) => {
+                let e = state.apply(system, *e, stats);
+                prove_pred(&Pred::Disj(e), ctx)
+            }
+            Pred::Comp(e, r) => {
+                let e = state.apply(system, *e, stats);
+                prove_pred(&Pred::Comp(e, *r), ctx)
+            }
+        };
+        if !holds {
+            return false;
         }
-        true
-    };
-    stats.lemma_applications += ctx.lemma_applications();
-    verified
+    }
+    true
 }
 
 #[cfg(test)]
@@ -672,6 +763,7 @@ mod tests {
         assert_eq!(sol.expr_for(p3), &PExpr::Equal(r));
         // After CSE, P3 = P1: 2 distinct partitions.
         assert_eq!(sol.num_distinct_partitions(), 2);
+        assert_eq!(sol.id_for(p1), sol.id_for(p3));
     }
 
     /// Example 3: adding DISJ(P2) flips the solution to
@@ -689,10 +781,7 @@ mod tests {
         sys.require_subset(PExpr::sym(p1), PExpr::sym(p3));
         let sol = solve(&sys, &fns).expect("solvable");
         assert_eq!(sol.expr_for(p2), &PExpr::Equal(s));
-        assert_eq!(
-            sol.expr_for(p1),
-            &PExpr::preimage(r, g(), PExpr::Equal(s))
-        );
+        assert_eq!(sol.expr_for(p1), &PExpr::preimage(r, g(), PExpr::Equal(s)));
         assert_eq!(sol.expr_for(p3), sol.expr_for(p1));
     }
 
@@ -708,12 +797,8 @@ mod tests {
         let particles = schema.add_region("Particles", 10);
         let cells = schema.add_region("Cells", 10);
         let mut fns = FnTable::new();
-        let f1 = FnRef::Fn(fns.add_ptr_field(
-            "cell",
-            particles,
-            cells,
-            partir_dpl::region::FieldId(0),
-        ));
+        let f1 =
+            FnRef::Fn(fns.add_ptr_field("cell", particles, cells, partir_dpl::region::FieldId(0)));
         let h = FnRef::Fn(fns.add_affine("h", cells, cells, 1, 1));
         let mut sys = System::new();
         let p1 = sys.fresh_sym(particles, "p1");
@@ -788,11 +873,9 @@ mod tests {
         let g2 = FnRef::Fn(fns2.add_affine("g2", r, r, 1, 1));
         let rs_p = sys.add_external("rs_p", r);
         let p1 = sys.fresh_sym(r, "p1");
-        sys.assume_fact_subset(
-            PExpr::image(PExpr::ext(rs_p), g2, r),
-            PExpr::ext(rs_p),
-        );
-        sys.assume_fact_pred(Pred::Comp(PExpr::ext(rs_p), r));
+        sys.assume_fact_subset(PExpr::image(PExpr::ext(rs_p), g2, r), PExpr::ext(rs_p));
+        let ext_id = sys.intern(PExpr::ext(rs_p));
+        sys.assume_fact_pred(Pred::Comp(ext_id, r));
         sys.require_comp(PExpr::sym(p1), r);
         sys.require_subset(PExpr::image(PExpr::sym(p1), g2, r), PExpr::sym(p1));
         let mut forced = HashMap::new();
@@ -824,10 +907,7 @@ mod tests {
         assert_eq!(sol.stats.exhausted, Some(BudgetExhausted::Backtracks));
         assert_eq!(sol.expr_for(p1), &PExpr::Equal(r));
         assert!(sol.bindings.iter().all(PExpr::is_closed));
-        assert!(sol
-            .provenance
-            .iter()
-            .all(|b| matches!(b, BindRule::DegradedTrivial)));
+        assert!(sol.provenance.iter().all(|b| matches!(b, BindRule::DegradedTrivial)));
         // The same system under a budget it fits in solves non-degraded.
         let roomy = SolveBudget { max_backtracks: Some(64), ..SolveBudget::default() };
         let sol = solve_with(&sys, &fns, &HashMap::new(), &roomy).unwrap();
@@ -862,8 +942,7 @@ mod tests {
         let (mut sys, fns, r, _) = setup();
         let p = sys.fresh_sym(r, "p");
         sys.require_comp(PExpr::sym(p), r);
-        let budget =
-            SolveBudget { deadline: Some(Duration::ZERO), ..SolveBudget::default() };
+        let budget = SolveBudget { deadline: Some(Duration::ZERO), ..SolveBudget::default() };
         let sol = solve_with(&sys, &fns, &HashMap::new(), &budget).expect("total");
         assert!(sol.degraded);
         assert_eq!(sol.stats.exhausted, Some(BudgetExhausted::Deadline));
@@ -935,5 +1014,25 @@ mod tests {
         assert!(text.contains("P0 = equal(r0)"), "{text}");
         assert!(text.contains("P1 = image(equal(r0), g, r1)"), "{text}");
         assert!(text.contains("P2 = P0"), "{text}");
+    }
+
+    /// Backtracking revisits identical (expression, binding) pairs; the
+    /// substitution cache must serve them without re-deriving.
+    #[test]
+    fn subst_cache_hits_during_search() {
+        let (mut sys, fns, r, s) = setup();
+        let p1 = sys.fresh_sym(r, "p1");
+        let p2 = sys.fresh_sym(s, "p2");
+        let p3 = sys.fresh_sym(r, "p3");
+        sys.require_comp(PExpr::sym(p1), r);
+        sys.require_disj(PExpr::sym(p1));
+        sys.require_subset(PExpr::image(PExpr::sym(p1), g(), s), PExpr::sym(p2));
+        sys.require_subset(PExpr::sym(p1), PExpr::sym(p3));
+        let sol = solve(&sys, &fns).unwrap();
+        assert!(
+            sol.stats.subst_cache_hits > 0,
+            "repeated pending-subset views must hit the cache: {:?}",
+            sol.stats
+        );
     }
 }

@@ -18,13 +18,18 @@
 //!    constraints (Section 3.3) participate as a constraint graph whose
 //!    nodes are fixed: unifying a symbol with an external discharges the
 //!    matched obligations against the user's invariant.
+//!
+//! All graph construction and system rewriting works on interned
+//! [`ExprId`]s: node identity, tautology pruning, and fact discharge are
+//! O(1) id comparisons on canonical forms, and obligation dedup uses hash
+//! sets of id-carrying [`Pred`]/[`Subset`] values.
 
 use crate::infer::Inference;
-use crate::lang::{ExtId, FnRef, PExpr, PSym, Pred, Subset, System};
+use crate::lang::{Expr, ExprId, ExtId, FnRef, PExpr, PSym, Pred, Subset, System};
 use crate::solve::{solve_with, SolveBudget, SolveStats};
 use partir_dpl::func::FnTable;
 use partir_dpl::region::RegionId;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, HashSet};
 
 /// What a symbol resolved to after unification.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -129,29 +134,35 @@ impl Uf {
         }
     }
 
-    /// Resolves an expression's symbol leaves to representatives.
-    fn rewrite(&self, e: &PExpr) -> PExpr {
-        match e {
-            PExpr::Sym(s) => match self.find(*s) {
-                Rep::Sym(t) => PExpr::sym(t),
-                Rep::Ext(x) => PExpr::ext(x),
+    /// Resolves an expression's symbol leaves to representatives,
+    /// re-interning the result. Expressions without free symbols are
+    /// returned as-is (O(1): the arena's free-symbol table is precomputed).
+    fn rewrite(&self, system: &System, e: ExprId) -> ExprId {
+        let arena = &system.arena;
+        if arena.syms(e).is_empty() {
+            return e;
+        }
+        match arena.node(e) {
+            Expr::Sym(s) => match self.find(s) {
+                Rep::Sym(t) => arena.sym(t),
+                Rep::Ext(x) => arena.ext(x),
                 Rep::SelfSym => unreachable!(),
             },
-            PExpr::Ext(_) | PExpr::Equal(_) => e.clone(),
-            PExpr::Image { src, f, target } => {
-                PExpr::Image { src: Box::new(self.rewrite(src)), f: *f, target: *target }
+            Expr::Ext(_) | Expr::Equal(_) | Expr::Empty(_) => e,
+            Expr::Image { src, f, target } => arena.image(self.rewrite(system, src), f, target),
+            Expr::Preimage { domain, f, src } => {
+                arena.preimage(domain, f, self.rewrite(system, src))
             }
-            PExpr::Preimage { domain, f, src } => {
-                PExpr::Preimage { domain: *domain, f: *f, src: Box::new(self.rewrite(src)) }
+            Expr::Union(cs) => {
+                let cs: Vec<ExprId> = cs.into_iter().map(|c| self.rewrite(system, c)).collect();
+                arena.union(cs)
             }
-            PExpr::Union(a, b) => {
-                PExpr::Union(Box::new(self.rewrite(a)), Box::new(self.rewrite(b)))
+            Expr::Intersect(cs) => {
+                let cs: Vec<ExprId> = cs.into_iter().map(|c| self.rewrite(system, c)).collect();
+                arena.intersect(cs)
             }
-            PExpr::Intersect(a, b) => {
-                PExpr::Intersect(Box::new(self.rewrite(a)), Box::new(self.rewrite(b)))
-            }
-            PExpr::Difference(a, b) => {
-                PExpr::Difference(Box::new(self.rewrite(a)), Box::new(self.rewrite(b)))
+            Expr::Difference(a, b) => {
+                arena.difference(self.rewrite(system, a), self.rewrite(system, b))
             }
         }
     }
@@ -193,42 +204,43 @@ impl CGraph {
 
 /// Builds the constraint graph of a set of subset constraints, rewritten
 /// through the union-find.
-fn build_graph(subsets: &[&Subset], system: &System, uf: &Uf) -> CGraph {
+fn build_graph(subsets: &[Subset], system: &System, uf: &Uf) -> CGraph {
+    let arena = &system.arena;
     let mut g = CGraph::default();
     for s in subsets {
-        let lhs = uf.rewrite(&s.lhs);
-        let rhs = uf.rewrite(&s.rhs);
-        let dst = match &rhs {
-            PExpr::Sym(p) => GNode::Sym(*p),
-            PExpr::Ext(x) => GNode::Ext(*x),
+        let lhs = uf.rewrite(system, s.lhs);
+        let rhs = uf.rewrite(system, s.rhs);
+        let dst = match arena.node(rhs) {
+            Expr::Sym(p) => GNode::Sym(p),
+            Expr::Ext(x) => GNode::Ext(x),
             _ => continue,
         };
-        let dst_region = match system.expr_region(&rhs) {
+        let dst_region = match system.expr_region(rhs) {
             Some(r) => r,
             None => continue,
         };
-        match &lhs {
-            PExpr::Sym(p) => {
-                let r = system.sym_region(*p);
-                let si = g.node_index(GNode::Sym(*p), r);
+        match arena.node(lhs) {
+            Expr::Sym(p) => {
+                let r = system.sym_region(p);
+                let si = g.node_index(GNode::Sym(p), r);
                 let di = g.node_index(dst, dst_region);
                 g.edges.push((si, di, None));
             }
-            PExpr::Ext(x) => {
-                let r = system.ext_region(*x);
-                let si = g.node_index(GNode::Ext(*x), r);
+            Expr::Ext(x) => {
+                let r = system.ext_region(x);
+                let si = g.node_index(GNode::Ext(x), r);
                 let di = g.node_index(dst, dst_region);
                 g.edges.push((si, di, None));
             }
-            PExpr::Image { src, f, .. } => {
-                let (src_node, src_region) = match &**src {
-                    PExpr::Sym(p) => (GNode::Sym(*p), system.sym_region(*p)),
-                    PExpr::Ext(x) => (GNode::Ext(*x), system.ext_region(*x)),
+            Expr::Image { src, f, .. } => {
+                let (src_node, src_region) = match arena.node(src) {
+                    Expr::Sym(p) => (GNode::Sym(p), system.sym_region(p)),
+                    Expr::Ext(x) => (GNode::Ext(x), system.ext_region(x)),
                     _ => continue,
                 };
                 let si = g.node_index(src_node, src_region);
                 let di = g.node_index(dst, dst_region);
-                g.edges.push((si, di, Some(*f)));
+                g.edges.push((si, di, Some(f)));
             }
             _ => continue,
         }
@@ -324,26 +336,26 @@ fn candidate_matches(a: &CGraph, b: &CGraph) -> Vec<Match> {
 }
 
 /// Produces the rewritten system under a union-find, deduplicating
-/// obligations and dropping tautologies.
+/// obligations and dropping tautologies (both O(1) id comparisons on
+/// canonical forms).
 fn rewrite_system(system: &System, uf: &Uf) -> System {
     let mut out = system.clone();
     out.pred_obligations.clear();
     out.subset_obligations.clear();
-    let mut seen_preds: Vec<Pred> = Vec::new();
+    let mut seen_preds: HashSet<Pred> = HashSet::new();
     for p in &system.pred_obligations {
         let q = match p {
-            Pred::Part(e, r) => Pred::Part(uf.rewrite(e), *r),
-            Pred::Disj(e) => Pred::Disj(uf.rewrite(e)),
-            Pred::Comp(e, r) => Pred::Comp(uf.rewrite(e), *r),
+            Pred::Part(e, r) => Pred::Part(uf.rewrite(system, *e), *r),
+            Pred::Disj(e) => Pred::Disj(uf.rewrite(system, *e)),
+            Pred::Comp(e, r) => Pred::Comp(uf.rewrite(system, *e), *r),
         };
-        if !seen_preds.contains(&q) {
-            seen_preds.push(q.clone());
+        if seen_preds.insert(q) {
             out.pred_obligations.push(q);
         }
     }
-    let mut seen_subs: Vec<Subset> = Vec::new();
+    let mut seen_subs: HashSet<Subset> = HashSet::new();
     for s in &system.subset_obligations {
-        let q = Subset { lhs: uf.rewrite(&s.lhs), rhs: uf.rewrite(&s.rhs) };
+        let q = Subset { lhs: uf.rewrite(system, s.lhs), rhs: uf.rewrite(system, s.rhs) };
         if q.lhs == q.rhs {
             continue;
         }
@@ -352,8 +364,7 @@ fn rewrite_system(system: &System, uf: &Uf) -> System {
         if system.subset_facts.iter().any(|f| f.lhs == q.lhs && f.rhs == q.rhs) {
             continue;
         }
-        if !seen_subs.contains(&q) {
-            seen_subs.push(q.clone());
+        if seen_subs.insert(q) {
             out.subset_obligations.push(q);
         }
     }
@@ -394,6 +405,7 @@ fn node_desc(n: GNode, system: &System) -> String {
 /// Runs both unification stages over an inference result.
 pub fn unify(inference: &Inference, fns: &FnTable) -> Unified {
     let system = &inference.system;
+    let arena = system.arena.clone();
     let n = system.num_syms();
     let mut uf = Uf::new(n);
     let mut check_stats = SolveStats::default();
@@ -402,19 +414,19 @@ pub fn unify(inference: &Inference, fns: &FnTable) -> Unified {
 
     // ---- Stage 1: chain collapse (Example 4). ----
     // Count lower bounds per symbol.
-    let mut bounds: HashMap<PSym, Vec<&PExpr>> = HashMap::new();
+    let mut bounds: HashMap<PSym, Vec<ExprId>> = HashMap::new();
     for s in &system.subset_obligations {
-        if let PExpr::Sym(p) = s.rhs {
-            bounds.entry(p).or_default().push(&s.lhs);
+        if let Expr::Sym(p) = arena.node(s.rhs) {
+            bounds.entry(p).or_default().push(s.lhs);
         }
     }
     // Merge symbols whose single lower bound is a plain symbol of the same
     // region. Iterate to fixpoint (chains collapse transitively via find()).
     for (p, bs) in &bounds {
         if bs.len() == 1 {
-            if let PExpr::Sym(base) = bs[0] {
-                if system.sym_region(*base) == system.sym_region(*p) {
-                    let rep = uf.find(*base);
+            if let Expr::Sym(base) = arena.node(bs[0]) {
+                if system.sym_region(base) == system.sym_region(*p) {
+                    let rep = uf.find(base);
                     // Avoid self-merge cycles.
                     if rep != Rep::Sym(*p) {
                         uf.union(rep, *p);
@@ -424,10 +436,8 @@ pub fn unify(inference: &Inference, fns: &FnTable) -> Unified {
                             Rep::Ext(x) => node_desc(GNode::Ext(x), system),
                             Rep::SelfSym => unreachable!(),
                         };
-                        merge_log.push(MergeEntry {
-                            stage: "chain",
-                            detail: format!("{p:?} -> {dst}"),
-                        });
+                        merge_log
+                            .push(MergeEntry { stage: "chain", detail: format!("{p:?} -> {dst}") });
                     }
                 }
             }
@@ -436,16 +446,15 @@ pub fn unify(inference: &Inference, fns: &FnTable) -> Unified {
 
     // ---- Stage 2: Algorithm 3 (inter-loop + external unification). ----
     // Per-loop constraint sets, sorted by size descending.
-    let mut groups: Vec<Vec<&Subset>> = inference
+    let mut groups: Vec<Vec<Subset>> = inference
         .loops
         .iter()
-        .map(|l| l.span.subsets.iter().map(|&i| &system.subset_obligations[i]).collect())
+        .map(|l| l.span.subsets.iter().map(|&i| system.subset_obligations[i]).collect())
         .collect();
-    groups.sort_by_key(|g: &Vec<&Subset>| std::cmp::Reverse(g.len()));
+    groups.sort_by_key(|g: &Vec<Subset>| std::cmp::Reverse(g.len()));
 
     // Accumulated constraint set starts with the external facts.
-    let fact_refs: Vec<&Subset> = system.subset_facts.iter().collect();
-    let mut acc: Vec<&Subset> = fact_refs;
+    let mut acc: Vec<Subset> = system.subset_facts.clone();
     if let Some(first) = groups.first() {
         acc.extend(first.iter().copied());
     }
@@ -523,8 +532,7 @@ pub fn unify(inference: &Inference, fns: &FnTable) -> Unified {
     // only one group.
     if groups.len() == 1 && !system.subset_facts.is_empty() {
         loop {
-            let facts: Vec<&Subset> = system.subset_facts.iter().collect();
-            let ga = build_graph(&facts, system, &uf);
+            let ga = build_graph(&system.subset_facts, system, &uf);
             let gb = build_graph(&groups[0], system, &uf);
             ustats.max_graph_nodes = ustats.max_graph_nodes.max(ga.nodes.len() as u64);
             ustats.max_graph_edges = ustats.max_graph_edges.max(ga.edges.len() as u64);
@@ -556,7 +564,8 @@ pub fn unify(inference: &Inference, fns: &FnTable) -> Unified {
                 }
                 let trial_system = rewrite_system(system, &trial);
                 let forced = forced_bindings(system, &trial);
-                if let Ok(sol) = solve_with(&trial_system, fns, &forced, &SolveBudget::unlimited()) {
+                if let Ok(sol) = solve_with(&trial_system, fns, &forced, &SolveBudget::unlimited())
+                {
                     check_stats.absorb(&sol.stats);
                     ustats.merges_accepted += 1;
                     merge_log.push(MergeEntry {
@@ -581,27 +590,28 @@ pub fn unify(inference: &Inference, fns: &FnTable) -> Unified {
     // self-loop on an external (PENNANT's recursive side-neighbor
     // invariants `image(rs_p, mapss3, rs) ⊆ rs_p`): the product mapping
     // would need one node on two targets. Handle those directly: an
-    // obligation `E ⊆ P` whose rewritten lhs `E` is closed and structurally
-    // equal to a fact's lhs, with the fact's rhs an external, unifies
-    // `P := that external` (checked for solvability like any unification).
+    // obligation `E ⊆ P` whose rewritten lhs `E` is closed and canonically
+    // equal (same id) to a fact's lhs, with the fact's rhs an external,
+    // unifies `P := that external` (checked for solvability like any
+    // unification).
     loop {
         let mut changed = false;
         let obligations: Vec<Subset> = system
             .subset_obligations
             .iter()
-            .map(|s| Subset { lhs: uf.rewrite(&s.lhs), rhs: uf.rewrite(&s.rhs) })
+            .map(|s| Subset { lhs: uf.rewrite(system, s.lhs), rhs: uf.rewrite(system, s.rhs) })
             .collect();
         for o in &obligations {
-            let PExpr::Sym(p) = o.rhs else { continue };
-            if !o.lhs.is_closed() {
+            let Expr::Sym(p) = arena.node(o.rhs) else { continue };
+            if !arena.is_closed(o.lhs) {
                 continue;
             }
             for fact in &system.subset_facts {
-                let fact_lhs = uf.rewrite(&fact.lhs);
+                let fact_lhs = uf.rewrite(system, fact.lhs);
                 if fact_lhs != o.lhs {
                     continue;
                 }
-                let PExpr::Ext(y) = uf.rewrite(&fact.rhs) else { continue };
+                let Expr::Ext(y) = arena.node(uf.rewrite(system, fact.rhs)) else { continue };
                 if system.ext_region(y) != system.sym_region(p) {
                     continue;
                 }
@@ -610,7 +620,8 @@ pub fn unify(inference: &Inference, fns: &FnTable) -> Unified {
                 ustats.candidates_considered += 1;
                 let trial_system = rewrite_system(system, &trial);
                 let forced = forced_bindings(system, &trial);
-                if let Ok(sol) = solve_with(&trial_system, fns, &forced, &SolveBudget::unlimited()) {
+                if let Ok(sol) = solve_with(&trial_system, fns, &forced, &SolveBudget::unlimited())
+                {
                     check_stats.absorb(&sol.stats);
                     ustats.merges_accepted += 1;
                     merge_log.push(MergeEntry {
@@ -650,11 +661,8 @@ pub fn unify(inference: &Inference, fns: &FnTable) -> Unified {
         // Loops with centered reductions need a disjoint iteration
         // partition at runtime, so only provably-disjoint externals
         // qualify for them.
-        let needs_disjoint = il
-            .summary
-            .accesses
-            .iter()
-            .any(|a| a.kind.is_reduce() && a.is_centered());
+        let needs_disjoint =
+            il.summary.accesses.iter().any(|a| a.kind.is_reduce() && a.is_centered());
         for (xi, ext) in system.externals.iter().enumerate() {
             if ext.region != region {
                 continue;
@@ -662,7 +670,7 @@ pub fn unify(inference: &Inference, fns: &FnTable) -> Unified {
             let x = crate::lang::ExtId(xi as u32);
             if needs_disjoint {
                 let ctx = crate::lemmas::FactCtx::new(system, fns);
-                if !crate::lemmas::prove_disj(&PExpr::ext(x), &ctx) {
+                if !crate::lemmas::prove_disj(arena.ext(x), &ctx) {
                     continue;
                 }
             }
@@ -846,8 +854,9 @@ mod tests {
             PExpr::image(PExpr::ext(p_particles), FnRef::Fn(fcell), cells),
             PExpr::ext(p_cells),
         );
-        inf.system.assume_fact_pred(Pred::Disj(PExpr::ext(p_particles)));
-        inf.system.assume_fact_pred(Pred::Comp(PExpr::ext(p_particles), particles));
+        let pp = inf.system.intern(PExpr::ext(p_particles));
+        inf.system.assume_fact_pred(Pred::Disj(pp));
+        inf.system.assume_fact_pred(Pred::Comp(pp, particles));
 
         let uni = unify(&inf, &fns);
         let iter = inf.loops[0].iter_sym;

@@ -270,8 +270,7 @@ impl IndexSet {
 
     /// Validates the canonical-representation invariants (debug aid).
     pub fn check_invariants(&self) -> bool {
-        self.runs.iter().all(|&(s, e)| s < e)
-            && self.runs.windows(2).all(|w| w[0].1 < w[1].0)
+        self.runs.iter().all(|&(s, e)| s < e) && self.runs.windows(2).all(|w| w[0].1 < w[1].0)
     }
 }
 

@@ -69,30 +69,20 @@ impl Partition {
 
     /// `PART`: every subregion is contained in `[0, region_size)`.
     pub fn is_partition_of(&self, region_size: u64) -> bool {
-        self.subregions
-            .iter()
-            .all(|s| s.max().is_none_or(|m| m < region_size))
+        self.subregions.iter().all(|s| s.max().is_none_or(|m| m < region_size))
     }
 
     /// The paper's subset constraint `self ⊆ other`: subregion-wise
     /// containment, requiring `other` to have at least as many subregions.
     pub fn subset_of(&self, other: &Partition) -> bool {
         self.subregions.len() <= other.subregions.len()
-            && self
-                .subregions
-                .iter()
-                .zip(&other.subregions)
-                .all(|(a, b)| a.is_subset(b))
+            && self.subregions.iter().zip(&other.subregions).all(|(a, b)| a.is_subset(b))
     }
 
     /// Finds the subregions containing index `i` (used by exchange logic and
     /// diagnostics; unique when the partition is disjoint).
     pub fn owners_of(&self, i: Idx) -> Vec<usize> {
-        self.subregions
-            .iter()
-            .enumerate()
-            .filter_map(|(k, s)| s.contains(i).then_some(k))
-            .collect()
+        self.subregions.iter().enumerate().filter_map(|(k, s)| s.contains(i).then_some(k)).collect()
     }
 
     /// Largest subregion size (load-imbalance diagnostics).
@@ -111,10 +101,7 @@ mod tests {
 
     #[test]
     fn disjoint_and_complete_block_partition() {
-        let p = Partition::new(
-            r(),
-            vec![IndexSet::from_range(0, 5), IndexSet::from_range(5, 10)],
-        );
+        let p = Partition::new(r(), vec![IndexSet::from_range(0, 5), IndexSet::from_range(5, 10)]);
         assert!(p.is_disjoint());
         assert!(p.is_complete(10));
         assert!(p.is_partition_of(10));
@@ -124,20 +111,14 @@ mod tests {
 
     #[test]
     fn overlapping_partition_is_not_disjoint() {
-        let p = Partition::new(
-            r(),
-            vec![IndexSet::from_range(0, 6), IndexSet::from_range(4, 10)],
-        );
+        let p = Partition::new(r(), vec![IndexSet::from_range(0, 6), IndexSet::from_range(4, 10)]);
         assert!(!p.is_disjoint());
         assert!(p.is_complete(10));
     }
 
     #[test]
     fn incomplete_partition() {
-        let p = Partition::new(
-            r(),
-            vec![IndexSet::from_range(0, 3), IndexSet::from_range(7, 10)],
-        );
+        let p = Partition::new(r(), vec![IndexSet::from_range(0, 3), IndexSet::from_range(7, 10)]);
         assert!(p.is_disjoint());
         assert!(!p.is_complete(10));
         assert_eq!(p.support().len(), 6);
@@ -155,10 +136,8 @@ mod tests {
 
     #[test]
     fn subset_is_subregion_wise() {
-        let small = Partition::new(
-            r(),
-            vec![IndexSet::from_range(1, 3), IndexSet::from_range(6, 8)],
-        );
+        let small =
+            Partition::new(r(), vec![IndexSet::from_range(1, 3), IndexSet::from_range(6, 8)]);
         let big = Partition::new(
             r(),
             vec![
@@ -170,19 +149,14 @@ mod tests {
         assert!(small.subset_of(&big));
         assert!(!big.subset_of(&small));
         // Same supports but crossed subregions: not a subset.
-        let crossed = Partition::new(
-            r(),
-            vec![IndexSet::from_range(6, 8), IndexSet::from_range(1, 3)],
-        );
+        let crossed =
+            Partition::new(r(), vec![IndexSet::from_range(6, 8), IndexSet::from_range(1, 3)]);
         assert!(!crossed.subset_of(&big));
     }
 
     #[test]
     fn owners_of_reports_all_containing_subregions() {
-        let p = Partition::new(
-            r(),
-            vec![IndexSet::from_range(0, 6), IndexSet::from_range(4, 10)],
-        );
+        let p = Partition::new(r(), vec![IndexSet::from_range(0, 6), IndexSet::from_range(4, 10)]);
         assert_eq!(p.owners_of(5), vec![0, 1]);
         assert_eq!(p.owners_of(1), vec![0]);
         assert_eq!(p.owners_of(11), Vec::<usize>::new());
@@ -190,10 +164,7 @@ mod tests {
 
     #[test]
     fn max_subregion_len_for_imbalance() {
-        let p = Partition::new(
-            r(),
-            vec![IndexSet::from_range(0, 2), IndexSet::from_range(2, 9)],
-        );
+        let p = Partition::new(r(), vec![IndexSet::from_range(0, 2), IndexSet::from_range(2, 9)]);
         assert_eq!(p.max_subregion_len(), 7);
         assert_eq!(Partition::new(r(), vec![]).max_subregion_len(), 0);
     }

@@ -123,11 +123,7 @@ impl Schema {
 
     /// Looks a field up by `region.field` name (test/diagnostic convenience).
     pub fn field_by_name(&self, region: RegionId, name: &str) -> Option<FieldId> {
-        self.region(region)
-            .fields
-            .iter()
-            .copied()
-            .find(|&f| self.field(f).name == name)
+        self.region(region).fields.iter().copied().find(|&f| self.field(f).name == name)
     }
 }
 

@@ -21,12 +21,8 @@ fn setup(ptrs: &[Idx]) -> (Store, FnTable, RegionId, RegionId, FnId, FnId, FnId)
     let mut t = FnTable::new();
     let fptr = t.add_ptr_field("ptr", dom, rng, pf);
     let faff = t.add_affine("aff", rng, rng, 1, 3);
-    let fmod = t.add(
-        "wrap",
-        rng,
-        rng,
-        FnDef::Index(IndexFn::AffineMod { mul: 1, add: 7, modulus: RNG }),
-    );
+    let fmod =
+        t.add("wrap", rng, rng, FnDef::Index(IndexFn::AffineMod { mul: 1, add: 7, modulus: RNG }));
     (store, t, dom, rng, fptr, faff, fmod)
 }
 
@@ -42,12 +38,7 @@ fn arb_partition(region_size: u64, max_parts: usize) -> impl Strategy<Value = Ve
 }
 
 fn mk_partition(region: RegionId, raw: &[Vec<Idx>]) -> Partition {
-    Partition::new(
-        region,
-        raw.iter()
-            .map(|v| IndexSet::from_indices(v.iter().copied()))
-            .collect(),
-    )
+    Partition::new(region, raw.iter().map(|v| IndexSet::from_indices(v.iter().copied())).collect())
 }
 
 proptest! {

@@ -76,9 +76,7 @@ impl LoopSummary {
 
     /// All uncentered reduction accesses.
     pub fn uncentered_reduces(&self) -> impl Iterator<Item = &AccessInfo> {
-        self.accesses
-            .iter()
-            .filter(|a| a.kind.is_reduce() && !a.is_centered())
+        self.accesses.iter().filter(|a| a.kind.is_reduce() && !a.is_centered())
     }
 }
 
@@ -176,8 +174,7 @@ pub fn analyze(lp: &Loop, _fns: &FnTable) -> Result<LoopSummary, NotParallelizab
         }
     }
 
-    let has_uncentered_reduce =
-        accesses.iter().any(|a| a.kind.is_reduce() && !a.is_centered());
+    let has_uncentered_reduce = accesses.iter().any(|a| a.kind.is_reduce() && !a.is_centered());
     Ok(LoopSummary { iter_region: lp.region, accesses, has_uncentered_reduce })
 }
 
@@ -350,13 +347,7 @@ mod tests {
         let v1 = b.val_read(cells, vel, c);
         let hc = b.idx_apply(h, c);
         let v2 = b.val_read(cells, vel, hc);
-        b.val_reduce(
-            particles,
-            pos,
-            p,
-            ReduceOp::Add,
-            VExpr::add(VExpr::var(v1), VExpr::var(v2)),
-        );
+        b.val_reduce(particles, pos, p, ReduceOp::Add, VExpr::add(VExpr::var(v1), VExpr::var(v2)));
         (b.finish(), fns)
     }
 

@@ -15,7 +15,7 @@
 //! executions compute the same function as the sequential program modulo
 //! scheduling.
 
-use crate::ast::{AccessId, Loop, ReduceOp, Stmt, UnOp, VExpr, BinOp};
+use crate::ast::{AccessId, BinOp, Loop, ReduceOp, Stmt, UnOp, VExpr};
 use partir_dpl::func::{FnDef, FnId, FnTable};
 use partir_dpl::index_set::Idx;
 use partir_dpl::region::{FieldId, Store};
@@ -172,10 +172,8 @@ fn exec_body<C: DataCtx>(
 
 /// Runs one loop body over the given iteration indices.
 pub fn run_loop_over<C: DataCtx>(lp: &Loop, ctx: &mut C, iter: impl Iterator<Item = Idx>) {
-    let mut frame = Frame {
-        ivals: vec![0; lp.num_ivars as usize],
-        vvals: vec![0.0; lp.num_vvars as usize],
-    };
+    let mut frame =
+        Frame { ivals: vec![0; lp.num_ivars as usize], vvals: vec![0.0; lp.num_vvars as usize] };
     let mut scratch: Vec<Vec<Idx>> = Vec::new();
     for i in iter {
         frame.ivals[lp.var.0 as usize] = i;

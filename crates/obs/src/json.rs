@@ -324,9 +324,7 @@ impl<'a> Parser<'a> {
             }
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
-        text.parse::<f64>()
-            .map(Json::Num)
-            .map_err(|_| self.err(format!("invalid number '{text}'")))
+        text.parse::<f64>().map(Json::Num).map_err(|_| self.err(format!("invalid number '{text}'")))
     }
 
     fn string(&mut self) -> Result<String, ParseError> {
@@ -354,9 +352,8 @@ impl<'a> Parser<'a> {
                             if self.pos + 5 > self.bytes.len() {
                                 return Err(self.err("truncated \\u escape"));
                             }
-                            let hex =
-                                std::str::from_utf8(&self.bytes[self.pos + 1..self.pos + 5])
-                                    .map_err(|_| self.err("invalid \\u escape"))?;
+                            let hex = std::str::from_utf8(&self.bytes[self.pos + 1..self.pos + 5])
+                                .map_err(|_| self.err("invalid \\u escape"))?;
                             let code = u32::from_str_radix(hex, 16)
                                 .map_err(|_| self.err("invalid \\u escape"))?;
                             // Surrogate pairs are not needed by our reports;

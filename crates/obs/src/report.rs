@@ -22,10 +22,8 @@ pub const SCHEMA_VERSION: &str = "partir-report-v1";
 
 /// Starts a report envelope for the named experiment.
 pub fn envelope(experiment: &str) -> Json {
-    let now_ms = SystemTime::now()
-        .duration_since(UNIX_EPOCH)
-        .map(|d| d.as_millis() as u64)
-        .unwrap_or(0);
+    let now_ms =
+        SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_millis() as u64).unwrap_or(0);
     Json::object()
         .with("schema", SCHEMA_VERSION)
         .with("experiment", experiment)
@@ -40,9 +38,7 @@ pub fn validate_envelope(j: &Json) -> Result<&str, String> {
         Some(other) => return Err(format!("unknown report schema '{other}'")),
         None => return Err("missing 'schema' field".into()),
     }
-    j.get("experiment")
-        .and_then(Json::as_str)
-        .ok_or_else(|| "missing 'experiment' field".into())
+    j.get("experiment").and_then(Json::as_str).ok_or_else(|| "missing 'experiment' field".into())
 }
 
 /// Serializes a `Duration`-like nanosecond count as fractional milliseconds

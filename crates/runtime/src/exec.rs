@@ -31,6 +31,7 @@
 
 use crate::fault::{FaultPlan, InjectedPanic, RetryPolicy};
 use crate::shared::SharedStore;
+use parking_lot::Mutex;
 use partir_core::pipeline::{LoopPlan, ParallelPlan, PlannedReduce};
 use partir_dpl::func::{FnDef, FnId, FnTable, IndexFn, MultiFn};
 use partir_dpl::index_set::{Idx, IndexSet};
@@ -38,11 +39,11 @@ use partir_dpl::partition::Partition;
 use partir_dpl::region::{FieldId, RegionId, Schema, Store};
 use partir_ir::ast::{AccessId, Loop, ReduceOp, Stmt};
 use partir_ir::interp::{run_loop_over, DataCtx};
-use parking_lot::Mutex;
 use partir_obs::json::Json;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// Executor configuration.
 #[derive(Clone, Copy, Debug)]
@@ -181,7 +182,10 @@ impl fmt::Display for ExecError {
                 write!(f, "plan describes {plan_loops} loops but the program has {program_loops}")
             }
             ExecError::PartitionIndexOutOfBounds { loop_index, part, len } => {
-                write!(f, "loop {loop_index}: partition index {part} out of bounds ({len} evaluated)")
+                write!(
+                    f,
+                    "loop {loop_index}: partition index {part} out of bounds ({len} evaluated)"
+                )
             }
             ExecError::PartitionWidthMismatch { part, expected, got } => {
                 write!(f, "partition {part} has {got} subregions, launch width is {expected}")
@@ -196,7 +200,10 @@ impl fmt::Display for ExecError {
                 write!(f, "loop {loop_index}: iteration partition incomplete")
             }
             ExecError::IterationNotDisjoint { loop_index } => {
-                write!(f, "loop {loop_index}: centered reductions need a disjoint iteration partition")
+                write!(
+                    f,
+                    "loop {loop_index}: centered reductions need a disjoint iteration partition"
+                )
             }
             ExecError::ReductionNotDisjoint { loop_index, access } => {
                 write!(f, "loop {loop_index}: reduction partition for {access:?} not disjoint")
@@ -239,7 +246,7 @@ enum Mode<'a> {
 pub fn execute_program(
     program: &[Loop],
     plan: &ParallelPlan,
-    parts: &[Partition],
+    parts: &[Arc<Partition>],
     store: &mut Store,
     fns: &FnTable,
     opts: &ExecOptions,
@@ -250,8 +257,7 @@ pub fn execute_program(
     // coordinate `FaultPlan::poison_after` thresholds on.
     let mut ordinal_base = 0u64;
     for (li, lp) in program.iter().enumerate() {
-        let n_colors =
-            parts[plan.loops[li].iter.0 as usize].num_subregions() as u64;
+        let n_colors = parts[plan.loops[li].iter.0 as usize].num_subregions() as u64;
         execute_loop(li, lp, plan, parts, store, fns, opts, &mut report, ordinal_base)?;
         ordinal_base += n_colors;
     }
@@ -259,10 +265,7 @@ pub fn execute_program(
         partir_obs::counter("exec.tasks_run", report.tasks_run);
         partir_obs::counter("exec.legality_checks", report.legality_checks);
         partir_obs::counter("exec.buffer_bytes", report.buffer_bytes);
-        partir_obs::counter(
-            "exec.private_buffer_bytes_saved",
-            report.private_buffer_bytes_saved,
-        );
+        partir_obs::counter("exec.private_buffer_bytes_saved", report.private_buffer_bytes_saved);
         partir_obs::counter("exec.faults_injected", report.faults_injected);
         partir_obs::counter("exec.task_retries", report.task_retries);
         partir_obs::counter("exec.tasks_recovered", report.tasks_recovered);
@@ -277,7 +280,7 @@ pub fn execute_program(
 fn validate_plan(
     program: &[Loop],
     plan: &ParallelPlan,
-    parts: &[Partition],
+    parts: &[Arc<Partition>],
     schema: &Schema,
     opts: &ExecOptions,
 ) -> Result<(), ExecError> {
@@ -299,7 +302,11 @@ fn validate_plan(
     }
     let check_part = |li: usize, part: usize| -> Result<(), ExecError> {
         if part >= parts.len() {
-            return Err(ExecError::PartitionIndexOutOfBounds { loop_index: li, part, len: parts.len() });
+            return Err(ExecError::PartitionIndexOutOfBounds {
+                loop_index: li,
+                part,
+                len: parts.len(),
+            });
         }
         Ok(())
     };
@@ -365,7 +372,7 @@ struct TaskSnapshot<'a> {
 fn effect_set<'a>(
     site: &(AccessId, FieldId, bool),
     lplan: &LoopPlan,
-    parts: &'a [Partition],
+    parts: &'a [Arc<Partition>],
     iter: &'a Partition,
     write_own: Option<&'a Vec<IndexSet>>,
     color: usize,
@@ -406,7 +413,7 @@ fn take_snapshot<'a>(
     shared: &SharedStore,
     sites: &[(AccessId, FieldId, bool)],
     lplan: &LoopPlan,
-    parts: &'a [Partition],
+    parts: &'a [Arc<Partition>],
     iter: &'a Partition,
     write_own: Option<&'a Vec<IndexSet>>,
     color: usize,
@@ -420,8 +427,7 @@ fn take_snapshot<'a>(
         if saved.iter().any(|(f, s, _)| *f == field && std::ptr::eq(*s, set)) {
             continue; // site already covered (same field, same element set)
         }
-        let vals: Vec<f64> =
-            set.iter().map(|i| unsafe { shared.read_f64(field, i) }).collect();
+        let vals: Vec<f64> = set.iter().map(|i| unsafe { shared.read_f64(field, i) }).collect();
         saved.push((field, set, vals));
     }
     TaskSnapshot { saved }
@@ -452,7 +458,7 @@ fn execute_loop(
     li: usize,
     lp: &Loop,
     plan: &ParallelPlan,
-    parts: &[Partition],
+    parts: &[Arc<Partition>],
     store: &mut Store,
     fns: &FnTable,
     opts: &ExecOptions,
@@ -460,15 +466,18 @@ fn execute_loop(
     ordinal_base: u64,
 ) -> Result<(), ExecError> {
     let loop_plan = &plan.loops[li];
-    let iter = &parts[loop_plan.iter.0 as usize];
+    let iter: &Partition = &parts[loop_plan.iter.0 as usize];
     let n_colors = iter.num_subregions();
     let region_size = store.schema().region_size(lp.region);
     let tracing = partir_obs::trace_enabled();
-    let loop_span = partir_obs::span_with("exec.loop", vec![
-        ("loop", li.into()),
-        ("loop_name", lp.name.as_str().into()),
-        ("colors", n_colors.into()),
-    ]);
+    let loop_span = partir_obs::span_with(
+        "exec.loop",
+        vec![
+            ("loop", li.into()),
+            ("loop_name", lp.name.as_str().into()),
+            ("colors", n_colors.into()),
+        ],
+    );
 
     // Dynamic validation of the partitioning invariants the plan relies on.
     if !iter.is_complete(region_size) {
@@ -576,10 +585,8 @@ fn execute_loop(
     };
 
     // Buffers returned by tasks: buffers[buf_idx][color].
-    let buffers: Vec<Vec<Mutex<Option<Vec<f64>>>>> = all_buf_sets
-        .iter()
-        .map(|sets| sets.iter().map(|_| Mutex::new(None)).collect())
-        .collect();
+    let buffers: Vec<Vec<Mutex<Option<Vec<f64>>>>> =
+        all_buf_sets.iter().map(|sets| sets.iter().map(|_| Mutex::new(None)).collect()).collect();
     // Reduce ops discovered during execution (per buffered access index).
     let buf_ops: Vec<Mutex<Option<ReduceOp>>> =
         all_buf_sets.iter().map(|_| Mutex::new(None)).collect();
@@ -685,12 +692,15 @@ fn execute_loop(
                             };
                             if !killed {
                                 if let Some(t) = t_task {
-                                    partir_obs::instant("exec.task", vec![
-                                        ("loop", li.into()),
-                                        ("color", color.into()),
-                                        ("attempt", attempt.into()),
-                                        ("elapsed_ns", (t.elapsed().as_nanos() as u64).into()),
-                                    ]);
+                                    partir_obs::instant(
+                                        "exec.task",
+                                        vec![
+                                            ("loop", li.into()),
+                                            ("color", color.into()),
+                                            ("attempt", attempt.into()),
+                                            ("elapsed_ns", (t.elapsed().as_nanos() as u64).into()),
+                                        ],
+                                    );
                                 }
                             }
                             (ctx.checks_done, ctx.local_bufs, killed)
@@ -730,11 +740,14 @@ fn execute_loop(
                         debug_assert!(injected_death);
                         faults_injected.fetch_add(1, Ordering::Relaxed);
                         if tracing {
-                            partir_obs::instant("fault.injected", vec![
-                                ("loop", li.into()),
-                                ("color", color.into()),
-                                ("attempt", attempt.into()),
-                            ]);
+                            partir_obs::instant(
+                                "fault.injected",
+                                vec![
+                                    ("loop", li.into()),
+                                    ("color", color.into()),
+                                    ("attempt", attempt.into()),
+                                ],
+                            );
                         }
                         if let Some(snap) = &snapshot {
                             restore_snapshot(&shared, snap);
@@ -745,11 +758,14 @@ fn execute_loop(
                         attempt += 1;
                         task_retries.fetch_add(1, Ordering::Relaxed);
                         if tracing {
-                            partir_obs::instant("task.retry", vec![
-                                ("loop", li.into()),
-                                ("color", color.into()),
-                                ("attempt", attempt.into()),
-                            ]);
+                            partir_obs::instant(
+                                "task.retry",
+                                vec![
+                                    ("loop", li.into()),
+                                    ("color", color.into()),
+                                    ("attempt", attempt.into()),
+                                ],
+                            );
                         }
                         if !opts.retry.backoff.is_zero() {
                             std::thread::sleep(opts.retry.backoff * attempt);
@@ -831,10 +847,10 @@ fn execute_loop(
                 report.tasks_recovered += 1;
                 report.degraded = true;
                 if tracing {
-                    partir_obs::instant("task.recovered", vec![
-                        ("loop", li.into()),
-                        ("color", color.into()),
-                    ]);
+                    partir_obs::instant(
+                        "task.recovered",
+                        vec![("loop", li.into()), ("color", color.into())],
+                    );
                 }
             }
             Err(p) => {
@@ -907,7 +923,7 @@ struct TaskCtx<'a> {
     fns: &'a FnTable,
     schema: &'a Schema,
     plan: &'a partir_core::pipeline::LoopPlan,
-    parts: &'a [Partition],
+    parts: &'a [Arc<Partition>],
     modes: &'a [Mode<'a>],
     color: usize,
     write_own: Option<&'a IndexSet>,

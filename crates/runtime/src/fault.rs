@@ -61,9 +61,8 @@ impl FaultPlan {
             .ok()
             .and_then(|v| v.trim().parse().ok())
             .unwrap_or(0.3);
-        let poison_after = std::env::var("PARTIR_FAULT_POISON_AFTER")
-            .ok()
-            .and_then(|v| v.trim().parse().ok());
+        let poison_after =
+            std::env::var("PARTIR_FAULT_POISON_AFTER").ok().and_then(|v| v.trim().parse().ok());
         Some(FaultPlan { seed, task_failure_rate: rate, poison_after })
     }
 

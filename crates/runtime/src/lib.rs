@@ -16,14 +16,12 @@ pub mod shared;
 pub mod sim;
 
 pub mod prelude {
-    pub use crate::exec::{
-        execute_program, ExecError, ExecOptions, ExecReport, LegalityViolation,
-    };
+    pub use crate::exec::{execute_program, ExecError, ExecOptions, ExecReport, LegalityViolation};
     pub use crate::fault::{FaultPlan, RetryPolicy};
     pub use crate::shared::SharedStore;
     pub use crate::sim::{
-        simulate, FailureModel, FailureSummary, MachineModel, NodeBreakdown, SimAccess,
-        SimError, SimLoop, SimResult, SimSpec,
+        simulate, FailureModel, FailureSummary, MachineModel, NodeBreakdown, SimAccess, SimError,
+        SimLoop, SimResult, SimSpec,
     };
 }
 

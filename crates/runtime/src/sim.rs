@@ -162,7 +162,9 @@ pub enum SimKind {
     /// for remote elements, then home update.
     ReduceDirect,
     /// Buffered reduction: each task ships its buffered extent to owners.
-    ReduceBuffered { buffer_sets: Vec<IndexSet> },
+    ReduceBuffered {
+        buffer_sets: Vec<IndexSet>,
+    },
 }
 
 /// One region access of a simulated loop.
@@ -336,7 +338,10 @@ impl SimResult {
             .with("total_bytes", self.total_bytes)
             .with("total_work", self.total_work)
             .with("bottleneck_node", bottleneck)
-            .with("bottleneck", self.per_node.get(bottleneck).map(|b| b.to_json(m)).unwrap_or(Json::Null))
+            .with(
+                "bottleneck",
+                self.per_node.get(bottleneck).map(|b| b.to_json(m)).unwrap_or(Json::Null),
+            )
             .with("failure", self.failure.map(|f| f.to_json()).unwrap_or(Json::Null))
             .with("per_node", nodes)
     }
@@ -350,11 +355,7 @@ pub fn simulate(spec: &SimSpec, machine: &MachineModel) -> Result<SimResult, Sim
     // Initial homes.
     let mut home: HashMap<RegionId, Vec<IndexSet>> = HashMap::new();
     for (&r, &size) in &spec.region_sizes {
-        let h = spec
-            .initial_home
-            .get(&r)
-            .cloned()
-            .unwrap_or_else(|| ops::equal(r, size, n));
+        let h = spec.initial_home.get(&r).cloned().unwrap_or_else(|| ops::equal(r, size, n));
         if h.num_subregions() != n {
             return Err(SimError::HomeWidthMismatch {
                 region: r,
@@ -393,10 +394,7 @@ pub fn simulate(spec: &SimSpec, machine: &MachineModel) -> Result<SimResult, Sim
             let meta: f64 = lp
                 .accesses
                 .iter()
-                .map(|a| {
-                    a.expr_weight
-                        * a.part.iter().map(|s| s.run_count() as f64).sum::<f64>()
-                })
+                .map(|a| a.expr_weight * a.part.iter().map(|s| s.run_count() as f64).sum::<f64>())
                 .sum();
             for b in per_node.iter_mut() {
                 b.meta_units += meta;
@@ -457,10 +455,7 @@ pub fn simulate(spec: &SimSpec, machine: &MachineModel) -> Result<SimResult, Sim
             }
         }
         result = Some(SimResult {
-            iteration_time: per_node
-                .iter()
-                .map(|b| b.time(machine))
-                .fold(0.0f64, f64::max),
+            iteration_time: per_node.iter().map(|b| b.time(machine)).fold(0.0f64, f64::max),
             per_node,
             total_bytes,
             total_work,
@@ -503,10 +498,8 @@ fn failure_summary(
         // The disjoint/complete verdicts of the iteration partition decide
         // how a lost color's work is priced.
         let disjoint = lp.iter.is_disjoint();
-        let complete = spec
-            .region_sizes
-            .get(&lp.iter.region)
-            .is_none_or(|&size| lp.iter.is_complete(size));
+        let complete =
+            spec.region_sizes.get(&lp.iter.region).is_none_or(|&size| lp.iter.is_complete(size));
         if !disjoint {
             aliased_loops += 1;
         }
@@ -520,7 +513,11 @@ fn failure_summary(
         } else {
             let total: u64 = lp.iter.total_elements();
             let support = lp.iter.support().len();
-            if support == 0 { 1.0 } else { total as f64 / support as f64 }
+            if support == 0 {
+                1.0
+            } else {
+                total as f64 / support as f64
+            }
         };
         // Incomplete coverage: the partition alone cannot reconstruct the
         // loop's effects, so recovery replays the whole loop from the
@@ -545,8 +542,8 @@ fn failure_summary(
     let t = result.iteration_time;
     let checkpoint_frac = fm.checkpoint_cost_s / fm.checkpoint_interval_s;
     let failures_per_iter = n as f64 / fm.node_mtbf_s * t;
-    let expected = t * (1.0 + checkpoint_frac)
-        + failures_per_iter * (fm.restart_cost_s + mean_recompute);
+    let expected =
+        t * (1.0 + checkpoint_frac) + failures_per_iter * (fm.restart_cost_s + mean_recompute);
     FailureSummary {
         failure_free_time_s: t,
         expected_iteration_time_s: expected,
@@ -702,10 +699,8 @@ mod tests {
             // Every task also reads the first 1000 elements (owned by node
             // 0 for n > 1).
             let shared = IndexSet::from_range(0, 1000);
-            let read = Partition::new(
-                r0(),
-                iter.subregions().iter().map(|s| s.union(&shared)).collect(),
-            );
+            let read =
+                Partition::new(r0(), iter.subregions().iter().map(|s| s.union(&shared)).collect());
             let spec = SimSpec {
                 loops: vec![SimLoop {
                     name: "hot".into(),
@@ -805,8 +800,7 @@ mod tests {
         // Buffered: every task's buffer covers its block plus 10 remote
         // elements.
         let foreign = IndexSet::from_range(0, 10);
-        let bufs: Vec<IndexSet> =
-            iter.subregions().iter().map(|s| s.union(&foreign)).collect();
+        let bufs: Vec<IndexSet> = iter.subregions().iter().map(|s| s.union(&foreign)).collect();
         let spec = SimSpec {
             loops: vec![SimLoop {
                 name: "reduce".into(),
@@ -921,11 +915,12 @@ mod tests {
         assert_eq!(f.aliased_loops, 0);
         assert_eq!(f.incomplete_loops, 0);
         // A 10× less reliable machine pays more.
-        let flaky = FailureModel { node_mtbf_s: FailureModel::commodity().node_mtbf_s / 10.0, ..FailureModel::commodity() };
+        let flaky = FailureModel {
+            node_mtbf_s: FailureModel::commodity().node_mtbf_s / 10.0,
+            ..FailureModel::commodity()
+        };
         let res2 = simulate(&spec, &MachineModel::gpu_cluster(n).with_failure(flaky)).unwrap();
-        assert!(
-            res2.failure.unwrap().expected_iteration_time_s > f.expected_iteration_time_s
-        );
+        assert!(res2.failure.unwrap().expected_iteration_time_s > f.expected_iteration_time_s);
     }
 
     /// Aliased iteration partitions pay the aliasing factor on
@@ -937,15 +932,11 @@ mod tests {
         let disjoint = equal(r0(), size, n);
         // Every color additionally repeats the first 1000 elements.
         let overlap = IndexSet::from_range(0, 1000);
-        let aliased = Partition::new(
-            r0(),
-            disjoint.subregions().iter().map(|s| s.union(&overlap)).collect(),
-        );
+        let aliased =
+            Partition::new(r0(), disjoint.subregions().iter().map(|s| s.union(&overlap)).collect());
         let m = MachineModel::gpu_cluster(n).with_failure(FailureModel::commodity());
-        let f_dis =
-            simulate(&local_spec(n, disjoint, size), &m).unwrap().failure.unwrap();
-        let f_ali =
-            simulate(&local_spec(n, aliased, size), &m).unwrap().failure.unwrap();
+        let f_dis = simulate(&local_spec(n, disjoint, size), &m).unwrap().failure.unwrap();
+        let f_ali = simulate(&local_spec(n, aliased, size), &m).unwrap().failure.unwrap();
         assert_eq!(f_dis.aliased_loops, 0);
         assert_eq!(f_ali.aliased_loops, 1);
         assert!(f_ali.mean_recompute_s > f_dis.mean_recompute_s);

@@ -2,8 +2,8 @@
 //! sequential semantics exactly (test data is integer-valued so floating-
 //! point reassociation cannot mask errors), with legality checking on.
 
-use partir_core::pipeline::{auto_parallelize, Hints, Options, PlannedReduce};
 use partir_core::eval::ExtBindings;
+use partir_core::pipeline::{auto_parallelize, Hints, Options, PlannedReduce};
 use partir_dpl::func::{FnDef, FnTable, IndexFn};
 use partir_dpl::region::{FieldKind, RegionId, Schema, Store};
 use partir_ir::ast::{Loop, LoopBuilder, ReduceOp, VExpr};
@@ -101,14 +101,8 @@ fn figure1_particles_cells() {
     b.val_reduce(cells, vel, cv, ReduceOp::Add, VExpr::add(VExpr::var(a1), VExpr::var(a2)));
     let l2 = b.finish();
 
-    let report = check_parallel_matches_seq(
-        &[l1, l2],
-        &fns,
-        &store,
-        8,
-        &Hints::new(),
-        &ExtBindings::new(),
-    );
+    let report =
+        check_parallel_matches_seq(&[l1, l2], &fns, &store, 8, &Hints::new(), &ExtBindings::new());
     assert_eq!(report.tasks_run, 16);
     // All reductions are centered: no buffers, no guards.
     assert_eq!(report.buffer_bytes, 0);
@@ -145,8 +139,8 @@ fn figure11_relaxed_guarded_execution() {
     let program = vec![b.finish()];
 
     let schema2 = store.schema().clone();
-    let plan = auto_parallelize(&program, &fns, &schema2, &Hints::new(), Options::default())
-        .unwrap();
+    let plan =
+        auto_parallelize(&program, &fns, &schema2, &Hints::new(), Options::default()).unwrap();
     assert!(plan.loops[0].relaxed, "relaxation applies");
     let guarded = plan.loops[0]
         .accesses
@@ -155,14 +149,8 @@ fn figure11_relaxed_guarded_execution() {
         .count();
     assert_eq!(guarded, 2);
 
-    let report = check_parallel_matches_seq(
-        &program,
-        &fns,
-        &store,
-        6,
-        &Hints::new(),
-        &ExtBindings::new(),
-    );
+    let report =
+        check_parallel_matches_seq(&program, &fns, &store, 6, &Hints::new(), &ExtBindings::new());
     assert_eq!(report.buffer_bytes, 0, "relaxation eliminates buffers");
     assert!(report.guard_hits > 0);
     assert!(report.guard_skips > 0, "aliased iteration produces skips");
@@ -200,14 +188,8 @@ fn scatter_reduce_through_pointer() {
     b.val_reduce(s_, sx, ti, ReduceOp::Add, VExpr::var(v));
     let program = vec![b.finish()];
 
-    let report = check_parallel_matches_seq(
-        &program,
-        &fns,
-        &store,
-        5,
-        &Hints::new(),
-        &ExtBindings::new(),
-    );
+    let report =
+        check_parallel_matches_seq(&program, &fns, &store, 5, &Hints::new(), &ExtBindings::new());
     assert_eq!(report.buffer_bytes, 0, "disjoint-preference eliminates buffers");
 }
 
@@ -319,13 +301,10 @@ fn external_partition_hint_used_and_correct() {
     exts.push(partir_dpl::ops::equal(cells, n_cells, n_colors));
 
     let schema2 = store.schema().clone();
-    let plan =
-        auto_parallelize(&program, &fns, &schema2, &hints, Options::default()).unwrap();
+    let plan = auto_parallelize(&program, &fns, &schema2, &hints, Options::default()).unwrap();
     // The externals appear in the plan's partition expressions.
-    let uses_ext = plan
-        .partition_exprs
-        .iter()
-        .any(|e| matches!(e, partir_core::lang::PExpr::Ext(_)));
+    let uses_ext =
+        plan.partition_exprs.iter().any(|e| matches!(e, partir_core::lang::PExpr::Ext(_)));
     assert!(uses_ext, "hint partitions used: {}", plan.render_dpl(&fns));
 
     check_parallel_matches_seq(&program, &fns, &store, n_colors, &hints, &exts);
@@ -350,16 +329,16 @@ fn legality_violation_detected() {
     b.val_reduce(s_, sx, gi, ReduceOp::Add, VExpr::var(v));
     let program = vec![b.finish()];
     let schema2 = store.schema().clone();
-    let plan = auto_parallelize(&program, &fns, &schema2, &Hints::new(), Options::default())
-        .unwrap();
+    let plan =
+        auto_parallelize(&program, &fns, &schema2, &Hints::new(), Options::default()).unwrap();
     let mut parts = plan.evaluate(&store, &fns, 2, &ExtBindings::new());
     // Corrupt the reduction-access partition: shrink every subregion to
     // empty, so targets fall outside.
     let reduce_part = plan.loops[0].accesses[1].part;
-    parts[reduce_part.0 as usize] = partir_dpl::partition::Partition::new(
+    parts[reduce_part.0 as usize] = std::sync::Arc::new(partir_dpl::partition::Partition::new(
         RegionId(1),
         vec![partir_dpl::index_set::IndexSet::new(); 2],
-    );
+    ));
     let err = execute_program(
         &program,
         &plan,

@@ -149,10 +149,7 @@ fn identical_seeds_replay_identically() {
     }
 
     // A different seed yields a different schedule (same final stores).
-    let other = ExecOptions {
-        fault: Some(FaultPlan { seed: 8, ..opts.fault.unwrap() }),
-        ..opts
-    };
+    let other = ExecOptions { fault: Some(FaultPlan { seed: 8, ..opts.fault.unwrap() }), ..opts };
     let (r3, _) = run_and_compare(&program, &fns, &store, 8, &other);
     assert_ne!(
         (r1.faults_injected, r1.task_retries, r1.tasks_recovered),
@@ -198,8 +195,8 @@ fn poison_panics_are_isolated_and_recovered() {
 fn exhaustion_without_recovery_is_a_typed_error() {
     let (program, fns, store) = figure1_fixture();
     let schema = store.schema().clone();
-    let plan = auto_parallelize(&program, &fns, &schema, &Hints::new(), Options::default())
-        .unwrap();
+    let plan =
+        auto_parallelize(&program, &fns, &schema, &Hints::new(), Options::default()).unwrap();
     let parts = plan.evaluate(&store, &fns, 4, &ExtBindings::new());
     let mut par_store = store.clone();
     let opts = ExecOptions {
@@ -207,8 +204,7 @@ fn exhaustion_without_recovery_is_a_typed_error() {
         retry: RetryPolicy { sequential_recovery: false, ..RetryPolicy::default() },
         ..ExecOptions::default()
     };
-    let err = execute_program(&program, &plan, &parts, &mut par_store, &fns, &opts)
-        .unwrap_err();
+    let err = execute_program(&program, &plan, &parts, &mut par_store, &fns, &opts).unwrap_err();
     match err {
         ExecError::TaskFailed { loop_index, attempts, .. } => {
             assert_eq!(loop_index, 0);
@@ -242,20 +238,17 @@ fn legality_violation_is_not_masked_by_faults() {
         auto_parallelize(&program, &fns, &schema2, &Hints::new(), Options::default()).unwrap();
     let mut parts = plan.evaluate(&store, &fns, 2, &ExtBindings::new());
     let reduce_part = plan.loops[0].accesses[1].part;
-    parts[reduce_part.0 as usize] = partir_dpl::partition::Partition::new(
+    parts[reduce_part.0 as usize] = std::sync::Arc::new(partir_dpl::partition::Partition::new(
         RegionId(1),
         vec![partir_dpl::index_set::IndexSet::new(); 2],
-    );
+    ));
     let opts = ExecOptions {
         n_threads: 2,
         fault: Some(FaultPlan { seed: 9, task_failure_rate: 0.8, poison_after: None }),
         ..ExecOptions::default()
     };
     let err = execute_program(&program, &plan, &parts, &mut store, &fns, &opts).unwrap_err();
-    assert!(
-        matches!(err, ExecError::Legality(_)),
-        "expected a legality violation, got {err}"
-    );
+    assert!(matches!(err, ExecError::Legality(_)), "expected a legality violation, got {err}");
 }
 
 #[test]

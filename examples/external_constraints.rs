@@ -41,10 +41,9 @@ fn main() {
     let mut seq = app.store.clone();
     run_program_seq(&app.program, &mut seq, &app.fns);
 
-    for (label, plan, bindings) in [
-        ("Auto", &auto_plan, ExtBindings::new()),
-        ("Auto+Hint", &hint_plan, exts),
-    ] {
+    for (label, plan, bindings) in
+        [("Auto", &auto_plan, ExtBindings::new()), ("Auto+Hint", &hint_plan, exts)]
+    {
         let parts = plan.evaluate(&app.store, &app.fns, clusters, &bindings);
         let mut par = app.store.clone();
         let report = execute_program(

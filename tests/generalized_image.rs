@@ -36,20 +36,18 @@ fn multi_preimage_is_not_disjoint_and_lemma_engine_knows() {
     // The lemma engine must refuse L12 for the multi-function...
     let sys = System::new();
     let ctx = FactCtx::new(&sys, &fns);
-    let pre_multi = PExpr::preimage(y, FnRef::Fn(multi), PExpr::Equal(mat));
-    assert!(!prove_disj(&pre_multi, &ctx), "L12 does not hold for PREIMAGE");
+    let pre_multi = sys.intern(PExpr::preimage(y, FnRef::Fn(multi), PExpr::Equal(mat)));
+    assert!(!prove_disj(pre_multi, &ctx), "L12 does not hold for PREIMAGE");
     // ...but accept it for the single-valued one.
-    let pre_single = PExpr::preimage(y, FnRef::Fn(single), PExpr::Equal(mat));
-    assert!(prove_disj(&pre_single, &ctx), "L12 holds for preimage");
+    let pre_single = sys.intern(PExpr::preimage(y, FnRef::Fn(single), PExpr::Equal(mat)));
+    assert!(prove_disj(pre_single, &ctx), "L12 holds for preimage");
 
     // L14 likewise: the adjunction is usable only for single-valued f.
-    let img_single = PExpr::image(pre_single.clone(), FnRef::Fn(single), mat);
-    assert!(entails_subset(&img_single, &PExpr::Equal(mat), &ctx));
-    let img_multi = PExpr::image(pre_multi.clone(), FnRef::Fn(multi), mat);
-    assert!(
-        !entails_subset(&img_multi, &PExpr::Equal(mat), &ctx),
-        "L14 does not hold for IMAGE/PREIMAGE"
-    );
+    let equal_mat = sys.intern(PExpr::Equal(mat));
+    let img_single = sys.arena.image(pre_single, FnRef::Fn(single), mat);
+    assert!(entails_subset(img_single, equal_mat, &ctx));
+    let img_multi = sys.arena.image(pre_multi, FnRef::Fn(multi), mat);
+    assert!(!entails_subset(img_multi, equal_mat, &ctx), "L14 does not hold for IMAGE/PREIMAGE");
 }
 
 #[test]

@@ -108,9 +108,11 @@ fn theorem_5_1_empirical() {
         let img = PExpr::image(p_expr.clone(), f, dst_r);
 
         let sys = System::new();
+        let img_id = sys.intern(&img);
         let ctx = FactCtx::new(&sys, &fns);
-        let private_expr =
-            partir::core::optimize::private_subpartition(&img, &ctx).expect("constructible");
+        let private_id =
+            partir::core::optimize::private_subpartition(img_id, &ctx).expect("constructible");
+        let private_expr = sys.arena.to_pexpr(private_id);
 
         let exts = ExtBindings::new();
         let mut ev = Evaluator::new(&store, &fns, colors, &exts);
@@ -248,8 +250,8 @@ fn figure11_relaxed_execution_matches_figure12_semantics() {
         *v = (i + 1) as f64;
     }
 
-    let plan = auto_parallelize(&program, &fns, &schema, &Hints::new(), Options::default())
-        .unwrap();
+    let plan =
+        auto_parallelize(&program, &fns, &schema, &Hints::new(), Options::default()).unwrap();
     assert!(plan.loops[0].relaxed);
 
     let parts = plan.evaluate(&store, &fns, 5, &ExtBindings::new());

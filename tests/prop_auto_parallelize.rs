@@ -39,7 +39,17 @@ fn arb_cfg() -> impl Strategy<Value = Cfg> {
         any::<u64>(),
     )
         .prop_map(
-            |(n_a, n_b, colors, read_ptr_chain, read_affine, reduce_via_ptr, reduce_via_affine, second_loop, ptr_seed)| Cfg {
+            |(
+                n_a,
+                n_b,
+                colors,
+                read_ptr_chain,
+                read_affine,
+                reduce_via_ptr,
+                reduce_via_affine,
+                second_loop,
+                ptr_seed,
+            )| Cfg {
                 n_a,
                 n_b,
                 colors,
@@ -146,7 +156,7 @@ fn eval_closed(
     store: &Store,
     fns: &FnTable,
     colors: usize,
-) -> partir::dpl::partition::Partition {
+) -> std::sync::Arc<partir::dpl::partition::Partition> {
     let exts = ExtBindings::new();
     let mut ev = Evaluator::new(store, fns, colors, &exts);
     ev.eval(e)
@@ -180,9 +190,10 @@ proptest! {
             }
             out
         };
+        let arena = &plan.system.arena;
         for sub in &plan.system.subset_obligations {
-            let lhs = eval_closed(&subst(&sub.lhs), &built.store, &built.fns, cfg.colors);
-            let rhs = eval_closed(&subst(&sub.rhs), &built.store, &built.fns, cfg.colors);
+            let lhs = eval_closed(&subst(&arena.to_pexpr(sub.lhs)), &built.store, &built.fns, cfg.colors);
+            let rhs = eval_closed(&subst(&arena.to_pexpr(sub.rhs)), &built.store, &built.fns, cfg.colors);
             prop_assert!(
                 lhs.subset_of(&rhs),
                 "subset violated: {:?} ⊆ {:?}",
@@ -193,16 +204,16 @@ proptest! {
         for pred in &plan.system.pred_obligations {
             match pred {
                 partir::core::lang::Pred::Disj(e) => {
-                    let p = eval_closed(&subst(e), &built.store, &built.fns, cfg.colors);
+                    let p = eval_closed(&subst(&arena.to_pexpr(*e)), &built.store, &built.fns, cfg.colors);
                     prop_assert!(p.is_disjoint(), "DISJ violated: {e:?}");
                 }
                 partir::core::lang::Pred::Comp(e, r) => {
-                    let p = eval_closed(&subst(e), &built.store, &built.fns, cfg.colors);
+                    let p = eval_closed(&subst(&arena.to_pexpr(*e)), &built.store, &built.fns, cfg.colors);
                     let size = schema.region_size(*r);
                     prop_assert!(p.is_complete(size), "COMP violated: {e:?}");
                 }
                 partir::core::lang::Pred::Part(e, r) => {
-                    let p = eval_closed(&subst(e), &built.store, &built.fns, cfg.colors);
+                    let p = eval_closed(&subst(&arena.to_pexpr(*e)), &built.store, &built.fns, cfg.colors);
                     let size = schema.region_size(*r);
                     prop_assert!(p.is_partition_of(size), "PART violated: {e:?}");
                 }
