@@ -272,10 +272,10 @@ impl Circuit {
         .expect("circuit auto-parallelizes")
     }
 
-    /// Auto-parallelization with the Section 6.4 user constraint
-    /// (the "Auto+Hint" line). Returns the plan and the concrete external
-    /// bindings for `colors` pieces.
-    pub fn hinted_plan(&self, colors: usize) -> (ParallelPlan, Hints, ExtBindings) {
+    /// The Section 6.4 user constraint as builder inputs: the hints and
+    /// the concrete external bindings for `colors` pieces, without running
+    /// the pipeline (feed these to `partir::Partir`).
+    pub fn hint_setup(&self, colors: usize) -> (Hints, ExtBindings) {
         let parts = self.cluster_partitions(colors);
         let mut hints = Hints::new();
         let pw = hints.external("pw", self.rw);
@@ -306,7 +306,14 @@ impl Circuit {
         exts.push(parts.access.clone());
         exts.push(parts.owned.clone());
         exts.push(parts.private.clone());
+        (hints, exts)
+    }
 
+    /// Auto-parallelization with the Section 6.4 user constraint
+    /// (the "Auto+Hint" line). Returns the plan and the concrete external
+    /// bindings for `colors` pieces.
+    pub fn hinted_plan(&self, colors: usize) -> (ParallelPlan, Hints, ExtBindings) {
+        let (hints, exts) = self.hint_setup(colors);
         let plan = auto_parallelize(
             &self.program,
             &self.fns,

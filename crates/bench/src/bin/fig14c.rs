@@ -10,15 +10,14 @@
 //! Ablation: `MINIAERO_NO_RELAX=1 cargo run ... --bin fig14c` disables the
 //! relaxation to show the buffered fallback.
 
+use partir::Partir;
 use partir_apps::miniaero::{fig14c_series, MiniAero, MiniAeroParams};
 use partir_apps::support::{
     render_series, sim_spec_from_plan, LoopWeights, ScalePoint, ScaleSeries, SimSummary,
     FIG14_NODES,
 };
 use partir_bench::{series_json, BenchArgs};
-use partir_core::eval::ExtBindings;
 use partir_core::optimize::RelaxPolicy;
-use partir_core::pipeline::{auto_parallelize, Hints, Options};
 use partir_obs::json::Json;
 use partir_runtime::sim::{simulate, MachineModel};
 
@@ -36,17 +35,16 @@ fn main() {
         let mut points = Vec::new();
         for &n in FIG14_NODES.iter() {
             let app = MiniAero::generate(&MiniAeroParams { nx, ny, nz: nz_per_node * n as u64 });
-            let plan = auto_parallelize(
-                &app.program,
-                &app.fns,
-                app.store.schema(),
-                &Hints::new(),
-                Options { relax: RelaxPolicy::Off, ..Options::default() },
-            )
-            .expect("miniaero no-relax");
-            let parts = plan.evaluate(&app.store, &app.fns, n, &ExtBindings::new());
+            let session =
+                Partir::new(app.program.clone(), app.fns.clone(), app.store.schema().clone())
+                    .relax(RelaxPolicy::Off)
+                    .colors(n)
+                    .build()
+                    .expect("miniaero no-relax");
+            let parts = session.evaluate(&app.store);
             let weights = LoopWeights(vec![12.0, 4.0, 4.0]);
-            let spec = sim_spec_from_plan(&app.program, &plan, &parts, &app.store, &weights);
+            let spec =
+                sim_spec_from_plan(&app.program, session.plan(), &parts, &app.store, &weights);
             let machine = MachineModel::gpu_cluster(n);
             let res = simulate(&spec, &machine).expect("sim spec is well-formed");
             points.push(ScalePoint {

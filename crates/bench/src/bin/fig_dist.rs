@@ -1,0 +1,125 @@
+//! Distributed-backend scaling: ghost exchange vs replication.
+//!
+//! Runs Stencil and SpMV on the rank-sharded SPMD backend at increasing
+//! rank counts (strong scaling: fixed problem, more ranks), verifies each
+//! point bit-identically against the sequential interpreter with legality
+//! checking on, and reports the exchange-set traffic the constraint
+//! solution derives. The headline number is ghost bytes vs the bytes a
+//! replicate-everything runtime would ship: the constraint-derived
+//! exchange moves only each rank's preimage/image footprint, so the ratio
+//! collapses by orders of magnitude.
+//!
+//! Run: `cargo run --release -p partir-bench --bin fig_dist`
+//! JSON report: `... --bin fig_dist -- --json [--out PATH]`
+//! Rank counts: `PARTIR_RANKS=2,4,8` overrides the default `1,2,4,8`.
+
+use partir::{Backend, Partir, RunReport};
+use partir_apps::{spmv, stencil};
+use partir_bench::BenchArgs;
+use partir_dpl::func::FnTable;
+use partir_dpl::region::{FieldId, Store};
+use partir_ir::ast::Loop;
+use partir_ir::interp::run_program_seq;
+use partir_obs::json::Json;
+use partir_runtime::dist::DistReport;
+
+struct Case {
+    name: &'static str,
+    program: Vec<Loop>,
+    fns: FnTable,
+    store: Store,
+    /// Field whose contents must match the sequential interpreter.
+    check: FieldId,
+}
+
+fn cases() -> Vec<Case> {
+    let mut out = Vec::new();
+    let a = stencil::Stencil::generate(&stencil::StencilParams { nx: 256, ny: 256 });
+    out.push(Case {
+        name: "Stencil",
+        program: a.program,
+        fns: a.fns,
+        store: a.store,
+        check: a.f_out,
+    });
+    let a = spmv::Spmv::generate(&spmv::SpmvParams { rows: 100_000, halo: 2 });
+    out.push(Case { name: "SpMV", program: a.program, fns: a.fns, store: a.store, check: a.yv });
+    out
+}
+
+fn run_point(case: &Case, seq: &Store, ranks: usize) -> DistReport {
+    let mut session =
+        Partir::new(case.program.clone(), case.fns.clone(), case.store.schema().clone())
+            .backend(Backend::Ranks(ranks))
+            .build()
+            .unwrap_or_else(|e| panic!("{} auto-parallelizes: {e}", case.name));
+    let mut par = case.store.clone();
+    let report =
+        session.run(&mut par).unwrap_or_else(|e| panic!("{} on {ranks} ranks: {e}", case.name));
+    assert_eq!(
+        seq.f64s(case.check),
+        par.f64s(case.check),
+        "{} diverged from sequential at {ranks} ranks",
+        case.name
+    );
+    match report {
+        RunReport::Ranks(r) => r,
+        RunReport::Threads(_) => unreachable!("rank backend requested"),
+    }
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    let mut ranks = partir_obs::config::ranks_env();
+    if ranks.is_empty() {
+        ranks = vec![1, 2, 4, 8];
+    }
+
+    let mut apps = Json::array();
+    let mut human = String::new();
+    for case in cases() {
+        let mut seq = case.store.clone();
+        run_program_seq(&case.program, &mut seq, &case.fns);
+
+        human.push_str(&format!(
+            "\n{}\n{:<7} {:>7} {:>9} {:>13} {:>13} {:>9}\n",
+            case.name, "ranks", "tasks", "messages", "ghost_bytes", "repl_bytes", "ratio"
+        ));
+        let mut points = Json::array();
+        for &r in &ranks {
+            let rep = run_point(&case, &seq, r);
+            if r > 1 {
+                assert!(
+                    rep.bytes_sent < rep.replication_bytes,
+                    "{}: ghost exchange ({} B) must beat replication ({} B) at {r} ranks",
+                    case.name,
+                    rep.bytes_sent,
+                    rep.replication_bytes
+                );
+            }
+            let ratio = if rep.bytes_sent > 0 {
+                rep.replication_bytes as f64 / rep.bytes_sent as f64
+            } else {
+                f64::INFINITY
+            };
+            human.push_str(&format!(
+                "{:<7} {:>7} {:>9} {:>13} {:>13} {:>8.0}x\n",
+                r, rep.tasks_run, rep.messages, rep.bytes_sent, rep.replication_bytes, ratio
+            ));
+            points = points.push(rep.to_json().with("bit_identical", true));
+        }
+        apps = apps.push(Json::object().with("name", case.name).with("points", points));
+    }
+
+    let mut ranks_json = Json::array();
+    for &r in &ranks {
+        ranks_json = ranks_json.push(r as u64);
+    }
+    let payload = Json::object().with("ranks", ranks_json).with("apps", apps);
+    args.emit("fig_dist", payload, || {
+        println!("# Distributed backend: constraint-derived ghost exchange vs replication");
+        println!("# (every point verified bit-identical to the sequential interpreter,");
+        println!("#  legality checking on)");
+        print!("{human}");
+    });
+}

@@ -12,10 +12,11 @@
 //! Run: `cargo run --release -p partir-bench --bin table1`
 //! JSON report: `... --bin table1 -- --json [--out PATH]`
 
+use partir::Partir;
 use partir_apps::{circuit, miniaero, pennant, spmv, stencil};
 use partir_bench::{plan_json, BenchArgs};
 use partir_core::eval::ExtBindings;
-use partir_core::pipeline::{auto_parallelize, EvalStats, Hints, Options, ParallelPlan, Timings};
+use partir_core::pipeline::{EvalStats, ParallelPlan, Timings};
 use partir_core::solve::SolveStats;
 use partir_dpl::func::FnTable;
 use partir_dpl::region::Store;
@@ -91,14 +92,10 @@ fn main() {
     rows.push(row_of("MiniAero", app.auto_plan(), app.program.len(), &app.fns, &app.store));
 
     let app = pennant::Pennant::generate(&pennant::PennantParams::default());
-    let plan = auto_parallelize(
-        &app.program,
-        &app.fns,
-        app.store.schema(),
-        &Hints::new(),
-        Options::default(),
-    )
-    .expect("pennant");
+    let plan = Partir::new(app.program.clone(), app.fns.clone(), app.store.schema().clone())
+        .build()
+        .expect("pennant")
+        .into_plan();
     rows.push(row_of("PENNANT", plan, app.program.len(), &app.fns, &app.store));
 
     let mut apps = Json::array();

@@ -1,0 +1,634 @@
+//! Constraint-derived communication plans for rank-sharded execution.
+//!
+//! The SPMD backend (`partir-runtime::dist`) shards every region across
+//! ranks by a *block owner mapping* of partition colors to ranks. What each
+//! rank must communicate is not guessed from the loop text — it is derived
+//! from the same solved partitions the threaded executor uses:
+//!
+//! * **owned(rank)** — the union of the owner partition's subregions over
+//!   the rank's color block, for each region. The owner partition is any
+//!   solved partition of the region that is disjoint *and* complete
+//!   (iteration partitions are preferred); when the plan produced none, a
+//!   block `equal` partition is synthesized — exactly the fallback the
+//!   paper's solver uses for unconstrained symbols.
+//! * **needed(rank, loop)** — per f64 field, the union over the rank's
+//!   colors of the access-partition subregions of every access to that
+//!   field. This is the `COMP`-verdict data: the access partitions *are*
+//!   the solver's description of which elements each color touches.
+//! * **ghosts** — `needed − owned`, split by the owner map into per-source
+//!   fetch sets. All fields of one `(src, dst)` pair batch into a single
+//!   message per loop ("epoch").
+//! * **write-backs** — elements a rank mutates in place (centered writes,
+//!   direct/guarded reductions, the private slice of `BufferedPrivate`)
+//!   but does not own; after the loop they are sent to the owner, which
+//!   installs them verbatim (each element has exactly one in-place writer,
+//!   by the same disjointness argument the threaded executor relies on).
+//! * **buffer routes** — for two-step (`Buffered`/`BufferedPrivate`)
+//!   reductions, each color's buffer set is split by owner; non-owner
+//!   portions travel with the write-back message and the owner merges all
+//!   partial buffers in ascending color order, reproducing the threaded
+//!   executor's deterministic merge bit-for-bit.
+//!
+//! Everything is precomputed once per plan into an [`ExchangePlan`] and
+//! reused across executions (the sets depend only on the plan, the
+//! evaluated partitions, and the rank count — not on field values).
+
+use crate::pipeline::{ParallelPlan, PlannedReduce};
+use partir_dpl::index_set::IndexSet;
+use partir_dpl::ops::equal;
+use partir_dpl::partition::Partition;
+use partir_dpl::region::{FieldId, FieldKind, RegionId, Schema};
+use partir_ir::analysis::AccessKind;
+use partir_ir::ast::ReduceOp;
+use std::fmt;
+use std::sync::Arc;
+
+/// Per-field transfer sets of one `(src, dst)` pair, ascending by field id;
+/// only non-empty sets are stored.
+pub type FieldSets = Vec<(FieldId, IndexSet)>;
+
+/// Routing of one two-step reduction access: who owns which slice of each
+/// color's buffer set.
+#[derive(Clone, Debug)]
+pub struct BufferRoute {
+    /// Access index within the loop plan.
+    pub access: usize,
+    pub field: FieldId,
+    pub op: ReduceOp,
+    /// For every color `c`: the owner split of the color's buffer set,
+    /// ascending by destination rank. The union of the slices is exactly
+    /// the buffer set, because the owner map is complete.
+    pub by_color: Vec<Vec<(usize, IndexSet)>>,
+}
+
+/// Communication structure of one loop (one exchange epoch).
+#[derive(Clone, Debug, Default)]
+pub struct LoopExchange {
+    /// `ghost_fetch[dst][src]`: elements `dst` needs that `src` owns,
+    /// per f64 field. `src` packs and pushes them before the loop runs.
+    pub ghost_fetch: Vec<Vec<FieldSets>>,
+    /// `write_back[src][dst]`: elements `src` mutates in place but `dst`
+    /// owns; sent after the loop, installed verbatim by the owner.
+    pub write_back: Vec<Vec<FieldSets>>,
+    /// Two-step reduction routes, in loop-plan access order.
+    pub routes: Vec<BufferRoute>,
+    /// Per rank: colors whose every in-place f64 access stays inside the
+    /// rank's owned sets — safe to run *before* ghosts arrive (overlapping
+    /// communication with local-interior compute).
+    pub interior: Vec<Vec<usize>>,
+    /// Per rank: the rank's remaining colors, run after the ghost exchange.
+    pub boundary: Vec<Vec<usize>>,
+    /// First-owner narrowing of centered writes for aliased iteration
+    /// partitions (same fold as the threaded executor), `None` when the
+    /// iteration partition is disjoint.
+    pub write_own: Option<Vec<IndexSet>>,
+}
+
+/// Volume accounting for one full pass over the program.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ExchangeStats {
+    /// Total ghost elements held across ranks and regions (`locals −
+    /// owned`, counted once per rank).
+    pub ghost_elements: u64,
+    /// Bytes of ghost-fetch payloads per program pass.
+    pub ghost_fetch_bytes: u64,
+    /// Bytes of in-place write-back payloads per program pass.
+    pub write_back_bytes: u64,
+    /// Bytes of partial-reduction buffers shipped per program pass.
+    pub partial_bytes: u64,
+    /// Coalesced messages per program pass (ghost + post-loop).
+    pub messages: u64,
+    /// Bytes full replication would move to materialize every f64 field on
+    /// every non-owner rank once — the baseline sharding beats.
+    pub replication_bytes: u64,
+}
+
+impl ExchangeStats {
+    /// All payload bytes one program pass moves between ranks.
+    pub fn total_bytes(&self) -> u64 {
+        self.ghost_fetch_bytes + self.write_back_bytes + self.partial_bytes
+    }
+}
+
+/// The reusable product: owner mapping plus per-loop exchange sets.
+#[derive(Clone, Debug)]
+pub struct ExchangePlan {
+    pub n_ranks: usize,
+    pub n_colors: usize,
+    /// Color block `[start, end)` of each rank.
+    color_ranges: Vec<(usize, usize)>,
+    /// `owned[region][rank]`: disjoint + complete per region.
+    owned: Vec<Vec<IndexSet>>,
+    /// `ghosts[region][rank]`: elements replicated from other owners.
+    ghosts: Vec<Vec<IndexSet>>,
+    /// `locals[region][rank] = owned ∪ ghosts` (rank-store footprint).
+    locals: Vec<Vec<IndexSet>>,
+    pub loops: Vec<LoopExchange>,
+    pub stats: ExchangeStats,
+}
+
+impl ExchangePlan {
+    pub fn owned(&self, region: RegionId, rank: usize) -> &IndexSet {
+        &self.owned[region.0 as usize][rank]
+    }
+
+    pub fn ghosts(&self, region: RegionId, rank: usize) -> &IndexSet {
+        &self.ghosts[region.0 as usize][rank]
+    }
+
+    /// The rank's full footprint of a region: `owned ∪ ghosts`.
+    pub fn local(&self, region: RegionId, rank: usize) -> &IndexSet {
+        &self.locals[region.0 as usize][rank]
+    }
+
+    /// The rank executing color `c` under the block owner mapping.
+    pub fn rank_of_color(&self, c: usize) -> usize {
+        self.color_ranges.partition_point(|&(start, _)| start <= c) - 1
+    }
+
+    /// Colors assigned to `rank`, as a contiguous block.
+    pub fn colors_of(&self, rank: usize) -> std::ops::Range<usize> {
+        let (s, e) = self.color_ranges[rank];
+        s..e
+    }
+}
+
+/// Exchange derivation failure.
+#[derive(Debug, PartialEq, Eq)]
+pub enum ExchangeError {
+    /// Rank count must be at least 1.
+    NoRanks,
+    /// Partitions disagree on the launch width (subregion counts differ).
+    WidthMismatch { part: usize, expected: usize, got: usize },
+}
+
+impl fmt::Display for ExchangeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExchangeError::NoRanks => write!(f, "rank count must be at least 1"),
+            ExchangeError::WidthMismatch { part, expected, got } => {
+                write!(f, "partition {part} has {got} subregions, launch width is {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExchangeError {}
+
+/// Derives the full exchange structure for `n_ranks` ranks from a plan and
+/// its evaluated partitions. Pure set algebra over the solver's output; no
+/// field values are read.
+pub fn derive_exchange(
+    plan: &ParallelPlan,
+    parts: &[Arc<Partition>],
+    schema: &Schema,
+    n_ranks: usize,
+) -> Result<ExchangePlan, ExchangeError> {
+    if n_ranks == 0 {
+        return Err(ExchangeError::NoRanks);
+    }
+    let n_colors = parts.first().map(|p| p.num_subregions()).unwrap_or(0);
+    for (pi, p) in parts.iter().enumerate() {
+        if p.num_subregions() != n_colors {
+            return Err(ExchangeError::WidthMismatch {
+                part: pi,
+                expected: n_colors,
+                got: p.num_subregions(),
+            });
+        }
+    }
+    let sp = partir_obs::span_with(
+        "exchange.derive",
+        vec![("ranks", n_ranks.into()), ("colors", n_colors.into())],
+    );
+
+    // Block owner mapping of colors to ranks.
+    let color_ranges: Vec<(usize, usize)> =
+        (0..n_ranks).map(|r| (r * n_colors / n_ranks, (r + 1) * n_colors / n_ranks)).collect();
+    let rank_of_color =
+        |c: usize| -> usize { color_ranges.partition_point(|&(start, _)| start <= c) - 1 };
+
+    // ---- Owner partitions per region. ----
+    let n_regions = schema.num_regions();
+    let owner_parts: Vec<Partition> = (0..n_regions)
+        .map(|ri| {
+            let region = RegionId(ri as u32);
+            let size = schema.region_size(region);
+            // Prefer iteration partitions (the natural compute placement),
+            // then any disjoint + complete solved partition.
+            let candidate =
+                plan.loops.iter().map(|lp| lp.iter.0 as usize).chain(0..parts.len()).find(|&pi| {
+                    let p = &parts[pi];
+                    p.region == region && p.is_disjoint() && p.is_complete(size)
+                });
+            match candidate {
+                Some(pi) => (*parts[pi]).clone(),
+                None => equal(region, size, n_colors.max(1)),
+            }
+        })
+        .collect();
+
+    // owned[region][rank] = union of the owner partition over the block.
+    let owned: Vec<Vec<IndexSet>> = owner_parts
+        .iter()
+        .map(|op| {
+            color_ranges
+                .iter()
+                .map(|&(s, e)| {
+                    let mut acc = IndexSet::new();
+                    for c in s..e.min(op.num_subregions()) {
+                        acc = acc.union(op.subregion(c));
+                    }
+                    acc
+                })
+                .collect()
+        })
+        .collect();
+
+    // ---- Per-loop exchange sets. ----
+    let mut stats = ExchangeStats::default();
+    // needed_acc[region][rank] accumulates across loops for ghost storage.
+    let mut ghost_acc: Vec<Vec<IndexSet>> = vec![vec![IndexSet::new(); n_ranks]; n_regions];
+    let mut loops = Vec::with_capacity(plan.loops.len());
+    for lp in &plan.loops {
+        let iter = &parts[lp.iter.0 as usize];
+        let write_own: Option<Vec<IndexSet>> = if iter.is_disjoint() {
+            None
+        } else {
+            let mut seen = IndexSet::new();
+            Some(
+                iter.iter()
+                    .map(|s| {
+                        let mine = s.difference(&seen);
+                        seen = seen.union(s);
+                        mine
+                    })
+                    .collect(),
+            )
+        };
+
+        // Per-rank, per-field needed and in-place-mutated sets.
+        let is_f64 = |f: FieldId| matches!(schema.field(f).kind, FieldKind::F64);
+        // (field, rank) -> set, kept sparse by field.
+        let mut needed: Vec<(FieldId, Vec<IndexSet>)> = Vec::new();
+        let mut mutated: Vec<(FieldId, Vec<IndexSet>)> = Vec::new();
+        let slot = |table: &mut Vec<(FieldId, Vec<IndexSet>)>, f: FieldId| -> usize {
+            match table.iter().position(|(g, _)| *g == f) {
+                Some(i) => i,
+                None => {
+                    table.push((f, vec![IndexSet::new(); n_ranks]));
+                    table.len() - 1
+                }
+            }
+        };
+        let mut interior: Vec<Vec<usize>> = vec![Vec::new(); n_ranks];
+        let mut boundary: Vec<Vec<usize>> = vec![Vec::new(); n_ranks];
+        let mut routes: Vec<BufferRoute> = Vec::new();
+
+        for (ai, ap) in lp.accesses.iter().enumerate() {
+            if !is_f64(ap.field) {
+                continue; // Ptr/Range topology fields are replicated.
+            }
+            let part = &parts[ap.part.0 as usize];
+            let region = ap.region.0 as usize;
+            // Everything an access touches must be locally resident:
+            // reads need the value, in-place effects need a slot (and the
+            // owner's pre-loop value, for exact in-place reduce order).
+            let buffered = matches!(
+                ap.reduce,
+                Some(PlannedReduce::Buffered) | Some(PlannedReduce::BufferedPrivate { .. })
+            );
+            if !buffered {
+                let ni = slot(&mut needed, ap.field);
+                for (rank, range) in color_ranges.iter().enumerate() {
+                    let mut acc = needed[ni].1[rank].clone();
+                    for c in range.0..range.1 {
+                        acc = acc.union(part.subregion(c));
+                    }
+                    needed[ni].1[rank] = acc;
+                }
+            }
+            // In-place mutated sets, per the threaded executor's effect
+            // sets (see exec.rs::effect_set).
+            let is_in_place = matches!(
+                (&ap.kind, &ap.reduce),
+                (AccessKind::Write, _)
+                    | (AccessKind::Reduce(_), None)
+                    | (AccessKind::Reduce(_), Some(PlannedReduce::Direct))
+                    | (AccessKind::Reduce(_), Some(PlannedReduce::Guarded))
+            );
+            if is_in_place {
+                let mi = slot(&mut mutated, ap.field);
+                for (rank, range) in color_ranges.iter().enumerate() {
+                    let mut acc = mutated[mi].1[rank].clone();
+                    for c in range.0..range.1 {
+                        let set = match (&ap.kind, &ap.reduce) {
+                            (AccessKind::Write, _) => match &write_own {
+                                Some(own) => &own[c],
+                                None => iter.subregion(c),
+                            },
+                            (AccessKind::Reduce(_), None) => iter.subregion(c),
+                            _ => part.subregion(c),
+                        };
+                        acc = acc.union(set);
+                    }
+                    mutated[mi].1[rank] = acc;
+                }
+            }
+            match &ap.reduce {
+                Some(PlannedReduce::BufferedPrivate { private }) => {
+                    // The private slice is mutated in place and needs the
+                    // owner's pre-value; the remainder goes through a route.
+                    let ppart = &parts[private.0 as usize];
+                    let ni = slot(&mut needed, ap.field);
+                    let mi = slot(&mut mutated, ap.field);
+                    for (rank, range) in color_ranges.iter().enumerate() {
+                        let mut nacc = needed[ni].1[rank].clone();
+                        let mut macc = mutated[mi].1[rank].clone();
+                        for c in range.0..range.1 {
+                            nacc = nacc.union(ppart.subregion(c));
+                            macc = macc.union(ppart.subregion(c));
+                        }
+                        needed[ni].1[rank] = nacc;
+                        mutated[mi].1[rank] = macc;
+                    }
+                    let AccessKind::Reduce(op) = ap.kind else { unreachable!() };
+                    let by_color = (0..n_colors)
+                        .map(|c| {
+                            let set = part.subregion(c).difference(ppart.subregion(c));
+                            split_by_owner(&set, &owned[region])
+                        })
+                        .collect();
+                    routes.push(BufferRoute { access: ai, field: ap.field, op, by_color });
+                }
+                Some(PlannedReduce::Buffered) => {
+                    let AccessKind::Reduce(op) = ap.kind else { unreachable!() };
+                    let by_color = (0..n_colors)
+                        .map(|c| split_by_owner(part.subregion(c), &owned[region]))
+                        .collect();
+                    routes.push(BufferRoute { access: ai, field: ap.field, op, by_color });
+                }
+                _ => {}
+            }
+        }
+
+        // Interior/boundary split: a color is interior when every non-route
+        // f64 access set it touches lies inside its rank's owned sets.
+        for (rank, range) in color_ranges.iter().enumerate() {
+            'color: for c in range.0..range.1 {
+                for ap in &lp.accesses {
+                    if !is_f64(ap.field) {
+                        continue;
+                    }
+                    let region = ap.region.0 as usize;
+                    let touched: IndexSet = match &ap.reduce {
+                        Some(PlannedReduce::Buffered) => continue,
+                        Some(PlannedReduce::BufferedPrivate { private }) => {
+                            parts[private.0 as usize].subregion(c).clone()
+                        }
+                        _ => parts[ap.part.0 as usize].subregion(c).clone(),
+                    };
+                    if !touched.is_subset(&owned[region][rank]) {
+                        boundary[rank].push(c);
+                        continue 'color;
+                    }
+                }
+                interior[rank].push(c);
+            }
+        }
+
+        // Ghost fetch: needed − owned, split by owner; write-back:
+        // mutated − owned, split by owner. Fields batch per (src, dst).
+        let mut ghost_fetch: Vec<Vec<FieldSets>> = vec![vec![Vec::new(); n_ranks]; n_ranks];
+        let mut write_back: Vec<Vec<FieldSets>> = vec![vec![Vec::new(); n_ranks]; n_ranks];
+        needed.sort_by_key(|(f, _)| *f);
+        mutated.sort_by_key(|(f, _)| *f);
+        for (field, per_rank) in &needed {
+            let region = schema.field(*field).region.0 as usize;
+            for (dst, set) in per_rank.iter().enumerate() {
+                let ghost = set.difference(&owned[region][dst]);
+                if ghost.is_empty() {
+                    continue;
+                }
+                ghost_acc[region][dst] = ghost_acc[region][dst].union(&ghost);
+                for (src, piece) in split_by_owner(&ghost, &owned[region]) {
+                    stats.ghost_fetch_bytes += piece.len() * 8;
+                    ghost_fetch[dst][src].push((*field, piece));
+                }
+            }
+        }
+        for (field, per_rank) in &mutated {
+            let region = schema.field(*field).region.0 as usize;
+            for (src, set) in per_rank.iter().enumerate() {
+                let foreign = set.difference(&owned[region][src]);
+                if foreign.is_empty() {
+                    continue;
+                }
+                for (dst, piece) in split_by_owner(&foreign, &owned[region]) {
+                    stats.write_back_bytes += piece.len() * 8;
+                    write_back[src][dst].push((*field, piece));
+                }
+            }
+        }
+        for route in &routes {
+            for (c, slices) in route.by_color.iter().enumerate() {
+                let src = rank_of_color(c);
+                for (dst, piece) in slices {
+                    if *dst != src {
+                        stats.partial_bytes += piece.len() * 8;
+                    }
+                }
+            }
+        }
+        // Message count: one ghost message per non-empty (src, dst) pair,
+        // one post-loop message per pair with write-backs or partials.
+        for dst in 0..n_ranks {
+            for src in 0..n_ranks {
+                if !ghost_fetch[dst][src].is_empty() {
+                    stats.messages += 1;
+                }
+                let partials = routes.iter().any(|r| {
+                    r.by_color.iter().enumerate().any(|(c, slices)| {
+                        rank_of_color(c) == src
+                            && slices.iter().any(|(d, _)| *d == dst && *d != src)
+                    })
+                });
+                if !write_back[src][dst].is_empty() || partials {
+                    stats.messages += 1;
+                }
+            }
+        }
+        loops.push(LoopExchange { ghost_fetch, write_back, routes, interior, boundary, write_own });
+    }
+
+    let locals: Vec<Vec<IndexSet>> = owned
+        .iter()
+        .zip(&ghost_acc)
+        .map(|(o, g)| o.iter().zip(g).map(|(os, gs)| os.union(gs)).collect())
+        .collect();
+    stats.ghost_elements = ghost_acc.iter().flatten().map(IndexSet::len).sum();
+    stats.replication_bytes = (n_ranks as u64 - 1)
+        * (0..schema.num_fields())
+            .filter_map(|fi| {
+                let f = schema.field(FieldId(fi as u32));
+                matches!(f.kind, FieldKind::F64).then(|| schema.region_size(f.region) * 8)
+            })
+            .sum::<u64>();
+
+    if partir_obs::metrics_enabled() {
+        partir_obs::counter("exchange.ghost_elements", stats.ghost_elements);
+        partir_obs::counter("exchange.ghost_fetch_bytes", stats.ghost_fetch_bytes);
+        partir_obs::counter("exchange.write_back_bytes", stats.write_back_bytes);
+        partir_obs::counter("exchange.partial_bytes", stats.partial_bytes);
+        partir_obs::counter("exchange.messages", stats.messages);
+    }
+    sp.close_with(vec![
+        ("ghost_elements", stats.ghost_elements.into()),
+        ("messages", stats.messages.into()),
+    ]);
+    Ok(ExchangePlan {
+        n_ranks,
+        n_colors,
+        color_ranges,
+        owned,
+        ghosts: ghost_acc,
+        locals,
+        loops,
+        stats,
+    })
+}
+
+/// Splits `set` by the (disjoint, complete) owner sets, ascending by rank;
+/// empty slices are dropped.
+fn split_by_owner(set: &IndexSet, owned: &[IndexSet]) -> Vec<(usize, IndexSet)> {
+    owned
+        .iter()
+        .enumerate()
+        .filter_map(|(rank, o)| {
+            let piece = set.intersect(o);
+            (!piece.is_empty()).then_some((rank, piece))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::ExtBindings;
+    use crate::pipeline::{auto_parallelize, Hints, Options};
+    use partir_dpl::func::{FnDef, FnTable, IndexFn};
+    use partir_dpl::region::{FieldKind, Schema, Store};
+    use partir_ir::ast::{LoopBuilder, VExpr};
+
+    /// 1-D periodic stencil: out[i] = in[(i-1) mod n] + in[(i+1) mod n].
+    fn stencil_1d(n: u64) -> (Vec<partir_ir::ast::Loop>, FnTable, Schema) {
+        let mut schema = Schema::new();
+        let r = schema.add_region("R", n);
+        let fin = schema.add_field(r, "in", FieldKind::F64);
+        let fout = schema.add_field(r, "out", FieldKind::F64);
+        let mut fns = FnTable::new();
+        let left =
+            fns.add("left", r, r, FnDef::Index(IndexFn::AffineMod { mul: 1, add: -1, modulus: n }));
+        let right =
+            fns.add("right", r, r, FnDef::Index(IndexFn::AffineMod { mul: 1, add: 1, modulus: n }));
+        let mut b = LoopBuilder::new("stencil", r);
+        let i = b.loop_var();
+        let li = b.idx_apply(left, i);
+        let ri = b.idx_apply(right, i);
+        let lv = b.val_read(r, fin, li);
+        let rv = b.val_read(r, fin, ri);
+        b.val_write(r, fout, i, VExpr::add(VExpr::var(lv), VExpr::var(rv)));
+        (vec![b.finish()], fns, schema)
+    }
+
+    #[test]
+    fn stencil_ghosts_are_exactly_the_pm1_halo() {
+        let n = 40u64;
+        let (program, fns, schema) = stencil_1d(n);
+        let plan =
+            auto_parallelize(&program, &fns, &schema, &Hints::new(), Options::default()).unwrap();
+        let store = Store::new(schema.clone());
+        let ranks = 4usize;
+        let parts = plan.evaluate(&store, &fns, ranks, &ExtBindings::new());
+        let x = derive_exchange(&plan, &parts, &schema, ranks).unwrap();
+
+        let r = schema.region_by_name("R").unwrap();
+        let block = n / ranks as u64;
+        for rank in 0..ranks {
+            let (lo, hi) = (rank as u64 * block, (rank as u64 + 1) * block);
+            assert_eq!(
+                x.owned(r, rank),
+                &IndexSet::from_range(lo, hi),
+                "owner map must be the block partition"
+            );
+            // Ghosts: exactly the two halo cells (periodic neighbors).
+            let want = IndexSet::from_indices([
+                (lo + n - 1) % n, // left neighbor of the block start
+                hi % n,           // right neighbor of the block end
+            ]);
+            assert_eq!(x.ghosts(r, rank), &want, "rank {rank} halo");
+            assert_eq!(x.local(r, rank), &x.owned(r, rank).union(&want));
+        }
+        // Each rank fetches one element from each of its two neighbors for
+        // the single read field: 2 messages in, 2 out, 8 bytes each.
+        let lx = &x.loops[0];
+        for rank in 0..ranks {
+            let mut total = 0u64;
+            for src in 0..ranks {
+                for (_, set) in &lx.ghost_fetch[rank][src] {
+                    total += set.len();
+                }
+            }
+            assert_eq!(total, 2, "rank {rank} fetches exactly its ±1 halo");
+        }
+        // Centered writes to owned elements: nothing to write back.
+        assert_eq!(x.stats.write_back_bytes, 0);
+        assert!(x.stats.ghost_fetch_bytes < x.stats.replication_bytes);
+    }
+
+    #[test]
+    fn single_rank_needs_no_communication() {
+        let (program, fns, schema) = stencil_1d(24);
+        let plan =
+            auto_parallelize(&program, &fns, &schema, &Hints::new(), Options::default()).unwrap();
+        let store = Store::new(schema.clone());
+        let parts = plan.evaluate(&store, &fns, 1, &ExtBindings::new());
+        let x = derive_exchange(&plan, &parts, &schema, 1).unwrap();
+        assert_eq!(x.stats.messages, 0);
+        assert_eq!(x.stats.ghost_elements, 0);
+        let r = schema.region_by_name("R").unwrap();
+        assert_eq!(x.owned(r, 0), &IndexSet::from_range(0, 24));
+    }
+
+    #[test]
+    fn owner_map_is_disjoint_and_complete_per_region() {
+        let (program, fns, schema) = stencil_1d(30);
+        let plan =
+            auto_parallelize(&program, &fns, &schema, &Hints::new(), Options::default()).unwrap();
+        let store = Store::new(schema.clone());
+        let parts = plan.evaluate(&store, &fns, 6, &ExtBindings::new());
+        let x = derive_exchange(&plan, &parts, &schema, 3).unwrap();
+        for (region, _) in schema.regions() {
+            let subs: Vec<IndexSet> = (0..3).map(|r| x.owned(region, r).clone()).collect();
+            let p = Partition::new(region, subs);
+            assert!(p.is_disjoint());
+            assert!(p.is_complete(schema.region_size(region)));
+        }
+        // Colors 0..6 block onto ranks 0..3 two apiece.
+        assert_eq!(x.colors_of(0), 0..2);
+        assert_eq!(x.colors_of(2), 4..6);
+        for c in 0..6 {
+            assert_eq!(x.rank_of_color(c), c / 2);
+        }
+    }
+
+    #[test]
+    fn zero_ranks_is_an_error() {
+        let (program, fns, schema) = stencil_1d(8);
+        let plan =
+            auto_parallelize(&program, &fns, &schema, &Hints::new(), Options::default()).unwrap();
+        let store = Store::new(schema.clone());
+        let parts = plan.evaluate(&store, &fns, 2, &ExtBindings::new());
+        assert!(matches!(derive_exchange(&plan, &parts, &schema, 0), Err(ExchangeError::NoRanks)));
+    }
+}

@@ -6,6 +6,7 @@
 //! (Section 3.3), and the reduction optimizations of Section 5.
 
 pub mod eval;
+pub mod exchange;
 pub mod infer;
 pub mod lang;
 pub mod lemmas;
@@ -16,6 +17,9 @@ pub mod unify;
 
 pub mod prelude {
     pub use crate::eval::{Evaluator, ExtBindings};
+    pub use crate::exchange::{
+        derive_exchange, BufferRoute, ExchangeError, ExchangePlan, ExchangeStats, LoopExchange,
+    };
     pub use crate::infer::{infer, Inference, InferredLoop};
     pub use crate::lang::{ExtId, ExternalDecl, FnRef, PExpr, PSym, Pred, Subset, System};
     pub use crate::lemmas::{entails_subset, prove_comp, prove_disj, prove_part, FactCtx};
@@ -27,7 +31,7 @@ pub mod prelude {
         auto_parallelize, AccessPlan, AutoError, Hints, LoopPlan, Options, ParallelPlan, PartId,
         PlannedReduce, Timings,
     };
-    pub use crate::solve::{solve, solve_with, Solution, SolveError, SolveStats};
+    pub use crate::solve::{solve, solve_with, Solution, SolveBudget, SolveError, SolveStats};
     pub use crate::unify::{unify, Rep, Unified};
 }
 

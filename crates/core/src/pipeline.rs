@@ -19,7 +19,7 @@ use crate::solve::{solve_with, Solution, SolveBudget, SolveError};
 use crate::unify::{unify, Rep, Unified};
 use partir_dpl::func::FnTable;
 use partir_dpl::partition::Partition;
-use partir_dpl::region::{RegionId, Schema, Store};
+use partir_dpl::region::{FieldId, RegionId, Schema, Store};
 use partir_ir::analysis::{AccessKind, NotParallelizable};
 use partir_ir::ast::Loop;
 use std::collections::HashMap;
@@ -75,6 +75,12 @@ impl Hints {
     pub fn private_sub(&mut self, region: RegionId, expr: PExpr) {
         self.private_subs.push((region, expr));
     }
+
+    /// Number of declared external partitions (the builder checks its
+    /// `ExtBindings` against this).
+    pub fn num_externals(&self) -> usize {
+        self.externals.len()
+    }
 }
 
 /// Pipeline options (ablation knobs for the evaluation).
@@ -123,6 +129,9 @@ pub struct AccessPlan {
     pub kind: AccessKind,
     /// Region the access targets (for diagnostics).
     pub region: RegionId,
+    /// Field the access targets (drives per-field exchange sets on the
+    /// distributed backend).
+    pub field: FieldId,
     /// Reduction strategy; `None` for reads/writes and centered reductions.
     pub reduce: Option<PlannedReduce>,
 }
@@ -221,7 +230,7 @@ impl ParallelPlan {
         out
     }
 
-    /// Renders the explanation trace that pairs with [`render_dpl`]: the
+    /// Renders the explanation trace that pairs with [`Self::render_dpl`]: the
     /// unification merges that rewrote the system, then the solver's
     /// per-symbol provenance (which candidate rule, resting on which
     /// lemmas, produced each equality).
@@ -413,7 +422,13 @@ pub fn auto_parallelize(
             } else {
                 None
             };
-            accesses.push(AccessPlan { part, kind: a.kind, region: a.region, reduce });
+            accesses.push(AccessPlan {
+                part,
+                kind: a.kind,
+                region: a.region,
+                field: a.field,
+                reduce,
+            });
         }
         plan_loops.push(LoopPlan {
             loop_index: li,

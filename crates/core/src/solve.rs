@@ -231,7 +231,7 @@ impl Solution {
 
     /// Renders the explanation trace: one line per symbol stating the
     /// binding, the candidate rule that produced it (with the lemmas it
-    /// rests on), and the symbol's diagnostic name. Pairs with [`render`]
+    /// rests on), and the symbol's diagnostic name. Pairs with [`Self::render`]
     /// the way a proof sketch pairs with a program listing.
     pub fn render_explanation(&self, system: &System, fns: &FnTable) -> String {
         use std::fmt::Write;
@@ -275,6 +275,16 @@ pub enum SolveError {
     /// Exhausted all candidates without finding a consistent strengthening.
     Unsatisfiable,
 }
+
+impl std::fmt::Display for SolveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolveError::Unsatisfiable => write!(f, "constraint system unsatisfiable"),
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
 
 /// Solves a system with no pre-made bindings and no budget.
 pub fn solve(system: &System, fns: &FnTable) -> Result<Solution, SolveError> {

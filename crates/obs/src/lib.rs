@@ -29,8 +29,11 @@
 //! for reports (serde is not available in the offline build environment;
 //! see DESIGN.md §6).
 
+pub mod config;
 pub mod json;
 pub mod report;
+
+pub use config::ObsConfig;
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, RwLock};
@@ -141,27 +144,27 @@ pub fn metrics_enabled() -> bool {
     METRICS_ENABLED.load(Ordering::Relaxed)
 }
 
-fn env_flag(name: &str) -> bool {
-    matches!(std::env::var(name), Ok(v) if !v.is_empty() && v != "0")
-}
-
-/// Reads `PARTIR_TRACE` / `PARTIR_METRICS` once and, if either is set,
-/// installs the stderr line-JSON sink. Idempotent and cheap to call from
-/// any entry point (`auto_parallelize` calls it, as do the bench bins).
+/// Reads `PARTIR_TRACE` / `PARTIR_METRICS` once (via
+/// [`config::ObsConfig::from_env`] — the single place those variables are
+/// parsed) and, if either is set, installs the stderr line-JSON sink.
+/// Idempotent and cheap to call from any entry point (`auto_parallelize`
+/// calls it, as do the bench bins).
 pub fn init_from_env() {
     ENV_INIT.get_or_init(|| {
-        let trace = env_flag("PARTIR_TRACE");
-        let metrics = env_flag("PARTIR_METRICS");
-        if trace || metrics {
-            // Never clobber a sink a test installed before first use.
-            let mut slot = sink_slot().write().unwrap_or_else(|e| e.into_inner());
-            if slot.is_none() {
-                *slot = Some(Arc::new(StderrSink));
-                TRACE_ENABLED.store(trace, Ordering::Relaxed);
-                METRICS_ENABLED.store(metrics, Ordering::Relaxed);
-            }
-        }
+        config::ObsConfig::from_env().apply();
     });
+}
+
+/// Installs `sink` only when no sink is installed yet — the env-default
+/// path, which must never clobber a sink a test or report harness
+/// installed programmatically.
+pub fn install_default_sink(sink: Arc<dyn EventSink>, trace: bool, metrics: bool) {
+    let mut slot = sink_slot().write().unwrap_or_else(|e| e.into_inner());
+    if slot.is_none() {
+        *slot = Some(sink);
+        TRACE_ENABLED.store(trace, Ordering::Relaxed);
+        METRICS_ENABLED.store(metrics, Ordering::Relaxed);
+    }
 }
 
 /// Installs a sink programmatically (tests, report harnesses), replacing

@@ -47,6 +47,55 @@ pub fn ns_to_ms(ns: u128) -> f64 {
     ns as f64 / 1.0e6
 }
 
+/// Registry of the stable error-code strings the unified `partir::Error`
+/// emits (its `error_code()` method and the `"error_code"` field of
+/// failure reports). Codes are part of the `partir-report-v1` contract:
+/// renaming one is a schema break, adding one is not.
+pub const ERROR_CODES: &[&str] = &[
+    // pipeline (`partir-core`)
+    "auto.not_parallelizable",
+    "auto.unsatisfiable",
+    "solve.unsatisfiable",
+    "exchange.no_ranks",
+    "exchange.width_mismatch",
+    // threaded executor
+    "exec.plan_mismatch",
+    "exec.partition_index_out_of_bounds",
+    "exec.partition_width_mismatch",
+    "exec.partition_exceeds_region",
+    "exec.incomplete_iteration",
+    "exec.iteration_not_disjoint",
+    "exec.reduction_not_disjoint",
+    "exec.legality",
+    "exec.task_panic",
+    "exec.task_failed",
+    "exec.buffer_state_corrupt",
+    // distributed (rank) executor
+    "dist.plan_mismatch",
+    "dist.partition_index_out_of_bounds",
+    "dist.partition_width_mismatch",
+    "dist.partition_exceeds_region",
+    "dist.incomplete_iteration",
+    "dist.iteration_not_disjoint",
+    "dist.reduction_not_disjoint",
+    "dist.legality",
+    "dist.rank_panic",
+    "dist.disconnected",
+    "dist.aborted",
+    "dist.internal",
+    // machine-model simulator
+    "sim.missing_region_size",
+    "sim.home_width_mismatch",
+    "sim.iter_width_mismatch",
+    // builder
+    "session.invalid",
+];
+
+/// Is `code` a registered `partir-report-v1` error code?
+pub fn is_known_error_code(code: &str) -> bool {
+    ERROR_CODES.contains(&code)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,155 @@
+//! In-process rank mailboxes.
+//!
+//! One mailbox pair per rank: a single receiver owned by the rank's thread
+//! and one sender endpoint cloned into every peer. Messages are tagged with
+//! the loop epoch so a fast rank may run ahead and push next-epoch ghosts
+//! while a slow peer is still draining the current epoch — early messages
+//! are stashed and replayed in order. Receives poll with a short timeout
+//! against a shared abort flag so one failing rank cannot deadlock the
+//! rest of the fleet.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// What a message carries.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MsgKind {
+    /// Pre-loop ghost values: owner-fresh copies of `needed − owned`.
+    Ghost,
+    /// Post-loop traffic: in-place write-backs plus partial-reduction
+    /// buffer slices, coalesced into one message per `(src, dst)` pair.
+    Post,
+}
+
+/// One coalesced inter-rank message. Both sides derive the exact layout of
+/// `values` from the shared [`partir_core::exchange::ExchangePlan`], so
+/// only raw f64 payloads travel — no per-message set descriptions.
+#[derive(Debug)]
+pub struct Msg {
+    pub epoch: u64,
+    pub src: usize,
+    pub kind: MsgKind,
+    /// Field payloads in plan order; for `Post`, write-back values first,
+    /// then partial-buffer slices in (route-major, color-minor) order.
+    pub values: Vec<f64>,
+    /// For `Post`: one flag per routed (route, color) slice destined to the
+    /// receiver — `false` means the color never contributed to that buffer
+    /// and the receiver must skip its merge (mirroring the threaded
+    /// executor, which skips unallocated buffers entirely).
+    pub partials_present: Vec<bool>,
+}
+
+/// Receive failure.
+#[derive(Debug)]
+pub enum MailboxError {
+    /// Another rank aborted the run (its error is reported separately).
+    Aborted,
+    /// A peer hung up without sending (it panicked before aborting).
+    Disconnected,
+}
+
+/// The receiving half of one rank's mailbox.
+pub struct Mailbox {
+    rx: Receiver<Msg>,
+    pending: Vec<Msg>,
+    abort: Arc<AtomicBool>,
+}
+
+impl Mailbox {
+    pub fn new(rx: Receiver<Msg>, abort: Arc<AtomicBool>) -> Self {
+        Mailbox { rx, pending: Vec::new(), abort }
+    }
+
+    /// Blocks until the message of `(epoch, kind, src)` arrives, stashing
+    /// any other traffic that lands first.
+    pub fn recv_from(
+        &mut self,
+        epoch: u64,
+        kind: MsgKind,
+        src: usize,
+    ) -> Result<Msg, MailboxError> {
+        if let Some(pos) =
+            self.pending.iter().position(|m| m.epoch == epoch && m.kind == kind && m.src == src)
+        {
+            return Ok(self.pending.swap_remove(pos));
+        }
+        loop {
+            if self.abort.load(Ordering::Relaxed) {
+                return Err(MailboxError::Aborted);
+            }
+            match self.rx.recv_timeout(Duration::from_millis(10)) {
+                Ok(m) => {
+                    if m.epoch == epoch && m.kind == kind && m.src == src {
+                        return Ok(m);
+                    }
+                    self.pending.push(m);
+                }
+                Err(RecvTimeoutError::Timeout) => continue,
+                Err(RecvTimeoutError::Disconnected) => {
+                    return if self.abort.load(Ordering::Relaxed) {
+                        Err(MailboxError::Aborted)
+                    } else {
+                        Err(MailboxError::Disconnected)
+                    };
+                }
+            }
+        }
+    }
+}
+
+/// Builds the full mailbox fabric: per-rank receivers plus a dense sender
+/// matrix (`senders[dst]` delivers to rank `dst`).
+pub fn build_fabric(n_ranks: usize, abort: &Arc<AtomicBool>) -> (Vec<Sender<Msg>>, Vec<Mailbox>) {
+    let mut senders = Vec::with_capacity(n_ranks);
+    let mut boxes = Vec::with_capacity(n_ranks);
+    for _ in 0..n_ranks {
+        let (tx, rx) = std::sync::mpsc::channel();
+        senders.push(tx);
+        boxes.push(Mailbox::new(rx, Arc::clone(abort)));
+    }
+    (senders, boxes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn out_of_order_epochs_are_stashed_and_replayed() {
+        let abort = Arc::new(AtomicBool::new(false));
+        let (senders, mut boxes) = build_fabric(2, &abort);
+        // Rank 1 runs ahead: epoch-1 ghost lands before epoch-0 post.
+        senders[0]
+            .send(Msg {
+                epoch: 1,
+                src: 1,
+                kind: MsgKind::Ghost,
+                values: vec![2.0],
+                partials_present: vec![],
+            })
+            .unwrap();
+        senders[0]
+            .send(Msg {
+                epoch: 0,
+                src: 1,
+                kind: MsgKind::Post,
+                values: vec![1.0],
+                partials_present: vec![],
+            })
+            .unwrap();
+        let m0 = boxes[0].recv_from(0, MsgKind::Post, 1).unwrap();
+        assert_eq!(m0.values, vec![1.0]);
+        let m1 = boxes[0].recv_from(1, MsgKind::Ghost, 1).unwrap();
+        assert_eq!(m1.values, vec![2.0]);
+    }
+
+    #[test]
+    fn abort_breaks_the_wait() {
+        let abort = Arc::new(AtomicBool::new(false));
+        let (_senders, mut boxes) = build_fabric(1, &abort);
+        abort.store(true, Ordering::Relaxed);
+        assert!(matches!(boxes[0].recv_from(0, MsgKind::Ghost, 0), Err(MailboxError::Aborted)));
+    }
+}

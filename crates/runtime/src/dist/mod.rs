@@ -1,0 +1,572 @@
+//! SPMD rank-sharded distributed backend.
+//!
+//! Each rank owns the subregions assigned to it by the solved disjoint
+//! partitions (a block owner mapping of colors → ranks), holds only its
+//! shard of every f64 region plus ghost cells, and exchanges data over
+//! in-process channels — one mailbox pair per rank. Every send/recv set is
+//! derived from the constraint solution by
+//! [`partir_core::exchange::derive_exchange`] once per plan; execution
+//! just moves the payloads.
+//!
+//! Results are bit-identical to the sequential interpreter (and the
+//! threaded executor): ghost copies carry owner-fresh loop-start values so
+//! in-place floating-point effects happen in the exact local order, owners
+//! install written-back values verbatim (each element has exactly one
+//! in-place writer, by disjointness), and partial reduction buffers merge
+//! in ascending global color order with the same presence/skip semantics
+//! as the threaded merge.
+
+mod mailbox;
+mod rank;
+mod store;
+
+pub use store::RankStore;
+
+use crate::dist::mailbox::build_fabric;
+use crate::dist::rank::RankStats;
+use parking_lot::Mutex;
+use partir_core::exchange::{derive_exchange, ExchangeError, ExchangePlan};
+use partir_core::pipeline::{ParallelPlan, PlannedReduce};
+use partir_dpl::func::FnTable;
+use partir_dpl::index_set::Idx;
+use partir_dpl::partition::Partition;
+use partir_dpl::region::{FieldId, RegionId, Schema, Store};
+use partir_ir::ast::{AccessId, Loop};
+use partir_obs::json::Json;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Distributed executor configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct DistOptions {
+    /// Number of ranks (SPMD processes, modeled as threads with disjoint
+    /// sharded stores).
+    pub n_ranks: usize,
+    /// Validate every access against its partition subregion, on top of the
+    /// always-on residency check (`owned ∪ ghosts`).
+    pub check_legality: bool,
+}
+
+impl Default for DistOptions {
+    fn default() -> Self {
+        DistOptions { n_ranks: 4, check_legality: true }
+    }
+}
+
+/// Distributed execution statistics: compute, communication volume, and
+/// per-phase timings summed over ranks.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DistReport {
+    pub ranks: u64,
+    pub tasks_run: u64,
+    /// Coalesced messages actually sent (ghost + post).
+    pub messages: u64,
+    /// Payload bytes actually sent between ranks.
+    pub bytes_sent: u64,
+    /// Ghost elements resident across ranks (from the exchange plan).
+    pub ghost_elements: u64,
+    pub ghost_fetch_bytes: u64,
+    pub write_back_bytes: u64,
+    pub partial_bytes: u64,
+    /// Bytes full replication would have moved — the baseline sharding
+    /// beats (from the exchange plan).
+    pub replication_bytes: u64,
+    pub legality_checks: u64,
+    pub buffer_bytes: u64,
+    pub guard_hits: u64,
+    pub guard_skips: u64,
+    pub write_skips: u64,
+    /// Summed per-rank phase timings (nanoseconds).
+    pub pack_ns: u64,
+    pub exchange_wait_ns: u64,
+    pub compute_ns: u64,
+    pub merge_ns: u64,
+}
+
+impl DistReport {
+    /// Machine-readable form, for the JSON report envelopes.
+    pub fn to_json(&self) -> Json {
+        Json::object()
+            .with("ranks", self.ranks)
+            .with("tasks_run", self.tasks_run)
+            .with("messages", self.messages)
+            .with("bytes_sent", self.bytes_sent)
+            .with("ghost_elements", self.ghost_elements)
+            .with("ghost_fetch_bytes", self.ghost_fetch_bytes)
+            .with("write_back_bytes", self.write_back_bytes)
+            .with("partial_bytes", self.partial_bytes)
+            .with("replication_bytes", self.replication_bytes)
+            .with("legality_checks", self.legality_checks)
+            .with("buffer_bytes", self.buffer_bytes)
+            .with("guard_hits", self.guard_hits)
+            .with("guard_skips", self.guard_skips)
+            .with("write_skips", self.write_skips)
+            .with("pack_ns", self.pack_ns)
+            .with("exchange_wait_ns", self.exchange_wait_ns)
+            .with("compute_ns", self.compute_ns)
+            .with("merge_ns", self.merge_ns)
+    }
+}
+
+/// A distributed legality failure: which access of which loop, run by which
+/// task on which rank, touched which element outside its subregion or
+/// outside the rank's `owned ∪ ghosts` footprint.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DistViolation {
+    pub rank: usize,
+    /// Loop index in execution order.
+    pub loop_id: usize,
+    /// The task (color) whose access escaped.
+    pub task: usize,
+    pub region: RegionId,
+    pub index: Idx,
+    pub access: AccessId,
+}
+
+impl fmt::Display for DistViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "rank {} loop {} task {}: access {:?} touched element {} of region r{} outside its subregion or rank footprint",
+            self.rank, self.loop_id, self.task, self.access, self.index, self.region.0
+        )
+    }
+}
+
+/// Distributed execution failure.
+#[derive(Debug)]
+pub enum DistError {
+    /// Communication-set derivation failed.
+    Exchange(ExchangeError),
+    /// The plan does not describe this program (loop counts differ).
+    PlanMismatch { plan_loops: usize, program_loops: usize },
+    /// A plan references a partition index outside the evaluated set.
+    PartitionIndexOutOfBounds { loop_index: usize, part: usize, len: usize },
+    /// Partitions disagree on the launch width (subregion counts differ).
+    PartitionWidthMismatch { part: usize, expected: usize, got: usize },
+    /// A partition contains element indices outside its region.
+    PartitionExceedsRegion { loop_index: usize, part: usize, index: Idx, size: u64 },
+    /// The iteration partition misses elements of the iteration space.
+    IncompleteIteration { loop_index: usize },
+    /// A loop with centered reductions got an aliased iteration partition.
+    IterationNotDisjoint { loop_index: usize },
+    /// A direct/guarded reduction partition is not disjoint.
+    ReductionNotDisjoint { loop_index: usize, access: AccessId },
+    /// An access escaped its subregion or its rank's footprint.
+    Legality(DistViolation),
+    /// A rank thread panicked (a genuine bug, not a legality report).
+    RankPanic { rank: usize, message: String },
+    /// A peer's mailbox hung up mid-run.
+    Disconnected { rank: usize },
+    /// This rank stopped because another rank failed first (the first
+    /// failure carries the real error).
+    Aborted,
+    /// Executor bookkeeping failure.
+    Internal(String),
+}
+
+impl fmt::Display for DistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DistError::Exchange(e) => write!(f, "exchange derivation failed: {e}"),
+            DistError::PlanMismatch { plan_loops, program_loops } => {
+                write!(f, "plan describes {plan_loops} loops but the program has {program_loops}")
+            }
+            DistError::PartitionIndexOutOfBounds { loop_index, part, len } => {
+                write!(
+                    f,
+                    "loop {loop_index}: partition index {part} out of bounds ({len} evaluated)"
+                )
+            }
+            DistError::PartitionWidthMismatch { part, expected, got } => {
+                write!(f, "partition {part} has {got} subregions, launch width is {expected}")
+            }
+            DistError::PartitionExceedsRegion { loop_index, part, index, size } => {
+                write!(
+                    f,
+                    "loop {loop_index}: partition {part} contains element {index} outside its region (size {size})"
+                )
+            }
+            DistError::IncompleteIteration { loop_index } => {
+                write!(f, "loop {loop_index}: iteration partition incomplete")
+            }
+            DistError::IterationNotDisjoint { loop_index } => {
+                write!(
+                    f,
+                    "loop {loop_index}: centered reductions need a disjoint iteration partition"
+                )
+            }
+            DistError::ReductionNotDisjoint { loop_index, access } => {
+                write!(f, "loop {loop_index}: reduction partition for {access:?} not disjoint")
+            }
+            DistError::Legality(v) => write!(f, "distributed legality violation: {v}"),
+            DistError::RankPanic { rank, message } => {
+                write!(f, "rank {rank} panicked: {message}")
+            }
+            DistError::Disconnected { rank } => {
+                write!(f, "rank {rank} hung up mid-run")
+            }
+            DistError::Aborted => write!(f, "aborted after another rank's failure"),
+            DistError::Internal(m) => write!(f, "internal distributed-executor error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DistError {}
+
+impl From<ExchangeError> for DistError {
+    fn from(e: ExchangeError) -> Self {
+        DistError::Exchange(e)
+    }
+}
+
+/// Executes every loop of `program` in SPMD fashion over
+/// [`DistOptions::n_ranks`] ranks and gathers the owned shards back into
+/// `store`. Results are bit-identical to the sequential interpreter.
+///
+/// `parts` must be `plan.evaluate(...)` output, exactly as for the
+/// threaded executor.
+pub fn execute_dist(
+    program: &[Loop],
+    plan: &ParallelPlan,
+    parts: &[Arc<Partition>],
+    store: &mut Store,
+    fns: &FnTable,
+    opts: &DistOptions,
+) -> Result<DistReport, DistError> {
+    validate(program, plan, parts, store.schema(), opts)?;
+    let xplan = derive_exchange(plan, parts, store.schema(), opts.n_ranks)?;
+    execute_with_exchange(program, plan, parts, &xplan, store, fns, opts)
+}
+
+/// [`execute_dist`] with a precomputed exchange plan (the plan depends only
+/// on the partitions and rank count, so repeated executions reuse it).
+pub fn execute_with_exchange(
+    program: &[Loop],
+    plan: &ParallelPlan,
+    parts: &[Arc<Partition>],
+    xplan: &ExchangePlan,
+    store: &mut Store,
+    fns: &FnTable,
+    opts: &DistOptions,
+) -> Result<DistReport, DistError> {
+    validate(program, plan, parts, store.schema(), opts)?;
+    let n_ranks = xplan.n_ranks;
+    let span = partir_obs::span_with(
+        "dist.execute",
+        vec![("ranks", n_ranks.into()), ("loops", program.len().into())],
+    );
+
+    let abort = Arc::new(AtomicBool::new(false));
+    let (senders, mailboxes) = build_fabric(n_ranks, &abort);
+    let schema = store.schema().clone();
+    let shards: Vec<RankStore> = (0..n_ranks).map(|r| RankStore::shard(store, xplan, r)).collect();
+
+    let violation: Mutex<Option<DistViolation>> = Mutex::new(None);
+    let first_error: Mutex<Option<DistError>> = Mutex::new(None);
+    type RankOutcome = (Vec<(FieldId, Vec<f64>)>, RankStats);
+    let outcomes: Mutex<Vec<Option<RankOutcome>>> =
+        Mutex::new((0..n_ranks).map(|_| None).collect());
+
+    let check = opts.check_legality;
+    let scope_result = crossbeam::scope(|s| {
+        for (r, (mut mailbox, rstore)) in mailboxes.into_iter().zip(shards).enumerate() {
+            let senders = senders.clone();
+            let abort = Arc::clone(&abort);
+            let (schema, violation, first_error, outcomes) =
+                (&schema, &violation, &first_error, &outcomes);
+            s.spawn(move |_| {
+                let result = catch_unwind(AssertUnwindSafe(|| {
+                    rank::rank_main(
+                        r,
+                        program,
+                        plan,
+                        parts,
+                        xplan,
+                        schema,
+                        fns,
+                        rstore,
+                        &senders,
+                        &mut mailbox,
+                        check,
+                        &abort,
+                        violation,
+                    )
+                }));
+                match result {
+                    Ok(Ok(out)) => outcomes.lock()[r] = Some(out),
+                    // A secondary failure; the first failure has the cause.
+                    Ok(Err(DistError::Aborted)) => {}
+                    Ok(Err(e)) => {
+                        let mut slot = first_error.lock();
+                        if slot.is_none() {
+                            *slot = Some(e);
+                        }
+                        drop(slot);
+                        abort.store(true, Ordering::Relaxed);
+                    }
+                    Err(p) => {
+                        // Legality panics already recorded their structured
+                        // violation; anything else is a genuine bug.
+                        if violation.lock().is_none() {
+                            let mut slot = first_error.lock();
+                            if slot.is_none() {
+                                *slot = Some(DistError::RankPanic {
+                                    rank: r,
+                                    message: panic_message(p),
+                                });
+                            }
+                        }
+                        abort.store(true, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+    });
+    if let Some(v) = violation.lock().take() {
+        return Err(DistError::Legality(v));
+    }
+    if let Some(e) = first_error.lock().take() {
+        return Err(e);
+    }
+    if let Err(p) = scope_result {
+        return Err(DistError::Internal(panic_message(p)));
+    }
+
+    // Gather: install every rank's owned shards into the caller's store.
+    let mut report = DistReport {
+        ranks: n_ranks as u64,
+        ghost_elements: xplan.stats.ghost_elements,
+        ghost_fetch_bytes: xplan.stats.ghost_fetch_bytes,
+        write_back_bytes: xplan.stats.write_back_bytes,
+        partial_bytes: xplan.stats.partial_bytes,
+        replication_bytes: xplan.stats.replication_bytes,
+        ..DistReport::default()
+    };
+    for (r, out) in outcomes.into_inner().into_iter().enumerate() {
+        let Some((owned, rstats)) = out else {
+            return Err(DistError::Internal(format!("rank {r} produced no result")));
+        };
+        RankStore::install_owned(store, xplan, r, owned);
+        report.tasks_run += rstats.tasks_run;
+        report.messages += rstats.messages_sent;
+        report.bytes_sent += rstats.bytes_sent;
+        report.legality_checks += rstats.legality_checks;
+        report.buffer_bytes += rstats.buffer_bytes;
+        report.guard_hits += rstats.guard_hits;
+        report.guard_skips += rstats.guard_skips;
+        report.write_skips += rstats.write_skips;
+        report.pack_ns += rstats.pack_ns;
+        report.exchange_wait_ns += rstats.exchange_wait_ns;
+        report.compute_ns += rstats.compute_ns;
+        report.merge_ns += rstats.merge_ns;
+    }
+    if partir_obs::metrics_enabled() {
+        partir_obs::counter("dist.tasks_run", report.tasks_run);
+        partir_obs::counter("dist.messages", report.messages);
+        partir_obs::counter("dist.bytes_sent", report.bytes_sent);
+        partir_obs::counter("dist.ghost_elements", report.ghost_elements);
+        partir_obs::counter("dist.legality_checks", report.legality_checks);
+    }
+    span.close_with(vec![
+        ("messages", report.messages.into()),
+        ("bytes_sent", report.bytes_sent.into()),
+    ]);
+    Ok(report)
+}
+
+/// Up-front validation: the same plan/partition invariants the threaded
+/// executor enforces, as typed errors before any rank spawns.
+fn validate(
+    program: &[Loop],
+    plan: &ParallelPlan,
+    parts: &[Arc<Partition>],
+    schema: &Schema,
+    opts: &DistOptions,
+) -> Result<(), DistError> {
+    if plan.loops.len() != program.len() {
+        return Err(DistError::PlanMismatch {
+            plan_loops: plan.loops.len(),
+            program_loops: program.len(),
+        });
+    }
+    let width = parts.first().map(|p| p.num_subregions()).unwrap_or(0);
+    for (pi, p) in parts.iter().enumerate() {
+        if p.num_subregions() != width {
+            return Err(DistError::PartitionWidthMismatch {
+                part: pi,
+                expected: width,
+                got: p.num_subregions(),
+            });
+        }
+    }
+    let check_part = |li: usize, part: usize| -> Result<(), DistError> {
+        if part >= parts.len() {
+            return Err(DistError::PartitionIndexOutOfBounds {
+                loop_index: li,
+                part,
+                len: parts.len(),
+            });
+        }
+        Ok(())
+    };
+    let check_bounds = |li: usize, part: usize, region: RegionId| -> Result<(), DistError> {
+        if !opts.check_legality {
+            return Ok(());
+        }
+        let size = schema.region_size(region);
+        for sub in parts[part].subregions() {
+            if let Some(m) = sub.max() {
+                if m >= size {
+                    return Err(DistError::PartitionExceedsRegion {
+                        loop_index: li,
+                        part,
+                        index: m,
+                        size,
+                    });
+                }
+            }
+        }
+        Ok(())
+    };
+    for (li, lplan) in plan.loops.iter().enumerate() {
+        check_part(li, lplan.iter.0 as usize)?;
+        check_bounds(li, lplan.iter.0 as usize, program[li].region)?;
+        let iter = &parts[lplan.iter.0 as usize];
+        if !iter.is_complete(schema.region_size(program[li].region)) {
+            return Err(DistError::IncompleteIteration { loop_index: li });
+        }
+        if lplan.iter_must_be_disjoint && !iter.is_disjoint() {
+            return Err(DistError::IterationNotDisjoint { loop_index: li });
+        }
+        for (ai, ap) in lplan.accesses.iter().enumerate() {
+            check_part(li, ap.part.0 as usize)?;
+            check_bounds(li, ap.part.0 as usize, ap.region)?;
+            match &ap.reduce {
+                Some(PlannedReduce::Direct) | Some(PlannedReduce::Guarded)
+                    if !parts[ap.part.0 as usize].is_disjoint() =>
+                {
+                    return Err(DistError::ReductionNotDisjoint {
+                        loop_index: li,
+                        access: AccessId(ai as u32),
+                    });
+                }
+                Some(PlannedReduce::BufferedPrivate { private }) => {
+                    check_part(li, private.0 as usize)?;
+                    check_bounds(li, private.0 as usize, ap.region)?;
+                    if !parts[private.0 as usize].is_disjoint() {
+                        return Err(DistError::ReductionNotDisjoint {
+                            loop_index: li,
+                            access: AccessId(ai as u32),
+                        });
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    Ok(())
+}
+
+fn panic_message(p: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else {
+        "unknown panic".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use partir_core::eval::ExtBindings;
+    use partir_core::pipeline::{auto_parallelize, Hints, Options};
+    use partir_dpl::func::{FnDef, FnTable, IndexFn};
+    use partir_dpl::region::{FieldKind, Schema};
+    use partir_ir::ast::{LoopBuilder, ReduceOp, VExpr};
+    use partir_ir::interp::run_program_seq;
+
+    /// 1-D periodic stencil with a second reduction loop gathering row sums
+    /// through a pointer field — exercises ghosts, write-backs, and
+    /// two-step reductions at once.
+    fn stencil_program(n: u64) -> (Vec<Loop>, FnTable, Schema, Store) {
+        let mut schema = Schema::new();
+        let r = schema.add_region("R", n);
+        let fin = schema.add_field(r, "in", FieldKind::F64);
+        let fout = schema.add_field(r, "out", FieldKind::F64);
+        let mut fns = FnTable::new();
+        let left =
+            fns.add("left", r, r, FnDef::Index(IndexFn::AffineMod { mul: 1, add: -1, modulus: n }));
+        let right =
+            fns.add("right", r, r, FnDef::Index(IndexFn::AffineMod { mul: 1, add: 1, modulus: n }));
+        let mut b = LoopBuilder::new("stencil", r);
+        let i = b.loop_var();
+        let li = b.idx_apply(left, i);
+        let ri = b.idx_apply(right, i);
+        let lv = b.val_read(r, fin, li);
+        let rv = b.val_read(r, fin, ri);
+        b.val_write(r, fout, i, VExpr::add(VExpr::var(lv), VExpr::var(rv)));
+        let stencil = b.finish();
+
+        let mut b2 = LoopBuilder::new("scatter", r);
+        let i2 = b2.loop_var();
+        let l2 = b2.idx_apply(left, i2);
+        let v = b2.val_read(r, fout, i2);
+        b2.val_reduce(r, fin, l2, ReduceOp::Add, VExpr::var(v));
+        let scatter = b2.finish();
+
+        let mut store = Store::new(schema.clone());
+        for i in 0..n as usize {
+            store.f64s_mut(fin)[i] = (i as f64).sin() * 3.25 + 0.125;
+        }
+        (vec![stencil, scatter], fns, schema, store)
+    }
+
+    #[test]
+    fn dist_matches_sequential_bit_for_bit() {
+        for ranks in [1usize, 2, 3, 4, 8] {
+            let n = 48u64;
+            let (program, fns, schema, seed) = stencil_program(n);
+            let mut seq = seed.clone();
+            run_program_seq(&program, &mut seq, &fns);
+
+            let plan = auto_parallelize(&program, &fns, &schema, &Hints::new(), Options::default())
+                .unwrap();
+            let mut dist = seed.clone();
+            let parts = plan.evaluate(&dist, &fns, ranks.max(2), &ExtBindings::new());
+            let opts = DistOptions { n_ranks: ranks, check_legality: true };
+            let report = execute_dist(&program, &plan, &parts, &mut dist, &fns, &opts).unwrap();
+            assert_eq!(report.ranks, ranks as u64);
+            for fi in 0..schema.num_fields() {
+                let f = FieldId(fi as u32);
+                assert_eq!(
+                    seq.field_data(f),
+                    dist.field_data(f),
+                    "field {f:?} differs at {ranks} ranks"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ghost_bytes_beat_replication() {
+        let (program, fns, schema, seed) = stencil_program(64);
+        let plan =
+            auto_parallelize(&program, &fns, &schema, &Hints::new(), Options::default()).unwrap();
+        let mut store = seed.clone();
+        let parts = plan.evaluate(&store, &fns, 4, &ExtBindings::new());
+        let opts = DistOptions { n_ranks: 4, check_legality: true };
+        let report = execute_dist(&program, &plan, &parts, &mut store, &fns, &opts).unwrap();
+        assert!(report.bytes_sent > 0);
+        assert!(
+            report.bytes_sent < report.replication_bytes,
+            "ghost exchange ({}) must move less than replication ({})",
+            report.bytes_sent,
+            report.replication_bytes
+        );
+    }
+}

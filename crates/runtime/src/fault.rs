@@ -52,18 +52,18 @@ impl FaultPlan {
     }
 
     /// Builds a plan from `PARTIR_FAULT_SEED` / `PARTIR_FAULT_RATE` /
-    /// `PARTIR_FAULT_POISON_AFTER`, for CI fault-matrix runs. Returns
-    /// `None` when `PARTIR_FAULT_SEED` is unset or unparsable; the rate
-    /// defaults to `0.3` when only the seed is given.
+    /// `PARTIR_FAULT_POISON_AFTER` — parsed in exactly one place,
+    /// [`partir_obs::config::fault_env`] — for CI fault-matrix runs.
+    /// Returns `None` when `PARTIR_FAULT_SEED` is unset or unparsable; the
+    /// rate defaults to `0.3` when only the seed is given. New code should
+    /// pass a `FaultPlan` explicitly through the `partir::Partir` builder.
     pub fn from_env() -> Option<FaultPlan> {
-        let seed: u64 = std::env::var("PARTIR_FAULT_SEED").ok()?.trim().parse().ok()?;
-        let rate = std::env::var("PARTIR_FAULT_RATE")
-            .ok()
-            .and_then(|v| v.trim().parse().ok())
-            .unwrap_or(0.3);
-        let poison_after =
-            std::env::var("PARTIR_FAULT_POISON_AFTER").ok().and_then(|v| v.trim().parse().ok());
-        Some(FaultPlan { seed, task_failure_rate: rate, poison_after })
+        let env = partir_obs::config::fault_env()?;
+        Some(FaultPlan {
+            seed: env.seed,
+            task_failure_rate: env.rate,
+            poison_after: env.poison_after,
+        })
     }
 
     /// Decides the fate of one task attempt. `ordinal` is the cumulative

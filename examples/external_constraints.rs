@@ -27,38 +27,36 @@ fn main() {
         app.n_nodes, app.n_shared, app.n_wires, clusters
     );
 
-    // ---- Without the hint: the solver falls back to equal partitions. ----
-    let auto_plan = app.auto_plan();
-    println!("\nAuto (no hint) DPL:");
-    println!("{}", auto_plan.render_dpl(&app.fns));
+    // The user constraint of Section 6.4: hints plus concrete bindings for
+    // the generator's cluster partitions.
+    let (hints, exts) = app.hint_setup(clusters);
 
-    // ---- With the user constraint of Section 6.4. ----
-    let (hint_plan, _hints, exts) = app.hinted_plan(clusters);
-    println!("Auto+Hint DPL (reuses the generator's partitions):");
-    println!("{}", hint_plan.render_dpl(&app.fns));
-
-    // Execute both and compare against the sequential interpreter.
+    // Execute both configurations and compare against the sequential
+    // interpreter. The builder takes hints and external bindings directly.
     let mut seq = app.store.clone();
     run_program_seq(&app.program, &mut seq, &app.fns);
 
-    for (label, plan, bindings) in
-        [("Auto", &auto_plan, ExtBindings::new()), ("Auto+Hint", &hint_plan, exts)]
+    for (label, hints, bindings) in
+        [("Auto", Hints::new(), ExtBindings::new()), ("Auto+Hint", hints, exts)]
     {
-        let parts = plan.evaluate(&app.store, &app.fns, clusters, &bindings);
+        let mut session =
+            Partir::new(app.program.clone(), app.fns.clone(), app.store.schema().clone())
+                .hints(hints)
+                .externals(bindings)
+                .backend(Backend::Threads(8))
+                .colors(clusters)
+                .build()
+                .expect("circuit auto-parallelizes");
+        println!("\n{label} DPL:");
+        println!("{}", session.render_dpl());
+
         let mut par = app.store.clone();
-        let report = execute_program(
-            &app.program,
-            plan,
-            &parts,
-            &mut par,
-            &app.fns,
-            &ExecOptions { n_threads: 8, check_legality: true, ..ExecOptions::default() },
-        )
-        .expect("parallel circuit");
+        let report = session.run(&mut par).expect("parallel circuit");
+        let exec = report.as_threads().expect("threads backend report");
         assert_eq!(seq.f64s(app.voltage), par.f64s(app.voltage), "{label} diverged");
         println!(
             "{label:<10} ✓ correct; reduction buffers: {} bytes, guard hits: {}",
-            report.buffer_bytes, report.guard_hits
+            exec.buffer_bytes, exec.guard_hits
         );
     }
     println!("\nThe hinted run keeps reductions buffered over the tiny shared remainder");

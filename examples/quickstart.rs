@@ -1,11 +1,12 @@
 //! Quickstart: the paper's Figure 1 program end to end.
 //!
-//! Builds the particles/cells program of Figure 1a, infers partitioning
-//! constraints (Algorithm 1), solves them with unification (Algorithms
-//! 2–3), prints the synthesized DPL program (which matches Figure 2's
-//! "program B"), evaluates it against real data, and runs the
-//! auto-parallelized program on host threads — checking the result against
-//! the sequential interpreter.
+//! Builds the particles/cells program of Figure 1a, then lets the
+//! `partir::Partir` builder infer partitioning constraints (Algorithm 1),
+//! solve them with unification (Algorithms 2–3), and print the synthesized
+//! DPL program (which matches Figure 2's "program B"). The same session
+//! configuration then runs the program on host threads and on the SPMD
+//! rank-sharded backend — both bit-identical to the sequential
+//! interpreter.
 //!
 //! Run: `cargo run --release --example quickstart`
 
@@ -59,18 +60,8 @@ fn main() {
 
     let program = vec![loop1, loop2];
 
-    // ---- Auto-parallelize. ----
-    let plan = auto_parallelize(&program, &fns, &schema, &Hints::new(), Options::default())
-        .expect("Figure 1a is parallelizable");
-    println!("Synthesized DPL program (compare with Figure 2b, 'program B'):");
-    println!("{}", plan.render_dpl(&fns));
-    println!(
-        "phases: inference {:?}, solver {:?}, rewrite {:?}",
-        plan.timings.inference, plan.timings.solver, plan.timings.rewrite
-    );
-
-    // ---- Populate data and evaluate partitions for 8 parallel tasks. ----
-    let mut store = Store::new(schema);
+    // ---- Populate data. ----
+    let mut store = Store::new(schema.clone());
     for (i, ptr) in store.ptrs_mut(cell_f).iter_mut().enumerate() {
         *ptr = (i as u64 * 37) % n_cells;
     }
@@ -81,37 +72,52 @@ fn main() {
         *a = (i % 5) as f64;
     }
 
-    let n_tasks = 8;
-    let parts = plan.evaluate(&store, &fns, n_tasks, &ExtBindings::new());
-    for (i, part) in parts.iter().enumerate() {
-        println!(
-            "P{i}: {} subregions of r{}, disjoint={}, max |sub|={}",
-            part.num_subregions(),
-            part.region.0,
-            part.is_disjoint(),
-            part.max_subregion_len()
-        );
-    }
-
-    // ---- Run sequentially and in parallel; compare. ----
+    // ---- Sequential ground truth. ----
     let mut seq = store.clone();
     run_program_seq(&program, &mut seq, &fns);
 
-    let mut par = store.clone();
-    let report = execute_program(
-        &program,
-        &plan,
-        &parts,
-        &mut par,
-        &fns,
-        &ExecOptions { n_threads: 4, check_legality: true, ..ExecOptions::default() },
-    )
-    .expect("parallel execution succeeds");
+    // ---- Solve once per backend, run, compare. ----
+    let mut printed_plan = false;
+    for backend in [Backend::Threads(4), Backend::Ranks(4)] {
+        let mut session = Partir::new(program.clone(), fns.clone(), schema.clone())
+            .backend(backend)
+            .colors(8)
+            .build()
+            .expect("Figure 1a is parallelizable");
 
-    assert_eq!(seq.f64s(pos), par.f64s(pos));
-    assert_eq!(seq.f64s(vel), par.f64s(vel));
-    println!(
-        "\nparallel execution matches sequential ({} tasks, {} buffer bytes) ✓",
-        report.tasks_run, report.buffer_bytes
-    );
+        if !printed_plan {
+            println!("Synthesized DPL program (compare with Figure 2b, 'program B'):");
+            println!("{}", session.render_dpl());
+            let t = session.plan().timings;
+            println!(
+                "phases: inference {:?}, solver {:?}, rewrite {:?}",
+                t.inference, t.solver, t.rewrite
+            );
+            for (i, part) in session.evaluate(&store).iter().enumerate() {
+                println!(
+                    "P{i}: {} subregions of r{}, disjoint={}, max |sub|={}",
+                    part.num_subregions(),
+                    part.region.0,
+                    part.is_disjoint(),
+                    part.max_subregion_len()
+                );
+            }
+            printed_plan = true;
+        }
+
+        let mut par = store.clone();
+        let report = session.run(&mut par).expect("parallel execution succeeds");
+        assert_eq!(seq.f64s(pos), par.f64s(pos));
+        assert_eq!(seq.f64s(vel), par.f64s(vel));
+        match report {
+            RunReport::Threads(r) => println!(
+                "\n{backend:?}: matches sequential ✓ ({} tasks, {} buffer bytes)",
+                r.tasks_run, r.buffer_bytes
+            ),
+            RunReport::Ranks(r) => println!(
+                "\n{backend:?}: matches sequential ✓ ({} tasks, {} msgs, {} ghost bytes vs {} replicated)",
+                r.tasks_run, r.messages, r.bytes_sent, r.replication_bytes
+            ),
+        }
+    }
 }

@@ -21,26 +21,22 @@ fn main() {
         app.nnz / app.rows
     );
 
-    let plan = app.auto_plan();
-    println!("\nSynthesized DPL (compare with Figure 10b):");
-    println!("{}", plan.render_dpl(&app.fns));
-
-    // Evaluate for 8 tasks and execute in parallel.
+    // Solve once through the builder; run on 8 worker threads.
     let n_tasks = 8;
-    let parts = plan.evaluate(&app.store, &app.fns, n_tasks, &ExtBindings::new());
+    let mut session = Partir::new(app.program.clone(), app.fns.clone(), app.store.schema().clone())
+        .backend(Backend::Threads(8))
+        .colors(n_tasks)
+        .check_legality(false)
+        .build()
+        .expect("SpMV auto-parallelizes");
+    println!("\nSynthesized DPL (compare with Figure 10b):");
+    println!("{}", session.render_dpl());
+
     let expected = app.run_sequential();
 
     let mut store = app.store.clone();
     let t0 = std::time::Instant::now();
-    execute_program(
-        &app.program,
-        &plan,
-        &parts,
-        &mut store,
-        &app.fns,
-        &ExecOptions { n_threads: 8, check_legality: false, ..ExecOptions::default() },
-    )
-    .expect("parallel SpMV");
+    session.run(&mut store).expect("parallel SpMV");
     let elapsed = t0.elapsed();
 
     assert_eq!(store.f64s(app.yv), &expected[..]);

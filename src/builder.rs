@@ -1,0 +1,482 @@
+//! The unified `partir::Partir` builder — one front door for the whole
+//! pipeline.
+//!
+//! Instead of threading `Hints`/`Options`/`ExecOptions`/`DistOptions`
+//! through four crates by hand, callers describe a run once and get a
+//! [`Session`] that owns the solved [`ParallelPlan`] and knows how to
+//! execute it on either backend:
+//!
+//! ```text
+//! Partir::new(program, fns, schema)
+//!     .hints(h)
+//!     .budget(b)
+//!     .relax(RelaxPolicy::Auto)
+//!     .backend(Backend::Ranks(4))
+//!     .build()?            // solve once
+//!     .run(&mut store)?    // execute many times
+//! ```
+//!
+//! Configuration that used to be sniffed from the environment deep inside
+//! the runtime (`PARTIR_TRACE`, `PARTIR_FAULT_*`) is passed explicitly
+//! here via [`ObsConfig`] and [`FaultPlan`]; the environment variables
+//! remain supported as defaults only, parsed in exactly one place
+//! (`partir_obs::config`).
+
+use crate::error::Error;
+use partir_core::eval::ExtBindings;
+use partir_core::optimize::RelaxPolicy;
+use partir_core::pipeline::{auto_parallelize, Hints, Options, ParallelPlan};
+use partir_core::solve::SolveBudget;
+use partir_dpl::func::FnTable;
+use partir_dpl::partition::Partition;
+use partir_dpl::region::{Schema, Store};
+use partir_ir::ast::Loop;
+use partir_obs::json::Json;
+use partir_obs::ObsConfig;
+use partir_runtime::dist::{execute_dist, DistOptions, DistReport};
+use partir_runtime::exec::{execute_program, ExecOptions, ExecReport};
+use partir_runtime::fault::{FaultPlan, RetryPolicy};
+use std::sync::Arc;
+
+/// Which executor a [`Session`] runs on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Backend {
+    /// The shared-memory threaded executor with the given worker count.
+    Threads(usize),
+    /// The SPMD rank-sharded executor with the given rank count: each rank
+    /// holds only its shard plus constraint-derived ghosts.
+    Ranks(usize),
+}
+
+impl Default for Backend {
+    fn default() -> Self {
+        Backend::Threads(4)
+    }
+}
+
+/// Builder for a partir run. Construct with [`Partir::new`], configure
+/// with the chained setters, and [`build`](Partir::build) to solve the
+/// partitioning constraints once.
+#[derive(Debug)]
+pub struct Partir {
+    program: Vec<Loop>,
+    fns: FnTable,
+    schema: Schema,
+    hints: Hints,
+    options: Options,
+    backend: Backend,
+    colors: Option<usize>,
+    check_legality: bool,
+    obs: Option<ObsConfig>,
+    fault: Option<FaultPlan>,
+    retry: RetryPolicy,
+    externals: ExtBindings,
+}
+
+impl Partir {
+    /// Starts a builder over a program, its partitioning functions, and
+    /// its data schema.
+    pub fn new(program: Vec<Loop>, fns: FnTable, schema: Schema) -> Self {
+        Partir {
+            program,
+            fns,
+            schema,
+            hints: Hints::new(),
+            options: Options::default(),
+            backend: Backend::default(),
+            colors: None,
+            check_legality: true,
+            obs: None,
+            fault: None,
+            retry: RetryPolicy::default(),
+            externals: ExtBindings::new(),
+        }
+    }
+
+    /// User hints: external partitions, invariants, private sub-partition
+    /// candidates (Section 3.3 / 6.5).
+    pub fn hints(mut self, hints: Hints) -> Self {
+        self.hints = hints;
+        self
+    }
+
+    /// Full pipeline options (ablation knobs). [`budget`](Self::budget)
+    /// and [`relax`](Self::relax) are shortcuts into this.
+    pub fn options(mut self, options: Options) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Resource budget for the constraint solver.
+    pub fn budget(mut self, budget: SolveBudget) -> Self {
+        self.options.solve_budget = budget;
+        self
+    }
+
+    /// Relaxation policy for loops whose constraints over-approximate.
+    pub fn relax(mut self, policy: RelaxPolicy) -> Self {
+        self.options.relax = policy;
+        self
+    }
+
+    /// Execution backend (default: four host threads).
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Number of partition colors (tasks). Defaults to the backend width;
+    /// the rank backend requires `colors >= ranks` so every rank owns a
+    /// contiguous, possibly empty-free block of colors.
+    pub fn colors(mut self, colors: usize) -> Self {
+        self.colors = Some(colors);
+        self
+    }
+
+    /// Validate every access against its partition subregion at runtime
+    /// (on by default; benches turn it off).
+    pub fn check_legality(mut self, on: bool) -> Self {
+        self.check_legality = on;
+        self
+    }
+
+    /// Explicit observability configuration. When unset, the
+    /// `PARTIR_TRACE` / `PARTIR_METRICS` environment defaults apply.
+    pub fn obs(mut self, config: ObsConfig) -> Self {
+        self.obs = Some(config);
+        self
+    }
+
+    /// Deterministic fault injection (threads backend only). When unset,
+    /// the `PARTIR_FAULT_*` environment defaults apply.
+    pub fn fault(mut self, plan: FaultPlan) -> Self {
+        self.fault = Some(plan);
+        self
+    }
+
+    /// Recovery policy for failed task attempts (threads backend).
+    pub fn retry(mut self, policy: RetryPolicy) -> Self {
+        self.retry = policy;
+        self
+    }
+
+    /// Bindings for the external partitions declared in the hints, in
+    /// declaration order.
+    pub fn externals(mut self, externals: ExtBindings) -> Self {
+        self.externals = externals;
+        self
+    }
+
+    /// Validates the configuration and solves the partitioning constraints
+    /// (inference → unification → solving → plan construction).
+    pub fn build(self) -> Result<Session, Error> {
+        let width = match self.backend {
+            Backend::Threads(n) | Backend::Ranks(n) => n,
+        };
+        if width == 0 {
+            return Err(Error::Session(format!("backend {:?} has zero width", self.backend)));
+        }
+        let colors = self.colors.unwrap_or(width);
+        if colors == 0 {
+            return Err(Error::Session("color count must be at least 1".into()));
+        }
+        if let Backend::Ranks(r) = self.backend {
+            if colors < r {
+                return Err(Error::Session(format!(
+                    "rank backend needs colors >= ranks (got {colors} colors for {r} ranks)"
+                )));
+            }
+            if self.fault.is_some() {
+                return Err(Error::Session(
+                    "fault injection is only supported on the Threads backend".into(),
+                ));
+            }
+        }
+        if self.externals.len() != self.hints.num_externals() {
+            return Err(Error::Session(format!(
+                "{} external bindings for {} declared externals",
+                self.externals.len(),
+                self.hints.num_externals()
+            )));
+        }
+        // Explicit obs config wins; otherwise auto_parallelize falls back
+        // to the env defaults through `partir_obs::init_from_env`.
+        if let Some(obs) = self.obs {
+            obs.apply();
+        }
+        let fault = self.fault.or_else(FaultPlan::from_env);
+        let plan =
+            auto_parallelize(&self.program, &self.fns, &self.schema, &self.hints, self.options)?;
+        Ok(Session {
+            program: self.program,
+            fns: self.fns,
+            schema: self.schema,
+            plan,
+            backend: self.backend,
+            colors,
+            check_legality: self.check_legality,
+            fault,
+            retry: self.retry,
+            externals: self.externals,
+            last: None,
+        })
+    }
+}
+
+/// A solved partitioning, ready to execute. One `build` amortizes over
+/// many [`run`](Session::run) calls (partitions are re-evaluated per run
+/// because they can depend on store contents, e.g. pointer fields).
+#[derive(Debug)]
+pub struct Session {
+    program: Vec<Loop>,
+    fns: FnTable,
+    schema: Schema,
+    plan: ParallelPlan,
+    backend: Backend,
+    colors: usize,
+    check_legality: bool,
+    fault: Option<FaultPlan>,
+    retry: RetryPolicy,
+    externals: ExtBindings,
+    last: Option<RunReport>,
+}
+
+impl Session {
+    /// The solved plan (partitions, per-loop strategies, timings).
+    pub fn plan(&self) -> &ParallelPlan {
+        &self.plan
+    }
+
+    /// Consumes the session, yielding the solved plan (for harnesses that
+    /// only need the pipeline output).
+    pub fn into_plan(self) -> ParallelPlan {
+        self.plan
+    }
+
+    /// The program this session executes.
+    pub fn program(&self) -> &[Loop] {
+        &self.program
+    }
+
+    /// The session's partitioning functions.
+    pub fn fns(&self) -> &FnTable {
+        &self.fns
+    }
+
+    /// The backend this session runs on.
+    pub fn backend(&self) -> Backend {
+        self.backend
+    }
+
+    /// The color (task) count partitions are evaluated at.
+    pub fn colors(&self) -> usize {
+        self.colors
+    }
+
+    /// Renders the synthesized DPL program.
+    pub fn render_dpl(&self) -> String {
+        self.plan.render_dpl(&self.fns)
+    }
+
+    /// Renders the solver/unification explanation trace.
+    pub fn render_explanation(&self) -> String {
+        self.plan.render_explanation(&self.fns)
+    }
+
+    /// Evaluates the plan's partitions against a store (shared `Arc`s;
+    /// canonically equal subexpressions are materialized once).
+    pub fn evaluate(&self, store: &Store) -> Vec<Arc<Partition>> {
+        self.plan.evaluate(store, &self.fns, self.colors, &self.externals)
+    }
+
+    /// Executes the program on the configured backend, mutating `store` in
+    /// place. Results are bit-identical to the sequential interpreter on
+    /// both backends.
+    pub fn run(&mut self, store: &mut Store) -> Result<RunReport, Error> {
+        if store.schema().num_fields() != self.schema.num_fields()
+            || store.schema().num_regions() != self.schema.num_regions()
+        {
+            return Err(Error::Session("store schema does not match the session's schema".into()));
+        }
+        let parts = self.evaluate(store);
+        let report = match self.backend {
+            Backend::Threads(n_threads) => {
+                let opts = ExecOptions {
+                    n_threads,
+                    check_legality: self.check_legality,
+                    fault: self.fault,
+                    retry: self.retry,
+                };
+                RunReport::Threads(execute_program(
+                    &self.program,
+                    &self.plan,
+                    &parts,
+                    store,
+                    &self.fns,
+                    &opts,
+                )?)
+            }
+            Backend::Ranks(n_ranks) => {
+                let opts = DistOptions { n_ranks, check_legality: self.check_legality };
+                RunReport::Ranks(execute_dist(
+                    &self.program,
+                    &self.plan,
+                    &parts,
+                    store,
+                    &self.fns,
+                    &opts,
+                )?)
+            }
+        };
+        self.last = Some(report);
+        Ok(report)
+    }
+
+    /// The report of the most recent [`run`](Session::run), if any.
+    pub fn report(&self) -> Option<RunReport> {
+        self.last
+    }
+}
+
+/// Backend-tagged execution statistics from one [`Session::run`].
+#[derive(Clone, Copy, Debug)]
+pub enum RunReport {
+    Threads(ExecReport),
+    Ranks(DistReport),
+}
+
+impl RunReport {
+    /// Tasks (colors) executed, on either backend.
+    pub fn tasks_run(&self) -> u64 {
+        match self {
+            RunReport::Threads(r) => r.tasks_run,
+            RunReport::Ranks(r) => r.tasks_run,
+        }
+    }
+
+    pub fn as_threads(&self) -> Option<&ExecReport> {
+        match self {
+            RunReport::Threads(r) => Some(r),
+            RunReport::Ranks(_) => None,
+        }
+    }
+
+    pub fn as_ranks(&self) -> Option<&DistReport> {
+        match self {
+            RunReport::Ranks(r) => Some(r),
+            RunReport::Threads(_) => None,
+        }
+    }
+
+    /// Machine-readable form for `partir-report-v1` envelopes, tagged with
+    /// the backend it came from.
+    pub fn to_json(&self) -> Json {
+        match self {
+            RunReport::Threads(r) => r.to_json().with("backend", "threads"),
+            RunReport::Ranks(r) => r.to_json().with("backend", "ranks"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use partir_dpl::func::{FnDef, IndexFn};
+    use partir_dpl::region::{FieldId, FieldKind};
+    use partir_ir::ast::{LoopBuilder, ReduceOp, VExpr};
+    use partir_ir::interp::run_program_seq;
+
+    /// Figure 7's scatter: `for i in R: S[g(i)] += R[i]`.
+    fn scatter() -> (Vec<Loop>, FnTable, Schema, Store) {
+        let mut schema = Schema::new();
+        let r = schema.add_region("R", 96);
+        let s = schema.add_region("S", 96);
+        let rx = schema.add_field(r, "x", FieldKind::F64);
+        let sx = schema.add_field(s, "x", FieldKind::F64);
+        let mut fns = FnTable::new();
+        let g =
+            fns.add("g", r, s, FnDef::Index(IndexFn::AffineMod { mul: 1, add: 3, modulus: 96 }));
+        let mut b = LoopBuilder::new("scatter", r);
+        let i = b.loop_var();
+        let v = b.val_read(r, rx, i);
+        let gi = b.idx_apply(g, i);
+        b.val_reduce(s, sx, gi, ReduceOp::Add, VExpr::var(v));
+        let mut store = Store::new(schema.clone());
+        for i in 0..96 {
+            store.f64s_mut(rx)[i] = (i as f64).cos() * 2.5;
+            store.f64s_mut(sx)[i] = i as f64 * 0.125;
+        }
+        (vec![b.finish()], fns, schema, store)
+    }
+
+    #[test]
+    fn builder_runs_on_both_backends() {
+        let (program, fns, schema, seed) = scatter();
+        let mut seq = seed.clone();
+        run_program_seq(&program, &mut seq, &fns);
+
+        for backend in [Backend::Threads(3), Backend::Ranks(3)] {
+            let mut session = Partir::new(program.clone(), fns.clone(), schema.clone())
+                .backend(backend)
+                .colors(6)
+                .build()
+                .expect("scatter is parallelizable");
+            let mut store = seed.clone();
+            let report = session.run(&mut store).expect("run succeeds");
+            assert!(report.tasks_run() > 0);
+            assert!(session.report().is_some());
+            for fi in 0..schema.num_fields() {
+                let f = FieldId(fi as u32);
+                assert_eq!(seq.field_data(f), store.field_data(f), "{backend:?} differs");
+            }
+        }
+    }
+
+    #[test]
+    fn session_exposes_the_plan() {
+        let (program, fns, schema, _) = scatter();
+        let session = Partir::new(program, fns, schema).build().unwrap();
+        assert!(!session.render_dpl().is_empty());
+        assert!(session.plan().num_partitions() > 0);
+    }
+
+    #[test]
+    fn invalid_configurations_are_session_errors() {
+        let (program, fns, schema, _) = scatter();
+        let zero = Partir::new(program.clone(), fns.clone(), schema.clone())
+            .backend(Backend::Threads(0))
+            .build();
+        assert_eq!(zero.unwrap_err().error_code(), "session.invalid");
+
+        let few_colors = Partir::new(program.clone(), fns.clone(), schema.clone())
+            .backend(Backend::Ranks(4))
+            .colors(2)
+            .build();
+        assert_eq!(few_colors.unwrap_err().error_code(), "session.invalid");
+
+        let fault_on_ranks = Partir::new(program, fns, schema)
+            .backend(Backend::Ranks(2))
+            .fault(FaultPlan::quiescent(7))
+            .build();
+        assert_eq!(fault_on_ranks.unwrap_err().error_code(), "session.invalid");
+    }
+
+    #[test]
+    fn fault_plan_flows_through_the_threads_backend() {
+        let (program, fns, schema, seed) = scatter();
+        let mut seq = seed.clone();
+        run_program_seq(&program, &mut seq, &fns);
+
+        let mut session = Partir::new(program, fns, schema)
+            .backend(Backend::Threads(2))
+            .colors(4)
+            .fault(FaultPlan { seed: 11, task_failure_rate: 1.0, poison_after: None })
+            .build()
+            .unwrap();
+        let mut store = seed.clone();
+        let report = session.run(&mut store).expect("recovery keeps the run alive");
+        let exec = report.as_threads().expect("threads report");
+        assert!(exec.faults_injected > 0);
+        assert_eq!(seq.field_data(FieldId(1)), store.field_data(FieldId(1)));
+    }
+}

@@ -1,0 +1,241 @@
+//! The unified `partir::Error`.
+//!
+//! Every layer of the pipeline has its own typed error (pipeline,
+//! solver, exchange derivation, threaded executor, distributed executor,
+//! simulator). The builder API surfaces them all as one enum so callers
+//! match on a single type, and [`Error::error_code`] gives each failure a
+//! stable string from the `partir-report-v1` registry
+//! ([`partir_obs::report::ERROR_CODES`]) for machine-readable failure
+//! reports. Renaming a code is a schema break; adding one is not.
+
+use partir_core::exchange::ExchangeError;
+use partir_core::pipeline::AutoError;
+use partir_core::solve::SolveError;
+use partir_runtime::dist::DistError;
+use partir_runtime::exec::ExecError;
+use partir_runtime::sim::SimError;
+use std::fmt;
+
+/// Any failure the partir pipeline or one of its backends can report.
+#[derive(Debug)]
+pub enum Error {
+    /// Constraint inference / pipeline failure (`auto.*`).
+    Auto(AutoError),
+    /// Standalone solver failure (`solve.*`).
+    Solve(SolveError),
+    /// Communication-set derivation failure (`exchange.*`).
+    Exchange(ExchangeError),
+    /// Threaded-executor failure (`exec.*`).
+    Exec(ExecError),
+    /// Distributed-executor failure (`dist.*`).
+    Dist(DistError),
+    /// Machine-model simulator failure (`sim.*`).
+    Sim(SimError),
+    /// Builder misuse: an inconsistent or impossible session configuration
+    /// (`session.invalid`).
+    Session(String),
+}
+
+impl Error {
+    /// The stable `partir-report-v1` error code for this failure. Every
+    /// returned string is registered in
+    /// [`partir_obs::report::ERROR_CODES`].
+    pub fn error_code(&self) -> &'static str {
+        match self {
+            Error::Auto(AutoError::NotParallelizable(_)) => "auto.not_parallelizable",
+            Error::Auto(AutoError::Unsatisfiable) => "auto.unsatisfiable",
+            Error::Solve(SolveError::Unsatisfiable) => "solve.unsatisfiable",
+            Error::Exchange(e) => exchange_code(e),
+            Error::Exec(e) => match e {
+                ExecError::PlanMismatch { .. } => "exec.plan_mismatch",
+                ExecError::PartitionIndexOutOfBounds { .. } => "exec.partition_index_out_of_bounds",
+                ExecError::PartitionWidthMismatch { .. } => "exec.partition_width_mismatch",
+                ExecError::PartitionExceedsRegion { .. } => "exec.partition_exceeds_region",
+                ExecError::IncompleteIteration { .. } => "exec.incomplete_iteration",
+                ExecError::IterationNotDisjoint { .. } => "exec.iteration_not_disjoint",
+                ExecError::ReductionNotDisjoint { .. } => "exec.reduction_not_disjoint",
+                ExecError::Legality(_) => "exec.legality",
+                ExecError::TaskPanic(_) => "exec.task_panic",
+                ExecError::TaskFailed { .. } => "exec.task_failed",
+                ExecError::BufferStateCorrupt { .. } => "exec.buffer_state_corrupt",
+            },
+            Error::Dist(e) => match e {
+                // Exchange derivation keeps its own code family even when
+                // reached through the distributed entry point.
+                DistError::Exchange(x) => exchange_code(x),
+                DistError::PlanMismatch { .. } => "dist.plan_mismatch",
+                DistError::PartitionIndexOutOfBounds { .. } => "dist.partition_index_out_of_bounds",
+                DistError::PartitionWidthMismatch { .. } => "dist.partition_width_mismatch",
+                DistError::PartitionExceedsRegion { .. } => "dist.partition_exceeds_region",
+                DistError::IncompleteIteration { .. } => "dist.incomplete_iteration",
+                DistError::IterationNotDisjoint { .. } => "dist.iteration_not_disjoint",
+                DistError::ReductionNotDisjoint { .. } => "dist.reduction_not_disjoint",
+                DistError::Legality(_) => "dist.legality",
+                DistError::RankPanic { .. } => "dist.rank_panic",
+                DistError::Disconnected { .. } => "dist.disconnected",
+                DistError::Aborted => "dist.aborted",
+                DistError::Internal(_) => "dist.internal",
+            },
+            Error::Sim(e) => match e {
+                SimError::MissingRegionSize { .. } => "sim.missing_region_size",
+                SimError::HomeWidthMismatch { .. } => "sim.home_width_mismatch",
+                SimError::IterWidthMismatch { .. } => "sim.iter_width_mismatch",
+            },
+            Error::Session(_) => "session.invalid",
+        }
+    }
+}
+
+fn exchange_code(e: &ExchangeError) -> &'static str {
+    match e {
+        ExchangeError::NoRanks => "exchange.no_ranks",
+        ExchangeError::WidthMismatch { .. } => "exchange.width_mismatch",
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Auto(e) => write!(f, "{e}"),
+            Error::Solve(e) => write!(f, "{e}"),
+            Error::Exchange(e) => write!(f, "{e}"),
+            Error::Exec(e) => write!(f, "{e}"),
+            Error::Dist(e) => write!(f, "{e}"),
+            Error::Sim(e) => write!(f, "{e}"),
+            Error::Session(m) => write!(f, "invalid session configuration: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Auto(e) => Some(e),
+            Error::Solve(e) => Some(e),
+            Error::Exchange(e) => Some(e),
+            Error::Exec(e) => Some(e),
+            Error::Dist(e) => Some(e),
+            Error::Sim(e) => Some(e),
+            Error::Session(_) => None,
+        }
+    }
+}
+
+impl From<AutoError> for Error {
+    fn from(e: AutoError) -> Self {
+        Error::Auto(e)
+    }
+}
+
+impl From<SolveError> for Error {
+    fn from(e: SolveError) -> Self {
+        Error::Solve(e)
+    }
+}
+
+impl From<ExchangeError> for Error {
+    fn from(e: ExchangeError) -> Self {
+        Error::Exchange(e)
+    }
+}
+
+impl From<ExecError> for Error {
+    fn from(e: ExecError) -> Self {
+        Error::Exec(e)
+    }
+}
+
+impl From<DistError> for Error {
+    fn from(e: DistError) -> Self {
+        Error::Dist(e)
+    }
+}
+
+impl From<SimError> for Error {
+    fn from(e: SimError) -> Self {
+        Error::Sim(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use partir_dpl::region::RegionId;
+    use partir_ir::ast::AccessId;
+    use partir_obs::report::is_known_error_code;
+    use partir_runtime::dist::DistViolation;
+
+    /// One witness per variant family; every code must be registered.
+    #[test]
+    fn every_error_code_is_registered() {
+        let samples: Vec<Error> = vec![
+            Error::Auto(AutoError::Unsatisfiable),
+            Error::Solve(SolveError::Unsatisfiable),
+            Error::Exchange(ExchangeError::NoRanks),
+            Error::Exchange(ExchangeError::WidthMismatch { part: 0, expected: 2, got: 3 }),
+            Error::Exec(ExecError::PlanMismatch { plan_loops: 1, program_loops: 2 }),
+            Error::Exec(ExecError::PartitionIndexOutOfBounds { loop_index: 0, part: 9, len: 1 }),
+            Error::Exec(ExecError::PartitionWidthMismatch { part: 0, expected: 2, got: 3 }),
+            Error::Exec(ExecError::PartitionExceedsRegion {
+                loop_index: 0,
+                part: 0,
+                index: 7,
+                size: 4,
+            }),
+            Error::Exec(ExecError::IncompleteIteration { loop_index: 0 }),
+            Error::Exec(ExecError::IterationNotDisjoint { loop_index: 0 }),
+            Error::Exec(ExecError::ReductionNotDisjoint { loop_index: 0, access: AccessId(0) }),
+            Error::Exec(ExecError::Legality(partir_runtime::exec::LegalityViolation {
+                loop_id: 0,
+                task: 0,
+                region: RegionId(0),
+                index: 0,
+                access: AccessId(0),
+            })),
+            Error::Exec(ExecError::TaskPanic("boom".into())),
+            Error::Exec(ExecError::TaskFailed { loop_index: 0, color: 0, attempts: 3 }),
+            Error::Exec(ExecError::BufferStateCorrupt { loop_index: 0 }),
+            Error::Dist(DistError::Exchange(ExchangeError::NoRanks)),
+            Error::Dist(DistError::PlanMismatch { plan_loops: 1, program_loops: 2 }),
+            Error::Dist(DistError::PartitionIndexOutOfBounds { loop_index: 0, part: 9, len: 1 }),
+            Error::Dist(DistError::PartitionWidthMismatch { part: 0, expected: 2, got: 3 }),
+            Error::Dist(DistError::PartitionExceedsRegion {
+                loop_index: 0,
+                part: 0,
+                index: 7,
+                size: 4,
+            }),
+            Error::Dist(DistError::IncompleteIteration { loop_index: 0 }),
+            Error::Dist(DistError::IterationNotDisjoint { loop_index: 0 }),
+            Error::Dist(DistError::ReductionNotDisjoint { loop_index: 0, access: AccessId(0) }),
+            Error::Dist(DistError::Legality(DistViolation {
+                rank: 0,
+                loop_id: 0,
+                task: 0,
+                region: RegionId(0),
+                index: 0,
+                access: AccessId(0),
+            })),
+            Error::Dist(DistError::RankPanic { rank: 0, message: "boom".into() }),
+            Error::Dist(DistError::Disconnected { rank: 1 }),
+            Error::Dist(DistError::Aborted),
+            Error::Dist(DistError::Internal("x".into())),
+            Error::Sim(SimError::MissingRegionSize { region: RegionId(0) }),
+            Error::Sim(SimError::HomeWidthMismatch { region: RegionId(0), expected: 2, got: 3 }),
+            Error::Sim(SimError::IterWidthMismatch { loop_name: "l".into(), expected: 2, got: 3 }),
+            Error::Session("bad".into()),
+        ];
+        for e in &samples {
+            let code = e.error_code();
+            assert!(is_known_error_code(code), "unregistered error code {code} for {e:?}");
+        }
+    }
+
+    #[test]
+    fn display_and_source_thread_through() {
+        let e = Error::from(AutoError::Unsatisfiable);
+        assert!(e.to_string().contains("unsatisfiable"));
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(std::error::Error::source(&Error::Session("x".into())).is_none());
+    }
+}

@@ -4,7 +4,9 @@
 //! Automatic Data Partitioning for Distributed Memory Execution"*
 //! (Lee, Papadakis, Slaughter, Aiken — SC '19).
 //!
-//! This facade re-exports the workspace crates:
+//! The front door is the [`Partir`] builder: describe a program once, let
+//! the constraint pipeline solve its partitioning, and run it on either
+//! backend. Underneath, this facade re-exports the workspace crates:
 //!
 //! * [`dpl`] — regions, first-class partitions, and the Dependent
 //!   Partitioning Language operators (`equal`, `image`, `preimage`,
@@ -17,8 +19,10 @@
 //!   Section 5 reduction optimizations, and the end-to-end
 //!   [`core::pipeline::auto_parallelize`] pass;
 //! * [`runtime`] — a threaded executor (legality checking, reduction
-//!   buffers, relaxation guards, private sub-partitions) and a
-//!   distributed-memory simulator for the weak-scaling experiments;
+//!   buffers, relaxation guards, private sub-partitions), an SPMD
+//!   rank-sharded distributed backend with constraint-derived ghost
+//!   exchange, and a distributed-memory simulator for the weak-scaling
+//!   experiments;
 //! * [`apps`] — the five benchmark applications of the paper's evaluation.
 //!
 //! ## Quickstart
@@ -42,21 +46,98 @@
 //! b.val_reduce(s, sx, gi, ReduceOp::Add, VExpr::var(v));
 //! let program = vec![b.finish()];
 //!
-//! let plan = auto_parallelize(&program, &fns, &schema, &Hints::new(), Options::default())
+//! // Solve once, run on 4 SPMD ranks with constraint-derived ghosts.
+//! let mut session = Partir::new(program, fns, schema.clone())
+//!     .backend(Backend::Ranks(4))
+//!     .build()
 //!     .expect("parallelizable");
-//! println!("{}", plan.render_dpl(&fns)); // the synthesized DPL program
+//! println!("{}", session.render_dpl()); // the synthesized DPL program
+//!
+//! let mut store = Store::new(schema);
+//! let report = session.run(&mut store).expect("bit-identical to sequential");
+//! assert!(report.tasks_run() > 0);
 //! ```
 
 pub use partir_apps as apps;
 pub use partir_core as core;
 pub use partir_dpl as dpl;
 pub use partir_ir as ir;
+pub use partir_obs as obs;
 pub use partir_runtime as runtime;
+
+mod builder;
+mod error;
+
+pub use builder::{Backend, Partir, RunReport, Session};
+pub use error::Error;
 
 /// One-stop imports for examples and downstream users.
 pub mod prelude {
+    pub use crate::{Backend, Error, Partir, RunReport, Session};
     pub use partir_core::prelude::*;
     pub use partir_dpl::prelude::*;
     pub use partir_ir::prelude::*;
+    pub use partir_obs::ObsConfig;
     pub use partir_runtime::prelude::*;
+}
+
+/// Pre-builder entry point: runs the constraint pipeline directly.
+#[deprecated(
+    since = "0.2.0",
+    note = "use the `partir::Partir` builder, which solves once and executes on any backend"
+)]
+pub fn auto_parallelize(
+    loops: &[ir::ast::Loop],
+    fns: &dpl::func::FnTable,
+    schema: &dpl::region::Schema,
+    hints: &core::pipeline::Hints,
+    opts: core::pipeline::Options,
+) -> Result<core::pipeline::ParallelPlan, core::pipeline::AutoError> {
+    core::pipeline::auto_parallelize(loops, fns, schema, hints, opts)
+}
+
+/// Pre-builder entry point: runs a solved plan on the threaded executor.
+#[deprecated(
+    since = "0.2.0",
+    note = "use the `partir::Partir` builder, which solves once and executes on any backend"
+)]
+pub fn execute(
+    program: &[ir::ast::Loop],
+    plan: &core::pipeline::ParallelPlan,
+    parts: &[std::sync::Arc<dpl::partition::Partition>],
+    store: &mut dpl::region::Store,
+    fns: &dpl::func::FnTable,
+    opts: &runtime::exec::ExecOptions,
+) -> Result<runtime::exec::ExecReport, runtime::exec::ExecError> {
+    runtime::exec::execute_program(program, plan, parts, store, fns, opts)
+}
+
+#[cfg(test)]
+mod shim_tests {
+    // The deprecated shims must stay callable (and deprecated).
+    #[test]
+    #[allow(deprecated)]
+    fn shims_still_work() {
+        use crate::prelude::*;
+        let mut schema = Schema::new();
+        let r = schema.add_region("R", 16);
+        let rx = schema.add_field(r, "x", FieldKind::F64);
+        let mut b = LoopBuilder::new("double", r);
+        let i = b.loop_var();
+        let v = b.val_read(r, rx, i);
+        b.val_write(r, rx, i, VExpr::add(VExpr::var(v), VExpr::var(v)));
+        let program = vec![b.finish()];
+        let fns = FnTable::new();
+        let plan =
+            crate::auto_parallelize(&program, &fns, &schema, &Hints::new(), Options::default())
+                .unwrap();
+        let mut store = Store::new(schema);
+        store.f64s_mut(rx)[3] = 1.5;
+        let parts = plan.evaluate(&store, &fns, 2, &ExtBindings::new());
+        let report =
+            crate::execute(&program, &plan, &parts, &mut store, &fns, &ExecOptions::default())
+                .unwrap();
+        assert!(report.tasks_run > 0);
+        assert_eq!(store.f64s(rx)[3], 3.0);
+    }
 }

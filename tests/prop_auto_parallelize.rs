@@ -12,143 +12,8 @@
 use partir::prelude::*;
 use proptest::prelude::*;
 
-/// Configuration of a random two-region program.
-#[derive(Debug, Clone)]
-struct Cfg {
-    n_a: u64,
-    n_b: u64,
-    colors: usize,
-    read_ptr_chain: bool,
-    read_affine: bool,
-    reduce_via_ptr: bool,
-    reduce_via_affine: bool,
-    second_loop: bool,
-    ptr_seed: u64,
-}
-
-fn arb_cfg() -> impl Strategy<Value = Cfg> {
-    (
-        20u64..120,
-        10u64..60,
-        1usize..7,
-        any::<bool>(),
-        any::<bool>(),
-        any::<bool>(),
-        any::<bool>(),
-        any::<bool>(),
-        any::<u64>(),
-    )
-        .prop_map(
-            |(
-                n_a,
-                n_b,
-                colors,
-                read_ptr_chain,
-                read_affine,
-                reduce_via_ptr,
-                reduce_via_affine,
-                second_loop,
-                ptr_seed,
-            )| Cfg {
-                n_a,
-                n_b,
-                colors,
-                read_ptr_chain,
-                read_affine,
-                reduce_via_ptr,
-                reduce_via_affine,
-                second_loop,
-                ptr_seed,
-            },
-        )
-}
-
-struct Built {
-    store: Store,
-    fns: FnTable,
-    program: Vec<Loop>,
-}
-
-fn build(cfg: &Cfg) -> Built {
-    use rand::{Rng, SeedableRng};
-    let mut schema = Schema::new();
-    let b_r = schema.add_region("B", cfg.n_b);
-    let a_r = schema.add_region("A", cfg.n_a);
-    let ptr = schema.add_field(a_r, "ptr", FieldKind::Ptr(b_r));
-    let aval = schema.add_field(a_r, "val", FieldKind::F64);
-    let aout = schema.add_field(a_r, "out", FieldKind::F64);
-    let bval = schema.add_field(b_r, "val", FieldKind::F64);
-    let bacc = schema.add_field(b_r, "acc", FieldKind::F64);
-
-    let mut fns = FnTable::new();
-    let fptr = fns.add_ptr_field("A[.].ptr", a_r, b_r, ptr);
-    let faff = fns.add(
-        "wrapB",
-        b_r,
-        b_r,
-        FnDef::Index(IndexFn::AffineMod { mul: 1, add: 3, modulus: cfg.n_b }),
-    );
-    let faff_ab = fns.add(
-        "wrapAB",
-        a_r,
-        b_r,
-        FnDef::Index(IndexFn::AffineMod { mul: 1, add: 1, modulus: cfg.n_b }),
-    );
-
-    let mut store = Store::new(schema);
-    let mut rng = rand::rngs::StdRng::seed_from_u64(cfg.ptr_seed);
-    for v in store.ptrs_mut(ptr).iter_mut() {
-        *v = rng.gen_range(0..cfg.n_b);
-    }
-    for v in store.f64s_mut(aval).iter_mut() {
-        *v = rng.gen_range(0..32) as f64;
-    }
-    for v in store.f64s_mut(bval).iter_mut() {
-        *v = rng.gen_range(0..32) as f64;
-    }
-
-    // Loop 1 over A: centered read, optional uncentered reads of B, a
-    // centered write, and optional uncentered reductions into B.acc.
-    let mut bld = LoopBuilder::new("loop_a", a_r);
-    let i = bld.loop_var();
-    let v0 = bld.val_read(a_r, aval, i);
-    let mut expr = VExpr::var(v0);
-    if cfg.read_ptr_chain {
-        let bi = bld.idx_read(a_r, ptr, i, fptr);
-        let bv = bld.val_read(b_r, bval, bi);
-        // Chain one more hop through the affine neighbor.
-        let bj = bld.idx_apply(faff, bi);
-        let bv2 = bld.val_read(b_r, bval, bj);
-        expr = VExpr::add(expr, VExpr::add(VExpr::var(bv), VExpr::var(bv2)));
-    }
-    if cfg.read_affine {
-        let bj = bld.idx_apply(faff_ab, i);
-        let bv = bld.val_read(b_r, bval, bj);
-        expr = VExpr::add(expr, VExpr::var(bv));
-    }
-    bld.val_write(a_r, aout, i, expr.clone());
-    if cfg.reduce_via_ptr {
-        let bi = bld.idx_read(a_r, ptr, i, fptr);
-        bld.val_reduce(b_r, bacc, bi, ReduceOp::Add, VExpr::var(v0));
-    }
-    if cfg.reduce_via_affine {
-        let bj = bld.idx_apply(faff_ab, i);
-        bld.val_reduce(b_r, bacc, bj, ReduceOp::Add, VExpr::var(v0));
-    }
-    let l1 = bld.finish();
-
-    let mut program = vec![l1];
-    if cfg.second_loop {
-        // Loop 2 over B: centered update reading an affine neighbor.
-        let mut bld = LoopBuilder::new("loop_b", b_r);
-        let j = bld.loop_var();
-        let nv = bld.idx_apply(faff, j);
-        let x = bld.val_read(b_r, bval, nv);
-        bld.val_reduce(b_r, bacc, j, ReduceOp::Add, VExpr::var(x));
-        program.push(bld.finish());
-    }
-    Built { store, fns, program }
-}
+mod common;
+use common::{arb_cfg, build};
 
 /// Evaluates a closed expression through the plan's evaluator.
 fn eval_closed(

@@ -38,10 +38,8 @@ pub struct Criterion {
 
 impl Default for Criterion {
     fn default() -> Self {
-        let budget_ms = std::env::var("CRITERION_BUDGET_MS")
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(60u64);
+        let budget_ms =
+            std::env::var("CRITERION_BUDGET_MS").ok().and_then(|v| v.parse().ok()).unwrap_or(60u64);
         Criterion {
             mode: Mode::Measure,
             budget: Duration::from_millis(budget_ms),
@@ -81,12 +79,8 @@ impl Criterion {
         F: FnMut(&mut Bencher),
     {
         self.ran += 1;
-        let mut b = Bencher {
-            mode: self.mode,
-            budget: self.budget,
-            iters: 0,
-            elapsed: Duration::ZERO,
-        };
+        let mut b =
+            Bencher { mode: self.mode, budget: self.budget, iters: 0, elapsed: Duration::ZERO };
         f(&mut b);
         match self.mode {
             Mode::TestOnce => println!("{name}: ok (test mode, 1 iteration)"),
@@ -254,9 +248,7 @@ mod tests {
         let mut g = c.benchmark_group("tiny");
         g.sample_size(10);
         g.bench_function("add", |b| b.iter(|| black_box(1u64) + black_box(2u64)));
-        g.bench_with_input(BenchmarkId::new("mul", 3), &3u64, |b, &x| {
-            b.iter(|| black_box(x) * 2)
-        });
+        g.bench_with_input(BenchmarkId::new("mul", 3), &3u64, |b, &x| b.iter(|| black_box(x) * 2));
         g.finish();
     }
 
