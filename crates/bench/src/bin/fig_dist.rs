@@ -1,71 +1,182 @@
-//! Distributed-backend scaling: ghost exchange vs replication.
+//! Distributed-backend scaling: ghost exchange vs replication, with
+//! cross-rank timelines and predicted-vs-measured accounting.
 //!
-//! Runs Stencil and SpMV on the rank-sharded SPMD backend at increasing
-//! rank counts (strong scaling: fixed problem, more ranks), verifies each
-//! point bit-identically against the sequential interpreter with legality
-//! checking on, and reports the exchange-set traffic the constraint
-//! solution derives. The headline number is ghost bytes vs the bytes a
-//! replicate-everything runtime would ship: the constraint-derived
-//! exchange moves only each rank's preimage/image footprint, so the ratio
-//! collapses by orders of magnitude.
+//! Runs all five benchmark applications on the rank-sharded SPMD backend
+//! at increasing rank counts (strong scaling: fixed problem, more ranks),
+//! verifies each point bit-identically against the sequential interpreter
+//! with legality checking on, and reports:
+//!
+//! * the exchange-set traffic the constraint solution derives, vs the
+//!   bytes a replicate-everything runtime would ship;
+//! * the `dist_profile` critical-path breakdown per epoch (compute /
+//!   exchange-wait / pack-unpack / legality / barrier-skew), computed from
+//!   per-rank timelines;
+//! * per-`(src, dst)` predicted-vs-measured bytes and messages, run in
+//!   strict mode — any pair where the mailboxes moved different traffic
+//!   than the `ExchangePlan` predicts aborts the harness.
 //!
 //! Run: `cargo run --release -p partir-bench --bin fig_dist`
 //! JSON report: `... --bin fig_dist -- --json [--out PATH]`
+//! Chrome trace: `... --bin fig_dist -- --trace-out trace.json` (load in
+//! Perfetto / `chrome://tracing`; one process per app×rank-count combo,
+//! one thread per rank).
+//! Overhead gate: `... --bin fig_dist -- --check-obs-skew` re-runs the
+//! largest Stencil point with metrics on vs off and fails when the median
+//! walltime skew exceeds `PARTIR_OBS_SKEW_MAX_PCT` (default 5%).
 //! Rank counts: `PARTIR_RANKS=2,4,8` overrides the default `1,2,4,8`.
 
 use partir::{Backend, Partir, RunReport};
+use partir_apps::circuit::{Circuit, CircuitParams};
+use partir_apps::miniaero::{MiniAero, MiniAeroParams};
+use partir_apps::pennant::{Pennant, PennantParams};
 use partir_apps::{spmv, stencil};
 use partir_bench::BenchArgs;
 use partir_dpl::func::FnTable;
-use partir_dpl::region::{FieldId, Store};
+use partir_dpl::region::{FieldData, FieldId, Store};
 use partir_ir::ast::Loop;
 use partir_ir::interp::run_program_seq;
 use partir_obs::json::Json;
+use partir_obs::trace::chrome_trace_doc;
+use partir_obs::{MemorySink, ObsConfig};
 use partir_runtime::dist::DistReport;
+use std::time::Instant;
 
 struct Case {
     name: &'static str,
     program: Vec<Loop>,
     fns: FnTable,
     store: Store,
-    /// Field whose contents must match the sequential interpreter.
-    check: FieldId,
 }
 
 fn cases() -> Vec<Case> {
     let mut out = Vec::new();
     let a = stencil::Stencil::generate(&stencil::StencilParams { nx: 256, ny: 256 });
-    out.push(Case {
-        name: "Stencil",
-        program: a.program,
-        fns: a.fns,
-        store: a.store,
-        check: a.f_out,
-    });
+    out.push(Case { name: "Stencil", program: a.program, fns: a.fns, store: a.store });
     let a = spmv::Spmv::generate(&spmv::SpmvParams { rows: 100_000, halo: 2 });
-    out.push(Case { name: "SpMV", program: a.program, fns: a.fns, store: a.store, check: a.yv });
+    out.push(Case { name: "SpMV", program: a.program, fns: a.fns, store: a.store });
+    let a = Circuit::generate(&CircuitParams {
+        clusters: 4,
+        nodes_per_cluster: 400,
+        wires_per_cluster: 1_600,
+        cross_fraction: 0.2,
+        seed: 7,
+    });
+    out.push(Case { name: "Circuit", program: a.program, fns: a.fns, store: a.store });
+    let a = MiniAero::generate(&MiniAeroParams { nx: 8, ny: 8, nz: 8 });
+    out.push(Case { name: "MiniAero", program: a.program, fns: a.fns, store: a.store });
+    let a = Pennant::generate(&PennantParams { pieces: 4, zw: 8, zy: 8 });
+    out.push(Case { name: "PENNANT", program: a.program, fns: a.fns, store: a.store });
     out
 }
 
-fn run_point(case: &Case, seq: &Store, ranks: usize) -> DistReport {
-    let mut session =
-        Partir::new(case.program.clone(), case.fns.clone(), case.store.schema().clone())
-            .backend(Backend::Ranks(ranks))
-            .build()
-            .unwrap_or_else(|e| panic!("{} auto-parallelizes: {e}", case.name));
+fn session_for(case: &Case, ranks: usize, obs: ObsConfig) -> partir::Session {
+    Partir::new(case.program.clone(), case.fns.clone(), case.store.schema().clone())
+        .backend(Backend::Ranks(ranks))
+        .colors(ranks.max(4))
+        .obs(obs)
+        .build()
+        .unwrap_or_else(|e| panic!("{} auto-parallelizes: {e}", case.name))
+}
+
+/// One scaling point: the distributed report plus the observability
+/// payloads derived from its timeline.
+struct Point {
+    rep: DistReport,
+    profile: Json,
+    pairs: Json,
+    /// Chrome `trace_event` objects for `--trace-out` (empty otherwise).
+    events: Vec<Json>,
+}
+
+fn run_point(case: &Case, seq: &Store, ranks: usize, pid: u64, want_trace: bool) -> Point {
+    let obs = ObsConfig { timeline: true, strict_volume: true, ..ObsConfig::disabled() };
+    let mut session = session_for(case, ranks, obs);
     let mut par = case.store.clone();
     let report =
         session.run(&mut par).unwrap_or_else(|e| panic!("{} on {ranks} ranks: {e}", case.name));
-    assert_eq!(
-        seq.f64s(case.check),
-        par.f64s(case.check),
-        "{} diverged from sequential at {ranks} ranks",
-        case.name
-    );
-    match report {
+    let schema = case.store.schema();
+    for f in 0..schema.num_fields() {
+        let fid = FieldId(f as u32);
+        if let FieldData::F64(sv) = seq.field_data(fid) {
+            let FieldData::F64(pv) = par.field_data(fid) else { unreachable!() };
+            assert_eq!(sv, pv, "{}: field {fid:?} diverged at {ranks} ranks", case.name);
+        }
+    }
+    let rep = match report {
         RunReport::Ranks(r) => r,
         RunReport::Threads(_) => unreachable!("rank backend requested"),
-    }
+    };
+
+    let trace = session.trace().expect("timeline collection was requested");
+    trace
+        .validate()
+        .unwrap_or_else(|e| panic!("{} at {ranks} ranks: malformed timeline: {e}", case.name));
+    let profile = session.dist_profile().expect("profile derives from the timeline");
+    assert!(
+        profile.coverage() >= 0.95,
+        "{} at {ranks} ranks: critical-path categories cover only {:.1}% of wall-clock",
+        case.name,
+        profile.coverage() * 100.0
+    );
+    // Strict mode already errored on any mismatch; assert the reported
+    // deltas agree.
+    let volume = session.volume_accounting().expect("volume accounting present");
+    assert!(volume.is_clean(), "{} at {ranks} ranks: dirty volume accounting", case.name);
+
+    let events = if want_trace {
+        trace.chrome_trace_events(&format!("{} @ {ranks} ranks", case.name), pid)
+    } else {
+        Vec::new()
+    };
+    Point { rep, profile: profile.to_json(), pairs: volume.to_json(), events }
+}
+
+/// Obs-overhead gate (`--check-obs-skew`): median walltime of the largest
+/// Stencil point with metrics routed to an in-memory sink vs everything
+/// off. The sharded atomic counters must keep the skew under
+/// `PARTIR_OBS_SKEW_MAX_PCT` (default 5%).
+fn check_obs_skew(case: &Case, ranks: usize) {
+    const REPS: usize = 5;
+    let max_pct: f64 = std::env::var("PARTIR_OBS_SKEW_MAX_PCT")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(5.0);
+
+    // Metrics on/off is process-global sink state; the sessions themselves
+    // are configured identically (ObsConfig::disabled() never uninstalls a
+    // programmatic sink).
+    let median_walltime = || -> f64 {
+        let mut times: Vec<f64> = (0..REPS)
+            .map(|_| {
+                let mut session = session_for(case, ranks, ObsConfig::disabled());
+                let mut par = case.store.clone();
+                let t0 = Instant::now();
+                session.run(&mut par).unwrap_or_else(|e| panic!("skew run: {e}"));
+                t0.elapsed().as_secs_f64()
+            })
+            .collect();
+        times.sort_by(f64::total_cmp);
+        times[REPS / 2]
+    };
+
+    let off = median_walltime();
+    let sink = MemorySink::new();
+    partir_obs::install_sink(sink.clone(), false, true);
+    let on = median_walltime();
+    partir_obs::uninstall_sink();
+    assert!(!sink.take().is_empty(), "metrics sink saw no counter events");
+
+    let skew_pct = (on - off) / off * 100.0;
+    eprintln!(
+        "obs skew: {} at {ranks} ranks: off {:.1} ms, metrics-on {:.1} ms ({skew_pct:+.2}%)",
+        case.name,
+        off * 1e3,
+        on * 1e3
+    );
+    assert!(
+        skew_pct <= max_pct,
+        "metrics overhead {skew_pct:.2}% exceeds the {max_pct:.1}% budget"
+    );
 }
 
 fn main() {
@@ -77,17 +188,29 @@ fn main() {
 
     let mut apps = Json::array();
     let mut human = String::new();
+    let mut chrome_events: Vec<Json> = Vec::new();
+    let mut pid = 0u64;
     for case in cases() {
         let mut seq = case.store.clone();
         run_program_seq(&case.program, &mut seq, &case.fns);
 
         human.push_str(&format!(
-            "\n{}\n{:<7} {:>7} {:>9} {:>13} {:>13} {:>9}\n",
-            case.name, "ranks", "tasks", "messages", "ghost_bytes", "repl_bytes", "ratio"
+            "\n{}\n{:<7} {:>7} {:>9} {:>13} {:>13} {:>9} {:>9} {:>9}\n",
+            case.name,
+            "ranks",
+            "tasks",
+            "messages",
+            "ghost_bytes",
+            "repl_bytes",
+            "ratio",
+            "wait%",
+            "skew%"
         ));
         let mut points = Json::array();
         for &r in &ranks {
-            let rep = run_point(&case, &seq, r);
+            pid += 1;
+            let point = run_point(&case, &seq, r, pid, args.trace_out.is_some());
+            let rep = &point.rep;
             if r > 1 {
                 assert!(
                     rep.bytes_sent < rep.replication_bytes,
@@ -102,13 +225,51 @@ fn main() {
             } else {
                 f64::INFINITY
             };
+            let pct = |part: Option<&Json>| -> f64 {
+                let wall = point.profile.get("totals").and_then(|t| t.get("wall_ns"));
+                match (part.and_then(Json::as_f64), wall.and_then(Json::as_f64)) {
+                    (Some(p), Some(w)) if w > 0.0 => p / w * 100.0,
+                    _ => 0.0,
+                }
+            };
+            let totals = point.profile.get("totals");
             human.push_str(&format!(
-                "{:<7} {:>7} {:>9} {:>13} {:>13} {:>8.0}x\n",
-                r, rep.tasks_run, rep.messages, rep.bytes_sent, rep.replication_bytes, ratio
+                "{:<7} {:>7} {:>9} {:>13} {:>13} {:>8.0}x {:>8.1} {:>8.1}\n",
+                r,
+                rep.tasks_run,
+                rep.messages,
+                rep.bytes_sent,
+                rep.replication_bytes,
+                ratio,
+                pct(totals.and_then(|t| t.get("exchange_wait_ns"))),
+                pct(totals.and_then(|t| t.get("barrier_skew_ns"))),
             ));
-            points = points.push(rep.to_json().with("bit_identical", true));
+            points = points.push(
+                rep.to_json()
+                    .with("bit_identical", true)
+                    .with("dist_profile", point.profile)
+                    .with("pairs", point.pairs),
+            );
+            chrome_events.extend(point.events);
         }
         apps = apps.push(Json::object().with("name", case.name).with("points", points));
+    }
+
+    if let Some(path) = &args.trace_out {
+        let doc = chrome_trace_doc(chrome_events);
+        match std::fs::write(path, format!("{doc}\n")) {
+            Ok(()) => eprintln!("wrote {}", path.display()),
+            Err(e) => {
+                eprintln!("failed to write {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+    }
+
+    if args.check_obs_skew {
+        let cs = cases();
+        // Stencil: the densest exchange pattern.
+        check_obs_skew(&cs[0], ranks.iter().copied().max().unwrap_or(4));
     }
 
     let mut ranks_json = Json::array();
@@ -119,7 +280,8 @@ fn main() {
     args.emit("fig_dist", payload, || {
         println!("# Distributed backend: constraint-derived ghost exchange vs replication");
         println!("# (every point verified bit-identical to the sequential interpreter,");
-        println!("#  legality checking on)");
+        println!("#  legality checking on, strict predicted-vs-measured accounting;");
+        println!("#  wait% / skew% from the per-epoch critical-path profile)");
         print!("{human}");
     });
 }

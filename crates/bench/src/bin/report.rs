@@ -72,6 +72,9 @@ fn main() {
         merged.push((experiment, parsed));
     }
 
+    // Deterministic artifact: experiments sorted by name, regardless of
+    // the order the input files were listed in.
+    merged.sort_by(|a, b| a.0.cmp(&b.0));
     let mut experiments = Json::object();
     for (name, env) in &merged {
         experiments = experiments.with(name.clone(), env.clone());

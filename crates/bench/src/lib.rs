@@ -17,11 +17,19 @@ use std::path::PathBuf;
 ///
 /// * `--json` — emit the machine-readable report on stdout;
 /// * `--out PATH` — write the report to `PATH` instead of stdout
-///   (implies `--json`).
+///   (implies `--json`);
+/// * `--trace-out PATH` — write a Chrome `trace_event` JSON file of the
+///   per-rank timelines (honored by `fig_dist`; harnesses without
+///   timelines ignore it);
+/// * `--check-obs-skew` — measure the observability overhead (obs-on vs
+///   obs-off walltime) and fail if it exceeds `PARTIR_OBS_SKEW_MAX_PCT`
+///   (default 5%; honored by `fig_dist`).
 #[derive(Clone, Debug, Default)]
 pub struct BenchArgs {
     pub json: bool,
     pub out: Option<PathBuf>,
+    pub trace_out: Option<PathBuf>,
+    pub check_obs_skew: bool,
 }
 
 impl BenchArgs {
@@ -49,9 +57,17 @@ impl BenchArgs {
                     args.out = Some(PathBuf::from(path));
                     args.json = true;
                 }
+                "--trace-out" => {
+                    let path = it
+                        .next()
+                        .ok_or_else(|| "--trace-out requires a path argument".to_string())?;
+                    args.trace_out = Some(PathBuf::from(path));
+                }
+                "--check-obs-skew" => args.check_obs_skew = true,
                 other => {
                     return Err(format!(
-                        "unknown argument '{other}' (expected --json [--out PATH])"
+                        "unknown argument '{other}' (expected --json [--out PATH] \
+                         [--trace-out PATH] [--check-obs-skew])"
                     ));
                 }
             }
@@ -208,10 +224,21 @@ mod tests {
     }
 
     #[test]
+    fn parse_from_accepts_trace_out_and_skew_check() {
+        let a = BenchArgs::parse_from(argv(&["--trace-out", "/tmp/t.json", "--check-obs-skew"]))
+            .unwrap();
+        assert!(!a.json, "--trace-out alone does not imply --json");
+        assert_eq!(a.trace_out.as_deref(), Some(std::path::Path::new("/tmp/t.json")));
+        assert!(a.check_obs_skew);
+    }
+
+    #[test]
     fn parse_from_rejects_bad_args_with_message() {
         let err = BenchArgs::parse_from(argv(&["--bogus"])).unwrap_err();
         assert!(err.contains("--bogus"), "{err}");
         let err = BenchArgs::parse_from(argv(&["--out"])).unwrap_err();
+        assert!(err.contains("requires a path"), "{err}");
+        let err = BenchArgs::parse_from(argv(&["--trace-out"])).unwrap_err();
         assert!(err.contains("requires a path"), "{err}");
     }
 
@@ -220,6 +247,7 @@ mod tests {
         let args = BenchArgs {
             json: true,
             out: Some(PathBuf::from("/nonexistent-dir-partir/report.json")),
+            ..BenchArgs::default()
         };
         let err = args.try_emit("t", Json::object().with("k", 1u64), || {}).unwrap_err();
         assert!(err.contains("failed to write"), "{err}");

@@ -127,7 +127,69 @@ pub struct ExchangePlan {
     pub stats: ExchangeStats,
 }
 
+/// Statically predicted traffic of one `(src, dst)` rank pair over a full
+/// program pass: what the runtime *must* move if it follows the plan.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PairVolume {
+    pub bytes: u64,
+    pub messages: u64,
+}
+
 impl ExchangePlan {
+    /// Predicts bytes and messages per `(src, dst)` pair, indexed
+    /// `[src][dst]`, purely from the plan — mirroring the rank epoch
+    /// protocol's send decisions (`dist/rank.rs` phases 1 and 5) exactly:
+    /// one ghost message per non-empty `ghost_fetch[dst][src]`, one post
+    /// message per pair with write-backs or routed partial slices. The
+    /// mailbox layer measures the same quantities at receive time;
+    /// `partir-runtime::dist` reports any per-pair delta (and errors on it
+    /// in strict mode), because a runtime that moves different bytes than
+    /// the constraint solution predicts is unsound, not just slow.
+    ///
+    /// Partial-buffer slices are counted as present: a route slice is
+    /// non-empty only when the source color's access partition touches
+    /// elements outside its private slice, and the evaluated access
+    /// partitions are exact images of the iteration sets, so the color's
+    /// buffer always allocates.
+    pub fn predicted_pair_volume(&self) -> Vec<Vec<PairVolume>> {
+        let n = self.n_ranks;
+        let mut vol = vec![vec![PairVolume::default(); n]; n];
+        for lx in &self.loops {
+            for (src, row) in vol.iter_mut().enumerate() {
+                for (dst, cell) in row.iter_mut().enumerate() {
+                    if src == dst {
+                        continue;
+                    }
+                    // Phase 1: ghosts `dst` needs that `src` owns.
+                    let ghost = &lx.ghost_fetch[dst][src];
+                    if !ghost.is_empty() {
+                        cell.messages += 1;
+                        cell.bytes += ghost.iter().map(|(_, s)| s.len() * 8).sum::<u64>();
+                    }
+                    // Phase 5: write-backs plus routed partial slices.
+                    let wb = &lx.write_back[src][dst];
+                    let mut bytes: u64 = wb.iter().map(|(_, s)| s.len() * 8).sum();
+                    let mut any_slice = false;
+                    for route in &lx.routes {
+                        for c in self.colors_of(src) {
+                            if let Some((_, set)) =
+                                route.by_color[c].iter().find(|(d, _)| *d == dst)
+                            {
+                                any_slice = true;
+                                bytes += set.len() * 8;
+                            }
+                        }
+                    }
+                    if !wb.is_empty() || any_slice {
+                        cell.messages += 1;
+                        cell.bytes += bytes;
+                    }
+                }
+            }
+        }
+        vol
+    }
+
     pub fn owned(&self, region: RegionId, rank: usize) -> &IndexSet {
         &self.owned[region.0 as usize][rank]
     }
@@ -619,6 +681,39 @@ mod tests {
         assert_eq!(x.colors_of(2), 4..6);
         for c in 0..6 {
             assert_eq!(x.rank_of_color(c), c / 2);
+        }
+    }
+
+    #[test]
+    fn predicted_pair_volume_agrees_with_stats() {
+        let (program, fns, schema) = stencil_1d(40);
+        let plan =
+            auto_parallelize(&program, &fns, &schema, &Hints::new(), Options::default()).unwrap();
+        let store = Store::new(schema.clone());
+        let ranks = 4usize;
+        let parts = plan.evaluate(&store, &fns, ranks, &ExtBindings::new());
+        let x = derive_exchange(&plan, &parts, &schema, ranks).unwrap();
+        let vol = x.predicted_pair_volume();
+        let bytes: u64 = vol.iter().flatten().map(|v| v.bytes).sum();
+        let messages: u64 = vol.iter().flatten().map(|v| v.messages).sum();
+        assert_eq!(bytes, x.stats.total_bytes(), "per-pair bytes must sum to the stats total");
+        assert_eq!(messages, x.stats.messages, "per-pair messages must sum to the stats total");
+        // The diagonal never carries traffic.
+        for (r, row) in vol.iter().enumerate() {
+            assert_eq!(row[r], PairVolume::default());
+        }
+        // Periodic stencil at 4 ranks: each rank sends one ghost message
+        // (one 8-byte element) to each of its two neighbors.
+        for (src, row) in vol.iter().enumerate() {
+            for (dst, v) in row.iter().enumerate() {
+                let neighbor = dst == (src + 1) % ranks || dst == (src + ranks - 1) % ranks;
+                let want = if neighbor {
+                    PairVolume { bytes: 8, messages: 1 }
+                } else {
+                    PairVolume::default()
+                };
+                assert_eq!(*v, want, "pair ({src},{dst})");
+            }
         }
     }
 

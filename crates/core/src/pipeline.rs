@@ -216,6 +216,7 @@ impl ParallelPlan {
             EvalStats { cache_hits: ev.cache_hits(), partitions_built: ev.partitions_built() };
         if partir_obs::metrics_enabled() {
             partir_obs::counter("eval.cache_hit", stats.cache_hits);
+            partir_obs::flush_counters();
         }
         (parts, stats)
     }
@@ -445,6 +446,10 @@ pub fn auto_parallelize(
         partir_obs::counter("expr.dedup_hit", dedup_hits);
     }
     let rewrite_time = t2.elapsed();
+    // The solver path must emit its accumulated counters even when no
+    // executor follows (solver-only harnesses like table1 never reach the
+    // executor's flush).
+    partir_obs::flush_counters();
 
     let partition_exprs: Vec<PExpr> =
         plan_ids.iter().map(|&id| system.arena.to_pexpr(id)).collect();

@@ -9,6 +9,9 @@
 //! |---|---|---|
 //! | `PARTIR_TRACE` | emit span/instant events to stderr | [`ObsConfig::from_env`] |
 //! | `PARTIR_METRICS` | emit counter events to stderr | [`ObsConfig::from_env`] |
+//! | `PARTIR_TIMELINE` | collect per-rank timelines on the rank backend | [`ObsConfig::from_env`] |
+//! | `PARTIR_STRICT_VOLUME` | error on predicted-vs-measured byte mismatch | [`ObsConfig::from_env`] |
+//! | `PARTIR_REPORT_EPOCH` | fixed `created_unix_ms` for diffable reports | [`report_epoch_env`] |
 //! | `PARTIR_FAULT_SEED` | fault-injection seed | [`fault_env`] |
 //! | `PARTIR_FAULT_RATE` | task-attempt failure probability (default 0.3) | [`fault_env`] |
 //! | `PARTIR_FAULT_POISON_AFTER` | ordinal after which kills poison | [`fault_env`] |
@@ -32,6 +35,17 @@ pub struct ObsConfig {
     pub trace: bool,
     /// Counter events (volumes, check counts).
     pub metrics: bool,
+    /// Per-rank timeline collection on the rank backend: every epoch
+    /// phase (pack/send/recv-wait/unpack/compute/merge) is recorded as a
+    /// [`crate::trace::TraceSpan`], exportable as a Chrome trace and
+    /// analyzable into the `dist_profile` critical-path breakdown.
+    /// Independent of `trace` — timelines go to the session, not a sink.
+    pub timeline: bool,
+    /// Error (instead of just reporting a delta) when measured bytes on
+    /// any `(src, dst)` pair disagree with what the `ExchangePlan`
+    /// predicts — a mismatch means the runtime moved data the constraint
+    /// solution did not account for, a correctness smell.
+    pub strict_volume: bool,
 }
 
 impl ObsConfig {
@@ -40,21 +54,35 @@ impl ObsConfig {
         ObsConfig::default()
     }
 
-    /// Defaults from `PARTIR_TRACE` / `PARTIR_METRICS` — the only place
-    /// these variables are read.
+    /// Defaults from `PARTIR_TRACE` / `PARTIR_METRICS` /
+    /// `PARTIR_TIMELINE` / `PARTIR_STRICT_VOLUME` — the only place these
+    /// variables are read.
     pub fn from_env() -> Self {
-        ObsConfig { trace: env_flag("PARTIR_TRACE"), metrics: env_flag("PARTIR_METRICS") }
+        ObsConfig {
+            trace: env_flag("PARTIR_TRACE"),
+            metrics: env_flag("PARTIR_METRICS"),
+            timeline: env_flag("PARTIR_TIMELINE"),
+            strict_volume: env_flag("PARTIR_STRICT_VOLUME"),
+        }
     }
 
     /// Installs the stderr line-JSON sink for the enabled streams. Does
     /// nothing when both streams are off, and never replaces a sink that
     /// is already installed (so programmatic [`crate::install_sink`]
-    /// callers — tests, report harnesses — always win).
+    /// callers — tests, report harnesses — always win). `timeline` and
+    /// `strict_volume` need no sink; the rank backend reads them from the
+    /// session directly.
     pub fn apply(&self) {
         if self.trace || self.metrics {
             crate::install_default_sink(Arc::new(StderrSink), self.trace, self.metrics);
         }
     }
+}
+
+/// Parses `PARTIR_REPORT_EPOCH` — a fixed unix-milliseconds value for
+/// report envelopes, so CI can diff reports across runs byte-for-byte.
+pub fn report_epoch_env() -> Option<u64> {
+    std::env::var("PARTIR_REPORT_EPOCH").ok()?.trim().parse().ok()
 }
 
 /// Fault-injection defaults from the environment (`PARTIR_FAULT_*`). The

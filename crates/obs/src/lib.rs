@@ -21,21 +21,34 @@
 //! structs the pipeline already returns (`SolveStats` and friends); the
 //! sink only sees them summarized, at the end of a phase.
 //!
+//! [`counter`] calls never touch the sink directly: they accumulate into
+//! per-name shared atomics (one relaxed `fetch_add` under a registry read
+//! lock) and reach the sink only when a phase ends and [`flush_counters`]
+//! drains them, sorted by name. Eight rank threads bumping
+//! `dist.bytes_sent` therefore never serialize on the sink's lock
+//! mid-epoch, so enabling `PARTIR_METRICS` does not skew the timings the
+//! trace is measuring (`fig_dist --check-obs-skew` asserts this).
+//!
 //! Tests and the report harness can install a [`MemorySink`] via
 //! [`install_sink`] to capture events in-process regardless of the
 //! environment.
 //!
 //! The [`json`] module provides the minimal JSON value/writer/parser used
 //! for reports (serde is not available in the offline build environment;
-//! see DESIGN.md §6).
+//! see DESIGN.md §6). The [`trace`] module holds the cross-rank timeline
+//! model (per-rank spans with a shared time base, Chrome `trace_event`
+//! export); [`profile`] turns a timeline into the per-epoch critical-path
+//! attribution of the `dist_profile` report section.
 
 pub mod config;
 pub mod json;
+pub mod profile;
 pub mod report;
+pub mod trace;
 
 pub use config::ObsConfig;
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, RwLock};
 use std::time::Instant;
 
@@ -164,24 +177,30 @@ pub fn install_default_sink(sink: Arc<dyn EventSink>, trace: bool, metrics: bool
         *slot = Some(sink);
         TRACE_ENABLED.store(trace, Ordering::Relaxed);
         METRICS_ENABLED.store(metrics, Ordering::Relaxed);
+        drain_counters();
     }
 }
 
 /// Installs a sink programmatically (tests, report harnesses), replacing
 /// any current sink. `trace`/`metrics` select which event kinds flow.
+/// Pending (unflushed) counter accumulations from before the install are
+/// discarded so the new sink starts from a clean slate.
 pub fn install_sink(sink: Arc<dyn EventSink>, trace: bool, metrics: bool) {
     let mut slot = sink_slot().write().unwrap_or_else(|e| e.into_inner());
     *slot = Some(sink);
     TRACE_ENABLED.store(trace, Ordering::Relaxed);
     METRICS_ENABLED.store(metrics, Ordering::Relaxed);
+    drain_counters();
 }
 
-/// Removes the current sink and disables all emission.
+/// Removes the current sink and disables all emission. Unflushed counter
+/// accumulations are discarded.
 pub fn uninstall_sink() {
     let mut slot = sink_slot().write().unwrap_or_else(|e| e.into_inner());
     *slot = None;
     TRACE_ENABLED.store(false, Ordering::Relaxed);
     METRICS_ENABLED.store(false, Ordering::Relaxed);
+    drain_counters();
 }
 
 #[cold]
@@ -199,14 +218,70 @@ pub fn instant(name: &'static str, fields: Vec<(&'static str, Value)>) {
     }
 }
 
-/// Emits an [`EventKind::Counter`] event (no-op unless metrics are on).
+/// The shared counter cells: one leaked `AtomicU64` per counter name,
+/// behind a read-mostly registry lock. Counter names are a small static
+/// set (a few dozen dotted names), so a linear scan beats hashing.
+fn counter_registry() -> &'static RwLock<Vec<(&'static str, &'static AtomicU64)>> {
+    static REG: OnceLock<RwLock<Vec<(&'static str, &'static AtomicU64)>>> = OnceLock::new();
+    REG.get_or_init(|| RwLock::new(Vec::new()))
+}
+
+/// Adds `value` to the named counter (no-op unless metrics are on).
+///
+/// This never touches the sink: the value lands in a shared atomic cell
+/// with one relaxed `fetch_add` under the registry's *read* lock, so
+/// concurrent rank threads do not serialize here. The accumulated totals
+/// reach the sink when [`flush_counters`] runs at the end of a phase.
 pub fn counter(name: &'static str, value: u64) {
-    if metrics_enabled() {
+    if !metrics_enabled() {
+        return;
+    }
+    {
+        let reg = counter_registry().read().unwrap_or_else(|e| e.into_inner());
+        if let Some((_, cell)) = reg.iter().find(|(n, _)| *n == name) {
+            cell.fetch_add(value, Ordering::Relaxed);
+            return;
+        }
+    }
+    // First use of this name: take the write lock and register the cell.
+    let mut reg = counter_registry().write().unwrap_or_else(|e| e.into_inner());
+    if let Some((_, cell)) = reg.iter().find(|(n, _)| *n == name) {
+        cell.fetch_add(value, Ordering::Relaxed);
+    } else {
+        reg.push((name, Box::leak(Box::new(AtomicU64::new(value)))));
+    }
+}
+
+/// Drains every accumulated counter and emits one [`EventKind::Counter`]
+/// event per nonzero total, sorted by name (so reports are deterministic
+/// regardless of which thread bumped a counter first). Called by the
+/// executors at the end of a run; a no-op unless metrics are on.
+pub fn flush_counters() {
+    if !metrics_enabled() {
+        return;
+    }
+    let mut totals: Vec<(&'static str, u64)> = {
+        let reg = counter_registry().read().unwrap_or_else(|e| e.into_inner());
+        reg.iter()
+            .map(|(n, c)| (*n, c.swap(0, Ordering::Relaxed)))
+            .filter(|(_, v)| *v > 0)
+            .collect()
+    };
+    totals.sort_unstable_by_key(|(n, _)| *n);
+    for (name, value) in totals {
         emit_to_sink(Event {
             kind: EventKind::Counter,
             name,
             fields: vec![("value", Value::U64(value))],
         });
+    }
+}
+
+/// Zeroes all accumulated counters without emitting them.
+fn drain_counters() {
+    let reg = counter_registry().read().unwrap_or_else(|e| e.into_inner());
+    for (_, cell) in reg.iter() {
+        cell.store(0, Ordering::Relaxed);
     }
 }
 
@@ -366,10 +441,12 @@ mod tests {
             let outer = span_with("outer", vec![("app", Value::Str("spmv".into()))]);
             {
                 let _inner = span("inner");
-                counter("work.items", 42);
+                counter("work.items", 40);
+                counter("work.items", 2);
             }
             outer.close_with(vec![("loops", Value::U64(2))]);
         }
+        flush_counters();
         uninstall_sink();
 
         let events = sink.take();
@@ -380,17 +457,41 @@ mod tests {
             vec![
                 ("outer", EventKind::SpanStart),
                 ("inner", EventKind::SpanStart),
-                ("work.items", EventKind::Counter),
                 ("inner", EventKind::SpanEnd),
                 ("outer", EventKind::SpanEnd),
+                ("work.items", EventKind::Counter),
             ],
-            "spans must nest LIFO with counters in between"
+            "spans nest LIFO; counters accumulate and flush after the phase"
         );
-        // Start carries user fields; end carries elapsed + close fields.
+        // Start carries user fields; end carries elapsed + close fields;
+        // the flushed counter carries the accumulated total.
         assert_eq!(events[0].field("app"), Some(&Value::Str("spmv".into())));
+        assert!(events[2].field("elapsed_ns").is_some());
+        assert_eq!(events[3].field("loops"), Some(&Value::U64(2)));
         assert!(events[3].field("elapsed_ns").is_some());
-        assert_eq!(events[4].field("loops"), Some(&Value::U64(2)));
-        assert!(events[4].field("elapsed_ns").is_some());
+        assert_eq!(events[4].field("value"), Some(&Value::U64(42)));
+    }
+
+    #[test]
+    fn counters_accumulate_and_flush_sorted_once() {
+        let _guard = sink_test_lock();
+        let sink = MemorySink::new();
+        install_sink(sink.clone(), false, true);
+        counter("b.second", 5);
+        counter("a.first", 1);
+        counter("a.first", 2);
+        flush_counters();
+        // A second flush emits nothing: the totals were drained.
+        flush_counters();
+        uninstall_sink();
+        let events = sink.take();
+        let got: Vec<(&'static str, Option<&Value>)> =
+            events.iter().map(|e| (e.name, e.field("value"))).collect();
+        assert_eq!(
+            got,
+            vec![("a.first", Some(&Value::U64(3))), ("b.second", Some(&Value::U64(5)))],
+            "flush emits accumulated totals sorted by name, exactly once"
+        );
     }
 
     #[test]
@@ -401,6 +502,7 @@ mod tests {
         let s = span("only.spans");
         counter("dropped", 1);
         drop(s);
+        flush_counters();
         uninstall_sink();
         let events = sink.take();
         assert_eq!(events.len(), 2);

@@ -1,0 +1,216 @@
+//! Critical-path analysis over cross-rank timelines.
+//!
+//! Turns a [`Trace`] into the `dist_profile` report
+//! section: per epoch, the wall-clock interval is `[min start, max end]`
+//! across ranks, the **critical rank** is the one that finishes last, and
+//! the wall-clock is attributed to the categories of
+//! [`SpanKind::category`](crate::trace::SpanKind::category) —
+//! `compute`, `exchange_wait`, `pack_unpack`, `legality` — by summing the
+//! critical rank's spans. Whatever the critical rank's spans do not cover
+//! (start skew while it waits for the epoch to begin, plus uninstrumented
+//! glue) is charged to `barrier_skew`, so the five categories sum to the
+//! wall-clock exactly and coverage is 100% by construction.
+
+use crate::json::Json;
+use crate::trace::{SpanKind, Trace};
+
+/// Wall-clock attribution of one epoch, in nanoseconds.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EpochProfile {
+    pub epoch: usize,
+    /// `max(end) - min(start)` across ranks.
+    pub wall_ns: u64,
+    /// The rank that finished this epoch last.
+    pub critical_rank: usize,
+    pub compute_ns: u64,
+    pub exchange_wait_ns: u64,
+    pub pack_unpack_ns: u64,
+    pub legality_ns: u64,
+    /// Residual: wall-clock the critical rank's spans do not cover —
+    /// dominated by waiting for slower peers of the *previous* epoch and
+    /// by start skew.
+    pub barrier_skew_ns: u64,
+}
+
+impl EpochProfile {
+    /// Sum of the attributed categories (equals `wall_ns` by construction).
+    pub fn attributed_ns(&self) -> u64 {
+        self.compute_ns
+            + self.exchange_wait_ns
+            + self.pack_unpack_ns
+            + self.legality_ns
+            + self.barrier_skew_ns
+    }
+
+    fn add(&mut self, kind: SpanKind, dur_ns: u64) {
+        match kind.category() {
+            "compute" => self.compute_ns += dur_ns,
+            "exchange_wait" => self.exchange_wait_ns += dur_ns,
+            "pack_unpack" => self.pack_unpack_ns += dur_ns,
+            _ => self.legality_ns += dur_ns,
+        }
+    }
+
+    fn to_json(self) -> Json {
+        Json::object()
+            .with("epoch", self.epoch)
+            .with("wall_ns", self.wall_ns)
+            .with("critical_rank", self.critical_rank)
+            .with("compute_ns", self.compute_ns)
+            .with("exchange_wait_ns", self.exchange_wait_ns)
+            .with("pack_unpack_ns", self.pack_unpack_ns)
+            .with("legality_ns", self.legality_ns)
+            .with("barrier_skew_ns", self.barrier_skew_ns)
+    }
+}
+
+/// The critical-path breakdown of a whole distributed run: one
+/// [`EpochProfile`] per epoch plus totals across epochs.
+#[derive(Clone, Debug, Default)]
+pub struct DistProfile {
+    pub epochs: Vec<EpochProfile>,
+}
+
+impl DistProfile {
+    /// Analyzes a merged trace. Epochs nobody recorded spans for are
+    /// skipped (they did not happen).
+    pub fn from_trace(trace: &Trace) -> DistProfile {
+        let n_epochs = trace.n_epochs();
+        let mut epochs = Vec::with_capacity(n_epochs);
+        for epoch in 0..n_epochs {
+            let spans: Vec<_> = trace.spans.iter().filter(|s| s.epoch as usize == epoch).collect();
+            if spans.is_empty() {
+                continue;
+            }
+            let start = spans.iter().map(|s| s.ts_ns).min().unwrap();
+            // Per-rank end = the latest span end that rank recorded.
+            let mut rank_end = vec![None::<u64>; trace.n_ranks];
+            for s in &spans {
+                let end = s.ts_ns + s.dur_ns;
+                let slot = &mut rank_end[s.rank as usize];
+                *slot = Some(slot.map_or(end, |e| e.max(end)));
+            }
+            let (critical_rank, end) = rank_end
+                .iter()
+                .enumerate()
+                .filter_map(|(r, e)| e.map(|e| (r, e)))
+                .max_by_key(|&(r, e)| (e, r))
+                .unwrap();
+            let mut prof = EpochProfile {
+                epoch,
+                wall_ns: end.saturating_sub(start),
+                critical_rank,
+                ..EpochProfile::default()
+            };
+            for s in &spans {
+                if s.rank as usize == critical_rank {
+                    prof.add(s.kind, s.dur_ns);
+                }
+            }
+            prof.barrier_skew_ns = prof.wall_ns.saturating_sub(
+                prof.compute_ns + prof.exchange_wait_ns + prof.pack_unpack_ns + prof.legality_ns,
+            );
+            epochs.push(prof);
+        }
+        DistProfile { epochs }
+    }
+
+    /// Totals across epochs (same categories, summed).
+    pub fn totals(&self) -> EpochProfile {
+        let mut t = EpochProfile::default();
+        for e in &self.epochs {
+            t.wall_ns += e.wall_ns;
+            t.compute_ns += e.compute_ns;
+            t.exchange_wait_ns += e.exchange_wait_ns;
+            t.pack_unpack_ns += e.pack_unpack_ns;
+            t.legality_ns += e.legality_ns;
+            t.barrier_skew_ns += e.barrier_skew_ns;
+        }
+        t
+    }
+
+    /// Fraction of total wall-clock the attribution covers — 1.0 by
+    /// construction (the residual is `barrier_skew`), kept in the report
+    /// so the invariant is visible and checkable in CI.
+    pub fn coverage(&self) -> f64 {
+        let t = self.totals();
+        if t.wall_ns == 0 {
+            return 1.0;
+        }
+        t.attributed_ns() as f64 / t.wall_ns as f64
+    }
+
+    /// The `dist_profile` report section.
+    pub fn to_json(&self) -> Json {
+        let t = self.totals();
+        let totals = Json::object()
+            .with("wall_ns", t.wall_ns)
+            .with("compute_ns", t.compute_ns)
+            .with("exchange_wait_ns", t.exchange_wait_ns)
+            .with("pack_unpack_ns", t.pack_unpack_ns)
+            .with("legality_ns", t.legality_ns)
+            .with("barrier_skew_ns", t.barrier_skew_ns)
+            .with("coverage", self.coverage());
+        Json::object()
+            .with("epochs", Json::Arr(self.epochs.iter().map(|e| e.to_json()).collect()))
+            .with("totals", totals)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceSpan;
+
+    fn span(rank: u32, epoch: u32, seq: u32, kind: SpanKind, ts: u64, dur: u64) -> TraceSpan {
+        TraceSpan { rank, epoch, seq, kind, ts_ns: ts, dur_ns: dur, bytes: 0, peer: None }
+    }
+
+    #[test]
+    fn attributes_critical_rank_and_charges_residual_to_skew() {
+        // Rank 0: computes 0..100. Rank 1: starts at 20, waits 30,
+        // computes 60, ends at 110 — rank 1 is critical.
+        let trace = Trace {
+            n_ranks: 2,
+            spans: vec![
+                span(0, 0, 0, SpanKind::InteriorCompute, 0, 100),
+                span(1, 0, 0, SpanKind::RecvWait, 20, 30),
+                span(1, 0, 1, SpanKind::HaloCompute, 50, 60),
+            ],
+        };
+        let prof = DistProfile::from_trace(&trace);
+        assert_eq!(prof.epochs.len(), 1);
+        let e = prof.epochs[0];
+        assert_eq!(e.critical_rank, 1);
+        assert_eq!(e.wall_ns, 110);
+        assert_eq!(e.compute_ns, 60);
+        assert_eq!(e.exchange_wait_ns, 30);
+        // 20ns of start skew is the residual.
+        assert_eq!(e.barrier_skew_ns, 20);
+        assert_eq!(e.attributed_ns(), e.wall_ns);
+        assert!((prof.coverage() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn totals_sum_over_epochs() {
+        let trace = Trace {
+            n_ranks: 1,
+            spans: vec![
+                span(0, 0, 0, SpanKind::Pack, 0, 10),
+                span(0, 0, 1, SpanKind::InteriorCompute, 10, 40),
+                span(0, 1, 0, SpanKind::Merge, 60, 25),
+            ],
+        };
+        let prof = DistProfile::from_trace(&trace);
+        assert_eq!(prof.epochs.len(), 2);
+        let t = prof.totals();
+        assert_eq!(t.wall_ns, 50 + 25);
+        assert_eq!(t.pack_unpack_ns, 10);
+        assert_eq!(t.compute_ns, 40 + 25);
+        let json = prof.to_json();
+        assert_eq!(
+            json.get("totals").and_then(|t| t.get("coverage")).and_then(Json::as_f64),
+            Some(1.0)
+        );
+    }
+}

@@ -20,10 +20,13 @@ use std::time::{SystemTime, UNIX_EPOCH};
 /// Current schema identifier. Bump the suffix on breaking changes.
 pub const SCHEMA_VERSION: &str = "partir-report-v1";
 
-/// Starts a report envelope for the named experiment.
+/// Starts a report envelope for the named experiment. `created_unix_ms`
+/// is the current time unless `PARTIR_REPORT_EPOCH` pins it (so CI can
+/// diff reports byte-for-byte across runs).
 pub fn envelope(experiment: &str) -> Json {
-    let now_ms =
-        SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_millis() as u64).unwrap_or(0);
+    let now_ms = crate::config::report_epoch_env().unwrap_or_else(|| {
+        SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_millis() as u64).unwrap_or(0)
+    });
     Json::object()
         .with("schema", SCHEMA_VERSION)
         .with("experiment", experiment)
@@ -83,6 +86,7 @@ pub const ERROR_CODES: &[&str] = &[
     "dist.disconnected",
     "dist.aborted",
     "dist.internal",
+    "dist.volume_mismatch",
     // machine-model simulator
     "sim.missing_region_size",
     "sim.home_width_mismatch",

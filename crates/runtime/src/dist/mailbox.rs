@@ -50,16 +50,34 @@ pub enum MailboxError {
     Disconnected,
 }
 
-/// The receiving half of one rank's mailbox.
+/// The receiving half of one rank's mailbox. Meters arriving traffic per
+/// source rank — the *measured* side of the predicted-vs-measured
+/// communication accounting.
 pub struct Mailbox {
     rx: Receiver<Msg>,
     pending: Vec<Msg>,
     abort: Arc<AtomicBool>,
+    /// Per source rank: `(bytes, messages)` pulled off the channel.
+    meter: Vec<(u64, u64)>,
 }
 
 impl Mailbox {
-    pub fn new(rx: Receiver<Msg>, abort: Arc<AtomicBool>) -> Self {
-        Mailbox { rx, pending: Vec::new(), abort }
+    pub fn new(rx: Receiver<Msg>, abort: Arc<AtomicBool>, n_ranks: usize) -> Self {
+        Mailbox { rx, pending: Vec::new(), abort, meter: vec![(0, 0); n_ranks] }
+    }
+
+    /// Meters a message as it comes off the channel (stashed traffic is
+    /// counted once, at arrival — not again on replay).
+    fn note(&mut self, m: &Msg) {
+        if let Some(cell) = self.meter.get_mut(m.src) {
+            cell.0 += m.values.len() as u64 * 8;
+            cell.1 += 1;
+        }
+    }
+
+    /// Measured `(bytes, messages)` received so far, indexed by source rank.
+    pub fn measured(&self) -> &[(u64, u64)] {
+        &self.meter
     }
 
     /// Blocks until the message of `(epoch, kind, src)` arrives, stashing
@@ -81,6 +99,7 @@ impl Mailbox {
             }
             match self.rx.recv_timeout(Duration::from_millis(10)) {
                 Ok(m) => {
+                    self.note(&m);
                     if m.epoch == epoch && m.kind == kind && m.src == src {
                         return Ok(m);
                     }
@@ -107,7 +126,7 @@ pub fn build_fabric(n_ranks: usize, abort: &Arc<AtomicBool>) -> (Vec<Sender<Msg>
     for _ in 0..n_ranks {
         let (tx, rx) = std::sync::mpsc::channel();
         senders.push(tx);
-        boxes.push(Mailbox::new(rx, Arc::clone(abort)));
+        boxes.push(Mailbox::new(rx, Arc::clone(abort), n_ranks));
     }
     (senders, boxes)
 }
@@ -143,6 +162,8 @@ mod tests {
         assert_eq!(m0.values, vec![1.0]);
         let m1 = boxes[0].recv_from(1, MsgKind::Ghost, 1).unwrap();
         assert_eq!(m1.values, vec![2.0]);
+        // Both messages metered once, against src 1, stash included.
+        assert_eq!(boxes[0].measured(), &[(0, 0), (16, 2)]);
     }
 
     #[test]

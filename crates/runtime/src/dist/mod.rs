@@ -33,10 +33,12 @@ use partir_dpl::partition::Partition;
 use partir_dpl::region::{FieldId, RegionId, Schema, Store};
 use partir_ir::ast::{AccessId, Loop};
 use partir_obs::json::Json;
+use partir_obs::trace::{RankTracer, Trace};
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Distributed executor configuration.
 #[derive(Clone, Copy, Debug)]
@@ -47,11 +49,28 @@ pub struct DistOptions {
     /// Validate every access against its partition subregion, on top of the
     /// always-on residency check (`owned ∪ ghosts`).
     pub check_legality: bool,
+    /// Record a per-rank timeline span for every epoch phase (pack, send,
+    /// recv-wait, unpack, interior/halo compute, merge), returned as
+    /// [`DistOutcome::trace`] for Chrome-trace export and critical-path
+    /// analysis. Off by default; when off the per-peer span clocks are
+    /// never read.
+    pub collect_timeline: bool,
+    /// Fail the run with [`DistError::VolumeMismatch`] when the bytes any
+    /// rank pair actually moved disagree with what the exchange plan
+    /// predicts. A mismatch means the runtime and the constraint solution
+    /// disagree about the communication footprint — a correctness smell,
+    /// not a perf one.
+    pub strict_volume: bool,
 }
 
 impl Default for DistOptions {
     fn default() -> Self {
-        DistOptions { n_ranks: 4, check_legality: true }
+        DistOptions {
+            n_ranks: 4,
+            check_legality: true,
+            collect_timeline: false,
+            strict_volume: false,
+        }
     }
 }
 
@@ -81,6 +100,7 @@ pub struct DistReport {
     /// Summed per-rank phase timings (nanoseconds).
     pub pack_ns: u64,
     pub exchange_wait_ns: u64,
+    pub unpack_ns: u64,
     pub compute_ns: u64,
     pub merge_ns: u64,
 }
@@ -105,9 +125,83 @@ impl DistReport {
             .with("write_skips", self.write_skips)
             .with("pack_ns", self.pack_ns)
             .with("exchange_wait_ns", self.exchange_wait_ns)
+            .with("unpack_ns", self.unpack_ns)
             .with("compute_ns", self.compute_ns)
             .with("merge_ns", self.merge_ns)
     }
+}
+
+/// Predicted vs measured traffic of one `(src, dst)` rank pair.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PairDelta {
+    pub src: usize,
+    pub dst: usize,
+    pub predicted_bytes: u64,
+    pub measured_bytes: u64,
+    pub predicted_messages: u64,
+    pub measured_messages: u64,
+}
+
+impl PairDelta {
+    /// Did the runtime move exactly what the plan predicted?
+    pub fn is_clean(&self) -> bool {
+        self.predicted_bytes == self.measured_bytes
+            && self.predicted_messages == self.measured_messages
+    }
+
+    pub fn to_json(&self) -> Json {
+        Json::object()
+            .with("src", self.src)
+            .with("dst", self.dst)
+            .with("predicted_bytes", self.predicted_bytes)
+            .with("measured_bytes", self.measured_bytes)
+            .with("delta_bytes", self.measured_bytes as i64 - self.predicted_bytes as i64)
+            .with("predicted_messages", self.predicted_messages)
+            .with("measured_messages", self.measured_messages)
+    }
+}
+
+/// Per-pair predicted-vs-measured communication accounting of one run:
+/// predictions are computed statically from the exchange plan
+/// ([`ExchangePlan::predicted_pair_volume`]), measurements at the mailbox
+/// layer as messages arrive.
+#[derive(Clone, Debug, Default)]
+pub struct VolumeAccounting {
+    /// Every pair with any predicted or measured traffic, ascending
+    /// `(src, dst)`.
+    pub pairs: Vec<PairDelta>,
+}
+
+impl VolumeAccounting {
+    /// No pair deviated from its prediction.
+    pub fn is_clean(&self) -> bool {
+        self.pairs.iter().all(PairDelta::is_clean)
+    }
+
+    /// The first deviating pair, if any.
+    pub fn first_mismatch(&self) -> Option<&PairDelta> {
+        self.pairs.iter().find(|p| !p.is_clean())
+    }
+
+    /// The `pairs` report section: one object per traffic-bearing pair.
+    pub fn to_json(&self) -> Json {
+        Json::Arr(self.pairs.iter().map(PairDelta::to_json).collect())
+    }
+}
+
+/// Full result of a distributed run: the aggregate report plus the
+/// cross-rank timeline (when collected) and the predicted-vs-measured
+/// volume accounting.
+#[derive(Debug)]
+pub struct DistOutcome {
+    pub report: DistReport,
+    /// Per-rank timelines, present when [`DistOptions::collect_timeline`]
+    /// was on.
+    pub trace: Option<Trace>,
+    pub volume: VolumeAccounting,
+    /// Time spent in up-front plan validation (the explicit legality
+    /// pass), nanoseconds.
+    pub validate_ns: u64,
 }
 
 /// A distributed legality failure: which access of which loop, run by which
@@ -163,6 +257,9 @@ pub enum DistError {
     /// This rank stopped because another rank failed first (the first
     /// failure carries the real error).
     Aborted,
+    /// Strict volume accounting found a rank pair whose measured traffic
+    /// disagrees with the exchange plan's prediction.
+    VolumeMismatch { src: usize, dst: usize, predicted_bytes: u64, measured_bytes: u64 },
     /// Executor bookkeeping failure.
     Internal(String),
 }
@@ -209,6 +306,12 @@ impl fmt::Display for DistError {
                 write!(f, "rank {rank} hung up mid-run")
             }
             DistError::Aborted => write!(f, "aborted after another rank's failure"),
+            DistError::VolumeMismatch { src, dst, predicted_bytes, measured_bytes } => {
+                write!(
+                    f,
+                    "rank pair ({src} -> {dst}): plan predicts {predicted_bytes} bytes but the runtime moved {measured_bytes}"
+                )
+            }
             DistError::Internal(m) => write!(f, "internal distributed-executor error: {m}"),
         }
     }
@@ -236,9 +339,22 @@ pub fn execute_dist(
     fns: &FnTable,
     opts: &DistOptions,
 ) -> Result<DistReport, DistError> {
+    execute_dist_full(program, plan, parts, store, fns, opts).map(|o| o.report)
+}
+
+/// [`execute_dist`] returning the full [`DistOutcome`]: the report plus
+/// the cross-rank timeline and the volume accounting.
+pub fn execute_dist_full(
+    program: &[Loop],
+    plan: &ParallelPlan,
+    parts: &[Arc<Partition>],
+    store: &mut Store,
+    fns: &FnTable,
+    opts: &DistOptions,
+) -> Result<DistOutcome, DistError> {
     validate(program, plan, parts, store.schema(), opts)?;
     let xplan = derive_exchange(plan, parts, store.schema(), opts.n_ranks)?;
-    execute_with_exchange(program, plan, parts, &xplan, store, fns, opts)
+    execute_with_exchange_full(program, plan, parts, &xplan, store, fns, opts)
 }
 
 /// [`execute_dist`] with a precomputed exchange plan (the plan depends only
@@ -252,7 +368,26 @@ pub fn execute_with_exchange(
     fns: &FnTable,
     opts: &DistOptions,
 ) -> Result<DistReport, DistError> {
-    validate(program, plan, parts, store.schema(), opts)?;
+    execute_with_exchange_full(program, plan, parts, xplan, store, fns, opts).map(|o| o.report)
+}
+
+/// [`execute_dist_full`] with a precomputed exchange plan.
+pub fn execute_with_exchange_full(
+    program: &[Loop],
+    plan: &ParallelPlan,
+    parts: &[Arc<Partition>],
+    xplan: &ExchangePlan,
+    store: &mut Store,
+    fns: &FnTable,
+    opts: &DistOptions,
+) -> Result<DistOutcome, DistError> {
+    let vt = Instant::now();
+    {
+        let vspan = partir_obs::span("dist.validate");
+        validate(program, plan, parts, store.schema(), opts)?;
+        drop(vspan);
+    }
+    let validate_ns = vt.elapsed().as_nanos() as u64;
     let n_ranks = xplan.n_ranks;
     let span = partir_obs::span_with(
         "dist.execute",
@@ -264,15 +399,23 @@ pub fn execute_with_exchange(
     let schema = store.schema().clone();
     let shards: Vec<RankStore> = (0..n_ranks).map(|r| RankStore::shard(store, xplan, r)).collect();
 
+    // One shared time base, taken before any rank spawns, so spans of
+    // different ranks land on the same clock.
+    let base = Instant::now();
+    let tracers: Vec<Option<RankTracer>> =
+        (0..n_ranks).map(|r| opts.collect_timeline.then(|| RankTracer::new(r, base))).collect();
+
     let violation: Mutex<Option<DistViolation>> = Mutex::new(None);
     let first_error: Mutex<Option<DistError>> = Mutex::new(None);
-    type RankOutcome = (Vec<(FieldId, Vec<f64>)>, RankStats);
+    type RankOutcome = (Vec<(FieldId, Vec<f64>)>, RankStats, Option<RankTracer>);
     let outcomes: Mutex<Vec<Option<RankOutcome>>> =
         Mutex::new((0..n_ranks).map(|_| None).collect());
 
     let check = opts.check_legality;
     let scope_result = crossbeam::scope(|s| {
-        for (r, (mut mailbox, rstore)) in mailboxes.into_iter().zip(shards).enumerate() {
+        for (r, ((mut mailbox, rstore), tracer)) in
+            mailboxes.into_iter().zip(shards).zip(tracers).enumerate()
+        {
             let senders = senders.clone();
             let abort = Arc::clone(&abort);
             let (schema, violation, first_error, outcomes) =
@@ -293,6 +436,7 @@ pub fn execute_with_exchange(
                         check,
                         &abort,
                         violation,
+                        tracer,
                     )
                 }));
                 match result {
@@ -345,8 +489,11 @@ pub fn execute_with_exchange(
         replication_bytes: xplan.stats.replication_bytes,
         ..DistReport::default()
     };
+    // measured[src][dst]: what dst's mailbox metered against src.
+    let mut measured = vec![vec![(0u64, 0u64); n_ranks]; n_ranks];
+    let mut done_tracers: Vec<RankTracer> = Vec::new();
     for (r, out) in outcomes.into_inner().into_iter().enumerate() {
-        let Some((owned, rstats)) = out else {
+        let Some((owned, rstats, tracer)) = out else {
             return Err(DistError::Internal(format!("rank {r} produced no result")));
         };
         RankStore::install_owned(store, xplan, r, owned);
@@ -360,21 +507,59 @@ pub fn execute_with_exchange(
         report.write_skips += rstats.write_skips;
         report.pack_ns += rstats.pack_ns;
         report.exchange_wait_ns += rstats.exchange_wait_ns;
+        report.unpack_ns += rstats.unpack_ns;
         report.compute_ns += rstats.compute_ns;
         report.merge_ns += rstats.merge_ns;
+        for (src, &cell) in rstats.recv_by_src.iter().enumerate() {
+            measured[src][r] = cell;
+        }
+        done_tracers.extend(tracer);
     }
-    if partir_obs::metrics_enabled() {
-        partir_obs::counter("dist.tasks_run", report.tasks_run);
-        partir_obs::counter("dist.messages", report.messages);
-        partir_obs::counter("dist.bytes_sent", report.bytes_sent);
-        partir_obs::counter("dist.ghost_elements", report.ghost_elements);
-        partir_obs::counter("dist.legality_checks", report.legality_checks);
+
+    // Predicted-vs-measured accounting per (src, dst) pair.
+    let predicted = xplan.predicted_pair_volume();
+    let mut pairs = Vec::new();
+    for src in 0..n_ranks {
+        for dst in 0..n_ranks {
+            let p = predicted[src][dst];
+            let (m_bytes, m_msgs) = measured[src][dst];
+            if p.bytes == 0 && p.messages == 0 && m_bytes == 0 && m_msgs == 0 {
+                continue;
+            }
+            pairs.push(PairDelta {
+                src,
+                dst,
+                predicted_bytes: p.bytes,
+                measured_bytes: m_bytes,
+                predicted_messages: p.messages,
+                measured_messages: m_msgs,
+            });
+        }
     }
+    let volume = VolumeAccounting { pairs };
+    if opts.strict_volume {
+        if let Some(d) = volume.first_mismatch() {
+            return Err(DistError::VolumeMismatch {
+                src: d.src,
+                dst: d.dst,
+                predicted_bytes: d.predicted_bytes,
+                measured_bytes: d.measured_bytes,
+            });
+        }
+    }
+    let trace = opts.collect_timeline.then(|| Trace::from_rank_tracers(n_ranks, done_tracers));
+
+    partir_obs::counter("dist.tasks_run", report.tasks_run);
+    partir_obs::counter("dist.messages", report.messages);
+    partir_obs::counter("dist.bytes_sent", report.bytes_sent);
+    partir_obs::counter("dist.ghost_elements", report.ghost_elements);
+    partir_obs::counter("dist.legality_checks", report.legality_checks);
+    partir_obs::flush_counters();
     span.close_with(vec![
         ("messages", report.messages.into()),
         ("bytes_sent", report.bytes_sent.into()),
     ]);
-    Ok(report)
+    Ok(DistOutcome { report, trace, volume, validate_ns })
 }
 
 /// Up-front validation: the same plan/partition invariants the threaded
@@ -538,7 +723,7 @@ mod tests {
                 .unwrap();
             let mut dist = seed.clone();
             let parts = plan.evaluate(&dist, &fns, ranks.max(2), &ExtBindings::new());
-            let opts = DistOptions { n_ranks: ranks, check_legality: true };
+            let opts = DistOptions { n_ranks: ranks, ..DistOptions::default() };
             let report = execute_dist(&program, &plan, &parts, &mut dist, &fns, &opts).unwrap();
             assert_eq!(report.ranks, ranks as u64);
             for fi in 0..schema.num_fields() {
@@ -559,7 +744,7 @@ mod tests {
             auto_parallelize(&program, &fns, &schema, &Hints::new(), Options::default()).unwrap();
         let mut store = seed.clone();
         let parts = plan.evaluate(&store, &fns, 4, &ExtBindings::new());
-        let opts = DistOptions { n_ranks: 4, check_legality: true };
+        let opts = DistOptions { n_ranks: 4, ..DistOptions::default() };
         let report = execute_dist(&program, &plan, &parts, &mut store, &fns, &opts).unwrap();
         assert!(report.bytes_sent > 0);
         assert!(
@@ -568,5 +753,53 @@ mod tests {
             report.bytes_sent,
             report.replication_bytes
         );
+    }
+
+    #[test]
+    fn full_outcome_has_clean_volume_and_valid_timeline() {
+        let (program, fns, schema, seed) = stencil_program(64);
+        let plan =
+            auto_parallelize(&program, &fns, &schema, &Hints::new(), Options::default()).unwrap();
+        let mut store = seed.clone();
+        let parts = plan.evaluate(&store, &fns, 4, &ExtBindings::new());
+        let opts = DistOptions {
+            n_ranks: 4,
+            collect_timeline: true,
+            strict_volume: true,
+            ..DistOptions::default()
+        };
+        let outcome = execute_dist_full(&program, &plan, &parts, &mut store, &fns, &opts).unwrap();
+        // Strict mode passed, so every pair is clean — and there is real
+        // traffic to account for.
+        assert!(!outcome.volume.pairs.is_empty());
+        assert!(outcome.volume.is_clean());
+        let measured: u64 = outcome.volume.pairs.iter().map(|p| p.measured_bytes).sum();
+        assert_eq!(measured, outcome.report.bytes_sent, "mailbox meter matches sender stats");
+
+        let trace = outcome.trace.expect("timeline was requested");
+        trace.validate().expect("well-formed cross-rank timeline");
+        assert_eq!(trace.n_epochs(), program.len(), "one epoch per loop");
+        // Every rank recorded communication spans with byte payloads.
+        for rank in 0..4 {
+            assert!(trace.rank_spans(rank).any(|s| s.bytes > 0 && s.peer.is_some()));
+        }
+        // The profile attributes the whole wall-clock by construction.
+        let prof = partir_obs::profile::DistProfile::from_trace(&trace);
+        assert_eq!(prof.epochs.len(), program.len());
+        assert!((prof.coverage() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn timeline_off_run_has_no_trace_but_still_accounts_volume() {
+        let (program, fns, schema, seed) = stencil_program(48);
+        let plan =
+            auto_parallelize(&program, &fns, &schema, &Hints::new(), Options::default()).unwrap();
+        let mut store = seed.clone();
+        let parts = plan.evaluate(&store, &fns, 2, &ExtBindings::new());
+        let opts = DistOptions { n_ranks: 2, ..DistOptions::default() };
+        let outcome = execute_dist_full(&program, &plan, &parts, &mut store, &fns, &opts).unwrap();
+        assert!(outcome.trace.is_none());
+        assert!(outcome.volume.is_clean());
+        assert!(!outcome.volume.pairs.is_empty());
     }
 }

@@ -33,6 +33,7 @@ use partir_dpl::partition::Partition;
 use partir_dpl::region::{FieldId, Schema};
 use partir_ir::ast::{AccessId, Loop, ReduceOp};
 use partir_ir::interp::{run_loop_over, DataCtx};
+use partir_obs::trace::{RankTracer, SpanKind};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::Sender;
 use std::sync::Arc;
@@ -43,7 +44,7 @@ use std::time::Instant;
 pub(crate) type OwnedShards = Vec<(FieldId, Vec<f64>)>;
 
 /// Per-rank execution statistics, aggregated into the caller's report.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub(crate) struct RankStats {
     pub tasks_run: u64,
     pub legality_checks: u64,
@@ -55,8 +56,32 @@ pub(crate) struct RankStats {
     pub messages_sent: u64,
     pub pack_ns: u64,
     pub exchange_wait_ns: u64,
+    pub unpack_ns: u64,
     pub compute_ns: u64,
     pub merge_ns: u64,
+    /// Measured `(bytes, messages)` received, indexed by source rank —
+    /// copied from the mailbox meter at the end of the run for the
+    /// predicted-vs-measured accounting.
+    pub recv_by_src: Vec<(u64, u64)>,
+}
+
+/// Records a completed communication span when timeline collection is on.
+/// `start` is `None` exactly when the tracer is — the per-peer `Instant`s
+/// are only taken under `tracer.is_some()`, so the tracing-off path costs
+/// nothing beyond the phase-level stats timers that always ran.
+#[inline]
+fn rec(
+    tracer: &mut Option<RankTracer>,
+    kind: SpanKind,
+    epoch: usize,
+    start: Option<Instant>,
+    dur_ns: u64,
+    bytes: u64,
+    peer: usize,
+) {
+    if let (Some(tr), Some(t0)) = (tracer.as_mut(), start) {
+        tr.record(kind, epoch, t0, dur_ns, bytes, Some(peer));
+    }
 }
 
 /// Per-access execution mode (same resolution as the threaded executor).
@@ -102,7 +127,8 @@ pub(crate) fn rank_main(
     check: bool,
     abort: &AtomicBool,
     violation: &Mutex<Option<DistViolation>>,
-) -> Result<(OwnedShards, RankStats), DistError> {
+    mut tracer: Option<RankTracer>,
+) -> Result<(OwnedShards, RankStats, Option<RankTracer>), DistError> {
     let mut stats = RankStats::default();
     for (li, lp) in program.iter().enumerate() {
         if abort.load(Ordering::Relaxed) {
@@ -125,9 +151,11 @@ pub(crate) fn rank_main(
             abort,
             violation,
             &mut stats,
+            &mut tracer,
         )?;
     }
-    Ok((store.extract_owned(xplan, rank, schema), stats))
+    stats.recv_by_src = mailbox.measured().to_vec();
+    Ok((store.extract_owned(xplan, rank, schema), stats, tracer))
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -148,6 +176,7 @@ fn run_epoch(
     abort: &AtomicBool,
     violation: &Mutex<Option<DistViolation>>,
     stats: &mut RankStats,
+    tracer: &mut Option<RankTracer>,
 ) -> Result<(), DistError> {
     let n_ranks = xplan.n_ranks;
     let n_colors = xplan.n_colors;
@@ -222,16 +251,21 @@ fn run_epoch(
         if sets.is_empty() {
             continue;
         }
+        let t0 = tracer.is_some().then(Instant::now);
         let mut values = Vec::new();
-        store.pack(sets, &mut values);
-        stats.bytes_sent += values.len() as u64 * 8;
+        let packed = store.pack(sets, &mut values);
+        let bytes = packed as u64 * 8;
+        rec(tracer, SpanKind::Pack, li, t0, elapsed(t0), bytes, dst);
+        stats.bytes_sent += bytes;
         stats.messages_sent += 1;
+        let t1 = tracer.is_some().then(Instant::now);
         send(
             senders,
             dst,
             Msg { epoch, src: rank, kind: MsgKind::Ghost, values, partials_present: Vec::new() },
             abort,
         )?;
+        rec(tracer, SpanKind::Send, li, t1, elapsed(t1), bytes, dst);
     }
     stats.pack_ns += t.elapsed().as_nanos() as u64;
 
@@ -240,10 +274,15 @@ fn run_epoch(
     for &c in &lx.interior[rank] {
         run_color(&env, c, store, &mut bufs, stats);
     }
-    stats.compute_ns += t.elapsed().as_nanos() as u64;
+    let d = t.elapsed().as_nanos() as u64;
+    stats.compute_ns += d;
+    // Interior/halo/merge spans are recorded unconditionally (even with no
+    // colors to run) so every epoch appears on every rank's timeline.
+    if let Some(tr) = tracer.as_mut() {
+        tr.record(SpanKind::InteriorCompute, li, t, d, 0, None);
+    }
 
     // Phase 3: pull and install this rank's ghosts.
-    let t = Instant::now();
     for src in 0..n_ranks {
         if src == rank {
             continue;
@@ -252,18 +291,34 @@ fn run_epoch(
         if sets.is_empty() {
             continue;
         }
+        let t0 = Instant::now();
         let msg = mailbox.recv_from(epoch, MsgKind::Ghost, src).map_err(|e| mb_err(e, src))?;
+        let wait = t0.elapsed().as_nanos() as u64;
+        stats.exchange_wait_ns += wait;
+        let bytes = msg.values.len() as u64 * 8;
+        if let Some(tr) = tracer.as_mut() {
+            tr.record(SpanKind::RecvWait, li, t0, wait, bytes, Some(src));
+        }
+        let t1 = Instant::now();
         let rest = store.unpack(sets, &msg.values);
         debug_assert!(rest.is_empty(), "ghost message longer than its plan sets");
+        let un = t1.elapsed().as_nanos() as u64;
+        stats.unpack_ns += un;
+        if let Some(tr) = tracer.as_mut() {
+            tr.record(SpanKind::Unpack, li, t1, un, bytes, Some(src));
+        }
     }
-    stats.exchange_wait_ns += t.elapsed().as_nanos() as u64;
 
     // Phase 4: boundary compute (needs the ghosts).
     let t = Instant::now();
     for &c in &lx.boundary[rank] {
         run_color(&env, c, store, &mut bufs, stats);
     }
-    stats.compute_ns += t.elapsed().as_nanos() as u64;
+    let d = t.elapsed().as_nanos() as u64;
+    stats.compute_ns += d;
+    if let Some(tr) = tracer.as_mut() {
+        tr.record(SpanKind::HaloCompute, li, t, d, 0, None);
+    }
 
     // Phase 5: post traffic out — write-backs first, then partial-buffer
     // slices (route-major, own-color-minor) with presence flags.
@@ -273,6 +328,7 @@ fn run_epoch(
         if dst == rank {
             continue;
         }
+        let t0 = tracer.is_some().then(Instant::now);
         let wb = &lx.write_back[rank][dst];
         let mut values = Vec::new();
         store.pack(wb, &mut values);
@@ -297,20 +353,23 @@ fn run_epoch(
         if wb.is_empty() && flags.is_empty() {
             continue;
         }
-        stats.bytes_sent += values.len() as u64 * 8;
+        let bytes = values.len() as u64 * 8;
+        rec(tracer, SpanKind::Pack, li, t0, elapsed(t0), bytes, dst);
+        stats.bytes_sent += bytes;
         stats.messages_sent += 1;
+        let t1 = tracer.is_some().then(Instant::now);
         send(
             senders,
             dst,
             Msg { epoch, src: rank, kind: MsgKind::Post, values, partials_present: flags },
             abort,
         )?;
+        rec(tracer, SpanKind::Send, li, t1, elapsed(t1), bytes, dst);
     }
     stats.pack_ns += t.elapsed().as_nanos() as u64;
 
     // Phase 6: receive post traffic — install write-backs verbatim, stash
     // partial slices per route and source color.
-    let t = Instant::now();
     let mut remote: Vec<Vec<(usize, Vec<f64>)>> = vec![Vec::new(); lx.routes.len()];
     for src in 0..n_ranks {
         if src == rank {
@@ -324,7 +383,15 @@ fn run_epoch(
         if !expects {
             continue;
         }
+        let t0 = Instant::now();
         let msg = mailbox.recv_from(epoch, MsgKind::Post, src).map_err(|e| mb_err(e, src))?;
+        let wait = t0.elapsed().as_nanos() as u64;
+        stats.exchange_wait_ns += wait;
+        let bytes = msg.values.len() as u64 * 8;
+        if let Some(tr) = tracer.as_mut() {
+            tr.record(SpanKind::RecvWait, li, t0, wait, bytes, Some(src));
+        }
+        let t1 = Instant::now();
         let mut vals: &[f64] = store.unpack(wb, &msg.values);
         let mut fc = 0usize;
         for (ri, route) in lx.routes.iter().enumerate() {
@@ -342,8 +409,12 @@ fn run_epoch(
             }
         }
         debug_assert!(vals.is_empty(), "post message longer than its plan sets");
+        let un = t1.elapsed().as_nanos() as u64;
+        stats.unpack_ns += un;
+        if let Some(tr) = tracer.as_mut() {
+            tr.record(SpanKind::Unpack, li, t1, un, bytes, Some(src));
+        }
     }
-    stats.exchange_wait_ns += t.elapsed().as_nanos() as u64;
 
     // Owner merge of partial reductions: route order, ascending *global*
     // color order, skipping colors whose buffer was never allocated — the
@@ -371,8 +442,18 @@ fn run_epoch(
             }
         }
     }
-    stats.merge_ns += t.elapsed().as_nanos() as u64;
+    let d = t.elapsed().as_nanos() as u64;
+    stats.merge_ns += d;
+    if let Some(tr) = tracer.as_mut() {
+        tr.record(SpanKind::Merge, li, t, d, 0, None);
+    }
     Ok(())
+}
+
+/// Elapsed nanoseconds of a gated instant (0 when tracing is off).
+#[inline]
+fn elapsed(start: Option<Instant>) -> u64 {
+    start.map_or(0, |t| t.elapsed().as_nanos() as u64)
 }
 
 fn merge_apply(store: &mut RankStore, field: FieldId, i: Idx, op: ReduceOp, v: f64) {

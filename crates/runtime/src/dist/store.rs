@@ -99,9 +99,11 @@ impl RankStore {
     }
 
     /// Packs the values of `sets` (plan order: ascending field, ascending
-    /// element) into `out`. Every element must be locally resident — the
-    /// exchange plan only asks a rank to pack what it owns.
-    pub fn pack(&self, sets: &FieldSets, out: &mut Vec<f64>) {
+    /// element) into `out`, returning how many elements were packed. Every
+    /// element must be locally resident — the exchange plan only asks a
+    /// rank to pack what it owns.
+    pub fn pack(&self, sets: &FieldSets, out: &mut Vec<f64>) -> usize {
+        let before = out.len();
         for (f, set) in sets {
             let RankField::F64 { local, data } = &self.fields[f.0 as usize] else {
                 panic!("exchange set over non-f64 field {f:?}");
@@ -111,6 +113,7 @@ impl RankStore {
                 data[p as usize]
             }));
         }
+        out.len() - before
     }
 
     /// Installs packed `values` into the elements of `sets`, consuming the

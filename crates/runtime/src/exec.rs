@@ -251,7 +251,11 @@ pub fn execute_program(
     fns: &FnTable,
     opts: &ExecOptions,
 ) -> Result<ExecReport, ExecError> {
-    validate_plan(program, plan, parts, store.schema(), opts)?;
+    {
+        let vspan = partir_obs::span("exec.validate");
+        validate_plan(program, plan, parts, store.schema(), opts)?;
+        drop(vspan);
+    }
     let mut report = ExecReport::default();
     // Cumulative task ordinal (loop-major, color-minor): the deterministic
     // coordinate `FaultPlan::poison_after` thresholds on.
@@ -261,16 +265,15 @@ pub fn execute_program(
         execute_loop(li, lp, plan, parts, store, fns, opts, &mut report, ordinal_base)?;
         ordinal_base += n_colors;
     }
-    if partir_obs::metrics_enabled() {
-        partir_obs::counter("exec.tasks_run", report.tasks_run);
-        partir_obs::counter("exec.legality_checks", report.legality_checks);
-        partir_obs::counter("exec.buffer_bytes", report.buffer_bytes);
-        partir_obs::counter("exec.private_buffer_bytes_saved", report.private_buffer_bytes_saved);
-        partir_obs::counter("exec.faults_injected", report.faults_injected);
-        partir_obs::counter("exec.task_retries", report.task_retries);
-        partir_obs::counter("exec.tasks_recovered", report.tasks_recovered);
-        partir_obs::counter("exec.panics_isolated", report.panics_isolated);
-    }
+    partir_obs::counter("exec.tasks_run", report.tasks_run);
+    partir_obs::counter("exec.legality_checks", report.legality_checks);
+    partir_obs::counter("exec.buffer_bytes", report.buffer_bytes);
+    partir_obs::counter("exec.private_buffer_bytes_saved", report.private_buffer_bytes_saved);
+    partir_obs::counter("exec.faults_injected", report.faults_injected);
+    partir_obs::counter("exec.task_retries", report.task_retries);
+    partir_obs::counter("exec.tasks_recovered", report.tasks_recovered);
+    partir_obs::counter("exec.panics_isolated", report.panics_isolated);
+    partir_obs::flush_counters();
     Ok(report)
 }
 
@@ -864,6 +867,7 @@ fn execute_loop(
     drop(shared);
 
     // Deterministic merge: color order, ascending element order.
+    let merge_span = partir_obs::span_with("exec.merge", vec![("loop", (li as u64).into())]);
     for (bi, sets) in all_buf_sets.iter().enumerate() {
         let op = match *buf_ops[bi].lock() {
             Some(op) => op,
@@ -884,6 +888,7 @@ fn execute_loop(
             }
         }
     }
+    drop(merge_span);
 
     report.tasks_run += n_colors as u64;
     report.legality_checks += legality_checks.load(Ordering::Relaxed);

@@ -32,8 +32,10 @@ use partir_dpl::partition::Partition;
 use partir_dpl::region::{Schema, Store};
 use partir_ir::ast::Loop;
 use partir_obs::json::Json;
+use partir_obs::profile::DistProfile;
+use partir_obs::trace::Trace;
 use partir_obs::ObsConfig;
-use partir_runtime::dist::{execute_dist, DistOptions, DistReport};
+use partir_runtime::dist::{execute_dist_full, DistOptions, DistReport, VolumeAccounting};
 use partir_runtime::exec::{execute_program, ExecOptions, ExecReport};
 use partir_runtime::fault::{FaultPlan, RetryPolicy};
 use std::sync::Arc;
@@ -199,11 +201,11 @@ impl Partir {
                 self.hints.num_externals()
             )));
         }
-        // Explicit obs config wins; otherwise auto_parallelize falls back
-        // to the env defaults through `partir_obs::init_from_env`.
-        if let Some(obs) = self.obs {
-            obs.apply();
-        }
+        // Explicit obs config wins; otherwise the `PARTIR_*` env defaults
+        // apply. The resolved config sticks to the session so the rank
+        // backend can read `timeline` / `strict_volume` from it.
+        let obs = self.obs.unwrap_or_else(ObsConfig::from_env);
+        obs.apply();
         let fault = self.fault.or_else(FaultPlan::from_env);
         let plan =
             auto_parallelize(&self.program, &self.fns, &self.schema, &self.hints, self.options)?;
@@ -215,10 +217,13 @@ impl Partir {
             backend: self.backend,
             colors,
             check_legality: self.check_legality,
+            obs,
             fault,
             retry: self.retry,
             externals: self.externals,
             last: None,
+            last_trace: None,
+            last_volume: None,
         })
     }
 }
@@ -235,10 +240,13 @@ pub struct Session {
     backend: Backend,
     colors: usize,
     check_legality: bool,
+    obs: ObsConfig,
     fault: Option<FaultPlan>,
     retry: RetryPolicy,
     externals: ExtBindings,
     last: Option<RunReport>,
+    last_trace: Option<Trace>,
+    last_volume: Option<VolumeAccounting>,
 }
 
 impl Session {
@@ -307,6 +315,8 @@ impl Session {
                     fault: self.fault,
                     retry: self.retry,
                 };
+                self.last_trace = None;
+                self.last_volume = None;
                 RunReport::Threads(execute_program(
                     &self.program,
                     &self.plan,
@@ -317,15 +327,17 @@ impl Session {
                 )?)
             }
             Backend::Ranks(n_ranks) => {
-                let opts = DistOptions { n_ranks, check_legality: self.check_legality };
-                RunReport::Ranks(execute_dist(
-                    &self.program,
-                    &self.plan,
-                    &parts,
-                    store,
-                    &self.fns,
-                    &opts,
-                )?)
+                let opts = DistOptions {
+                    n_ranks,
+                    check_legality: self.check_legality,
+                    collect_timeline: self.obs.timeline,
+                    strict_volume: self.obs.strict_volume,
+                };
+                let outcome =
+                    execute_dist_full(&self.program, &self.plan, &parts, store, &self.fns, &opts)?;
+                self.last_trace = outcome.trace;
+                self.last_volume = Some(outcome.volume);
+                RunReport::Ranks(outcome.report)
             }
         };
         self.last = Some(report);
@@ -335,6 +347,26 @@ impl Session {
     /// The report of the most recent [`run`](Session::run), if any.
     pub fn report(&self) -> Option<RunReport> {
         self.last
+    }
+
+    /// The per-rank timeline of the most recent rank-backend run. `None`
+    /// unless the session's [`ObsConfig::timeline`] flag is on (or
+    /// `PARTIR_TIMELINE` was set) and a `Ranks` run has completed.
+    pub fn trace(&self) -> Option<&Trace> {
+        self.last_trace.as_ref()
+    }
+
+    /// Predicted-vs-measured communication accounting from the most
+    /// recent rank-backend run: one [`partir_runtime::dist::PairDelta`]
+    /// per `(src, dst)` pair the exchange plan or the mailboxes saw.
+    pub fn volume_accounting(&self) -> Option<&VolumeAccounting> {
+        self.last_volume.as_ref()
+    }
+
+    /// Per-epoch critical-path attribution computed from the last
+    /// timeline (see [`DistProfile`]). `None` without a timeline.
+    pub fn dist_profile(&self) -> Option<DistProfile> {
+        self.last_trace.as_ref().map(DistProfile::from_trace)
     }
 }
 
@@ -459,6 +491,26 @@ mod tests {
             .fault(FaultPlan::quiescent(7))
             .build();
         assert_eq!(fault_on_ranks.unwrap_err().error_code(), "session.invalid");
+    }
+
+    #[test]
+    fn timeline_and_volume_flow_through_the_ranks_backend() {
+        let (program, fns, schema, seed) = scatter();
+        let mut session = Partir::new(program, fns, schema)
+            .backend(Backend::Ranks(4))
+            .colors(4)
+            .obs(ObsConfig { timeline: true, strict_volume: true, ..ObsConfig::disabled() })
+            .build()
+            .unwrap();
+        let mut store = seed.clone();
+        session.run(&mut store).expect("strict volume accounting holds");
+
+        let trace = session.trace().expect("timeline was collected");
+        trace.validate().expect("well-formed timeline");
+        let volume = session.volume_accounting().expect("volume accounting present");
+        assert!(volume.is_clean());
+        let profile = session.dist_profile().expect("profile derives from the timeline");
+        assert!((profile.coverage() - 1.0).abs() < 1e-12);
     }
 
     #[test]

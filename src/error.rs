@@ -75,6 +75,7 @@ impl Error {
                 DistError::Disconnected { .. } => "dist.disconnected",
                 DistError::Aborted => "dist.aborted",
                 DistError::Internal(_) => "dist.internal",
+                DistError::VolumeMismatch { .. } => "dist.volume_mismatch",
             },
             Error::Sim(e) => match e {
                 SimError::MissingRegionSize { .. } => "sim.missing_region_size",
@@ -220,6 +221,12 @@ mod tests {
             Error::Dist(DistError::Disconnected { rank: 1 }),
             Error::Dist(DistError::Aborted),
             Error::Dist(DistError::Internal("x".into())),
+            Error::Dist(DistError::VolumeMismatch {
+                src: 0,
+                dst: 1,
+                predicted_bytes: 8,
+                measured_bytes: 0,
+            }),
             Error::Sim(SimError::MissingRegionSize { region: RegionId(0) }),
             Error::Sim(SimError::HomeWidthMismatch { region: RegionId(0), expected: 2, got: 3 }),
             Error::Sim(SimError::IterWidthMismatch { loop_name: "l".into(), expected: 2, got: 3 }),

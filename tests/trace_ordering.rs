@@ -1,0 +1,67 @@
+//! Cross-rank timeline well-formedness, empirically: for randomly
+//! generated parallelizable programs at 1/2/4/8 ranks, the per-rank
+//! timelines the SPMD backend collects are structurally sound — gapless
+//! per-`(rank, epoch)` sequence ids starting at 0, non-decreasing
+//! timestamps within an epoch, every rank covering every epoch — the
+//! critical-path profile attributes the full wall-clock, and the
+//! predicted-vs-measured communication accounting is exact (strict mode
+//! stays silent).
+
+use partir::prelude::*;
+use proptest::prelude::*;
+
+mod common;
+use common::{arb_cfg, assert_f64_fields_eq, build};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn timelines_are_well_formed_on_all_rank_counts(cfg in arb_cfg()) {
+        let built = build(&cfg);
+        let mut seq = built.store.clone();
+        run_program_seq(&built.program, &mut seq, &built.fns);
+
+        for ranks in [1usize, 2, 4, 8] {
+            let mut session = Partir::new(
+                built.program.clone(),
+                built.fns.clone(),
+                built.store.schema().clone(),
+            )
+            .backend(Backend::Ranks(ranks))
+            .colors(cfg.colors.max(ranks))
+            .obs(ObsConfig { timeline: true, strict_volume: true, ..ObsConfig::disabled() })
+            .build()
+            .expect("generated programs are parallelizable");
+
+            let mut par = built.store.clone();
+            match session.run(&mut par) {
+                Ok(_) => {}
+                Err(e) => return Err(TestCaseError::fail(format!("{ranks} ranks failed: {e}"))),
+            }
+            assert_f64_fields_eq(&seq, &par, &format!("{ranks} ranks (cfg {cfg:?})"))?;
+
+            let trace = session.trace().expect("timeline collection was requested");
+            if let Err(e) = trace.validate() {
+                return Err(TestCaseError::fail(format!("{ranks} ranks: malformed: {e}")));
+            }
+            prop_assert_eq!(trace.n_epochs(), built.program.len(), "one epoch per loop");
+            for r in 0..ranks {
+                prop_assert!(
+                    trace.rank_spans(r).next().is_some(),
+                    "rank {} recorded no spans",
+                    r
+                );
+            }
+
+            let volume = session.volume_accounting().expect("volume accounting present");
+            prop_assert!(volume.is_clean(), "dirty accounting at {} ranks", ranks);
+            let prof = session.dist_profile().expect("profile derives from the timeline");
+            prop_assert!(
+                (prof.coverage() - 1.0).abs() < 1e-12,
+                "profile covers {} of wall-clock",
+                prof.coverage()
+            );
+        }
+    }
+}
