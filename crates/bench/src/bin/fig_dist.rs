@@ -23,6 +23,12 @@
 //! Overhead gate: `... --bin fig_dist -- --check-obs-skew` re-runs the
 //! largest Stencil point with metrics on vs off and fails when the median
 //! walltime skew exceeds `PARTIR_OBS_SKEW_MAX_PCT` (default 5%).
+//! Scaling gate: `... --bin fig_dist -- --assert-scaling [--max-ratio X]`
+//! fails when the largest rank count's median wall-clock exceeds 1-rank
+//! by more than the allowed ratio on Stencil and SpMV (the CI perf gate;
+//! `PARTIR_SCALING_MAX_RATIO` overrides the parallelism-aware default —
+//! strict `1.0` on multi-core hosts, relaxed on single-core ones where
+//! thread-per-rank SPMD cannot beat one rank).
 //! Rank counts: `PARTIR_RANKS=2,4,8` overrides the default `1,2,4,8`.
 
 use partir::{Backend, Partir, RunReport};
@@ -79,13 +85,35 @@ fn session_for(case: &Case, ranks: usize, obs: ObsConfig) -> partir::Session {
 }
 
 /// One scaling point: the distributed report plus the observability
-/// payloads derived from its timeline.
+/// payloads derived from its timeline and the timed strong-scaling
+/// measurement.
 struct Point {
     rep: DistReport,
     profile: Json,
     pairs: Json,
+    /// Median wall-clock of the timed repetitions (observability off).
+    wall_ns: u64,
     /// Chrome `trace_event` objects for `--trace-out` (empty otherwise).
     events: Vec<Json>,
+}
+
+/// Median wall-clock of `REPS` runs with all observability off — the
+/// strong-scaling number proper. The session (plan solve + exchange
+/// derivation) is built once and amortized, exactly how a production
+/// caller would run repeated epochs.
+fn time_point(case: &Case, ranks: usize) -> u64 {
+    const REPS: usize = 5;
+    let mut session = session_for(case, ranks, ObsConfig::disabled());
+    let mut times: Vec<u64> = (0..REPS)
+        .map(|_| {
+            let mut par = case.store.clone();
+            let t0 = Instant::now();
+            session.run(&mut par).unwrap_or_else(|e| panic!("timed run: {e}"));
+            t0.elapsed().as_nanos() as u64
+        })
+        .collect();
+    times.sort_unstable();
+    times[REPS / 2]
 }
 
 fn run_point(case: &Case, seq: &Store, ranks: usize, pid: u64, want_trace: bool) -> Point {
@@ -106,6 +134,21 @@ fn run_point(case: &Case, seq: &Store, ranks: usize, pid: u64, want_trace: bool)
         RunReport::Ranks(r) => r,
         RunReport::Threads(_) => unreachable!("rank backend requested"),
     };
+    // Release builds must ride the plan-level proof: zero per-element
+    // checks, non-zero containment facts. (Debug builds deliberately keep
+    // the per-element path as a second line of defense.)
+    if cfg!(not(debug_assertions)) {
+        assert_eq!(
+            rep.legality_checks, 0,
+            "{} at {ranks} ranks: release path fell back to per-element legality",
+            case.name
+        );
+        assert!(
+            rep.plan_proved > 0,
+            "{} at {ranks} ranks: plan-level legality proof established no facts",
+            case.name
+        );
+    }
 
     let trace = session.trace().expect("timeline collection was requested");
     trace
@@ -128,7 +171,8 @@ fn run_point(case: &Case, seq: &Store, ranks: usize, pid: u64, want_trace: bool)
     } else {
         Vec::new()
     };
-    Point { rep, profile: profile.to_json(), pairs: volume.to_json(), events }
+    let wall_ns = time_point(case, ranks);
+    Point { rep, profile: profile.to_json(), pairs: volume.to_json(), wall_ns, events }
 }
 
 /// Obs-overhead gate (`--check-obs-skew`): median walltime of the largest
@@ -190,12 +234,14 @@ fn main() {
     let mut human = String::new();
     let mut chrome_events: Vec<Json> = Vec::new();
     let mut pid = 0u64;
+    // Per app: the (ranks, median wall_ns) series, for the scaling gate.
+    let mut walls: Vec<(&'static str, Vec<(usize, u64)>)> = Vec::new();
     for case in cases() {
         let mut seq = case.store.clone();
         run_program_seq(&case.program, &mut seq, &case.fns);
 
         human.push_str(&format!(
-            "\n{}\n{:<7} {:>7} {:>9} {:>13} {:>13} {:>9} {:>9} {:>9}\n",
+            "\n{}\n{:<7} {:>7} {:>9} {:>13} {:>13} {:>9} {:>9} {:>9} {:>10} {:>8}\n",
             case.name,
             "ranks",
             "tasks",
@@ -204,13 +250,22 @@ fn main() {
             "repl_bytes",
             "ratio",
             "wait%",
-            "skew%"
+            "skew%",
+            "wall_ms",
+            "speedup"
         ));
         let mut points = Json::array();
+        let mut series: Vec<(usize, u64)> = Vec::new();
         for &r in &ranks {
             pid += 1;
             let point = run_point(&case, &seq, r, pid, args.trace_out.is_some());
             let rep = &point.rep;
+            series.push((r, point.wall_ns));
+            // Speedup vs the smallest rank count in the series (1 by
+            // default — true strong-scaling baseline).
+            let base = series[0].1;
+            let speedup =
+                if point.wall_ns > 0 { base as f64 / point.wall_ns as f64 } else { f64::INFINITY };
             if r > 1 {
                 assert!(
                     rep.bytes_sent < rep.replication_bytes,
@@ -234,7 +289,7 @@ fn main() {
             };
             let totals = point.profile.get("totals");
             human.push_str(&format!(
-                "{:<7} {:>7} {:>9} {:>13} {:>13} {:>8.0}x {:>8.1} {:>8.1}\n",
+                "{:<7} {:>7} {:>9} {:>13} {:>13} {:>8.0}x {:>8.1} {:>8.1} {:>10.2} {:>7.2}x\n",
                 r,
                 rep.tasks_run,
                 rep.messages,
@@ -243,15 +298,20 @@ fn main() {
                 ratio,
                 pct(totals.and_then(|t| t.get("exchange_wait_ns"))),
                 pct(totals.and_then(|t| t.get("barrier_skew_ns"))),
+                point.wall_ns as f64 / 1e6,
+                speedup,
             ));
             points = points.push(
                 rep.to_json()
                     .with("bit_identical", true)
+                    .with("wall_ns", point.wall_ns)
+                    .with("speedup", speedup)
                     .with("dist_profile", point.profile)
                     .with("pairs", point.pairs),
             );
             chrome_events.extend(point.events);
         }
+        walls.push((case.name, series));
         apps = apps.push(Json::object().with("name", case.name).with("points", points));
     }
 
@@ -272,11 +332,50 @@ fn main() {
         check_obs_skew(&cs[0], ranks.iter().copied().max().unwrap_or(4));
     }
 
+    let host_parallelism = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    if args.assert_scaling {
+        // CI perf gate: the largest rank count must not lose wall-clock
+        // against the smallest on the scaling-critical apps. The default
+        // bound is parallelism-aware: on a multi-core host threads-as-ranks
+        // genuinely parallelize so we demand strict improvement (<= 1.0);
+        // on a single core the ranks time-slice and only overlap can help,
+        // so the bound just caps the protocol overhead.
+        let max_ratio = args
+            .max_ratio
+            .or_else(partir_obs::config::scaling_max_ratio_env)
+            .unwrap_or(if host_parallelism >= 2 { 1.0 } else { 2.0 });
+        for (name, series) in &walls {
+            if !matches!(*name, "Stencil" | "SpMV") {
+                continue;
+            }
+            let (r0, w0) = series[0];
+            let &(rn, wn) = series.last().unwrap();
+            if rn == r0 || w0 == 0 {
+                continue;
+            }
+            let scale = wn as f64 / w0 as f64;
+            eprintln!(
+                "scaling gate: {name}: {rn}-rank wall {:.2} ms vs {r0}-rank {:.2} ms \
+                 (ratio {scale:.3}, allowed {max_ratio:.3}, host parallelism {host_parallelism})",
+                wn as f64 / 1e6,
+                w0 as f64 / 1e6,
+            );
+            assert!(
+                scale <= max_ratio,
+                "{name}: {rn}-rank wall-clock is {scale:.3}x the {r0}-rank baseline \
+                 (allowed {max_ratio:.3}) — the rank backend stopped scaling"
+            );
+        }
+    }
+
     let mut ranks_json = Json::array();
     for &r in &ranks {
         ranks_json = ranks_json.push(r as u64);
     }
-    let payload = Json::object().with("ranks", ranks_json).with("apps", apps);
+    let payload = Json::object()
+        .with("ranks", ranks_json)
+        .with("host_parallelism", host_parallelism as u64)
+        .with("apps", apps);
     args.emit("fig_dist", payload, || {
         println!("# Distributed backend: constraint-derived ghost exchange vs replication");
         println!("# (every point verified bit-identical to the sequential interpreter,");

@@ -23,13 +23,21 @@ use std::path::PathBuf;
 ///   timelines ignore it);
 /// * `--check-obs-skew` — measure the observability overhead (obs-on vs
 ///   obs-off walltime) and fail if it exceeds `PARTIR_OBS_SKEW_MAX_PCT`
-///   (default 5%; honored by `fig_dist`).
+///   (default 5%; honored by `fig_dist`);
+/// * `--assert-scaling` — fail when the largest rank count's wall-clock
+///   exceeds 1-rank wall-clock by more than the allowed ratio on the
+///   scaling-critical apps (honored by `fig_dist`; the CI perf gate);
+/// * `--max-ratio X` — the allowed `wall(max ranks) / wall(1 rank)` ratio
+///   for `--assert-scaling` (overrides `PARTIR_SCALING_MAX_RATIO` and the
+///   parallelism-aware default).
 #[derive(Clone, Debug, Default)]
 pub struct BenchArgs {
     pub json: bool,
     pub out: Option<PathBuf>,
     pub trace_out: Option<PathBuf>,
     pub check_obs_skew: bool,
+    pub assert_scaling: bool,
+    pub max_ratio: Option<f64>,
 }
 
 impl BenchArgs {
@@ -64,10 +72,25 @@ impl BenchArgs {
                     args.trace_out = Some(PathBuf::from(path));
                 }
                 "--check-obs-skew" => args.check_obs_skew = true,
+                "--assert-scaling" => args.assert_scaling = true,
+                "--max-ratio" => {
+                    let v = it
+                        .next()
+                        .ok_or_else(|| "--max-ratio requires a number argument".to_string())?;
+                    let ratio: f64 = v
+                        .trim()
+                        .parse()
+                        .map_err(|_| format!("--max-ratio: '{v}' is not a number"))?;
+                    if !ratio.is_finite() || ratio <= 0.0 {
+                        return Err(format!("--max-ratio must be a positive number, got {v}"));
+                    }
+                    args.max_ratio = Some(ratio);
+                }
                 other => {
                     return Err(format!(
                         "unknown argument '{other}' (expected --json [--out PATH] \
-                         [--trace-out PATH] [--check-obs-skew])"
+                         [--trace-out PATH] [--check-obs-skew] [--assert-scaling] \
+                         [--max-ratio X])"
                     ));
                 }
             }
@@ -230,6 +253,18 @@ mod tests {
         assert!(!a.json, "--trace-out alone does not imply --json");
         assert_eq!(a.trace_out.as_deref(), Some(std::path::Path::new("/tmp/t.json")));
         assert!(a.check_obs_skew);
+    }
+
+    #[test]
+    fn parse_from_accepts_scaling_gate_flags() {
+        let a = BenchArgs::parse_from(argv(&["--assert-scaling"])).unwrap();
+        assert!(a.assert_scaling && a.max_ratio.is_none());
+        let a = BenchArgs::parse_from(argv(&["--assert-scaling", "--max-ratio", "1.25"])).unwrap();
+        assert_eq!(a.max_ratio, Some(1.25));
+        let err = BenchArgs::parse_from(argv(&["--max-ratio", "zero"])).unwrap_err();
+        assert!(err.contains("not a number"), "{err}");
+        let err = BenchArgs::parse_from(argv(&["--max-ratio", "-2"])).unwrap_err();
+        assert!(err.contains("positive"), "{err}");
     }
 
     #[test]

@@ -34,7 +34,7 @@
 //! evaluated partitions, and the rank count — not on field values).
 
 use crate::pipeline::{ParallelPlan, PlannedReduce};
-use partir_dpl::index_set::IndexSet;
+use partir_dpl::index_set::{Idx, IndexSet};
 use partir_dpl::ops::equal;
 use partir_dpl::partition::Partition;
 use partir_dpl::region::{FieldId, FieldKind, RegionId, Schema};
@@ -78,6 +78,12 @@ pub struct LoopExchange {
     pub interior: Vec<Vec<usize>>,
     /// Per rank: the rank's remaining colors, run after the ghost exchange.
     pub boundary: Vec<Vec<usize>>,
+    /// `boundary_deps[rank][k]`: the source ranks whose ghost message must
+    /// be installed before `boundary[rank][k]` may run — the owners of the
+    /// color's foreign touches. Parallel to `boundary`; lets the runtime
+    /// run each boundary color as soon as *its* halos land instead of
+    /// waiting for the whole exchange.
+    pub boundary_deps: Vec<Vec<Vec<usize>>>,
     /// First-owner narrowing of centered writes for aliased iteration
     /// partitions (same fold as the threaded executor), `None` when the
     /// iteration partition is disjoint.
@@ -213,6 +219,145 @@ impl ExchangePlan {
         let (s, e) = self.color_ranges[rank];
         s..e
     }
+
+    /// Deliberately removes one ghost element from the first non-empty
+    /// ghost set, shrinking the owning rank's `owned ∪ ghosts` footprint
+    /// below what the program touches — and strips it from every
+    /// ghost-fetch set headed to that rank, so the plan consistently
+    /// *lies* that the element is not needed (it is never shipped, never
+    /// resident, yet still read). Exists only so tests can prove the
+    /// legality machinery (plan-level proof and the runtime's residency
+    /// check) actually catches such a plan. Returns `false` when the plan
+    /// has no ghosts to corrupt.
+    #[doc(hidden)]
+    pub fn corrupt_footprint_for_test(&mut self, schema: &Schema) -> bool {
+        for ri in 0..self.ghosts.len() {
+            for rank in 0..self.n_ranks {
+                let Some(&(g, _)) = self.ghosts[ri][rank].runs().first() else { continue };
+                let hole = IndexSet::from_indices([g]);
+                self.ghosts[ri][rank] = self.ghosts[ri][rank].difference(&hole);
+                self.locals[ri][rank] = self.locals[ri][rank].difference(&hole);
+                for lx in &mut self.loops {
+                    for sets in &mut lx.ghost_fetch[rank] {
+                        for (field, set) in sets.iter_mut() {
+                            if schema.field(*field).region.0 as usize == ri {
+                                *set = set.difference(&hole);
+                            }
+                        }
+                        sets.retain(|(_, s)| !s.is_empty());
+                    }
+                }
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// Proof that every access of every loop stays inside its executing rank's
+/// `owned ∪ ghosts` footprint — established once per plan by interval
+/// set-containment instead of once per element at runtime.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LegalityProof {
+    /// Containment facts established: one per `(loop, access, color)`
+    /// combination proved. Each fact replaces `|subregion|` per-element
+    /// runtime checks.
+    pub facts: u64,
+}
+
+/// A `(loop, access, color)` whose access partition escapes its rank's
+/// footprint — the plan-level analogue of a per-element legality violation,
+/// with a concrete witness element.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PlanLegalityError {
+    pub loop_index: usize,
+    pub access: usize,
+    pub color: usize,
+    pub rank: usize,
+    pub region: RegionId,
+    /// An element the access may touch that has no slot on the rank.
+    pub witness: Idx,
+}
+
+impl fmt::Display for PlanLegalityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "loop {} access {} color {} (rank {}): partition reaches element {} of region r{} outside the rank's owned ∪ ghosts footprint",
+            self.loop_index, self.access, self.color, self.rank, self.witness, self.region.0
+        )
+    }
+}
+
+impl std::error::Error for PlanLegalityError {}
+
+/// Proves `accessed ⊆ owned ∪ ghosts` for the whole plan, once, by
+/// interval set-containment over the solved access partitions.
+///
+/// The per-element runtime checks re-derive exactly this: every
+/// `check_access` asks whether one index sits inside its access-partition
+/// subregion, and every store translation asks whether it sits inside the
+/// rank footprint. The constraint solution already states both as sets —
+/// the access partitions *are* the solver's description of what each color
+/// touches, and `derive_exchange` built the footprints from them — so the
+/// containment can be discharged per `(loop, access, color)` instead of
+/// per element. The proof is still an independent check of the derivation
+/// (it recomputes containment from the partitions, not from the ghost
+/// construction), which is what lets it catch a corrupted or hand-edited
+/// plan.
+///
+/// Two-step (`Buffered`) reduction accesses are excluded: their values go
+/// to rank-local partial buffers whose index translation failure is itself
+/// the residency check, and their buffer sets are not part of the rank
+/// footprint by design. The private slice of `BufferedPrivate` *is*
+/// proved (it mutates the store in place).
+pub fn prove_plan_legality(
+    xplan: &ExchangePlan,
+    plan: &ParallelPlan,
+    parts: &[Arc<Partition>],
+    schema: &Schema,
+) -> Result<LegalityProof, PlanLegalityError> {
+    let sp = partir_obs::span("exchange.prove_legality");
+    let mut proof = LegalityProof::default();
+    for (li, lp) in plan.loops.iter().enumerate() {
+        for (ai, ap) in lp.accesses.iter().enumerate() {
+            if !matches!(schema.field(ap.field).kind, FieldKind::F64) {
+                continue;
+            }
+            let part: &Partition = match &ap.reduce {
+                Some(PlannedReduce::Buffered) => continue,
+                Some(PlannedReduce::BufferedPrivate { private }) => &parts[private.0 as usize],
+                _ => &parts[ap.part.0 as usize],
+            };
+            for c in 0..xplan.n_colors.min(part.num_subregions()) {
+                let rank = xplan.rank_of_color(c);
+                let touched = part.subregion(c);
+                let local = xplan.local(ap.region, rank);
+                if !touched.is_subset(local) {
+                    let witness = touched
+                        .difference(local)
+                        .runs()
+                        .first()
+                        .map(|&(s, _)| s)
+                        .unwrap_or_default();
+                    return Err(PlanLegalityError {
+                        loop_index: li,
+                        access: ai,
+                        color: c,
+                        rank,
+                        region: ap.region,
+                        witness,
+                    });
+                }
+                proof.facts += 1;
+            }
+        }
+    }
+    if partir_obs::metrics_enabled() {
+        partir_obs::counter("legality.plan_proved", proof.facts);
+    }
+    sp.close_with(vec![("facts", proof.facts.into())]);
+    Ok(proof)
 }
 
 /// Exchange derivation failure.
@@ -436,26 +581,42 @@ pub fn derive_exchange(
 
         // Interior/boundary split: a color is interior when every non-route
         // f64 access set it touches lies inside its rank's owned sets.
+        // Boundary colors also record *which* peers' ghosts they depend on
+        // (the owners of their foreign touches), so the runtime can run
+        // each one as soon as those specific messages are installed.
+        let mut boundary_deps: Vec<Vec<Vec<usize>>> = vec![Vec::new(); n_ranks];
         for (rank, range) in color_ranges.iter().enumerate() {
-            'color: for c in range.0..range.1 {
+            for c in range.0..range.1 {
+                let mut deps: Vec<usize> = Vec::new();
                 for ap in &lp.accesses {
                     if !is_f64(ap.field) {
                         continue;
                     }
                     let region = ap.region.0 as usize;
-                    let touched: IndexSet = match &ap.reduce {
+                    let touched: &IndexSet = match &ap.reduce {
                         Some(PlannedReduce::Buffered) => continue,
                         Some(PlannedReduce::BufferedPrivate { private }) => {
-                            parts[private.0 as usize].subregion(c).clone()
+                            parts[private.0 as usize].subregion(c)
                         }
-                        _ => parts[ap.part.0 as usize].subregion(c).clone(),
+                        _ => parts[ap.part.0 as usize].subregion(c),
                     };
-                    if !touched.is_subset(&owned[region][rank]) {
-                        boundary[rank].push(c);
-                        continue 'color;
+                    let foreign = touched.difference(&owned[region][rank]);
+                    if foreign.is_empty() {
+                        continue;
+                    }
+                    for (src, _) in split_by_owner(&foreign, &owned[region]) {
+                        if !deps.contains(&src) {
+                            deps.push(src);
+                        }
                     }
                 }
-                interior[rank].push(c);
+                if deps.is_empty() {
+                    interior[rank].push(c);
+                } else {
+                    deps.sort_unstable();
+                    boundary[rank].push(c);
+                    boundary_deps[rank].push(deps);
+                }
             }
         }
 
@@ -520,7 +681,15 @@ pub fn derive_exchange(
                 }
             }
         }
-        loops.push(LoopExchange { ghost_fetch, write_back, routes, interior, boundary, write_own });
+        loops.push(LoopExchange {
+            ghost_fetch,
+            write_back,
+            routes,
+            interior,
+            boundary,
+            boundary_deps,
+            write_own,
+        });
     }
 
     let locals: Vec<Vec<IndexSet>> = owned
@@ -715,6 +884,61 @@ mod tests {
                 assert_eq!(*v, want, "pair ({src},{dst})");
             }
         }
+    }
+
+    #[test]
+    fn boundary_deps_name_the_halo_owners() {
+        let n = 40u64;
+        let (program, fns, schema) = stencil_1d(n);
+        let plan =
+            auto_parallelize(&program, &fns, &schema, &Hints::new(), Options::default()).unwrap();
+        let store = Store::new(schema.clone());
+        let ranks = 4usize;
+        let parts = plan.evaluate(&store, &fns, ranks, &ExtBindings::new());
+        let x = derive_exchange(&plan, &parts, &schema, ranks).unwrap();
+        let lx = &x.loops[0];
+        for rank in 0..ranks {
+            assert_eq!(
+                lx.boundary[rank].len(),
+                lx.boundary_deps[rank].len(),
+                "deps parallel to boundary colors"
+            );
+            // One color per rank; the periodic ±1 stencil makes every
+            // color a boundary color depending on both neighbors.
+            let left = (rank + ranks - 1) % ranks;
+            let right = (rank + 1) % ranks;
+            let mut want = vec![left, right];
+            want.sort_unstable();
+            want.dedup();
+            assert_eq!(lx.boundary_deps[rank], vec![want], "rank {rank} deps");
+            // Every dep has a matching non-empty ghost message to wait on.
+            for deps in &lx.boundary_deps[rank] {
+                for &src in deps {
+                    assert!(
+                        !lx.ghost_fetch[rank][src].is_empty(),
+                        "rank {rank} dep on {src} without a ghost message"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn plan_legality_proof_holds_and_catches_corruption() {
+        let (program, fns, schema) = stencil_1d(40);
+        let plan =
+            auto_parallelize(&program, &fns, &schema, &Hints::new(), Options::default()).unwrap();
+        let store = Store::new(schema.clone());
+        let parts = plan.evaluate(&store, &fns, 4, &ExtBindings::new());
+        let mut x = derive_exchange(&plan, &parts, &schema, 4).unwrap();
+        let proof = prove_plan_legality(&x, &plan, &parts, &schema).unwrap();
+        assert!(proof.facts > 0, "the stencil has f64 accesses to prove");
+
+        assert!(x.corrupt_footprint_for_test(&schema), "the stencil plan has ghosts");
+        let err = prove_plan_legality(&x, &plan, &parts, &schema).unwrap_err();
+        // The witness is exactly the element the corruption removed: a
+        // ghost element some access needs but no longer has a slot for.
+        assert!(!x.local(err.region, err.rank).contains(err.witness));
     }
 
     #[test]

@@ -16,6 +16,7 @@
 //! | `PARTIR_FAULT_RATE` | task-attempt failure probability (default 0.3) | [`fault_env`] |
 //! | `PARTIR_FAULT_POISON_AFTER` | ordinal after which kills poison | [`fault_env`] |
 //! | `PARTIR_RANKS` | comma-separated rank counts for test matrices | [`ranks_env`] |
+//! | `PARTIR_SCALING_MAX_RATIO` | allowed `wall(max ranks)/wall(1)` for the `fig_dist --assert-scaling` gate | [`scaling_max_ratio_env`] |
 //!
 //! Direct env sniffing elsewhere in the workspace is deprecated; new code
 //! should take these structs through the builder.
@@ -114,6 +115,16 @@ pub fn ranks_env() -> Vec<usize> {
     std::env::var("PARTIR_RANKS")
         .map(|v| v.split(',').filter_map(|p| p.trim().parse().ok()).filter(|&n| n > 0).collect())
         .unwrap_or_default()
+}
+
+/// Parses `PARTIR_SCALING_MAX_RATIO` — the allowed
+/// `wall(max ranks) / wall(1 rank)` ratio for the `fig_dist
+/// --assert-scaling` CI perf gate. `None` when unset, unparsable, or not
+/// a positive finite number (the harness then applies its
+/// parallelism-aware default).
+pub fn scaling_max_ratio_env() -> Option<f64> {
+    let r: f64 = std::env::var("PARTIR_SCALING_MAX_RATIO").ok()?.trim().parse().ok()?;
+    (r.is_finite() && r > 0.0).then_some(r)
 }
 
 #[cfg(test)]

@@ -1,8 +1,11 @@
 //! Critical-path analysis over cross-rank timelines.
 //!
 //! Turns a [`Trace`] into the `dist_profile` report
-//! section: per epoch, the wall-clock interval is `[min start, max end]`
-//! across ranks, the **critical rank** is the one that finishes last, and
+//! section: per epoch, the wall-clock window runs from the end of the
+//! previous epoch's window (or the epoch's first span, whichever is
+//! later) to the last span end across ranks — adjacent windows never
+//! overlap, so a fast rank running ahead into the next epoch is charged
+//! once, not twice. The **critical rank** is the one that finishes last, and
 //! the wall-clock is attributed to the categories of
 //! [`SpanKind::category`](crate::trace::SpanKind::category) —
 //! `compute`, `exchange_wait`, `pack_unpack`, `legality` — by summing the
@@ -18,7 +21,8 @@ use crate::trace::{SpanKind, Trace};
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct EpochProfile {
     pub epoch: usize,
-    /// `max(end) - min(start)` across ranks.
+    /// Width of the epoch's non-overlapping window:
+    /// `max(end) - max(previous window end, min(start))` across ranks.
     pub wall_ns: u64,
     /// The rank that finished this epoch last.
     pub critical_rank: usize,
@@ -74,15 +78,32 @@ pub struct DistProfile {
 impl DistProfile {
     /// Analyzes a merged trace. Epochs nobody recorded spans for are
     /// skipped (they did not happen).
+    ///
+    /// Epoch windows are **non-overlapping**: with the async exchange a
+    /// fast rank pushes next-epoch ghosts while a slow peer is still
+    /// draining the current epoch, so raw `[min start, max end]` intervals
+    /// of adjacent epochs overlap and the overlap would be billed twice —
+    /// once as real work in epoch `e`, once as phantom "skew" in `e+1`
+    /// (the 2.2ms-skew-on-a-0.8ms-epoch pathology). Each epoch's window
+    /// therefore starts where the previous one ended (or at its own first
+    /// span, whichever is later), and the critical rank's spans are
+    /// clipped to the window, so the per-epoch walls tile the run's true
+    /// makespan exactly.
     pub fn from_trace(trace: &Trace) -> DistProfile {
         let n_epochs = trace.n_epochs();
         let mut epochs = Vec::with_capacity(n_epochs);
+        // End of the previous epoch's window — the earliest instant this
+        // epoch may be charged from.
+        let mut cursor = 0u64;
+        let mut first = true;
         for epoch in 0..n_epochs {
             let spans: Vec<_> = trace.spans.iter().filter(|s| s.epoch as usize == epoch).collect();
             if spans.is_empty() {
                 continue;
             }
-            let start = spans.iter().map(|s| s.ts_ns).min().unwrap();
+            let raw_start = spans.iter().map(|s| s.ts_ns).min().unwrap();
+            let win_start = if first { raw_start } else { cursor.max(raw_start) };
+            first = false;
             // Per-rank end = the latest span end that rank recorded.
             let mut rank_end = vec![None::<u64>; trace.n_ranks];
             for s in &spans {
@@ -96,16 +117,23 @@ impl DistProfile {
                 .filter_map(|(r, e)| e.map(|e| (r, e)))
                 .max_by_key(|&(r, e)| (e, r))
                 .unwrap();
+            let win_end = end.max(win_start);
+            cursor = win_end;
             let mut prof = EpochProfile {
                 epoch,
-                wall_ns: end.saturating_sub(start),
+                wall_ns: win_end - win_start,
                 critical_rank,
                 ..EpochProfile::default()
             };
             for s in &spans {
-                if s.rank as usize == critical_rank {
-                    prof.add(s.kind, s.dur_ns);
+                if s.rank as usize != critical_rank {
+                    continue;
                 }
+                // Clip to the window: the portion before `win_start` was
+                // already attributed to the previous epoch's wall.
+                let s_end = (s.ts_ns + s.dur_ns).min(win_end);
+                let s_start = s.ts_ns.max(win_start);
+                prof.add(s.kind, s_end.saturating_sub(s_start));
             }
             prof.barrier_skew_ns = prof.wall_ns.saturating_sub(
                 prof.compute_ns + prof.exchange_wait_ns + prof.pack_unpack_ns + prof.legality_ns,
@@ -188,6 +216,32 @@ mod tests {
         // 20ns of start skew is the residual.
         assert_eq!(e.barrier_skew_ns, 20);
         assert_eq!(e.attributed_ns(), e.wall_ns);
+        assert!((prof.coverage() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overlapping_epochs_are_not_double_charged_as_skew() {
+        // Rank 0 races ahead: it starts epoch 1 at t=10 while rank 1 is
+        // still computing epoch 0 until t=100. The old [min start, max end]
+        // windows would bill epoch 1 a 90ns wall (t=10..100 of which 85ns
+        // "skew") even though the run's makespan is just 105ns. With
+        // non-overlapping windows epoch 1 is charged only t=100..105.
+        let trace = Trace {
+            n_ranks: 2,
+            spans: vec![
+                span(0, 0, 0, SpanKind::InteriorCompute, 0, 10),
+                span(1, 0, 0, SpanKind::InteriorCompute, 0, 100),
+                span(0, 1, 0, SpanKind::InteriorCompute, 10, 5),
+                span(1, 1, 0, SpanKind::InteriorCompute, 100, 5),
+            ],
+        };
+        let prof = DistProfile::from_trace(&trace);
+        assert_eq!(prof.epochs.len(), 2);
+        assert_eq!(prof.epochs[0].wall_ns, 100);
+        assert_eq!(prof.epochs[1].wall_ns, 5, "epoch 1 window starts where epoch 0 ended");
+        assert_eq!(prof.epochs[1].barrier_skew_ns, 0, "no phantom skew from the overlap");
+        let t = prof.totals();
+        assert_eq!(t.wall_ns, 105, "per-epoch walls tile the true makespan");
         assert!((prof.coverage() - 1.0).abs() < 1e-12);
     }
 

@@ -82,6 +82,7 @@ pub const ERROR_CODES: &[&str] = &[
     "dist.iteration_not_disjoint",
     "dist.reduction_not_disjoint",
     "dist.legality",
+    "dist.plan_illegal",
     "dist.rank_panic",
     "dist.disconnected",
     "dist.aborted",

@@ -50,6 +50,30 @@ pub enum MailboxError {
     Disconnected,
 }
 
+/// Deterministic delivery-order shuffling for tests: a seeded xorshift*
+/// stream that picks among equally-ready stashed messages and injects
+/// tiny receive-side delays, simulating an adversarially slow fabric.
+/// Results must stay bit-identical under any schedule it produces.
+struct Chaos {
+    state: u64,
+}
+
+impl Chaos {
+    fn new(seed: u64) -> Self {
+        Chaos { state: seed | 1 }
+    }
+
+    fn next(&mut self) -> u64 {
+        // xorshift64*: cheap, deterministic, good enough to shuffle.
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
 /// The receiving half of one rank's mailbox. Meters arriving traffic per
 /// source rank — the *measured* side of the predicted-vs-measured
 /// communication accounting.
@@ -59,11 +83,17 @@ pub struct Mailbox {
     abort: Arc<AtomicBool>,
     /// Per source rank: `(bytes, messages)` pulled off the channel.
     meter: Vec<(u64, u64)>,
+    chaos: Option<Chaos>,
 }
 
 impl Mailbox {
     pub fn new(rx: Receiver<Msg>, abort: Arc<AtomicBool>, n_ranks: usize) -> Self {
-        Mailbox { rx, pending: Vec::new(), abort, meter: vec![(0, 0); n_ranks] }
+        Mailbox { rx, pending: Vec::new(), abort, meter: vec![(0, 0); n_ranks], chaos: None }
+    }
+
+    /// Enables deterministic delivery-order shuffling (see [`Chaos`]).
+    pub fn set_chaos(&mut self, seed: u64) {
+        self.chaos = Some(Chaos::new(seed));
     }
 
     /// Meters a message as it comes off the channel (stashed traffic is
@@ -80,29 +110,47 @@ impl Mailbox {
         &self.meter
     }
 
-    /// Blocks until the message of `(epoch, kind, src)` arrives, stashing
-    /// any other traffic that lands first.
-    pub fn recv_from(
+    /// Blocks until *some* message of `epoch` and `kind` from one of the
+    /// `wanted` sources arrives, in arrival order — whichever peer's
+    /// traffic lands first is installed first, so one slow peer never
+    /// stalls the halos of the fast ones. The matched source is removed
+    /// from `wanted`. Under chaos, ties among already-stashed matches are
+    /// broken pseudo-randomly and small delays are injected.
+    pub fn recv_any(
         &mut self,
         epoch: u64,
         kind: MsgKind,
-        src: usize,
+        wanted: &mut Vec<usize>,
     ) -> Result<Msg, MailboxError> {
-        if let Some(pos) =
-            self.pending.iter().position(|m| m.epoch == epoch && m.kind == kind && m.src == src)
-        {
-            return Ok(self.pending.swap_remove(pos));
-        }
         loop {
+            let matches: Vec<usize> = self
+                .pending
+                .iter()
+                .enumerate()
+                .filter(|(_, m)| m.epoch == epoch && m.kind == kind && wanted.contains(&m.src))
+                .map(|(i, _)| i)
+                .collect();
+            if !matches.is_empty() {
+                let pick = match &mut self.chaos {
+                    Some(c) => matches[c.next() as usize % matches.len()],
+                    None => matches[0],
+                };
+                let m = self.pending.swap_remove(pick);
+                wanted.retain(|&s| s != m.src);
+                return Ok(m);
+            }
             if self.abort.load(Ordering::Relaxed) {
                 return Err(MailboxError::Aborted);
+            }
+            if let Some(c) = &mut self.chaos {
+                let us = c.next() % 120;
+                if us >= 40 {
+                    std::thread::sleep(Duration::from_micros(us));
+                }
             }
             match self.rx.recv_timeout(Duration::from_millis(10)) {
                 Ok(m) => {
                     self.note(&m);
-                    if m.epoch == epoch && m.kind == kind && m.src == src {
-                        return Ok(m);
-                    }
                     self.pending.push(m);
                 }
                 Err(RecvTimeoutError::Timeout) => continue,
@@ -115,6 +163,19 @@ impl Mailbox {
                 }
             }
         }
+    }
+
+    /// Blocks until the message of `(epoch, kind, src)` arrives, stashing
+    /// any other traffic that lands first.
+    #[cfg(test)]
+    pub fn recv_from(
+        &mut self,
+        epoch: u64,
+        kind: MsgKind,
+        src: usize,
+    ) -> Result<Msg, MailboxError> {
+        let mut wanted = vec![src];
+        self.recv_any(epoch, kind, &mut wanted)
     }
 }
 
@@ -164,6 +225,57 @@ mod tests {
         assert_eq!(m1.values, vec![2.0]);
         // Both messages metered once, against src 1, stash included.
         assert_eq!(boxes[0].measured(), &[(0, 0), (16, 2)]);
+    }
+
+    #[test]
+    fn recv_any_returns_arrival_order_and_drains_wanted() {
+        let abort = Arc::new(AtomicBool::new(false));
+        let (senders, mut boxes) = build_fabric(3, &abort);
+        // Rank 2's ghost lands before rank 1's: arrival order wins over
+        // rank order.
+        for src in [2usize, 1] {
+            senders[0]
+                .send(Msg {
+                    epoch: 0,
+                    src,
+                    kind: MsgKind::Ghost,
+                    values: vec![src as f64],
+                    partials_present: vec![],
+                })
+                .unwrap();
+        }
+        let mut wanted = vec![1usize, 2];
+        let first = boxes[0].recv_any(0, MsgKind::Ghost, &mut wanted).unwrap();
+        assert_eq!(first.src, 2, "first-arrived message is returned first");
+        assert_eq!(wanted, vec![1]);
+        let second = boxes[0].recv_any(0, MsgKind::Ghost, &mut wanted).unwrap();
+        assert_eq!(second.src, 1);
+        assert!(wanted.is_empty());
+    }
+
+    #[test]
+    fn recv_any_under_chaos_still_delivers_everything() {
+        let abort = Arc::new(AtomicBool::new(false));
+        let (senders, mut boxes) = build_fabric(4, &abort);
+        boxes[0].set_chaos(0xDEAD_BEEF);
+        for src in [1usize, 2, 3] {
+            senders[0]
+                .send(Msg {
+                    epoch: 0,
+                    src,
+                    kind: MsgKind::Ghost,
+                    values: vec![src as f64],
+                    partials_present: vec![],
+                })
+                .unwrap();
+        }
+        let mut wanted = vec![1usize, 2, 3];
+        let mut got = Vec::new();
+        while !wanted.is_empty() {
+            got.push(boxes[0].recv_any(0, MsgKind::Ghost, &mut wanted).unwrap().src);
+        }
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 2, 3], "chaos shuffles order, never loses messages");
     }
 
     #[test]

@@ -25,7 +25,9 @@ pub use store::RankStore;
 use crate::dist::mailbox::build_fabric;
 use crate::dist::rank::RankStats;
 use parking_lot::Mutex;
-use partir_core::exchange::{derive_exchange, ExchangeError, ExchangePlan};
+use partir_core::exchange::{
+    derive_exchange, prove_plan_legality, ExchangeError, ExchangePlan, PlanLegalityError,
+};
 use partir_core::pipeline::{ParallelPlan, PlannedReduce};
 use partir_dpl::func::FnTable;
 use partir_dpl::index_set::Idx;
@@ -40,15 +42,45 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
+/// How access legality (`accessed ⊆ owned ∪ ghosts`) is established.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LegalityMode {
+    /// Prove containment once per plan by interval set-containment over
+    /// the exchange plan's footprints ([`prove_plan_legality`]) — zero
+    /// per-element work on the hot path. The release-mode default.
+    Plan,
+    /// Check every access against its partition subregion at runtime, on
+    /// top of the plan proof — the debug-mode default, and the negative
+    /// test's way of catching a corrupted plan element-by-element.
+    Element,
+    /// No legality work at all (residency faults still surface as
+    /// [`DistError::Legality`] via the store's `owned ∪ ghosts` lookup).
+    Off,
+}
+
+impl Default for LegalityMode {
+    fn default() -> Self {
+        if cfg!(debug_assertions) {
+            LegalityMode::Element
+        } else {
+            LegalityMode::Plan
+        }
+    }
+}
+
 /// Distributed executor configuration.
 #[derive(Clone, Copy, Debug)]
 pub struct DistOptions {
     /// Number of ranks (SPMD processes, modeled as threads with disjoint
     /// sharded stores).
     pub n_ranks: usize,
-    /// Validate every access against its partition subregion, on top of the
-    /// always-on residency check (`owned ∪ ghosts`).
-    pub check_legality: bool,
+    /// How access legality is established (see [`LegalityMode`]).
+    pub legality: LegalityMode,
+    /// When set, mailboxes shuffle delivery order among ready messages and
+    /// inject tiny receive-side delays, deterministically per seed —
+    /// simulates an adversarially slow fabric so tests can pin that
+    /// results stay bit-identical under any arrival schedule.
+    pub chaos_seed: Option<u64>,
     /// Record a per-rank timeline span for every epoch phase (pack, send,
     /// recv-wait, unpack, interior/halo compute, merge), returned as
     /// [`DistOutcome::trace`] for Chrome-trace export and critical-path
@@ -67,7 +99,8 @@ impl Default for DistOptions {
     fn default() -> Self {
         DistOptions {
             n_ranks: 4,
-            check_legality: true,
+            legality: LegalityMode::default(),
+            chaos_seed: None,
             collect_timeline: false,
             strict_volume: false,
         }
@@ -93,6 +126,9 @@ pub struct DistReport {
     /// beats (from the exchange plan).
     pub replication_bytes: u64,
     pub legality_checks: u64,
+    /// Containment facts established by the plan-level legality proof
+    /// (one per `(loop, access, color)`), 0 when the proof did not run.
+    pub plan_proved: u64,
     pub buffer_bytes: u64,
     pub guard_hits: u64,
     pub guard_skips: u64,
@@ -119,6 +155,7 @@ impl DistReport {
             .with("partial_bytes", self.partial_bytes)
             .with("replication_bytes", self.replication_bytes)
             .with("legality_checks", self.legality_checks)
+            .with("plan_proved", self.plan_proved)
             .with("buffer_bytes", self.buffer_bytes)
             .with("guard_hits", self.guard_hits)
             .with("guard_skips", self.guard_skips)
@@ -250,6 +287,9 @@ pub enum DistError {
     ReductionNotDisjoint { loop_index: usize, access: AccessId },
     /// An access escaped its subregion or its rank's footprint.
     Legality(DistViolation),
+    /// The plan-level legality proof failed: some `(loop, access, color)`
+    /// can reach an element outside its rank's `owned ∪ ghosts` footprint.
+    PlanIllegal(PlanLegalityError),
     /// A rank thread panicked (a genuine bug, not a legality report).
     RankPanic { rank: usize, message: String },
     /// A peer's mailbox hung up mid-run.
@@ -299,6 +339,7 @@ impl fmt::Display for DistError {
                 write!(f, "loop {loop_index}: reduction partition for {access:?} not disjoint")
             }
             DistError::Legality(v) => write!(f, "distributed legality violation: {v}"),
+            DistError::PlanIllegal(e) => write!(f, "plan-level legality proof failed: {e}"),
             DistError::RankPanic { rank, message } => {
                 write!(f, "rank {rank} panicked: {message}")
             }
@@ -388,6 +429,17 @@ pub fn execute_with_exchange_full(
         drop(vspan);
     }
     let validate_ns = vt.elapsed().as_nanos() as u64;
+    // Plan-level legality: prove `accessed ⊆ owned ∪ ghosts` once, by
+    // interval set-containment, instead of re-deriving it per element on
+    // the hot path. Element mode proves too — the per-element checks then
+    // double as the negative test's corruption detector.
+    let plan_proved = if opts.legality != LegalityMode::Off {
+        let proof = prove_plan_legality(xplan, plan, parts, store.schema())
+            .map_err(DistError::PlanIllegal)?;
+        proof.facts
+    } else {
+        0
+    };
     let n_ranks = xplan.n_ranks;
     let span = partir_obs::span_with(
         "dist.execute",
@@ -395,7 +447,13 @@ pub fn execute_with_exchange_full(
     );
 
     let abort = Arc::new(AtomicBool::new(false));
-    let (senders, mailboxes) = build_fabric(n_ranks, &abort);
+    let (senders, mut mailboxes) = build_fabric(n_ranks, &abort);
+    if let Some(seed) = opts.chaos_seed {
+        for (r, mb) in mailboxes.iter_mut().enumerate() {
+            // Per-rank decorrelated streams from one user seed.
+            mb.set_chaos(seed ^ (r as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        }
+    }
     let schema = store.schema().clone();
     let shards: Vec<RankStore> = (0..n_ranks).map(|r| RankStore::shard(store, xplan, r)).collect();
 
@@ -411,7 +469,7 @@ pub fn execute_with_exchange_full(
     let outcomes: Mutex<Vec<Option<RankOutcome>>> =
         Mutex::new((0..n_ranks).map(|_| None).collect());
 
-    let check = opts.check_legality;
+    let check = opts.legality == LegalityMode::Element;
     let scope_result = crossbeam::scope(|s| {
         for (r, ((mut mailbox, rstore), tracer)) in
             mailboxes.into_iter().zip(shards).zip(tracers).enumerate()
@@ -482,6 +540,7 @@ pub fn execute_with_exchange_full(
     // Gather: install every rank's owned shards into the caller's store.
     let mut report = DistReport {
         ranks: n_ranks as u64,
+        plan_proved,
         ghost_elements: xplan.stats.ghost_elements,
         ghost_fetch_bytes: xplan.stats.ghost_fetch_bytes,
         write_back_bytes: xplan.stats.write_back_bytes,
@@ -598,7 +657,7 @@ fn validate(
         Ok(())
     };
     let check_bounds = |li: usize, part: usize, region: RegionId| -> Result<(), DistError> {
-        if !opts.check_legality {
+        if opts.legality == LegalityMode::Off {
             return Ok(());
         }
         let size = schema.region_size(region);

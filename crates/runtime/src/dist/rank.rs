@@ -282,42 +282,70 @@ fn run_epoch(
         tr.record(SpanKind::InteriorCompute, li, t, d, 0, None);
     }
 
-    // Phase 3: pull and install this rank's ghosts.
-    for src in 0..n_ranks {
-        if src == rank {
-            continue;
+    // Phases 3+4: arrival-order halo install with dependency-driven
+    // boundary compute. Ghost messages are taken as they land (whichever
+    // peer is fastest first), and each boundary color runs as soon as the
+    // peers *it* depends on (`boundary_deps`) have installed — the rank
+    // waits only for the halos a color actually reads, never for the whole
+    // exchange, and never in a fixed source order a slow peer could stall.
+    let boundary = &lx.boundary[rank];
+    let deps = &lx.boundary_deps[rank];
+    let mut color_done = vec![false; boundary.len()];
+    let mut installed = vec![false; n_ranks];
+    installed[rank] = true;
+    let mut wanted: Vec<usize> =
+        (0..n_ranks).filter(|&src| src != rank && !lx.ghost_fetch[rank][src].is_empty()).collect();
+    let mut halo_spans = 0usize;
+    loop {
+        // Run every boundary color whose halos are all resident.
+        let t = Instant::now();
+        let mut ran = false;
+        for (k, &c) in boundary.iter().enumerate() {
+            if color_done[k] || !deps[k].iter().all(|&s| installed[s]) {
+                continue;
+            }
+            run_color(&env, c, store, &mut bufs, stats);
+            color_done[k] = true;
+            ran = true;
         }
-        let sets = &lx.ghost_fetch[rank][src];
-        if sets.is_empty() {
-            continue;
+        if ran {
+            let d = t.elapsed().as_nanos() as u64;
+            stats.compute_ns += d;
+            halo_spans += 1;
+            if let Some(tr) = tracer.as_mut() {
+                tr.record(SpanKind::HaloCompute, li, t, d, 0, None);
+            }
+        }
+        if wanted.is_empty() {
+            break;
         }
         let t0 = Instant::now();
-        let msg = mailbox.recv_from(epoch, MsgKind::Ghost, src).map_err(|e| mb_err(e, src))?;
+        let msg = mailbox
+            .recv_any(epoch, MsgKind::Ghost, &mut wanted)
+            .map_err(|e| mb_err(e, wanted.first().copied().unwrap_or(rank)))?;
         let wait = t0.elapsed().as_nanos() as u64;
         stats.exchange_wait_ns += wait;
         let bytes = msg.values.len() as u64 * 8;
         if let Some(tr) = tracer.as_mut() {
-            tr.record(SpanKind::RecvWait, li, t0, wait, bytes, Some(src));
+            tr.record(SpanKind::RecvWait, li, t0, wait, bytes, Some(msg.src));
         }
         let t1 = Instant::now();
-        let rest = store.unpack(sets, &msg.values);
+        let rest = store.unpack(&lx.ghost_fetch[rank][msg.src], &msg.values);
         debug_assert!(rest.is_empty(), "ghost message longer than its plan sets");
         let un = t1.elapsed().as_nanos() as u64;
         stats.unpack_ns += un;
         if let Some(tr) = tracer.as_mut() {
-            tr.record(SpanKind::Unpack, li, t1, un, bytes, Some(src));
+            tr.record(SpanKind::Unpack, li, t1, un, bytes, Some(msg.src));
         }
+        installed[msg.src] = true;
     }
-
-    // Phase 4: boundary compute (needs the ghosts).
-    let t = Instant::now();
-    for &c in &lx.boundary[rank] {
-        run_color(&env, c, store, &mut bufs, stats);
-    }
-    let d = t.elapsed().as_nanos() as u64;
-    stats.compute_ns += d;
-    if let Some(tr) = tracer.as_mut() {
-        tr.record(SpanKind::HaloCompute, li, t, d, 0, None);
+    debug_assert!(color_done.iter().all(|&d| d), "every boundary color ran");
+    // Keep the halo phase visible on every rank's timeline even when the
+    // epoch had no boundary colors.
+    if halo_spans == 0 {
+        if let Some(tr) = tracer.as_mut() {
+            tr.record(SpanKind::HaloCompute, li, Instant::now(), 0, 0, None);
+        }
     }
 
     // Phase 5: post traffic out — write-backs first, then partial-buffer
@@ -368,23 +396,26 @@ fn run_epoch(
     }
     stats.pack_ns += t.elapsed().as_nanos() as u64;
 
-    // Phase 6: receive post traffic — install write-backs verbatim, stash
-    // partial slices per route and source color.
+    // Phase 6: receive post traffic in arrival order — install write-backs
+    // verbatim (disjoint per source, so order is immaterial), stash partial
+    // slices per route and source color; the merge below re-sorts them into
+    // the deterministic ascending-color order.
     let mut remote: Vec<Vec<(usize, Vec<f64>)>> = vec![Vec::new(); lx.routes.len()];
-    for src in 0..n_ranks {
-        if src == rank {
-            continue;
-        }
-        let wb = &lx.write_back[src][rank];
-        let expects = !wb.is_empty()
-            || lx.routes.iter().any(|r| {
-                xplan.colors_of(src).any(|c| r.by_color[c].iter().any(|(d, _)| *d == rank))
-            });
-        if !expects {
-            continue;
-        }
+    let mut post_wanted: Vec<usize> = (0..n_ranks)
+        .filter(|&src| {
+            src != rank
+                && (!lx.write_back[src][rank].is_empty()
+                    || lx.routes.iter().any(|r| {
+                        xplan.colors_of(src).any(|c| r.by_color[c].iter().any(|(d, _)| *d == rank))
+                    }))
+        })
+        .collect();
+    while !post_wanted.is_empty() {
         let t0 = Instant::now();
-        let msg = mailbox.recv_from(epoch, MsgKind::Post, src).map_err(|e| mb_err(e, src))?;
+        let msg = mailbox
+            .recv_any(epoch, MsgKind::Post, &mut post_wanted)
+            .map_err(|e| mb_err(e, post_wanted.first().copied().unwrap_or(rank)))?;
+        let src = msg.src;
         let wait = t0.elapsed().as_nanos() as u64;
         stats.exchange_wait_ns += wait;
         let bytes = msg.values.len() as u64 * 8;
@@ -392,7 +423,7 @@ fn run_epoch(
             tr.record(SpanKind::RecvWait, li, t0, wait, bytes, Some(src));
         }
         let t1 = Instant::now();
-        let mut vals: &[f64] = store.unpack(wb, &msg.values);
+        let mut vals: &[f64] = store.unpack(&lx.write_back[src][rank], &msg.values);
         let mut fc = 0usize;
         for (ri, route) in lx.routes.iter().enumerate() {
             for c in xplan.colors_of(src) {

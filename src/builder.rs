@@ -35,7 +35,9 @@ use partir_obs::json::Json;
 use partir_obs::profile::DistProfile;
 use partir_obs::trace::Trace;
 use partir_obs::ObsConfig;
-use partir_runtime::dist::{execute_dist_full, DistOptions, DistReport, VolumeAccounting};
+use partir_runtime::dist::{
+    execute_dist_full, DistOptions, DistReport, LegalityMode, VolumeAccounting,
+};
 use partir_runtime::exec::{execute_program, ExecOptions, ExecReport};
 use partir_runtime::fault::{FaultPlan, RetryPolicy};
 use std::sync::Arc;
@@ -68,7 +70,8 @@ pub struct Partir {
     options: Options,
     backend: Backend,
     colors: Option<usize>,
-    check_legality: bool,
+    legality: LegalityMode,
+    chaos_seed: Option<u64>,
     obs: Option<ObsConfig>,
     fault: Option<FaultPlan>,
     retry: RetryPolicy,
@@ -87,7 +90,8 @@ impl Partir {
             options: Options::default(),
             backend: Backend::default(),
             colors: None,
-            check_legality: true,
+            legality: LegalityMode::default(),
+            chaos_seed: None,
             obs: None,
             fault: None,
             retry: RetryPolicy::default(),
@@ -135,10 +139,32 @@ impl Partir {
         self
     }
 
-    /// Validate every access against its partition subregion at runtime
-    /// (on by default; benches turn it off).
+    /// Validate accesses against their partition subregions (on by
+    /// default; benches turn it off). `true` restores the mode default —
+    /// per-element checks in debug builds, the once-per-plan containment
+    /// proof in release builds; `false` disables legality work entirely.
+    /// For explicit control use [`legality_mode`](Self::legality_mode).
     pub fn check_legality(mut self, on: bool) -> Self {
-        self.check_legality = on;
+        self.legality = if on { LegalityMode::default() } else { LegalityMode::Off };
+        self
+    }
+
+    /// How the rank backend establishes access legality: prove containment
+    /// once per plan ([`LegalityMode::Plan`]), check every element at
+    /// runtime ([`LegalityMode::Element`]), or skip it
+    /// ([`LegalityMode::Off`]). The threads backend treats anything but
+    /// `Off` as its per-element check.
+    pub fn legality_mode(mut self, mode: LegalityMode) -> Self {
+        self.legality = mode;
+        self
+    }
+
+    /// Deterministic delivery-order chaos for the rank backend's
+    /// mailboxes: shuffles which ready message is installed first and
+    /// injects tiny receive delays, reproducibly per seed. Results must
+    /// stay bit-identical — this exists so tests can prove it.
+    pub fn chaos_seed(mut self, seed: u64) -> Self {
+        self.chaos_seed = Some(seed);
         self
     }
 
@@ -216,7 +242,8 @@ impl Partir {
             plan,
             backend: self.backend,
             colors,
-            check_legality: self.check_legality,
+            legality: self.legality,
+            chaos_seed: self.chaos_seed,
             obs,
             fault,
             retry: self.retry,
@@ -239,7 +266,8 @@ pub struct Session {
     plan: ParallelPlan,
     backend: Backend,
     colors: usize,
-    check_legality: bool,
+    legality: LegalityMode,
+    chaos_seed: Option<u64>,
     obs: ObsConfig,
     fault: Option<FaultPlan>,
     retry: RetryPolicy,
@@ -311,7 +339,7 @@ impl Session {
             Backend::Threads(n_threads) => {
                 let opts = ExecOptions {
                     n_threads,
-                    check_legality: self.check_legality,
+                    check_legality: self.legality != LegalityMode::Off,
                     fault: self.fault,
                     retry: self.retry,
                 };
@@ -329,7 +357,8 @@ impl Session {
             Backend::Ranks(n_ranks) => {
                 let opts = DistOptions {
                     n_ranks,
-                    check_legality: self.check_legality,
+                    legality: self.legality,
+                    chaos_seed: self.chaos_seed,
                     collect_timeline: self.obs.timeline,
                     strict_volume: self.obs.strict_volume,
                 };

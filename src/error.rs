@@ -71,6 +71,7 @@ impl Error {
                 DistError::IterationNotDisjoint { .. } => "dist.iteration_not_disjoint",
                 DistError::ReductionNotDisjoint { .. } => "dist.reduction_not_disjoint",
                 DistError::Legality(_) => "dist.legality",
+                DistError::PlanIllegal(_) => "dist.plan_illegal",
                 DistError::RankPanic { .. } => "dist.rank_panic",
                 DistError::Disconnected { .. } => "dist.disconnected",
                 DistError::Aborted => "dist.aborted",
@@ -216,6 +217,14 @@ mod tests {
                 region: RegionId(0),
                 index: 0,
                 access: AccessId(0),
+            })),
+            Error::Dist(DistError::PlanIllegal(partir_core::exchange::PlanLegalityError {
+                loop_index: 0,
+                access: 0,
+                color: 0,
+                rank: 0,
+                region: RegionId(0),
+                witness: 0,
             })),
             Error::Dist(DistError::RankPanic { rank: 0, message: "boom".into() }),
             Error::Dist(DistError::Disconnected { rank: 1 }),

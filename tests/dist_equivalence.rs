@@ -38,7 +38,14 @@ fn assert_dist_matches_seq(name: &str, program: Vec<Loop>, fns: FnTable, store: 
         let report =
             session.run(&mut par).unwrap_or_else(|e| panic!("{name} on {ranks} ranks: {e}"));
         let rep = report.as_ranks().expect("rank backend report");
-        assert!(rep.legality_checks > 0, "{name}: distributed legality checking was off");
+        // `check_legality(true)` means the mode default: per-element checks
+        // in debug builds, the once-per-plan containment proof in release.
+        if cfg!(debug_assertions) {
+            assert!(rep.legality_checks > 0, "{name}: per-element legality checking was off");
+        } else {
+            assert_eq!(rep.legality_checks, 0, "{name}: release path ran per-element checks");
+        }
+        assert!(rep.plan_proved > 0, "{name}: plan-level legality proof established no facts");
 
         for f in 0..schema.num_fields() {
             let fid = partir::dpl::region::FieldId(f as u32);
