@@ -30,7 +30,18 @@
 //! strict `1.0` on multi-core hosts, relaxed on single-core ones where
 //! thread-per-rank SPMD cannot beat one rank).
 //! Rank counts: `PARTIR_RANKS=2,4,8` overrides the default `1,2,4,8`.
+//! Fault tolerance: `... --bin fig_dist -- --fault-seed N` crashes a
+//! seeded rank mid-program in every app at the largest rank count (with
+//! mild seeded message loss and duplication on top), verifies the
+//! survivors finish bit-identical with migration bounded by the lost
+//! rank's owned shard, and emits a `dist_recovery` section: recovery
+//! wall-clock, bytes migrated vs a full re-shard, and the fault-free
+//! checkpoint overhead at the Young/Daly interval — the latter gated
+//! under `PARTIR_CKPT_OVERHEAD_MAX_PCT` (default 5%;
+//! `PARTIR_DIST_MTBF_S` sets the assumed mean time between failures,
+//! default one hour).
 
+use partir::core::exchange::derive_exchange;
 use partir::{Backend, Partir, RunReport};
 use partir_apps::circuit::{Circuit, CircuitParams};
 use partir_apps::miniaero::{MiniAero, MiniAeroParams};
@@ -44,7 +55,7 @@ use partir_ir::interp::run_program_seq;
 use partir_obs::json::Json;
 use partir_obs::trace::chrome_trace_doc;
 use partir_obs::{MemorySink, ObsConfig};
-use partir_runtime::dist::DistReport;
+use partir_runtime::dist::{CheckpointPolicy, DistFaultPlan, DistReport, RankCrash};
 use std::time::Instant;
 
 struct Case {
@@ -223,6 +234,195 @@ fn check_obs_skew(case: &Case, ranks: usize) {
     );
 }
 
+/// Median wall-clock (and last report) of `reps` fault-free runs at a
+/// given checkpoint cadence, observability off.
+fn time_checkpointed(
+    case: &Case,
+    ranks: usize,
+    ckpt: Option<CheckpointPolicy>,
+    reps: usize,
+) -> (u64, DistReport) {
+    let mut walls = Vec::with_capacity(reps);
+    let mut last = None;
+    for _ in 0..reps {
+        let mut b =
+            Partir::new(case.program.clone(), case.fns.clone(), case.store.schema().clone())
+                .backend(Backend::Ranks(ranks))
+                .colors(ranks.max(4))
+                .obs(ObsConfig::disabled());
+        if let Some(p) = ckpt {
+            b = b.checkpoint(p);
+        }
+        let mut session = b.build().unwrap_or_else(|e| panic!("{}: {e}", case.name));
+        let mut par = case.store.clone();
+        let t0 = Instant::now();
+        let report = session.run(&mut par).unwrap_or_else(|e| panic!("fault-mode run: {e}"));
+        walls.push(t0.elapsed().as_nanos() as u64);
+        last = Some(match report {
+            RunReport::Ranks(r) => r,
+            RunReport::Threads(_) => unreachable!("rank backend requested"),
+        });
+    }
+    walls.sort_unstable();
+    (walls[reps / 2], last.unwrap())
+}
+
+/// `--fault-seed` measurement for one app: prices fault-free checkpointing
+/// at the Young/Daly interval (gated), then crashes a seeded rank
+/// mid-program — with mild seeded message loss and duplication on top —
+/// and reports what recovery cost and moved.
+fn run_fault_point(case: &Case, ranks: usize, seed: u64) -> Json {
+    const REPS: usize = 5;
+    let n_epochs = (case.program.len() as u64).max(1);
+    let max_pct: f64 = std::env::var("PARTIR_CKPT_OVERHEAD_MAX_PCT")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(5.0);
+    let mtbf_s: f64 = std::env::var("PARTIR_DIST_MTBF_S")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(3600.0);
+
+    // Fault-free baseline, then an every-epoch probe to price a snapshot;
+    // Young/Daly turns (epoch cost, snapshot cost, MTBF) into the
+    // checkpoint interval the gate measures at. For programs far shorter
+    // than the interval the optimum is genuinely "no checkpoint within
+    // this horizon" — the gated run then prices exactly that policy (the
+    // every-epoch overhead stays in the report as the worst case).
+    let (base_wall, _) = time_checkpointed(case, ranks, None, REPS);
+    let (every_wall, probe) =
+        time_checkpointed(case, ranks, Some(CheckpointPolicy::every(1)), REPS);
+    let every_pct = (every_wall as f64 - base_wall as f64) / base_wall as f64 * 100.0;
+    let epoch_cost_s = base_wall as f64 / 1e9 / n_epochs as f64;
+    let snap_cost_s = if probe.checkpoints > 0 {
+        // Ranks snapshot in parallel: the per-epoch cost is one rank's
+        // average snapshot time, not the sum across ranks.
+        probe.checkpoint_ns as f64 / 1e9 / probe.checkpoints as f64
+    } else {
+        0.0
+    };
+    let policy = CheckpointPolicy::young_daly(epoch_cost_s, snap_cost_s, mtbf_s);
+    let (ckpt_wall, ckpt_rep) = time_checkpointed(case, ranks, Some(policy), REPS);
+    // The gated number is the snapshot time the ranks themselves clocked,
+    // on the critical path (ranks snapshot concurrently, so the per-rank
+    // average — sum / ranks — is what the run's wall-clock absorbs).
+    // Wall-clock A/B deltas cannot resolve a 5% budget on a noisy shared
+    // host; the protocol's own timer can, and it is what the budget is
+    // about. The wall delta stays in the log as a sanity cross-check.
+    let overhead_pct = ckpt_rep.checkpoint_ns as f64 / ranks as f64 / ckpt_wall as f64 * 100.0;
+    eprintln!(
+        "ckpt overhead: {} at {ranks} ranks: bare {:.2} ms, every-{}-epochs {:.2} ms \
+         ({} snapshots, {overhead_pct:.2}% of wall on the snapshot path; \
+         wall deltas: gated {:+.2}%, every-epoch {every_pct:+.2}%)",
+        case.name,
+        base_wall as f64 / 1e6,
+        policy.interval_epochs,
+        ckpt_wall as f64 / 1e6,
+        ckpt_rep.checkpoints,
+        (ckpt_wall as f64 - base_wall as f64) / base_wall as f64 * 100.0,
+    );
+    assert!(
+        overhead_pct <= max_pct,
+        "{}: Young/Daly checkpointing costs {overhead_pct:.2}% fault-free \
+         (budget {max_pct:.1}%)",
+        case.name
+    );
+
+    // The crash proper: seeded rank and epoch, a 2% drop/dup storm on
+    // top, every-epoch checkpoints so the rollback is minimal, strict
+    // volume accounting across the recovery.
+    let crash_rank = (seed as usize) % ranks;
+    let crash_epoch = (seed / 7) % n_epochs;
+    let fault = DistFaultPlan {
+        drop_rate: 0.02,
+        dup_rate: 0.02,
+        crash: Some(RankCrash { rank: crash_rank, epoch: crash_epoch, silent: false }),
+        ..DistFaultPlan::quiescent(seed)
+    };
+    let mut seq = case.store.clone();
+    run_program_seq(&case.program, &mut seq, &case.fns);
+    let schema = case.store.schema().clone();
+    let mut session = Partir::new(case.program.clone(), case.fns.clone(), schema.clone())
+        .backend(Backend::Ranks(ranks))
+        .colors(ranks.max(4))
+        .check_legality(true)
+        .obs(ObsConfig { strict_volume: true, ..ObsConfig::disabled() })
+        .dist_fault(fault)
+        .checkpoint(CheckpointPolicy::every(1))
+        .build()
+        .unwrap_or_else(|e| panic!("{}: {e}", case.name));
+    let parts = session.evaluate(&case.store);
+    let xplan = derive_exchange(session.plan(), &parts, &schema, ranks).unwrap();
+    let dead_owned = xplan.owned_field_bytes(&schema, crash_rank);
+    // A recovery scheme with no migration bound would re-shard everything:
+    // the full owned footprint is the yardstick `bytes_migrated` beats.
+    let full_reshard: u64 = (0..ranks).map(|r| xplan.owned_field_bytes(&schema, r)).sum();
+
+    let mut par = case.store.clone();
+    let t0 = Instant::now();
+    let report = session
+        .run(&mut par)
+        .unwrap_or_else(|e| panic!("{} at {ranks} ranks survives the crash: {e}", case.name));
+    let fault_wall = t0.elapsed().as_nanos() as u64;
+    let rep = match report {
+        RunReport::Ranks(r) => r,
+        RunReport::Threads(_) => unreachable!("rank backend requested"),
+    };
+    assert_eq!(rep.recoveries, 1, "{}: exactly one recovery", case.name);
+    assert!(
+        rep.bytes_migrated <= dead_owned,
+        "{}: migrated {} B but the lost rank owned only {dead_owned} B",
+        case.name,
+        rep.bytes_migrated
+    );
+    assert!(rep.plan_proved > 0, "{}: the evacuated plan was not re-proved", case.name);
+    if cfg!(not(debug_assertions)) {
+        assert_eq!(
+            rep.legality_checks, 0,
+            "{}: release recovery ran per-element checks",
+            case.name
+        );
+    }
+    for f in 0..schema.num_fields() {
+        let fid = FieldId(f as u32);
+        if let FieldData::F64(sv) = seq.field_data(fid) {
+            let FieldData::F64(pv) = par.field_data(fid) else { unreachable!() };
+            assert_eq!(sv, pv, "{}: field {fid:?} diverged after recovery", case.name);
+        }
+    }
+    eprintln!(
+        "recovery: {} at {ranks} ranks: rank {crash_rank} died at epoch {crash_epoch}; \
+         recovered in {:.2} ms migrating {} B of {} B ({:.1}% of a full re-shard)",
+        case.name,
+        rep.recovery_ns as f64 / 1e6,
+        rep.bytes_migrated,
+        full_reshard,
+        rep.bytes_migrated as f64 / full_reshard as f64 * 100.0,
+    );
+
+    Json::object()
+        .with("name", case.name)
+        .with("ranks", ranks as u64)
+        .with("crash_rank", crash_rank as u64)
+        .with("crash_epoch", crash_epoch)
+        .with("recoveries", rep.recoveries)
+        .with("recovery_ns", rep.recovery_ns)
+        .with("bytes_migrated", rep.bytes_migrated)
+        .with("lost_rank_owned_bytes", dead_owned)
+        .with("full_reshard_bytes", full_reshard)
+        .with("migration_fraction", rep.bytes_migrated as f64 / full_reshard as f64)
+        .with("retransmits", rep.retransmits)
+        .with("duplicates", rep.duplicates)
+        .with("faulted_wall_ns", fault_wall)
+        .with("fault_free_wall_ns", base_wall)
+        .with("young_daly_interval_epochs", policy.interval_epochs)
+        .with("checkpoint_overhead_pct", overhead_pct)
+        .with("every_epoch_overhead_pct", every_pct)
+        .with("checkpoints", probe.checkpoints)
+        .with("checkpoint_bytes", probe.checkpoint_bytes)
+        .with("bit_identical", true)
+}
+
 fn main() {
     let args = BenchArgs::parse();
     let mut ranks = partir_obs::config::ranks_env();
@@ -368,14 +568,29 @@ fn main() {
         }
     }
 
+    let mut dist_recovery: Option<Json> = None;
+    if let Some(seed) = args.fault_seed {
+        // Crashes need survivors: at least 2 ranks, measured at the
+        // largest point of the sweep.
+        let r = ranks.iter().copied().max().unwrap_or(4).max(2);
+        let mut arr = Json::array();
+        for case in cases() {
+            arr = arr.push(run_fault_point(&case, r, seed));
+        }
+        dist_recovery = Some(arr);
+    }
+
     let mut ranks_json = Json::array();
     for &r in &ranks {
         ranks_json = ranks_json.push(r as u64);
     }
-    let payload = Json::object()
+    let mut payload = Json::object()
         .with("ranks", ranks_json)
         .with("host_parallelism", host_parallelism as u64)
         .with("apps", apps);
+    if let Some(rec) = dist_recovery {
+        payload = payload.with("fault_seed", args.fault_seed.unwrap()).with("dist_recovery", rec);
+    }
     args.emit("fig_dist", payload, || {
         println!("# Distributed backend: constraint-derived ghost exchange vs replication");
         println!("# (every point verified bit-identical to the sequential interpreter,");

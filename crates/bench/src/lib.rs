@@ -29,7 +29,14 @@ use std::path::PathBuf;
 ///   scaling-critical apps (honored by `fig_dist`; the CI perf gate);
 /// * `--max-ratio X` — the allowed `wall(max ranks) / wall(1 rank)` ratio
 ///   for `--assert-scaling` (overrides `PARTIR_SCALING_MAX_RATIO` and the
-///   parallelism-aware default).
+///   parallelism-aware default);
+/// * `--fault-seed N` — run the fault-tolerance measurement: inject a
+///   seeded rank crash (plus mild message loss and duplication) into every
+///   app at the largest rank count, verify survivor-side recovery, and
+///   emit a `dist_recovery` report section with recovery wall-clock,
+///   migrated bytes vs a full re-shard, and the fault-free checkpoint
+///   overhead at the Young/Daly interval, gated under
+///   `PARTIR_CKPT_OVERHEAD_MAX_PCT` (default 5%; honored by `fig_dist`).
 #[derive(Clone, Debug, Default)]
 pub struct BenchArgs {
     pub json: bool,
@@ -38,6 +45,7 @@ pub struct BenchArgs {
     pub check_obs_skew: bool,
     pub assert_scaling: bool,
     pub max_ratio: Option<f64>,
+    pub fault_seed: Option<u64>,
 }
 
 impl BenchArgs {
@@ -86,11 +94,21 @@ impl BenchArgs {
                     }
                     args.max_ratio = Some(ratio);
                 }
+                "--fault-seed" => {
+                    let v = it
+                        .next()
+                        .ok_or_else(|| "--fault-seed requires a number argument".to_string())?;
+                    let seed: u64 = v
+                        .trim()
+                        .parse()
+                        .map_err(|_| format!("--fault-seed: '{v}' is not an unsigned integer"))?;
+                    args.fault_seed = Some(seed);
+                }
                 other => {
                     return Err(format!(
                         "unknown argument '{other}' (expected --json [--out PATH] \
                          [--trace-out PATH] [--check-obs-skew] [--assert-scaling] \
-                         [--max-ratio X])"
+                         [--max-ratio X] [--fault-seed N])"
                     ));
                 }
             }
@@ -265,6 +283,17 @@ mod tests {
         assert!(err.contains("not a number"), "{err}");
         let err = BenchArgs::parse_from(argv(&["--max-ratio", "-2"])).unwrap_err();
         assert!(err.contains("positive"), "{err}");
+    }
+
+    #[test]
+    fn parse_from_accepts_fault_seed() {
+        let a = BenchArgs::parse_from(argv(&["--fault-seed", "42"])).unwrap();
+        assert_eq!(a.fault_seed, Some(42));
+        assert!(!a.json, "--fault-seed alone does not imply --json");
+        let err = BenchArgs::parse_from(argv(&["--fault-seed"])).unwrap_err();
+        assert!(err.contains("requires a number"), "{err}");
+        let err = BenchArgs::parse_from(argv(&["--fault-seed", "-3"])).unwrap_err();
+        assert!(err.contains("not an unsigned integer"), "{err}");
     }
 
     #[test]

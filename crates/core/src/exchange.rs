@@ -121,8 +121,13 @@ impl ExchangeStats {
 pub struct ExchangePlan {
     pub n_ranks: usize,
     pub n_colors: usize,
-    /// Color block `[start, end)` of each rank.
-    color_ranges: Vec<(usize, usize)>,
+    /// Owning rank of each color. The default derivation blocks colors
+    /// contiguously; recovery re-derivations may assign arbitrarily (a
+    /// rank may own no colors at all — e.g. one that crashed and was
+    /// evacuated).
+    color_owner: Vec<usize>,
+    /// Colors of each rank, ascending; inverse of `color_owner`.
+    rank_colors: Vec<Vec<usize>>,
     /// `owned[region][rank]`: disjoint + complete per region.
     owned: Vec<Vec<IndexSet>>,
     /// `ghosts[region][rank]`: elements replicated from other owners.
@@ -158,9 +163,17 @@ impl ExchangePlan {
     /// partitions are exact images of the iteration sets, so the color's
     /// buffer always allocates.
     pub fn predicted_pair_volume(&self) -> Vec<Vec<PairVolume>> {
+        self.predicted_pair_volume_from(0)
+    }
+
+    /// [`predicted_pair_volume`](Self::predicted_pair_volume) restricted to
+    /// the loops `first_loop..` — the prediction for a run resumed from a
+    /// checkpoint at epoch `first_loop` (the epochs before it never execute
+    /// on the recovered topology, so they must not be charged).
+    pub fn predicted_pair_volume_from(&self, first_loop: usize) -> Vec<Vec<PairVolume>> {
         let n = self.n_ranks;
         let mut vol = vec![vec![PairVolume::default(); n]; n];
-        for lx in &self.loops {
+        for lx in &self.loops[first_loop.min(self.loops.len())..] {
             for (src, row) in vol.iter_mut().enumerate() {
                 for (dst, cell) in row.iter_mut().enumerate() {
                     if src == dst {
@@ -177,7 +190,7 @@ impl ExchangePlan {
                     let mut bytes: u64 = wb.iter().map(|(_, s)| s.len() * 8).sum();
                     let mut any_slice = false;
                     for route in &lx.routes {
-                        for c in self.colors_of(src) {
+                        for &c in self.colors_of(src) {
                             if let Some((_, set)) =
                                 route.by_color[c].iter().find(|(d, _)| *d == dst)
                             {
@@ -209,15 +222,32 @@ impl ExchangePlan {
         &self.locals[region.0 as usize][rank]
     }
 
-    /// The rank executing color `c` under the block owner mapping.
+    /// The rank executing color `c` under the owner mapping.
     pub fn rank_of_color(&self, c: usize) -> usize {
-        self.color_ranges.partition_point(|&(start, _)| start <= c) - 1
+        self.color_owner[c]
     }
 
-    /// Colors assigned to `rank`, as a contiguous block.
-    pub fn colors_of(&self, rank: usize) -> std::ops::Range<usize> {
-        let (s, e) = self.color_ranges[rank];
-        s..e
+    /// Colors assigned to `rank`, ascending.
+    pub fn colors_of(&self, rank: usize) -> &[usize] {
+        &self.rank_colors[rank]
+    }
+
+    /// The color → rank owner assignment, indexed by color.
+    pub fn owner_assignment(&self) -> &[usize] {
+        &self.color_owner
+    }
+
+    /// Bytes of f64 field data `rank` owns — the size of its checkpointed
+    /// shard, and the upper bound on what recovery may migrate when this
+    /// rank is lost (the minimal-migration criterion).
+    pub fn owned_field_bytes(&self, schema: &Schema, rank: usize) -> u64 {
+        (0..schema.num_fields())
+            .filter_map(|fi| {
+                let f = schema.field(FieldId(fi as u32));
+                matches!(f.kind, FieldKind::F64)
+                    .then(|| self.owned[f.region.0 as usize][rank].len() * 8)
+            })
+            .sum()
     }
 
     /// Deliberately removes one ghost element from the first non-empty
@@ -367,6 +397,9 @@ pub enum ExchangeError {
     NoRanks,
     /// Partitions disagree on the launch width (subregion counts differ).
     WidthMismatch { part: usize, expected: usize, got: usize },
+    /// An explicit owner assignment does not cover the color space, or
+    /// names a rank outside `0..n_ranks`.
+    BadAssignment { colors: usize, got: usize, n_ranks: usize, bad_rank: Option<usize> },
 }
 
 impl fmt::Display for ExchangeError {
@@ -376,20 +409,81 @@ impl fmt::Display for ExchangeError {
             ExchangeError::WidthMismatch { part, expected, got } => {
                 write!(f, "partition {part} has {got} subregions, launch width is {expected}")
             }
+            ExchangeError::BadAssignment { colors, got, n_ranks, bad_rank } => match bad_rank {
+                Some(r) => write!(f, "owner assignment names rank {r}, rank count is {n_ranks}"),
+                None => write!(f, "owner assignment covers {got} colors, expected {colors}"),
+            },
         }
     }
 }
 
 impl std::error::Error for ExchangeError {}
 
+/// The default block owner mapping: colors assigned to ranks in contiguous
+/// equal-as-possible blocks, `color_owner[c] = rank`.
+pub fn block_assignment(n_colors: usize, n_ranks: usize) -> Vec<usize> {
+    let mut owner = vec![0usize; n_colors];
+    for r in 0..n_ranks {
+        let (s, e) = (r * n_colors / n_ranks, (r + 1) * n_colors / n_ranks);
+        for o in &mut owner[s..e] {
+            *o = r;
+        }
+    }
+    owner
+}
+
+/// Survivor-side owner assignment after losing `dead`: every surviving
+/// rank keeps exactly the colors it had, and the dead rank's colors are
+/// dealt round-robin across the survivors in ascending rank order. Because
+/// survivors keep their colors, re-deriving the exchange moves only the
+/// dead rank's owned shard — the minimal migration set (`needed − owned`
+/// of the new topology is nonzero only where the dead rank's data must
+/// land). The dead rank stays in the rank space but owns nothing.
+pub fn evacuate_assignment(owner: &[usize], dead: usize, n_ranks: usize) -> Vec<usize> {
+    let survivors: Vec<usize> = (0..n_ranks).filter(|&r| r != dead).collect();
+    assert!(!survivors.is_empty(), "cannot evacuate the last rank");
+    let mut next = 0usize;
+    owner
+        .iter()
+        .map(|&r| {
+            if r == dead {
+                let s = survivors[next % survivors.len()];
+                next += 1;
+                s
+            } else {
+                r
+            }
+        })
+        .collect()
+}
+
 /// Derives the full exchange structure for `n_ranks` ranks from a plan and
-/// its evaluated partitions. Pure set algebra over the solver's output; no
-/// field values are read.
+/// its evaluated partitions under the default block owner mapping. Pure
+/// set algebra over the solver's output; no field values are read.
 pub fn derive_exchange(
     plan: &ParallelPlan,
     parts: &[Arc<Partition>],
     schema: &Schema,
     n_ranks: usize,
+) -> Result<ExchangePlan, ExchangeError> {
+    let n_colors = parts.first().map(|p| p.num_subregions()).unwrap_or(0);
+    if n_ranks == 0 {
+        return Err(ExchangeError::NoRanks);
+    }
+    derive_exchange_with(plan, parts, schema, n_ranks, &block_assignment(n_colors, n_ranks))
+}
+
+/// [`derive_exchange`] under an explicit color → rank owner assignment
+/// (`assignment[color] = rank`). Used by recovery to rebuild the exchange
+/// for the post-crash topology, where the lost rank's colors have been
+/// redistributed to survivors (see [`evacuate_assignment`]); a rank may
+/// own no colors, in which case it sources and sinks no traffic.
+pub fn derive_exchange_with(
+    plan: &ParallelPlan,
+    parts: &[Arc<Partition>],
+    schema: &Schema,
+    n_ranks: usize,
+    assignment: &[usize],
 ) -> Result<ExchangePlan, ExchangeError> {
     if n_ranks == 0 {
         return Err(ExchangeError::NoRanks);
@@ -404,16 +498,34 @@ pub fn derive_exchange(
             });
         }
     }
+    if assignment.len() != n_colors {
+        return Err(ExchangeError::BadAssignment {
+            colors: n_colors,
+            got: assignment.len(),
+            n_ranks,
+            bad_rank: None,
+        });
+    }
+    if let Some(&bad) = assignment.iter().find(|&&r| r >= n_ranks) {
+        return Err(ExchangeError::BadAssignment {
+            colors: n_colors,
+            got: assignment.len(),
+            n_ranks,
+            bad_rank: Some(bad),
+        });
+    }
     let sp = partir_obs::span_with(
         "exchange.derive",
         vec![("ranks", n_ranks.into()), ("colors", n_colors.into())],
     );
 
-    // Block owner mapping of colors to ranks.
-    let color_ranges: Vec<(usize, usize)> =
-        (0..n_ranks).map(|r| (r * n_colors / n_ranks, (r + 1) * n_colors / n_ranks)).collect();
-    let rank_of_color =
-        |c: usize| -> usize { color_ranges.partition_point(|&(start, _)| start <= c) - 1 };
+    // Owner mapping of colors to ranks, and its inverse.
+    let color_owner: Vec<usize> = assignment.to_vec();
+    let mut rank_colors: Vec<Vec<usize>> = vec![Vec::new(); n_ranks];
+    for (c, &r) in color_owner.iter().enumerate() {
+        rank_colors[r].push(c);
+    }
+    let rank_of_color = |c: usize| -> usize { color_owner[c] };
 
     // ---- Owner partitions per region. ----
     let n_regions = schema.num_regions();
@@ -435,15 +547,16 @@ pub fn derive_exchange(
         })
         .collect();
 
-    // owned[region][rank] = union of the owner partition over the block.
+    // owned[region][rank] = union of the owner partition over the rank's
+    // colors.
     let owned: Vec<Vec<IndexSet>> = owner_parts
         .iter()
         .map(|op| {
-            color_ranges
+            rank_colors
                 .iter()
-                .map(|&(s, e)| {
+                .map(|colors| {
                     let mut acc = IndexSet::new();
-                    for c in s..e.min(op.num_subregions()) {
+                    for &c in colors.iter().filter(|&&c| c < op.num_subregions()) {
                         acc = acc.union(op.subregion(c));
                     }
                     acc
@@ -507,9 +620,9 @@ pub fn derive_exchange(
             );
             if !buffered {
                 let ni = slot(&mut needed, ap.field);
-                for (rank, range) in color_ranges.iter().enumerate() {
+                for (rank, colors) in rank_colors.iter().enumerate() {
                     let mut acc = needed[ni].1[rank].clone();
-                    for c in range.0..range.1 {
+                    for &c in colors {
                         acc = acc.union(part.subregion(c));
                     }
                     needed[ni].1[rank] = acc;
@@ -526,9 +639,9 @@ pub fn derive_exchange(
             );
             if is_in_place {
                 let mi = slot(&mut mutated, ap.field);
-                for (rank, range) in color_ranges.iter().enumerate() {
+                for (rank, colors) in rank_colors.iter().enumerate() {
                     let mut acc = mutated[mi].1[rank].clone();
-                    for c in range.0..range.1 {
+                    for &c in colors {
                         let set = match (&ap.kind, &ap.reduce) {
                             (AccessKind::Write, _) => match &write_own {
                                 Some(own) => &own[c],
@@ -549,10 +662,10 @@ pub fn derive_exchange(
                     let ppart = &parts[private.0 as usize];
                     let ni = slot(&mut needed, ap.field);
                     let mi = slot(&mut mutated, ap.field);
-                    for (rank, range) in color_ranges.iter().enumerate() {
+                    for (rank, colors) in rank_colors.iter().enumerate() {
                         let mut nacc = needed[ni].1[rank].clone();
                         let mut macc = mutated[mi].1[rank].clone();
-                        for c in range.0..range.1 {
+                        for &c in colors {
                             nacc = nacc.union(ppart.subregion(c));
                             macc = macc.union(ppart.subregion(c));
                         }
@@ -585,8 +698,8 @@ pub fn derive_exchange(
         // (the owners of their foreign touches), so the runtime can run
         // each one as soon as those specific messages are installed.
         let mut boundary_deps: Vec<Vec<Vec<usize>>> = vec![Vec::new(); n_ranks];
-        for (rank, range) in color_ranges.iter().enumerate() {
-            for c in range.0..range.1 {
+        for (rank, colors) in rank_colors.iter().enumerate() {
+            for &c in colors {
                 let mut deps: Vec<usize> = Vec::new();
                 for ap in &lp.accesses {
                     if !is_f64(ap.field) {
@@ -720,7 +833,8 @@ pub fn derive_exchange(
     Ok(ExchangePlan {
         n_ranks,
         n_colors,
-        color_ranges,
+        color_owner,
+        rank_colors,
         owned,
         ghosts: ghost_acc,
         locals,
@@ -846,11 +960,104 @@ mod tests {
             assert!(p.is_complete(schema.region_size(region)));
         }
         // Colors 0..6 block onto ranks 0..3 two apiece.
-        assert_eq!(x.colors_of(0), 0..2);
-        assert_eq!(x.colors_of(2), 4..6);
+        assert_eq!(x.colors_of(0), &[0, 1]);
+        assert_eq!(x.colors_of(2), &[4, 5]);
         for c in 0..6 {
             assert_eq!(x.rank_of_color(c), c / 2);
         }
+        assert_eq!(x.owner_assignment(), &[0, 0, 1, 1, 2, 2]);
+    }
+
+    #[test]
+    fn evacuated_assignment_moves_only_the_dead_ranks_colors() {
+        let owner = block_assignment(8, 4);
+        assert_eq!(owner, &[0, 0, 1, 1, 2, 2, 3, 3]);
+        let after = evacuate_assignment(&owner, 1, 4);
+        // Survivors keep their colors; rank 1's two colors deal out
+        // round-robin over the survivors [0, 2, 3].
+        assert_eq!(after, &[0, 0, 0, 2, 2, 2, 3, 3]);
+        assert!(!after.contains(&1), "the dead rank owns nothing");
+        for (c, (&b, &a)) in owner.iter().zip(&after).enumerate() {
+            if b != 1 {
+                assert_eq!(b, a, "survivor color {c} moved");
+            }
+        }
+    }
+
+    #[test]
+    fn evacuated_exchange_is_still_disjoint_complete_and_legal() {
+        let (program, fns, schema) = stencil_1d(40);
+        let plan =
+            auto_parallelize(&program, &fns, &schema, &Hints::new(), Options::default()).unwrap();
+        let store = Store::new(schema.clone());
+        let parts = plan.evaluate(&store, &fns, 4, &ExtBindings::new());
+        let x = derive_exchange(&plan, &parts, &schema, 4).unwrap();
+        let after = evacuate_assignment(x.owner_assignment(), 2, 4);
+        let y = derive_exchange_with(&plan, &parts, &schema, 4, &after).unwrap();
+        let r = schema.region_by_name("R").unwrap();
+        assert!(y.owned(r, 2).is_empty(), "the evacuated rank owns nothing");
+        assert!(y.colors_of(2).is_empty());
+        // The owner map stays a disjoint + complete partition of the region
+        // and the rebuilt plan still proves legal.
+        let subs: Vec<IndexSet> = (0..4).map(|rk| y.owned(r, rk).clone()).collect();
+        let p = Partition::new(r, subs);
+        assert!(p.is_disjoint());
+        assert!(p.is_complete(schema.region_size(r)));
+        prove_plan_legality(&y, &plan, &parts, &schema).unwrap();
+        // A rank that owns nothing sources and sinks no traffic.
+        let vol = y.predicted_pair_volume();
+        for (rk, row) in vol.iter().enumerate() {
+            assert_eq!(vol[2][rk], PairVolume::default(), "dead rank sends to {rk}");
+            assert_eq!(row[2], PairVolume::default(), "dead rank receives from {rk}");
+        }
+        // Survivors' owned sets are unchanged — migration is bounded by
+        // the dead rank's shard, not a full re-shard.
+        for rk in [0usize, 1, 3] {
+            assert!(
+                x.owned(r, rk).is_subset(y.owned(r, rk)),
+                "rank {rk} kept its shard and gained only evacuated colors"
+            );
+        }
+        assert!(
+            y.owned_field_bytes(&schema, 2) == 0 && x.owned_field_bytes(&schema, 2) > 0,
+            "owned-bytes accounting follows the assignment"
+        );
+    }
+
+    #[test]
+    fn bad_assignments_are_rejected() {
+        let (program, fns, schema) = stencil_1d(16);
+        let plan =
+            auto_parallelize(&program, &fns, &schema, &Hints::new(), Options::default()).unwrap();
+        let store = Store::new(schema.clone());
+        let parts = plan.evaluate(&store, &fns, 4, &ExtBindings::new());
+        let short = vec![0usize; 3];
+        assert!(matches!(
+            derive_exchange_with(&plan, &parts, &schema, 4, &short),
+            Err(ExchangeError::BadAssignment { bad_rank: None, .. })
+        ));
+        let oob = vec![7usize; 4];
+        assert!(matches!(
+            derive_exchange_with(&plan, &parts, &schema, 4, &oob),
+            Err(ExchangeError::BadAssignment { bad_rank: Some(7), .. })
+        ));
+    }
+
+    #[test]
+    fn pair_volume_from_epoch_drops_completed_loops() {
+        let (mut program, fns, schema) = stencil_1d(40);
+        // Two identical epochs: predicting from epoch 1 halves the volume.
+        program.push(program[0].clone());
+        let plan =
+            auto_parallelize(&program, &fns, &schema, &Hints::new(), Options::default()).unwrap();
+        let store = Store::new(schema.clone());
+        let parts = plan.evaluate(&store, &fns, 4, &ExtBindings::new());
+        let x = derive_exchange(&plan, &parts, &schema, 4).unwrap();
+        let full: u64 = x.predicted_pair_volume().iter().flatten().map(|v| v.bytes).sum();
+        let tail: u64 = x.predicted_pair_volume_from(1).iter().flatten().map(|v| v.bytes).sum();
+        assert_eq!(tail * 2, full);
+        let none: u64 = x.predicted_pair_volume_from(99).iter().flatten().map(|v| v.bytes).sum();
+        assert_eq!(none, 0);
     }
 
     #[test]

@@ -18,7 +18,8 @@ pub mod unify;
 pub mod prelude {
     pub use crate::eval::{Evaluator, ExtBindings};
     pub use crate::exchange::{
-        derive_exchange, BufferRoute, ExchangeError, ExchangePlan, ExchangeStats, LoopExchange,
+        block_assignment, derive_exchange, derive_exchange_with, evacuate_assignment, BufferRoute,
+        ExchangeError, ExchangePlan, ExchangeStats, LoopExchange,
     };
     pub use crate::infer::{infer, Inference, InferredLoop};
     pub use crate::lang::{ExtId, ExternalDecl, FnRef, PExpr, PSym, Pred, Subset, System};

@@ -17,6 +17,13 @@
 //! | `PARTIR_FAULT_POISON_AFTER` | ordinal after which kills poison | [`fault_env`] |
 //! | `PARTIR_RANKS` | comma-separated rank counts for test matrices | [`ranks_env`] |
 //! | `PARTIR_SCALING_MAX_RATIO` | allowed `wall(max ranks)/wall(1)` for the `fig_dist --assert-scaling` gate | [`scaling_max_ratio_env`] |
+//! | `PARTIR_DIST_FAULT_SEED` | rank-backend fault-injection seed | [`dist_fault_env`] |
+//! | `PARTIR_DIST_FAULT_DROP_RATE` | per-message drop probability (default 0.0) | [`dist_fault_env`] |
+//! | `PARTIR_DIST_FAULT_DUP_RATE` | per-message duplication probability (default 0.0) | [`dist_fault_env`] |
+//! | `PARTIR_DIST_FAULT_CRASH_RANK` | rank to crash (with `…_CRASH_EPOCH`) | [`dist_fault_env`] |
+//! | `PARTIR_DIST_FAULT_CRASH_EPOCH` | epoch at which the rank crashes | [`dist_fault_env`] |
+//! | `PARTIR_DIST_FAULT_CRASH_SILENT` | crash without notifying peers (detection by deadline) | [`dist_fault_env`] |
+//! | `PARTIR_DIST_CHECKPOINT_INTERVAL` | epochs between owned-shard checkpoints on the rank backend | [`dist_checkpoint_interval_env`] |
 //!
 //! Direct env sniffing elsewhere in the workspace is deprecated; new code
 //! should take these structs through the builder.
@@ -115,6 +122,54 @@ pub fn ranks_env() -> Vec<usize> {
     std::env::var("PARTIR_RANKS")
         .map(|v| v.split(',').filter_map(|p| p.trim().parse().ok()).filter(|&n| n > 0).collect())
         .unwrap_or_default()
+}
+
+/// Rank-backend fault-injection defaults from the environment
+/// (`PARTIR_DIST_FAULT_*`). The runtime's `DistFaultPlan` consumes this;
+/// obs stays runtime-agnostic.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DistFaultEnv {
+    pub seed: u64,
+    /// Per-message drop probability in `[0, 1]`.
+    pub drop_rate: f64,
+    /// Per-message duplication probability in `[0, 1]`.
+    pub dup_rate: f64,
+    /// `(rank, epoch, silent)`: crash `rank` at the top of `epoch`;
+    /// `silent` crashes send no notice and are detected by deadline.
+    pub crash: Option<(usize, u64, bool)>,
+}
+
+/// Parses `PARTIR_DIST_FAULT_SEED` / `…_DROP_RATE` / `…_DUP_RATE` /
+/// `…_CRASH_RANK` / `…_CRASH_EPOCH` / `…_CRASH_SILENT`. `None` when the
+/// seed is unset or unparsable; both rates default to `0.0`, and the crash
+/// requires both rank and epoch.
+pub fn dist_fault_env() -> Option<DistFaultEnv> {
+    let seed: u64 = std::env::var("PARTIR_DIST_FAULT_SEED").ok()?.trim().parse().ok()?;
+    let rate = |name: &str| -> f64 {
+        std::env::var(name).ok().and_then(|v| v.trim().parse().ok()).unwrap_or(0.0)
+    };
+    let crash_rank: Option<usize> =
+        std::env::var("PARTIR_DIST_FAULT_CRASH_RANK").ok().and_then(|v| v.trim().parse().ok());
+    let crash_epoch: Option<u64> =
+        std::env::var("PARTIR_DIST_FAULT_CRASH_EPOCH").ok().and_then(|v| v.trim().parse().ok());
+    let crash = match (crash_rank, crash_epoch) {
+        (Some(r), Some(e)) => Some((r, e, env_flag("PARTIR_DIST_FAULT_CRASH_SILENT"))),
+        _ => None,
+    };
+    Some(DistFaultEnv {
+        seed,
+        drop_rate: rate("PARTIR_DIST_FAULT_DROP_RATE"),
+        dup_rate: rate("PARTIR_DIST_FAULT_DUP_RATE"),
+        crash,
+    })
+}
+
+/// Parses `PARTIR_DIST_CHECKPOINT_INTERVAL` — epochs between owned-shard
+/// checkpoints on the rank backend. `None` when unset, unparsable, or
+/// zero (checkpointing off).
+pub fn dist_checkpoint_interval_env() -> Option<u64> {
+    let n: u64 = std::env::var("PARTIR_DIST_CHECKPOINT_INTERVAL").ok()?.trim().parse().ok()?;
+    (n > 0).then_some(n)
 }
 
 /// Parses `PARTIR_SCALING_MAX_RATIO` — the allowed

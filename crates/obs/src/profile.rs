@@ -8,10 +8,10 @@
 //! once, not twice. The **critical rank** is the one that finishes last, and
 //! the wall-clock is attributed to the categories of
 //! [`SpanKind::category`](crate::trace::SpanKind::category) —
-//! `compute`, `exchange_wait`, `pack_unpack`, `legality` — by summing the
+//! `compute`, `exchange_wait`, `pack_unpack`, `legality`, `recovery` — by summing the
 //! critical rank's spans. Whatever the critical rank's spans do not cover
 //! (start skew while it waits for the epoch to begin, plus uninstrumented
-//! glue) is charged to `barrier_skew`, so the five categories sum to the
+//! glue) is charged to `barrier_skew`, so the six categories sum to the
 //! wall-clock exactly and coverage is 100% by construction.
 
 use crate::json::Json;
@@ -30,6 +30,9 @@ pub struct EpochProfile {
     pub exchange_wait_ns: u64,
     pub pack_unpack_ns: u64,
     pub legality_ns: u64,
+    /// Checkpoint snapshots plus survivor-side recovery work (owner
+    /// remap, exchange re-derivation, restore, migration).
+    pub recovery_ns: u64,
     /// Residual: wall-clock the critical rank's spans do not cover —
     /// dominated by waiting for slower peers of the *previous* epoch and
     /// by start skew.
@@ -43,6 +46,7 @@ impl EpochProfile {
             + self.exchange_wait_ns
             + self.pack_unpack_ns
             + self.legality_ns
+            + self.recovery_ns
             + self.barrier_skew_ns
     }
 
@@ -51,6 +55,7 @@ impl EpochProfile {
             "compute" => self.compute_ns += dur_ns,
             "exchange_wait" => self.exchange_wait_ns += dur_ns,
             "pack_unpack" => self.pack_unpack_ns += dur_ns,
+            "recovery" => self.recovery_ns += dur_ns,
             _ => self.legality_ns += dur_ns,
         }
     }
@@ -64,6 +69,7 @@ impl EpochProfile {
             .with("exchange_wait_ns", self.exchange_wait_ns)
             .with("pack_unpack_ns", self.pack_unpack_ns)
             .with("legality_ns", self.legality_ns)
+            .with("recovery_ns", self.recovery_ns)
             .with("barrier_skew_ns", self.barrier_skew_ns)
     }
 }
@@ -136,7 +142,11 @@ impl DistProfile {
                 prof.add(s.kind, s_end.saturating_sub(s_start));
             }
             prof.barrier_skew_ns = prof.wall_ns.saturating_sub(
-                prof.compute_ns + prof.exchange_wait_ns + prof.pack_unpack_ns + prof.legality_ns,
+                prof.compute_ns
+                    + prof.exchange_wait_ns
+                    + prof.pack_unpack_ns
+                    + prof.legality_ns
+                    + prof.recovery_ns,
             );
             epochs.push(prof);
         }
@@ -152,6 +162,7 @@ impl DistProfile {
             t.exchange_wait_ns += e.exchange_wait_ns;
             t.pack_unpack_ns += e.pack_unpack_ns;
             t.legality_ns += e.legality_ns;
+            t.recovery_ns += e.recovery_ns;
             t.barrier_skew_ns += e.barrier_skew_ns;
         }
         t
@@ -177,6 +188,7 @@ impl DistProfile {
             .with("exchange_wait_ns", t.exchange_wait_ns)
             .with("pack_unpack_ns", t.pack_unpack_ns)
             .with("legality_ns", t.legality_ns)
+            .with("recovery_ns", t.recovery_ns)
             .with("barrier_skew_ns", t.barrier_skew_ns)
             .with("coverage", self.coverage());
         Json::object()
@@ -205,6 +217,7 @@ mod tests {
                 span(1, 0, 0, SpanKind::RecvWait, 20, 30),
                 span(1, 0, 1, SpanKind::HaloCompute, 50, 60),
             ],
+            ..Trace::default()
         };
         let prof = DistProfile::from_trace(&trace);
         assert_eq!(prof.epochs.len(), 1);
@@ -234,6 +247,7 @@ mod tests {
                 span(0, 1, 0, SpanKind::InteriorCompute, 10, 5),
                 span(1, 1, 0, SpanKind::InteriorCompute, 100, 5),
             ],
+            ..Trace::default()
         };
         let prof = DistProfile::from_trace(&trace);
         assert_eq!(prof.epochs.len(), 2);
@@ -246,6 +260,25 @@ mod tests {
     }
 
     #[test]
+    fn recovery_spans_get_their_own_category() {
+        let trace = Trace {
+            n_ranks: 1,
+            spans: vec![
+                span(0, 0, 0, SpanKind::Recovery, 0, 30),
+                span(0, 0, 1, SpanKind::Checkpoint, 30, 10),
+                span(0, 0, 2, SpanKind::InteriorCompute, 40, 60),
+            ],
+            ..Trace::default()
+        };
+        let prof = DistProfile::from_trace(&trace);
+        let e = prof.epochs[0];
+        assert_eq!(e.recovery_ns, 40, "recovery + checkpoint bill the recovery bucket");
+        assert_eq!(e.compute_ns, 60);
+        assert_eq!(e.legality_ns, 0, "recovery no longer leaks into legality");
+        assert_eq!(e.attributed_ns(), e.wall_ns);
+    }
+
+    #[test]
     fn totals_sum_over_epochs() {
         let trace = Trace {
             n_ranks: 1,
@@ -254,6 +287,7 @@ mod tests {
                 span(0, 0, 1, SpanKind::InteriorCompute, 10, 40),
                 span(0, 1, 0, SpanKind::Merge, 60, 25),
             ],
+            ..Trace::default()
         };
         let prof = DistProfile::from_trace(&trace);
         assert_eq!(prof.epochs.len(), 2);

@@ -61,6 +61,7 @@ pub const ERROR_CODES: &[&str] = &[
     "solve.unsatisfiable",
     "exchange.no_ranks",
     "exchange.width_mismatch",
+    "exchange.bad_assignment",
     // threaded executor
     "exec.plan_mismatch",
     "exec.partition_index_out_of_bounds",
@@ -88,6 +89,7 @@ pub const ERROR_CODES: &[&str] = &[
     "dist.aborted",
     "dist.internal",
     "dist.volume_mismatch",
+    "dist.rank_lost",
     // machine-model simulator
     "sim.missing_region_size",
     "sim.home_width_mismatch",

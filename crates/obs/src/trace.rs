@@ -41,6 +41,11 @@ pub enum SpanKind {
     Merge,
     /// An explicit legality/validation pass.
     Legality,
+    /// Snapshotting the rank's owned shard into the checkpoint store.
+    Checkpoint,
+    /// Survivor-side recovery after a rank loss: owner remap, exchange
+    /// re-derivation, checkpoint restore, and shard migration.
+    Recovery,
 }
 
 impl SpanKind {
@@ -55,6 +60,8 @@ impl SpanKind {
             SpanKind::HaloCompute => "halo_compute",
             SpanKind::Merge => "merge",
             SpanKind::Legality => "legality",
+            SpanKind::Checkpoint => "checkpoint",
+            SpanKind::Recovery => "recovery",
         }
     }
 
@@ -66,6 +73,7 @@ impl SpanKind {
             SpanKind::RecvWait => "exchange_wait",
             SpanKind::InteriorCompute | SpanKind::HaloCompute | SpanKind::Merge => "compute",
             SpanKind::Legality => "legality",
+            SpanKind::Checkpoint | SpanKind::Recovery => "recovery",
         }
     }
 }
@@ -148,6 +156,14 @@ impl RankTracer {
 #[derive(Clone, Debug, Default)]
 pub struct Trace {
     pub n_ranks: usize,
+    /// First epoch this trace covers. 0 for an ordinary run; after a
+    /// checkpoint-restore recovery the surviving ranks resume at the
+    /// epoch following the restored checkpoint, and earlier epochs are
+    /// legitimately absent.
+    pub first_epoch: usize,
+    /// Ranks lost to an injected (or real) crash: they record no spans
+    /// and the validator exempts them from coverage.
+    pub lost_ranks: Vec<usize>,
     /// All spans, ordered `(rank, epoch, seq)`.
     pub spans: Vec<TraceSpan>,
 }
@@ -158,7 +174,7 @@ impl Trace {
         let mut spans: Vec<TraceSpan> =
             tracers.into_iter().flat_map(RankTracer::into_spans).collect();
         spans.sort_by_key(|s| (s.rank, s.epoch, s.seq));
-        Trace { n_ranks, spans }
+        Trace { n_ranks, spans, ..Trace::default() }
     }
 
     /// Number of epochs (loops) the trace covers.
@@ -178,11 +194,17 @@ impl Trace {
     /// * per rank, spans are recorded in non-decreasing epoch order and
     ///   timestamps never run backwards within an epoch;
     /// * every rank that recorded anything has spans for *every* epoch of
-    ///   the trace (the runtime records compute/merge spans
-    ///   unconditionally, so a missing epoch means lost instrumentation).
+    ///   the trace from [`Trace::first_epoch`] on (the runtime records
+    ///   compute/merge spans unconditionally, so a missing epoch means
+    ///   lost instrumentation) — except ranks in [`Trace::lost_ranks`],
+    ///   which crashed and legitimately record nothing.
     pub fn validate(&self) -> Result<(), String> {
         let n_epochs = self.n_epochs();
+        let covered = n_epochs.saturating_sub(self.first_epoch);
         for rank in 0..self.n_ranks {
+            if self.lost_ranks.contains(&rank) {
+                continue;
+            }
             let spans: Vec<&TraceSpan> = self.rank_spans(rank).collect();
             if spans.is_empty() {
                 if self.spans.is_empty() {
@@ -190,7 +212,7 @@ impl Trace {
                 }
                 return Err(format!("rank {rank} recorded no spans"));
             }
-            let mut cur_epoch = 0u32;
+            let mut cur_epoch = self.first_epoch as u32;
             let mut next_seq = 0u32;
             let mut last_ts = 0u64;
             let mut epochs_seen = 0usize;
@@ -229,8 +251,8 @@ impl Trace {
                 }
                 last_ts = s.ts_ns;
             }
-            if epochs_seen != n_epochs {
-                return Err(format!("rank {rank} covered {epochs_seen} of {n_epochs} epochs"));
+            if epochs_seen != covered {
+                return Err(format!("rank {rank} covered {epochs_seen} of {covered} epochs"));
             }
         }
         Ok(())
@@ -337,23 +359,59 @@ mod tests {
                 span(1, 0, 0, 1, 4),
                 span(1, 1, 0, 9, 3),
             ],
+            ..Trace::default()
         };
         good.validate().expect("well-formed trace");
         assert_eq!(good.n_epochs(), 2);
 
-        let gap = Trace { n_ranks: 1, spans: vec![span(0, 0, 0, 0, 5), span(0, 0, 2, 5, 5)] };
+        let gap = Trace {
+            n_ranks: 1,
+            spans: vec![span(0, 0, 0, 0, 5), span(0, 0, 2, 5, 5)],
+            ..Trace::default()
+        };
         assert!(gap.validate().unwrap_err().contains("gap"));
 
         let missing_epoch = Trace {
             n_ranks: 2,
             spans: vec![span(0, 0, 0, 0, 5), span(0, 1, 0, 5, 5), span(1, 0, 0, 0, 5)],
+            ..Trace::default()
         };
         assert!(missing_epoch.validate().unwrap_err().contains("epochs"));
     }
 
     #[test]
+    fn validate_understands_recovered_traces() {
+        // A post-recovery trace: rank 1 crashed and records nothing, the
+        // survivors resume at epoch 2 of a 4-epoch program.
+        let recovered = Trace {
+            n_ranks: 3,
+            first_epoch: 2,
+            lost_ranks: vec![1],
+            spans: vec![
+                span(0, 2, 0, 0, 5),
+                span(0, 3, 0, 10, 5),
+                span(2, 2, 0, 1, 4),
+                span(2, 3, 0, 9, 3),
+            ],
+        };
+        recovered.validate().expect("recovered trace is well-formed");
+        assert_eq!(recovered.n_epochs(), 4);
+
+        // Without the lost-rank exemption the same spans fail validation.
+        let strict = Trace { lost_ranks: vec![], ..recovered.clone() };
+        assert!(strict.validate().unwrap_err().contains("no spans"));
+
+        // A survivor missing its final resumed epoch is still caught.
+        let short = Trace {
+            spans: vec![span(0, 2, 0, 0, 5), span(0, 3, 0, 10, 5), span(2, 2, 0, 1, 4)],
+            ..recovered
+        };
+        assert!(short.validate().unwrap_err().contains("covered 1 of 2"));
+    }
+
+    #[test]
     fn chrome_export_shape() {
-        let t = Trace { n_ranks: 1, spans: vec![span(0, 0, 0, 1000, 2000)] };
+        let t = Trace { n_ranks: 1, spans: vec![span(0, 0, 0, 1000, 2000)], ..Trace::default() };
         let doc = t.to_chrome_trace("test");
         let events = doc.get("traceEvents").and_then(Json::as_array).unwrap();
         // process_name + thread_name + one X event.

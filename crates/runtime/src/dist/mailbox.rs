@@ -8,10 +8,11 @@
 //! against a shared abort flag so one failing rank cannot deadlock the
 //! rest of the fleet.
 
+use std::collections::HashSet;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// What a message carries.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -21,12 +22,26 @@ pub enum MsgKind {
     /// Post-loop traffic: in-place write-backs plus partial-reduction
     /// buffer slices, coalesced into one message per `(src, dst)` pair.
     Post,
+    /// A crash notice: the sender is dying at the start of `epoch` and
+    /// will produce no further traffic (the loud-crash detection path).
+    Crash,
+}
+
+impl MsgKind {
+    /// Stable numeric tag, used as a fault-plan hash coordinate.
+    pub fn tag(self) -> u64 {
+        match self {
+            MsgKind::Ghost => 0,
+            MsgKind::Post => 1,
+            MsgKind::Crash => 2,
+        }
+    }
 }
 
 /// One coalesced inter-rank message. Both sides derive the exact layout of
 /// `values` from the shared [`partir_core::exchange::ExchangePlan`], so
 /// only raw f64 payloads travel — no per-message set descriptions.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct Msg {
     pub epoch: u64,
     pub src: usize,
@@ -48,6 +63,13 @@ pub enum MailboxError {
     Aborted,
     /// A peer hung up without sending (it panicked before aborting).
     Disconnected,
+    /// A crash notice arrived: `rank` announced it is dying and will send
+    /// nothing further.
+    Lost { rank: usize },
+    /// The epoch deadline expired with messages still outstanding — the
+    /// silent-crash detection path (the caller knows which sources it was
+    /// still waiting on and names the suspect).
+    Deadline,
 }
 
 /// Deterministic delivery-order shuffling for tests: a seeded xorshift*
@@ -81,19 +103,49 @@ pub struct Mailbox {
     rx: Receiver<Msg>,
     pending: Vec<Msg>,
     abort: Arc<AtomicBool>,
-    /// Per source rank: `(bytes, messages)` pulled off the channel.
+    /// Per source rank: `(bytes, messages)` pulled off the channel —
+    /// protocol traffic only. Duplicate deliveries and crash notices go
+    /// to `aux_meter`, so this meter stays comparable to
+    /// `ExchangePlan::predicted_pair_volume` even under fault injection.
     meter: Vec<(u64, u64)>,
+    /// Per source rank: `(bytes, messages)` of traffic outside the plan's
+    /// prediction — deduplicated duplicate deliveries and crash notices.
+    aux_meter: Vec<(u64, u64)>,
+    /// `(epoch, kind, src)` triples already delivered; the epoch protocol
+    /// sends at most one message per triple, so a repeat is an injected
+    /// (or fabric-level) duplicate and is dropped after metering.
+    seen: HashSet<(u64, u64, usize)>,
     chaos: Option<Chaos>,
+    /// Maximum time one `recv_any` call may wait before declaring the
+    /// outstanding sources suspect (`MailboxError::Deadline`). `None`
+    /// waits forever (the fault-free default — a stall is then a bug the
+    /// abort flag surfaces, not a crash to recover from).
+    deadline: Option<Duration>,
 }
 
 impl Mailbox {
     pub fn new(rx: Receiver<Msg>, abort: Arc<AtomicBool>, n_ranks: usize) -> Self {
-        Mailbox { rx, pending: Vec::new(), abort, meter: vec![(0, 0); n_ranks], chaos: None }
+        Mailbox {
+            rx,
+            pending: Vec::new(),
+            abort,
+            meter: vec![(0, 0); n_ranks],
+            aux_meter: vec![(0, 0); n_ranks],
+            seen: HashSet::new(),
+            chaos: None,
+            deadline: None,
+        }
     }
 
     /// Enables deterministic delivery-order shuffling (see [`Chaos`]).
     pub fn set_chaos(&mut self, seed: u64) {
         self.chaos = Some(Chaos::new(seed));
+    }
+
+    /// Arms the epoch-deadline detector: a `recv_any` that waits longer
+    /// than `d` returns [`MailboxError::Deadline`].
+    pub fn set_deadline(&mut self, d: Duration) {
+        self.deadline = Some(d);
     }
 
     /// Meters a message as it comes off the channel (stashed traffic is
@@ -105,9 +157,23 @@ impl Mailbox {
         }
     }
 
+    /// Meters out-of-plan traffic (duplicates, crash notices).
+    fn note_aux(&mut self, m: &Msg) {
+        if let Some(cell) = self.aux_meter.get_mut(m.src) {
+            cell.0 += m.values.len() as u64 * 8;
+            cell.1 += 1;
+        }
+    }
+
     /// Measured `(bytes, messages)` received so far, indexed by source rank.
     pub fn measured(&self) -> &[(u64, u64)] {
         &self.meter
+    }
+
+    /// Measured out-of-plan `(bytes, messages)`: deduplicated duplicates
+    /// plus crash notices, indexed by source rank.
+    pub fn measured_aux(&self) -> &[(u64, u64)] {
+        &self.aux_meter
     }
 
     /// Blocks until *some* message of `epoch` and `kind` from one of the
@@ -122,6 +188,7 @@ impl Mailbox {
         kind: MsgKind,
         wanted: &mut Vec<usize>,
     ) -> Result<Msg, MailboxError> {
+        let started = Instant::now();
         loop {
             let matches: Vec<usize> = self
                 .pending
@@ -142,6 +209,9 @@ impl Mailbox {
             if self.abort.load(Ordering::Relaxed) {
                 return Err(MailboxError::Aborted);
             }
+            if self.deadline.is_some_and(|d| started.elapsed() >= d) {
+                return Err(MailboxError::Deadline);
+            }
             if let Some(c) = &mut self.chaos {
                 let us = c.next() % 120;
                 if us >= 40 {
@@ -150,8 +220,16 @@ impl Mailbox {
             }
             match self.rx.recv_timeout(Duration::from_millis(10)) {
                 Ok(m) => {
-                    self.note(&m);
-                    self.pending.push(m);
+                    if m.kind == MsgKind::Crash {
+                        self.note_aux(&m);
+                        return Err(MailboxError::Lost { rank: m.src });
+                    }
+                    if self.seen.insert((m.epoch, m.kind.tag(), m.src)) {
+                        self.note(&m);
+                        self.pending.push(m);
+                    } else {
+                        self.note_aux(&m);
+                    }
                 }
                 Err(RecvTimeoutError::Timeout) => continue,
                 Err(RecvTimeoutError::Disconnected) => {
@@ -284,5 +362,63 @@ mod tests {
         let (_senders, mut boxes) = build_fabric(1, &abort);
         abort.store(true, Ordering::Relaxed);
         assert!(matches!(boxes[0].recv_from(0, MsgKind::Ghost, 0), Err(MailboxError::Aborted)));
+    }
+
+    #[test]
+    fn duplicate_deliveries_are_dropped_and_metered_separately() {
+        let abort = Arc::new(AtomicBool::new(false));
+        let (senders, mut boxes) = build_fabric(2, &abort);
+        for _ in 0..2 {
+            senders[0]
+                .send(Msg {
+                    epoch: 0,
+                    src: 1,
+                    kind: MsgKind::Ghost,
+                    values: vec![5.0],
+                    partials_present: vec![],
+                })
+                .unwrap();
+        }
+        let m = boxes[0].recv_from(0, MsgKind::Ghost, 1).unwrap();
+        assert_eq!(m.values, vec![5.0]);
+        // Force the second copy off the channel: ask for a message that
+        // never comes, with a short deadline to break the wait.
+        boxes[0].set_deadline(Duration::from_millis(30));
+        assert!(matches!(boxes[0].recv_from(1, MsgKind::Ghost, 1), Err(MailboxError::Deadline)));
+        // Main meter saw the message once; the duplicate went to aux.
+        assert_eq!(boxes[0].measured(), &[(0, 0), (8, 1)]);
+        assert_eq!(boxes[0].measured_aux(), &[(0, 0), (8, 1)]);
+    }
+
+    #[test]
+    fn crash_notice_surfaces_as_lost() {
+        let abort = Arc::new(AtomicBool::new(false));
+        let (senders, mut boxes) = build_fabric(2, &abort);
+        senders[0]
+            .send(Msg {
+                epoch: 3,
+                src: 1,
+                kind: MsgKind::Crash,
+                values: vec![],
+                partials_present: vec![],
+            })
+            .unwrap();
+        match boxes[0].recv_from(3, MsgKind::Ghost, 1) {
+            Err(MailboxError::Lost { rank }) => assert_eq!(rank, 1),
+            other => panic!("expected Lost, got {other:?}"),
+        }
+        // Crash notices never touch the protocol meter.
+        assert_eq!(boxes[0].measured(), &[(0, 0), (0, 0)]);
+        assert_eq!(boxes[0].measured_aux(), &[(0, 0), (0, 1)]);
+    }
+
+    #[test]
+    fn deadline_expires_only_when_armed() {
+        let abort = Arc::new(AtomicBool::new(false));
+        let (_senders, mut boxes) = build_fabric(2, &abort);
+        boxes[0].set_deadline(Duration::from_millis(25));
+        let t0 = Instant::now();
+        assert!(matches!(boxes[0].recv_from(0, MsgKind::Ghost, 1), Err(MailboxError::Deadline)));
+        assert!(t0.elapsed() >= Duration::from_millis(25));
     }
 }

@@ -16,31 +16,43 @@
 //! in ascending global color order with the same presence/skip semantics
 //! as the threaded merge.
 
+pub mod fault;
 mod mailbox;
 mod rank;
 mod store;
 
+pub use fault::{CheckpointPolicy, DistFaultPlan, RankCrash};
 pub use store::RankStore;
 
 use crate::dist::mailbox::build_fabric;
-use crate::dist::rank::RankStats;
+use crate::dist::rank::{OwnedShards, RankStats};
 use parking_lot::Mutex;
 use partir_core::exchange::{
-    derive_exchange, prove_plan_legality, ExchangeError, ExchangePlan, PlanLegalityError,
+    derive_exchange, derive_exchange_with, evacuate_assignment, prove_plan_legality, ExchangeError,
+    ExchangePlan, PlanLegalityError,
 };
 use partir_core::pipeline::{ParallelPlan, PlannedReduce};
 use partir_dpl::func::FnTable;
 use partir_dpl::index_set::Idx;
 use partir_dpl::partition::Partition;
-use partir_dpl::region::{FieldId, RegionId, Schema, Store};
+use partir_dpl::region::{RegionId, Schema, Store};
 use partir_ir::ast::{AccessId, Loop};
 use partir_obs::json::Json;
-use partir_obs::trace::{RankTracer, Trace};
+use partir_obs::trace::{RankTracer, SpanKind, Trace};
+use std::borrow::Cow;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// Epoch deadline armed on every mailbox when the fault plan can crash a
+/// rank: a receive that makes no progress for this long declares the first
+/// still-awaited source lost. Only silent crashes need it (loud crashes
+/// broadcast notices), but it is a harmless backstop either way — epochs
+/// complete in microseconds-to-milliseconds, so a healthy peer never
+/// comes close.
+const EPOCH_DEADLINE: Duration = Duration::from_secs(2);
 
 /// How access legality (`accessed ⊆ owned ∪ ghosts`) is established.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -93,6 +105,17 @@ pub struct DistOptions {
     /// disagree about the communication footprint — a correctness smell,
     /// not a perf one.
     pub strict_volume: bool,
+    /// Deterministic fabric/rank fault injection (message drops,
+    /// duplication, whole-rank crash). Configuring a plan also enables
+    /// survivor-side recovery: a lost rank's colors are evacuated to the
+    /// survivors, state restores from the last consistent checkpoint (or
+    /// the pristine input), and the run resumes bit-identical to the
+    /// sequential interpreter.
+    pub fault: Option<DistFaultPlan>,
+    /// Epoch-interval checkpointing of each rank's owned shard, the
+    /// restore points recovery rolls back to. Without a policy, recovery
+    /// restarts from epoch 0.
+    pub checkpoint: Option<CheckpointPolicy>,
 }
 
 impl Default for DistOptions {
@@ -103,6 +126,58 @@ impl Default for DistOptions {
             chaos_seed: None,
             collect_timeline: false,
             strict_volume: false,
+            fault: None,
+            checkpoint: None,
+        }
+    }
+}
+
+/// In-memory per-rank checkpoint store: snapshots of each rank's owned
+/// shard, keyed by the epoch after which they were taken. Held by the
+/// driver; ranks push into it at checkpoint boundaries, recovery restores
+/// the newest epoch *every* spawned rank holds (the only globally
+/// consistent cut — a laggard may not have reached the latest boundary
+/// when its peer died).
+pub(crate) struct CheckpointStore {
+    slots: Mutex<Vec<Vec<(u64, OwnedShards)>>>,
+}
+
+impl CheckpointStore {
+    fn new(n_ranks: usize) -> Self {
+        CheckpointStore { slots: Mutex::new(vec![Vec::new(); n_ranks]) }
+    }
+
+    pub(crate) fn put(&self, rank: usize, epoch: u64, shards: OwnedShards) {
+        self.slots.lock()[rank].push((epoch, shards));
+    }
+
+    /// The newest epoch for which every `spawned` rank holds a snapshot.
+    fn consistent_epoch(&self, spawned: &[bool]) -> Option<u64> {
+        let slots = self.slots.lock();
+        let first = spawned.iter().position(|&a| a)?;
+        let mut epochs: Vec<u64> = slots[first].iter().map(|&(e, _)| e).collect();
+        epochs.sort_unstable_by(|a, b| b.cmp(a));
+        epochs.into_iter().find(|&e| {
+            spawned.iter().enumerate().all(|(r, &a)| !a || slots[r].iter().any(|(ee, _)| *ee == e))
+        })
+    }
+
+    /// Installs every rank's `epoch` snapshot into `store` under the
+    /// exchange plan the snapshots were taken with.
+    fn restore_into(&self, store: &mut Store, xplan: &ExchangePlan, epoch: u64) {
+        let slots = self.slots.lock();
+        for (r, list) in slots.iter().enumerate() {
+            if let Some((_, shards)) = list.iter().find(|(e, _)| *e == epoch) {
+                RankStore::install_owned(store, xplan, r, shards.clone());
+            }
+        }
+    }
+
+    /// Drops all snapshots — they were taken under an owner assignment
+    /// that no longer exists once recovery re-shards.
+    fn clear(&self) {
+        for l in self.slots.lock().iter_mut() {
+            l.clear();
         }
     }
 }
@@ -139,6 +214,22 @@ pub struct DistReport {
     pub unpack_ns: u64,
     pub compute_ns: u64,
     pub merge_ns: u64,
+    /// Rank losses recovered from (each one re-sharded and resumed).
+    pub recoveries: u64,
+    /// Bytes of owned state the survivors adopted from lost ranks —
+    /// recovery's minimality claim is `bytes_migrated ≤` the lost ranks'
+    /// owned-shard size (nothing already owned by a survivor ever moves).
+    pub bytes_migrated: u64,
+    /// Driver time spent re-sharding + restoring checkpoints.
+    pub recovery_ns: u64,
+    /// Owned-shard checkpoints taken (final attempt), and their cost.
+    pub checkpoints: u64,
+    pub checkpoint_bytes: u64,
+    pub checkpoint_ns: u64,
+    /// Send attempts the fault plan dropped in flight (sender retried).
+    pub retransmits: u64,
+    /// Duplicate copies the fault plan injected (receivers deduped them).
+    pub duplicates: u64,
 }
 
 impl DistReport {
@@ -165,6 +256,14 @@ impl DistReport {
             .with("unpack_ns", self.unpack_ns)
             .with("compute_ns", self.compute_ns)
             .with("merge_ns", self.merge_ns)
+            .with("recoveries", self.recoveries)
+            .with("bytes_migrated", self.bytes_migrated)
+            .with("recovery_ns", self.recovery_ns)
+            .with("checkpoints", self.checkpoints)
+            .with("checkpoint_bytes", self.checkpoint_bytes)
+            .with("checkpoint_ns", self.checkpoint_ns)
+            .with("retransmits", self.retransmits)
+            .with("duplicates", self.duplicates)
     }
 }
 
@@ -239,6 +338,8 @@ pub struct DistOutcome {
     /// Time spent in up-front plan validation (the explicit legality
     /// pass), nanoseconds.
     pub validate_ns: u64,
+    /// Ranks declared lost and recovered from, in loss order.
+    pub lost_ranks: Vec<usize>,
 }
 
 /// A distributed legality failure: which access of which loop, run by which
@@ -294,6 +395,12 @@ pub enum DistError {
     RankPanic { rank: usize, message: String },
     /// A peer's mailbox hung up mid-run.
     Disconnected { rank: usize },
+    /// A rank was declared lost at `epoch` — it crashed (detected by a
+    /// crash notice or an epoch-deadline expiry) or stopped acknowledging
+    /// sends past the retransmit bound. With recovery enabled the driver
+    /// handles this internally; it surfaces only when recovery is off or
+    /// no survivors remain.
+    RankLost { rank: usize, epoch: u64 },
     /// This rank stopped because another rank failed first (the first
     /// failure carries the real error).
     Aborted,
@@ -345,6 +452,9 @@ impl fmt::Display for DistError {
             }
             DistError::Disconnected { rank } => {
                 write!(f, "rank {rank} hung up mid-run")
+            }
+            DistError::RankLost { rank, epoch } => {
+                write!(f, "rank {rank} lost at epoch {epoch}")
             }
             DistError::Aborted => write!(f, "aborted after another rank's failure"),
             DistError::VolumeMismatch { src, dst, predicted_bytes, measured_bytes } => {
@@ -433,7 +543,7 @@ pub fn execute_with_exchange_full(
     // interval set-containment, instead of re-deriving it per element on
     // the hot path. Element mode proves too — the per-element checks then
     // double as the negative test's corruption detector.
-    let plan_proved = if opts.legality != LegalityMode::Off {
+    let mut plan_proved = if opts.legality != LegalityMode::Off {
         let proof = prove_plan_legality(xplan, plan, parts, store.schema())
             .map_err(DistError::PlanIllegal)?;
         proof.facts
@@ -445,7 +555,264 @@ pub fn execute_with_exchange_full(
         "dist.execute",
         vec![("ranks", n_ranks.into()), ("loops", program.len().into())],
     );
+    let schema = store.schema().clone();
 
+    // Fault plane. A configured fault plan (or checkpoint policy) enables
+    // survivor-side recovery, which needs the pristine input state as the
+    // epoch-0 restore point.
+    let fault = opts.fault;
+    let policy = opts.checkpoint;
+    let recovery_enabled = fault.is_some() || policy.is_some();
+    let initial: Option<Store> = recovery_enabled.then(|| store.clone());
+    let ckpts = CheckpointStore::new(n_ranks);
+
+    let mut alive = vec![true; n_ranks];
+    let mut cur_xplan: Cow<'_, ExchangePlan> = Cow::Borrowed(xplan);
+    let mut first_epoch = 0usize;
+    let mut restored: Option<Store> = None;
+    let mut lost_ranks: Vec<usize> = Vec::new();
+    let mut recoveries = 0u64;
+    let mut bytes_migrated = 0u64;
+    let mut recovery_ns = 0u64;
+    // `(ns, bytes)` of the recovery that launched the current attempt, so
+    // its survivors' timelines carry a Recovery span.
+    let mut last_recovery: Option<(u64, u64)> = None;
+
+    let outcomes = loop {
+        let base_store: &Store = restored.as_ref().unwrap_or(store);
+        let attempt = run_attempt(
+            program,
+            plan,
+            parts,
+            &cur_xplan,
+            base_store,
+            &schema,
+            fns,
+            opts,
+            &alive,
+            first_epoch,
+            fault.as_ref(),
+            policy.as_ref().map(|p| (p, &ckpts)),
+            last_recovery,
+        )?;
+        if let Some(v) = attempt.violation {
+            return Err(DistError::Legality(v));
+        }
+        // The crash slot is ground truth; a peer's RankLost (from a notice,
+        // a deadline expiry, or retransmit exhaustion) is the fallback.
+        let dead = attempt.lost.map(|(r, _)| r).or(match &attempt.error {
+            Some(DistError::RankLost { rank, .. }) => Some(*rank),
+            _ => None,
+        });
+        match (dead, attempt.error) {
+            (Some(dead), err) if recovery_enabled && alive[dead] => {
+                // Survivor-side recovery: evacuate the dead rank's colors,
+                // re-derive + re-prove the exchange plan, restore the last
+                // consistent checkpoint, resume on the survivors.
+                let t = Instant::now();
+                recoveries += 1;
+                lost_ranks.push(dead);
+                let spawned = alive.clone();
+                alive[dead] = false;
+                if !alive.iter().any(|&a| a) {
+                    return Err(err.unwrap_or(DistError::RankLost { rank: dead, epoch: 0 }));
+                }
+                let assignment = evacuate_assignment(cur_xplan.owner_assignment(), dead, n_ranks);
+                let nx = derive_exchange_with(plan, parts, &schema, n_ranks, &assignment)?;
+                if opts.legality != LegalityMode::Off {
+                    plan_proved = prove_plan_legality(&nx, plan, parts, &schema)
+                        .map_err(DistError::PlanIllegal)?
+                        .facts;
+                }
+                // Minimal migration: survivors keep every color they had,
+                // so the only owned bytes that move are the dead rank's.
+                let migrated: u64 = (0..n_ranks)
+                    .filter(|&r| alive[r])
+                    .map(|r| {
+                        nx.owned_field_bytes(&schema, r)
+                            .saturating_sub(cur_xplan.owned_field_bytes(&schema, r))
+                    })
+                    .sum();
+                bytes_migrated += migrated;
+                let mut base = initial.clone().expect("recovery implies a saved initial store");
+                first_epoch = match ckpts.consistent_epoch(&spawned) {
+                    Some(ce) => {
+                        ckpts.restore_into(&mut base, &cur_xplan, ce);
+                        (ce + 1) as usize
+                    }
+                    None => 0,
+                };
+                ckpts.clear();
+                restored = Some(base);
+                cur_xplan = Cow::Owned(nx);
+                let d = t.elapsed().as_nanos() as u64;
+                recovery_ns += d;
+                last_recovery = Some((d, migrated));
+                continue;
+            }
+            (_, Some(e)) => return Err(e),
+            (Some(dead), None) => {
+                // A crash was observed but recovery is impossible (e.g.
+                // every peer finished before needing the dead rank and
+                // recovery is disabled) — never silently return results
+                // missing the dead rank's epochs.
+                let epoch = attempt.lost.map(|(_, e)| e).unwrap_or(0);
+                return Err(DistError::RankLost { rank: dead, epoch });
+            }
+            (None, None) => break attempt.outcomes,
+        }
+    };
+
+    // Gather: install every surviving rank's owned shards into the
+    // caller's store. Under the final (possibly evacuated) owner
+    // assignment the survivors' shards cover every region completely.
+    let xp: &ExchangePlan = &cur_xplan;
+    let mut report = DistReport {
+        ranks: n_ranks as u64,
+        plan_proved,
+        ghost_elements: xp.stats.ghost_elements,
+        ghost_fetch_bytes: xp.stats.ghost_fetch_bytes,
+        write_back_bytes: xp.stats.write_back_bytes,
+        partial_bytes: xp.stats.partial_bytes,
+        replication_bytes: xp.stats.replication_bytes,
+        recoveries,
+        bytes_migrated,
+        recovery_ns,
+        ..DistReport::default()
+    };
+    // measured[src][dst]: what dst's mailbox metered against src.
+    let mut measured = vec![vec![(0u64, 0u64); n_ranks]; n_ranks];
+    let mut done_tracers: Vec<RankTracer> = Vec::new();
+    for (r, out) in outcomes.into_iter().enumerate() {
+        let Some((owned, rstats, tracer)) = out else {
+            if alive[r] {
+                return Err(DistError::Internal(format!("rank {r} produced no result")));
+            }
+            continue;
+        };
+        RankStore::install_owned(store, xp, r, owned);
+        report.tasks_run += rstats.tasks_run;
+        report.messages += rstats.messages_sent;
+        report.bytes_sent += rstats.bytes_sent;
+        report.legality_checks += rstats.legality_checks;
+        report.buffer_bytes += rstats.buffer_bytes;
+        report.guard_hits += rstats.guard_hits;
+        report.guard_skips += rstats.guard_skips;
+        report.write_skips += rstats.write_skips;
+        report.pack_ns += rstats.pack_ns;
+        report.exchange_wait_ns += rstats.exchange_wait_ns;
+        report.unpack_ns += rstats.unpack_ns;
+        report.compute_ns += rstats.compute_ns;
+        report.merge_ns += rstats.merge_ns;
+        report.retransmits += rstats.retransmits;
+        report.duplicates += rstats.duplicates_sent;
+        report.checkpoints += rstats.checkpoints;
+        report.checkpoint_bytes += rstats.checkpoint_bytes;
+        report.checkpoint_ns += rstats.checkpoint_ns;
+        for (src, &cell) in rstats.recv_by_src.iter().enumerate() {
+            measured[src][r] = cell;
+        }
+        done_tracers.extend(tracer);
+    }
+
+    // Predicted-vs-measured accounting per (src, dst) pair. A recovered
+    // run predicts only the epochs it actually re-executed; duplicate
+    // deliveries and crash notices were metered separately by the
+    // mailboxes and never pollute these pairs.
+    let predicted = xp.predicted_pair_volume_from(first_epoch);
+    let mut pairs = Vec::new();
+    for src in 0..n_ranks {
+        for dst in 0..n_ranks {
+            let p = predicted[src][dst];
+            let (m_bytes, m_msgs) = measured[src][dst];
+            if p.bytes == 0 && p.messages == 0 && m_bytes == 0 && m_msgs == 0 {
+                continue;
+            }
+            pairs.push(PairDelta {
+                src,
+                dst,
+                predicted_bytes: p.bytes,
+                measured_bytes: m_bytes,
+                predicted_messages: p.messages,
+                measured_messages: m_msgs,
+            });
+        }
+    }
+    let volume = VolumeAccounting { pairs };
+    if opts.strict_volume {
+        if let Some(d) = volume.first_mismatch() {
+            return Err(DistError::VolumeMismatch {
+                src: d.src,
+                dst: d.dst,
+                predicted_bytes: d.predicted_bytes,
+                measured_bytes: d.measured_bytes,
+            });
+        }
+    }
+    let trace = opts.collect_timeline.then(|| {
+        let mut t = Trace::from_rank_tracers(n_ranks, done_tracers);
+        t.first_epoch = first_epoch;
+        t.lost_ranks = lost_ranks.clone();
+        t
+    });
+
+    partir_obs::counter("dist.tasks_run", report.tasks_run);
+    partir_obs::counter("dist.messages", report.messages);
+    partir_obs::counter("dist.bytes_sent", report.bytes_sent);
+    partir_obs::counter("dist.ghost_elements", report.ghost_elements);
+    partir_obs::counter("dist.legality_checks", report.legality_checks);
+    if report.recoveries > 0 {
+        partir_obs::counter("dist.recovery_count", report.recoveries);
+        partir_obs::counter("dist.recovery_bytes_migrated", report.bytes_migrated);
+    }
+    if report.checkpoints > 0 {
+        partir_obs::counter("dist.checkpoints", report.checkpoints);
+        partir_obs::counter("dist.checkpoint_bytes", report.checkpoint_bytes);
+    }
+    partir_obs::flush_counters();
+    span.close_with(vec![
+        ("messages", report.messages.into()),
+        ("bytes_sent", report.bytes_sent.into()),
+    ]);
+    Ok(DistOutcome { report, trace, volume, validate_ns, lost_ranks })
+}
+
+/// One rank's gathered result: owned shards, stats, and its timeline.
+type RankOutcome = (OwnedShards, RankStats, Option<RankTracer>);
+
+/// Everything one SPMD attempt produced, success or not.
+struct AttemptResult {
+    /// Per-rank outcomes; `None` for ranks that were not spawned (already
+    /// dead) or did not finish.
+    outcomes: Vec<Option<RankOutcome>>,
+    /// The first hard error any rank hit (secondary aborts excluded).
+    error: Option<DistError>,
+    violation: Option<DistViolation>,
+    /// Injected-crash ground truth: `(rank, epoch)` of the victim.
+    lost: Option<(usize, u64)>,
+}
+
+/// Runs one SPMD attempt over the currently-alive ranks, resuming at
+/// `first_epoch`. Returns `Err` only for driver-level failures (a scope
+/// panic); rank-level failures come back inside [`AttemptResult`] so the
+/// caller can decide between recovery and propagation.
+#[allow(clippy::too_many_arguments)]
+fn run_attempt(
+    program: &[Loop],
+    plan: &ParallelPlan,
+    parts: &[Arc<Partition>],
+    xplan: &ExchangePlan,
+    base_store: &Store,
+    schema: &Schema,
+    fns: &FnTable,
+    opts: &DistOptions,
+    alive: &[bool],
+    first_epoch: usize,
+    fault: Option<&DistFaultPlan>,
+    ckpt: Option<(&CheckpointPolicy, &CheckpointStore)>,
+    recovery: Option<(u64, u64)>,
+) -> Result<AttemptResult, DistError> {
+    let n_ranks = xplan.n_ranks;
     let abort = Arc::new(AtomicBool::new(false));
     let (senders, mut mailboxes) = build_fabric(n_ranks, &abort);
     if let Some(seed) = opts.chaos_seed {
@@ -454,18 +821,34 @@ pub fn execute_with_exchange_full(
             mb.set_chaos(seed ^ (r as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
         }
     }
-    let schema = store.schema().clone();
-    let shards: Vec<RankStore> = (0..n_ranks).map(|r| RankStore::shard(store, xplan, r)).collect();
+    if fault.is_some_and(|f| f.crash.is_some()) {
+        for mb in mailboxes.iter_mut() {
+            mb.set_deadline(EPOCH_DEADLINE);
+        }
+    }
+    let shards: Vec<Option<RankStore>> =
+        (0..n_ranks).map(|r| alive[r].then(|| RankStore::shard(base_store, xplan, r))).collect();
 
     // One shared time base, taken before any rank spawns, so spans of
-    // different ranks land on the same clock.
+    // different ranks land on the same clock. Survivors of a recovery
+    // open their timeline with a Recovery span covering the re-shard +
+    // restore the driver just performed on their behalf.
     let base = Instant::now();
-    let tracers: Vec<Option<RankTracer>> =
-        (0..n_ranks).map(|r| opts.collect_timeline.then(|| RankTracer::new(r, base))).collect();
+    let tracers: Vec<Option<RankTracer>> = (0..n_ranks)
+        .map(|r| {
+            (opts.collect_timeline && alive[r]).then(|| {
+                let mut tr = RankTracer::new(r, base);
+                if let Some((ns, bytes)) = recovery {
+                    tr.record(SpanKind::Recovery, first_epoch, base, ns, bytes, None);
+                }
+                tr
+            })
+        })
+        .collect();
 
     let violation: Mutex<Option<DistViolation>> = Mutex::new(None);
     let first_error: Mutex<Option<DistError>> = Mutex::new(None);
-    type RankOutcome = (Vec<(FieldId, Vec<f64>)>, RankStats, Option<RankTracer>);
+    let lost: Mutex<Option<(usize, u64)>> = Mutex::new(None);
     let outcomes: Mutex<Vec<Option<RankOutcome>>> =
         Mutex::new((0..n_ranks).map(|_| None).collect());
 
@@ -474,10 +857,11 @@ pub fn execute_with_exchange_full(
         for (r, ((mut mailbox, rstore), tracer)) in
             mailboxes.into_iter().zip(shards).zip(tracers).enumerate()
         {
+            let Some(rstore) = rstore else { continue };
             let senders = senders.clone();
             let abort = Arc::clone(&abort);
-            let (schema, violation, first_error, outcomes) =
-                (&schema, &violation, &first_error, &outcomes);
+            let (violation, first_error, outcomes, lost) =
+                (&violation, &first_error, &outcomes, &lost);
             s.spawn(move |_| {
                 let result = catch_unwind(AssertUnwindSafe(|| {
                     rank::rank_main(
@@ -495,6 +879,10 @@ pub fn execute_with_exchange_full(
                         &abort,
                         violation,
                         tracer,
+                        first_epoch,
+                        fault,
+                        ckpt,
+                        lost,
                     )
                 }));
                 match result {
@@ -527,98 +915,15 @@ pub fn execute_with_exchange_full(
             });
         }
     });
-    if let Some(v) = violation.lock().take() {
-        return Err(DistError::Legality(v));
-    }
-    if let Some(e) = first_error.lock().take() {
-        return Err(e);
-    }
     if let Err(p) = scope_result {
         return Err(DistError::Internal(panic_message(p)));
     }
-
-    // Gather: install every rank's owned shards into the caller's store.
-    let mut report = DistReport {
-        ranks: n_ranks as u64,
-        plan_proved,
-        ghost_elements: xplan.stats.ghost_elements,
-        ghost_fetch_bytes: xplan.stats.ghost_fetch_bytes,
-        write_back_bytes: xplan.stats.write_back_bytes,
-        partial_bytes: xplan.stats.partial_bytes,
-        replication_bytes: xplan.stats.replication_bytes,
-        ..DistReport::default()
-    };
-    // measured[src][dst]: what dst's mailbox metered against src.
-    let mut measured = vec![vec![(0u64, 0u64); n_ranks]; n_ranks];
-    let mut done_tracers: Vec<RankTracer> = Vec::new();
-    for (r, out) in outcomes.into_inner().into_iter().enumerate() {
-        let Some((owned, rstats, tracer)) = out else {
-            return Err(DistError::Internal(format!("rank {r} produced no result")));
-        };
-        RankStore::install_owned(store, xplan, r, owned);
-        report.tasks_run += rstats.tasks_run;
-        report.messages += rstats.messages_sent;
-        report.bytes_sent += rstats.bytes_sent;
-        report.legality_checks += rstats.legality_checks;
-        report.buffer_bytes += rstats.buffer_bytes;
-        report.guard_hits += rstats.guard_hits;
-        report.guard_skips += rstats.guard_skips;
-        report.write_skips += rstats.write_skips;
-        report.pack_ns += rstats.pack_ns;
-        report.exchange_wait_ns += rstats.exchange_wait_ns;
-        report.unpack_ns += rstats.unpack_ns;
-        report.compute_ns += rstats.compute_ns;
-        report.merge_ns += rstats.merge_ns;
-        for (src, &cell) in rstats.recv_by_src.iter().enumerate() {
-            measured[src][r] = cell;
-        }
-        done_tracers.extend(tracer);
-    }
-
-    // Predicted-vs-measured accounting per (src, dst) pair.
-    let predicted = xplan.predicted_pair_volume();
-    let mut pairs = Vec::new();
-    for src in 0..n_ranks {
-        for dst in 0..n_ranks {
-            let p = predicted[src][dst];
-            let (m_bytes, m_msgs) = measured[src][dst];
-            if p.bytes == 0 && p.messages == 0 && m_bytes == 0 && m_msgs == 0 {
-                continue;
-            }
-            pairs.push(PairDelta {
-                src,
-                dst,
-                predicted_bytes: p.bytes,
-                measured_bytes: m_bytes,
-                predicted_messages: p.messages,
-                measured_messages: m_msgs,
-            });
-        }
-    }
-    let volume = VolumeAccounting { pairs };
-    if opts.strict_volume {
-        if let Some(d) = volume.first_mismatch() {
-            return Err(DistError::VolumeMismatch {
-                src: d.src,
-                dst: d.dst,
-                predicted_bytes: d.predicted_bytes,
-                measured_bytes: d.measured_bytes,
-            });
-        }
-    }
-    let trace = opts.collect_timeline.then(|| Trace::from_rank_tracers(n_ranks, done_tracers));
-
-    partir_obs::counter("dist.tasks_run", report.tasks_run);
-    partir_obs::counter("dist.messages", report.messages);
-    partir_obs::counter("dist.bytes_sent", report.bytes_sent);
-    partir_obs::counter("dist.ghost_elements", report.ghost_elements);
-    partir_obs::counter("dist.legality_checks", report.legality_checks);
-    partir_obs::flush_counters();
-    span.close_with(vec![
-        ("messages", report.messages.into()),
-        ("bytes_sent", report.bytes_sent.into()),
-    ]);
-    Ok(DistOutcome { report, trace, volume, validate_ns })
+    Ok(AttemptResult {
+        outcomes: outcomes.into_inner(),
+        error: first_error.into_inner(),
+        violation: violation.into_inner(),
+        lost: lost.into_inner(),
+    })
 }
 
 /// Up-front validation: the same plan/partition invariants the threaded
@@ -730,7 +1035,7 @@ mod tests {
     use partir_core::eval::ExtBindings;
     use partir_core::pipeline::{auto_parallelize, Hints, Options};
     use partir_dpl::func::{FnDef, FnTable, IndexFn};
-    use partir_dpl::region::{FieldKind, Schema};
+    use partir_dpl::region::{FieldId, FieldKind, Schema};
     use partir_ir::ast::{LoopBuilder, ReduceOp, VExpr};
     use partir_ir::interp::run_program_seq;
 

@@ -21,9 +21,10 @@
 //! no slot in the rank's sharded store *is* a distributed legality
 //! violation — the access escaped `owned ∪ ghosts`.
 
+use super::fault::{CheckpointPolicy, DistFaultPlan, MAX_SEND_ATTEMPTS};
 use super::mailbox::{Mailbox, MailboxError, Msg, MsgKind};
 use super::store::RankStore;
-use super::{DistError, DistViolation};
+use super::{CheckpointStore, DistError, DistViolation};
 use parking_lot::Mutex;
 use partir_core::exchange::{ExchangePlan, LoopExchange};
 use partir_core::pipeline::{LoopPlan, ParallelPlan, PlannedReduce};
@@ -37,7 +38,7 @@ use partir_obs::trace::{RankTracer, SpanKind};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::Sender;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// A rank's gathered result: its owned shard of every F64 field, ready to
 /// be written back into the caller's unified store.
@@ -59,10 +60,23 @@ pub(crate) struct RankStats {
     pub unpack_ns: u64,
     pub compute_ns: u64,
     pub merge_ns: u64,
+    /// Send attempts the fault plan dropped in flight (each one slept a
+    /// seeded backoff and was retried).
+    pub retransmits: u64,
+    /// Extra copies the fault plan injected (the receiver dedups them).
+    pub duplicates_sent: u64,
+    /// Owned-shard checkpoints taken, and their cost.
+    pub checkpoints: u64,
+    pub checkpoint_bytes: u64,
+    pub checkpoint_ns: u64,
     /// Measured `(bytes, messages)` received, indexed by source rank —
     /// copied from the mailbox meter at the end of the run for the
     /// predicted-vs-measured accounting.
     pub recv_by_src: Vec<(u64, u64)>,
+    /// Measured out-of-plan `(bytes, messages)` — deduplicated duplicate
+    /// deliveries and crash notices — kept out of `recv_by_src` so strict
+    /// volume accounting still balances under fault injection.
+    pub recv_aux_by_src: Vec<(u64, u64)>,
 }
 
 /// Records a completed communication span when timeline collection is on.
@@ -128,10 +142,41 @@ pub(crate) fn rank_main(
     abort: &AtomicBool,
     violation: &Mutex<Option<DistViolation>>,
     mut tracer: Option<RankTracer>,
+    first_epoch: usize,
+    fault: Option<&DistFaultPlan>,
+    ckpt: Option<(&CheckpointPolicy, &CheckpointStore)>,
+    lost: &Mutex<Option<(usize, u64)>>,
 ) -> Result<(OwnedShards, RankStats, Option<RankTracer>), DistError> {
     let mut stats = RankStats::default();
-    for (li, lp) in program.iter().enumerate() {
+    for (li, lp) in program.iter().enumerate().skip(first_epoch) {
         if abort.load(Ordering::Relaxed) {
+            return Err(DistError::Aborted);
+        }
+        // Injected whole-rank crash: die at the top of the epoch, before
+        // sending or computing anything for it. The shared `lost` slot is
+        // the driver's ground truth; a loud crash also broadcasts notices
+        // so peers detect the loss without waiting out their deadline.
+        if let Some(crash) = fault.and_then(|f| f.crashes(rank, li as u64)) {
+            let mut slot = lost.lock();
+            if slot.is_none() {
+                *slot = Some((rank, li as u64));
+            }
+            drop(slot);
+            if !crash.silent {
+                for (dst, tx) in senders.iter().enumerate() {
+                    if dst != rank {
+                        let _ = tx.send(Msg {
+                            epoch: li as u64,
+                            src: rank,
+                            kind: MsgKind::Crash,
+                            values: Vec::new(),
+                            partials_present: Vec::new(),
+                        });
+                    }
+                }
+            }
+            // Aborted is the "secondary casualty" error: the driver keeps
+            // the peers' RankLost (or the ground-truth slot) as the cause.
             return Err(DistError::Aborted);
         }
         run_epoch(
@@ -152,9 +197,29 @@ pub(crate) fn rank_main(
             violation,
             &mut stats,
             &mut tracer,
+            fault,
         )?;
+        // Checkpoint hook: snapshot the owned shard (never ghosts) after
+        // every `interval_epochs`-th completed epoch. Reuses the
+        // contiguous-run `copy_from_slice` gather of `extract_owned`.
+        if let Some((policy, ckpts)) = ckpt {
+            if policy.due(li as u64) {
+                let t = Instant::now();
+                let shard = store.extract_owned(xplan, rank, schema);
+                let bytes: u64 = shard.iter().map(|(_, v)| v.len() as u64 * 8).sum();
+                ckpts.put(rank, li as u64, shard);
+                let d = t.elapsed().as_nanos() as u64;
+                stats.checkpoints += 1;
+                stats.checkpoint_bytes += bytes;
+                stats.checkpoint_ns += d;
+                if let Some(tr) = tracer.as_mut() {
+                    tr.record(SpanKind::Checkpoint, li, t, d, bytes, None);
+                }
+            }
+        }
     }
     stats.recv_by_src = mailbox.measured().to_vec();
+    stats.recv_aux_by_src = mailbox.measured_aux().to_vec();
     Ok((store.extract_owned(xplan, rank, schema), stats, tracer))
 }
 
@@ -177,6 +242,7 @@ fn run_epoch(
     violation: &Mutex<Option<DistViolation>>,
     stats: &mut RankStats,
     tracer: &mut Option<RankTracer>,
+    fault: Option<&DistFaultPlan>,
 ) -> Result<(), DistError> {
     let n_ranks = xplan.n_ranks;
     let n_colors = xplan.n_colors;
@@ -259,11 +325,13 @@ fn run_epoch(
         stats.bytes_sent += bytes;
         stats.messages_sent += 1;
         let t1 = tracer.is_some().then(Instant::now);
-        send(
+        send_faulty(
+            fault,
             senders,
             dst,
             Msg { epoch, src: rank, kind: MsgKind::Ghost, values, partials_present: Vec::new() },
             abort,
+            stats,
         )?;
         rec(tracer, SpanKind::Send, li, t1, elapsed(t1), bytes, dst);
     }
@@ -322,7 +390,7 @@ fn run_epoch(
         let t0 = Instant::now();
         let msg = mailbox
             .recv_any(epoch, MsgKind::Ghost, &mut wanted)
-            .map_err(|e| mb_err(e, wanted.first().copied().unwrap_or(rank)))?;
+            .map_err(|e| mb_err(e, wanted.first().copied().unwrap_or(rank), epoch))?;
         let wait = t0.elapsed().as_nanos() as u64;
         stats.exchange_wait_ns += wait;
         let bytes = msg.values.len() as u64 * 8;
@@ -363,7 +431,7 @@ fn run_epoch(
         let mut flags = Vec::new();
         for route in &lx.routes {
             let bi = env.buf_set_of_access[route.access].expect("route targets a buffered access");
-            for c in my_colors.clone() {
+            for &c in my_colors {
                 let Some((_, set)) = route.by_color[c].iter().find(|(d, _)| *d == dst) else {
                     continue;
                 };
@@ -386,11 +454,13 @@ fn run_epoch(
         stats.bytes_sent += bytes;
         stats.messages_sent += 1;
         let t1 = tracer.is_some().then(Instant::now);
-        send(
+        send_faulty(
+            fault,
             senders,
             dst,
             Msg { epoch, src: rank, kind: MsgKind::Post, values, partials_present: flags },
             abort,
+            stats,
         )?;
         rec(tracer, SpanKind::Send, li, t1, elapsed(t1), bytes, dst);
     }
@@ -406,7 +476,10 @@ fn run_epoch(
             src != rank
                 && (!lx.write_back[src][rank].is_empty()
                     || lx.routes.iter().any(|r| {
-                        xplan.colors_of(src).any(|c| r.by_color[c].iter().any(|(d, _)| *d == rank))
+                        xplan
+                            .colors_of(src)
+                            .iter()
+                            .any(|&c| r.by_color[c].iter().any(|(d, _)| *d == rank))
                     }))
         })
         .collect();
@@ -414,7 +487,7 @@ fn run_epoch(
         let t0 = Instant::now();
         let msg = mailbox
             .recv_any(epoch, MsgKind::Post, &mut post_wanted)
-            .map_err(|e| mb_err(e, post_wanted.first().copied().unwrap_or(rank)))?;
+            .map_err(|e| mb_err(e, post_wanted.first().copied().unwrap_or(rank), epoch))?;
         let src = msg.src;
         let wait = t0.elapsed().as_nanos() as u64;
         stats.exchange_wait_ns += wait;
@@ -426,7 +499,7 @@ fn run_epoch(
         let mut vals: &[f64] = store.unpack(&lx.write_back[src][rank], &msg.values);
         let mut fc = 0usize;
         for (ri, route) in lx.routes.iter().enumerate() {
-            for c in xplan.colors_of(src) {
+            for &c in xplan.colors_of(src) {
                 let Some((_, set)) = route.by_color[c].iter().find(|(d, _)| *d == rank) else {
                     continue;
                 };
@@ -507,11 +580,61 @@ fn send(
     })
 }
 
-fn mb_err(e: MailboxError, src: usize) -> DistError {
+/// Maps a mailbox failure to the typed distributed error. `suspect` is
+/// the first source the receive was still waiting on — for a deadline
+/// expiry that is the rank whose traffic never came, the silent-crash
+/// detection heuristic.
+fn mb_err(e: MailboxError, suspect: usize, epoch: u64) -> DistError {
     match e {
         MailboxError::Aborted => DistError::Aborted,
-        MailboxError::Disconnected => DistError::Disconnected { rank: src },
+        MailboxError::Disconnected => DistError::Disconnected { rank: suspect },
+        MailboxError::Lost { rank } => DistError::RankLost { rank, epoch },
+        MailboxError::Deadline => DistError::RankLost { rank: suspect, epoch },
     }
+}
+
+/// [`send`] under the fault plan: seeded in-flight drops make the sender
+/// retransmit with seeded backoff (bounded by [`MAX_SEND_ATTEMPTS`], after
+/// which the destination is declared lost), and seeded duplication sends a
+/// second copy the receiver must dedup. Dropped attempts never cross the
+/// channel, so the receiver's protocol meter stays comparable to the
+/// plan's predicted volume; duplicates are metered separately on arrival.
+fn send_faulty(
+    fault: Option<&DistFaultPlan>,
+    senders: &[Sender<Msg>],
+    dst: usize,
+    msg: Msg,
+    abort: &AtomicBool,
+    stats: &mut RankStats,
+) -> Result<(), DistError> {
+    let Some(f) = fault.filter(|f| f.drop_rate > 0.0 || f.dup_rate > 0.0) else {
+        return send(senders, dst, msg, abort);
+    };
+    let (epoch, src, kind) = (msg.epoch, msg.src, msg.kind.tag());
+    let mut attempt = 0u32;
+    while f.drops(epoch, src, dst, kind, attempt) {
+        stats.retransmits += 1;
+        attempt += 1;
+        if attempt >= MAX_SEND_ATTEMPTS {
+            return Err(DistError::RankLost { rank: dst, epoch });
+        }
+        if abort.load(Ordering::Relaxed) {
+            return Err(DistError::Aborted);
+        }
+        std::thread::sleep(Duration::from_micros(f.backoff_us(epoch, src, dst, attempt)));
+    }
+    if f.duplicates(epoch, src, dst, kind) {
+        stats.duplicates_sent += 1;
+        // The real copy goes first: the receiver always waits for the
+        // first arrival, so this send cannot race with its shutdown. The
+        // trailing duplicate can — a receiver that already got everything
+        // it wanted may exit before the extra copy lands, so a closed
+        // channel there is a benign shutdown race, not a lost rank.
+        send(senders, dst, msg.clone(), abort)?;
+        let _ = send(senders, dst, msg, abort);
+        return Ok(());
+    }
+    send(senders, dst, msg, abort)
 }
 
 /// Runs one color through the rank data context.

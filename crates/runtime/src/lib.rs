@@ -22,8 +22,8 @@ pub mod sim;
 
 pub mod prelude {
     pub use crate::dist::{
-        execute_dist, execute_with_exchange, DistError, DistOptions, DistReport, DistViolation,
-        RankStore,
+        execute_dist, execute_with_exchange, CheckpointPolicy, DistError, DistFaultPlan,
+        DistOptions, DistReport, DistViolation, RankCrash, RankStore,
     };
     pub use crate::exec::{execute_program, ExecError, ExecOptions, ExecReport, LegalityViolation};
     pub use crate::fault::{FaultPlan, RetryPolicy};

@@ -36,7 +36,8 @@ use partir_obs::profile::DistProfile;
 use partir_obs::trace::Trace;
 use partir_obs::ObsConfig;
 use partir_runtime::dist::{
-    execute_dist_full, DistOptions, DistReport, LegalityMode, VolumeAccounting,
+    execute_dist_full, CheckpointPolicy, DistFaultPlan, DistOptions, DistReport, LegalityMode,
+    VolumeAccounting,
 };
 use partir_runtime::exec::{execute_program, ExecOptions, ExecReport};
 use partir_runtime::fault::{FaultPlan, RetryPolicy};
@@ -74,6 +75,8 @@ pub struct Partir {
     chaos_seed: Option<u64>,
     obs: Option<ObsConfig>,
     fault: Option<FaultPlan>,
+    dist_fault: Option<DistFaultPlan>,
+    checkpoint: Option<CheckpointPolicy>,
     retry: RetryPolicy,
     externals: ExtBindings,
 }
@@ -94,6 +97,8 @@ impl Partir {
             chaos_seed: None,
             obs: None,
             fault: None,
+            dist_fault: None,
+            checkpoint: None,
             retry: RetryPolicy::default(),
             externals: ExtBindings::new(),
         }
@@ -182,6 +187,24 @@ impl Partir {
         self
     }
 
+    /// Deterministic fabric/rank fault injection for the rank backend:
+    /// seeded message drops and duplication, plus a whole-rank crash at a
+    /// chosen epoch. Configuring a plan also arms survivor-side recovery.
+    /// When unset, the `PARTIR_DIST_FAULT_*` environment defaults apply
+    /// (on the rank backend only).
+    pub fn dist_fault(mut self, plan: DistFaultPlan) -> Self {
+        self.dist_fault = Some(plan);
+        self
+    }
+
+    /// Epoch-interval checkpointing of each rank's owned shard on the rank
+    /// backend — the restore points recovery rolls back to. When unset,
+    /// the `PARTIR_DIST_CHECKPOINT_INTERVAL` environment default applies.
+    pub fn checkpoint(mut self, policy: CheckpointPolicy) -> Self {
+        self.checkpoint = Some(policy);
+        self
+    }
+
     /// Recovery policy for failed task attempts (threads backend).
     pub fn retry(mut self, policy: RetryPolicy) -> Self {
         self.retry = policy;
@@ -216,7 +239,23 @@ impl Partir {
             }
             if self.fault.is_some() {
                 return Err(Error::Session(
-                    "fault injection is only supported on the Threads backend".into(),
+                    "task fault injection is only supported on the Threads backend; \
+                     use dist_fault for the Ranks backend"
+                        .into(),
+                ));
+            }
+        }
+        if matches!(self.backend, Backend::Threads(_)) {
+            if self.dist_fault.is_some() {
+                return Err(Error::Session(
+                    "dist_fault injection is only supported on the Ranks backend; \
+                     use fault for the Threads backend"
+                        .into(),
+                ));
+            }
+            if self.checkpoint.is_some() {
+                return Err(Error::Session(
+                    "checkpointing is only supported on the Ranks backend".into(),
                 ));
             }
         }
@@ -232,7 +271,28 @@ impl Partir {
         // backend can read `timeline` / `strict_volume` from it.
         let obs = self.obs.unwrap_or_else(ObsConfig::from_env);
         obs.apply();
-        let fault = self.fault.or_else(FaultPlan::from_env);
+        // Env-provided fault defaults resolve per backend, so a threads
+        // FaultPlan never silently attaches to (and gets ignored by) a
+        // Ranks session, and vice versa.
+        let fault = match self.backend {
+            Backend::Threads(_) => self.fault.or_else(FaultPlan::from_env),
+            Backend::Ranks(_) => None,
+        };
+        let (dist_fault, checkpoint) = match self.backend {
+            Backend::Ranks(r) => {
+                let df = self.dist_fault.or_else(DistFaultPlan::from_env);
+                if let Some(crash) = df.as_ref().and_then(|f| f.crash) {
+                    if crash.rank >= r {
+                        return Err(Error::Session(format!(
+                            "dist_fault crashes rank {} but the backend has only {r} ranks",
+                            crash.rank
+                        )));
+                    }
+                }
+                (df, self.checkpoint.or_else(CheckpointPolicy::from_env))
+            }
+            Backend::Threads(_) => (None, None),
+        };
         let plan =
             auto_parallelize(&self.program, &self.fns, &self.schema, &self.hints, self.options)?;
         Ok(Session {
@@ -246,6 +306,8 @@ impl Partir {
             chaos_seed: self.chaos_seed,
             obs,
             fault,
+            dist_fault,
+            checkpoint,
             retry: self.retry,
             externals: self.externals,
             last: None,
@@ -270,6 +332,8 @@ pub struct Session {
     chaos_seed: Option<u64>,
     obs: ObsConfig,
     fault: Option<FaultPlan>,
+    dist_fault: Option<DistFaultPlan>,
+    checkpoint: Option<CheckpointPolicy>,
     retry: RetryPolicy,
     externals: ExtBindings,
     last: Option<RunReport>,
@@ -361,6 +425,8 @@ impl Session {
                     chaos_seed: self.chaos_seed,
                     collect_timeline: self.obs.timeline,
                     strict_volume: self.obs.strict_volume,
+                    fault: self.dist_fault,
+                    checkpoint: self.checkpoint,
                 };
                 let outcome =
                     execute_dist_full(&self.program, &self.plan, &parts, store, &self.fns, &opts)?;
@@ -520,6 +586,58 @@ mod tests {
             .fault(FaultPlan::quiescent(7))
             .build();
         assert_eq!(fault_on_ranks.unwrap_err().error_code(), "session.invalid");
+    }
+
+    #[test]
+    fn dist_fault_and_checkpoint_are_ranks_only() {
+        let (program, fns, schema, _) = scatter();
+        let df_on_threads = Partir::new(program.clone(), fns.clone(), schema.clone())
+            .backend(Backend::Threads(2))
+            .dist_fault(DistFaultPlan::quiescent(1))
+            .build();
+        assert_eq!(df_on_threads.unwrap_err().error_code(), "session.invalid");
+
+        let ckpt_on_threads = Partir::new(program.clone(), fns.clone(), schema.clone())
+            .backend(Backend::Threads(2))
+            .checkpoint(CheckpointPolicy::every(1))
+            .build();
+        assert_eq!(ckpt_on_threads.unwrap_err().error_code(), "session.invalid");
+
+        let crash_out_of_range = Partir::new(program, fns, schema)
+            .backend(Backend::Ranks(2))
+            .dist_fault(DistFaultPlan {
+                crash: Some(partir_runtime::dist::RankCrash { rank: 5, epoch: 0, silent: false }),
+                ..DistFaultPlan::quiescent(1)
+            })
+            .build();
+        assert_eq!(crash_out_of_range.unwrap_err().error_code(), "session.invalid");
+    }
+
+    #[test]
+    fn rank_crash_recovers_bit_identically_through_the_builder() {
+        let (program, fns, schema, seed) = scatter();
+        let mut seq = seed.clone();
+        run_program_seq(&program, &mut seq, &fns);
+
+        let mut session = Partir::new(program, fns, schema)
+            .backend(Backend::Ranks(3))
+            .colors(6)
+            .dist_fault(DistFaultPlan {
+                crash: Some(partir_runtime::dist::RankCrash { rank: 1, epoch: 0, silent: false }),
+                ..DistFaultPlan::quiescent(9)
+            })
+            .checkpoint(CheckpointPolicy::every(1))
+            .build()
+            .unwrap();
+        let mut store = seed.clone();
+        let report = session.run(&mut store).expect("survivors recover the run");
+        let dist = report.as_ranks().expect("ranks report");
+        assert_eq!(dist.recoveries, 1);
+        assert!(dist.bytes_migrated > 0, "the lost rank's shard migrated");
+        for fi in 0..2u32 {
+            let f = FieldId(fi);
+            assert_eq!(seq.field_data(f), store.field_data(f), "field {fi} differs");
+        }
     }
 
     #[test]

@@ -77,6 +77,7 @@ impl Error {
                 DistError::Aborted => "dist.aborted",
                 DistError::Internal(_) => "dist.internal",
                 DistError::VolumeMismatch { .. } => "dist.volume_mismatch",
+                DistError::RankLost { .. } => "dist.rank_lost",
             },
             Error::Sim(e) => match e {
                 SimError::MissingRegionSize { .. } => "sim.missing_region_size",
@@ -92,6 +93,7 @@ fn exchange_code(e: &ExchangeError) -> &'static str {
     match e {
         ExchangeError::NoRanks => "exchange.no_ranks",
         ExchangeError::WidthMismatch { .. } => "exchange.width_mismatch",
+        ExchangeError::BadAssignment { .. } => "exchange.bad_assignment",
     }
 }
 
@@ -175,6 +177,12 @@ mod tests {
             Error::Solve(SolveError::Unsatisfiable),
             Error::Exchange(ExchangeError::NoRanks),
             Error::Exchange(ExchangeError::WidthMismatch { part: 0, expected: 2, got: 3 }),
+            Error::Exchange(ExchangeError::BadAssignment {
+                colors: 4,
+                got: 3,
+                n_ranks: 2,
+                bad_rank: Some(9),
+            }),
             Error::Exec(ExecError::PlanMismatch { plan_loops: 1, program_loops: 2 }),
             Error::Exec(ExecError::PartitionIndexOutOfBounds { loop_index: 0, part: 9, len: 1 }),
             Error::Exec(ExecError::PartitionWidthMismatch { part: 0, expected: 2, got: 3 }),
@@ -236,6 +244,7 @@ mod tests {
                 predicted_bytes: 8,
                 measured_bytes: 0,
             }),
+            Error::Dist(DistError::RankLost { rank: 2, epoch: 5 }),
             Error::Sim(SimError::MissingRegionSize { region: RegionId(0) }),
             Error::Sim(SimError::HomeWidthMismatch { region: RegionId(0), expected: 2, got: 3 }),
             Error::Sim(SimError::IterWidthMismatch { loop_name: "l".into(), expected: 2, got: 3 }),

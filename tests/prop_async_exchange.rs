@@ -18,6 +18,22 @@ use proptest::prelude::*;
 mod common;
 use common::{arb_cfg, assert_f64_fields_eq, build};
 
+/// Random fault schedule for the chaos matrix: seeded drops and
+/// duplication, plus an optional loud rank crash. Crash coordinates are
+/// sampled wide and clamped to the run's rank/epoch space at use.
+fn arb_fault() -> impl Strategy<Value = (u64, f64, f64, Option<(usize, u64)>)> {
+    (any::<u64>(), 0u32..35, 0u32..35, any::<bool>(), 0usize..5, 0u64..2).prop_map(
+        |(seed, drop_pct, dup_pct, crash_on, crank, cepoch)| {
+            (
+                seed,
+                drop_pct as f64 / 100.0,
+                dup_pct as f64 / 100.0,
+                crash_on.then_some((crank, cepoch)),
+            )
+        },
+    )
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
@@ -48,5 +64,57 @@ proptest! {
             .run(&mut par)
             .map_err(|e| TestCaseError::fail(format!("{ranks} ranks, chaos {chaos_seed:#x}: {e}")))?;
         assert_f64_fields_eq(&seq, &par, &format!("{ranks} ranks, chaos {chaos_seed:#x}"))?;
+    }
+
+    /// The fault matrix: on top of delivery chaos, seeded message drops
+    /// (bounded retransmit), seeded duplication (receiver dedup), and an
+    /// optional whole-rank crash (checkpoint restore + shard evacuation)
+    /// must all leave the store bit-identical to the sequential
+    /// interpreter, with strict volume accounting holding throughout.
+    #[test]
+    fn faults_and_recovery_preserve_bit_identity(
+        cfg in arb_cfg(),
+        ranks in 2usize..6,
+        chaos_seed in any::<u64>(),
+        (fault_seed, drop_rate, dup_rate, crash) in arb_fault(),
+        ckpt_interval in 1u64..3,
+    ) {
+        let built = build(&cfg);
+        let mut seq = built.store.clone();
+        run_program_seq(&built.program, &mut seq, &built.fns);
+
+        let crash = crash.map(|(r, e)| RankCrash {
+            rank: r % ranks,
+            epoch: e.min(built.program.len() as u64 - 1),
+            silent: false,
+        });
+        let mut session = Partir::new(
+            built.program.clone(),
+            built.fns.clone(),
+            built.store.schema().clone(),
+        )
+        .backend(Backend::Ranks(ranks))
+        .colors(ranks.max(cfg.colors))
+        .check_legality(true)
+        .chaos_seed(chaos_seed)
+        .obs(ObsConfig { strict_volume: true, ..ObsConfig::disabled() })
+        .dist_fault(DistFaultPlan { seed: fault_seed, drop_rate, dup_rate, crash })
+        .checkpoint(CheckpointPolicy::every(ckpt_interval))
+        .build()
+        .map_err(|e| TestCaseError::fail(format!("auto-parallelizes: {e}")))?;
+
+        let mut par = built.store.clone();
+        let label = format!(
+            "{ranks} ranks, fault {fault_seed:#x} drop {drop_rate:.2} dup {dup_rate:.2} crash {crash:?}"
+        );
+        let report = session
+            .run(&mut par)
+            .map_err(|e| TestCaseError::fail(format!("{label}: {e}")))?;
+        let rep = report.as_ranks().expect("rank report");
+        if crash.is_some() {
+            prop_assert_eq!(rep.recoveries, 1, "{}: crash must trigger one recovery", label);
+            prop_assert!(rep.plan_proved > 0, "{}: evacuated plan not re-proved", label);
+        }
+        assert_f64_fields_eq(&seq, &par, &label)?;
     }
 }
