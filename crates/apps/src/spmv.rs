@@ -32,36 +32,55 @@ pub struct Spmv {
     pub rows: u64,
 }
 
-/// Parameters: `rows`, band half-width `halo` (nnz/row = 2·halo+1).
+/// Parameters: `rows`, band half-width `halo` (nnz/row = 2·halo+1), and an
+/// optional `band_shift` displacing the band off the diagonal.
 pub struct SpmvParams {
     pub rows: u64,
     pub halo: u64,
+    /// Row `i` reads columns centered at `(i + band_shift) mod rows`
+    /// instead of `i`, with periodic wrap. `0` keeps the paper's clipped
+    /// on-diagonal band. A large shift (e.g. `rows/2`) models a renumbered
+    /// matrix whose index order is misaligned with its communication
+    /// structure: block placement then ships nearly every X read
+    /// cross-rank, while cost-driven placement can co-locate each row
+    /// block with the column block it actually reads.
+    pub band_shift: u64,
 }
 
 impl Default for SpmvParams {
     fn default() -> Self {
-        SpmvParams { rows: 10_000, halo: 2 }
+        SpmvParams { rows: 10_000, halo: 2, band_shift: 0 }
     }
 }
 
 impl Spmv {
-    /// Builds the banded diagonal matrix of the paper's experiment: row `i`
-    /// has non-zeros in columns `i−halo ..= i+halo` (clipped), so every row
-    /// has (almost) the same count and the matrix is block-local.
+    /// Builds the banded matrix of the paper's experiment: row `i` has
+    /// non-zeros in columns `i−halo ..= i+halo` (clipped), so every row
+    /// has (almost) the same count and the matrix is block-local. With
+    /// `band_shift > 0` the band is centered at `(i + shift) mod rows`
+    /// (periodic, exactly `2·halo+1` nnz per row) — same work, scrambled
+    /// locality.
     pub fn generate(p: &SpmvParams) -> Self {
         let rows = p.rows;
-        // Count nnz first.
+        let shift = if rows == 0 { 0 } else { p.band_shift % rows };
+        // Count nnz first. Clipped [lo, hi) window for the on-diagonal
+        // band; the shifted band instead enumerates the periodic window
+        // `(i + shift − halo ..= i + shift + halo) mod rows`.
         let nnz_of = |i: u64| -> (u64, u64) {
             let lo = i.saturating_sub(p.halo);
             let hi = (i + p.halo + 1).min(rows);
             (lo, hi)
         };
-        let nnz: u64 = (0..rows)
-            .map(|i| {
-                let (l, h) = nnz_of(i);
-                h - l
-            })
-            .sum();
+        let nnz: u64 = if shift > 0 {
+            rows * (2 * p.halo + 1).min(rows)
+        } else {
+            (0..rows)
+                .map(|i| {
+                    let (l, h) = nnz_of(i);
+                    h - l
+                })
+                .sum()
+        };
 
         let mut schema = Schema::new();
         let mat = schema.add_region("Mat", nnz);
@@ -80,12 +99,24 @@ impl Spmv {
         let mut store = Store::new(schema);
         let mut k = 0u64;
         for i in 0..rows {
-            let (lo, hi) = nnz_of(i);
             let start = k;
-            for j in lo..hi {
-                store.ptrs_mut(mind)[k as usize] = j;
-                store.f64s_mut(mval)[k as usize] = 1.0 + ((i + j) % 5) as f64;
-                k += 1;
+            if shift > 0 {
+                let w = (2 * p.halo + 1).min(rows);
+                let center = (i + shift) % rows;
+                let first = (center + rows - p.halo.min(rows - 1)) % rows;
+                for o in 0..w {
+                    let j = (first + o) % rows;
+                    store.ptrs_mut(mind)[k as usize] = j;
+                    store.f64s_mut(mval)[k as usize] = 1.0 + ((i + j) % 5) as f64;
+                    k += 1;
+                }
+            } else {
+                let (lo, hi) = nnz_of(i);
+                for j in lo..hi {
+                    store.ptrs_mut(mind)[k as usize] = j;
+                    store.f64s_mut(mval)[k as usize] = 1.0 + ((i + j) % 5) as f64;
+                    k += 1;
+                }
             }
             store.ranges_mut(range_f)[i as usize] = (start, k);
         }
@@ -170,7 +201,11 @@ fn fig14a_series_with(
 ) -> ScaleSeries {
     let mut points = Vec::new();
     for &n in nodes_list {
-        let app = Spmv::generate(&SpmvParams { rows: rows_per_node * n as u64, halo: 2 });
+        let app = Spmv::generate(&SpmvParams {
+            rows: rows_per_node * n as u64,
+            halo: 2,
+            ..SpmvParams::default()
+        });
         let plan = app.auto_plan();
         let parts = plan.evaluate(&app.store, &app.fns, n, &ExtBindings::new());
         let flops_per_row = 2.0 * (app.nnz as f64) / (app.rows as f64);
@@ -195,7 +230,7 @@ mod tests {
 
     #[test]
     fn spmv_parallel_matches_sequential() {
-        let app = Spmv::generate(&SpmvParams { rows: 500, halo: 2 });
+        let app = Spmv::generate(&SpmvParams { rows: 500, halo: 2, ..SpmvParams::default() });
         let expected = app.run_sequential();
         let plan = app.auto_plan();
         let parts = plan.evaluate(&app.store, &app.fns, 4, &ExtBindings::new());
@@ -213,9 +248,34 @@ mod tests {
     }
 
     #[test]
+    fn shifted_band_matches_sequential_with_uniform_rows() {
+        let app = Spmv::generate(&SpmvParams { rows: 512, halo: 2, band_shift: 256 });
+        // Periodic band: exactly 2·halo+1 nnz per row, no edge clipping.
+        assert_eq!(app.nnz, 512 * 5);
+        let expected = app.run_sequential();
+        let plan = app.auto_plan();
+        let parts = plan.evaluate(&app.store, &app.fns, 4, &ExtBindings::new());
+        let mut store = app.store.clone();
+        execute_program(
+            &app.program,
+            &plan,
+            &parts,
+            &mut store,
+            &app.fns,
+            &ExecOptions { n_threads: 4, check_legality: true, ..ExecOptions::default() },
+        )
+        .expect("shifted-band parallel execution");
+        assert_eq!(store.f64s(app.yv), &expected[..]);
+        // The shift really moved the band: row 0 must read around column 256.
+        let mind = app.store.schema().field_by_name(app.mat, "ind").unwrap();
+        let cols = app.store.ptrs(mind);
+        assert!(cols[..5].iter().all(|&j| (254..=258).contains(&j)), "{:?}", &cols[..5]);
+    }
+
+    #[test]
     fn spmv_plan_uses_image_chain() {
         // Figure 10b: P1 = equal(Y); P2 = IMAGE-chain partitions of Mat/X.
-        let app = Spmv::generate(&SpmvParams { rows: 100, halo: 1 });
+        let app = Spmv::generate(&SpmvParams { rows: 100, halo: 1, ..SpmvParams::default() });
         let plan = app.auto_plan();
         let dpl = plan.render_dpl(&app.fns);
         assert!(dpl.contains("equal"), "{dpl}");

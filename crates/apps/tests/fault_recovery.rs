@@ -44,7 +44,7 @@ fn fixtures() -> Vec<Fixture> {
 
     let mut out = Vec::new();
 
-    let app = Spmv::generate(&SpmvParams { rows: 300, halo: 2 });
+    let app = Spmv::generate(&SpmvParams { rows: 300, halo: 2, ..SpmvParams::default() });
     out.push(Fixture {
         name: "spmv",
         plan: app.auto_plan(),
@@ -71,6 +71,7 @@ fn fixtures() -> Vec<Fixture> {
         nodes_per_cluster: 40,
         wires_per_cluster: 120,
         cross_fraction: 0.2,
+        cross_stride: None,
         seed: 7,
     });
     out.push(Fixture {

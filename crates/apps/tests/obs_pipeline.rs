@@ -17,7 +17,7 @@ fn spmv_pipeline_emits_phase_spans_in_order() {
     let sink = MemorySink::new();
     install_sink(sink.clone(), true, true);
 
-    let app = Spmv::generate(&SpmvParams { rows: 200, halo: 1 });
+    let app = Spmv::generate(&SpmvParams { rows: 200, halo: 1, ..SpmvParams::default() });
     let plan = app.auto_plan();
 
     uninstall_sink();
@@ -86,7 +86,7 @@ fn pipeline_is_silent_without_a_sink() {
     let _guard = sink_test_lock();
     let sink = MemorySink::new();
     install_sink(sink.clone(), false, false);
-    let app = Spmv::generate(&SpmvParams { rows: 100, halo: 1 });
+    let app = Spmv::generate(&SpmvParams { rows: 100, halo: 1, ..SpmvParams::default() });
     let _plan = app.auto_plan();
     uninstall_sink();
     assert!(sink.is_empty(), "disabled sink must see no events");

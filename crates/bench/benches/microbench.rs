@@ -96,7 +96,11 @@ fn bench_auto_parallelize(c: &mut Criterion) {
     let mut g = c.benchmark_group("auto_parallelize");
     g.sample_size(20);
 
-    let app = spmv::Spmv::generate(&spmv::SpmvParams { rows: 10_000, halo: 2 });
+    let app = spmv::Spmv::generate(&spmv::SpmvParams {
+        rows: 10_000,
+        halo: 2,
+        ..spmv::SpmvParams::default()
+    });
     g.bench_function("spmv", |b| {
         b.iter(|| {
             auto_parallelize(
@@ -208,7 +212,11 @@ fn bench_interning(c: &mut Criterion) {
         });
     };
 
-    let app = spmv::Spmv::generate(&spmv::SpmvParams { rows: 10_000, halo: 2 });
+    let app = spmv::Spmv::generate(&spmv::SpmvParams {
+        rows: 10_000,
+        halo: 2,
+        ..spmv::SpmvParams::default()
+    });
     run("spmv", &app.program, &app.fns, &app.store);
     let app = stencil::Stencil::generate(&stencil::StencilParams { nx: 64, ny: 64 });
     run("stencil", &app.program, &app.fns, &app.store);
@@ -224,7 +232,11 @@ fn bench_interning(c: &mut Criterion) {
 fn bench_execution(c: &mut Criterion) {
     let mut g = c.benchmark_group("execution");
     g.sample_size(20);
-    let app = spmv::Spmv::generate(&spmv::SpmvParams { rows: 200_000, halo: 2 });
+    let app = spmv::Spmv::generate(&spmv::SpmvParams {
+        rows: 200_000,
+        halo: 2,
+        ..spmv::SpmvParams::default()
+    });
     let plan = app.auto_plan();
     let parts = plan.evaluate(&app.store, &app.fns, 8, &ExtBindings::new());
     g.bench_function("spmv_seq", |b| {

@@ -34,7 +34,11 @@ struct Case {
 
 fn cases() -> Vec<Case> {
     let mut out = Vec::new();
-    let a = spmv::Spmv::generate(&spmv::SpmvParams { rows: 100_000, halo: 2 });
+    let a = spmv::Spmv::generate(&spmv::SpmvParams {
+        rows: 100_000,
+        halo: 2,
+        ..spmv::SpmvParams::default()
+    });
     out.push(Case { name: "SpMV", program: a.program, fns: a.fns, store: a.store });
     let a = stencil::Stencil::generate(&stencil::StencilParams { nx: 256, ny: 256 });
     out.push(Case { name: "Stencil", program: a.program, fns: a.fns, store: a.store });

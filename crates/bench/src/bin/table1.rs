@@ -79,7 +79,11 @@ fn main() {
     let args = BenchArgs::parse();
     let mut rows = Vec::new();
 
-    let app = spmv::Spmv::generate(&spmv::SpmvParams { rows: 100_000, halo: 2 });
+    let app = spmv::Spmv::generate(&spmv::SpmvParams {
+        rows: 100_000,
+        halo: 2,
+        ..spmv::SpmvParams::default()
+    });
     rows.push(row_of("SpMV", app.auto_plan(), app.program.len(), &app.fns, &app.store));
 
     let app = stencil::Stencil::generate(&stencil::StencilParams { nx: 256, ny: 256 });

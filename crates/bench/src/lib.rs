@@ -36,7 +36,14 @@ use std::path::PathBuf;
 ///   emit a `dist_recovery` report section with recovery wall-clock,
 ///   migrated bytes vs a full re-shard, and the fault-free checkpoint
 ///   overhead at the Young/Daly interval, gated under
-///   `PARTIR_CKPT_OVERHEAD_MAX_PCT` (default 5%; honored by `fig_dist`).
+///   `PARTIR_CKPT_OVERHEAD_MAX_PCT` (default 5%; honored by `fig_dist`);
+/// * `--placement block|cost|compare` — owner-mapping policy for the
+///   distributed runs (honored by `fig_dist`). `block` and `cost` set the
+///   policy for the normal scaling table; `compare` runs only the
+///   placement axis: block vs cost-driven on placement-adversarial inputs
+///   with over-decomposed colors, asserting cost-driven never predicts
+///   more cross-rank ghost bytes than block and emitting a `placement`
+///   report section.
 #[derive(Clone, Debug, Default)]
 pub struct BenchArgs {
     pub json: bool,
@@ -46,6 +53,28 @@ pub struct BenchArgs {
     pub assert_scaling: bool,
     pub max_ratio: Option<f64>,
     pub fault_seed: Option<u64>,
+    pub placement: Option<PlacementMode>,
+}
+
+/// `--placement` modes understood by the harnesses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PlacementMode {
+    /// Contiguous block owner mapping for the normal tables.
+    Block,
+    /// Cost-driven owner mapping for the normal tables.
+    Cost,
+    /// Run only the block-vs-cost placement comparison axis.
+    Compare,
+}
+
+impl PlacementMode {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            PlacementMode::Block => "block",
+            PlacementMode::Cost => "cost",
+            PlacementMode::Compare => "compare",
+        }
+    }
 }
 
 impl BenchArgs {
@@ -94,6 +123,21 @@ impl BenchArgs {
                     }
                     args.max_ratio = Some(ratio);
                 }
+                "--placement" => {
+                    let v = it
+                        .next()
+                        .ok_or_else(|| "--placement requires a mode argument".to_string())?;
+                    args.placement = Some(match v.trim() {
+                        "block" => PlacementMode::Block,
+                        "cost" | "cost-driven" => PlacementMode::Cost,
+                        "compare" => PlacementMode::Compare,
+                        other => {
+                            return Err(format!(
+                                "--placement: '{other}' is not a mode (expected block|cost|compare)"
+                            ));
+                        }
+                    });
+                }
                 "--fault-seed" => {
                     let v = it
                         .next()
@@ -108,7 +152,8 @@ impl BenchArgs {
                     return Err(format!(
                         "unknown argument '{other}' (expected --json [--out PATH] \
                          [--trace-out PATH] [--check-obs-skew] [--assert-scaling] \
-                         [--max-ratio X] [--fault-seed N])"
+                         [--max-ratio X] [--fault-seed N] \
+                         [--placement block|cost|compare])"
                     ));
                 }
             }
@@ -294,6 +339,23 @@ mod tests {
         assert!(err.contains("requires a number"), "{err}");
         let err = BenchArgs::parse_from(argv(&["--fault-seed", "-3"])).unwrap_err();
         assert!(err.contains("not an unsigned integer"), "{err}");
+    }
+
+    #[test]
+    fn parse_from_accepts_placement_modes() {
+        let a = BenchArgs::parse_from(argv(&["--placement", "block"])).unwrap();
+        assert_eq!(a.placement, Some(PlacementMode::Block));
+        let a = BenchArgs::parse_from(argv(&["--placement", "cost"])).unwrap();
+        assert_eq!(a.placement, Some(PlacementMode::Cost));
+        let a = BenchArgs::parse_from(argv(&["--placement", "cost-driven"])).unwrap();
+        assert_eq!(a.placement, Some(PlacementMode::Cost));
+        let a = BenchArgs::parse_from(argv(&["--placement", "compare"])).unwrap();
+        assert_eq!(a.placement, Some(PlacementMode::Compare));
+        assert_eq!(a.placement.unwrap().as_str(), "compare");
+        let err = BenchArgs::parse_from(argv(&["--placement", "greedy"])).unwrap_err();
+        assert!(err.contains("block|cost|compare"), "{err}");
+        let err = BenchArgs::parse_from(argv(&["--placement"])).unwrap_err();
+        assert!(err.contains("requires a mode"), "{err}");
     }
 
     #[test]

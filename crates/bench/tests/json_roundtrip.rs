@@ -12,7 +12,11 @@ use partir_obs::report;
 fn table1_json_round_trips_every_row() {
     let mut apps = Json::array();
 
-    let app = spmv::Spmv::generate(&spmv::SpmvParams { rows: 500, halo: 2 });
+    let app = spmv::Spmv::generate(&spmv::SpmvParams {
+        rows: 500,
+        halo: 2,
+        ..spmv::SpmvParams::default()
+    });
     apps = apps.push(plan_json("SpMV", &app.auto_plan(), app.program.len(), &app.fns));
 
     let app = stencil::Stencil::generate(&stencil::StencilParams { nx: 16, ny: 16 });
@@ -23,6 +27,7 @@ fn table1_json_round_trips_every_row() {
         nodes_per_cluster: 100,
         wires_per_cluster: 200,
         cross_fraction: 0.2,
+        cross_stride: None,
         seed: 7,
     });
     apps = apps.push(plan_json("Circuit", &app.auto_plan(), app.program.len(), &app.fns));

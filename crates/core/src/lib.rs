@@ -12,6 +12,7 @@ pub mod lang;
 pub mod lemmas;
 pub mod optimize;
 pub mod pipeline;
+pub mod placement;
 pub mod solve;
 pub mod unify;
 
@@ -31,6 +32,10 @@ pub mod prelude {
     pub use crate::pipeline::{
         auto_parallelize, AccessPlan, AutoError, Hints, LoopPlan, Options, ParallelPlan, PartId,
         PlannedReduce, Timings,
+    };
+    pub use crate::placement::{
+        evacuate_placement, place, CommGraph, Placement, PlacementConfig, PlacementPolicy,
+        PlacementReport,
     };
     pub use crate::solve::{solve, solve_with, Solution, SolveBudget, SolveError, SolveStats};
     pub use crate::unify::{unify, Rep, Unified};

@@ -1,0 +1,1241 @@
+//! Cost-driven placement of partition colors onto ranks.
+//!
+//! The solver decides *which elements share a color*; this module decides
+//! *which rank owns each color*. The default block mapping
+//! ([`crate::exchange::block_assignment`]) assigns colors to ranks in
+//! contiguous index order — optimal when the index order tracks the
+//! communication structure (banded SpMV, row-major stencils) and arbitrarily
+//! bad when it does not (renumbered meshes, scattered sparsity, clustered
+//! graphs laid out in netlist order).
+//!
+//! The placement pipeline:
+//!
+//! 1. **Communication graph.** [`CommGraph::build`] derives the exchange at
+//!    *color* granularity — [`crate::exchange::derive_exchange_with`] under
+//!    the identity assignment (every color its own rank) — so the edge
+//!    weight `w(c, d)` is the exact `needed − owned` byte volume between
+//!    colors `c` and `d` (ghost fetches, write-backs, and routed partial
+//!    buffers, via [`crate::exchange::ExchangePlan::predicted_pair_volume`]),
+//!    and the node weight `load(c)` is the color's owned f64 bytes. Exact by
+//!    construction: no traffic model is guessed from the loop text.
+//! 2. **Greedy k-way seeding.** Colors in descending (load + affinity)
+//!    order; the heaviest `k` seed distinct ranks (fastest ranks first),
+//!    the rest join the rank with the strongest affinity to their already
+//!    placed neighbors, subject to the load-balance cap.
+//! 3. **KL/FM refinement.** Bounded gain passes: a color moves to another
+//!    rank when the move strictly reduces the bandwidth-priced cut and the
+//!    destination stays under its capacity (FM), and two colors on
+//!    different ranks exchange places when the swap does (KL) — the swap
+//!    half matters because under a tight balance cap with uniform color
+//!    loads every rank sits at capacity and single moves are all blocked.
+//!    Deterministic (index-order sweeps, lowest-rank tie-breaks), so a
+//!    placement replays bit-identically.
+//!
+//! **Load balance** is speed-weighted: rank `r` may own at most
+//! `imbalance · total_load · speed(r) / Σ speed` bytes, so slow ranks of a
+//! heterogeneous [`MachineModel`] get proportionally smaller shards.
+//!
+//! The graph objective is a surrogate — two co-ranked colors fetching the
+//! same remote element are charged twice in the graph but once by the real
+//! rank-level exchange — so [`place`] always re-derives the candidate and
+//! the block baseline at rank granularity and keeps whichever moves fewer
+//! *exact* bytes. Cost-driven placement therefore never regresses below
+//! block, by construction.
+//!
+//! **Recovery** reuses the same machinery: [`evacuate_placement`] re-places
+//! only a dead rank's colors onto survivors by gain (replacing the old
+//! round-robin deal), preserving the migration-minimality invariant that
+//! survivor-owned shards never move.
+
+use crate::exchange::{block_assignment, derive_exchange_with, ExchangeError, ExchangePlan};
+use crate::pipeline::ParallelPlan;
+use partir_dpl::partition::Partition;
+use partir_dpl::region::Schema;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Per-rank compute speed and bandwidth tiers of a heterogeneous machine.
+///
+/// Speeds and bandwidths are *relative* factors (1.0 = the reference rank);
+/// non-finite or non-positive entries sanitize to 1.0 so a malformed env
+/// override degrades to homogeneity instead of dividing by zero. The
+/// simulator consumes the same model (`partir-runtime::sim::simulate_hetero`)
+/// so placement and simulation price slow ranks consistently.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MachineModel {
+    speed: Vec<f64>,
+    bandwidth: Vec<f64>,
+}
+
+impl MachineModel {
+    /// All ranks identical (speed 1.0, bandwidth 1.0).
+    pub fn homogeneous(n_ranks: usize) -> MachineModel {
+        MachineModel { speed: vec![1.0; n_ranks], bandwidth: vec![1.0; n_ranks] }
+    }
+
+    /// Per-rank speeds, bandwidth 1.0 everywhere.
+    pub fn with_speeds(speeds: &[f64]) -> MachineModel {
+        MachineModel::new(speeds.to_vec(), vec![1.0; speeds.len()])
+    }
+
+    /// Per-rank speeds and bandwidths; the shorter list pads with 1.0.
+    pub fn new(mut speed: Vec<f64>, mut bandwidth: Vec<f64>) -> MachineModel {
+        let n = speed.len().max(bandwidth.len());
+        speed.resize(n, 1.0);
+        bandwidth.resize(n, 1.0);
+        let sane = |v: &mut Vec<f64>| {
+            for x in v.iter_mut() {
+                if !x.is_finite() || *x <= 0.0 {
+                    *x = 1.0;
+                }
+            }
+        };
+        sane(&mut speed);
+        sane(&mut bandwidth);
+        MachineModel { speed, bandwidth }
+    }
+
+    /// The model resized to exactly `n_ranks` ranks (extra ranks are
+    /// reference-speed); placement always works against a model of the
+    /// backend's width.
+    pub fn resized(&self, n_ranks: usize) -> MachineModel {
+        let mut m = self.clone();
+        m.speed.resize(n_ranks, 1.0);
+        m.bandwidth.resize(n_ranks, 1.0);
+        m.speed.truncate(n_ranks);
+        m.bandwidth.truncate(n_ranks);
+        m
+    }
+
+    pub fn n_ranks(&self) -> usize {
+        self.speed.len()
+    }
+
+    pub fn speed(&self, rank: usize) -> f64 {
+        self.speed.get(rank).copied().unwrap_or(1.0)
+    }
+
+    pub fn bandwidth(&self, rank: usize) -> f64 {
+        self.bandwidth.get(rank).copied().unwrap_or(1.0)
+    }
+
+    /// Rank `r`'s fair share of the total load: `speed(r) / Σ speed`.
+    pub fn share(&self, rank: usize) -> f64 {
+        let total: f64 = self.speed.iter().sum();
+        if total <= 0.0 {
+            return 1.0 / self.n_ranks().max(1) as f64;
+        }
+        self.speed(rank) / total
+    }
+
+    /// Effective link bandwidth between two ranks: the slower endpoint.
+    pub fn link(&self, a: usize, b: usize) -> f64 {
+        self.bandwidth(a).min(self.bandwidth(b))
+    }
+
+    /// Is any rank non-reference? (Homogeneous models skip hetero pricing.)
+    pub fn is_heterogeneous(&self) -> bool {
+        self.speed.iter().chain(&self.bandwidth).any(|&x| x != 1.0)
+    }
+}
+
+/// How colors map to ranks.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PlacementPolicy {
+    /// Contiguous blocks in color-index order (the historical default).
+    Block,
+    /// Greedy seeding + KL/FM refinement on the communication graph.
+    CostDriven,
+    /// A caller-supplied `assignment[color] = rank` (validated like
+    /// [`derive_exchange_with`]'s assignment: full coverage, in-range ranks).
+    Explicit(Vec<usize>),
+}
+
+impl PlacementPolicy {
+    pub fn name(&self) -> &'static str {
+        match self {
+            PlacementPolicy::Block => "block",
+            PlacementPolicy::CostDriven => "cost",
+            PlacementPolicy::Explicit(_) => "explicit",
+        }
+    }
+}
+
+/// Placement inputs: the policy plus the solver's knobs.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PlacementConfig {
+    pub policy: PlacementPolicy,
+    /// Load-balance cap: each rank's owned bytes may exceed its
+    /// speed-weighted fair share by at most this factor (≥ 1.0).
+    pub imbalance: f64,
+    /// Upper bound on KL/FM refinement sweeps.
+    pub max_passes: usize,
+    /// Per-rank speeds/bandwidths; `None` is homogeneous.
+    pub machine: Option<MachineModel>,
+}
+
+impl Default for PlacementConfig {
+    fn default() -> Self {
+        PlacementConfig {
+            policy: PlacementPolicy::Block,
+            imbalance: 1.10,
+            max_passes: 8,
+            machine: None,
+        }
+    }
+}
+
+impl PlacementConfig {
+    pub fn cost_driven() -> PlacementConfig {
+        PlacementConfig { policy: PlacementPolicy::CostDriven, ..PlacementConfig::default() }
+    }
+
+    /// Defaults from the `PARTIR_PLACEMENT*` environment variables (parsed
+    /// in [`partir_obs::config::placement_env`], the single env-reading
+    /// site). `None` when no placement variable is set at all — the
+    /// builder then falls back to [`PlacementConfig::default`].
+    pub fn from_env() -> Option<PlacementConfig> {
+        let e = partir_obs::config::placement_env()?;
+        let mut c = PlacementConfig {
+            policy: if e.cost_driven {
+                PlacementPolicy::CostDriven
+            } else {
+                PlacementPolicy::Block
+            },
+            ..PlacementConfig::default()
+        };
+        if let Some(i) = e.imbalance {
+            c.imbalance = i;
+        }
+        if let Some(p) = e.max_passes {
+            c.max_passes = p;
+        }
+        if !e.speeds.is_empty() || !e.bandwidths.is_empty() {
+            c.machine = Some(MachineModel::new(e.speeds, e.bandwidths));
+        }
+        Some(c)
+    }
+
+    fn resolved_machine(&self, n_ranks: usize) -> MachineModel {
+        match &self.machine {
+            Some(m) => m.resized(n_ranks),
+            None => MachineModel::homogeneous(n_ranks),
+        }
+    }
+}
+
+/// The (color × color) communication-volume graph plus per-color loads.
+#[derive(Clone, Debug)]
+pub struct CommGraph {
+    pub n_colors: usize,
+    /// Directed bytes `w[src · n + dst]` shipped from color `src` to color
+    /// `dst` over one program pass, were every color its own rank.
+    w: Vec<u64>,
+    /// Owned f64 bytes per color (the balance weight; sums to the store's
+    /// sharded footprint because the owner partitions are disjoint+complete).
+    pub load: Vec<u64>,
+}
+
+impl CommGraph {
+    /// Builds the graph by deriving the exchange at color granularity: the
+    /// identity assignment makes `predicted_pair_volume` *be* the per-color
+    /// traffic matrix, so edges are exact `needed − owned` set-algebra bytes
+    /// (same derivation the runtime executes), not a model.
+    pub fn build(
+        plan: &ParallelPlan,
+        parts: &[Arc<Partition>],
+        schema: &Schema,
+    ) -> Result<CommGraph, ExchangeError> {
+        let n = parts.first().map(|p| p.num_subregions()).unwrap_or(0);
+        if n == 0 {
+            return Ok(CommGraph { n_colors: 0, w: Vec::new(), load: Vec::new() });
+        }
+        let identity: Vec<usize> = (0..n).collect();
+        let x = derive_exchange_with(plan, parts, schema, n, &identity)?;
+        let vol = x.predicted_pair_volume();
+        let mut w = vec![0u64; n * n];
+        for (src, row) in vol.iter().enumerate() {
+            for (dst, v) in row.iter().enumerate() {
+                w[src * n + dst] = v.bytes;
+            }
+        }
+        let load = (0..n).map(|c| x.owned_field_bytes(schema, c)).collect();
+        Ok(CommGraph { n_colors: n, w, load })
+    }
+
+    /// A graph from raw parts — tests and synthetic benchmarks only.
+    #[doc(hidden)]
+    pub fn from_raw(n_colors: usize, edges: &[(usize, usize, u64)], load: Vec<u64>) -> CommGraph {
+        let mut w = vec![0u64; n_colors * n_colors];
+        for &(a, b, bytes) in edges {
+            w[a * n_colors + b] += bytes;
+        }
+        CommGraph { n_colors, w, load }
+    }
+
+    /// Undirected affinity between two colors: bytes either would save by
+    /// sharing a rank.
+    pub fn affinity(&self, a: usize, b: usize) -> u64 {
+        self.w[a * self.n_colors + b] + self.w[b * self.n_colors + a]
+    }
+
+    pub fn total_load(&self) -> u64 {
+        self.load.iter().sum()
+    }
+
+    /// Bytes crossing rank boundaries under `assignment` (unpriced).
+    pub fn cut_bytes(&self, assignment: &[usize]) -> u64 {
+        let mut cut = 0u64;
+        for a in 0..self.n_colors {
+            for b in (a + 1)..self.n_colors {
+                if assignment[a] != assignment[b] {
+                    cut += self.affinity(a, b);
+                }
+            }
+        }
+        cut
+    }
+}
+
+/// Sparse view of the nonzero affinities, built once per solve so the
+/// µs-scale refinement loops walk edges instead of rescanning the dense
+/// matrix. Symmetric by construction because affinity is.
+struct Adjacency {
+    offsets: Vec<u32>,
+    edges: Vec<(u32, f64)>,
+}
+
+impl Adjacency {
+    fn build(g: &CommGraph) -> Adjacency {
+        let n = g.n_colors;
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut edges = Vec::new();
+        offsets.push(0u32);
+        for c in 0..n {
+            for d in 0..n {
+                if d != c {
+                    let aff = g.affinity(c, d);
+                    if aff > 0 {
+                        edges.push((d as u32, aff as f64));
+                    }
+                }
+            }
+            offsets.push(edges.len() as u32);
+        }
+        Adjacency { offsets, edges }
+    }
+
+    /// `(neighbor, affinity)` pairs of color `c`.
+    fn neighbors(&self, c: usize) -> &[(u32, f64)] {
+        &self.edges[self.offsets[c] as usize..self.offsets[c + 1] as usize]
+    }
+
+    /// Bandwidth-priced cost color `c` pays at rank `r` under `cur`:
+    /// `Σ_d affinity(c,d) / link(r, rank(d))` over cross-rank neighbors.
+    fn cost_at(&self, c: usize, r: usize, cur: &[usize], li: &LinkInv) -> f64 {
+        let mut cost = 0.0;
+        for &(d, aff) in self.neighbors(c) {
+            let s = cur[d as usize];
+            if s != usize::MAX && s != r {
+                cost += aff * li.inv(r, s);
+            }
+        }
+        cost
+    }
+}
+
+/// Reciprocal link bandwidths, tabulated once per solve (`n_ranks²`
+/// entries): every edge pricing in the refinement loops is a multiply
+/// instead of a divide plus two bandwidth lookups.
+struct LinkInv {
+    n_ranks: usize,
+    inv: Vec<f64>,
+    /// All links reference-speed (the homogeneous case): pricing a row
+    /// collapses to a subtraction instead of a dot product.
+    uniform: bool,
+}
+
+impl LinkInv {
+    fn build(m: &MachineModel, n_ranks: usize) -> LinkInv {
+        let inv: Vec<f64> =
+            (0..n_ranks * n_ranks).map(|i| 1.0 / m.link(i / n_ranks, i % n_ranks)).collect();
+        let uniform = inv.iter().all(|&x| x == 1.0);
+        LinkInv { n_ranks, inv, uniform }
+    }
+
+    #[inline]
+    fn inv(&self, r: usize, s: usize) -> f64 {
+        self.inv[r * self.n_ranks + s]
+    }
+}
+
+/// What the placement solver did — the `placement` report section.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct PlacementReport {
+    /// `"block"`, `"cost"`, or `"explicit"`.
+    pub policy: String,
+    pub n_colors: usize,
+    pub n_ranks: usize,
+    /// Graph-cut bytes under the block baseline / the chosen assignment
+    /// (zero for non-cost policies, which never build the graph).
+    pub cut_block_bytes: u64,
+    pub cut_bytes: u64,
+    /// Exact predicted bytes per program pass — `ExchangeStats::total_bytes`
+    /// of the rank-granular derivation — under block and under the chosen
+    /// assignment. Strict volume accounting pins the measured bytes to
+    /// these, so a predicted reduction *is* a measured reduction.
+    pub predicted_block_bytes: u64,
+    pub predicted_bytes: u64,
+    /// The configured cap and the achieved `max_r load_r / (total · share_r)`.
+    pub imbalance_limit: f64,
+    pub imbalance: f64,
+    /// Refinement sweeps run and moves applied.
+    pub passes: u64,
+    pub moves: u64,
+    /// `predicted_block_bytes − predicted_bytes` (saturating).
+    pub gain_bytes: u64,
+    /// Color-granular graph derivation time.
+    pub graph_ns: u64,
+    /// Seeding + KL/FM refinement time (the "refinement solve time" the
+    /// bench gates below 5% of end-to-end plan time).
+    pub solve_ns: u64,
+    /// Wall-clock of the whole placement stage: graph build, solve, and
+    /// the rank-granular exchange derivations of every candidate. Part of
+    /// the end-to-end plan time the solve gate divides by.
+    pub place_ns: u64,
+    /// The refined candidate moved no fewer exact bytes than block, so the
+    /// block assignment was kept.
+    pub fell_back_to_block: bool,
+}
+
+impl PlacementReport {
+    pub fn to_json(&self) -> partir_obs::json::Json {
+        partir_obs::json::Json::object()
+            .with("policy", self.policy.as_str())
+            .with("n_colors", self.n_colors)
+            .with("n_ranks", self.n_ranks)
+            .with("cut_block_bytes", self.cut_block_bytes)
+            .with("cut_bytes", self.cut_bytes)
+            .with("predicted_block_bytes", self.predicted_block_bytes)
+            .with("predicted_bytes", self.predicted_bytes)
+            .with("imbalance_limit", self.imbalance_limit)
+            .with("imbalance", self.imbalance)
+            .with("passes", self.passes)
+            .with("moves", self.moves)
+            .with("gain_bytes", self.gain_bytes)
+            .with("graph_ns", self.graph_ns)
+            .with("solve_ns", self.solve_ns)
+            .with("place_ns", self.place_ns)
+            .with("fell_back_to_block", self.fell_back_to_block)
+    }
+}
+
+/// A solved placement: the assignment, the rank-granular exchange derived
+/// under it (callers reuse it instead of re-deriving), and the report.
+#[derive(Clone, Debug)]
+pub struct Placement {
+    pub assignment: Vec<usize>,
+    pub xplan: ExchangePlan,
+    pub report: PlacementReport,
+}
+
+/// Achieved speed-weighted imbalance of an assignment's rank loads.
+fn achieved_imbalance(loads: &[u64], m: &MachineModel) -> f64 {
+    let total: u64 = loads.iter().sum();
+    if total == 0 {
+        return 1.0;
+    }
+    loads
+        .iter()
+        .enumerate()
+        .map(|(r, &l)| {
+            let ideal = total as f64 * m.share(r);
+            if ideal > 0.0 {
+                l as f64 / ideal
+            } else if l > 0 {
+                f64::INFINITY
+            } else {
+                0.0
+            }
+        })
+        .fold(0.0, f64::max)
+}
+
+fn rank_loads(g: &CommGraph, assignment: &[usize], n_ranks: usize) -> Vec<u64> {
+    let mut loads = vec![0u64; n_ranks];
+    for (c, &r) in assignment.iter().enumerate() {
+        loads[r] += g.load[c];
+    }
+    loads
+}
+
+/// Greedy k-way seeding: heaviest colors seed distinct ranks (fastest
+/// first), the rest join their strongest-affinity rank under the capacity
+/// cap, falling back to the least relatively loaded rank.
+fn seed_assignment(
+    g: &CommGraph,
+    adj: &Adjacency,
+    m: &MachineModel,
+    imbalance: f64,
+    n_ranks: usize,
+) -> Vec<usize> {
+    let n = g.n_colors;
+    let strength: Vec<u64> = (0..n)
+        .map(|c| g.load[c] + adj.neighbors(c).iter().map(|&(_, a)| a).sum::<f64>() as u64)
+        .collect();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&c| (std::cmp::Reverse(strength[c]), c));
+    let mut rank_order: Vec<usize> = (0..n_ranks).collect();
+    rank_order.sort_by(|&a, &b| {
+        m.speed(b).partial_cmp(&m.speed(a)).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
+    });
+    let total = g.total_load();
+    let ideals: Vec<f64> = (0..n_ranks).map(|r| total as f64 * m.share(r)).collect();
+    let caps: Vec<f64> = ideals.iter().map(|i| imbalance * i).collect();
+    let cap = |r: usize| caps[r];
+    let rel = |load_r: u64, c: usize, r: usize| -> f64 {
+        if ideals[r] > 0.0 {
+            (load_r + g.load[c]) as f64 / ideals[r]
+        } else {
+            f64::INFINITY
+        }
+    };
+    let mut cur = vec![usize::MAX; n];
+    let mut loads = vec![0u64; n_ranks];
+    for (i, &c) in order.iter().enumerate() {
+        let r = if i < n_ranks.min(n) {
+            rank_order[i]
+        } else {
+            // Strongest priced affinity among ranks with room; ties go to
+            // the least relatively loaded, then the lowest index. One pass
+            // over the neighbors buckets affinity per rank, rather than
+            // rescanning every color once per rank.
+            let mut aff_by_rank = vec![0.0f64; n_ranks];
+            for &(d, a) in adj.neighbors(c) {
+                if cur[d as usize] != usize::MAX {
+                    aff_by_rank[cur[d as usize]] += a;
+                }
+            }
+            let mut best: Option<(f64, usize)> = None;
+            for s in 0..n_ranks {
+                if (loads[s] + g.load[c]) as f64 > cap(s) {
+                    continue;
+                }
+                let aff = aff_by_rank[s] * m.bandwidth(s);
+                let better = match best {
+                    None => true,
+                    Some((ba, bs)) => {
+                        aff > ba || (aff == ba && rel(loads[s], c, s) < rel(loads[bs], c, bs))
+                    }
+                };
+                if better {
+                    best = Some((aff, s));
+                }
+            }
+            match best {
+                Some((_, s)) => s,
+                None => (0..n_ranks)
+                    .min_by(|&a, &b| {
+                        rel(loads[a], c, a)
+                            .partial_cmp(&rel(loads[b], c, b))
+                            .unwrap_or(std::cmp::Ordering::Equal)
+                    })
+                    .unwrap_or(0),
+            }
+        };
+        cur[c] = r;
+        loads[r] += g.load[c];
+    }
+    cur
+}
+
+/// KL/FM gain passes over `movable` colors. Each sweep first applies every
+/// strictly positive bandwidth-priced gain *move* whose destination stays
+/// under its cap, then every strictly positive pairwise *swap* of two
+/// movable colors on different ranks — the KL half: under a tight balance
+/// cap with uniform color loads every rank sits at capacity, single moves
+/// are all blocked, and only an exchange can improve the cut. Stops at a
+/// fixpoint or after `max_passes` sweeps. Returns (passes, moves); a swap
+/// counts as two moves.
+#[allow(clippy::too_many_arguments)]
+fn refine(
+    g: &CommGraph,
+    adj: &Adjacency,
+    m: &MachineModel,
+    li: &LinkInv,
+    imbalance: f64,
+    n_ranks: usize,
+    cur: &mut [usize],
+    movable: &[usize],
+    max_passes: usize,
+) -> (u64, u64) {
+    let total = g.total_load();
+    let caps: Vec<f64> = (0..n_ranks).map(|r| imbalance * total as f64 * m.share(r)).collect();
+    let mut loads = rank_loads(g, cur, n_ranks);
+    let mut in_movable = vec![false; g.n_colors];
+    for &c in movable {
+        in_movable[c] = true;
+    }
+    let (mut passes, mut moves) = (0u64, 0u64);
+    // Priced lazily: a refinement that never moves (seed already locally
+    // optimal — the common case) never pays for a full cut evaluation.
+    let mut cut_before: Option<f64> = None;
+    // Reused across passes; tabulation refills rows in place.
+    let mut snapshot = vec![0usize; cur.len()];
+    let mut cost = vec![0.0f64; g.n_colors * n_ranks];
+    let mut bucket = vec![0.0f64; n_ranks];
+    for _ in 0..max_passes {
+        snapshot.copy_from_slice(cur);
+        let moves_at_pass_start = moves;
+        let mut moved = false;
+        for &c in movable {
+            let r = cur[c];
+            // The row only matters once some target rank has room; under
+            // saturated uniform loads no rank does, and the sweep
+            // degenerates to capacity checks.
+            let mut priced = false;
+            let mut best: Option<(f64, usize)> = None;
+            for s in 0..n_ranks {
+                if s == r || (loads[s] + g.load[c]) as f64 > caps[s] {
+                    continue;
+                }
+                if !priced {
+                    tabulate_rank_costs(adj, li, n_ranks, cur, c, &mut cost, &mut bucket);
+                    priced = true;
+                }
+                let gain = cost[c * n_ranks + r] - cost[c * n_ranks + s];
+                if gain > 0.0 && best.is_none_or(|(bg, _)| gain > bg) {
+                    best = Some((gain, s));
+                }
+            }
+            if let Some((_, s)) = best {
+                cur[c] = s;
+                loads[r] -= g.load[c];
+                loads[s] += g.load[c];
+                moves += 1;
+                moved = true;
+            }
+        }
+        // Swaps are the escape hatch for capacity paralysis; while single
+        // moves still make progress they are cheaper, so the pair sweep
+        // only runs once moves stall. Per sweep, every movable color's
+        // cost at every rank is tabulated once (`cost[c·R + t]`), making
+        // each pair O(1); rows of a swapped pair are refreshed immediately,
+        // other rows go slightly stale mid-sweep (classic KL practice —
+        // the epsilon keeps float-noise "gains" from cycling, and the
+        // exact-bytes fallback in `place` bounds any net damage). A swap's
+        // gain is the two move gains corrected for the c–d edge both rows
+        // misprice during a simultaneous exchange: the pair stays split
+        // across the same link before and after, yet each row sees the
+        // partner as already local, so the edge is charged back twice.
+        const SWAP_EPS: f64 = 1e-6;
+        if !moved {
+            for &c in movable {
+                tabulate_rank_costs(adj, li, n_ranks, cur, c, &mut cost, &mut bucket);
+            }
+            for &c in movable {
+                let r = cur[c];
+                let mut best: Option<(f64, usize)> = None;
+                for d in (c + 1)..g.n_colors {
+                    if !in_movable[d] {
+                        continue;
+                    }
+                    let s = cur[d];
+                    if s == r {
+                        continue;
+                    }
+                    let lr = loads[r] - g.load[c] + g.load[d];
+                    let ls = loads[s] - g.load[d] + g.load[c];
+                    if lr as f64 > caps[r] || ls as f64 > caps[s] {
+                        continue;
+                    }
+                    let gain = cost[c * n_ranks + r] - cost[c * n_ranks + s]
+                        + cost[d * n_ranks + s]
+                        - cost[d * n_ranks + r]
+                        - 2.0 * g.affinity(c, d) as f64 * li.inv(r, s);
+                    if gain > SWAP_EPS && best.is_none_or(|(bg, _)| gain > bg) {
+                        best = Some((gain, d));
+                    }
+                }
+                if let Some((_, d)) = best {
+                    let s = cur[d];
+                    // Rows tabulated at sweep start go stale as earlier
+                    // swaps land, and a stale "gain" can undo real
+                    // progress; re-price the winning pair against the live
+                    // assignment and only commit a still-positive swap.
+                    let fresh = adj.cost_at(c, r, cur, li) - adj.cost_at(c, s, cur, li)
+                        + adj.cost_at(d, s, cur, li)
+                        - adj.cost_at(d, r, cur, li)
+                        - 2.0 * g.affinity(c, d) as f64 * li.inv(r, s);
+                    if fresh > SWAP_EPS {
+                        cur[c] = s;
+                        cur[d] = r;
+                        loads[r] = loads[r] - g.load[c] + g.load[d];
+                        loads[s] = loads[s] - g.load[d] + g.load[c];
+                        tabulate_rank_costs(adj, li, n_ranks, cur, c, &mut cost, &mut bucket);
+                        tabulate_rank_costs(adj, li, n_ranks, cur, d, &mut cost, &mut bucket);
+                        moves += 2;
+                        moved = true;
+                    }
+                }
+            }
+        }
+        passes += 1;
+        if !moved {
+            break;
+        }
+        // Per-pass gains are priced against mid-sweep state (stale rows,
+        // already-applied moves), so a pass can "move" without net gain —
+        // oscillating swaps whose table gains cancel once rows refresh.
+        // Re-pricing the whole cut once per pass is the ground truth: a
+        // pass that fails to strictly lower it is undone and ends refinement.
+        let before = cut_before.unwrap_or_else(|| priced_cut(adj, li, &snapshot));
+        let cut_after = priced_cut(adj, li, cur);
+        if cut_after + SWAP_EPS >= before {
+            cur.copy_from_slice(&snapshot);
+            moves = moves_at_pass_start;
+            break;
+        }
+        cut_before = Some(cut_after);
+    }
+    (passes, moves)
+}
+
+/// Fills `cost[c·n_ranks + t]` with [`Adjacency::cost_at`]`(c, t)` for
+/// every rank `t`: one pass over `c`'s neighbors buckets affinity by
+/// owner rank, then the row prices bucket sums instead of edges —
+/// O(deg + ranks²) instead of O(deg · ranks), and O(deg + ranks) on
+/// uniform links where row `t` is just `total − bucket[t]`.
+#[allow(clippy::too_many_arguments)]
+fn tabulate_rank_costs(
+    adj: &Adjacency,
+    li: &LinkInv,
+    n_ranks: usize,
+    cur: &[usize],
+    c: usize,
+    cost: &mut [f64],
+    bucket: &mut [f64],
+) {
+    let row = &mut cost[c * n_ranks..(c + 1) * n_ranks];
+    bucket[..n_ranks].fill(0.0);
+    let mut total = 0.0;
+    for &(d, aff) in adj.neighbors(c) {
+        let s = cur[d as usize];
+        if s != usize::MAX {
+            bucket[s] += aff;
+            total += aff;
+        }
+    }
+    if li.uniform {
+        for (t, slot) in row.iter_mut().enumerate() {
+            *slot = total - bucket[t];
+        }
+    } else {
+        for (t, slot) in row.iter_mut().enumerate() {
+            *slot = (0..n_ranks).filter(|&u| u != t).map(|u| bucket[u] * li.inv(t, u)).sum();
+        }
+    }
+}
+
+/// Bandwidth-priced cut of an assignment: `Σ affinity(a,b) / link` over
+/// cross-rank pairs (the objective [`refine`] descends).
+fn priced_cut(adj: &Adjacency, li: &LinkInv, assignment: &[usize]) -> f64 {
+    let mut cut = 0.0;
+    for a in 0..assignment.len() {
+        for &(b, aff) in adj.neighbors(a) {
+            let b = b as usize;
+            if b > a && assignment[a] != assignment[b] {
+                cut += aff * li.inv(assignment[a], assignment[b]);
+            }
+        }
+    }
+    cut
+}
+
+/// Runs the cost-driven solver on a prebuilt graph. Exposed for tests and
+/// benchmarks; [`place`] is the full pipeline.
+///
+/// Seeding is best-of-two: the greedy affinity seed competes against the
+/// plain block assignment (when block respects the capacity cap) and the
+/// lower priced cut wins. Block is already optimal for chain-structured
+/// graphs (stencils), where refining a scrambled greedy seed back to an
+/// equal-cut assignment would waste sweeps; greedy wins when the affinity
+/// structure is non-contiguous (pairwise bands, strided interconnects).
+pub fn cost_driven_assignment(
+    g: &CommGraph,
+    m: &MachineModel,
+    imbalance: f64,
+    max_passes: usize,
+    n_ranks: usize,
+) -> (Vec<usize>, u64, u64) {
+    let imbalance = imbalance.max(1.0);
+    let adj = Adjacency::build(g);
+    let li = LinkInv::build(m, n_ranks);
+    let mut cur = seed_assignment(g, &adj, m, imbalance, n_ranks);
+    let block = block_assignment(g.n_colors, n_ranks);
+    let total = g.total_load();
+    let block_fits = rank_loads(g, &block, n_ranks)
+        .iter()
+        .enumerate()
+        .all(|(r, &l)| l as f64 <= imbalance * total as f64 * m.share(r));
+    if block_fits && priced_cut(&adj, &li, &block) < priced_cut(&adj, &li, &cur) {
+        cur = block;
+    }
+    let movable: Vec<usize> = (0..g.n_colors).collect();
+    let (passes, moves) =
+        refine(g, &adj, m, &li, imbalance, n_ranks, &mut cur, &movable, max_passes);
+    (cur, passes, moves)
+}
+
+/// Solves the owner mapping for `n_ranks` ranks under `config` and derives
+/// the rank-granular exchange for it.
+///
+/// For `CostDriven`, both the refined candidate and the block baseline are
+/// derived exactly and the cheaper one (by `ExchangeStats::total_bytes`)
+/// wins — the graph guides the search, the set algebra decides.
+pub fn place(
+    plan: &ParallelPlan,
+    parts: &[Arc<Partition>],
+    schema: &Schema,
+    n_ranks: usize,
+    config: &PlacementConfig,
+) -> Result<Placement, ExchangeError> {
+    if n_ranks == 0 {
+        return Err(ExchangeError::NoRanks);
+    }
+    let n_colors = parts.first().map(|p| p.num_subregions()).unwrap_or(0);
+    let machine = config.resolved_machine(n_ranks);
+    let imbalance = config.imbalance.max(1.0);
+    let sp = partir_obs::span_with(
+        "placement.solve",
+        vec![
+            ("policy", config.policy.name().into()),
+            ("ranks", n_ranks.into()),
+            ("colors", n_colors.into()),
+        ],
+    );
+
+    let t_place = Instant::now();
+    let mut report = PlacementReport {
+        policy: config.policy.name().into(),
+        n_colors,
+        n_ranks,
+        imbalance_limit: imbalance,
+        ..PlacementReport::default()
+    };
+
+    let finish = |assignment: Vec<usize>,
+                  xplan: ExchangePlan,
+                  mut report: PlacementReport|
+     -> Result<Placement, ExchangeError> {
+        let loads: Vec<u64> = (0..n_ranks).map(|r| xplan.owned_field_bytes(schema, r)).collect();
+        report.imbalance = achieved_imbalance(&loads, &machine);
+        report.place_ns = t_place.elapsed().as_nanos() as u64;
+        report.predicted_bytes = xplan.stats.total_bytes();
+        report.gain_bytes = report.predicted_block_bytes.saturating_sub(report.predicted_bytes);
+        if partir_obs::metrics_enabled() {
+            partir_obs::counter("placement.predicted_bytes", report.predicted_bytes);
+            partir_obs::counter("placement.gain_bytes", report.gain_bytes);
+        }
+        Ok(Placement { assignment, xplan, report })
+    };
+
+    let out = match &config.policy {
+        PlacementPolicy::Block => {
+            let a = block_assignment(n_colors, n_ranks);
+            let x = derive_exchange_with(plan, parts, schema, n_ranks, &a)?;
+            report.predicted_block_bytes = x.stats.total_bytes();
+            finish(a, x, report)
+        }
+        PlacementPolicy::Explicit(a) => {
+            let x = derive_exchange_with(plan, parts, schema, n_ranks, a)?;
+            finish(a.clone(), x, report)
+        }
+        PlacementPolicy::CostDriven => {
+            let t_graph = Instant::now();
+            let graph = CommGraph::build(plan, parts, schema)?;
+            report.graph_ns = t_graph.elapsed().as_nanos() as u64;
+            let t_solve = Instant::now();
+            let (cand, passes, moves) =
+                cost_driven_assignment(&graph, &machine, imbalance, config.max_passes, n_ranks);
+            report.solve_ns = t_solve.elapsed().as_nanos() as u64;
+            report.passes = passes;
+            report.moves = moves;
+            let block = block_assignment(n_colors, n_ranks);
+            report.cut_block_bytes = graph.cut_bytes(&block);
+            report.cut_bytes = graph.cut_bytes(&cand);
+            let xb = derive_exchange_with(plan, parts, schema, n_ranks, &block)?;
+            let xc = derive_exchange_with(plan, parts, schema, n_ranks, &cand)?;
+            report.predicted_block_bytes = xb.stats.total_bytes();
+            if xc.stats.total_bytes() < xb.stats.total_bytes() {
+                finish(cand, xc, report)
+            } else {
+                report.fell_back_to_block = true;
+                report.cut_bytes = report.cut_block_bytes;
+                finish(block, xb, report)
+            }
+        }
+    };
+    if let Ok(p) = &out {
+        sp.close_with(vec![
+            ("predicted_bytes", p.report.predicted_bytes.into()),
+            ("gain_bytes", p.report.gain_bytes.into()),
+            ("solve_ns", p.report.solve_ns.into()),
+        ]);
+    }
+    out
+}
+
+/// Gain-based evacuation of a dead rank: survivors keep every color they
+/// had (the migration-minimality invariant — nothing a survivor owns ever
+/// moves), and only the dead rank's colors are re-placed, greedily by
+/// affinity then refined by restricted KL/FM passes over survivor ranks
+/// with survivor-speed-weighted capacity. Replaces the round-robin deal of
+/// [`crate::exchange::evacuate_assignment`], which balanced counts but not
+/// bytes or traffic.
+pub fn evacuate_placement(
+    plan: &ParallelPlan,
+    parts: &[Arc<Partition>],
+    schema: &Schema,
+    owner: &[usize],
+    dead: usize,
+    n_ranks: usize,
+    config: &PlacementConfig,
+) -> Result<Vec<usize>, ExchangeError> {
+    let graph = CommGraph::build(plan, parts, schema)?;
+    Ok(evacuate_with_graph(
+        &graph,
+        &config.resolved_machine(n_ranks),
+        config.imbalance.max(1.0),
+        config.max_passes,
+        owner,
+        dead,
+        n_ranks,
+    ))
+}
+
+/// [`evacuate_placement`] on a prebuilt graph.
+pub fn evacuate_with_graph(
+    g: &CommGraph,
+    m: &MachineModel,
+    imbalance: f64,
+    max_passes: usize,
+    owner: &[usize],
+    dead: usize,
+    n_ranks: usize,
+) -> Vec<usize> {
+    let survivors: Vec<usize> = (0..n_ranks).filter(|&r| r != dead).collect();
+    assert!(!survivors.is_empty(), "cannot evacuate the last rank");
+    // Capacity over survivors only: the dead rank's share redistributes by
+    // surviving speed.
+    let sspeed: f64 = survivors.iter().map(|&r| m.speed(r)).sum();
+    let total = g.total_load();
+    let ideal = |r: usize| total as f64 * m.speed(r) / sspeed;
+    let cap = |r: usize| imbalance * ideal(r);
+
+    let adj = Adjacency::build(g);
+    let li = LinkInv::build(m, n_ranks);
+    let mut cur = owner.to_vec();
+    let mut loads = rank_loads(g, &cur, n_ranks);
+    let mut dead_colors: Vec<usize> =
+        (0..g.n_colors.min(owner.len())).filter(|&c| owner[c] == dead).collect();
+    dead_colors.sort_by_key(|&c| (std::cmp::Reverse(g.load[c]), c));
+    // Greedy: each dead color joins the survivor where it costs least,
+    // under the survivor cap; fallback is the least relatively loaded.
+    for &c in &dead_colors {
+        loads[dead] -= g.load[c];
+        cur[c] = usize::MAX;
+        let mut best: Option<(f64, usize)> = None;
+        for &s in &survivors {
+            if (loads[s] + g.load[c]) as f64 > cap(s) {
+                continue;
+            }
+            let cost = adj.cost_at(c, s, &cur, &li);
+            if best.is_none_or(|(bc, _)| cost < bc) {
+                best = Some((cost, s));
+            }
+        }
+        let s = match best {
+            Some((_, s)) => s,
+            None => *survivors
+                .iter()
+                .min_by(|&&a, &&b| {
+                    let ra = (loads[a] + g.load[c]) as f64 / ideal(a).max(f64::MIN_POSITIVE);
+                    let rb = (loads[b] + g.load[c]) as f64 / ideal(b).max(f64::MIN_POSITIVE);
+                    ra.partial_cmp(&rb).unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .unwrap_or(&survivors[0]),
+        };
+        cur[c] = s;
+        loads[s] += g.load[c];
+    }
+    // Restricted refinement: only the evacuated colors may move, and only
+    // between survivors — survivor-owned shards stay put by construction.
+    let sm = survivor_model(m, dead, n_ranks);
+    refine(g, &adj, &sm, &li, imbalance, n_ranks, &mut cur, &dead_colors, max_passes);
+    debug_assert!(cur.iter().all(|&r| r != dead));
+    cur
+}
+
+/// The machine with the dead rank's speed zeroed, so shares and caps are
+/// computed over survivors and no move targets the dead rank (zero share
+/// means zero capacity).
+fn survivor_model(m: &MachineModel, dead: usize, n_ranks: usize) -> MachineModel {
+    let mut speed: Vec<f64> = (0..n_ranks).map(|r| m.speed(r)).collect();
+    let bandwidth: Vec<f64> = (0..n_ranks).map(|r| m.bandwidth(r)).collect();
+    speed[dead] = 0.0;
+    // Bypass `new`'s sanitization for the deliberate zero.
+    let mut out = MachineModel::new(speed.clone(), bandwidth);
+    out.speed = speed;
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::ExtBindings;
+    use crate::exchange::evacuate_assignment;
+    use crate::pipeline::{auto_parallelize, Hints, Options};
+    use partir_dpl::func::{FnDef, FnTable, IndexFn};
+    use partir_dpl::region::{FieldKind, Schema, Store};
+    use partir_ir::ast::{LoopBuilder, VExpr};
+
+    /// 1-D periodic stencil with the read neighborhood *shifted* by `shift`:
+    /// out[i] = in[(i+shift-1) mod n] + in[(i+shift+1) mod n]. With
+    /// `shift = n/2`, color `c`'s reads land in color `c + n_colors/2`'s
+    /// block — block placement cuts every edge, pairing `{c, c+k/2}` cuts
+    /// none. The minimal placement-adversarial program.
+    fn shifted_stencil(n: u64, shift: i64) -> (Vec<partir_ir::ast::Loop>, FnTable, Schema) {
+        let mut schema = Schema::new();
+        let r = schema.add_region("R", n);
+        let fin = schema.add_field(r, "in", FieldKind::F64);
+        let fout = schema.add_field(r, "out", FieldKind::F64);
+        let mut fns = FnTable::new();
+        let left = fns.add(
+            "left",
+            r,
+            r,
+            FnDef::Index(IndexFn::AffineMod { mul: 1, add: shift - 1, modulus: n }),
+        );
+        let right = fns.add(
+            "right",
+            r,
+            r,
+            FnDef::Index(IndexFn::AffineMod { mul: 1, add: shift + 1, modulus: n }),
+        );
+        let mut b = LoopBuilder::new("stencil", r);
+        let i = b.loop_var();
+        let li = b.idx_apply(left, i);
+        let ri = b.idx_apply(right, i);
+        let lv = b.val_read(r, fin, li);
+        let rv = b.val_read(r, fin, ri);
+        b.val_write(r, fout, i, VExpr::add(VExpr::var(lv), VExpr::var(rv)));
+        (vec![b.finish()], fns, schema)
+    }
+
+    fn planned(
+        n: u64,
+        shift: i64,
+        colors: usize,
+    ) -> (crate::pipeline::ParallelPlan, Vec<Arc<Partition>>, Schema) {
+        let (program, fns, schema) = shifted_stencil(n, shift);
+        let plan =
+            auto_parallelize(&program, &fns, &schema, &Hints::new(), Options::default()).unwrap();
+        let store = Store::new(schema.clone());
+        let parts = plan.evaluate(&store, &fns, colors, &ExtBindings::new());
+        (plan, parts, schema)
+    }
+
+    #[test]
+    fn machine_model_sanitizes_and_shares() {
+        let m = MachineModel::new(vec![2.0, 1.0, f64::NAN, -3.0], vec![1.0]);
+        assert_eq!(m.n_ranks(), 4);
+        assert_eq!(m.speed(2), 1.0, "NaN sanitizes to reference speed");
+        assert_eq!(m.speed(3), 1.0, "negative sanitizes to reference speed");
+        assert!((m.share(0) - 0.4).abs() < 1e-12, "2 / (2+1+1+1)");
+        assert_eq!(m.bandwidth(3), 1.0, "short bandwidth list pads");
+        assert!(m.is_heterogeneous());
+        assert!(!MachineModel::homogeneous(3).is_heterogeneous());
+        assert_eq!(m.resized(2).n_ranks(), 2);
+        assert_eq!(m.resized(6).speed(5), 1.0);
+    }
+
+    #[test]
+    fn comm_graph_is_exact_on_the_plain_stencil() {
+        let (plan, parts, schema) = planned(64, 0, 8);
+        let g = CommGraph::build(&plan, &parts, &schema).unwrap();
+        assert_eq!(g.n_colors, 8);
+        // Periodic ±1 stencil: each color exchanges exactly one 8-byte
+        // element with each ring neighbor, nothing else.
+        for a in 0..8usize {
+            for b in 0..8usize {
+                let want = if a != b && (a + 1) % 8 == b || (b + 1) % 8 == a { 16 } else { 0 };
+                assert_eq!(g.affinity(a, b), want, "affinity({a},{b})");
+            }
+        }
+        // Loads are the owned f64 bytes: 8 elements × 2 fields × 8 bytes.
+        assert!(g.load.iter().all(|&l| l == 8 * 2 * 8));
+    }
+
+    #[test]
+    fn cost_driven_pairs_the_shifted_ring_and_beats_block() {
+        // Shift n/2: color c talks only to color (c+4) mod 8. Optimal
+        // placement pairs antipodal colors; block cuts everything.
+        let (plan, parts, schema) = planned(64, 32, 8);
+        let cfg = PlacementConfig::cost_driven();
+        let p = place(&plan, &parts, &schema, 4, &cfg).unwrap();
+        assert!(!p.report.fell_back_to_block);
+        assert!(
+            p.report.predicted_bytes < p.report.predicted_block_bytes,
+            "refined {} !< block {}",
+            p.report.predicted_bytes,
+            p.report.predicted_block_bytes
+        );
+        for c in 0..8usize {
+            assert_eq!(
+                p.assignment[c],
+                p.assignment[(c + 4) % 8],
+                "antipodal colors must share a rank: {:?}",
+                p.assignment
+            );
+        }
+        assert!(p.report.imbalance <= p.report.imbalance_limit + 1e-9);
+        // The shifted window grazes colors c±(4±1) by one element, so a
+        // small residual cut remains — but far below the block cut.
+        assert!(
+            p.report.cut_bytes < p.report.cut_block_bytes,
+            "cut {} !< block cut {}",
+            p.report.cut_bytes,
+            p.report.cut_block_bytes
+        );
+    }
+
+    #[test]
+    fn cost_driven_never_regresses_below_block() {
+        // The plain stencil is block-optimal; the solver must fall back (or
+        // tie) rather than ship more bytes than block.
+        let (plan, parts, schema) = planned(64, 0, 8);
+        let p = place(&plan, &parts, &schema, 4, &PlacementConfig::cost_driven()).unwrap();
+        assert!(p.report.predicted_bytes <= p.report.predicted_block_bytes);
+        let b = place(&plan, &parts, &schema, 4, &PlacementConfig::default()).unwrap();
+        assert_eq!(b.report.policy, "block");
+        assert_eq!(b.report.predicted_bytes, b.report.predicted_block_bytes);
+        assert!(p.report.predicted_bytes <= b.report.predicted_bytes);
+    }
+
+    #[test]
+    fn explicit_policy_validates_like_the_core_api() {
+        let (plan, parts, schema) = planned(32, 0, 4);
+        let short = PlacementConfig {
+            policy: PlacementPolicy::Explicit(vec![0, 1]),
+            ..PlacementConfig::default()
+        };
+        assert!(matches!(
+            place(&plan, &parts, &schema, 2, &short),
+            Err(ExchangeError::BadAssignment { bad_rank: None, .. })
+        ));
+        let oob = PlacementConfig {
+            policy: PlacementPolicy::Explicit(vec![0, 1, 9, 0]),
+            ..PlacementConfig::default()
+        };
+        assert!(matches!(
+            place(&plan, &parts, &schema, 2, &oob),
+            Err(ExchangeError::BadAssignment { bad_rank: Some(9), .. })
+        ));
+        let ok = PlacementConfig {
+            policy: PlacementPolicy::Explicit(vec![1, 0, 1, 0]),
+            ..PlacementConfig::default()
+        };
+        let p = place(&plan, &parts, &schema, 2, &ok).unwrap();
+        assert_eq!(p.assignment, vec![1, 0, 1, 0]);
+        assert_eq!(p.report.policy, "explicit");
+        assert_eq!(p.report.predicted_bytes, p.xplan.stats.total_bytes());
+    }
+
+    #[test]
+    fn heterogeneous_shares_shrink_the_slow_ranks_shard() {
+        // Rank 0 is 3× faster: it must own about 3/4 of the bytes.
+        let (plan, parts, schema) = planned(64, 32, 8);
+        let cfg = PlacementConfig {
+            policy: PlacementPolicy::CostDriven,
+            machine: Some(MachineModel::with_speeds(&[3.0, 1.0])),
+            imbalance: 1.25,
+            ..PlacementConfig::default()
+        };
+        let p = place(&plan, &parts, &schema, 2, &cfg).unwrap();
+        let fast = p.xplan.owned_field_bytes(&schema, 0);
+        let slow = p.xplan.owned_field_bytes(&schema, 1);
+        assert!(fast > slow, "the fast rank must own the larger shard: fast {fast} slow {slow}");
+        assert!(p.report.imbalance <= 1.25 + 1e-9, "cap respected: {}", p.report.imbalance);
+    }
+
+    #[test]
+    fn evacuation_moves_only_the_dead_ranks_colors() {
+        let (plan, parts, schema) = planned(64, 32, 8);
+        let p = place(&plan, &parts, &schema, 4, &PlacementConfig::cost_driven()).unwrap();
+        let cfg = PlacementConfig::cost_driven();
+        let after = evacuate_placement(&plan, &parts, &schema, &p.assignment, 2, 4, &cfg).unwrap();
+        assert!(!after.contains(&2), "the dead rank owns nothing");
+        for (c, (&b, &a)) in p.assignment.iter().zip(&after).enumerate() {
+            if b != 2 {
+                assert_eq!(b, a, "survivor color {c} moved");
+            }
+        }
+    }
+
+    #[test]
+    fn refined_evacuation_balances_no_worse_than_round_robin() {
+        // Uneven loads: round-robin deals counts, the refiner deals bytes.
+        let loads = vec![100, 10, 10, 10, 100, 10, 10, 10];
+        let g = CommGraph::from_raw(8, &[], loads);
+        let owner = vec![0, 0, 1, 1, 2, 2, 3, 3];
+        let m = MachineModel::homogeneous(4);
+        let rr = evacuate_assignment(&owner, 2, 4);
+        let refined = evacuate_with_graph(&g, &m, 1.10, 8, &owner, 2, 4);
+        let max_load = |a: &[usize]| -> u64 {
+            let mut l = vec![0u64; 4];
+            for (c, &r) in a.iter().enumerate() {
+                l[r] += g.load[c];
+            }
+            l.into_iter().max().unwrap()
+        };
+        assert!(!refined.contains(&2));
+        assert!(
+            max_load(&refined) <= max_load(&rr),
+            "refined {:?} vs round-robin {:?}",
+            refined,
+            rr
+        );
+        // Survivors frozen under both schemes.
+        for (c, &o) in owner.iter().enumerate() {
+            if o != 2 {
+                assert_eq!(refined[c], o);
+            }
+        }
+    }
+
+    #[test]
+    fn evacuation_prefers_the_affinity_neighbor() {
+        // Color 2 (dying rank 1) talks almost only to color 5 on rank 2:
+        // gain-based evacuation sends it there, round-robin would not.
+        let edges = vec![(2usize, 5usize, 1000u64), (3, 0, 1000)];
+        let g = CommGraph::from_raw(6, &edges, vec![8; 6]);
+        let owner = vec![0, 0, 1, 1, 2, 2];
+        let m = MachineModel::homogeneous(3);
+        let refined = evacuate_with_graph(&g, &m, 1.5, 8, &owner, 1, 3);
+        assert_eq!(refined[2], 2, "color 2 joins its neighbor color 5: {refined:?}");
+        assert_eq!(refined[3], 0, "color 3 joins its neighbor color 0: {refined:?}");
+    }
+
+    #[test]
+    fn zero_ranks_and_empty_parts_are_handled() {
+        let (plan, parts, schema) = planned(32, 0, 4);
+        assert!(matches!(
+            place(&plan, &parts, &schema, 0, &PlacementConfig::default()),
+            Err(ExchangeError::NoRanks)
+        ));
+        let g = CommGraph::build(&plan, &[], &schema).unwrap();
+        assert_eq!(g.n_colors, 0);
+        assert_eq!(g.total_load(), 0);
+    }
+}

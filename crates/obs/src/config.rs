@@ -24,6 +24,11 @@
 //! | `PARTIR_DIST_FAULT_CRASH_EPOCH` | epoch at which the rank crashes | [`dist_fault_env`] |
 //! | `PARTIR_DIST_FAULT_CRASH_SILENT` | crash without notifying peers (detection by deadline) | [`dist_fault_env`] |
 //! | `PARTIR_DIST_CHECKPOINT_INTERVAL` | epochs between owned-shard checkpoints on the rank backend | [`dist_checkpoint_interval_env`] |
+//! | `PARTIR_PLACEMENT` | owner-mapping policy: `block` or `cost` | [`placement_env`] |
+//! | `PARTIR_PLACEMENT_IMBALANCE` | allowed per-rank owned-bytes imbalance factor (≥ 1) | [`placement_env`] |
+//! | `PARTIR_PLACEMENT_PASSES` | max gain-refinement passes | [`placement_env`] |
+//! | `PARTIR_PLACEMENT_SPEEDS` | comma-separated per-rank compute speeds | [`placement_env`] |
+//! | `PARTIR_PLACEMENT_BANDWIDTHS` | comma-separated per-rank bandwidth tiers | [`placement_env`] |
 //!
 //! Direct env sniffing elsewhere in the workspace is deprecated; new code
 //! should take these structs through the builder.
@@ -172,6 +177,66 @@ pub fn dist_checkpoint_interval_env() -> Option<u64> {
     (n > 0).then_some(n)
 }
 
+/// Placement defaults from the environment (`PARTIR_PLACEMENT*`). The
+/// core's `PlacementConfig` consumes this; obs stays solver-agnostic.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct PlacementEnv {
+    /// `true` for `PARTIR_PLACEMENT=cost`, `false` for `block`.
+    pub cost_driven: bool,
+    /// Allowed per-rank owned-bytes imbalance factor, `≥ 1.0`.
+    pub imbalance: Option<f64>,
+    /// Max gain-refinement passes.
+    pub max_passes: Option<usize>,
+    /// Per-rank compute speeds (heterogeneous machine model).
+    pub speeds: Vec<f64>,
+    /// Per-rank bandwidth tiers (heterogeneous machine model).
+    pub bandwidths: Vec<f64>,
+}
+
+/// Parses `PARTIR_PLACEMENT` (`block` / `cost`) plus the tuning knobs
+/// `PARTIR_PLACEMENT_IMBALANCE` (float ≥ 1), `PARTIR_PLACEMENT_PASSES`
+/// (integer), and the heterogeneous machine-model vectors
+/// `PARTIR_PLACEMENT_SPEEDS` / `PARTIR_PLACEMENT_BANDWIDTHS`
+/// (comma-separated positive floats; unparsable or non-positive entries
+/// are dropped). `None` when no `PARTIR_PLACEMENT*` variable is set at
+/// all; an unrecognized policy value means "block".
+pub fn placement_env() -> Option<PlacementEnv> {
+    let policy = std::env::var("PARTIR_PLACEMENT").ok();
+    let imbalance: Option<f64> = std::env::var("PARTIR_PLACEMENT_IMBALANCE")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .filter(|r: &f64| r.is_finite() && *r >= 1.0);
+    let max_passes: Option<usize> =
+        std::env::var("PARTIR_PLACEMENT_PASSES").ok().and_then(|v| v.trim().parse().ok());
+    let floats = |name: &str| -> Vec<f64> {
+        std::env::var(name)
+            .map(|v| {
+                v.split(',')
+                    .filter_map(|p| p.trim().parse::<f64>().ok())
+                    .filter(|x| x.is_finite() && *x > 0.0)
+                    .collect()
+            })
+            .unwrap_or_default()
+    };
+    let speeds = floats("PARTIR_PLACEMENT_SPEEDS");
+    let bandwidths = floats("PARTIR_PLACEMENT_BANDWIDTHS");
+    if policy.is_none()
+        && imbalance.is_none()
+        && max_passes.is_none()
+        && speeds.is_empty()
+        && bandwidths.is_empty()
+    {
+        return None;
+    }
+    Some(PlacementEnv {
+        cost_driven: matches!(policy.as_deref().map(str::trim), Some("cost" | "cost-driven")),
+        imbalance,
+        max_passes,
+        speeds,
+        bandwidths,
+    })
+}
+
 /// Parses `PARTIR_SCALING_MAX_RATIO` — the allowed
 /// `wall(max ranks) / wall(1 rank)` ratio for the `fig_dist
 /// --assert-scaling` CI perf gate. `None` when unset, unparsable, or not
@@ -192,6 +257,21 @@ mod tests {
         assert!(!c.trace);
         assert!(!c.metrics);
         c.apply(); // must be a no-op, not an uninstall
+    }
+
+    #[test]
+    fn placement_float_list_parse_tolerates_noise() {
+        // Same local-copy approach as `ranks_parse_tolerates_noise` (env is
+        // process-global in the test harness).
+        let parse = |v: &str| -> Vec<f64> {
+            v.split(',')
+                .filter_map(|p| p.trim().parse::<f64>().ok())
+                .filter(|x| x.is_finite() && *x > 0.0)
+                .collect()
+        };
+        assert_eq!(parse("3, 1, 1, 1"), vec![3.0, 1.0, 1.0, 1.0]);
+        assert_eq!(parse(" 2.5 , nope, -1, 0, inf, 0.5 "), vec![2.5, 0.5]);
+        assert!(parse("").is_empty());
     }
 
     #[test]

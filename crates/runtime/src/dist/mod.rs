@@ -28,10 +28,10 @@ use crate::dist::mailbox::build_fabric;
 use crate::dist::rank::{OwnedShards, RankStats};
 use parking_lot::Mutex;
 use partir_core::exchange::{
-    derive_exchange, derive_exchange_with, evacuate_assignment, prove_plan_legality, ExchangeError,
-    ExchangePlan, PlanLegalityError,
+    derive_exchange_with, prove_plan_legality, ExchangeError, ExchangePlan, PlanLegalityError,
 };
 use partir_core::pipeline::{ParallelPlan, PlannedReduce};
+use partir_core::placement::{evacuate_placement, place, PlacementConfig, PlacementReport};
 use partir_dpl::func::FnTable;
 use partir_dpl::index_set::Idx;
 use partir_dpl::partition::Partition;
@@ -81,7 +81,7 @@ impl Default for LegalityMode {
 }
 
 /// Distributed executor configuration.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct DistOptions {
     /// Number of ranks (SPMD processes, modeled as threads with disjoint
     /// sharded stores).
@@ -116,6 +116,12 @@ pub struct DistOptions {
     /// restore points recovery rolls back to. Without a policy, recovery
     /// restarts from epoch 0.
     pub checkpoint: Option<CheckpointPolicy>,
+    /// How solved colors map onto ranks: naive blocking (the default),
+    /// cost-driven graph partitioning over the exchange plan's predicted
+    /// pair volumes, or an explicit caller-supplied assignment. Also
+    /// drives placement-aware crash recovery (the dead rank's colors are
+    /// re-placed by communication gain instead of round-robin).
+    pub placement: PlacementConfig,
 }
 
 impl Default for DistOptions {
@@ -128,6 +134,7 @@ impl Default for DistOptions {
             strict_volume: false,
             fault: None,
             checkpoint: None,
+            placement: PlacementConfig::default(),
         }
     }
 }
@@ -340,6 +347,11 @@ pub struct DistOutcome {
     pub validate_ns: u64,
     /// Ranks declared lost and recovered from, in loss order.
     pub lost_ranks: Vec<usize>,
+    /// How the owner mapping was chosen, with block-vs-optimized predicted
+    /// bytes and refinement accounting. Present when this call derived the
+    /// exchange plan itself (absent under `execute_with_exchange_full`,
+    /// where the caller owns the plan).
+    pub placement: Option<PlacementReport>,
 }
 
 /// A distributed legality failure: which access of which loop, run by which
@@ -504,8 +516,11 @@ pub fn execute_dist_full(
     opts: &DistOptions,
 ) -> Result<DistOutcome, DistError> {
     validate(program, plan, parts, store.schema(), opts)?;
-    let xplan = derive_exchange(plan, parts, store.schema(), opts.n_ranks)?;
-    execute_with_exchange_full(program, plan, parts, &xplan, store, fns, opts)
+    let placed = place(plan, parts, store.schema(), opts.n_ranks, &opts.placement)?;
+    let mut outcome =
+        execute_with_exchange_full(program, plan, parts, &placed.xplan, store, fns, opts)?;
+    outcome.placement = Some(placed.report);
+    Ok(outcome)
 }
 
 /// [`execute_dist`] with a precomputed exchange plan (the plan depends only
@@ -617,7 +632,15 @@ pub fn execute_with_exchange_full(
                 if !alive.iter().any(|&a| a) {
                     return Err(err.unwrap_or(DistError::RankLost { rank: dead, epoch: 0 }));
                 }
-                let assignment = evacuate_assignment(cur_xplan.owner_assignment(), dead, n_ranks);
+                let assignment = evacuate_placement(
+                    plan,
+                    parts,
+                    &schema,
+                    cur_xplan.owner_assignment(),
+                    dead,
+                    n_ranks,
+                    &opts.placement,
+                )?;
                 let nx = derive_exchange_with(plan, parts, &schema, n_ranks, &assignment)?;
                 if opts.legality != LegalityMode::Off {
                     plan_proved = prove_plan_legality(&nx, plan, parts, &schema)
@@ -774,7 +797,7 @@ pub fn execute_with_exchange_full(
         ("messages", report.messages.into()),
         ("bytes_sent", report.bytes_sent.into()),
     ]);
-    Ok(DistOutcome { report, trace, volume, validate_ns, lost_ranks })
+    Ok(DistOutcome { report, trace, volume, validate_ns, lost_ranks, placement: None })
 }
 
 /// One rank's gathered result: owned shards, stats, and its timeline.

@@ -29,8 +29,8 @@ pub mod prelude {
     pub use crate::fault::{FaultPlan, RetryPolicy};
     pub use crate::shared::SharedStore;
     pub use crate::sim::{
-        simulate, FailureModel, FailureSummary, MachineModel, NodeBreakdown, SimAccess, SimError,
-        SimLoop, SimResult, SimSpec,
+        simulate, simulate_hetero, FailureModel, FailureSummary, MachineModel, NodeBreakdown,
+        SimAccess, SimError, SimLoop, SimResult, SimSpec,
     };
 }
 

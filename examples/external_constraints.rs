@@ -20,6 +20,7 @@ fn main() {
         nodes_per_cluster: 2_000,
         wires_per_cluster: 8_000,
         cross_fraction: 0.2,
+        cross_stride: None,
         seed: 42,
     });
     println!(

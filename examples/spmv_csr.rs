@@ -13,7 +13,7 @@ use partir::apps::spmv::{Spmv, SpmvParams};
 use partir::prelude::*;
 
 fn main() {
-    let app = Spmv::generate(&SpmvParams { rows: 100_000, halo: 2 });
+    let app = Spmv::generate(&SpmvParams { rows: 100_000, halo: 2, ..SpmvParams::default() });
     println!(
         "CSR matrix: {} rows, {} non-zeros ({} per row)",
         app.rows,

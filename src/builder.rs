@@ -26,6 +26,7 @@ use crate::error::Error;
 use partir_core::eval::ExtBindings;
 use partir_core::optimize::RelaxPolicy;
 use partir_core::pipeline::{auto_parallelize, Hints, Options, ParallelPlan};
+use partir_core::placement::{PlacementConfig, PlacementPolicy, PlacementReport};
 use partir_core::solve::SolveBudget;
 use partir_dpl::func::FnTable;
 use partir_dpl::partition::Partition;
@@ -77,6 +78,7 @@ pub struct Partir {
     fault: Option<FaultPlan>,
     dist_fault: Option<DistFaultPlan>,
     checkpoint: Option<CheckpointPolicy>,
+    placement: Option<PlacementConfig>,
     retry: RetryPolicy,
     externals: ExtBindings,
 }
@@ -99,6 +101,7 @@ impl Partir {
             fault: None,
             dist_fault: None,
             checkpoint: None,
+            placement: None,
             retry: RetryPolicy::default(),
             externals: ExtBindings::new(),
         }
@@ -205,6 +208,30 @@ impl Partir {
         self
     }
 
+    /// Owner-mapping policy for the rank backend: how solved colors map
+    /// onto ranks ([`PlacementPolicy::Block`] contiguous blocks — the
+    /// default, [`PlacementPolicy::CostDriven`] gain-refined graph
+    /// partitioning over the exchange plan's predicted pair volumes, or an
+    /// explicit `assignment[color] = rank`). Keeps the current config's
+    /// imbalance / passes / machine knobs. When neither this nor
+    /// [`placement_config`](Self::placement_config) is called, the
+    /// `PARTIR_PLACEMENT*` environment defaults apply (rank backend only).
+    pub fn placement(mut self, policy: PlacementPolicy) -> Self {
+        let mut c = self.placement.take().unwrap_or_default();
+        c.policy = policy;
+        self.placement = Some(c);
+        self
+    }
+
+    /// Full placement configuration: policy plus the imbalance cap, the
+    /// refinement pass bound, and an optional heterogeneous machine model
+    /// (per-rank speeds and bandwidth tiers — slow ranks get
+    /// proportionally smaller shards).
+    pub fn placement_config(mut self, config: PlacementConfig) -> Self {
+        self.placement = Some(config);
+        self
+    }
+
     /// Recovery policy for failed task attempts (threads backend).
     pub fn retry(mut self, policy: RetryPolicy) -> Self {
         self.retry = policy;
@@ -258,6 +285,26 @@ impl Partir {
                     "checkpointing is only supported on the Ranks backend".into(),
                 ));
             }
+            // The threads backend has no owner mapping; an explicitly
+            // configured non-default placement would be silently dead.
+            if self.placement.as_ref().is_some_and(|p| p.policy != PlacementPolicy::Block) {
+                return Err(Error::Session(
+                    "placement policies apply to the Ranks backend only".into(),
+                ));
+            }
+        }
+        // An explicit assignment's shape (length == colors, ranks in
+        // range) is deliberately NOT validated here: it flows into
+        // `derive_exchange_with`, whose `ExchangeError::BadAssignment`
+        // carries the precise defect — the builder path surfaces the same
+        // typed error as the core API.
+        if let Some(p) = &self.placement {
+            if !p.imbalance.is_finite() || p.imbalance < 1.0 {
+                return Err(Error::Session(format!(
+                    "placement imbalance factor must be >= 1.0, got {}",
+                    p.imbalance
+                )));
+            }
         }
         if self.externals.len() != self.hints.num_externals() {
             return Err(Error::Session(format!(
@@ -293,6 +340,15 @@ impl Partir {
             }
             Backend::Threads(_) => (None, None),
         };
+        // Explicit placement wins; otherwise the `PARTIR_PLACEMENT*` env
+        // defaults apply on the rank backend (Threads has no owner mapping,
+        // so env-derived placement is ignored there rather than erroring).
+        let placement = match self.backend {
+            Backend::Ranks(_) => {
+                self.placement.or_else(PlacementConfig::from_env).unwrap_or_default()
+            }
+            Backend::Threads(_) => self.placement.unwrap_or_default(),
+        };
         let plan =
             auto_parallelize(&self.program, &self.fns, &self.schema, &self.hints, self.options)?;
         Ok(Session {
@@ -308,11 +364,13 @@ impl Partir {
             fault,
             dist_fault,
             checkpoint,
+            placement,
             retry: self.retry,
             externals: self.externals,
             last: None,
             last_trace: None,
             last_volume: None,
+            last_placement: None,
         })
     }
 }
@@ -334,11 +392,13 @@ pub struct Session {
     fault: Option<FaultPlan>,
     dist_fault: Option<DistFaultPlan>,
     checkpoint: Option<CheckpointPolicy>,
+    placement: PlacementConfig,
     retry: RetryPolicy,
     externals: ExtBindings,
     last: Option<RunReport>,
     last_trace: Option<Trace>,
     last_volume: Option<VolumeAccounting>,
+    last_placement: Option<PlacementReport>,
 }
 
 impl Session {
@@ -409,6 +469,7 @@ impl Session {
                 };
                 self.last_trace = None;
                 self.last_volume = None;
+                self.last_placement = None;
                 RunReport::Threads(execute_program(
                     &self.program,
                     &self.plan,
@@ -427,11 +488,13 @@ impl Session {
                     strict_volume: self.obs.strict_volume,
                     fault: self.dist_fault,
                     checkpoint: self.checkpoint,
+                    placement: self.placement.clone(),
                 };
                 let outcome =
                     execute_dist_full(&self.program, &self.plan, &parts, store, &self.fns, &opts)?;
                 self.last_trace = outcome.trace;
                 self.last_volume = Some(outcome.volume);
+                self.last_placement = outcome.placement;
                 RunReport::Ranks(outcome.report)
             }
         };
@@ -462,6 +525,14 @@ impl Session {
     /// timeline (see [`DistProfile`]). `None` without a timeline.
     pub fn dist_profile(&self) -> Option<DistProfile> {
         self.last_trace.as_ref().map(DistProfile::from_trace)
+    }
+
+    /// How the most recent rank-backend run mapped colors onto ranks:
+    /// policy, block-vs-optimized predicted bytes, the achieved imbalance
+    /// factor, and the refinement pass/move/gain accounting with its solve
+    /// time. `None` before the first `Ranks` run.
+    pub fn placement_report(&self) -> Option<&PlacementReport> {
+        self.last_placement.as_ref()
     }
 }
 
@@ -658,6 +729,101 @@ mod tests {
         assert!(volume.is_clean());
         let profile = session.dist_profile().expect("profile derives from the timeline");
         assert!((profile.coverage() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn explicit_placement_runs_bit_identically_and_reports() {
+        let (program, fns, schema, seed) = scatter();
+        let mut seq = seed.clone();
+        run_program_seq(&program, &mut seq, &fns);
+
+        // A deliberately scrambled (but valid) owner mapping: results must
+        // not depend on which rank owns which color.
+        let mut session = Partir::new(program, fns, schema)
+            .backend(Backend::Ranks(3))
+            .colors(6)
+            .placement(PlacementPolicy::Explicit(vec![2, 0, 1, 1, 0, 2]))
+            .build()
+            .unwrap();
+        let mut store = seed.clone();
+        session.run(&mut store).expect("explicit placement runs");
+        let rep = session.placement_report().expect("placement report present");
+        assert_eq!(rep.policy, "explicit");
+        for fi in 0..2u32 {
+            let f = FieldId(fi);
+            assert_eq!(seq.field_data(f), store.field_data(f), "field {fi} differs");
+        }
+    }
+
+    #[test]
+    fn placement_misconfigurations_are_session_errors() {
+        let (program, fns, schema, _) = scatter();
+        let on_threads = Partir::new(program.clone(), fns.clone(), schema.clone())
+            .backend(Backend::Threads(2))
+            .placement(PlacementPolicy::CostDriven)
+            .build();
+        assert_eq!(on_threads.unwrap_err().error_code(), "session.invalid");
+
+        let bad_imbalance = Partir::new(program, fns, schema)
+            .backend(Backend::Ranks(2))
+            .placement_config(PlacementConfig { imbalance: 0.5, ..PlacementConfig::cost_driven() })
+            .build();
+        assert_eq!(bad_imbalance.unwrap_err().error_code(), "session.invalid");
+    }
+
+    #[test]
+    fn bad_explicit_assignments_surface_as_exchange_errors() {
+        let (program, fns, schema, seed) = scatter();
+        // Too short: 4 entries for 6 colors.
+        let mut short = Partir::new(program.clone(), fns.clone(), schema.clone())
+            .backend(Backend::Ranks(3))
+            .colors(6)
+            .placement(PlacementPolicy::Explicit(vec![0, 1, 2, 0]))
+            .build()
+            .expect("shape defects surface at run, not build");
+        let mut store = seed.clone();
+        let err = short.run(&mut store).unwrap_err();
+        assert_eq!(err.error_code(), "exchange.bad_assignment");
+
+        // Out-of-range rank: rank 7 on a 3-rank backend.
+        let mut oob = Partir::new(program, fns, schema)
+            .backend(Backend::Ranks(3))
+            .colors(6)
+            .placement(PlacementPolicy::Explicit(vec![0, 1, 2, 7, 1, 0]))
+            .build()
+            .unwrap();
+        let mut store = seed;
+        let err = oob.run(&mut store).unwrap_err();
+        assert_eq!(err.error_code(), "exchange.bad_assignment");
+    }
+
+    #[test]
+    fn cost_driven_placement_stays_bit_identical_through_recovery() {
+        let (program, fns, schema, seed) = scatter();
+        let mut seq = seed.clone();
+        run_program_seq(&program, &mut seq, &fns);
+
+        let mut session = Partir::new(program, fns, schema)
+            .backend(Backend::Ranks(3))
+            .colors(6)
+            .placement(PlacementPolicy::CostDriven)
+            .dist_fault(DistFaultPlan {
+                crash: Some(partir_runtime::dist::RankCrash { rank: 2, epoch: 0, silent: false }),
+                ..DistFaultPlan::quiescent(13)
+            })
+            .checkpoint(CheckpointPolicy::every(1))
+            .build()
+            .unwrap();
+        let mut store = seed.clone();
+        let report = session.run(&mut store).expect("survivors recover under cost placement");
+        assert_eq!(report.as_ranks().unwrap().recoveries, 1);
+        let rep = session.placement_report().expect("placement report present");
+        assert_eq!(rep.policy, "cost");
+        assert!(rep.predicted_bytes <= rep.predicted_block_bytes, "never worse than block");
+        for fi in 0..2u32 {
+            let f = FieldId(fi);
+            assert_eq!(seq.field_data(f), store.field_data(f), "field {fi} differs");
+        }
     }
 
     #[test]

@@ -61,7 +61,7 @@ fn assert_dist_matches_seq(name: &str, program: Vec<Loop>, fns: FnTable, store: 
 
 #[test]
 fn spmv_matches_on_all_rank_counts() {
-    let a = Spmv::generate(&SpmvParams { rows: 2_000, halo: 2 });
+    let a = Spmv::generate(&SpmvParams { rows: 2_000, halo: 2, ..SpmvParams::default() });
     assert_dist_matches_seq("SpMV", a.program, a.fns, a.store);
 }
 
@@ -78,6 +78,7 @@ fn circuit_matches_on_all_rank_counts() {
         nodes_per_cluster: 200,
         wires_per_cluster: 800,
         cross_fraction: 0.2,
+        cross_stride: None,
         seed: 7,
     });
     assert_dist_matches_seq("Circuit", a.program, a.fns, a.store);

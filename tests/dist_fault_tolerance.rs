@@ -102,7 +102,7 @@ fn assert_crash_recovers(
 #[test]
 fn spmv_survives_a_rank_crash_at_4_and_8_ranks() {
     for ranks in [4usize, 8] {
-        let a = Spmv::generate(&SpmvParams { rows: 2_000, halo: 2 });
+        let a = Spmv::generate(&SpmvParams { rows: 2_000, halo: 2, ..SpmvParams::default() });
         assert_crash_recovers("SpMV", a.program, a.fns, a.store, ranks, ranks / 2, false);
     }
 }
@@ -123,6 +123,7 @@ fn circuit_survives_a_rank_crash_at_4_and_8_ranks() {
             nodes_per_cluster: 200,
             wires_per_cluster: 800,
             cross_fraction: 0.2,
+            cross_stride: None,
             seed: 7,
         });
         assert_crash_recovers("Circuit", a.program, a.fns, a.store, ranks, ranks - 1, false);
@@ -159,7 +160,7 @@ fn silent_crash_is_detected_by_deadline_and_recovered() {
 /// result stays bit-identical with strict volume accounting on.
 #[test]
 fn message_drop_storm_retransmits_and_stays_bit_identical() {
-    let a = Spmv::generate(&SpmvParams { rows: 600, halo: 2 });
+    let a = Spmv::generate(&SpmvParams { rows: 600, halo: 2, ..SpmvParams::default() });
     let mut seq = a.store.clone();
     run_program_seq(&a.program, &mut seq, &a.fns);
     let schema = a.store.schema().clone();
