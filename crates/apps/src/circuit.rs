@@ -110,7 +110,16 @@ impl Circuit {
         let mut rng = rand::rngs::StdRng::seed_from_u64(p.seed);
 
         // Layout: [shared nodes (cluster-major)] [private of cluster 0]
-        // [private of cluster 1] ...
+        // [private of cluster 1] ... The private ranges assume the shared
+        // block splits evenly; otherwise the last private range would run
+        // past the region and wires would point at nonexistent nodes.
+        assert_eq!(
+            n_shared % p.clusters as u64,
+            0,
+            "shared-node block ({n_shared} nodes) must split evenly over {} clusters; \
+             pick nodes_per_cluster so clusters divides max(nodes/100, clusters)",
+            p.clusters
+        );
         let privates_per_cluster = p.nodes_per_cluster - shared_per_cluster;
         let shared_of = |c: usize| -> (u64, u64) {
             let s = c as u64 * shared_per_cluster;

@@ -386,9 +386,10 @@ impl Pennant {
         }
     }
 
-    /// Builds the plan for one of the three auto configurations; returns
-    /// the plan and the external bindings matching the hint declarations.
-    pub fn plan(&self, config: PennantConfig) -> (ParallelPlan, ExtBindings) {
+    /// The hints and external bindings of one of the three auto
+    /// configurations, for callers that drive the pipeline themselves
+    /// (e.g. through the `partir::Partir` builder).
+    pub fn hint_setup(&self, config: PennantConfig) -> (Hints, ExtBindings) {
         let parts = self.piece_parts();
         let mut hints = Hints::new();
         let mut exts = ExtBindings::new();
@@ -457,6 +458,13 @@ impl Pennant {
                 hints.private_sub(self.rp, PExpr::ext(rp_p_private));
             }
         }
+        (hints, exts)
+    }
+
+    /// Builds the plan for one of the three auto configurations; returns
+    /// the plan and the external bindings matching the hint declarations.
+    pub fn plan(&self, config: PennantConfig) -> (ParallelPlan, ExtBindings) {
+        let (hints, exts) = self.hint_setup(config);
         let plan = auto_parallelize(
             &self.program,
             &self.fns,

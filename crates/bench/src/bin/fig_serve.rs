@@ -1,0 +1,295 @@
+//! Solve-as-a-service benchmark: sustained solves/sec through the
+//! `partir::Server` on a mixed corpus (the five paper applications at
+//! several sizes and hint configurations), cold versus warm.
+//!
+//! The cold phase solves every distinct request once against a fresh
+//! cache; the warm phase replays the whole corpus several times through
+//! the concurrent worker pool, where every request must hit the
+//! fingerprint-keyed `PlanCache`. The report records the hit rate,
+//! p50/p99 plan-acquisition latency for both phases, warm throughput, and
+//! the median cold/warm speedup, and every warm plan is checked
+//! bit-identical to its cold counterpart by executing both.
+//!
+//! Run: `cargo run --release -p partir-bench --bin fig_serve`
+//! JSON report: `... --bin fig_serve -- --json [--out PATH]`
+//! CI gate: `... --bin fig_serve -- --assert` fails unless the warm hit
+//! rate is 100% and warm acquisition is at least 10x faster than the
+//! cold median.
+
+use partir::prelude::*;
+use partir::serve::{ServeConfig, ServeReply, Server};
+use partir_apps::{circuit, miniaero, pennant, spmv, stencil};
+use partir_bench::BenchArgs;
+use partir_obs::json::Json;
+use std::time::Instant;
+
+/// Warm replays of the full corpus.
+const WARM_ROUNDS: usize = 5;
+/// The `--assert` gate: warm plan acquisition must beat the cold median
+/// by at least this factor.
+const MIN_WARM_SPEEDUP: f64 = 10.0;
+
+struct Request {
+    name: &'static str,
+    program: Vec<Loop>,
+    fns: FnTable,
+    store: Store,
+    hints: Hints,
+    exts: ExtBindings,
+    colors: usize,
+}
+
+impl Request {
+    fn builder(&self) -> Partir {
+        Partir::new(self.program.clone(), self.fns.clone(), self.store.schema().clone())
+            .colors(self.colors)
+            .hints(self.hints.clone())
+            .externals(self.exts.clone())
+    }
+}
+
+/// The mixed corpus: five applications, varied sizes and hint setups.
+fn corpus() -> Vec<Request> {
+    let mut out = Vec::new();
+    let plain = |name, program, fns, store, colors| Request {
+        name,
+        program,
+        fns,
+        store,
+        hints: Hints::new(),
+        exts: ExtBindings::new(),
+        colors,
+    };
+
+    let a = spmv::Spmv::generate(&spmv::SpmvParams { rows: 4096, halo: 2, band_shift: 0 });
+    out.push(plain("spmv_4k", a.program, a.fns, a.store, 8));
+    let a = spmv::Spmv::generate(&spmv::SpmvParams { rows: 8192, halo: 3, band_shift: 0 });
+    out.push(plain("spmv_8k_halo3", a.program, a.fns, a.store, 8));
+
+    let a = stencil::Stencil::generate(&stencil::StencilParams { nx: 64, ny: 64 });
+    out.push(plain("stencil_64", a.program, a.fns, a.store, 8));
+    let a = stencil::Stencil::generate(&stencil::StencilParams { nx: 96, ny: 64 });
+    out.push(plain("stencil_96x64", a.program, a.fns, a.store, 8));
+
+    let a = miniaero::MiniAero::generate(&miniaero::MiniAeroParams { nx: 6, ny: 6, nz: 6 });
+    out.push(plain("miniaero_6", a.program, a.fns, a.store, 8));
+
+    let a = circuit::Circuit::generate(&circuit::CircuitParams {
+        clusters: 4,
+        nodes_per_cluster: 200,
+        wires_per_cluster: 800,
+        cross_fraction: 0.2,
+        cross_stride: None,
+        seed: 7,
+    });
+    out.push(plain("circuit_auto", a.program, a.fns, a.store, 8));
+    let a = circuit::Circuit::generate(&circuit::CircuitParams {
+        clusters: 8,
+        nodes_per_cluster: 400,
+        wires_per_cluster: 800,
+        ..circuit::CircuitParams::default()
+    });
+    let (hints, exts) = a.hint_setup(8);
+    out.push(Request {
+        name: "circuit_hinted",
+        program: a.program,
+        fns: a.fns,
+        store: a.store,
+        hints,
+        exts,
+        colors: 8,
+    });
+
+    let a = pennant::Pennant::generate(&pennant::PennantParams { pieces: 4, zw: 4, zy: 4 });
+    out.push(plain("pennant_auto", a.program, a.fns, a.store, 4));
+    let a = pennant::Pennant::generate(&pennant::PennantParams { pieces: 4, zw: 4, zy: 4 });
+    let (hints, exts) = a.hint_setup(pennant::PennantConfig::Hint2);
+    out.push(Request {
+        name: "pennant_hint2",
+        program: a.program,
+        fns: a.fns,
+        store: a.store,
+        hints,
+        exts,
+        colors: 4,
+    });
+
+    out
+}
+
+fn percentile_ns(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn ns_to_ms(ns: u64) -> f64 {
+    ns as f64 / 1.0e6
+}
+
+struct PhaseStats {
+    p50_ns: u64,
+    p99_ns: u64,
+    median_ns: u64,
+}
+
+fn phase_stats(mut lat: Vec<u64>) -> PhaseStats {
+    lat.sort_unstable();
+    PhaseStats {
+        p50_ns: percentile_ns(&lat, 0.50),
+        p99_ns: percentile_ns(&lat, 0.99),
+        median_ns: percentile_ns(&lat, 0.50),
+    }
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    let corpus = corpus();
+    let server = Server::new(ServeConfig { workers: 4, queue_cap: 256, ..Default::default() });
+
+    // Cold phase: every distinct request once; all must miss.
+    let cold_wall = Instant::now();
+    let cold: Vec<ServeReply> = corpus
+        .iter()
+        .map(|r| server.solve(r.builder()).unwrap_or_else(|e| panic!("{}: {e}", r.name)))
+        .collect();
+    let cold_wall_s = cold_wall.elapsed().as_secs_f64();
+    assert!(cold.iter().all(|r| !r.plan.cache_hit()), "cold phase must miss");
+    let cold_stats = phase_stats(cold.iter().map(|r| r.solve_ns).collect());
+
+    // Warm phase: replay the whole corpus WARM_ROUNDS times concurrently.
+    let warm_wall = Instant::now();
+    let tickets: Vec<_> = (0..WARM_ROUNDS)
+        .flat_map(|_| corpus.iter().map(|r| server.submit(r.builder()).expect("queue fits")))
+        .collect();
+    let warm: Vec<ServeReply> =
+        tickets.into_iter().map(|t| t.wait().expect("warm request succeeds")).collect();
+    let warm_wall_s = warm_wall.elapsed().as_secs_f64();
+    let hits = warm.iter().filter(|r| r.plan.cache_hit()).count();
+    let hit_rate = hits as f64 / warm.len() as f64;
+    let warm_stats = phase_stats(warm.iter().map(|r| r.solve_ns).collect());
+    let solves_per_sec = warm.len() as f64 / warm_wall_s;
+    let speedup = cold_stats.median_ns as f64 / warm_stats.median_ns.max(1) as f64;
+
+    // Bit-identity: each warm plan must execute exactly like its cold one.
+    for (req, cold_reply) in corpus.iter().zip(&cold) {
+        let warm_reply = warm
+            .iter()
+            .find(|w| w.plan.fingerprint() == cold_reply.plan.fingerprint())
+            .unwrap_or_else(|| panic!("{}: no warm reply for the cold fingerprint", req.name));
+        // Ranks backend: ghost exchange makes even relaxed plans (the
+        // auto-solved Circuit) legal to execute.
+        let run = Run::new().backend(Backend::Ranks(4));
+        let mut from_cold = req.store.clone();
+        let mut from_warm = req.store.clone();
+        run.run(&cold_reply.plan, &mut from_cold)
+            .unwrap_or_else(|e| panic!("{} cold run: {e}", req.name));
+        run.run(&warm_reply.plan, &mut from_warm)
+            .unwrap_or_else(|e| panic!("{} warm run: {e}", req.name));
+        for f in 0..req.store.schema().num_fields() {
+            let fid = partir::dpl::region::FieldId(f as u32);
+            assert_eq!(
+                from_cold.field_data(fid),
+                from_warm.field_data(fid),
+                "{}: warm plan diverged from cold on field {f}",
+                req.name
+            );
+        }
+    }
+
+    let stats = server.cache_stats().expect("cache is healthy");
+
+    let rows: Vec<Json> = corpus
+        .iter()
+        .zip(&cold)
+        .map(|(r, reply)| {
+            Json::object()
+                .with("request", r.name)
+                .with("fingerprint", reply.plan.fingerprint().to_string())
+                .with("colors", r.colors)
+                .with("cold_ms", ns_to_ms(reply.solve_ns))
+        })
+        .collect();
+
+    let payload = Json::object()
+        .with("corpus", rows)
+        .with("workers", 4u64)
+        .with("warm_rounds", WARM_ROUNDS)
+        .with(
+            "cold",
+            Json::object()
+                .with("solves", cold.len())
+                .with("wall_s", cold_wall_s)
+                .with("p50_ms", ns_to_ms(cold_stats.p50_ns))
+                .with("p99_ms", ns_to_ms(cold_stats.p99_ns)),
+        )
+        .with(
+            "warm",
+            Json::object()
+                .with("requests", warm.len())
+                .with("wall_s", warm_wall_s)
+                .with("hit_rate", hit_rate)
+                .with("p50_ms", ns_to_ms(warm_stats.p50_ns))
+                .with("p99_ms", ns_to_ms(warm_stats.p99_ns))
+                .with("solves_per_sec", solves_per_sec),
+        )
+        .with("warm_speedup_median", speedup)
+        .with("bit_identical", true)
+        .with("cache", stats.to_json());
+
+    args.emit("serve", payload, || {
+        println!("serve: mixed corpus of {} requests, {WARM_ROUNDS} warm rounds", corpus.len());
+        println!(
+            "  cold: p50 {:8.3} ms   p99 {:8.3} ms   ({} solves in {:.2}s)",
+            ns_to_ms(cold_stats.p50_ns),
+            ns_to_ms(cold_stats.p99_ns),
+            cold.len(),
+            cold_wall_s,
+        );
+        println!(
+            "  warm: p50 {:8.3} ms   p99 {:8.3} ms   hit rate {:5.1}%   {:8.1} solves/s",
+            ns_to_ms(warm_stats.p50_ns),
+            ns_to_ms(warm_stats.p99_ns),
+            hit_rate * 100.0,
+            solves_per_sec,
+        );
+        println!("  warm speedup (median cold / median warm): {speedup:.1}x");
+        println!(
+            "  cache: {} entries, {} bytes, {} hits / {} misses, {} evictions",
+            stats.entries, stats.bytes, stats.hits, stats.misses, stats.evictions
+        );
+        println!("  bit-identity: every warm plan matched its cold solve");
+    });
+
+    if args.assert_gates {
+        let mut failures = Vec::new();
+        if hit_rate < 1.0 {
+            failures.push(format!(
+                "warm hit rate {:.1}% (need 100%): {} of {} requests missed",
+                hit_rate * 100.0,
+                warm.len() - hits,
+                warm.len()
+            ));
+        }
+        if speedup < MIN_WARM_SPEEDUP {
+            failures.push(format!(
+                "warm acquisition only {speedup:.1}x faster than cold median \
+                 (need {MIN_WARM_SPEEDUP}x): cold {:.3} ms vs warm {:.3} ms",
+                ns_to_ms(cold_stats.median_ns),
+                ns_to_ms(warm_stats.median_ns),
+            ));
+        }
+        if !failures.is_empty() {
+            for f in &failures {
+                eprintln!("serve gate FAILED: {f}");
+            }
+            std::process::exit(1);
+        }
+        println!(
+            "serve gate passed: 100% warm hits, {speedup:.1}x over cold median \
+             (threshold {MIN_WARM_SPEEDUP}x)"
+        );
+    }
+}

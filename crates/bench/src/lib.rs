@@ -37,6 +37,9 @@ use std::path::PathBuf;
 ///   migrated bytes vs a full re-shard, and the fault-free checkpoint
 ///   overhead at the Young/Daly interval, gated under
 ///   `PARTIR_CKPT_OVERHEAD_MAX_PCT` (default 5%; honored by `fig_dist`);
+/// * `--assert` — fail when the harness's built-in acceptance gates do
+///   not hold (honored by `fig_serve`: warm hit rate must be 100% and
+///   warm plan acquisition at least 10x faster than the cold median);
 /// * `--placement block|cost|compare` — owner-mapping policy for the
 ///   distributed runs (honored by `fig_dist`). `block` and `cost` set the
 ///   policy for the normal scaling table; `compare` runs only the
@@ -51,6 +54,7 @@ pub struct BenchArgs {
     pub trace_out: Option<PathBuf>,
     pub check_obs_skew: bool,
     pub assert_scaling: bool,
+    pub assert_gates: bool,
     pub max_ratio: Option<f64>,
     pub fault_seed: Option<u64>,
     pub placement: Option<PlacementMode>,
@@ -110,6 +114,7 @@ impl BenchArgs {
                 }
                 "--check-obs-skew" => args.check_obs_skew = true,
                 "--assert-scaling" => args.assert_scaling = true,
+                "--assert" => args.assert_gates = true,
                 "--max-ratio" => {
                     let v = it
                         .next()
@@ -151,7 +156,7 @@ impl BenchArgs {
                 other => {
                     return Err(format!(
                         "unknown argument '{other}' (expected --json [--out PATH] \
-                         [--trace-out PATH] [--check-obs-skew] [--assert-scaling] \
+                         [--trace-out PATH] [--check-obs-skew] [--assert-scaling] [--assert] \
                          [--max-ratio X] [--fault-seed N] \
                          [--placement block|cost|compare])"
                     ));
@@ -356,6 +361,14 @@ mod tests {
         assert!(err.contains("block|cost|compare"), "{err}");
         let err = BenchArgs::parse_from(argv(&["--placement"])).unwrap_err();
         assert!(err.contains("requires a mode"), "{err}");
+    }
+
+    #[test]
+    fn parse_from_accepts_assert() {
+        let a = BenchArgs::parse_from(argv(&["--assert", "--json"])).unwrap();
+        assert!(a.assert_gates && a.json);
+        let a = BenchArgs::parse_from(argv(&["--assert-scaling"])).unwrap();
+        assert!(a.assert_scaling && !a.assert_gates, "--assert-scaling is a different flag");
     }
 
     #[test]

@@ -5,8 +5,10 @@
 //! engine (Figure 8), unification (Algorithm 3), external constraints
 //! (Section 3.3), and the reduction optimizations of Section 5.
 
+pub mod cache;
 pub mod eval;
 pub mod exchange;
+pub mod fingerprint;
 pub mod infer;
 pub mod lang;
 pub mod lemmas;
@@ -17,10 +19,14 @@ pub mod solve;
 pub mod unify;
 
 pub mod prelude {
+    pub use crate::cache::{CacheError, CacheStats, DistArtifacts, PlanCache, SolvedPlan};
     pub use crate::eval::{Evaluator, ExtBindings};
     pub use crate::exchange::{
         block_assignment, derive_exchange, derive_exchange_with, evacuate_assignment, BufferRoute,
         ExchangeError, ExchangePlan, ExchangeStats, LoopExchange,
+    };
+    pub use crate::fingerprint::{
+        placement_fingerprint, solve_fingerprint, store_index_fingerprint, Fingerprint, FpHasher,
     };
     pub use crate::infer::{infer, Inference, InferredLoop};
     pub use crate::lang::{ExtId, ExternalDecl, FnRef, PExpr, PSym, Pred, Subset, System};

@@ -29,6 +29,9 @@
 //! | `PARTIR_PLACEMENT_PASSES` | max gain-refinement passes | [`placement_env`] |
 //! | `PARTIR_PLACEMENT_SPEEDS` | comma-separated per-rank compute speeds | [`placement_env`] |
 //! | `PARTIR_PLACEMENT_BANDWIDTHS` | comma-separated per-rank bandwidth tiers | [`placement_env`] |
+//! | `PARTIR_SERVE_WORKERS` | worker threads in the solve service | [`serve_env`] |
+//! | `PARTIR_SERVE_QUEUE_CAP` | max in-flight requests before `serve.queue_full` | [`serve_env`] |
+//! | `PARTIR_SERVE_CACHE_BYTES` | plan-cache LRU capacity in bytes | [`serve_env`] |
 //!
 //! Direct env sniffing elsewhere in the workspace is deprecated; new code
 //! should take these structs through the builder.
@@ -235,6 +238,34 @@ pub fn placement_env() -> Option<PlacementEnv> {
         speeds,
         bandwidths,
     })
+}
+
+/// Serving-layer defaults from the environment (`PARTIR_SERVE_*`). The
+/// facade's `serve::ServeConfig` consumes this; obs stays server-agnostic.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServeEnv {
+    /// Worker threads processing solve requests.
+    pub workers: Option<usize>,
+    /// Max in-flight (queued + executing) requests before submissions are
+    /// rejected with `serve.queue_full`.
+    pub queue_cap: Option<usize>,
+    /// Plan-cache LRU capacity in estimated bytes.
+    pub cache_bytes: Option<u64>,
+}
+
+/// Parses `PARTIR_SERVE_WORKERS` / `PARTIR_SERVE_QUEUE_CAP` /
+/// `PARTIR_SERVE_CACHE_BYTES`. Unset or unparsable variables yield `None`
+/// fields (the server then applies its own defaults); zero workers or a
+/// zero queue cap are dropped as unusable.
+pub fn serve_env() -> ServeEnv {
+    let num = |name: &str| -> Option<u64> {
+        std::env::var(name).ok().and_then(|v| v.trim().parse().ok())
+    };
+    ServeEnv {
+        workers: num("PARTIR_SERVE_WORKERS").map(|n| n as usize).filter(|&n| n > 0),
+        queue_cap: num("PARTIR_SERVE_QUEUE_CAP").map(|n| n as usize).filter(|&n| n > 0),
+        cache_bytes: num("PARTIR_SERVE_CACHE_BYTES"),
+    }
 }
 
 /// Parses `PARTIR_SCALING_MAX_RATIO` — the allowed

@@ -96,6 +96,12 @@ pub const ERROR_CODES: &[&str] = &[
     "sim.iter_width_mismatch",
     // builder
     "session.invalid",
+    // serving layer (`partir::serve`)
+    "serve.over_budget",
+    "serve.queue_full",
+    "serve.disconnected",
+    // plan cache (`partir-core::cache`)
+    "cache.poisoned",
 ];
 
 /// Is `code` a registered `partir-report-v1` error code?

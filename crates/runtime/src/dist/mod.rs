@@ -122,6 +122,15 @@ pub struct DistOptions {
     /// drives placement-aware crash recovery (the dead rank's colors are
     /// re-placed by communication gain instead of round-robin).
     pub placement: PlacementConfig,
+    /// Plan-legality facts already proved for *this* exchange plan and
+    /// partition set (e.g. by `partir-core`'s plan cache, which bundles
+    /// the proof with the cached artifacts). When set and legality is not
+    /// `Off`, the up-front `prove_plan_legality` pass is skipped and the
+    /// count is reported as `plan_proved` unchanged. Callers own the
+    /// invariant that the proof matches the plan they pass; recovery
+    /// re-proves from scratch regardless, since evacuation rewrites the
+    /// exchange plan.
+    pub preproved: Option<u64>,
 }
 
 impl Default for DistOptions {
@@ -135,6 +144,7 @@ impl Default for DistOptions {
             fault: None,
             checkpoint: None,
             placement: PlacementConfig::default(),
+            preproved: None,
         }
     }
 }
@@ -559,9 +569,16 @@ pub fn execute_with_exchange_full(
     // the hot path. Element mode proves too — the per-element checks then
     // double as the negative test's corruption detector.
     let mut plan_proved = if opts.legality != LegalityMode::Off {
-        let proof = prove_plan_legality(xplan, plan, parts, store.schema())
-            .map_err(DistError::PlanIllegal)?;
-        proof.facts
+        match opts.preproved {
+            // A cached proof for this exact (xplan, parts) pair: skip the
+            // containment pass, keep the fact count in the report.
+            Some(facts) => facts,
+            None => {
+                let proof = prove_plan_legality(xplan, plan, parts, store.schema())
+                    .map_err(DistError::PlanIllegal)?;
+                proof.facts
+            }
+        }
     } else {
         0
     };

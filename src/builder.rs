@@ -2,19 +2,22 @@
 //! pipeline.
 //!
 //! Instead of threading `Hints`/`Options`/`ExecOptions`/`DistOptions`
-//! through four crates by hand, callers describe a run once and get a
-//! [`Session`] that owns the solved [`ParallelPlan`] and knows how to
-//! execute it on either backend:
+//! through four crates by hand, callers describe a solve once and get a
+//! shareable [`Plan`]; per-run configuration lives in [`Run`]:
 //!
 //! ```text
-//! Partir::new(program, fns, schema)
+//! let plan = Partir::new(program, fns, schema)
 //!     .hints(h)
 //!     .budget(b)
 //!     .relax(RelaxPolicy::Auto)
-//!     .backend(Backend::Ranks(4))
-//!     .build()?            // solve once
-//!     .run(&mut store)?    // execute many times
+//!     .colors(8)
+//!     .cache(&cache)           // optional: fingerprint-keyed reuse
+//!     .solve()?;               // solve once (or hit the cache)
+//! Run::new().backend(Backend::Ranks(4)).run(&plan, &mut store)?;
 //! ```
+//!
+//! [`build`](Partir::build) remains as the one-struct compatibility path:
+//! it bundles the `Plan` with one resolved `Run` into a [`Session`].
 //!
 //! Configuration that used to be sniffed from the environment deep inside
 //! the runtime (`PARTIR_TRACE`, `PARTIR_FAULT_*`) is passed explicitly
@@ -23,46 +26,30 @@
 //! (`partir_obs::config`).
 
 use crate::error::Error;
+pub use crate::plan::Backend;
+use crate::plan::{Plan, ResolvedRun, Run, RunReport};
+use partir_core::cache::{PlanCache, SolvedPlan};
 use partir_core::eval::ExtBindings;
+use partir_core::fingerprint::solve_fingerprint;
 use partir_core::optimize::RelaxPolicy;
-use partir_core::pipeline::{auto_parallelize, Hints, Options, ParallelPlan};
+use partir_core::pipeline::{Hints, Options, ParallelPlan};
 use partir_core::placement::{PlacementConfig, PlacementPolicy, PlacementReport};
 use partir_core::solve::SolveBudget;
 use partir_dpl::func::FnTable;
 use partir_dpl::partition::Partition;
 use partir_dpl::region::{Schema, Store};
 use partir_ir::ast::Loop;
-use partir_obs::json::Json;
 use partir_obs::profile::DistProfile;
 use partir_obs::trace::Trace;
 use partir_obs::ObsConfig;
-use partir_runtime::dist::{
-    execute_dist_full, CheckpointPolicy, DistFaultPlan, DistOptions, DistReport, LegalityMode,
-    VolumeAccounting,
-};
-use partir_runtime::exec::{execute_program, ExecOptions, ExecReport};
+use partir_runtime::dist::{CheckpointPolicy, DistFaultPlan, LegalityMode, VolumeAccounting};
 use partir_runtime::fault::{FaultPlan, RetryPolicy};
 use std::sync::Arc;
 
-/// Which executor a [`Session`] runs on.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum Backend {
-    /// The shared-memory threaded executor with the given worker count.
-    Threads(usize),
-    /// The SPMD rank-sharded executor with the given rank count: each rank
-    /// holds only its shard plus constraint-derived ghosts.
-    Ranks(usize),
-}
-
-impl Default for Backend {
-    fn default() -> Self {
-        Backend::Threads(4)
-    }
-}
-
-/// Builder for a partir run. Construct with [`Partir::new`], configure
-/// with the chained setters, and [`build`](Partir::build) to solve the
-/// partitioning constraints once.
+/// Builder for a partir solve. Construct with [`Partir::new`], configure
+/// with the chained setters, then either [`solve`](Partir::solve) for a
+/// shareable [`Plan`] or [`build`](Partir::build) for a classic
+/// [`Session`].
 #[derive(Debug)]
 pub struct Partir {
     program: Vec<Loop>,
@@ -81,6 +68,7 @@ pub struct Partir {
     placement: Option<PlacementConfig>,
     retry: RetryPolicy,
     externals: ExtBindings,
+    cache: Option<PlanCache>,
 }
 
 impl Partir {
@@ -104,6 +92,7 @@ impl Partir {
             placement: None,
             retry: RetryPolicy::default(),
             externals: ExtBindings::new(),
+            cache: None,
         }
     }
 
@@ -144,6 +133,18 @@ impl Partir {
     /// contiguous, possibly empty-free block of colors.
     pub fn colors(mut self, colors: usize) -> Self {
         self.colors = Some(colors);
+        self
+    }
+
+    /// Consult (and populate) a fingerprint-keyed [`PlanCache`] in
+    /// [`solve`](Self::solve) / [`build`](Self::build). On a hit the
+    /// entire pipeline — inference, unification, solving, plan
+    /// construction — is skipped and the returned [`Plan`] shares the
+    /// cached artifact, including its memoized exchange plans, placements,
+    /// and legality proofs. The handle is cloned; all users of one cache
+    /// share its capacity and statistics.
+    pub fn cache(mut self, cache: &PlanCache) -> Self {
+        self.cache = Some(cache.clone());
         self
     }
 
@@ -245,9 +246,25 @@ impl Partir {
         self
     }
 
-    /// Validates the configuration and solves the partitioning constraints
-    /// (inference → unification → solving → plan construction).
-    pub fn build(self) -> Result<Session, Error> {
+    /// The run-side configuration accumulated on this builder, as a
+    /// standalone [`Run`].
+    fn run_config(&self) -> Run {
+        Run {
+            backend: self.backend,
+            legality: self.legality,
+            chaos_seed: self.chaos_seed,
+            obs: self.obs,
+            fault: self.fault,
+            dist_fault: self.dist_fault,
+            checkpoint: self.checkpoint,
+            placement: self.placement.clone(),
+            retry: self.retry,
+        }
+    }
+
+    /// The color count this builder will solve at (explicit, else the
+    /// backend width), after basic validation.
+    fn resolve_colors(&self) -> Result<usize, Error> {
         let width = match self.backend {
             Backend::Threads(n) | Backend::Ranks(n) => n,
         };
@@ -258,54 +275,20 @@ impl Partir {
         if colors == 0 {
             return Err(Error::Session("color count must be at least 1".into()));
         }
-        if let Backend::Ranks(r) = self.backend {
-            if colors < r {
-                return Err(Error::Session(format!(
-                    "rank backend needs colors >= ranks (got {colors} colors for {r} ranks)"
-                )));
-            }
-            if self.fault.is_some() {
-                return Err(Error::Session(
-                    "task fault injection is only supported on the Threads backend; \
-                     use dist_fault for the Ranks backend"
-                        .into(),
-                ));
-            }
-        }
-        if matches!(self.backend, Backend::Threads(_)) {
-            if self.dist_fault.is_some() {
-                return Err(Error::Session(
-                    "dist_fault injection is only supported on the Ranks backend; \
-                     use fault for the Threads backend"
-                        .into(),
-                ));
-            }
-            if self.checkpoint.is_some() {
-                return Err(Error::Session(
-                    "checkpointing is only supported on the Ranks backend".into(),
-                ));
-            }
-            // The threads backend has no owner mapping; an explicitly
-            // configured non-default placement would be silently dead.
-            if self.placement.as_ref().is_some_and(|p| p.policy != PlacementPolicy::Block) {
-                return Err(Error::Session(
-                    "placement policies apply to the Ranks backend only".into(),
-                ));
-            }
-        }
-        // An explicit assignment's shape (length == colors, ranks in
-        // range) is deliberately NOT validated here: it flows into
-        // `derive_exchange_with`, whose `ExchangeError::BadAssignment`
-        // carries the precise defect — the builder path surfaces the same
-        // typed error as the core API.
-        if let Some(p) = &self.placement {
-            if !p.imbalance.is_finite() || p.imbalance < 1.0 {
-                return Err(Error::Session(format!(
-                    "placement imbalance factor must be >= 1.0, got {}",
-                    p.imbalance
-                )));
-            }
-        }
+        Ok(colors)
+    }
+
+    /// Solves the partitioning constraints (inference → unification →
+    /// solving → plan construction) into a shareable [`Plan`], consulting
+    /// the configured [`PlanCache`] first. Run-side settings on the
+    /// builder are validated by [`Run::run`], not here — `solve` only
+    /// checks what the solve itself depends on.
+    pub fn solve(self) -> Result<Plan, Error> {
+        let colors = self.resolve_colors()?;
+        self.solve_at(colors)
+    }
+
+    fn solve_at(self, colors: usize) -> Result<Plan, Error> {
         if self.externals.len() != self.hints.num_externals() {
             return Err(Error::Session(format!(
                 "{} external bindings for {} declared externals",
@@ -313,60 +296,51 @@ impl Partir {
                 self.hints.num_externals()
             )));
         }
-        // Explicit obs config wins; otherwise the `PARTIR_*` env defaults
-        // apply. The resolved config sticks to the session so the rank
-        // backend can read `timeline` / `strict_volume` from it.
-        let obs = self.obs.unwrap_or_else(ObsConfig::from_env);
-        obs.apply();
-        // Env-provided fault defaults resolve per backend, so a threads
-        // FaultPlan never silently attaches to (and gets ignored by) a
-        // Ranks session, and vice versa.
-        let fault = match self.backend {
-            Backend::Threads(_) => self.fault.or_else(FaultPlan::from_env),
-            Backend::Ranks(_) => None,
-        };
-        let (dist_fault, checkpoint) = match self.backend {
-            Backend::Ranks(r) => {
-                let df = self.dist_fault.or_else(DistFaultPlan::from_env);
-                if let Some(crash) = df.as_ref().and_then(|f| f.crash) {
-                    if crash.rank >= r {
-                        return Err(Error::Session(format!(
-                            "dist_fault crashes rank {} but the backend has only {r} ranks",
-                            crash.rank
-                        )));
-                    }
-                }
-                (df, self.checkpoint.or_else(CheckpointPolicy::from_env))
+        let cache = self.cache;
+        if let Some(cache) = &cache {
+            let fp = solve_fingerprint(
+                &self.program,
+                &self.fns,
+                &self.schema,
+                &self.hints,
+                &self.options,
+                &self.externals,
+                colors,
+            );
+            if let Some(solved) = cache.get(fp)? {
+                return Ok(Plan::from_solved(solved, true));
             }
-            Backend::Threads(_) => (None, None),
-        };
-        // Explicit placement wins; otherwise the `PARTIR_PLACEMENT*` env
-        // defaults apply on the rank backend (Threads has no owner mapping,
-        // so env-derived placement is ignored there rather than erroring).
-        let placement = match self.backend {
-            Backend::Ranks(_) => {
-                self.placement.or_else(PlacementConfig::from_env).unwrap_or_default()
-            }
-            Backend::Threads(_) => self.placement.unwrap_or_default(),
-        };
-        let plan =
-            auto_parallelize(&self.program, &self.fns, &self.schema, &self.hints, self.options)?;
-        Ok(Session {
-            program: self.program,
-            fns: self.fns,
-            schema: self.schema,
-            plan,
-            backend: self.backend,
+        }
+        let solved = Arc::new(SolvedPlan::solve(
+            self.program,
+            self.fns,
+            self.schema,
+            &self.hints,
+            self.options,
+            self.externals,
             colors,
-            legality: self.legality,
-            chaos_seed: self.chaos_seed,
-            obs,
-            fault,
-            dist_fault,
-            checkpoint,
-            placement,
-            retry: self.retry,
-            externals: self.externals,
+        )?);
+        if let Some(cache) = &cache {
+            // Degraded (budget-exhausted) plans are refused by the cache
+            // itself, so a warm cache never pins a fallback solution.
+            cache.insert(solved.clone())?;
+        }
+        Ok(Plan::from_solved(solved, false))
+    }
+
+    /// Validates the full configuration (solve- and run-side) and solves
+    /// the partitioning constraints, bundling the [`Plan`] with one
+    /// resolved [`Run`] into a classic [`Session`].
+    pub fn build(self) -> Result<Session, Error> {
+        let colors = self.resolve_colors()?;
+        // Run-side validation and environment-default resolution happen
+        // here, before paying for the solve, preserving the original
+        // build()-time error surface.
+        let resolved = self.run_config().resolve(colors)?;
+        let plan = self.solve_at(colors)?;
+        Ok(Session {
+            plan,
+            run: resolved,
             last: None,
             last_trace: None,
             last_volume: None,
@@ -375,26 +349,17 @@ impl Partir {
     }
 }
 
-/// A solved partitioning, ready to execute. One `build` amortizes over
-/// many [`run`](Session::run) calls (partitions are re-evaluated per run
-/// because they can depend on store contents, e.g. pointer fields).
+/// A solved partitioning bundled with one resolved run configuration —
+/// the classic single-struct API, now a thin wrapper over [`Plan`] +
+/// [`Run`]. One `build` amortizes over many [`run`](Session::run) calls;
+/// partitions, exchange plans, placements, and legality proofs are
+/// memoized per store index structure inside the shared plan. For
+/// concurrent runs or multiple backends over one solve, use
+/// [`Partir::solve`] and share the [`Plan`] directly.
 #[derive(Debug)]
 pub struct Session {
-    program: Vec<Loop>,
-    fns: FnTable,
-    schema: Schema,
-    plan: ParallelPlan,
-    backend: Backend,
-    colors: usize,
-    legality: LegalityMode,
-    chaos_seed: Option<u64>,
-    obs: ObsConfig,
-    fault: Option<FaultPlan>,
-    dist_fault: Option<DistFaultPlan>,
-    checkpoint: Option<CheckpointPolicy>,
-    placement: PlacementConfig,
-    retry: RetryPolicy,
-    externals: ExtBindings,
+    plan: Plan,
+    run: ResolvedRun,
     last: Option<RunReport>,
     last_trace: Option<Trace>,
     last_volume: Option<VolumeAccounting>,
@@ -402,104 +367,70 @@ pub struct Session {
 }
 
 impl Session {
-    /// The solved plan (partitions, per-loop strategies, timings).
-    pub fn plan(&self) -> &ParallelPlan {
-        &self.plan
+    /// The shareable solved plan. Clones of this handle stay valid after
+    /// the session is dropped and can run concurrently.
+    pub fn shared_plan(&self) -> Plan {
+        self.plan.clone()
     }
 
-    /// Consumes the session, yielding the solved plan (for harnesses that
-    /// only need the pipeline output).
+    /// The solved plan (partitions, per-loop strategies, timings).
+    pub fn plan(&self) -> &ParallelPlan {
+        self.plan.parallel_plan()
+    }
+
+    /// Yields an owned copy of the solved plan (for harnesses that only
+    /// need the pipeline output).
     pub fn into_plan(self) -> ParallelPlan {
-        self.plan
+        self.plan.parallel_plan().clone()
     }
 
     /// The program this session executes.
     pub fn program(&self) -> &[Loop] {
-        &self.program
+        self.plan.program()
     }
 
     /// The session's partitioning functions.
     pub fn fns(&self) -> &FnTable {
-        &self.fns
+        self.plan.fns()
     }
 
     /// The backend this session runs on.
     pub fn backend(&self) -> Backend {
-        self.backend
+        self.run.backend
     }
 
     /// The color (task) count partitions are evaluated at.
     pub fn colors(&self) -> usize {
-        self.colors
+        self.plan.colors()
     }
 
     /// Renders the synthesized DPL program.
     pub fn render_dpl(&self) -> String {
-        self.plan.render_dpl(&self.fns)
+        self.plan.render_dpl()
     }
 
     /// Renders the solver/unification explanation trace.
     pub fn render_explanation(&self) -> String {
-        self.plan.render_explanation(&self.fns)
+        self.plan.render_explanation()
     }
 
     /// Evaluates the plan's partitions against a store (shared `Arc`s;
-    /// canonically equal subexpressions are materialized once).
+    /// canonically equal subexpressions are materialized once, and the
+    /// evaluation itself is memoized per store index structure).
     pub fn evaluate(&self, store: &Store) -> Vec<Arc<Partition>> {
-        self.plan.evaluate(store, &self.fns, self.colors, &self.externals)
+        self.plan.evaluate(store).as_ref().clone()
     }
 
     /// Executes the program on the configured backend, mutating `store` in
     /// place. Results are bit-identical to the sequential interpreter on
     /// both backends.
     pub fn run(&mut self, store: &mut Store) -> Result<RunReport, Error> {
-        if store.schema().num_fields() != self.schema.num_fields()
-            || store.schema().num_regions() != self.schema.num_regions()
-        {
-            return Err(Error::Session("store schema does not match the session's schema".into()));
-        }
-        let parts = self.evaluate(store);
-        let report = match self.backend {
-            Backend::Threads(n_threads) => {
-                let opts = ExecOptions {
-                    n_threads,
-                    check_legality: self.legality != LegalityMode::Off,
-                    fault: self.fault,
-                    retry: self.retry,
-                };
-                self.last_trace = None;
-                self.last_volume = None;
-                self.last_placement = None;
-                RunReport::Threads(execute_program(
-                    &self.program,
-                    &self.plan,
-                    &parts,
-                    store,
-                    &self.fns,
-                    &opts,
-                )?)
-            }
-            Backend::Ranks(n_ranks) => {
-                let opts = DistOptions {
-                    n_ranks,
-                    legality: self.legality,
-                    chaos_seed: self.chaos_seed,
-                    collect_timeline: self.obs.timeline,
-                    strict_volume: self.obs.strict_volume,
-                    fault: self.dist_fault,
-                    checkpoint: self.checkpoint,
-                    placement: self.placement.clone(),
-                };
-                let outcome =
-                    execute_dist_full(&self.program, &self.plan, &parts, store, &self.fns, &opts)?;
-                self.last_trace = outcome.trace;
-                self.last_volume = Some(outcome.volume);
-                self.last_placement = outcome.placement;
-                RunReport::Ranks(outcome.report)
-            }
-        };
-        self.last = Some(report);
-        Ok(report)
+        let outcome = self.run.execute(&self.plan, store)?;
+        self.last = Some(outcome.report);
+        self.last_trace = outcome.trace;
+        self.last_volume = outcome.volume;
+        self.last_placement = outcome.placement;
+        Ok(outcome.report)
     }
 
     /// The report of the most recent [`run`](Session::run), if any.
@@ -533,46 +464,6 @@ impl Session {
     /// time. `None` before the first `Ranks` run.
     pub fn placement_report(&self) -> Option<&PlacementReport> {
         self.last_placement.as_ref()
-    }
-}
-
-/// Backend-tagged execution statistics from one [`Session::run`].
-#[derive(Clone, Copy, Debug)]
-pub enum RunReport {
-    Threads(ExecReport),
-    Ranks(DistReport),
-}
-
-impl RunReport {
-    /// Tasks (colors) executed, on either backend.
-    pub fn tasks_run(&self) -> u64 {
-        match self {
-            RunReport::Threads(r) => r.tasks_run,
-            RunReport::Ranks(r) => r.tasks_run,
-        }
-    }
-
-    pub fn as_threads(&self) -> Option<&ExecReport> {
-        match self {
-            RunReport::Threads(r) => Some(r),
-            RunReport::Ranks(_) => None,
-        }
-    }
-
-    pub fn as_ranks(&self) -> Option<&DistReport> {
-        match self {
-            RunReport::Ranks(r) => Some(r),
-            RunReport::Threads(_) => None,
-        }
-    }
-
-    /// Machine-readable form for `partir-report-v1` envelopes, tagged with
-    /// the backend it came from.
-    pub fn to_json(&self) -> Json {
-        match self {
-            RunReport::Threads(r) => r.to_json().with("backend", "threads"),
-            RunReport::Ranks(r) => r.to_json().with("backend", "ranks"),
-        }
     }
 }
 
@@ -636,6 +527,82 @@ mod tests {
         let session = Partir::new(program, fns, schema).build().unwrap();
         assert!(!session.render_dpl().is_empty());
         assert!(session.plan().num_partitions() > 0);
+    }
+
+    #[test]
+    fn solve_yields_a_shareable_plan_that_runs_on_both_backends() {
+        let (program, fns, schema, seed) = scatter();
+        let mut seq = seed.clone();
+        run_program_seq(&program, &mut seq, &fns);
+
+        let plan = Partir::new(program, fns, schema.clone())
+            .colors(6)
+            .solve()
+            .expect("scatter is parallelizable");
+        assert!(!plan.cache_hit());
+        assert!(!plan.degraded());
+
+        // One solve, two backends, concurrent runs over clones.
+        let handles: Vec<_> =
+            [Run::new().backend(Backend::Threads(3)), Run::new().backend(Backend::Ranks(3))]
+                .into_iter()
+                .map(|run| {
+                    let plan = plan.clone();
+                    let mut store = seed.clone();
+                    std::thread::spawn(move || {
+                        let outcome = run.run(&plan, &mut store).expect("run succeeds");
+                        assert!(outcome.report.tasks_run() > 0);
+                        store
+                    })
+                })
+                .collect();
+        for h in handles {
+            let store = h.join().expect("no panic");
+            for fi in 0..schema.num_fields() {
+                let f = FieldId(fi as u32);
+                assert_eq!(seq.field_data(f), store.field_data(f));
+            }
+        }
+    }
+
+    #[test]
+    fn plan_cache_hits_share_the_solved_artifact() {
+        let (program, fns, schema, _) = scatter();
+        let cache = PlanCache::default();
+        let cold = Partir::new(program.clone(), fns.clone(), schema.clone())
+            .colors(6)
+            .cache(&cache)
+            .solve()
+            .unwrap();
+        assert!(!cold.cache_hit());
+        let warm = Partir::new(program, fns, schema).colors(6).cache(&cache).solve().unwrap();
+        assert!(warm.cache_hit());
+        assert!(Arc::ptr_eq(cold.solved(), warm.solved()), "hit shares the artifact");
+        assert_eq!(cold.fingerprint(), warm.fingerprint());
+        let stats = cache.stats().unwrap();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+    }
+
+    #[test]
+    fn run_side_settings_do_not_perturb_the_cache_key() {
+        let (program, fns, schema, _) = scatter();
+        let cache = PlanCache::default();
+        let _ = Partir::new(program.clone(), fns.clone(), schema.clone())
+            .backend(Backend::Threads(3))
+            .colors(6)
+            .cache(&cache)
+            .solve()
+            .unwrap();
+        // Different backend, legality, chaos — same solve inputs.
+        let warm = Partir::new(program, fns, schema)
+            .backend(Backend::Ranks(2))
+            .colors(6)
+            .check_legality(false)
+            .chaos_seed(7)
+            .cache(&cache)
+            .solve()
+            .unwrap();
+        assert!(warm.cache_hit(), "run-side knobs must not fragment the cache");
     }
 
     #[test]

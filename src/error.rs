@@ -8,6 +8,7 @@
 //! ([`partir_obs::report::ERROR_CODES`]) for machine-readable failure
 //! reports. Renaming a code is a schema break; adding one is not.
 
+use partir_core::cache::CacheError;
 use partir_core::exchange::ExchangeError;
 use partir_core::pipeline::AutoError;
 use partir_core::solve::SolveError;
@@ -15,6 +16,41 @@ use partir_runtime::dist::DistError;
 use partir_runtime::exec::ExecError;
 use partir_runtime::sim::SimError;
 use std::fmt;
+
+/// Failures of the serving layer ([`crate::serve`]), each with its own
+/// stable code so clients can branch on admission-control outcomes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeError {
+    /// The request's solve exhausted the server's admission
+    /// [`SolveBudget`](partir_core::solve::SolveBudget) and would have
+    /// degraded to the trivial plan; the server rejects it instead of
+    /// serving (or caching) a degraded solution (`serve.over_budget`).
+    OverBudget,
+    /// The server already has `cap` requests queued or in flight
+    /// (`serve.queue_full`). Back off and resubmit.
+    QueueFull { cap: usize },
+    /// The worker processing the request went away before replying —
+    /// the server was shut down mid-request (`serve.disconnected`).
+    Disconnected,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::OverBudget => {
+                write!(f, "solve exceeded the server's admission budget")
+            }
+            ServeError::QueueFull { cap } => {
+                write!(f, "server queue is full ({cap} requests in flight)")
+            }
+            ServeError::Disconnected => {
+                write!(f, "serve worker disconnected before replying")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
 
 /// Any failure the partir pipeline or one of its backends can report.
 #[derive(Debug)]
@@ -34,6 +70,10 @@ pub enum Error {
     /// Builder misuse: an inconsistent or impossible session configuration
     /// (`session.invalid`).
     Session(String),
+    /// Serving-layer failure (`serve.*`).
+    Serve(ServeError),
+    /// Plan-cache failure (`cache.*`).
+    Cache(CacheError),
 }
 
 impl Error {
@@ -85,6 +125,12 @@ impl Error {
                 SimError::IterWidthMismatch { .. } => "sim.iter_width_mismatch",
             },
             Error::Session(_) => "session.invalid",
+            Error::Serve(e) => match e {
+                ServeError::OverBudget => "serve.over_budget",
+                ServeError::QueueFull { .. } => "serve.queue_full",
+                ServeError::Disconnected => "serve.disconnected",
+            },
+            Error::Cache(CacheError::Poisoned) => "cache.poisoned",
         }
     }
 }
@@ -107,6 +153,8 @@ impl fmt::Display for Error {
             Error::Dist(e) => write!(f, "{e}"),
             Error::Sim(e) => write!(f, "{e}"),
             Error::Session(m) => write!(f, "invalid session configuration: {m}"),
+            Error::Serve(e) => write!(f, "{e}"),
+            Error::Cache(e) => write!(f, "{e}"),
         }
     }
 }
@@ -121,6 +169,8 @@ impl std::error::Error for Error {
             Error::Dist(e) => Some(e),
             Error::Sim(e) => Some(e),
             Error::Session(_) => None,
+            Error::Serve(e) => Some(e),
+            Error::Cache(e) => Some(e),
         }
     }
 }
@@ -158,6 +208,18 @@ impl From<DistError> for Error {
 impl From<SimError> for Error {
     fn from(e: SimError) -> Self {
         Error::Sim(e)
+    }
+}
+
+impl From<ServeError> for Error {
+    fn from(e: ServeError) -> Self {
+        Error::Serve(e)
+    }
+}
+
+impl From<CacheError> for Error {
+    fn from(e: CacheError) -> Self {
+        Error::Cache(e)
     }
 }
 
@@ -249,6 +311,10 @@ mod tests {
             Error::Sim(SimError::HomeWidthMismatch { region: RegionId(0), expected: 2, got: 3 }),
             Error::Sim(SimError::IterWidthMismatch { loop_name: "l".into(), expected: 2, got: 3 }),
             Error::Session("bad".into()),
+            Error::Serve(ServeError::OverBudget),
+            Error::Serve(ServeError::QueueFull { cap: 64 }),
+            Error::Serve(ServeError::Disconnected),
+            Error::Cache(CacheError::Poisoned),
         ];
         for e in &samples {
             let code = e.error_code();
@@ -262,5 +328,11 @@ mod tests {
         assert!(e.to_string().contains("unsatisfiable"));
         assert!(std::error::Error::source(&e).is_some());
         assert!(std::error::Error::source(&Error::Session("x".into())).is_none());
+        let e = Error::from(ServeError::QueueFull { cap: 8 });
+        assert!(e.to_string().contains("queue is full"));
+        assert!(std::error::Error::source(&e).is_some());
+        let e = Error::from(CacheError::Poisoned);
+        assert_eq!(e.error_code(), "cache.poisoned");
+        assert!(std::error::Error::source(&e).is_some());
     }
 }

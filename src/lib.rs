@@ -5,8 +5,14 @@
 //! (Lee, Papadakis, Slaughter, Aiken — SC '19).
 //!
 //! The front door is the [`Partir`] builder: describe a program once, let
-//! the constraint pipeline solve its partitioning, and run it on either
-//! backend. Underneath, this facade re-exports the workspace crates:
+//! the constraint pipeline solve its partitioning into a shareable
+//! [`Plan`], and run it on either backend via [`Run`] (or the classic
+//! one-struct [`Session`]). Solves are cacheable: a fingerprint-keyed
+//! [`PlanCache`] keys on the structure of the solve inputs and shares the
+//! immutable artifact — including memoized exchange plans, placements,
+//! and legality proofs — across sessions and threads, and the
+//! [`serve`] module turns that into a concurrent solve service.
+//! Underneath, this facade re-exports the workspace crates:
 //!
 //! * [`dpl`] — regions, first-class partitions, and the Dependent
 //!   Partitioning Language operators (`equal`, `image`, `preimage`,
@@ -46,16 +52,22 @@
 //! b.val_reduce(s, sx, gi, ReduceOp::Add, VExpr::var(v));
 //! let program = vec![b.finish()];
 //!
-//! // Solve once, run on 4 SPMD ranks with constraint-derived ghosts.
-//! let mut session = Partir::new(program, fns, schema.clone())
-//!     .backend(Backend::Ranks(4))
-//!     .build()
+//! // Solve once into a shareable Plan, cached under its fingerprint.
+//! let cache = PlanCache::default();
+//! let plan = Partir::new(program, fns, schema.clone())
+//!     .colors(8)
+//!     .cache(&cache)
+//!     .solve()
 //!     .expect("parallelizable");
-//! println!("{}", session.render_dpl()); // the synthesized DPL program
+//! println!("{}", plan.render_dpl()); // the synthesized DPL program
 //!
+//! // Run on 4 SPMD ranks with constraint-derived ghosts.
 //! let mut store = Store::new(schema);
-//! let report = session.run(&mut store).expect("bit-identical to sequential");
-//! assert!(report.tasks_run() > 0);
+//! let outcome = Run::new()
+//!     .backend(Backend::Ranks(4))
+//!     .run(&plan, &mut store)
+//!     .expect("bit-identical to sequential");
+//! assert!(outcome.report.tasks_run() > 0);
 //! ```
 
 pub use partir_apps as apps;
@@ -67,77 +79,24 @@ pub use partir_runtime as runtime;
 
 mod builder;
 mod error;
+mod plan;
+pub mod serve;
 
-pub use builder::{Backend, Partir, RunReport, Session};
-pub use error::Error;
+pub use builder::{Backend, Partir, Session};
+pub use error::{Error, ServeError};
+pub use partir_core::cache::{CacheStats, PlanCache};
+pub use plan::{Plan, Run, RunOutcome, RunReport};
+pub use serve::{ServeConfig, ServeReply, Server, Ticket};
 
 /// One-stop imports for examples and downstream users.
 pub mod prelude {
-    pub use crate::{Backend, Error, Partir, RunReport, Session};
+    pub use crate::{
+        Backend, Error, Partir, Plan, PlanCache, Run, RunOutcome, RunReport, ServeConfig,
+        ServeError, ServeReply, Server, Session,
+    };
     pub use partir_core::prelude::*;
     pub use partir_dpl::prelude::*;
     pub use partir_ir::prelude::*;
     pub use partir_obs::ObsConfig;
     pub use partir_runtime::prelude::*;
-}
-
-/// Pre-builder entry point: runs the constraint pipeline directly.
-#[deprecated(
-    since = "0.2.0",
-    note = "use the `partir::Partir` builder, which solves once and executes on any backend"
-)]
-pub fn auto_parallelize(
-    loops: &[ir::ast::Loop],
-    fns: &dpl::func::FnTable,
-    schema: &dpl::region::Schema,
-    hints: &core::pipeline::Hints,
-    opts: core::pipeline::Options,
-) -> Result<core::pipeline::ParallelPlan, core::pipeline::AutoError> {
-    core::pipeline::auto_parallelize(loops, fns, schema, hints, opts)
-}
-
-/// Pre-builder entry point: runs a solved plan on the threaded executor.
-#[deprecated(
-    since = "0.2.0",
-    note = "use the `partir::Partir` builder, which solves once and executes on any backend"
-)]
-pub fn execute(
-    program: &[ir::ast::Loop],
-    plan: &core::pipeline::ParallelPlan,
-    parts: &[std::sync::Arc<dpl::partition::Partition>],
-    store: &mut dpl::region::Store,
-    fns: &dpl::func::FnTable,
-    opts: &runtime::exec::ExecOptions,
-) -> Result<runtime::exec::ExecReport, runtime::exec::ExecError> {
-    runtime::exec::execute_program(program, plan, parts, store, fns, opts)
-}
-
-#[cfg(test)]
-mod shim_tests {
-    // The deprecated shims must stay callable (and deprecated).
-    #[test]
-    #[allow(deprecated)]
-    fn shims_still_work() {
-        use crate::prelude::*;
-        let mut schema = Schema::new();
-        let r = schema.add_region("R", 16);
-        let rx = schema.add_field(r, "x", FieldKind::F64);
-        let mut b = LoopBuilder::new("double", r);
-        let i = b.loop_var();
-        let v = b.val_read(r, rx, i);
-        b.val_write(r, rx, i, VExpr::add(VExpr::var(v), VExpr::var(v)));
-        let program = vec![b.finish()];
-        let fns = FnTable::new();
-        let plan =
-            crate::auto_parallelize(&program, &fns, &schema, &Hints::new(), Options::default())
-                .unwrap();
-        let mut store = Store::new(schema);
-        store.f64s_mut(rx)[3] = 1.5;
-        let parts = plan.evaluate(&store, &fns, 2, &ExtBindings::new());
-        let report =
-            crate::execute(&program, &plan, &parts, &mut store, &fns, &ExecOptions::default())
-                .unwrap();
-        assert!(report.tasks_run > 0);
-        assert_eq!(store.f64s(rx)[3], 3.0);
-    }
 }

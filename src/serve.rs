@@ -1,0 +1,397 @@
+//! Solve-as-a-service: a [`Server`] that accepts concurrent solve
+//! requests, shares one fingerprint-keyed [`PlanCache`] across them, and
+//! applies admission control so one runaway request cannot monopolize the
+//! solver.
+//!
+//! ```text
+//! let server = Server::new(ServeConfig::from_env());
+//! let reply = server.solve(Partir::new(program, fns, schema).colors(8))?;
+//! reply.plan.run(&mut store)?;          // a normal shareable Plan
+//! println!("{}", reply.report);         // partir-report-v1 envelope
+//! ```
+//!
+//! Requests flow through a fixed worker pool over an MPSC queue:
+//! [`Server::submit`] enqueues and returns a [`Ticket`] immediately,
+//! [`Ticket::wait`] blocks for the reply, and [`Server::solve`] is the
+//! blocking composition of the two. Admission control is two-layered:
+//!
+//! - **Queue bound** — at most `queue_cap` requests queued or in flight;
+//!   excess submissions fail fast with `serve.queue_full`.
+//! - **Solve budget** — an optional server-wide [`SolveBudget`] clamps
+//!   every request's search; a request whose solve would degrade to the
+//!   trivial fallback is rejected with `serve.over_budget` instead of
+//!   being served (or cached) degraded.
+//!
+//! Every successful reply carries a `partir-report-v1` envelope recording
+//! the fingerprint, cache outcome, and solve latency; failures map to the
+//! registered `serve.*` / `cache.*` error codes via
+//! [`Error::error_code`].
+
+use crate::builder::Partir;
+use crate::error::{Error, ServeError};
+use crate::plan::Plan;
+use partir_core::cache::{CacheStats, PlanCache, DEFAULT_CAPACITY_BYTES};
+use partir_core::solve::SolveBudget;
+use partir_obs::json::Json;
+use partir_obs::report::envelope;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Serving-pool configuration. Environment defaults (`PARTIR_SERVE_*`)
+/// are parsed in exactly one place, [`partir_obs::config::serve_env`].
+#[derive(Clone, Copy, Debug)]
+pub struct ServeConfig {
+    /// Worker threads solving requests (default 4).
+    pub workers: usize,
+    /// Maximum requests queued or in flight before submissions are
+    /// rejected with `serve.queue_full` (default 64).
+    pub queue_cap: usize,
+    /// Byte capacity of the server's [`PlanCache`] (default 64 MiB).
+    pub cache_bytes: u64,
+    /// Server-wide admission budget. When set, it overrides each
+    /// request's own [`SolveBudget`], and solves that would exhaust it
+    /// (degrading to the trivial solution) are rejected with
+    /// `serve.over_budget`.
+    pub admission_budget: Option<SolveBudget>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 4,
+            queue_cap: 64,
+            cache_bytes: DEFAULT_CAPACITY_BYTES,
+            admission_budget: None,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// The defaults overlaid with `PARTIR_SERVE_WORKERS`,
+    /// `PARTIR_SERVE_QUEUE_CAP`, and `PARTIR_SERVE_CACHE_BYTES`.
+    pub fn from_env() -> Self {
+        let env = partir_obs::config::serve_env();
+        let mut c = ServeConfig::default();
+        if let Some(w) = env.workers {
+            c.workers = w;
+        }
+        if let Some(q) = env.queue_cap {
+            c.queue_cap = q;
+        }
+        if let Some(b) = env.cache_bytes {
+            c.cache_bytes = b;
+        }
+        c
+    }
+
+    /// Sets the admission budget (see
+    /// [`admission_budget`](Self::admission_budget)).
+    pub fn budget(mut self, budget: SolveBudget) -> Self {
+        self.admission_budget = Some(budget);
+        self
+    }
+}
+
+/// A successful solve reply: the shareable plan plus its per-request
+/// report envelope.
+#[derive(Clone, Debug)]
+pub struct ServeReply {
+    /// The solved (or cache-satisfied) plan, ready to run or clone.
+    pub plan: Plan,
+    /// Wall-clock nanoseconds the worker spent acquiring the plan
+    /// (fingerprint + cache probe on a hit; the full pipeline on a miss).
+    pub solve_ns: u64,
+    /// `partir-report-v1` envelope for this request: fingerprint,
+    /// `cache_hit`, `solve_ns`, `colors`, `degraded`.
+    pub report: Json,
+}
+
+struct Job {
+    builder: Partir,
+    reply: mpsc::Sender<Result<ServeReply, Error>>,
+}
+
+/// Handle for one submitted request; [`wait`](Ticket::wait) blocks for
+/// the worker's reply.
+#[derive(Debug)]
+pub struct Ticket {
+    rx: mpsc::Receiver<Result<ServeReply, Error>>,
+}
+
+impl Ticket {
+    /// Blocks until the request's worker replies. Fails with
+    /// `serve.disconnected` if the server shut down before replying.
+    pub fn wait(self) -> Result<ServeReply, Error> {
+        self.rx.recv().map_err(|_| Error::Serve(ServeError::Disconnected))?
+    }
+}
+
+/// A concurrent solve service over a shared [`PlanCache`].
+///
+/// Dropping the server drains the queue: already-accepted requests finish
+/// (their tickets stay valid), new submissions are impossible.
+#[derive(Debug)]
+pub struct Server {
+    tx: Option<mpsc::Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+    cache: PlanCache,
+    inflight: Arc<AtomicUsize>,
+    queue_cap: usize,
+    budget: Option<SolveBudget>,
+}
+
+impl Server {
+    pub fn new(config: ServeConfig) -> Server {
+        let cache = PlanCache::new(config.cache_bytes);
+        let (tx, rx) = mpsc::channel::<Job>();
+        let rx = Arc::new(Mutex::new(rx));
+        let inflight = Arc::new(AtomicUsize::new(0));
+        let workers = (0..config.workers.max(1))
+            .map(|_| {
+                let rx = Arc::clone(&rx);
+                let inflight = Arc::clone(&inflight);
+                std::thread::spawn(move || loop {
+                    // A worker that panicked mid-recv poisons the queue
+                    // lock; remaining workers exit rather than spin.
+                    let job = match rx.lock() {
+                        Ok(rx) => match rx.recv() {
+                            Ok(job) => job,
+                            Err(_) => break,
+                        },
+                        Err(_) => break,
+                    };
+                    let result = process(job.builder);
+                    // Release the queue slot before replying, so a caller
+                    // that observes its reply also observes the capacity.
+                    inflight.fetch_sub(1, Ordering::SeqCst);
+                    let _ = job.reply.send(result);
+                })
+            })
+            .collect();
+        Server {
+            tx: Some(tx),
+            workers,
+            cache,
+            inflight,
+            queue_cap: config.queue_cap.max(1),
+            budget: config.admission_budget,
+        }
+    }
+
+    /// The server's shared plan cache (clone of the handle; capacity and
+    /// statistics are shared with the workers).
+    pub fn cache(&self) -> PlanCache {
+        self.cache.clone()
+    }
+
+    /// Snapshot of the shared cache's counters.
+    pub fn cache_stats(&self) -> Result<CacheStats, Error> {
+        Ok(self.cache.stats()?)
+    }
+
+    /// Requests queued or currently solving.
+    pub fn inflight(&self) -> usize {
+        self.inflight.load(Ordering::SeqCst)
+    }
+
+    /// Enqueues a solve request. The builder's cache is replaced with the
+    /// server's shared cache, and the server's admission budget (if any)
+    /// overrides the request's. Fails fast with `serve.queue_full` when
+    /// `queue_cap` requests are already queued or in flight.
+    pub fn submit(&self, builder: Partir) -> Result<Ticket, Error> {
+        if self.inflight.fetch_add(1, Ordering::SeqCst) >= self.queue_cap {
+            self.inflight.fetch_sub(1, Ordering::SeqCst);
+            return Err(Error::Serve(ServeError::QueueFull { cap: self.queue_cap }));
+        }
+        let mut builder = builder.cache(&self.cache);
+        if let Some(b) = self.budget {
+            builder = builder.budget(b);
+        }
+        let (reply_tx, reply_rx) = mpsc::channel();
+        let tx = self.tx.as_ref().expect("sender lives until drop");
+        if tx.send(Job { builder, reply: reply_tx }).is_err() {
+            self.inflight.fetch_sub(1, Ordering::SeqCst);
+            return Err(Error::Serve(ServeError::Disconnected));
+        }
+        Ok(Ticket { rx: reply_rx })
+    }
+
+    /// Blocking solve: [`submit`](Self::submit) + [`wait`](Ticket::wait).
+    pub fn solve(&self, builder: Partir) -> Result<ServeReply, Error> {
+        self.submit(builder)?.wait()
+    }
+
+    /// Stops accepting requests and joins the workers after the queue
+    /// drains.
+    pub fn shutdown(mut self) {
+        self.shutdown_in_place();
+    }
+
+    fn shutdown_in_place(&mut self) {
+        self.tx.take();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown_in_place();
+    }
+}
+
+/// One request, on a worker thread: solve (or hit the cache), reject
+/// degraded results, build the per-request report envelope.
+fn process(builder: Partir) -> Result<ServeReply, Error> {
+    let t0 = Instant::now();
+    let plan = builder.solve()?;
+    let solve_ns = t0.elapsed().as_nanos() as u64;
+    if plan.degraded() {
+        // The cache refused it too (degraded plans are never cached), so
+        // a later, better-budgeted request re-solves from scratch.
+        return Err(Error::Serve(ServeError::OverBudget));
+    }
+    let report = envelope("serve_request")
+        .with("fingerprint", plan.fingerprint().to_string())
+        .with("cache_hit", plan.cache_hit())
+        .with("solve_ns", solve_ns)
+        .with("colors", plan.colors())
+        .with("degraded", false);
+    Ok(ServeReply { plan, solve_ns, report })
+}
+
+/// `partir-report-v1` envelope for a failed request, carrying the stable
+/// error code and the human-readable message.
+pub fn error_report(err: &Error) -> Json {
+    envelope("serve_request").with("error_code", err.error_code()).with("error", err.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use partir_dpl::func::{FnDef, FnTable, IndexFn};
+    use partir_dpl::region::{FieldKind, Schema};
+    use partir_ir::ast::{LoopBuilder, ReduceOp, VExpr};
+    use partir_obs::report::validate_envelope;
+
+    fn scatter() -> (Vec<partir_ir::ast::Loop>, FnTable, Schema) {
+        let mut schema = Schema::new();
+        let r = schema.add_region("R", 64);
+        let s = schema.add_region("S", 64);
+        let rx = schema.add_field(r, "x", FieldKind::F64);
+        let sx = schema.add_field(s, "x", FieldKind::F64);
+        let mut fns = FnTable::new();
+        let g =
+            fns.add("g", r, s, FnDef::Index(IndexFn::AffineMod { mul: 1, add: 5, modulus: 64 }));
+        let mut b = LoopBuilder::new("scatter", r);
+        let i = b.loop_var();
+        let v = b.val_read(r, rx, i);
+        let gi = b.idx_apply(g, i);
+        b.val_reduce(s, sx, gi, ReduceOp::Add, VExpr::var(v));
+        (vec![b.finish()], fns, schema)
+    }
+
+    #[test]
+    fn serve_solves_and_reports_per_request() {
+        let (program, fns, schema) = scatter();
+        let server = Server::new(ServeConfig::default());
+
+        let cold = server.solve(Partir::new(program.clone(), fns.clone(), schema.clone())).unwrap();
+        assert!(!cold.plan.cache_hit());
+        let parsed = Json::parse(&cold.report.to_string()).unwrap();
+        assert_eq!(validate_envelope(&parsed).unwrap(), "serve_request");
+        assert_eq!(parsed.get("cache_hit").and_then(Json::as_bool), Some(false));
+
+        let warm = server.solve(Partir::new(program, fns, schema)).unwrap();
+        assert!(warm.plan.cache_hit());
+        assert!(Arc::ptr_eq(cold.plan.solved(), warm.plan.solved()));
+        let stats = server.cache_stats().unwrap();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+    }
+
+    #[test]
+    fn concurrent_submissions_share_one_solve_artifact() {
+        let (program, fns, schema) = scatter();
+        let server = Server::new(ServeConfig { workers: 4, ..ServeConfig::default() });
+        // Prime the cache first: misses are deduplicated by fingerprint at
+        // insert, not coalesced in flight, so simultaneous *cold* requests
+        // may each solve once before the first insert lands.
+        let primed = server
+            .solve(Partir::new(program.clone(), fns.clone(), schema.clone()))
+            .expect("priming solve succeeds");
+        let tickets: Vec<_> = (0..8)
+            .map(|_| server.submit(Partir::new(program.clone(), fns.clone(), schema.clone())))
+            .collect::<Result<_, _>>()
+            .unwrap();
+        let replies: Vec<_> =
+            tickets.into_iter().map(|t| t.wait().expect("request succeeds")).collect();
+        for r in &replies {
+            assert!(r.plan.cache_hit(), "every post-prime request hits");
+            assert!(
+                Arc::ptr_eq(r.plan.solved(), primed.plan.solved()),
+                "all requests share one artifact"
+            );
+        }
+        assert_eq!(server.inflight(), 0);
+        let stats = server.cache_stats().unwrap();
+        assert_eq!(stats.entries, 1);
+        assert_eq!(stats.hits, 8);
+    }
+
+    #[test]
+    fn queue_cap_rejects_with_a_stable_code() {
+        let (program, fns, schema) = scatter();
+        // No workers consuming: occupy the whole queue, then overflow it.
+        let server = Server::new(ServeConfig { workers: 1, queue_cap: 1, ..Default::default() });
+        // Hold the single worker hostage is racy; instead saturate the
+        // accounting directly: first submit may or may not have finished,
+        // so push until one is rejected or a bound is hit.
+        let mut rejected = None;
+        let mut tickets = Vec::new();
+        for _ in 0..64 {
+            match server.submit(Partir::new(program.clone(), fns.clone(), schema.clone())) {
+                Ok(t) => tickets.push(t),
+                Err(e) => {
+                    rejected = Some(e);
+                    break;
+                }
+            }
+        }
+        let err = rejected.expect("queue eventually fills");
+        assert_eq!(err.error_code(), "serve.queue_full");
+        let parsed = Json::parse(&error_report(&err).to_string()).unwrap();
+        assert_eq!(parsed.get("error_code").and_then(Json::as_str), Some("serve.queue_full"));
+        for t in tickets {
+            t.wait().expect("accepted requests still complete");
+        }
+    }
+
+    #[test]
+    fn admission_budget_rejects_degraded_solves() {
+        let (program, fns, schema) = scatter();
+        // A zero budget forces every solve to degrade to the trivial
+        // solution; the server must reject rather than serve it.
+        let server = Server::new(
+            ServeConfig::default()
+                .budget(SolveBudget { max_nodes: Some(0), ..SolveBudget::default() }),
+        );
+        let err = server.solve(Partir::new(program, fns, schema)).unwrap_err();
+        assert_eq!(err.error_code(), "serve.over_budget");
+        let stats = server.cache_stats().unwrap();
+        assert_eq!(stats.entries, 0, "degraded solves are never cached");
+    }
+
+    #[test]
+    fn shutdown_disconnects_pending_tickets_cleanly() {
+        let (program, fns, schema) = scatter();
+        let server = Server::new(ServeConfig::default());
+        let ticket = server.submit(Partir::new(program, fns, schema)).unwrap();
+        server.shutdown();
+        // The request was accepted before shutdown, so it completed.
+        ticket.wait().expect("accepted work drains on shutdown");
+    }
+}
